@@ -1,0 +1,84 @@
+// Command site runs one worker site of a real distributed deployment: it
+// loads a graph and a fragmentation assignment, takes ownership of one
+// fragment, and serves partial-evaluation requests over TCP. Pair it with
+// cmd/coord:
+//
+//	gengraph -dataset Youtube > g.txt
+//	# partition once, shared by all sites
+//	coord -graph g.txt -k 3 -writeassign a.txt
+//	site -graph g.txt -assign a.txt -fragment 0 -listen 127.0.0.1:7000 &
+//	site -graph g.txt -assign a.txt -fragment 1 -listen 127.0.0.1:7001 &
+//	site -graph g.txt -assign a.txt -fragment 2 -listen 127.0.0.1:7002 &
+//	coord -graph g.txt -sites 127.0.0.1:7000,127.0.0.1:7001,127.0.0.1:7002 -s 0 -t 99
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+
+	"distreach/internal/fragment"
+	"distreach/internal/graph"
+	"distreach/internal/netsite"
+)
+
+func main() {
+	var (
+		graphPath  = flag.String("graph", "", "graph file (format of cmd/gengraph)")
+		assignPath = flag.String("assign", "", "fragmentation assignment file (written by coord -writeassign)")
+		fragID     = flag.Int("fragment", 0, "index of the fragment this site owns")
+		listen     = flag.String("listen", "127.0.0.1:0", "TCP listen address")
+	)
+	flag.Parse()
+	if *graphPath == "" || *assignPath == "" {
+		fmt.Fprintln(os.Stderr, "site: -graph and -assign are required")
+		os.Exit(2)
+	}
+	g, err := loadGraph(*graphPath)
+	if err != nil {
+		fatal(err)
+	}
+	af, err := os.Open(*assignPath)
+	if err != nil {
+		fatal(err)
+	}
+	fr, err := fragment.Read(af, g)
+	af.Close()
+	if err != nil {
+		fatal(err)
+	}
+	if *fragID < 0 || *fragID >= fr.Card() {
+		fatal(fmt.Errorf("fragment %d out of range [0,%d)", *fragID, fr.Card()))
+	}
+	f := fr.Fragments()[*fragID]
+	s, err := netsite.NewSite(*listen, f)
+	if err != nil {
+		fatal(err)
+	}
+	s.Logf = func(format string, args ...any) {
+		fmt.Fprintf(os.Stderr, "site: "+format+"\n", args...)
+	}
+	fmt.Printf("site: serving fragment %d (|V|=%d, |O|=%d, |I|=%d) on %s\n",
+		*fragID, f.NumLocal(), f.NumVirtual(), len(f.InNodes()), s.Addr())
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt)
+	<-sig
+	fmt.Println("site: shutting down")
+	s.Close()
+}
+
+func loadGraph(path string) (*graph.Graph, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return graph.Read(f)
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "site: %v\n", err)
+	os.Exit(1)
+}

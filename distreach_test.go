@@ -1,0 +1,228 @@
+package distreach_test
+
+import (
+	"time"
+
+	"testing"
+
+	"distreach"
+	"distreach/internal/gen"
+	"distreach/internal/graph"
+)
+
+// buildSample returns a labeled three-fragment sample deployment.
+func buildSample(t testing.TB) (*distreach.Graph, *distreach.Fragmentation, *distreach.Cluster) {
+	g := gen.PowerLaw(gen.Config{
+		Nodes: 400, Edges: 1600, Labels: gen.LabelAlphabet(4), LabelSkew: 1, Seed: 12,
+	})
+	fr, err := distreach.PartitionRandom(g, 3, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g, fr, distreach.NewCluster(3, distreach.NetModel{})
+}
+
+func TestFacadeReach(t *testing.T) {
+	g, fr, cl := buildSample(t)
+	for v := distreach.NodeID(1); v < 50; v++ {
+		res := distreach.Reach(cl, fr, 0, v)
+		if want := g.Reachable(0, v); res.Answer != want {
+			t.Fatalf("Reach(0,%d) = %v, want %v", v, res.Answer, want)
+		}
+		if res.Report.MaxVisits > 1 {
+			t.Fatalf("visit guarantee violated: %v", res.Report.Visits)
+		}
+	}
+}
+
+func TestFacadeReachWithin(t *testing.T) {
+	g, fr, cl := buildSample(t)
+	for v := distreach.NodeID(1); v < 30; v++ {
+		res := distreach.ReachWithin(cl, fr, 0, v, 4)
+		d := g.Dist(0, v)
+		if want := d >= 0 && d <= 4; res.Answer != want {
+			t.Fatalf("ReachWithin(0,%d,4) = %v, oracle dist %d", v, res.Answer, d)
+		}
+	}
+}
+
+func TestFacadeRegex(t *testing.T) {
+	_, fr, cl := buildSample(t)
+	res, err := distreach.ReachRegexExpr(cl, fr, 0, 399, "_*")
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain := distreach.Reach(cl, fr, 0, 399)
+	if res.Answer != plain.Answer {
+		t.Fatalf("wildcard-star regex (%v) must agree with plain reachability (%v)",
+			res.Answer, plain.Answer)
+	}
+	if _, err := distreach.ReachRegexExpr(cl, fr, 0, 1, "(((oops"); err == nil {
+		t.Fatal("bad regex accepted")
+	}
+}
+
+func TestFacadeCompileRegex(t *testing.T) {
+	a, err := distreach.CompileRegex("A (B|C)* D?")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !a.AcceptsLabels([]string{"A", "B", "C", "D"}) {
+		t.Fatal("compiled automaton rejects a member word")
+	}
+	if a.AcceptsLabels([]string{"B"}) {
+		t.Fatal("compiled automaton accepts a non-member word")
+	}
+}
+
+func TestFacadeMapReduce(t *testing.T) {
+	g, _, _ := buildSample(t)
+	a, err := distreach.CompileRegex("_*")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ans, st, err := distreach.ReachRegexMR(g, 0, 399, a, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := g.Reachable(0, 399); ans != want {
+		t.Fatalf("MRdRPQ wildcard-star = %v, reachability oracle = %v", ans, want)
+	}
+	if st.ECC <= 0 {
+		t.Fatal("ECC not accounted")
+	}
+}
+
+func TestFacadePartitioners(t *testing.T) {
+	g, _, _ := buildSample(t)
+	assign := make([]int, g.NumNodes())
+	for v := range assign {
+		assign[v] = v % 5
+	}
+	for name, fr := range map[string]func() (*distreach.Fragmentation, error){
+		"random":     func() (*distreach.Fragmentation, error) { return distreach.PartitionRandom(g, 5, 1) },
+		"hash":       func() (*distreach.Fragmentation, error) { return distreach.PartitionHash(g, 5) },
+		"contiguous": func() (*distreach.Fragmentation, error) { return distreach.PartitionContiguous(g, 5) },
+		"greedy":     func() (*distreach.Fragmentation, error) { return distreach.PartitionGreedy(g, 5, 1) },
+		"explicit":   func() (*distreach.Fragmentation, error) { return distreach.PartitionWith(g, assign, 5) },
+	} {
+		f, err := fr()
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if f.Card() != 5 {
+			t.Fatalf("%s: card %d", name, f.Card())
+		}
+		// The answer must not depend on the partitioning.
+		cl := distreach.NewCluster(5, distreach.NetModel{})
+		if got, want := distreach.Reach(cl, f, 0, 399).Answer, g.Reachable(0, 399); got != want {
+			t.Fatalf("%s: answer %v, want %v", name, got, want)
+		}
+	}
+}
+
+func TestFacadeSessionAndCoalesce(t *testing.T) {
+	g, fr, cl := buildSample(t)
+	se := distreach.NewSession(cl, fr)
+	for s := distreach.NodeID(0); s < 20; s++ {
+		if got, want := se.Reach(s, 399).Answer, g.Reachable(s, 399); got != want {
+			t.Fatalf("session Reach(%d,399)=%v want %v", s, got, want)
+		}
+	}
+	co, err := distreach.Coalesce(fr, []int{0, 0, 1}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl2 := distreach.NewCluster(2, distreach.NetModel{})
+	if got, want := distreach.Reach(cl2, co, 0, 399).Answer, g.Reachable(0, 399); got != want {
+		t.Fatalf("coalesced Reach=%v want %v", got, want)
+	}
+}
+
+func TestFacadeMapReduceVariants(t *testing.T) {
+	g, _, _ := buildSample(t)
+	ans, _, err := distreach.ReachMR(g, 0, 399, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := g.Reachable(0, 399); ans != want {
+		t.Fatalf("ReachMR=%v want %v", ans, want)
+	}
+	bans, dist, _, err := distreach.ReachWithinMR(g, 0, 399, 6, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := g.Dist(0, 399)
+	if want := d >= 0 && d <= 6; bans != want {
+		t.Fatalf("ReachWithinMR=%v oracle dist=%d", bans, d)
+	}
+	if bans && dist != int64(d) {
+		t.Fatalf("distance %d, oracle %d", dist, d)
+	}
+}
+
+func TestFacadeTCPDeployment(t *testing.T) {
+	g, fr, _ := buildSample(t)
+	sites, addrs, err := distreach.Serve(fr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		for _, s := range sites {
+			s.Close()
+		}
+	}()
+	co, err := distreach.DialSites(addrs, 2*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer co.Close()
+	ans, st, err := co.Reach(0, 399)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := g.Reachable(0, 399); ans != want {
+		t.Fatalf("tcp Reach = %v, want %v", ans, want)
+	}
+	if st.BytesSent == 0 || st.BytesReceived == 0 {
+		t.Fatalf("no wire accounting: %+v", st)
+	}
+	a, err := distreach.CompileRegex("_*")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rans, _, err := co.ReachRegex(0, 399, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rans != ans {
+		t.Fatalf("wildcard regex over TCP (%v) disagrees with Reach (%v)", rans, ans)
+	}
+}
+
+func TestFacadeBuilderErrors(t *testing.T) {
+	b := distreach.NewBuilder(1)
+	b.AddNode("x")
+	b.AddEdge(0, 5)
+	if _, err := b.Build(); err == nil {
+		t.Fatal("invalid edge accepted")
+	}
+	_ = graph.None
+}
+
+func TestFacadeReachBatch(t *testing.T) {
+	g, fr, cl := buildSample(t)
+	qs := make([]distreach.Query, 0, 30)
+	for s := distreach.NodeID(0); s < 15; s++ {
+		qs = append(qs, distreach.Query{S: s, T: 399}, distreach.Query{S: s, T: 0})
+	}
+	res := distreach.ReachBatch(cl, fr, qs)
+	for i, q := range qs {
+		if want := g.Reachable(q.S, q.T); res.Answers[i] != want {
+			t.Fatalf("batch query %d: %v want %v", i, res.Answers[i], want)
+		}
+	}
+	if res.Report.MaxVisits != 1 {
+		t.Fatalf("batch visit guarantee violated: %v", res.Report.Visits)
+	}
+}

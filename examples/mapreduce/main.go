@@ -1,0 +1,58 @@
+// MapReduce: algorithm MRdRPQ end to end (Section 6). A citation-style
+// labeled graph is partitioned by parG into one fragment per mapper; each
+// mapper runs localEvalr as its Map function; a single reducer assembles
+// the partial answers with evalDGr. The example sweeps the mapper count
+// and prints the elapsed-communication-cost (ECC) accounting of Afrati and
+// Ullman, showing that the mapper input (one fragment) shrinks with more
+// mappers while the reducer input (the combined rvsets) stays bounded by
+// O(|R|²·|Vf|²).
+//
+// Run with: go run ./examples/mapreduce
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"distreach"
+	"distreach/internal/gen"
+)
+
+func main() {
+	g := gen.PowerLaw(gen.Config{
+		Nodes:     30000,
+		Edges:     90000,
+		Labels:    gen.LabelAlphabet(10),
+		LabelSkew: 1.0,
+		Seed:      4096,
+	})
+	fmt.Printf("graph: %v\n\n", g)
+
+	a, err := distreach.CompileRegex("L0 (L1|L2)* L3?")
+	if err != nil {
+		log.Fatal(err)
+	}
+	s, t := distreach.NodeID(0), distreach.NodeID(29999)
+
+	fmt.Println("mappers  answer  ECC bytes   reducer-in  map wall    reduce wall")
+	for _, mappers := range []int{2, 5, 10, 20, 30} {
+		start := time.Now()
+		ans, st, err := distreach.ReachRegexMR(g, s, t, a, mappers)
+		if err != nil {
+			log.Fatal(err)
+		}
+		_ = time.Since(start)
+		reducerIn := int64(0)
+		for _, b := range st.ReducerInBytes {
+			reducerIn += b
+		}
+		fmt.Printf("%7d  %-6v  %-10d %-11d %-11v %v\n",
+			mappers, ans, st.ECC, reducerIn,
+			st.MapWall.Round(time.Microsecond), st.ReduceWall.Round(time.Microsecond))
+	}
+
+	fmt.Println("\nNote how the ECC drops as mappers are added: the dominant |Fm| term")
+	fmt.Println("shrinks with the fragment size while the reducer input is governed by")
+	fmt.Println("the query and the cut, not by the graph.")
+}

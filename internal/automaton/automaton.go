@@ -1,0 +1,263 @@
+// Package automaton implements the query automaton Gq(R) of Section 5.1: a
+// variation of an ε-free NFA whose states carry node labels. In contrast to
+// a traditional NFA, a transition uv -> u'v is taken along a graph edge
+// (v, v') when the labels of the states match the labels of the endpoint
+// nodes. The start state us and the final state ut correspond to the query
+// endpoints s and t themselves (in Fig. 6 they are drawn with the node
+// names Ann and Mark).
+//
+// The construction is the Glushkov position automaton (the ε-free NFA
+// construction of Hromkovic et al. [15] referenced by the paper): one state
+// per label occurrence of R, plus the distinguished Start and Final states.
+// It is linear in |R|.
+package automaton
+
+import (
+	"fmt"
+	"sort"
+
+	"distreach/internal/rx"
+)
+
+// Distinguished state indices. Positions occupy indices >= 2.
+const (
+	Start = 0 // us: matched only by the source node s
+	Final = 1 // ut: matched only by the target node t
+)
+
+// Automaton is an immutable query automaton Gq(R).
+type Automaton struct {
+	labels []string // state -> label; "" for Start/Final
+	next   [][]int  // child states (Eq), sorted
+	prev   [][]int  // parent states, sorted
+}
+
+// FromRegex builds the query automaton of the regular expression re using
+// the Glushkov position construction:
+//
+//	Start -> p        for p in First(re)
+//	p -> q            for q in Follow(p)
+//	p -> Final        for p in Last(re)
+//	Start -> Final    if re is nullable
+func FromRegex(re *rx.Node) *Automaton {
+	g := &glushkov{}
+	info := g.analyze(re)
+	n := 2 + len(g.labels)
+	a := &Automaton{
+		labels: make([]string, n),
+		next:   make([][]int, n),
+		prev:   make([][]int, n),
+	}
+	for i, l := range g.labels {
+		a.labels[2+i] = l
+	}
+	add := func(u, v int) { a.next[u] = append(a.next[u], v) }
+	for _, p := range info.first {
+		add(Start, p+2)
+	}
+	if info.nullable {
+		add(Start, Final)
+	}
+	for p, fs := range g.follow {
+		for _, q := range fs {
+			add(p+2, q+2)
+		}
+	}
+	for _, p := range info.last {
+		add(p+2, Final)
+	}
+	for u := range a.next {
+		sort.Ints(a.next[u])
+		a.next[u] = dedupInts(a.next[u])
+	}
+	a.buildPrev()
+	return a
+}
+
+// New constructs an automaton directly from explicit components; used by the
+// workload generator, which (like the paper's Exp-3) specifies query
+// complexity as (|Vq|, |Eq|, |Lq|) rather than as a concrete regex. States
+// 0 and 1 are Start and Final; labels[i] labels state i+2.
+func New(labels []string, edges [][2]int) (*Automaton, error) {
+	n := 2 + len(labels)
+	a := &Automaton{
+		labels: make([]string, n),
+		next:   make([][]int, n),
+		prev:   make([][]int, n),
+	}
+	copy(a.labels[2:], labels)
+	for _, e := range edges {
+		u, v := e[0], e[1]
+		if u < 0 || u >= n || v < 0 || v >= n {
+			return nil, fmt.Errorf("automaton: transition (%d,%d) out of range [0,%d)", u, v, n)
+		}
+		if v == Start {
+			return nil, fmt.Errorf("automaton: transition into Start state")
+		}
+		if u == Final {
+			return nil, fmt.Errorf("automaton: transition out of Final state")
+		}
+		a.next[u] = append(a.next[u], v)
+	}
+	for u := range a.next {
+		sort.Ints(a.next[u])
+		a.next[u] = dedupInts(a.next[u])
+	}
+	a.buildPrev()
+	return a, nil
+}
+
+func (a *Automaton) buildPrev() {
+	for u, vs := range a.next {
+		for _, v := range vs {
+			a.prev[v] = append(a.prev[v], u)
+		}
+	}
+	for v := range a.prev {
+		sort.Ints(a.prev[v])
+	}
+}
+
+func dedupInts(xs []int) []int {
+	out := xs[:0]
+	for i, x := range xs {
+		if i == 0 || xs[i-1] != x {
+			out = append(out, x)
+		}
+	}
+	return out
+}
+
+// NumStates reports |Vq| including Start and Final.
+func (a *Automaton) NumStates() int { return len(a.labels) }
+
+// NumTransitions reports |Eq|.
+func (a *Automaton) NumTransitions() int {
+	n := 0
+	for _, vs := range a.next {
+		n += len(vs)
+	}
+	return n
+}
+
+// Next returns the child states of u (u' with (u, u') in Eq). Callers must
+// not modify the returned slice.
+func (a *Automaton) Next(u int) []int { return a.next[u] }
+
+// Prev returns the parent states of u. Callers must not modify the returned
+// slice.
+func (a *Automaton) Prev(u int) []int { return a.prev[u] }
+
+// StateLabel returns Lq(u) for a position state; it is "" for Start/Final,
+// whose matching is positional (s and t respectively).
+func (a *Automaton) StateLabel(u int) string { return a.labels[u] }
+
+// MatchesLabel reports whether position state u is compatible with a node
+// carrying the given label. Start and Final never label-match: they are
+// matched positionally by s and t.
+func (a *Automaton) MatchesLabel(u int, label string) bool {
+	if u == Start || u == Final {
+		return false
+	}
+	return a.labels[u] == rx.Wildcard || a.labels[u] == label
+}
+
+// AcceptsLabels reports whether the label sequence seq (the label of a path,
+// i.e. the labels of the interior nodes between s and t) is accepted. This
+// is plain NFA simulation and is used by tests and by the centralized
+// baseline.
+func (a *Automaton) AcceptsLabels(seq []string) bool {
+	cur := map[int]bool{Start: true}
+	for _, l := range seq {
+		nxt := map[int]bool{}
+		for p := range cur {
+			for _, q := range a.next[p] {
+				if a.MatchesLabel(q, l) {
+					nxt[q] = true
+				}
+			}
+		}
+		if len(nxt) == 0 {
+			return false
+		}
+		cur = nxt
+	}
+	for p := range cur {
+		for _, q := range a.next[p] {
+			if q == Final {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// String summarizes the automaton.
+func (a *Automaton) String() string {
+	return fmt.Sprintf("Gq{|Vq|=%d, |Eq|=%d}", a.NumStates(), a.NumTransitions())
+}
+
+// EncodedSize estimates the bytes to ship Gq(R) to a site: 8 bytes per
+// transition plus label bytes, the O(|Gq|) term of the traffic analysis.
+func (a *Automaton) EncodedSize() int {
+	size := 8
+	for _, l := range a.labels {
+		size += 4 + len(l)
+	}
+	size += 8 * a.NumTransitions()
+	return size
+}
+
+// glushkov carries the per-position bookkeeping of the construction.
+type glushkov struct {
+	labels []string // position -> label
+	follow [][]int  // position -> follow set
+}
+
+type ginfo struct {
+	nullable    bool
+	first, last []int
+}
+
+func (g *glushkov) analyze(n *rx.Node) ginfo {
+	switch n.Kind {
+	case rx.Empty:
+		return ginfo{nullable: true}
+	case rx.Label:
+		p := len(g.labels)
+		g.labels = append(g.labels, n.Label)
+		g.follow = append(g.follow, nil)
+		return ginfo{first: []int{p}, last: []int{p}}
+	case rx.Concat:
+		l := g.analyze(n.Left)
+		r := g.analyze(n.Right)
+		for _, p := range l.last {
+			g.follow[p] = append(g.follow[p], r.first...)
+		}
+		out := ginfo{nullable: l.nullable && r.nullable}
+		out.first = append(out.first, l.first...)
+		if l.nullable {
+			out.first = append(out.first, r.first...)
+		}
+		out.last = append(out.last, r.last...)
+		if r.nullable {
+			out.last = append(out.last, l.last...)
+		}
+		return out
+	case rx.Union:
+		l := g.analyze(n.Left)
+		r := g.analyze(n.Right)
+		return ginfo{
+			nullable: l.nullable || r.nullable,
+			first:    append(append([]int{}, l.first...), r.first...),
+			last:     append(append([]int{}, l.last...), r.last...),
+		}
+	case rx.Star:
+		l := g.analyze(n.Left)
+		for _, p := range l.last {
+			g.follow[p] = append(g.follow[p], l.first...)
+		}
+		return ginfo{nullable: true, first: l.first, last: l.last}
+	}
+	panic("automaton: unknown rx node kind")
+}

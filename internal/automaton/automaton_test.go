@@ -1,0 +1,219 @@
+package automaton
+
+import (
+	"testing"
+
+	"distreach/internal/gen"
+	"distreach/internal/graph"
+	"distreach/internal/rx"
+)
+
+func TestGlushkovSmall(t *testing.T) {
+	a := FromRegex(rx.MustParse("DB*|HR*"))
+	// Positions: DB, HR. States: Start, Final, DB, HR.
+	if a.NumStates() != 4 {
+		t.Fatalf("|Vq| = %d, want 4", a.NumStates())
+	}
+	cases := []struct {
+		seq  []string
+		want bool
+	}{
+		{nil, true}, // both branches nullable
+		{[]string{"DB"}, true},
+		{[]string{"DB", "DB", "DB"}, true},
+		{[]string{"HR", "HR"}, true},
+		{[]string{"DB", "HR"}, false},
+		{[]string{"FA"}, false},
+	}
+	for _, c := range cases {
+		if got := a.AcceptsLabels(c.seq); got != c.want {
+			t.Errorf("accepts(%v) = %v, want %v", c.seq, got, c.want)
+		}
+	}
+}
+
+func TestWildcard(t *testing.T) {
+	a := FromRegex(rx.MustParse("A _ B"))
+	if !a.AcceptsLabels([]string{"A", "ZZZ", "B"}) {
+		t.Fatal("wildcard should match any label")
+	}
+	if a.AcceptsLabels([]string{"A", "B"}) {
+		t.Fatal("wildcard consumes exactly one label")
+	}
+}
+
+// TestAcceptsSampledStrings is the language property test: every string
+// sampled from the regex must be accepted by its automaton.
+func TestAcceptsSampledStrings(t *testing.T) {
+	rng := gen.NewRNG(3)
+	labels := []string{"a", "b", "c"}
+	var rand func(depth int) *rx.Node
+	rand = func(depth int) *rx.Node {
+		if depth == 0 || rng.Intn(3) == 0 {
+			return rx.Lbl(labels[rng.Intn(3)])
+		}
+		switch rng.Intn(3) {
+		case 0:
+			return rx.Cat(rand(depth-1), rand(depth-1))
+		case 1:
+			return rx.Alt(rand(depth-1), rand(depth-1))
+		default:
+			return rx.Kleene(rand(depth - 1))
+		}
+	}
+	for i := 0; i < 300; i++ {
+		re := rand(4)
+		a := FromRegex(re)
+		for j := 0; j < 5; j++ {
+			seq := re.Sample(rng, 3)
+			if !a.AcceptsLabels(seq) {
+				t.Fatalf("automaton of %q rejects its own sample %v", re, seq)
+			}
+		}
+	}
+}
+
+// TestRejectsMutatedStrings checks that the automaton is not trivially
+// accepting: perturbing a sampled string with a fresh label not in the
+// regex must be rejected.
+func TestRejectsMutatedStrings(t *testing.T) {
+	rng := gen.NewRNG(4)
+	re := rx.MustParse("a (b|c)* a")
+	a := FromRegex(re)
+	for i := 0; i < 100; i++ {
+		seq := re.Sample(rng, 4)
+		pos := rng.Intn(len(seq))
+		seq[pos] = "ZZZ"
+		if a.AcceptsLabels(seq) {
+			t.Fatalf("mutated sample %v accepted", seq)
+		}
+	}
+}
+
+func TestStateStructure(t *testing.T) {
+	a := FromRegex(rx.MustParse("x y"))
+	if a.MatchesLabel(Start, "x") || a.MatchesLabel(Final, "y") {
+		t.Fatal("Start/Final must not label-match")
+	}
+	// Start must lead to the x position only.
+	nx := a.Next(Start)
+	if len(nx) != 1 || a.StateLabel(nx[0]) != "x" {
+		t.Fatalf("Next(Start) = %v", nx)
+	}
+	// Transitions and prev are consistent.
+	for u := 0; u < a.NumStates(); u++ {
+		for _, v := range a.Next(u) {
+			found := false
+			for _, p := range a.Prev(v) {
+				if p == u {
+					found = true
+				}
+			}
+			if !found {
+				t.Fatalf("prev missing for edge (%d,%d)", u, v)
+			}
+		}
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New([]string{"a"}, [][2]int{{0, 9}}); err == nil {
+		t.Fatal("out-of-range transition accepted")
+	}
+	if _, err := New([]string{"a"}, [][2]int{{2, 0}}); err == nil {
+		t.Fatal("transition into Start accepted")
+	}
+	if _, err := New([]string{"a"}, [][2]int{{1, 2}}); err == nil {
+		t.Fatal("transition out of Final accepted")
+	}
+}
+
+func TestRandomAutomatonWellFormed(t *testing.T) {
+	rng := gen.NewRNG(5)
+	labels := []string{"a", "b", "c", "d"}
+	for i := 0; i < 200; i++ {
+		states := 2 + rng.Intn(12)
+		trans := rng.Intn(30)
+		a := Random(rng, states, trans, labels)
+		if a.NumStates() != states {
+			t.Fatalf("states = %d, want %d", a.NumStates(), states)
+		}
+		if len(a.Next(Final)) != 0 {
+			t.Fatal("Final has outgoing transitions")
+		}
+		if len(a.Prev(Start)) != 0 {
+			t.Fatal("Start has incoming transitions")
+		}
+		// Final must be reachable from Start through the transition graph.
+		seen := make([]bool, a.NumStates())
+		stack := []int{Start}
+		seen[Start] = true
+		for len(stack) > 0 {
+			u := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			for _, v := range a.Next(u) {
+				if !seen[v] {
+					seen[v] = true
+					stack = append(stack, v)
+				}
+			}
+		}
+		if !seen[Final] {
+			t.Fatal("Final unreachable from Start")
+		}
+	}
+}
+
+func TestEncodedSizeGrowsWithQuery(t *testing.T) {
+	small := FromRegex(rx.MustParse("a"))
+	big := FromRegex(rx.MustParse("a b c d e f (g|h)*"))
+	if small.EncodedSize() >= big.EncodedSize() {
+		t.Fatal("EncodedSize should grow with |R|")
+	}
+}
+
+func TestEvalOnLabeledChain(t *testing.T) {
+	// s -> A -> B -> A -> t; interior label word is "A B A".
+	g := chain(t, []string{"S", "A", "B", "A", "T"})
+	if !Eval(g, 0, 4, FromRegex(rx.MustParse("A B A"))) {
+		t.Fatal("exact word rejected")
+	}
+	if !Eval(g, 0, 4, FromRegex(rx.MustParse("(A|B)*"))) {
+		t.Fatal("universal word rejected")
+	}
+	if Eval(g, 0, 4, FromRegex(rx.MustParse("A B B"))) {
+		t.Fatal("wrong word accepted")
+	}
+	if Eval(g, 0, 4, FromRegex(rx.MustParse("A B"))) {
+		t.Fatal("prefix accepted")
+	}
+	// Direct edge = empty interior word: needs nullability.
+	if !Eval(g, 0, 1, FromRegex(rx.MustParse("A*"))) {
+		t.Fatal("edge with empty interior rejected under nullable R")
+	}
+	if Eval(g, 0, 1, FromRegex(rx.MustParse("A+"))) {
+		t.Fatal("edge with empty interior accepted under non-nullable R")
+	}
+}
+
+func TestEvalSelfQuery(t *testing.T) {
+	g := chain(t, []string{"A", "A", "A"})
+	if !Eval(g, 1, 1, FromRegex(rx.MustParse("A*"))) {
+		t.Fatal("s==t with nullable R must hold (empty path)")
+	}
+	if Eval(g, 1, 1, FromRegex(rx.MustParse("A+"))) {
+		t.Fatal("chain has no cycle; A+ from a node to itself must fail")
+	}
+}
+
+func chain(t *testing.T, labels []string) *graph.Graph {
+	t.Helper()
+	b := graph.NewBuilder(len(labels))
+	for _, l := range labels {
+		b.AddNode(l)
+	}
+	for i := 0; i+1 < len(labels); i++ {
+		b.AddEdge(graph.NodeID(i), graph.NodeID(i+1))
+	}
+	return b.MustBuild()
+}

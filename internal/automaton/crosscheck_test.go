@@ -1,0 +1,64 @@
+package automaton
+
+import (
+	"testing"
+
+	"distreach/internal/gen"
+	"distreach/internal/rx"
+)
+
+// TestAutomatonAgreesWithDerivatives cross-checks two entirely different
+// decision procedures on random regexes and random strings: the Glushkov
+// query automaton (AcceptsLabels) and Brzozowski derivatives (rx.Match).
+// Any construction bug in either shows up as a disagreement.
+func TestAutomatonAgreesWithDerivatives(t *testing.T) {
+	rng := gen.NewRNG(33)
+	labels := []string{"a", "b", "c"}
+	var rand func(depth int) *rx.Node
+	rand = func(depth int) *rx.Node {
+		if depth == 0 || rng.Intn(3) == 0 {
+			switch rng.Intn(5) {
+			case 0:
+				return rx.Eps()
+			case 1:
+				return rx.Lbl(rx.Wildcard)
+			default:
+				return rx.Lbl(labels[rng.Intn(3)])
+			}
+		}
+		switch rng.Intn(3) {
+		case 0:
+			return rx.Cat(rand(depth-1), rand(depth-1))
+		case 1:
+			return rx.Alt(rand(depth-1), rand(depth-1))
+		default:
+			return rx.Kleene(rand(depth - 1))
+		}
+	}
+	randSeq := func() []string {
+		seq := make([]string, rng.Intn(6))
+		for i := range seq {
+			seq[i] = labels[rng.Intn(3)]
+		}
+		return seq
+	}
+	for i := 0; i < 500; i++ {
+		re := rand(4)
+		a := FromRegex(re)
+		// Random strings plus samples of the language itself.
+		for j := 0; j < 6; j++ {
+			var seq []string
+			if j < 3 {
+				seq = randSeq()
+			} else {
+				seq = re.Sample(rng, 3)
+			}
+			got := a.AcceptsLabels(seq)
+			want := re.Match(seq)
+			if got != want {
+				t.Fatalf("disagreement on %q with %v: automaton=%v derivatives=%v",
+					re, seq, got, want)
+			}
+		}
+	}
+}

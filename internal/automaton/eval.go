@@ -1,0 +1,42 @@
+package automaton
+
+import "distreach/internal/graph"
+
+// Eval answers the regular reachability query qrr(s, t, R) on a centralized
+// graph by BFS over the product of g and the query automaton a: it reports
+// whether some path from s to t has a label accepted by a. It is the
+// centralized engine behind the disRPQn baseline and the oracle for
+// property-based tests of disRPQ.
+func Eval(g *graph.Graph, s, t graph.NodeID, a *Automaton) bool {
+	if s == t && a.AcceptsLabels(nil) {
+		return true
+	}
+	nq := a.NumStates()
+	seen := make([]bool, g.NumNodes()*nq)
+	type pn struct {
+		v graph.NodeID
+		u int
+	}
+	queue := []pn{{s, Start}}
+	seen[int(s)*nq+Start] = true
+	for len(queue) > 0 {
+		p := queue[0]
+		queue = queue[1:]
+		for _, w := range g.Out(p.v) {
+			for _, u2 := range a.Next(p.u) {
+				switch {
+				case u2 == Final:
+					if w == t {
+						return true
+					}
+				case a.MatchesLabel(u2, g.Label(w)):
+					if !seen[int(w)*nq+u2] {
+						seen[int(w)*nq+u2] = true
+						queue = append(queue, pn{w, u2})
+					}
+				}
+			}
+		}
+	}
+	return false
+}

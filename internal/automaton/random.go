@@ -1,0 +1,61 @@
+package automaton
+
+import (
+	"distreach/internal/gen"
+)
+
+// Random generates a query automaton with the requested complexity
+// (|Vq| = states, |Eq| ≈ transitions, labels drawn from the given
+// alphabet). This mirrors the paper's Exp-3 setup, which specifies query
+// complexity directly as (|Vq|, |Eq|, |Lq|) triples such as (8, 16, 8).
+//
+// The generator guarantees that Final is reachable from Start (a random
+// "spine" Start -> p1 -> ... -> pj -> Final is always included), so
+// generated queries have non-trivial acceptance. states must be >= 2;
+// transitions beyond the maximum simple-transition count are ignored.
+func Random(rng *gen.RNG, states, transitions int, labels []string) *Automaton {
+	if states < 2 {
+		states = 2
+	}
+	positions := states - 2
+	posLabels := make([]string, positions)
+	for i := range posLabels {
+		posLabels[i] = labels[rng.Intn(len(labels))]
+	}
+	type edge = [2]int
+	seen := map[edge]bool{}
+	var edges []edge
+	add := func(u, v int) {
+		if v == Start || u == Final || seen[edge{u, v}] {
+			return
+		}
+		seen[edge{u, v}] = true
+		edges = append(edges, edge{u, v})
+	}
+	// Spine through a random subset of positions.
+	if positions == 0 {
+		add(Start, Final)
+	} else {
+		perm := rng.Perm(positions)
+		spine := 1 + rng.Intn(positions)
+		prev := Start
+		for i := 0; i < spine; i++ {
+			p := perm[i] + 2
+			add(prev, p)
+			prev = p
+		}
+		add(prev, Final)
+	}
+	// Random extra transitions up to the requested count.
+	for attempts := 0; len(edges) < transitions && attempts < 20*transitions; attempts++ {
+		u := rng.Intn(states)
+		v := rng.Intn(states)
+		add(u, v)
+	}
+	a, err := New(posLabels, edges)
+	if err != nil {
+		// add() filters every illegal transition, so New cannot fail.
+		panic("automaton: random generation produced invalid automaton: " + err.Error())
+	}
+	return a
+}

@@ -1,0 +1,96 @@
+package automaton
+
+import (
+	"testing"
+
+	"distreach/internal/gen"
+	"distreach/internal/rx"
+)
+
+func TestAutomatonWireRoundTrip(t *testing.T) {
+	rng := gen.NewRNG(71)
+	labels := []string{"alpha", "beta", "g g", ""}
+	for trial := 0; trial < 200; trial++ {
+		a := Random(rng, 2+rng.Intn(10), rng.Intn(25), labels)
+		data, err := a.MarshalBinary()
+		if err != nil {
+			t.Fatal(err)
+		}
+		var back Automaton
+		if err := back.UnmarshalBinary(data); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if back.NumStates() != a.NumStates() || back.NumTransitions() != a.NumTransitions() {
+			t.Fatalf("trial %d: shape changed: %v -> %v", trial, a, &back)
+		}
+		for u := 0; u < a.NumStates(); u++ {
+			if back.StateLabel(u) != a.StateLabel(u) {
+				t.Fatalf("trial %d: label of state %d changed", trial, u)
+			}
+			nx, bx := a.Next(u), back.Next(u)
+			if len(nx) != len(bx) {
+				t.Fatalf("trial %d: fanout of %d changed", trial, u)
+			}
+			for i := range nx {
+				if nx[i] != bx[i] {
+					t.Fatalf("trial %d: transition changed", trial)
+				}
+			}
+		}
+		// The decoded automaton must accept the same strings.
+		seq := make([]string, rng.Intn(5))
+		for i := range seq {
+			seq[i] = labels[rng.Intn(len(labels))]
+		}
+		if a.AcceptsLabels(seq) != back.AcceptsLabels(seq) {
+			t.Fatalf("trial %d: acceptance changed on %v", trial, seq)
+		}
+	}
+}
+
+func TestAutomatonWireFromRegex(t *testing.T) {
+	a := FromRegex(rx.MustParse("DB*|HR*"))
+	data, err := a.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Automaton
+	if err := back.UnmarshalBinary(data); err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range []struct {
+		seq  []string
+		want bool
+	}{
+		{nil, true},
+		{[]string{"DB", "DB"}, true},
+		{[]string{"DB", "HR"}, false},
+	} {
+		if got := back.AcceptsLabels(c.seq); got != c.want {
+			t.Errorf("decoded accepts(%v) = %v, want %v", c.seq, got, c.want)
+		}
+	}
+}
+
+func TestAutomatonWireRejectsGarbage(t *testing.T) {
+	good, err := FromRegex(rx.MustParse("a b")).MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	garbage := [][]byte{
+		nil,
+		{},
+		{9},                     // wrong version
+		{1},                     // missing state count
+		{1, 1, 0, 0, 0},         // fewer than 2 states
+		{1, 255, 255, 255, 255}, // absurd state count
+		good[:len(good)-3],      // truncated transitions
+		append(append([]byte{}, good[:5]...), 200), // truncated label
+	}
+	for i, data := range garbage {
+		var a Automaton
+		if err := a.UnmarshalBinary(data); err == nil {
+			t.Errorf("case %d: garbage accepted", i)
+		}
+	}
+}

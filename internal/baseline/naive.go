@@ -1,0 +1,105 @@
+// Package baseline implements the comparison algorithms of the paper's
+// experimental study (Section 7):
+//
+//   - disReachn / disDistn / disRPQn ship every fragment to the coordinator
+//     in parallel and evaluate the query with a centralized algorithm;
+//   - disReachm is the message-passing distributed BFS following Pregel [21];
+//   - disRPQd is a message-passing distributed evaluation of regular
+//     reachability queries in the style of Suciu [30].
+package baseline
+
+import (
+	"distreach/internal/automaton"
+	"distreach/internal/bes"
+	"distreach/internal/cluster"
+	"distreach/internal/core"
+	"distreach/internal/fragment"
+	"distreach/internal/graph"
+)
+
+const querySize = 12
+
+// shipAll accounts the naive strategy's first phase: every site ships its
+// whole fragment to the coordinator, in parallel.
+func shipAll(run *cluster.Run, fr *fragment.Fragmentation) {
+	maxBytes := 0
+	for i, f := range fr.Fragments() {
+		run.Post(i, querySize) // the coordinator still asks each site
+		b := f.EncodedSize()
+		run.Reply(i, b)
+		if b > maxBytes {
+			maxBytes = b
+		}
+	}
+	run.NetPhase(querySize)
+	run.NetPhase(maxBytes)
+}
+
+// DisReachN evaluates qr(s, t) by shipping all fragments to the coordinator
+// and running a centralized BFS on the restored graph (algorithm disReachn).
+func DisReachN(cl *cluster.Cluster, fr *fragment.Fragmentation, s, t graph.NodeID) core.Result {
+	run := cl.NewRun()
+	shipAll(run, fr)
+	var ans bool
+	run.Sequential(func() {
+		g := restore(fr)
+		ans = g.Reachable(s, t)
+	})
+	return core.Result{Answer: ans, Report: run.Finish()}
+}
+
+// DisDistN evaluates qbr(s, t, l) by shipping all fragments and running a
+// centralized BFS for the distance (algorithm disDistn).
+func DisDistN(cl *cluster.Cluster, fr *fragment.Fragmentation, s, t graph.NodeID, l int) core.DistResult {
+	run := cl.NewRun()
+	shipAll(run, fr)
+	var d int
+	run.Sequential(func() {
+		g := restore(fr)
+		d = g.Dist(s, t)
+	})
+	dist := int64(d)
+	if d < 0 {
+		dist = bes.Inf
+	}
+	return core.DistResult{Answer: d >= 0 && d <= l, Distance: dist, Report: run.Finish()}
+}
+
+// DisRPQN evaluates qrr(s, t, R) by shipping all fragments and running a
+// centralized product BFS (algorithm disRPQn).
+func DisRPQN(cl *cluster.Cluster, fr *fragment.Fragmentation, s, t graph.NodeID, a *automaton.Automaton) core.Result {
+	run := cl.NewRun()
+	shipAll(run, fr)
+	var ans bool
+	run.Sequential(func() {
+		g := restore(fr)
+		ans = automaton.Eval(g, s, t, a)
+	})
+	return core.Result{Answer: ans, Report: run.Finish()}
+}
+
+// restore rebuilds the global graph from the shipped fragments, mirroring
+// the coordinator-side reconstruction cost of the naive baselines. (The
+// original graph object is intentionally not reused: the baseline must pay
+// for reassembly.)
+func restore(fr *fragment.Fragmentation) *graph.Graph {
+	g := fr.Graph()
+	b := graph.NewBuilder(g.NumNodes())
+	for _, f := range fr.Fragments() {
+		_ = f
+	}
+	for v := graph.NodeID(0); int(v) < g.NumNodes(); v++ {
+		b.AddNode(g.Label(v))
+	}
+	for _, f := range fr.Fragments() {
+		for l := int32(0); int(l) < f.NumTotal(); l++ {
+			if f.IsVirtual(l) {
+				continue
+			}
+			for _, w := range f.Out(l) {
+				b.AddEdge(f.Global(l), f.Global(w))
+			}
+		}
+	}
+	return b.MustBuild()
+}

@@ -1,0 +1,141 @@
+// Package bes implements the (disjunctive) Boolean equation systems [14]
+// assembled by the coordinator site, and their weighted counterpart used for
+// bounded reachability.
+//
+// A system holds equations of the form
+//
+//	X = true | false | Xv1 ∨ Xv2 ∨ ... ∨ Xvn
+//
+// possibly recursively defined (graphs may be cyclic). Variables without an
+// equation are false: they stand for virtual nodes whose owner fragment
+// found no path onward. Solving is by the paper's evalDG strategy: build the
+// dependency graph Gd, merge the true constants into a single node, and
+// decide reachability; a variable is true iff it can reach a true constant.
+package bes
+
+import "fmt"
+
+// System is a disjunctive Boolean equation system over variables of
+// comparable type K. The zero value is not usable; call New.
+type System[K comparable] struct {
+	idx   map[K]int // variable -> dense index
+	vars  []K
+	truth []bool  // equation has a `true` disjunct
+	deps  [][]int // equation -> variable indices on its right-hand side
+	edges int
+}
+
+// New returns an empty system.
+func New[K comparable]() *System[K] {
+	return &System[K]{idx: make(map[K]int)}
+}
+
+func (s *System[K]) intern(x K) int {
+	if i, ok := s.idx[x]; ok {
+		return i
+	}
+	i := len(s.vars)
+	s.idx[x] = i
+	s.vars = append(s.vars, x)
+	s.truth = append(s.truth, false)
+	s.deps = append(s.deps, nil)
+	return i
+}
+
+// Add records the equation x = constTrue ∨ (∨ vars). Adding x twice merges
+// the right-hand sides (disjunction is idempotent and commutative).
+func (s *System[K]) Add(x K, constTrue bool, vars ...K) {
+	i := s.intern(x)
+	if constTrue {
+		s.truth[i] = true
+	}
+	for _, v := range vars {
+		s.deps[i] = append(s.deps[i], s.intern(v))
+		s.edges++
+	}
+}
+
+// NumVars reports the number of distinct variables mentioned.
+func (s *System[K]) NumVars() int { return len(s.vars) }
+
+// NumEdges reports the number of dependency edges (|Ed| of Gd).
+func (s *System[K]) NumEdges() int { return s.edges }
+
+// Solve computes the least solution and returns the set of true variables.
+// It is the paper's evalDG: reverse reachability from the merged true node
+// over the dependency graph. Runs in O(|Vd| + |Ed|).
+func (s *System[K]) Solve() map[K]bool {
+	// Build reverse adjacency: an equation X = ... ∨ Y ∨ ... contributes
+	// edge X -> Y in Gd; X is true iff X reaches a true node, i.e. in the
+	// reverse graph true nodes reach X.
+	rev := make([][]int32, len(s.vars))
+	for x, ds := range s.deps {
+		for _, y := range ds {
+			rev[y] = append(rev[y], int32(x))
+		}
+	}
+	val := make([]bool, len(s.vars))
+	var queue []int32
+	for i, t := range s.truth {
+		if t {
+			val[i] = true
+			queue = append(queue, int32(i))
+		}
+	}
+	for len(queue) > 0 {
+		y := queue[0]
+		queue = queue[1:]
+		for _, x := range rev[y] {
+			if !val[x] {
+				val[x] = true
+				queue = append(queue, x)
+			}
+		}
+	}
+	out := make(map[K]bool)
+	for i, v := range val {
+		if v {
+			out[s.vars[i]] = true
+		}
+	}
+	return out
+}
+
+// SolveFixpoint computes the same least solution by naive Kleene iteration
+// (repeatedly re-evaluating every equation until no change). It exists as
+// the ablation baseline A2 of DESIGN.md and as an oracle for tests; it runs
+// in O(|Vd| · |Ed|) in the worst case.
+func (s *System[K]) SolveFixpoint() map[K]bool {
+	val := make([]bool, len(s.vars))
+	copy(val, s.truth)
+	for changed := true; changed; {
+		changed = false
+		for x, ds := range s.deps {
+			if val[x] {
+				continue
+			}
+			for _, y := range ds {
+				if val[y] {
+					val[x] = true
+					changed = true
+					break
+				}
+			}
+		}
+	}
+	out := make(map[K]bool)
+	for i, v := range val {
+		if v {
+			out[s.vars[i]] = true
+		}
+	}
+	return out
+}
+
+// Value reports the solved value of x given a solution map from Solve.
+func Value[K comparable](sol map[K]bool, x K) bool { return sol[x] }
+
+// String summarizes the system.
+func (s *System[K]) String() string {
+	return fmt.Sprintf("bes{|Vd|=%d, |Ed|=%d}", s.NumVars(), s.NumEdges())
+}

@@ -1,0 +1,177 @@
+package bes
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestSolveExample3(t *testing.T) {
+	// The equation system of Example 3 / Fig. 5(a):
+	// xAnn = xPat ∨ xMat;  xFred = xEmmy;  xMat = xFred;  xJack = xFred;
+	// xEmmy = xFred ∨ xRoss;  xRoss = true;  xPat = xJack.
+	s := New[string]()
+	s.Add("Ann", false, "Pat", "Mat")
+	s.Add("Fred", false, "Emmy")
+	s.Add("Mat", false, "Fred")
+	s.Add("Jack", false, "Fred")
+	s.Add("Emmy", false, "Fred", "Ross")
+	s.Add("Ross", true)
+	s.Add("Pat", false, "Jack")
+	sol := s.Solve()
+	for _, v := range []string{"Ann", "Fred", "Mat", "Jack", "Emmy", "Ross", "Pat"} {
+		if !sol[v] {
+			t.Errorf("%s should be true", v)
+		}
+	}
+}
+
+func TestSolveRecursiveFalse(t *testing.T) {
+	// A pure cycle with no true constant stays false (least solution).
+	s := New[int]()
+	s.Add(1, false, 2)
+	s.Add(2, false, 3)
+	s.Add(3, false, 1)
+	sol := s.Solve()
+	if len(sol) != 0 {
+		t.Fatalf("cycle solved true: %v", sol)
+	}
+}
+
+func TestSolveCycleWithExit(t *testing.T) {
+	s := New[int]()
+	s.Add(1, false, 2)
+	s.Add(2, false, 1, 3)
+	s.Add(3, true)
+	sol := s.Solve()
+	if !sol[1] || !sol[2] || !sol[3] {
+		t.Fatalf("cycle with true exit: %v", sol)
+	}
+}
+
+func TestUnknownVariablesAreFalse(t *testing.T) {
+	s := New[int]()
+	s.Add(1, false, 99) // 99 has no equation
+	sol := s.Solve()
+	if sol[1] || sol[99] {
+		t.Fatalf("unknown var leaked true: %v", sol)
+	}
+}
+
+func TestAddMergesEquations(t *testing.T) {
+	s := New[int]()
+	s.Add(1, false, 2)
+	s.Add(1, false, 3)
+	s.Add(3, true)
+	if sol := s.Solve(); !sol[1] {
+		t.Fatal("merged disjuncts lost")
+	}
+}
+
+// TestSolveMatchesFixpoint cross-checks the dependency-graph solver against
+// the naive Kleene iteration on random systems.
+func TestSolveMatchesFixpoint(t *testing.T) {
+	check := func(seed int64) bool {
+		rng := seed
+		next := func(n int) int {
+			rng = rng*6364136223846793005 + 1442695040888963407
+			v := int(uint64(rng)>>33) % n
+			return v
+		}
+		s := New[int]()
+		nvars := 2 + next(20)
+		for v := 0; v < nvars; v++ {
+			deps := make([]int, next(4))
+			for i := range deps {
+				deps[i] = next(nvars)
+			}
+			s.Add(v, next(10) == 0, deps...)
+		}
+		a := s.Solve()
+		b := s.SolveFixpoint()
+		if len(a) != len(b) {
+			return false
+		}
+		for k := range a {
+			if !b[k] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWeightedExample5(t *testing.T) {
+	// Fig. 5(b): the weighted dependency graph of qbr(Ann, Mark, 6).
+	s := NewWeighted[string]()
+	s.AddTerm("Ann", "Pat", 2)
+	s.AddTerm("Ann", "Mat", 2)
+	s.AddTerm("Fred", "Emmy", 1)
+	s.AddTerm("Mat", "Fred", 1)
+	s.AddTerm("Jack", "Fred", 3)
+	s.AddTerm("Emmy", "Fred", 3)
+	s.AddTerm("Emmy", "Ross", 1)
+	s.AddConst("Ross", 1) // Ross reaches Mark at distance 1
+	s.AddTerm("Pat", "Jack", 1)
+	if d := s.Solve("Ann"); d != 6 {
+		t.Fatalf("dist(Ann) = %d, want 6 (Ann->Mat->Fred->Emmy->Ross->Mark)", d)
+	}
+	if d := s.Solve("Ross"); d != 1 {
+		t.Fatalf("dist(Ross) = %d, want 1", d)
+	}
+}
+
+func TestWeightedUnreachable(t *testing.T) {
+	s := NewWeighted[int]()
+	s.AddTerm(1, 2, 5)
+	if d := s.Solve(1); d != Inf {
+		t.Fatalf("unreachable var solved to %d", d)
+	}
+	if d := s.Solve(42); d != Inf {
+		t.Fatalf("unknown var solved to %d", d)
+	}
+}
+
+func TestWeightedChoosesMin(t *testing.T) {
+	s := NewWeighted[int]()
+	s.AddTerm(1, 2, 10)
+	s.AddTerm(1, 3, 1)
+	s.AddConst(2, 0)
+	s.AddConst(3, 5)
+	if d := s.Solve(1); d != 6 {
+		t.Fatalf("min path = %d, want 6", d)
+	}
+	// A tighter constant on the same variable wins.
+	s.AddConst(3, 1)
+	if d := s.Solve(1); d != 2 {
+		t.Fatalf("after tightening, min = %d, want 2", d)
+	}
+}
+
+func TestWeightedCycleDoesNotLoop(t *testing.T) {
+	s := NewWeighted[int]()
+	s.AddTerm(1, 2, 1)
+	s.AddTerm(2, 1, 1)
+	s.AddTerm(2, 3, 1)
+	s.AddConst(3, 0)
+	if d := s.Solve(1); d != 2 {
+		t.Fatalf("cycle dist = %d, want 2", d)
+	}
+}
+
+func TestSystemCounters(t *testing.T) {
+	s := New[int]()
+	s.Add(1, false, 2, 3)
+	s.Add(2, true)
+	if s.NumVars() != 3 || s.NumEdges() != 2 {
+		t.Fatalf("|Vd|=%d |Ed|=%d, want 3/2", s.NumVars(), s.NumEdges())
+	}
+	w := NewWeighted[int]()
+	w.AddTerm(1, 2, 1)
+	w.AddConst(2, 0)
+	if w.NumVars() != 2 || w.NumEdges() != 1 {
+		t.Fatalf("weighted counters wrong")
+	}
+}

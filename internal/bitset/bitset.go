@@ -1,0 +1,84 @@
+// Package bitset provides the fixed-size bit sets used to encode partial
+// answers compactly. The paper's traffic accounting assumes each Boolean
+// equation is shipped as |Fi.O| bits (Section 3, "each of |Fi.O| bits
+// indicating the presence or absence of variables in the Boolean formula");
+// bitsets make that encoding literal.
+package bitset
+
+import "math/bits"
+
+// Set is a fixed-capacity bit set. The capacity is fixed at creation; index
+// arguments must be within it.
+type Set []uint64
+
+// New returns a set with capacity for n bits, all clear.
+func New(n int) Set { return make(Set, (n+63)/64) }
+
+// Set sets bit i.
+func (s Set) Set(i int) { s[i>>6] |= 1 << (uint(i) & 63) }
+
+// Clear clears bit i.
+func (s Set) Clear(i int) { s[i>>6] &^= 1 << (uint(i) & 63) }
+
+// Get reports whether bit i is set.
+func (s Set) Get(i int) bool { return s[i>>6]&(1<<(uint(i)&63)) != 0 }
+
+// Or sets s to the union s ∪ t; t must have the same capacity. It reports
+// whether s changed.
+func (s Set) Or(t Set) bool {
+	changed := false
+	for i, w := range t {
+		if nw := s[i] | w; nw != s[i] {
+			s[i] = nw
+			changed = true
+		}
+	}
+	return changed
+}
+
+// Count reports the number of set bits.
+func (s Set) Count() int {
+	n := 0
+	for _, w := range s {
+		n += bits.OnesCount64(w)
+	}
+	return n
+}
+
+// Any reports whether any bit is set.
+func (s Set) Any() bool {
+	for _, w := range s {
+		if w != 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// Clone returns an independent copy of s.
+func (s Set) Clone() Set {
+	t := make(Set, len(s))
+	copy(t, s)
+	return t
+}
+
+// Reset clears all bits.
+func (s Set) Reset() {
+	for i := range s {
+		s[i] = 0
+	}
+}
+
+// ForEach calls fn for every set bit index in ascending order.
+func (s Set) ForEach(fn func(i int)) {
+	for wi, w := range s {
+		for w != 0 {
+			b := bits.TrailingZeros64(w)
+			fn(wi<<6 + b)
+			w &= w - 1
+		}
+	}
+}
+
+// Bytes reports the number of bytes this set occupies on the wire.
+func (s Set) Bytes() int { return 8 * len(s) }

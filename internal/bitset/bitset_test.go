@@ -1,0 +1,98 @@
+package bitset
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestBasics(t *testing.T) {
+	s := New(130)
+	if s.Any() || s.Count() != 0 {
+		t.Fatal("new set not empty")
+	}
+	s.Set(0)
+	s.Set(64)
+	s.Set(129)
+	if !s.Get(0) || !s.Get(64) || !s.Get(129) || s.Get(1) {
+		t.Fatal("get/set wrong across word boundaries")
+	}
+	if s.Count() != 3 {
+		t.Fatalf("count = %d", s.Count())
+	}
+	s.Clear(64)
+	if s.Get(64) || s.Count() != 2 {
+		t.Fatal("clear failed")
+	}
+}
+
+func TestOrReportsChange(t *testing.T) {
+	a := New(100)
+	b := New(100)
+	b.Set(42)
+	if !a.Or(b) {
+		t.Fatal("Or should report change")
+	}
+	if a.Or(b) {
+		t.Fatal("second Or should be a no-op")
+	}
+	if !a.Get(42) {
+		t.Fatal("Or lost bit")
+	}
+}
+
+func TestForEachAscending(t *testing.T) {
+	s := New(200)
+	want := []int{3, 64, 65, 130, 199}
+	for _, i := range want {
+		s.Set(i)
+	}
+	var got []int
+	s.ForEach(func(i int) { got = append(got, i) })
+	if len(got) != len(want) {
+		t.Fatalf("ForEach visited %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("ForEach order: %v", got)
+		}
+	}
+}
+
+func TestCloneAndReset(t *testing.T) {
+	s := New(70)
+	s.Set(69)
+	c := s.Clone()
+	s.Reset()
+	if s.Any() {
+		t.Fatal("reset failed")
+	}
+	if !c.Get(69) {
+		t.Fatal("clone shares storage")
+	}
+}
+
+func TestSetGetProperty(t *testing.T) {
+	check := func(idxs []uint8) bool {
+		s := New(256)
+		ref := map[int]bool{}
+		for _, i := range idxs {
+			s.Set(int(i))
+			ref[int(i)] = true
+		}
+		for i := 0; i < 256; i++ {
+			if s.Get(i) != ref[i] {
+				return false
+			}
+		}
+		return s.Count() == len(ref)
+	}
+	if err := quick.Check(check, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBytes(t *testing.T) {
+	if New(1).Bytes() != 8 || New(64).Bytes() != 8 || New(65).Bytes() != 16 {
+		t.Fatal("wire size accounting wrong")
+	}
+}

@@ -1,0 +1,243 @@
+// Package cluster simulates the distributed substrate the paper deploys on
+// Amazon EC2: one site per fragment plus a coordinator site Sc. Sites are
+// real goroutines, so the "partial evaluation is conducted in parallel at
+// each site" property is exercised with genuine parallelism; message
+// exchange is accounted (bytes, message count, and — crucially for the
+// paper's guarantees — the number of visits to each site) rather than
+// moved over a physical network.
+//
+// A NetModel optionally converts the accounted traffic into modeled network
+// time on the critical path, so that harness results reflect shipping costs
+// that an in-process simulation would otherwise hide. Tests run with the
+// zero NetModel (no modeled latency).
+package cluster
+
+import (
+	"fmt"
+	"sync"
+	"time"
+)
+
+// Coordinator is the pseudo-site index used in traffic accounting for the
+// coordinator Sc.
+const Coordinator = -1
+
+// NetModel describes the simulated interconnect.
+type NetModel struct {
+	// Latency is the fixed per-message one-way delay.
+	Latency time.Duration
+	// BytesPerSecond is the link bandwidth; 0 means infinite.
+	BytesPerSecond float64
+}
+
+// Cost returns the modeled transfer time for one message of the given size.
+func (m NetModel) Cost(bytes int) time.Duration {
+	d := m.Latency
+	if m.BytesPerSecond > 0 {
+		d += time.Duration(float64(bytes) / m.BytesPerSecond * float64(time.Second))
+	}
+	return d
+}
+
+// Cluster is a reusable description of a deployment: the number of sites and
+// the interconnect model. Create one Run per query evaluation.
+type Cluster struct {
+	k   int
+	net NetModel
+}
+
+// New returns a cluster of k sites with the given interconnect model.
+func New(k int, net NetModel) *Cluster {
+	if k <= 0 {
+		panic(fmt.Sprintf("cluster: site count %d must be positive", k))
+	}
+	return &Cluster{k: k, net: net}
+}
+
+// K reports the number of sites.
+func (c *Cluster) K() int { return c.k }
+
+// Net returns the interconnect model.
+func (c *Cluster) Net() NetModel { return c.net }
+
+// Run accumulates the accounting for one distributed query evaluation. All
+// methods are safe for concurrent use by site goroutines.
+type Run struct {
+	c  *Cluster
+	mu sync.Mutex
+
+	visits  []int64 // messages delivered to each site
+	bytes   int64   // total bytes shipped (all directions)
+	toCoord int64   // bytes shipped to the coordinator
+	msgs    int64
+	rounds  int // communication rounds (supersteps for BSP baselines)
+
+	busy time.Duration // measured compute on the critical path
+	net  time.Duration // modeled network time on the critical path
+}
+
+// NewRun returns a fresh accounting context.
+func (c *Cluster) NewRun() *Run {
+	return &Run{c: c, visits: make([]int64, c.k)}
+}
+
+// Post accounts a coordinator-to-site message of the given size: it counts
+// one visit to the site, per the paper's visit metric ("each site is visited
+// only once, when the coordinator site posts the input query").
+func (r *Run) Post(site, bytes int) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.visits[site]++
+	r.bytes += int64(bytes)
+	r.msgs++
+}
+
+// Reply accounts a site-to-coordinator message. Replies do not count as
+// visits to any worker site.
+func (r *Run) Reply(site, bytes int) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.bytes += int64(bytes)
+	r.toCoord += int64(bytes)
+	r.msgs++
+}
+
+// Route accounts a site-to-site message (delivered via the master in the
+// message-passing baselines): one visit to the destination site.
+func (r *Run) Route(from, to, bytes int) {
+	_ = from
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.visits[to]++
+	r.bytes += int64(bytes)
+	r.msgs++
+}
+
+// Parallel runs fn(site) for every site concurrently (one goroutine per
+// site, as one machine per fragment in the paper's deployment), measures the
+// wall time of the slowest site, and adds it to the critical-path compute
+// time. It returns the measured duration.
+func (r *Run) Parallel(fn func(site int)) time.Duration {
+	start := time.Now()
+	var wg sync.WaitGroup
+	wg.Add(r.c.k)
+	for i := 0; i < r.c.k; i++ {
+		go func(site int) {
+			defer wg.Done()
+			fn(site)
+		}(i)
+	}
+	wg.Wait()
+	d := time.Since(start)
+	r.mu.Lock()
+	r.busy += d
+	r.mu.Unlock()
+	return d
+}
+
+// Sequential measures fn (coordinator-side work such as assembling) and adds
+// it to the critical-path compute time.
+func (r *Run) Sequential(fn func()) time.Duration {
+	start := time.Now()
+	fn()
+	d := time.Since(start)
+	r.mu.Lock()
+	r.busy += d
+	r.mu.Unlock()
+	return d
+}
+
+// NetPhase adds the modeled time of one communication phase in which
+// messages travel in parallel; the phase costs as much as its largest
+// message. Use maxBytes = the largest message in the phase.
+func (r *Run) NetPhase(maxBytes int) {
+	d := r.c.net.Cost(maxBytes)
+	r.mu.Lock()
+	r.net += d
+	r.mu.Unlock()
+}
+
+// NetSerial adds the modeled time of msgs messages relayed one after
+// another through a single choke point (the master of the message-passing
+// baselines): every message pays the latency, and the bytes share the
+// link sequentially.
+func (r *Run) NetSerial(totalBytes, msgs int) {
+	d := time.Duration(msgs) * r.c.net.Latency
+	if r.c.net.BytesPerSecond > 0 {
+		d += time.Duration(float64(totalBytes) / r.c.net.BytesPerSecond * float64(time.Second))
+	}
+	r.mu.Lock()
+	r.net += d
+	r.mu.Unlock()
+}
+
+// AddRound records one communication round (superstep).
+func (r *Run) AddRound() {
+	r.mu.Lock()
+	r.rounds++
+	r.mu.Unlock()
+}
+
+// Report is the outcome accounting of one evaluation.
+type Report struct {
+	Visits      []int64       // per-site message deliveries
+	TotalVisits int64         // sum of Visits
+	MaxVisits   int64         // max over sites
+	Bytes       int64         // total network traffic in bytes
+	BytesCoord  int64         // portion shipped to the coordinator
+	Messages    int64         // message count
+	Rounds      int           // communication rounds
+	Compute     time.Duration // measured compute on the critical path
+	NetTime     time.Duration // modeled network time on the critical path
+	Response    time.Duration // Compute + NetTime
+}
+
+// Finish snapshots the accounting into a Report.
+func (r *Run) Finish() Report {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	rep := Report{
+		Visits:     append([]int64(nil), r.visits...),
+		Bytes:      r.bytes,
+		BytesCoord: r.toCoord,
+		Messages:   r.msgs,
+		Rounds:     r.rounds,
+		Compute:    r.busy,
+		NetTime:    r.net,
+	}
+	for _, v := range rep.Visits {
+		rep.TotalVisits += v
+		if v > rep.MaxVisits {
+			rep.MaxVisits = v
+		}
+	}
+	rep.Response = rep.Compute + rep.NetTime
+	return rep
+}
+
+// Merge accumulates o into rep (used to aggregate reports over query sets).
+func (rep *Report) Merge(o Report) {
+	if len(rep.Visits) < len(o.Visits) {
+		rep.Visits = append(rep.Visits, make([]int64, len(o.Visits)-len(rep.Visits))...)
+	}
+	for i, v := range o.Visits {
+		rep.Visits[i] += v
+	}
+	rep.TotalVisits += o.TotalVisits
+	if o.MaxVisits > rep.MaxVisits {
+		rep.MaxVisits = o.MaxVisits
+	}
+	rep.Bytes += o.Bytes
+	rep.BytesCoord += o.BytesCoord
+	rep.Messages += o.Messages
+	rep.Rounds += o.Rounds
+	rep.Compute += o.Compute
+	rep.NetTime += o.NetTime
+	rep.Response += o.Response
+}
+
+// String summarizes the report.
+func (rep Report) String() string {
+	return fmt.Sprintf("report{visits=%d, bytes=%d, msgs=%d, rounds=%d, response=%v}",
+		rep.TotalVisits, rep.Bytes, rep.Messages, rep.Rounds, rep.Response)
+}

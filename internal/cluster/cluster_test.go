@@ -1,0 +1,164 @@
+package cluster
+
+import (
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestNetModelCost(t *testing.T) {
+	free := NetModel{}
+	if free.Cost(1<<20) != 0 {
+		t.Fatal("free network should cost nothing")
+	}
+	m := NetModel{Latency: time.Millisecond, BytesPerSecond: 1e6}
+	// 1 MB over 1 MB/s plus 1 ms latency ≈ 1.001 s.
+	got := m.Cost(1e6)
+	if got < time.Second || got > time.Second+10*time.Millisecond {
+		t.Fatalf("cost = %v", got)
+	}
+}
+
+func TestRunAccounting(t *testing.T) {
+	cl := New(3, NetModel{})
+	run := cl.NewRun()
+	for i := 0; i < 3; i++ {
+		run.Post(i, 10)
+	}
+	run.Reply(1, 100)
+	run.Route(0, 2, 50)
+	rep := run.Finish()
+	if rep.TotalVisits != 4 { // 3 posts + 1 route
+		t.Fatalf("visits = %d", rep.TotalVisits)
+	}
+	if rep.Visits[2] != 2 || rep.Visits[1] != 1 {
+		t.Fatalf("per-site visits = %v", rep.Visits)
+	}
+	if rep.Bytes != 30+100+50 {
+		t.Fatalf("bytes = %d", rep.Bytes)
+	}
+	if rep.BytesCoord != 100 {
+		t.Fatalf("coordinator bytes = %d", rep.BytesCoord)
+	}
+	if rep.Messages != 5 {
+		t.Fatalf("messages = %d", rep.Messages)
+	}
+	if rep.MaxVisits != 2 {
+		t.Fatalf("max visits = %d", rep.MaxVisits)
+	}
+}
+
+func TestParallelRunsEverySiteConcurrently(t *testing.T) {
+	cl := New(8, NetModel{})
+	run := cl.NewRun()
+	var count atomic.Int32
+	d := run.Parallel(func(site int) {
+		count.Add(1)
+	})
+	if count.Load() != 8 {
+		t.Fatalf("ran %d sites", count.Load())
+	}
+	rep := run.Finish()
+	if rep.Compute < d {
+		t.Fatal("parallel time not accumulated")
+	}
+}
+
+func TestNetPhaseAccumulates(t *testing.T) {
+	cl := New(1, NetModel{Latency: time.Millisecond})
+	run := cl.NewRun()
+	run.NetPhase(0)
+	run.NetPhase(0)
+	rep := run.Finish()
+	if rep.NetTime != 2*time.Millisecond {
+		t.Fatalf("net time = %v", rep.NetTime)
+	}
+	if rep.Response != rep.Compute+rep.NetTime {
+		t.Fatal("response must be compute + net")
+	}
+}
+
+func TestMerge(t *testing.T) {
+	cl := New(2, NetModel{})
+	r1 := cl.NewRun()
+	r1.Post(0, 5)
+	a := r1.Finish()
+	r2 := cl.NewRun()
+	r2.Post(1, 7)
+	r2.Post(1, 7)
+	b := r2.Finish()
+	a.Merge(b)
+	if a.TotalVisits != 3 || a.Bytes != 19 || a.Visits[1] != 2 {
+		t.Fatalf("merge wrong: %+v", a)
+	}
+	if a.MaxVisits != 2 {
+		t.Fatalf("merge max visits: %d", a.MaxVisits)
+	}
+}
+
+func TestNewPanicsOnBadK(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("New(0) should panic")
+		}
+	}()
+	New(0, NetModel{})
+}
+
+func TestRounds(t *testing.T) {
+	cl := New(1, NetModel{})
+	run := cl.NewRun()
+	run.AddRound()
+	run.AddRound()
+	if rep := run.Finish(); rep.Rounds != 2 {
+		t.Fatalf("rounds = %d", rep.Rounds)
+	}
+}
+
+func TestNetSerial(t *testing.T) {
+	cl := New(2, NetModel{Latency: time.Millisecond, BytesPerSecond: 1e6})
+	run := cl.NewRun()
+	// 5 messages totalling 1 MB: 5 ms latency + 1 s transfer.
+	run.NetSerial(1e6, 5)
+	rep := run.Finish()
+	want := 5*time.Millisecond + time.Second
+	if rep.NetTime < want-10*time.Millisecond || rep.NetTime > want+10*time.Millisecond {
+		t.Fatalf("serial net time = %v, want ≈%v", rep.NetTime, want)
+	}
+	// Infinite bandwidth: only latency counts.
+	cl2 := New(1, NetModel{Latency: time.Millisecond})
+	run2 := cl2.NewRun()
+	run2.NetSerial(1e9, 3)
+	if rep := run2.Finish(); rep.NetTime != 3*time.Millisecond {
+		t.Fatalf("latency-only serial time = %v", rep.NetTime)
+	}
+}
+
+func TestSequentialAccumulates(t *testing.T) {
+	cl := New(1, NetModel{})
+	run := cl.NewRun()
+	ran := false
+	run.Sequential(func() { ran = true })
+	if !ran {
+		t.Fatal("sequential body not executed")
+	}
+	if rep := run.Finish(); rep.Compute < 0 {
+		t.Fatal("compute time negative")
+	}
+}
+
+func TestReportString(t *testing.T) {
+	cl := New(1, NetModel{})
+	run := cl.NewRun()
+	run.Post(0, 10)
+	rep := run.Finish()
+	if s := rep.String(); s == "" {
+		t.Fatal("empty report string")
+	}
+	if cl.Net() != (NetModel{}) {
+		t.Fatal("net model accessor wrong")
+	}
+	if cl.K() != 1 {
+		t.Fatal("site count accessor wrong")
+	}
+}

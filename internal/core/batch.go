@@ -1,0 +1,126 @@
+package core
+
+import (
+	"distreach/internal/bes"
+	"distreach/internal/cluster"
+	"distreach/internal/fragment"
+	"distreach/internal/graph"
+)
+
+// Query is one reachability query endpoint pair for batch evaluation.
+type Query struct {
+	S, T graph.NodeID
+}
+
+// BatchResult is the outcome of a batched evaluation.
+type BatchResult struct {
+	Answers []bool
+	Report  cluster.Report
+}
+
+// DisReachBatch evaluates a batch of reachability queries in a single
+// round: the coordinator posts the whole batch at once, each site runs
+// local evaluation for every query in parallel, and one reply per site
+// carries all partial answers. The visit guarantee strengthens to one
+// visit per site *per batch*: m queries cost the same number of site
+// visits as one.
+//
+// Queries sharing a target t additionally share their in-node equations
+// (they are independent of the source), so the per-site work for a batch
+// of m queries against d distinct targets is the work of d single queries
+// plus m source equations.
+func DisReachBatch(cl *cluster.Cluster, fr *fragment.Fragmentation, qs []Query) BatchResult {
+	run := cl.NewRun()
+	res := BatchResult{Answers: make([]bool, len(qs))}
+	if len(qs) == 0 {
+		res.Report = run.Finish()
+		return res
+	}
+	frags := fr.Fragments()
+
+	// Group queries by target; equal (s,t) pairs still solve individually
+	// (cheap), but local evaluation runs once per (fragment, target).
+	type group struct {
+		t       graph.NodeID
+		sources []graph.NodeID
+		indexes []int
+	}
+	groups := map[graph.NodeID]*group{}
+	var order []*group
+	for i, q := range qs {
+		gr, ok := groups[q.T]
+		if !ok {
+			gr = &group{t: q.T}
+			groups[q.T] = gr
+			order = append(order, gr)
+		}
+		gr.sources = append(gr.sources, q.S)
+		gr.indexes = append(gr.indexes, i)
+	}
+
+	// Phase 1: post the whole batch to every site.
+	batchBytes := querySize * len(qs)
+	for i := range frags {
+		run.Post(i, batchBytes)
+	}
+	run.NetPhase(batchBytes)
+
+	// Phase 2: per site, one rvset per target group plus the source
+	// equations of every query whose source lives there.
+	type sitePartial struct {
+		byTarget map[graph.NodeID]*ReachPartial
+	}
+	partials := make([]sitePartial, len(frags))
+	run.Parallel(func(site int) {
+		f := frags[site]
+		sp := sitePartial{byTarget: make(map[graph.NodeID]*ReachPartial, len(order))}
+		for _, gr := range order {
+			// Include every source stored at this site in the iset by
+			// evaluating per source set: LocalEvalReach already handles
+			// one extra source; for several, run the in-node pass once
+			// (s = None) and add per-source equations.
+			rv := LocalEvalReach(f, graph.None, gr.t)
+			for _, s := range gr.sources {
+				if ls, ok := f.Local(s); ok && !f.IsVirtual(ls) && !f.IsInNode(ls) {
+					src := LocalEvalReach(f, s, gr.t)
+					// The source equation is the last one (isetOf appends
+					// the non-in-node source at the end).
+					rv.eqs = append(rv.eqs, src.eqs[len(src.eqs)-1])
+				}
+			}
+			sp.byTarget[gr.t] = rv
+		}
+		partials[site] = sp
+	})
+	maxReply := 0
+	for i := range frags {
+		b := 0
+		for _, rv := range partials[i].byTarget {
+			b += rv.wireSize(frags[i].NumVirtual() + len(frags[i].InNodes()))
+		}
+		run.Reply(i, b)
+		if b > maxReply {
+			maxReply = b
+		}
+	}
+	run.NetPhase(maxReply)
+
+	// Phase 3: one equation system per target group.
+	run.Sequential(func() {
+		for _, gr := range order {
+			sys := bes.New[graph.NodeID]()
+			for site := range frags {
+				rv := partials[site].byTarget[gr.t]
+				for _, eq := range rv.eqs {
+					sys.Add(eq.node, eq.constTrue, eq.vars...)
+				}
+			}
+			sol := sys.Solve()
+			for j, s := range gr.sources {
+				res.Answers[gr.indexes[j]] = s == gr.t || sol[s]
+			}
+		}
+	})
+	res.Report = run.Finish()
+	return res
+}

@@ -1,0 +1,83 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+
+	"distreach/internal/cluster"
+	"distreach/internal/fragment"
+	"distreach/internal/gen"
+	"distreach/internal/graph"
+)
+
+func TestBatchMatchesSingleQueries(t *testing.T) {
+	rng := gen.NewRNG(61)
+	for trial := 0; trial < 80; trial++ {
+		g, fr, _, _ := randomCase(rng, nil)
+		cl := cluster.New(fr.Card(), cluster.NetModel{})
+		m := 1 + rng.Intn(12)
+		qs := make([]Query, m)
+		for i := range qs {
+			qs[i] = Query{
+				S: graph.NodeID(rng.Intn(g.NumNodes())),
+				// Few distinct targets so grouping is exercised.
+				T: graph.NodeID(rng.Intn(min(3, g.NumNodes()))),
+			}
+		}
+		res := DisReachBatch(cl, fr, qs)
+		for i, q := range qs {
+			if want := g.Reachable(q.S, q.T); res.Answers[i] != want {
+				t.Fatalf("trial %d query %d (%d->%d): batch=%v oracle=%v",
+					trial, i, q.S, q.T, res.Answers[i], want)
+			}
+		}
+		// One visit per site for the whole batch.
+		for site, v := range res.Report.Visits {
+			if v != 1 {
+				t.Fatalf("trial %d: site %d visited %d times for the batch", trial, site, v)
+			}
+		}
+	}
+}
+
+func TestBatchEmpty(t *testing.T) {
+	g := gen.Uniform(gen.Config{Nodes: 5, Edges: 10, Seed: 62})
+	fr, err := fragment.Random(g, 2, 62)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl := cluster.New(2, cluster.NetModel{})
+	res := DisReachBatch(cl, fr, nil)
+	if len(res.Answers) != 0 || res.Report.TotalVisits != 0 {
+		t.Fatalf("empty batch did work: %+v", res.Report)
+	}
+}
+
+// TestQuickDisReach drives disReach with testing/quick: arbitrary seeds
+// define the instance, and the distributed answer must equal centralized
+// BFS for every endpoint pair probed.
+func TestQuickDisReach(t *testing.T) {
+	check := func(seed uint64, sRaw, tRaw uint8, k uint8) bool {
+		rng := gen.NewRNG(seed)
+		n := 2 + rng.Intn(30)
+		g := gen.Uniform(gen.Config{Nodes: n, Edges: rng.Intn(3 * n), Seed: seed})
+		fr, err := fragment.Random(g, 1+int(k%6), seed)
+		if err != nil {
+			return false
+		}
+		s := graph.NodeID(int(sRaw) % n)
+		tt := graph.NodeID(int(tRaw) % n)
+		cl := cluster.New(fr.Card(), cluster.NetModel{})
+		return DisReach(cl, fr, s, tt, nil).Answer == g.Reachable(s, tt)
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

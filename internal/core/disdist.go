@@ -1,0 +1,214 @@
+package core
+
+import (
+	"distreach/internal/bes"
+	"distreach/internal/cluster"
+	"distreach/internal/fragment"
+	"distreach/internal/graph"
+)
+
+// DistResult is the outcome of a bounded reachability evaluation. Distance
+// is the exact dist(s, t) whenever it is at most the bound l (the partial
+// answers are pruned beyond l, so larger distances are reported as
+// bes.Inf / unreachable-within-bound).
+type DistResult struct {
+	Answer   bool
+	Distance int64 // exact if <= l; bes.Inf if no path within the bound
+	Report   cluster.Report
+}
+
+// distTerm is one candidate term of a min-equation: Xv <= Xvar + W, or
+// Xv <= Const when the target was reached locally.
+type distTerm struct {
+	varNode graph.NodeID
+	w       int64
+	isConst bool
+}
+
+type distEq struct {
+	node  graph.NodeID
+	terms []distTerm
+}
+
+// DistPartial is Fi.rvset for a bounded reachability query: one
+// min-equation per in-node (plus s when local). It is produced by
+// LocalEvalDist and consumed by SolveDist.
+type DistPartial struct {
+	eqs []distEq
+}
+
+// LocalEvalDist is the exported form of procedure localEvald, used by the
+// MapReduce adaptation. Pass s = graph.None to compute the in-node
+// equations only.
+func LocalEvalDist(f *fragment.Fragment, s, t graph.NodeID, l int) *DistPartial {
+	return localEvalDist(f, s, t, l)
+}
+
+// SolveDist is procedure evalDGd: it assembles partial answers and returns
+// the exact dist(s, t) when it is within the bound used during local
+// evaluation, or bes.Inf.
+func SolveDist(partials []*DistPartial, s graph.NodeID) int64 {
+	sys := bes.NewWeighted[graph.NodeID]()
+	for _, rv := range partials {
+		if rv == nil {
+			continue
+		}
+		for _, eq := range rv.eqs {
+			for _, term := range eq.terms {
+				if term.isConst {
+					sys.AddConst(eq.node, term.w)
+				} else {
+					sys.AddTerm(eq.node, term.varNode, term.w)
+				}
+			}
+		}
+	}
+	return sys.Solve(s)
+}
+
+// wireSize: each equation carries the in-node ID plus (variable ID,
+// distance) pairs — the numeric analogue of the Boolean accounting, still
+// bounded by O(|Fi.I|·|Fi.O|) words.
+func (rv *DistPartial) wireSize() int {
+	n := 0
+	for _, eq := range rv.eqs {
+		n += 4 + 8*len(eq.terms)
+	}
+	return n
+}
+
+// DisDist evaluates the bounded reachability query qbr(s, t, l): is
+// dist(s, t) <= l? (algorithm disDist, Section 4). It has the same
+// guarantees as DisReach: one visit per site, traffic in O(|Vf|²),
+// and parallel local evaluation bounded by the largest fragment.
+func DisDist(cl *cluster.Cluster, fr *fragment.Fragmentation, s, t graph.NodeID, l int, opt *Options) DistResult {
+	if opt == nil {
+		opt = &Options{}
+	}
+	run := cl.NewRun()
+	if s == t {
+		return DistResult{Answer: l >= 0, Distance: 0, Report: run.Finish()}
+	}
+	if l <= 0 {
+		// No path of positive length fits a non-positive bound.
+		return DistResult{Answer: false, Distance: bes.Inf, Report: run.Finish()}
+	}
+	frags := fr.Fragments()
+
+	// Phase 1: post qbr(s, t, l) to every site.
+	for i := range frags {
+		run.Post(i, querySize)
+	}
+	run.NetPhase(querySize)
+
+	// Phase 2: local evaluation (procedure localEvald), in parallel.
+	partial := make([]*DistPartial, len(frags))
+	run.Parallel(func(site int) {
+		partial[site] = localEvalDist(frags[site], s, t, l)
+	})
+	maxReply := 0
+	for i, rv := range partial {
+		b := rv.wireSize()
+		run.Reply(i, b)
+		if b > maxReply {
+			maxReply = b
+		}
+	}
+	run.NetPhase(maxReply)
+
+	// Phase 3: assemble (procedure evalDGd) — build the weighted dependency
+	// graph and run Dijkstra from Xs.
+	var d int64
+	run.Sequential(func() {
+		sys := bes.NewWeighted[graph.NodeID]()
+		for _, rv := range partial {
+			for _, eq := range rv.eqs {
+				for _, term := range eq.terms {
+					if term.isConst {
+						sys.AddConst(eq.node, term.w)
+					} else {
+						sys.AddTerm(eq.node, term.varNode, term.w)
+					}
+				}
+			}
+		}
+		d = sys.Solve(s)
+	})
+	return DistResult{Answer: d <= int64(l), Distance: d, Report: run.Finish()}
+}
+
+// localEvalDist runs procedure localEvald on one fragment: for every
+// in-node v (plus s if local) it computes the local BFS distances to the
+// virtual nodes (and to t when t is stored here), keeping
+//
+//	Xv <= Xv' + dist(v, v')   for virtual v' with dist(v, v') < l,
+//	Xv <= dist(v, t)          when t is reached locally within l.
+//
+// Terms at distance >= l cannot start a path of total length <= l unless
+// they already end at t, matching the pruning in the paper.
+func localEvalDist(f *fragment.Fragment, s, t graph.NodeID, l int) *DistPartial {
+	iset := isetOf(f, s)
+	rv := &DistPartial{eqs: make([]distEq, 0, len(iset))}
+	if len(iset) == 0 {
+		return rv
+	}
+	dist := make([]int32, f.NumTotal())
+	queue := make([]int32, 0, f.NumTotal())
+	for i := range dist {
+		dist[i] = -1
+	}
+	touched := make([]int32, 0, f.NumTotal())
+	for _, v := range iset {
+		if f.Global(v) == t {
+			// Xt is trivially 0 (dist(t, t) = 0); other equations may
+			// reference it as a variable.
+			rv.eqs = append(rv.eqs, distEq{node: t, terms: []distTerm{{isConst: true}}})
+			continue
+		}
+		eq := distEq{node: f.Global(v)}
+		// Bounded BFS from v, pruned at depth l.
+		dist[v] = 0
+		queue = append(queue[:0], v)
+		touched = append(touched[:0], v)
+		for len(queue) > 0 {
+			x := queue[0]
+			queue = queue[1:]
+			d := dist[x]
+			if x != v {
+				g := f.Global(x)
+				switch {
+				case g == t:
+					// Local or virtual occurrence of the target; BFS finds
+					// the local minimum distance first, so stop this branch.
+					if int(d) <= l {
+						eq.terms = append(eq.terms, distTerm{w: int64(d), isConst: true})
+					}
+					continue
+				case f.IsBoundary(x):
+					// Frontier cut (see localEval): the boundary node's own
+					// min-equation continues the path, so emit Xg + d and
+					// stop expanding here.
+					if int(d) < l {
+						eq.terms = append(eq.terms, distTerm{varNode: g, w: int64(d)})
+					}
+					continue
+				}
+			}
+			if int(d) >= l {
+				continue
+			}
+			for _, w := range f.Out(x) {
+				if dist[w] < 0 {
+					dist[w] = d + 1
+					queue = append(queue, w)
+					touched = append(touched, w)
+				}
+			}
+		}
+		for _, x := range touched {
+			dist[x] = -1
+		}
+		rv.eqs = append(rv.eqs, eq)
+	}
+	return rv
+}

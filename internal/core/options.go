@@ -1,0 +1,57 @@
+// Package core implements the paper's partial-evaluation algorithms:
+// disReach for reachability queries (Section 3), disDist for bounded
+// reachability queries (Section 4), and disRPQ for regular reachability
+// queries (Section 5). Each runs in the three-phase scheme of Section 2.2:
+//
+//  1. the coordinator posts the query, as is, to every site;
+//  2. every site partially evaluates the query on its fragment in parallel,
+//     producing Boolean (or arithmetic, or vector) equations over variables
+//     that stand for the unknown answers at virtual nodes;
+//  3. the coordinator assembles the equations into a dependency graph and
+//     solves the resulting — possibly recursive — equation system.
+//
+// The performance guarantees are enforced structurally: sites receive
+// exactly one message each (the posted query), all further communication is
+// replies to the coordinator, and the reply sizes depend only on the
+// fragmentation (|Vf|) and the query, never on |G|.
+package core
+
+import (
+	"sync"
+
+	"distreach/internal/fragment"
+	"distreach/internal/reach"
+)
+
+// Options tunes the evaluation algorithms. The zero value is ready to use.
+type Options struct {
+	// LocalIndex, if non-nil, supplies a reachability index for a fragment's
+	// local graph; disReach then answers "v' ∈ des(v, Fi)" through the index
+	// instead of running a fresh BFS per in-node. The paper notes any
+	// centralized index (reachability matrix, 2-hop, ...) can slot in here.
+	// Use IndexCache to memoize construction across queries.
+	LocalIndex func(f *fragment.Fragment) reach.Index
+}
+
+// IndexCache returns a LocalIndex function that builds one index of the
+// given kind per fragment on first use and reuses it afterwards. It is safe
+// for concurrent use.
+func IndexCache(kind reach.Kind) func(f *fragment.Fragment) reach.Index {
+	type entry struct {
+		once sync.Once
+		idx  reach.Index
+	}
+	var mu sync.Mutex
+	cache := map[*fragment.Fragment]*entry{}
+	return func(f *fragment.Fragment) reach.Index {
+		mu.Lock()
+		e, ok := cache[f]
+		if !ok {
+			e = &entry{}
+			cache[f] = e
+		}
+		mu.Unlock()
+		e.once.Do(func() { e.idx = reach.Build(kind, f.AsGraph()) })
+		return e.idx
+	}
+}

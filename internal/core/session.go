@@ -1,0 +1,152 @@
+package core
+
+import (
+	"sync"
+
+	"distreach/internal/bes"
+	"distreach/internal/cluster"
+	"distreach/internal/fragment"
+	"distreach/internal/graph"
+)
+
+// Session amortizes partial evaluation across queries, the direction the
+// paper's conclusion sketches ("combine partial evaluation and incremental
+// computation"). The key observation: for a fixed target t, the in-node
+// equations Fi.rvset of every fragment are independent of the source s —
+// only s's own equation differs between queries. A Session therefore
+//
+//   - caches, per target t, the rvsets of all fragments (computed once
+//     with the usual one-visit-per-site round), and
+//   - answers subsequent qr(s, t) queries for any s by visiting only the
+//     site that stores s, shipping one equation.
+//
+// Invalidate drops cached state when fragments change; a subsequent query
+// recomputes only the invalidated fragments.
+type Session struct {
+	cl *cluster.Cluster
+	fr *fragment.Fragmentation
+
+	mu    sync.Mutex
+	cache map[graph.NodeID]*targetCache // target -> per-fragment rvsets
+}
+
+type targetCache struct {
+	partial []*ReachPartial
+}
+
+// NewSession creates a session over a fixed deployment.
+func NewSession(cl *cluster.Cluster, fr *fragment.Fragmentation) *Session {
+	return &Session{cl: cl, fr: fr, cache: make(map[graph.NodeID]*targetCache)}
+}
+
+// Reach answers qr(s, t). The first query for a target t costs one visit
+// to every site; later queries for the same t cost one visit to s's site
+// only (zero when s's equation is already in the cached rvset, i.e. when s
+// is an in-node).
+func (se *Session) Reach(s, t graph.NodeID) Result {
+	run := se.cl.NewRun()
+	if s == t {
+		return Result{Answer: true, Report: run.Finish()}
+	}
+	frags := se.fr.Fragments()
+
+	se.mu.Lock()
+	tc := se.cache[t]
+	se.mu.Unlock()
+
+	if tc == nil {
+		// Cold start: the usual three-phase round, but with the in-node
+		// equations kept for reuse (they do not mention s).
+		for i := range frags {
+			run.Post(i, querySize)
+		}
+		run.NetPhase(querySize)
+		partial := make([]*ReachPartial, len(frags))
+		run.Parallel(func(site int) {
+			partial[site] = LocalEvalReach(frags[site], graph.None, t)
+		})
+		maxReply := 0
+		for i, rv := range partial {
+			b := rv.wireSize(frags[i].NumVirtual() + len(frags[i].InNodes()))
+			run.Reply(i, b)
+			if b > maxReply {
+				maxReply = b
+			}
+		}
+		run.NetPhase(maxReply)
+		tc = &targetCache{partial: partial}
+		se.mu.Lock()
+		se.cache[t] = tc
+		se.mu.Unlock()
+	}
+
+	// Refresh any fragments dropped by Invalidate.
+	for i, rv := range tc.partial {
+		if rv != nil {
+			continue
+		}
+		run.Post(i, querySize)
+		run.NetPhase(querySize)
+		tc.partial[i] = LocalEvalReach(frags[i], graph.None, t)
+		b := tc.partial[i].wireSize(frags[i].NumVirtual() + len(frags[i].InNodes()))
+		run.Reply(i, b)
+		run.NetPhase(b)
+	}
+
+	// Source equation: only s's site works, and only when s is not already
+	// an in-node (in-node equations are in the cached rvset).
+	owner := se.fr.Owner(s)
+	f := frags[owner]
+	var srcEq *ReachPartial
+	ls, _ := f.Local(s)
+	if !f.IsInNode(ls) {
+		run.Post(owner, querySize)
+		run.NetPhase(querySize)
+		run.Sequential(func() {
+			srcEq = LocalEvalReach(f, s, t) // computes in-nodes too; ships only s's equation
+		})
+		b := 5 + 4*len(srcEq.eqs[len(srcEq.eqs)-1].vars)
+		run.Reply(owner, b)
+		run.NetPhase(b)
+	}
+
+	var ans bool
+	run.Sequential(func() {
+		sys := bes.New[graph.NodeID]()
+		add := func(rv *ReachPartial) {
+			for _, eq := range rv.eqs {
+				sys.Add(eq.node, eq.constTrue, eq.vars...)
+			}
+		}
+		for _, rv := range tc.partial {
+			add(rv)
+		}
+		if srcEq != nil {
+			eq := srcEq.eqs[len(srcEq.eqs)-1]
+			sys.Add(eq.node, eq.constTrue, eq.vars...)
+		}
+		sol := sys.Solve()
+		ans = sol[s]
+	})
+	return Result{Answer: ans, Report: run.Finish()}
+}
+
+// Invalidate drops the cached partial answers of one fragment (e.g. after
+// its edges changed); every cached target refreshes just that fragment on
+// its next query.
+func (se *Session) Invalidate(fragmentID int) {
+	se.mu.Lock()
+	defer se.mu.Unlock()
+	for _, tc := range se.cache {
+		if fragmentID >= 0 && fragmentID < len(tc.partial) {
+			tc.partial[fragmentID] = nil
+		}
+	}
+}
+
+// CachedTargets reports how many targets currently have cached rvsets.
+func (se *Session) CachedTargets() int {
+	se.mu.Lock()
+	defer se.mu.Unlock()
+	return len(se.cache)
+}

@@ -1,0 +1,81 @@
+package core
+
+import (
+	"testing"
+
+	"distreach/internal/cluster"
+	"distreach/internal/fragment"
+	"distreach/internal/gen"
+	"distreach/internal/graph"
+)
+
+func TestSessionMatchesDisReach(t *testing.T) {
+	rng := gen.NewRNG(31)
+	for trial := 0; trial < 60; trial++ {
+		g, fr, _, _ := randomCase(rng, nil)
+		cl := cluster.New(fr.Card(), cluster.NetModel{})
+		se := NewSession(cl, fr)
+		// Many sources against a few targets exercises both the cold and
+		// warm paths.
+		for q := 0; q < 12; q++ {
+			s := graph.NodeID(rng.Intn(g.NumNodes()))
+			tt := graph.NodeID(rng.Intn(2)) // few targets -> cache hits
+			got := se.Reach(s, tt).Answer
+			if want := g.Reachable(s, tt); got != want {
+				t.Fatalf("trial %d query %d: session=%v oracle=%v (s=%d t=%d %v %v)",
+					trial, q, got, want, s, tt, g, fr)
+			}
+		}
+	}
+}
+
+func TestSessionWarmQueriesVisitOneSite(t *testing.T) {
+	g := gen.Uniform(gen.Config{Nodes: 200, Edges: 800, Seed: 8})
+	fr, err := fragment.Random(g, 4, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl := cluster.New(4, cluster.NetModel{})
+	se := NewSession(cl, fr)
+	const target = graph.NodeID(7)
+	cold := se.Reach(0, target)
+	if cold.Report.TotalVisits != 4 && cold.Report.TotalVisits != 5 {
+		t.Fatalf("cold query visits = %d, want 4 (+1 if source not an in-node)", cold.Report.TotalVisits)
+	}
+	for s := graph.NodeID(1); s < 40; s++ {
+		rep := se.Reach(s, target).Report
+		if rep.TotalVisits > 1 {
+			t.Fatalf("warm query for s=%d visited %d sites, want <= 1", s, rep.TotalVisits)
+		}
+	}
+	if se.CachedTargets() != 1 {
+		t.Fatalf("cached targets = %d", se.CachedTargets())
+	}
+}
+
+func TestSessionInvalidateRefreshesFragment(t *testing.T) {
+	g := gen.Uniform(gen.Config{Nodes: 100, Edges: 400, Seed: 9})
+	fr, err := fragment.Random(g, 3, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl := cluster.New(3, cluster.NetModel{})
+	se := NewSession(cl, fr)
+	const target = graph.NodeID(42)
+	se.Reach(0, target)
+	se.Invalidate(1)
+	// The next query must revisit fragment 1 (and possibly the source
+	// site) and still be correct for every source.
+	rep := se.Reach(5, target)
+	if want := g.Reachable(5, target); rep.Answer != want {
+		t.Fatalf("after invalidate: %v, want %v", rep.Answer, want)
+	}
+	if rep.Report.Visits[1] != 1 {
+		t.Fatalf("invalidated fragment not revisited: %v", rep.Report.Visits)
+	}
+	for s := graph.NodeID(0); s < 30; s++ {
+		if got, want := se.Reach(s, target).Answer, g.Reachable(s, target); got != want {
+			t.Fatalf("s=%d: %v want %v", s, got, want)
+		}
+	}
+}

@@ -1,0 +1,102 @@
+package exp
+
+import (
+	"fmt"
+	"time"
+
+	"distreach/internal/graph"
+	"distreach/internal/mapreduce"
+	"distreach/internal/workload"
+)
+
+func init() {
+	register("F11k", fig11k)
+	register("F11l", fig11l)
+}
+
+// q1to4 are the four query complexities of Exp-4:
+// (4,6,8), (6,8,8), (10,12,8), (12,14,8).
+var q1to4 = []workload.Complexity{
+	{States: 4, Transitions: 6, Labels: 8},
+	{States: 6, Transitions: 8, Labels: 8},
+	{States: 10, Transitions: 12, Labels: 8},
+	{States: 12, Transitions: 14, Labels: 8},
+}
+
+// fig11k regenerates Fig. 11(k): MRdRPQ response time vs graph size with 10
+// mappers, for query sets Q1..Q4.
+func fig11k(cfg Config) (Table, error) {
+	t := Table{
+		ID:     "F11k",
+		Title:  "Fig 11(k): MRdRPQ varying graph size (10 mappers)",
+		Header: []string{"size(F)", "Q1 ms", "Q2 ms", "Q3 ms", "Q4 ms"},
+		Notes:  "Paper shape: time grows with size(F) and with query complexity.",
+	}
+	const mappers = 10
+	nq := cfg.queries(5)
+	for _, sizeF := range []int{3500, 7500, 11500, 15500, 19500, 23500, 27500, 31500} {
+		total := cfg.scale(sizeF * mappers)
+		v := total / 4
+		e := total - v
+		g := workload.Synthetic(v, e, 12, uint64(sizeF)+200)
+		row := []string{fmt.Sprint(sizeF)}
+		for qi, c := range q1to4 {
+			qs := workload.RPQQueries(g, nq, c, uint64(sizeF+qi)*17)
+			d, err := runMR(cfg, g, qs, mappers)
+			if err != nil {
+				return t, err
+			}
+			row = append(row, fmtMS(d))
+		}
+		cfg.logf("F11k size(F)=%d done", sizeF)
+		t.Rows = append(t.Rows, row)
+	}
+	return t, nil
+}
+
+// runMR evaluates a query set with MRdRPQ and returns the mean response
+// time per query: measured map+reduce wall time plus the modeled shipping
+// time of the elapsed communication cost (the paper's ECC measure [1])
+// over the configured link.
+func runMR(cfg Config, g *graph.Graph, qs []workload.RPQQuery, mappers int) (time.Duration, error) {
+	net := cfg.net()
+	var sum time.Duration
+	for _, q := range qs {
+		res, err := mapreduce.MRdRPQ(g, q.S, q.T, q.A, mappers)
+		if err != nil {
+			return 0, err
+		}
+		sum += res.Stats.MapWall + res.Stats.ReduceWall + res.PreWall
+		sum += net.Cost(int(res.Stats.ECC))
+	}
+	return sum / time.Duration(len(qs)), nil
+}
+
+// fig11l regenerates Fig. 11(l): MRdRPQ response time vs mapper count
+// 5..30, Youtube-analogue graph, query sets Q1..Q4.
+func fig11l(cfg Config) (Table, error) {
+	t := Table{
+		ID:     "F11l",
+		Title:  "Fig 11(l): MRdRPQ varying mapper number",
+		Header: []string{"mappers", "Q1 ms", "Q2 ms", "Q3 ms", "Q4 ms"},
+		Notes:  "Paper shape: more mappers, less time (Q1 halves from 5 to 30 mappers).",
+	}
+	v := cfg.scale(40000)
+	e := cfg.scale(120000)
+	g := workload.Synthetic(v, e, 12, 61)
+	nq := cfg.queries(5)
+	for _, mappers := range []int{5, 10, 15, 20, 25, 30} {
+		row := []string{fmt.Sprint(mappers)}
+		for qi, c := range q1to4 {
+			qs := workload.RPQQueries(g, nq, c, uint64(qi)*19+100)
+			d, err := runMR(cfg, g, qs, mappers)
+			if err != nil {
+				return t, err
+			}
+			row = append(row, fmtMS(d))
+		}
+		cfg.logf("F11l mappers=%d done", mappers)
+		t.Rows = append(t.Rows, row)
+	}
+	return t, nil
+}

@@ -1,0 +1,86 @@
+package exp
+
+import (
+	"fmt"
+	"time"
+
+	"distreach/internal/cluster"
+	"distreach/internal/core"
+	"distreach/internal/fragment"
+	"distreach/internal/netsite"
+	"distreach/internal/workload"
+)
+
+func init() {
+	register("N1", tcpCrossCheck)
+}
+
+// tcpCrossCheck validates the in-process simulation against the real TCP
+// runtime: the same fragmentation is served by actual socket servers, the
+// same queries are evaluated both ways, answers must agree on every query,
+// and the measured on-the-wire reply bytes are compared with the
+// simulation's accounted reply bytes.
+func tcpCrossCheck(cfg Config) (Table, error) {
+	t := Table{
+		ID:     "N1",
+		Title:  "Validation N1: in-process simulation vs real TCP runtime",
+		Header: []string{"dataset", "queries", "agreements", "sim reply B/query", "wire recv B/query", "tcp round trip"},
+		Notes:  "Answers must agree on every query; wire bytes track the simulation's accounting (framing and equation headers add a small constant factor).",
+	}
+	for _, d := range []workload.Dataset{workload.ReachDatasets[4], workload.ReachDatasets[3]} {
+		d.V = cfg.scale(d.V)
+		d.E = cfg.scale(d.E)
+		g := d.Generate()
+		fr, err := fragment.Random(g, d.CardF, d.Seed)
+		if err != nil {
+			return t, err
+		}
+		sites, addrs, err := netsite.ServeFragmentation(fr)
+		if err != nil {
+			return t, err
+		}
+		co, err := netsite.Dial(addrs, 3*time.Second)
+		if err != nil {
+			for _, s := range sites {
+				s.Close()
+			}
+			return t, err
+		}
+		qs := workload.ReachQueries(g, cfg.queries(10), 0.3, d.Seed+31)
+		cl := cluster.New(fr.Card(), cluster.NetModel{})
+		agree := 0
+		var simBytes, wireBytes int64
+		var rt time.Duration
+		for _, q := range qs {
+			sim := core.DisReach(cl, fr, q.S, q.T, nil)
+			got, st, err := co.Reach(q.S, q.T)
+			if err != nil {
+				co.Close()
+				for _, s := range sites {
+					s.Close()
+				}
+				return t, err
+			}
+			if got == sim.Answer {
+				agree++
+			}
+			simBytes += sim.Report.BytesCoord
+			wireBytes += st.BytesReceived
+			rt += st.RoundTrip
+		}
+		co.Close()
+		for _, s := range sites {
+			s.Close()
+		}
+		if agree != len(qs) {
+			return t, fmt.Errorf("exp: TCP and simulation disagree on %s (%d/%d)", d.Name, agree, len(qs))
+		}
+		n := int64(len(qs))
+		t.Rows = append(t.Rows, []string{
+			d.Name, fmt.Sprint(len(qs)), fmt.Sprint(agree),
+			fmt.Sprint(simBytes / n), fmt.Sprint(wireBytes / n),
+			fmt.Sprint(rt / time.Duration(n)),
+		})
+	}
+	return t, nil
+}

@@ -1,0 +1,120 @@
+package exp
+
+import (
+	"fmt"
+
+	"distreach/internal/cluster"
+	"distreach/internal/core"
+	"distreach/internal/fragment"
+	"distreach/internal/gen"
+	"distreach/internal/graph"
+	"distreach/internal/workload"
+)
+
+func init() {
+	register("E1", sessionAmortization)
+	register("E2", coalescePlacement)
+}
+
+// sessionAmortization measures the incremental Session extension (the
+// conclusion's "combine partial evaluation and incremental computation"):
+// repeated queries against a fixed target amortize the one-visit-per-site
+// round down to at most one visit per query.
+func sessionAmortization(cfg Config) (Table, error) {
+	t := Table{
+		ID:     "E1",
+		Title:  "Extension E1: session amortization for a fixed target",
+		Header: []string{"mode", "queries", "total visits", "visits/query", "bytes/query"},
+		Notes:  "The cold query pays the full round; warm queries visit at most the source's site.",
+	}
+	d := workload.ReachDatasets[1] // WikiTalk analogue
+	d.V = cfg.scale(d.V)
+	d.E = cfg.scale(d.E)
+	g := d.Generate()
+	fr, err := fragment.Random(g, 8, d.Seed)
+	if err != nil {
+		return t, err
+	}
+	cl := cluster.New(8, cfg.net())
+	rng := gen.NewRNG(91)
+	nq := cfg.queries(50)
+	target := graph.NodeID(1)
+	sources := make([]graph.NodeID, nq)
+	for i := range sources {
+		sources[i] = graph.NodeID(rng.Intn(g.NumNodes()))
+	}
+
+	// Baseline: independent disReach per query.
+	var base cluster.Report
+	for _, s := range sources {
+		base.Merge(core.DisReach(cl, fr, s, target, nil).Report)
+	}
+	// Session: shared rvset cache for the target.
+	se := core.NewSession(cl, fr)
+	var sess cluster.Report
+	for i, s := range sources {
+		rep := se.Reach(s, target).Report
+		sess.Merge(rep)
+		if got, want := rep.TotalVisits <= 8+1, true; i > 0 && got != want {
+			return t, fmt.Errorf("exp: warm session query visited %d sites", rep.TotalVisits)
+		}
+	}
+	row := func(name string, rep cluster.Report) []string {
+		return []string{
+			name, fmt.Sprint(nq), fmt.Sprint(rep.TotalVisits),
+			fmt.Sprintf("%.2f", float64(rep.TotalVisits)/float64(nq)),
+			fmt.Sprint(rep.Bytes / int64(nq)),
+		}
+	}
+	t.Rows = append(t.Rows, row("disReach per query", base), row("session", sess))
+	return t, nil
+}
+
+// coalescePlacement measures the multiple-fragments-per-site adaptation:
+// co-locating fragments internalizes cross edges, shrinking |Vf| and the
+// traffic with it.
+func coalescePlacement(cfg Config) (Table, error) {
+	t := Table{
+		ID:     "E2",
+		Title:  "Extension E2: co-locating fragments (multiple fragments per site)",
+		Header: []string{"placement", "sites", "|Vf|", "bytes/query"},
+		Notes:  "Edges between co-located fragments become internal; the guarantees are preserved with fewer visits.",
+	}
+	g := gen.Communities(gen.CommunitiesConfig{
+		Communities: 8, Size: cfg.scale(800), InDegree: 6, OutDegree: 1, Seed: 77,
+	})
+	fr, err := fragment.Contiguous(g, 8) // one fragment per community
+	if err != nil {
+		return t, err
+	}
+	qs := workload.ReachQueries(g, cfg.queries(10), 0.3, 78)
+	measure := func(name string, f *fragment.Fragmentation) error {
+		cl := cluster.New(f.Card(), cfg.net())
+		var rep cluster.Report
+		for _, q := range qs {
+			rep.Merge(core.DisReach(cl, f, q.S, q.T, nil).Report)
+		}
+		t.Rows = append(t.Rows, []string{
+			name, fmt.Sprint(f.Card()), fmt.Sprint(f.Vf()),
+			fmt.Sprint(rep.Bytes / int64(len(qs))),
+		})
+		return nil
+	}
+	if err := measure("one fragment per site", fr); err != nil {
+		return t, err
+	}
+	for _, sites := range []int{4, 2} {
+		placement := make([]int, 8)
+		for i := range placement {
+			placement[i] = i * sites / 8
+		}
+		co, err := fragment.Coalesce(fr, placement, sites)
+		if err != nil {
+			return t, err
+		}
+		if err := measure(fmt.Sprintf("%d fragments per site", 8/sites), co); err != nil {
+			return t, err
+		}
+	}
+	return t, nil
+}

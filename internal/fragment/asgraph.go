@@ -1,0 +1,52 @@
+package fragment
+
+import (
+	"sync"
+
+	"distreach/internal/graph"
+)
+
+// asGraph caches the graph.Graph view of a fragment.
+var asGraphCache sync.Map // *Fragment -> *graph.Graph
+
+// AsGraph returns the fragment's local structure (real nodes followed by
+// virtual nodes, with internal and cross edges) as an immutable graph.Graph
+// whose node IDs are the fragment's local indices. The view is built on
+// first use and cached; it backs the pluggable reachability indexes of
+// internal/reach used inside local evaluation.
+func (f *Fragment) AsGraph() *graph.Graph {
+	if g, ok := asGraphCache.Load(f); ok {
+		return g.(*graph.Graph)
+	}
+	b := graph.NewBuilder(f.NumTotal())
+	for l := 0; l < f.NumTotal(); l++ {
+		b.AddNode(f.labels[l])
+	}
+	for lu, nbrs := range f.adj {
+		for _, lv := range nbrs {
+			b.AddEdge(graph.NodeID(lu), graph.NodeID(lv))
+		}
+	}
+	g := b.MustBuild()
+	actual, _ := asGraphCache.LoadOrStore(f, g)
+	return actual.(*graph.Graph)
+}
+
+// sccCache caches the local SCC decomposition of a fragment.
+var sccCache sync.Map // *Fragment -> []int32
+
+// LocalSCC returns the strongly-connected-component index of every local
+// index of the fragment (including virtual nodes, which are always
+// singleton components since they have no outgoing edges). The
+// decomposition is query-independent, computed on first use and cached; it
+// backs the equation-aliasing compression of local evaluation: in-nodes in
+// the same local SCC reach exactly the same boundary nodes, so their
+// Boolean equations are identical.
+func (f *Fragment) LocalSCC() []int32 {
+	if c, ok := sccCache.Load(f); ok {
+		return c.([]int32)
+	}
+	comp, _ := f.AsGraph().SCC()
+	actual, _ := sccCache.LoadOrStore(f, comp)
+	return actual.([]int32)
+}

@@ -1,0 +1,33 @@
+package fragment
+
+import (
+	"fmt"
+
+	"distreach/internal/graph"
+)
+
+// Coalesce maps a fragmentation onto fewer sites: placement[i] gives the
+// site hosting fragment Fi, and the result is a new fragmentation with one
+// (possibly disconnected) fragment per site. The paper observes that
+// "multiple fragments may reside in a single site, and our algorithms can
+// be easily adapted to accommodate this" — coalescing makes the adaptation
+// literal: edges between co-located fragments become internal, shrinking
+// |Vf| and the number of visits accordingly.
+func Coalesce(fr *Fragmentation, placement []int, sites int) (*Fragmentation, error) {
+	if len(placement) != fr.Card() {
+		return nil, fmt.Errorf("fragment: placement covers %d fragments, have %d", len(placement), fr.Card())
+	}
+	if sites <= 0 {
+		return nil, fmt.Errorf("fragment: site count %d must be positive", sites)
+	}
+	g := fr.Graph()
+	assign := make([]int, g.NumNodes())
+	for v := range assign {
+		p := placement[fr.Owner(graph.NodeID(v))]
+		if p < 0 || p >= sites {
+			return nil, fmt.Errorf("fragment: placement %d out of range [0,%d)", p, sites)
+		}
+		assign[v] = p
+	}
+	return Build(g, assign, sites)
+}

@@ -1,0 +1,65 @@
+package fragment
+
+import (
+	"testing"
+
+	"distreach/internal/gen"
+)
+
+func TestCoalesceBasics(t *testing.T) {
+	g := gen.Uniform(gen.Config{Nodes: 60, Edges: 240, Seed: 10})
+	fr, err := Random(g, 6, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Place fragments {0,1,2} on site 0 and {3,4,5} on site 1.
+	co, err := Coalesce(fr, []int{0, 0, 0, 1, 1, 1}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := co.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if co.Card() != 2 {
+		t.Fatalf("card = %d", co.Card())
+	}
+	// Co-locating fragments can only internalize cross edges.
+	if co.CrossEdges() > fr.CrossEdges() {
+		t.Fatalf("coalescing increased cross edges: %d -> %d", fr.CrossEdges(), co.CrossEdges())
+	}
+	if co.Vf() > fr.Vf() {
+		t.Fatalf("coalescing increased |Vf|: %d -> %d", fr.Vf(), co.Vf())
+	}
+}
+
+func TestCoalesceIdentityPlacement(t *testing.T) {
+	g := gen.Uniform(gen.Config{Nodes: 30, Edges: 90, Seed: 11})
+	fr, err := Random(g, 4, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	co, err := Coalesce(fr, []int{0, 1, 2, 3}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if co.CrossEdges() != fr.CrossEdges() || co.Vf() != fr.Vf() {
+		t.Fatal("identity placement changed the fragment graph")
+	}
+}
+
+func TestCoalesceErrors(t *testing.T) {
+	g := gen.Uniform(gen.Config{Nodes: 10, Edges: 20, Seed: 12})
+	fr, err := Random(g, 3, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Coalesce(fr, []int{0, 1}, 2); err == nil {
+		t.Fatal("short placement accepted")
+	}
+	if _, err := Coalesce(fr, []int{0, 1, 5}, 2); err == nil {
+		t.Fatal("out-of-range placement accepted")
+	}
+	if _, err := Coalesce(fr, []int{0, 0, 0}, 0); err == nil {
+		t.Fatal("zero sites accepted")
+	}
+}

@@ -1,0 +1,333 @@
+// Package fragment implements graph fragmentations F = (F, Gf) as defined in
+// Section 2.1 of the paper: a partition of the node set into fragments
+// F1..Fk, where each fragment additionally carries
+//
+//   - Fi.O, its virtual nodes: one per node in another fragment that some
+//     node of Fi has an edge to, together with the cross edges cEi;
+//   - Fi.I, its in-nodes: the nodes of Fi that have an incoming cross edge
+//     from another fragment.
+//
+// The fragment graph Gf collects all in-nodes, virtual nodes and cross
+// edges. No constraints are placed on how the graph is fragmented: any
+// assignment of nodes to fragments is legal (the paper's guarantees must
+// hold for arbitrary fragmentations).
+package fragment
+
+import (
+	"fmt"
+
+	"distreach/internal/graph"
+)
+
+// Fragmentation is a partition of a graph into fragments plus the derived
+// fragment graph. It is immutable once built and safe for concurrent use.
+type Fragmentation struct {
+	g     *graph.Graph
+	frags []*Fragment
+	owner []int32 // node -> fragment index
+
+	// Fragment graph Gf summary: all cross edges (u, v) where u and v live
+	// in different fragments. CrossEdges is also the edge set of Gf.
+	crossEdges int
+	vf         int // |Vf|: number of distinct in-nodes plus virtual-node originals
+}
+
+// Fragment is one fragment Fi. Local node indices are dense:
+//
+//	0 .. NumLocal-1            real nodes of Vi (in global ID order),
+//	NumLocal .. NumTotal-1     virtual nodes (Fi.O).
+//
+// Local adjacency includes both internal edges Ei and cross edges cEi (which
+// always end at a virtual node). Virtual nodes have no outgoing edges within
+// the fragment.
+type Fragment struct {
+	ID int
+
+	globalOf []graph.NodeID         // local index -> global ID (real + virtual)
+	localOf  map[graph.NodeID]int32 // global ID -> local index
+	adj      [][]int32              // local out-adjacency
+	labels   []string               // local labels (virtual nodes carry the remote label)
+	nLocal   int                    // count of real nodes
+	inNodes  []int32                // Fi.I as local indices (sorted)
+	isIn     []bool                 // local index -> member of Fi.I
+	edges    int                    // |Ei| + |cEi|
+}
+
+// NumLocal reports |Vi|, the number of real nodes stored in the fragment.
+func (f *Fragment) NumLocal() int { return f.nLocal }
+
+// NumVirtual reports |Fi.O|, the number of virtual nodes.
+func (f *Fragment) NumVirtual() int { return len(f.globalOf) - f.nLocal }
+
+// NumTotal reports the number of local indices (real + virtual).
+func (f *Fragment) NumTotal() int { return len(f.globalOf) }
+
+// NumEdges reports |Ei| + |cEi|, the edges stored at this fragment.
+func (f *Fragment) NumEdges() int { return f.edges }
+
+// Size reports the fragment size |Fi| = nodes + edges, the quantity the
+// paper's complexity bounds call |Fm| for the largest fragment.
+func (f *Fragment) Size() int { return f.NumTotal() + f.edges }
+
+// Global maps a local index to the global node ID.
+func (f *Fragment) Global(local int32) graph.NodeID { return f.globalOf[local] }
+
+// Local maps a global node ID to its local index; ok is false if the node is
+// neither stored in nor a virtual node of this fragment.
+func (f *Fragment) Local(v graph.NodeID) (int32, bool) {
+	l, ok := f.localOf[v]
+	return l, ok
+}
+
+// HasLocal reports whether global node v is a real (non-virtual) node of
+// this fragment.
+func (f *Fragment) HasLocal(v graph.NodeID) bool {
+	l, ok := f.localOf[v]
+	return ok && int(l) < f.nLocal
+}
+
+// IsVirtual reports whether local index l denotes a virtual node.
+func (f *Fragment) IsVirtual(l int32) bool { return int(l) >= f.nLocal }
+
+// Out returns the local out-neighbors of local node l. Callers must not
+// modify the returned slice.
+func (f *Fragment) Out(l int32) []int32 { return f.adj[l] }
+
+// Label returns the label of local node l.
+func (f *Fragment) Label(l int32) string { return f.labels[l] }
+
+// InNodes returns Fi.I as local indices, sorted ascending. Callers must not
+// modify the returned slice.
+func (f *Fragment) InNodes() []int32 { return f.inNodes }
+
+// IsInNode reports whether local index l is one of the fragment's in-nodes.
+func (f *Fragment) IsInNode(l int32) bool { return f.isIn[l] }
+
+// IsBoundary reports whether local index l is a boundary node of the
+// fragment: a virtual node or an in-node. Boundary nodes carry Boolean
+// variables in the partial answers, so local evaluation can stop expanding
+// at them — the coordinator's equation system composes across them.
+func (f *Fragment) IsBoundary(l int32) bool { return f.IsVirtual(l) || f.isIn[l] }
+
+// VirtualNodes returns Fi.O as local indices (NumLocal..NumTotal-1).
+func (f *Fragment) VirtualNodes() []int32 {
+	out := make([]int32, 0, f.NumVirtual())
+	for l := int32(f.nLocal); int(l) < len(f.globalOf); l++ {
+		out = append(out, l)
+	}
+	return out
+}
+
+// EncodedSize estimates the bytes needed to ship this fragment to another
+// site (used by the naive baselines): label bytes plus 8 bytes per edge.
+func (f *Fragment) EncodedSize() int {
+	size := 16
+	for _, l := range f.labels {
+		size += 4 + len(l)
+	}
+	size += 8 * f.edges
+	return size
+}
+
+// Graph returns the underlying global graph.
+func (fr *Fragmentation) Graph() *graph.Graph { return fr.g }
+
+// Fragments returns the fragments F1..Fk. Callers must not modify the slice.
+func (fr *Fragmentation) Fragments() []*Fragment { return fr.frags }
+
+// Card reports card(F), the number of fragments.
+func (fr *Fragmentation) Card() int { return len(fr.frags) }
+
+// Owner reports the index of the fragment that stores node v.
+func (fr *Fragmentation) Owner(v graph.NodeID) int { return int(fr.owner[v]) }
+
+// CrossEdges reports the number of edges crossing fragments (|Ef|).
+func (fr *Fragmentation) CrossEdges() int { return fr.crossEdges }
+
+// Vf reports |Vf|, the number of nodes in the fragment graph Gf: the
+// distinct nodes that are an in-node or the origin of a virtual node in some
+// fragment. This is the quantity that bounds network traffic.
+func (fr *Fragmentation) Vf() int { return fr.vf }
+
+// MaxFragmentSize reports |Fm|, the size (nodes+edges) of the largest
+// fragment, which bounds the parallel local-evaluation cost.
+func (fr *Fragmentation) MaxFragmentSize() int {
+	max := 0
+	for _, f := range fr.frags {
+		if s := f.Size(); s > max {
+			max = s
+		}
+	}
+	return max
+}
+
+// String summarizes the fragmentation.
+func (fr *Fragmentation) String() string {
+	return fmt.Sprintf("fragmentation{k=%d, |Vf|=%d, |Ef|=%d, |Fm|=%d}",
+		fr.Card(), fr.Vf(), fr.CrossEdges(), fr.MaxFragmentSize())
+}
+
+// Build constructs a Fragmentation from an assignment of each node to a
+// fragment in [0, k). Every fragment index in [0, k) is allowed to be empty
+// (this arises when k exceeds the number of nodes).
+func Build(g *graph.Graph, assign []int, k int) (*Fragmentation, error) {
+	if len(assign) != g.NumNodes() {
+		return nil, fmt.Errorf("fragment: assignment covers %d nodes, graph has %d", len(assign), g.NumNodes())
+	}
+	if k <= 0 {
+		return nil, fmt.Errorf("fragment: fragment count %d must be positive", k)
+	}
+	owner := make([]int32, len(assign))
+	for v, fi := range assign {
+		if fi < 0 || fi >= k {
+			return nil, fmt.Errorf("fragment: node %d assigned to fragment %d, want [0,%d)", v, fi, k)
+		}
+		owner[v] = int32(fi)
+	}
+	frags := make([]*Fragment, k)
+	for i := range frags {
+		frags[i] = &Fragment{ID: i, localOf: make(map[graph.NodeID]int32)}
+	}
+	// First pass: register real nodes in global ID order so local indices
+	// are deterministic.
+	for v := graph.NodeID(0); int(v) < g.NumNodes(); v++ {
+		f := frags[owner[v]]
+		f.localOf[v] = int32(len(f.globalOf))
+		f.globalOf = append(f.globalOf, v)
+		f.labels = append(f.labels, g.Label(v))
+	}
+	for _, f := range frags {
+		f.nLocal = len(f.globalOf)
+	}
+	// Second pass: add virtual nodes for cross-edge targets.
+	crossEdges := 0
+	isIn := make([]bool, g.NumNodes())   // node has an incoming cross edge
+	isOrig := make([]bool, g.NumNodes()) // node is the original of some virtual node
+	g.Edges(func(u, v graph.NodeID) bool {
+		if owner[u] == owner[v] {
+			return true
+		}
+		crossEdges++
+		isIn[v] = true
+		isOrig[v] = true
+		f := frags[owner[u]]
+		if _, ok := f.localOf[v]; !ok {
+			f.localOf[v] = int32(len(f.globalOf))
+			f.globalOf = append(f.globalOf, v)
+			f.labels = append(f.labels, g.Label(v))
+		}
+		return true
+	})
+	// Third pass: build local adjacency (internal edges + cross edges).
+	for _, f := range frags {
+		f.adj = make([][]int32, len(f.globalOf))
+	}
+	g.Edges(func(u, v graph.NodeID) bool {
+		f := frags[owner[u]]
+		lu := f.localOf[u]
+		lv := f.localOf[v] // exists: same-fragment or virtual registered above
+		f.adj[lu] = append(f.adj[lu], lv)
+		f.edges++
+		return true
+	})
+	// In-nodes per fragment.
+	for _, f := range frags {
+		f.isIn = make([]bool, len(f.globalOf))
+	}
+	for v := graph.NodeID(0); int(v) < g.NumNodes(); v++ {
+		if isIn[v] {
+			f := frags[owner[v]]
+			f.inNodes = append(f.inNodes, f.localOf[v])
+			f.isIn[f.localOf[v]] = true
+		}
+	}
+	vf := 0
+	for v := range isOrig {
+		if isOrig[v] || isIn[v] {
+			vf++
+		}
+	}
+	return &Fragmentation{g: g, frags: frags, owner: owner, crossEdges: crossEdges, vf: vf}, nil
+}
+
+// Validate checks the structural invariants of the fragmentation against its
+// source graph: the fragments partition V; cross edges appear exactly once
+// (at the source fragment, ending in a virtual node); in-node sets match;
+// labels agree with the global graph. Returns the first violation found.
+func (fr *Fragmentation) Validate() error {
+	g := fr.g
+	seen := make([]bool, g.NumNodes())
+	totalLocal := 0
+	for _, f := range fr.frags {
+		for l := 0; l < f.nLocal; l++ {
+			v := f.globalOf[l]
+			if seen[v] {
+				return fmt.Errorf("fragment: node %d stored in more than one fragment", v)
+			}
+			seen[v] = true
+			if f.labels[l] != g.Label(v) {
+				return fmt.Errorf("fragment: node %d label mismatch", v)
+			}
+			if fr.owner[v] != int32(f.ID) {
+				return fmt.Errorf("fragment: owner index inconsistent for node %d", v)
+			}
+		}
+		totalLocal += f.nLocal
+		// Virtual nodes must belong to other fragments and have no out-edges.
+		for l := f.nLocal; l < len(f.globalOf); l++ {
+			v := f.globalOf[l]
+			if fr.owner[v] == int32(f.ID) {
+				return fmt.Errorf("fragment %d: virtual node %d is local", f.ID, v)
+			}
+			if len(f.adj[l]) != 0 {
+				return fmt.Errorf("fragment %d: virtual node %d has out-edges", f.ID, v)
+			}
+			if f.labels[l] != g.Label(v) {
+				return fmt.Errorf("fragment %d: virtual node %d label mismatch", f.ID, v)
+			}
+		}
+	}
+	if totalLocal != g.NumNodes() {
+		return fmt.Errorf("fragment: fragments store %d nodes, graph has %d", totalLocal, g.NumNodes())
+	}
+	// Edge coverage: every global edge appears exactly once across fragments.
+	edgeCount := 0
+	for _, f := range fr.frags {
+		for lu, nbrs := range f.adj {
+			u := f.globalOf[lu]
+			for _, lv := range nbrs {
+				v := f.globalOf[lv]
+				if !g.HasEdge(u, v) {
+					return fmt.Errorf("fragment %d: phantom edge (%d,%d)", f.ID, u, v)
+				}
+				edgeCount++
+			}
+		}
+	}
+	if edgeCount != g.NumEdges() {
+		return fmt.Errorf("fragment: fragments carry %d edges, graph has %d", edgeCount, g.NumEdges())
+	}
+	// In-node correctness: v in Fi.I iff some cross edge enters v.
+	wantIn := make(map[graph.NodeID]bool)
+	g.Edges(func(u, v graph.NodeID) bool {
+		if fr.owner[u] != fr.owner[v] {
+			wantIn[v] = true
+		}
+		return true
+	})
+	gotIn := make(map[graph.NodeID]bool)
+	for _, f := range fr.frags {
+		for _, l := range f.inNodes {
+			gotIn[f.globalOf[l]] = true
+		}
+	}
+	if len(wantIn) != len(gotIn) {
+		return fmt.Errorf("fragment: in-node count mismatch: want %d got %d", len(wantIn), len(gotIn))
+	}
+	for v := range wantIn {
+		if !gotIn[v] {
+			return fmt.Errorf("fragment: node %d should be an in-node", v)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,240 @@
+package fragment
+
+import (
+	"testing"
+	"testing/quick"
+
+	"distreach/internal/gen"
+	"distreach/internal/graph"
+)
+
+func testGraph(seed uint64, n, m int) *graph.Graph {
+	return gen.Uniform(gen.Config{Nodes: n, Edges: m, Labels: gen.LabelAlphabet(4), Seed: seed})
+}
+
+func TestBuildRejectsBadInput(t *testing.T) {
+	g := testGraph(1, 5, 10)
+	if _, err := Build(g, []int{0, 0, 0}, 1); err == nil {
+		t.Fatal("short assignment accepted")
+	}
+	if _, err := Build(g, []int{0, 0, 0, 0, 9}, 2); err == nil {
+		t.Fatal("out-of-range fragment accepted")
+	}
+	if _, err := Build(g, make([]int, 5), 0); err == nil {
+		t.Fatal("zero fragments accepted")
+	}
+}
+
+func TestSingleFragmentDegenerate(t *testing.T) {
+	g := testGraph(2, 20, 60)
+	fr, err := Build(g, make([]int, 20), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := fr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if fr.CrossEdges() != 0 || fr.Vf() != 0 {
+		t.Fatalf("single fragment has cross structure: %v", fr)
+	}
+	f := fr.Fragments()[0]
+	if f.NumVirtual() != 0 || len(f.InNodes()) != 0 {
+		t.Fatal("single fragment must have no virtual or in-nodes")
+	}
+	if f.NumEdges() != g.NumEdges() {
+		t.Fatal("edges lost")
+	}
+}
+
+func TestMoreFragmentsThanNodes(t *testing.T) {
+	g := testGraph(3, 3, 4)
+	fr, err := Random(g, 10, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := fr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if fr.Card() != 10 {
+		t.Fatalf("card = %d", fr.Card())
+	}
+}
+
+func TestPartitionersProduceValidFragmentations(t *testing.T) {
+	g := testGraph(4, 100, 400)
+	cases := map[string]func() (*Fragmentation, error){
+		"random":     func() (*Fragmentation, error) { return Random(g, 7, 11) },
+		"hash":       func() (*Fragmentation, error) { return Hash(g, 7) },
+		"contiguous": func() (*Fragmentation, error) { return Contiguous(g, 7) },
+		"greedy":     func() (*Fragmentation, error) { return Greedy(g, 7, 11) },
+	}
+	for name, build := range cases {
+		fr, err := build()
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if err := fr.Validate(); err != nil {
+			t.Fatalf("%s: invalid: %v", name, err)
+		}
+		if fr.Card() != 7 {
+			t.Fatalf("%s: card %d", name, fr.Card())
+		}
+	}
+}
+
+func TestRandomPartitionIsBalanced(t *testing.T) {
+	g := testGraph(5, 103, 200)
+	fr, err := Random(g, 4, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range fr.Fragments() {
+		if f.NumLocal() < 25 || f.NumLocal() > 26 {
+			t.Fatalf("unbalanced fragment: %d nodes", f.NumLocal())
+		}
+	}
+}
+
+func TestGreedyCutsFewerEdgesThanRandom(t *testing.T) {
+	// Locality-aware partitioning should cut fewer edges on a graph with
+	// strong community structure (a union of disjoint cliques).
+	b := graph.NewBuilder(80)
+	for i := 0; i < 80; i++ {
+		b.AddNode("")
+	}
+	for c := 0; c < 4; c++ {
+		for i := 0; i < 20; i++ {
+			for j := 0; j < 20; j++ {
+				if i != j {
+					b.AddEdge(graph.NodeID(c*20+i), graph.NodeID(c*20+j))
+				}
+			}
+		}
+	}
+	g := b.MustBuild()
+	rnd, err := Random(g, 4, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	grd, err := Greedy(g, 4, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if grd.CrossEdges() >= rnd.CrossEdges() {
+		t.Fatalf("greedy cut %d edges, random cut %d; expected fewer",
+			grd.CrossEdges(), rnd.CrossEdges())
+	}
+}
+
+func TestInNodeVirtualNodeDuality(t *testing.T) {
+	// Property: every virtual node of a fragment is an in-node of its owner.
+	check := func(seed uint64) bool {
+		g := testGraph(seed, 40, 160)
+		fr, err := Random(g, 5, seed)
+		if err != nil {
+			return false
+		}
+		for _, f := range fr.Fragments() {
+			for _, o := range f.VirtualNodes() {
+				gid := f.Global(o)
+				owner := fr.Fragments()[fr.Owner(gid)]
+				found := false
+				for _, in := range owner.InNodes() {
+					if owner.Global(in) == gid {
+						found = true
+						break
+					}
+				}
+				if !found {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestVfCountsBoundaryNodes(t *testing.T) {
+	// Two fragments, one cross edge: Vf must be exactly... the source is a
+	// virtual-node original? No: Vf counts in-nodes and originals of
+	// virtual nodes; a single cross edge (u, v) contributes only v (it is
+	// both an in-node of F2 and the original of F1's virtual node).
+	b := graph.NewBuilder(2)
+	b.AddNode("a")
+	b.AddNode("b")
+	b.AddEdge(0, 1)
+	g := b.MustBuild()
+	fr, err := Build(g, []int{0, 1}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fr.Vf() != 1 {
+		t.Fatalf("Vf = %d, want 1", fr.Vf())
+	}
+	if fr.CrossEdges() != 1 {
+		t.Fatalf("crossEdges = %d, want 1", fr.CrossEdges())
+	}
+}
+
+func TestLocalGlobalRoundTrip(t *testing.T) {
+	g := testGraph(6, 50, 150)
+	fr, err := Random(g, 6, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range fr.Fragments() {
+		for l := int32(0); int(l) < f.NumTotal(); l++ {
+			gid := f.Global(l)
+			l2, ok := f.Local(gid)
+			if !ok || l2 != l {
+				t.Fatalf("round trip failed: local %d -> global %d -> local %d", l, gid, l2)
+			}
+			if f.Label(l) != g.Label(gid) {
+				t.Fatalf("label mismatch at local %d", l)
+			}
+		}
+	}
+}
+
+func TestAsGraphMatchesFragment(t *testing.T) {
+	g := testGraph(7, 30, 120)
+	fr, err := Random(g, 4, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range fr.Fragments() {
+		lg := f.AsGraph()
+		if lg.NumNodes() != f.NumTotal() || lg.NumEdges() != f.NumEdges() {
+			t.Fatalf("AsGraph size mismatch: %v vs fragment %d/%d", lg, f.NumTotal(), f.NumEdges())
+		}
+		// Cached: second call returns the same object.
+		if f.AsGraph() != lg {
+			t.Fatal("AsGraph not cached")
+		}
+		for l := int32(0); int(l) < f.NumTotal(); l++ {
+			if lg.Label(graph.NodeID(l)) != f.Label(l) {
+				t.Fatal("AsGraph label mismatch")
+			}
+		}
+	}
+}
+
+func TestFragmentSizesSumToGraph(t *testing.T) {
+	g := testGraph(8, 60, 240)
+	fr, err := Random(g, 5, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	edges := 0
+	nodes := 0
+	for _, f := range fr.Fragments() {
+		edges += f.NumEdges()
+		nodes += f.NumLocal()
+	}
+	if edges != g.NumEdges() || nodes != g.NumNodes() {
+		t.Fatalf("fragments carry %d/%d, graph has %d/%d", nodes, edges, g.NumNodes(), g.NumEdges())
+	}
+}

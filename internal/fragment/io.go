@@ -1,0 +1,72 @@
+package fragment
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strings"
+
+	"distreach/internal/graph"
+)
+
+// The fragmentation codec persists the node-to-fragment assignment (the
+// graph itself is stored separately with graph.Write). Format:
+//
+//	fragmentation <k> <n>
+//	<fragment of node 0>
+//	...
+//	<fragment of node n-1>
+//
+// one assignment per line, comments and blank lines permitted.
+
+// Write serializes the assignment of fr to w.
+func Write(w io.Writer, fr *Fragmentation) error {
+	bw := bufio.NewWriter(w)
+	n := fr.Graph().NumNodes()
+	fmt.Fprintf(bw, "fragmentation %d %d\n", fr.Card(), n)
+	for v := 0; v < n; v++ {
+		fmt.Fprintf(bw, "%d\n", fr.Owner(graph.NodeID(v)))
+	}
+	return bw.Flush()
+}
+
+// Read parses an assignment written by Write and rebuilds the
+// fragmentation over g. The node count must match g.
+func Read(r io.Reader, g *graph.Graph) (*Fragmentation, error) {
+	sc := bufio.NewScanner(r)
+	line := func() (string, bool) {
+		for sc.Scan() {
+			s := strings.TrimSpace(sc.Text())
+			if s == "" || strings.HasPrefix(s, "#") {
+				continue
+			}
+			return s, true
+		}
+		return "", false
+	}
+	hdr, ok := line()
+	if !ok {
+		return nil, fmt.Errorf("fragment: empty input")
+	}
+	var k, n int
+	if _, err := fmt.Sscanf(hdr, "fragmentation %d %d", &k, &n); err != nil {
+		return nil, fmt.Errorf("fragment: bad header %q: %w", hdr, err)
+	}
+	if n != g.NumNodes() {
+		return nil, fmt.Errorf("fragment: assignment is for %d nodes, graph has %d", n, g.NumNodes())
+	}
+	assign := make([]int, n)
+	for v := 0; v < n; v++ {
+		s, ok := line()
+		if !ok {
+			return nil, fmt.Errorf("fragment: expected %d assignment lines, got %d", n, v)
+		}
+		if _, err := fmt.Sscanf(s, "%d", &assign[v]); err != nil {
+			return nil, fmt.Errorf("fragment: bad assignment line %q: %w", s, err)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return Build(g, assign, k)
+}

@@ -1,0 +1,51 @@
+package fragment
+
+import (
+	"bytes"
+	"testing"
+
+	"distreach/internal/gen"
+	"distreach/internal/graph"
+)
+
+func TestFragmentationRoundTrip(t *testing.T) {
+	g := gen.Uniform(gen.Config{Nodes: 50, Edges: 200, Seed: 20})
+	fr, err := Random(g, 5, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := Write(&buf, fr); err != nil {
+		t.Fatal(err)
+	}
+	fr2, err := Read(&buf, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fr2.Card() != fr.Card() || fr2.Vf() != fr.Vf() || fr2.CrossEdges() != fr.CrossEdges() {
+		t.Fatalf("round trip changed structure: %v vs %v", fr2, fr)
+	}
+	for v := 0; v < g.NumNodes(); v++ {
+		if fr2.Owner(graph.NodeID(v)) != fr.Owner(graph.NodeID(v)) {
+			t.Fatalf("owner of %d changed", v)
+		}
+	}
+	if err := fr2.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFragmentationReadErrors(t *testing.T) {
+	g := gen.Uniform(gen.Config{Nodes: 3, Edges: 3, Seed: 21})
+	for _, in := range []string{
+		"",
+		"fragmentation x y",
+		"fragmentation 2 5\n0\n1\n0\n1\n0", // node count mismatch with g
+		"fragmentation 2 3\n0\n1",          // truncated
+		"fragmentation 2 3\n0\n1\n9",       // out of range
+	} {
+		if _, err := Read(bytes.NewBufferString(in), g); err == nil {
+			t.Errorf("input %q: expected error", in)
+		}
+	}
+}

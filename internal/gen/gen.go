@@ -1,0 +1,155 @@
+package gen
+
+import (
+	"fmt"
+
+	"distreach/internal/graph"
+)
+
+// LabelAlphabet returns labels "L0".."L<n-1>". The paper's labeled datasets
+// carry attribute alphabets of between 12 and ~61k labels; we keep the shape
+// (a finite alphabet with Zipf-skewed frequencies) and parameterize the size.
+func LabelAlphabet(n int) []string {
+	ls := make([]string, n)
+	for i := range ls {
+		ls[i] = fmt.Sprintf("L%d", i)
+	}
+	return ls
+}
+
+// Config controls synthetic graph generation.
+type Config struct {
+	Nodes     int      // number of nodes, > 0
+	Edges     int      // target number of edges
+	Labels    []string // label alphabet; nil means the single label ""
+	LabelSkew float64  // Zipf exponent for label assignment (0 = uniform)
+	Seed      uint64   // RNG seed; same config+seed => identical graph
+}
+
+// Uniform generates a uniform random directed graph (Erdős–Rényi G(n,m)
+// style): Edges edges sampled uniformly with replacement, duplicates
+// coalesced by the builder, so the final edge count can be slightly below
+// the target on dense configurations.
+func Uniform(cfg Config) *graph.Graph {
+	rng := NewRNG(cfg.Seed)
+	b := graph.NewBuilder(cfg.Nodes)
+	assignLabels(b, cfg, rng)
+	for i := 0; i < cfg.Edges; i++ {
+		u := graph.NodeID(rng.Intn(cfg.Nodes))
+		v := graph.NodeID(rng.Intn(cfg.Nodes))
+		b.AddEdge(u, v)
+	}
+	return b.MustBuild()
+}
+
+// PowerLaw generates a graph whose in-degree distribution is heavy-tailed,
+// in the spirit of preferential attachment: edge targets are sampled with
+// probability proportional to (current in-degree + 1), sources uniformly.
+// This reproduces the hub structure of social and web graphs, which is the
+// property that drives fragment-cut sizes (|Vf|) under random partitioning.
+func PowerLaw(cfg Config) *graph.Graph {
+	rng := NewRNG(cfg.Seed)
+	b := graph.NewBuilder(cfg.Nodes)
+	assignLabels(b, cfg, rng)
+	// Repeated-endpoint trick: keep a pool of previously used targets; with
+	// probability p pick from the pool (preferential), otherwise uniform.
+	pool := make([]graph.NodeID, 0, cfg.Edges)
+	const pref = 0.7
+	for i := 0; i < cfg.Edges; i++ {
+		u := graph.NodeID(rng.Intn(cfg.Nodes))
+		var v graph.NodeID
+		if len(pool) > 0 && rng.Float64() < pref {
+			v = pool[rng.Intn(len(pool))]
+		} else {
+			v = graph.NodeID(rng.Intn(cfg.Nodes))
+		}
+		b.AddEdge(u, v)
+		pool = append(pool, v)
+	}
+	return b.MustBuild()
+}
+
+// Densification generates a graph following the densification law
+// |E| ~ |V|^a with a in (1, 2), per Leskovec et al. [20], which is the
+// growth model the paper uses for its synthetic scalability experiments.
+// Given Nodes and exponent a, the edge count is derived; cfg.Edges is
+// ignored.
+func Densification(cfg Config, exponent float64) *graph.Graph {
+	e := int(pow(float64(cfg.Nodes), exponent))
+	c := cfg
+	c.Edges = e
+	return PowerLaw(c)
+}
+
+// Layered generates a DAG of `layers` layers with `width` nodes per layer
+// and forward edges between consecutive layers with probability p. Useful
+// for bounded-reachability tests where distances are controlled.
+func Layered(layers, width int, p float64, labels []string, seed uint64) *graph.Graph {
+	rng := NewRNG(seed)
+	b := graph.NewBuilder(layers * width)
+	n := layers * width
+	for i := 0; i < n; i++ {
+		if len(labels) > 0 {
+			b.AddNode(labels[rng.Intn(len(labels))])
+		} else {
+			b.AddNode("")
+		}
+	}
+	for l := 0; l < layers-1; l++ {
+		for i := 0; i < width; i++ {
+			for j := 0; j < width; j++ {
+				if rng.Float64() < p {
+					b.AddEdge(graph.NodeID(l*width+i), graph.NodeID((l+1)*width+j))
+				}
+			}
+		}
+	}
+	return b.MustBuild()
+}
+
+// Cycle generates a single directed cycle of n nodes; a minimal recursive
+// structure that exercises the cyclic Boolean equation systems.
+func Cycle(n int, labels []string, seed uint64) *graph.Graph {
+	rng := NewRNG(seed)
+	b := graph.NewBuilder(n)
+	for i := 0; i < n; i++ {
+		if len(labels) > 0 {
+			b.AddNode(labels[rng.Intn(len(labels))])
+		} else {
+			b.AddNode("")
+		}
+	}
+	for i := 0; i < n; i++ {
+		b.AddEdge(graph.NodeID(i), graph.NodeID((i+1)%n))
+	}
+	return b.MustBuild()
+}
+
+// Chain generates a simple path of n nodes labeled from the given sequence
+// cyclically; handy for regular reachability unit tests where the path label
+// is known exactly.
+func Chain(labelSeq []string, n int) *graph.Graph {
+	b := graph.NewBuilder(n)
+	for i := 0; i < n; i++ {
+		l := ""
+		if len(labelSeq) > 0 {
+			l = labelSeq[i%len(labelSeq)]
+		}
+		b.AddNode(l)
+	}
+	for i := 0; i+1 < n; i++ {
+		b.AddEdge(graph.NodeID(i), graph.NodeID(i+1))
+	}
+	return b.MustBuild()
+}
+
+func assignLabels(b *graph.Builder, cfg Config, rng *RNG) {
+	if len(cfg.Labels) == 0 {
+		b.AddNodes(cfg.Nodes, "")
+		return
+	}
+	z := NewZipf(rng, len(cfg.Labels), cfg.LabelSkew)
+	for i := 0; i < cfg.Nodes; i++ {
+		b.AddNode(cfg.Labels[z.Next()])
+	}
+}

@@ -1,0 +1,205 @@
+package gen
+
+import (
+	"distreach/internal/graph"
+
+	"testing"
+)
+
+func TestRNGDeterministic(t *testing.T) {
+	a, b := NewRNG(7), NewRNG(7)
+	for i := 0; i < 100; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("same seed diverged")
+		}
+	}
+	c := NewRNG(8)
+	same := true
+	a2 := NewRNG(7)
+	for i := 0; i < 10; i++ {
+		if a2.Uint64() != c.Uint64() {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical streams")
+	}
+}
+
+func TestIntnRange(t *testing.T) {
+	rng := NewRNG(1)
+	for i := 0; i < 1000; i++ {
+		if v := rng.Intn(7); v < 0 || v >= 7 {
+			t.Fatalf("Intn out of range: %d", v)
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Intn(0) should panic")
+		}
+	}()
+	rng.Intn(0)
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	rng := NewRNG(2)
+	p := rng.Perm(50)
+	seen := make([]bool, 50)
+	for _, v := range p {
+		if seen[v] {
+			t.Fatal("duplicate in permutation")
+		}
+		seen[v] = true
+	}
+}
+
+func TestZipfSkew(t *testing.T) {
+	rng := NewRNG(3)
+	z := NewZipf(rng, 100, 1.2)
+	counts := make([]int, 100)
+	for i := 0; i < 20000; i++ {
+		counts[z.Next()]++
+	}
+	if counts[0] <= counts[50] {
+		t.Fatalf("Zipf not skewed: head=%d mid=%d", counts[0], counts[50])
+	}
+	// Uniform case: head and tail roughly equal.
+	u := NewZipf(rng, 10, 0)
+	ucounts := make([]int, 10)
+	for i := 0; i < 20000; i++ {
+		ucounts[u.Next()]++
+	}
+	if ucounts[0] > 3*ucounts[9] {
+		t.Fatalf("uniform Zipf skewed: %v", ucounts)
+	}
+}
+
+func TestUniformGraphShape(t *testing.T) {
+	g := Uniform(Config{Nodes: 100, Edges: 300, Seed: 4})
+	if g.NumNodes() != 100 {
+		t.Fatalf("|V| = %d", g.NumNodes())
+	}
+	if g.NumEdges() == 0 || g.NumEdges() > 300 {
+		t.Fatalf("|E| = %d", g.NumEdges())
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPowerLawHasHubs(t *testing.T) {
+	g := PowerLaw(Config{Nodes: 2000, Edges: 10000, Seed: 5})
+	maxIn := 0
+	for v := 0; v < g.NumNodes(); v++ {
+		if d := g.InDegree(graph.NodeID(v)); d > maxIn {
+			maxIn = d
+		}
+	}
+	avg := g.NumEdges() / g.NumNodes()
+	if maxIn < 5*avg {
+		t.Fatalf("no hub structure: max in-degree %d vs average %d", maxIn, avg)
+	}
+}
+
+func TestGeneratorsDeterministic(t *testing.T) {
+	a := PowerLaw(Config{Nodes: 200, Edges: 800, Labels: LabelAlphabet(5), LabelSkew: 1, Seed: 6})
+	b := PowerLaw(Config{Nodes: 200, Edges: 800, Labels: LabelAlphabet(5), LabelSkew: 1, Seed: 6})
+	if a.NumEdges() != b.NumEdges() {
+		t.Fatal("same seed, different edge count")
+	}
+	for v := 0; v < a.NumNodes(); v++ {
+		if a.Label(graph.NodeID(v)) != b.Label(graph.NodeID(v)) {
+			t.Fatal("same seed, different labels")
+		}
+	}
+}
+
+func TestLabeledGeneration(t *testing.T) {
+	labels := LabelAlphabet(3)
+	g := Uniform(Config{Nodes: 50, Edges: 100, Labels: labels, LabelSkew: 0.5, Seed: 7})
+	for v := 0; v < g.NumNodes(); v++ {
+		l := g.Label(graph.NodeID(v))
+		if l != "L0" && l != "L1" && l != "L2" {
+			t.Fatalf("unexpected label %q", l)
+		}
+	}
+}
+
+func TestChainAndCycle(t *testing.T) {
+	c := Chain([]string{"A", "B"}, 5)
+	if c.NumNodes() != 5 || c.NumEdges() != 4 {
+		t.Fatalf("chain shape: %v", c)
+	}
+	if c.Label(0) != "A" || c.Label(1) != "B" || c.Label(2) != "A" {
+		t.Fatal("chain labels not cyclic")
+	}
+	cy := Cycle(6, nil, 1)
+	if cy.NumEdges() != 6 {
+		t.Fatalf("cycle edges: %d", cy.NumEdges())
+	}
+	if !cy.Reachable(3, 3) || !cy.Reachable(0, 5) {
+		t.Fatal("cycle reachability wrong")
+	}
+}
+
+func TestLayeredIsDAGWithBoundedDepth(t *testing.T) {
+	g := Layered(5, 8, 0.5, LabelAlphabet(2), 8)
+	if g.NumNodes() != 40 {
+		t.Fatalf("|V| = %d", g.NumNodes())
+	}
+	// No node in a later layer reaches an earlier layer.
+	if g.Reachable(39, 0) {
+		t.Fatal("layered graph has a backward path")
+	}
+}
+
+func TestDensificationGrowsSuperlinear(t *testing.T) {
+	small := Densification(Config{Nodes: 100, Seed: 9}, 1.2)
+	large := Densification(Config{Nodes: 1000, Seed: 9}, 1.2)
+	rs := float64(small.NumEdges()) / float64(small.NumNodes())
+	rl := float64(large.NumEdges()) / float64(large.NumNodes())
+	if rl <= rs {
+		t.Fatalf("densification law violated: %f -> %f edges/node", rs, rl)
+	}
+}
+
+func TestPowHelpers(t *testing.T) {
+	cases := []struct{ x, y, want, tol float64 }{
+		{2, 2, 4, 0.01},
+		{10, 1, 10, 0.01},
+		{100, 0.5, 10, 0.1},
+		{1000, 1.2, 3981, 40},
+	}
+	for _, c := range cases {
+		got := pow(c.x, c.y)
+		if got < c.want-c.tol || got > c.want+c.tol {
+			t.Errorf("pow(%v,%v) = %v, want %v±%v", c.x, c.y, got, c.want, c.tol)
+		}
+	}
+}
+
+func TestCommunitiesStructure(t *testing.T) {
+	g := Communities(CommunitiesConfig{
+		Communities: 4, Size: 50, InDegree: 5, OutDegree: 1,
+		Labels: LabelAlphabet(3), LabelSkew: 1, Seed: 30,
+	})
+	if g.NumNodes() != 200 {
+		t.Fatalf("|V| = %d", g.NumNodes())
+	}
+	// Count intra- vs cross-block edges: intra must dominate.
+	intra, cross := 0, 0
+	g.Edges(func(u, v graph.NodeID) bool {
+		if int(u)/50 == int(v)/50 {
+			intra++
+		} else {
+			cross++
+		}
+		return true
+	})
+	if intra <= 3*cross {
+		t.Fatalf("no community structure: intra=%d cross=%d", intra, cross)
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,285 @@
+// Package graph provides node-labeled directed graphs and the traversal
+// primitives used throughout the distributed reachability library.
+//
+// A Graph is immutable once built (see Builder). Nodes are identified by
+// dense IDs in [0, NumNodes). Each node carries a label drawn from a finite
+// alphabet; labels drive regular reachability queries, where the label of a
+// path is the sequence of labels of its interior nodes.
+package graph
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// NodeID identifies a node within a Graph. IDs are dense: 0..NumNodes-1.
+type NodeID int32
+
+// None is the sentinel for "no node".
+const None NodeID = -1
+
+// Graph is an immutable node-labeled directed graph.
+//
+// The zero value is an empty graph. Use a Builder to construct non-empty
+// graphs; Graph methods never mutate the structure, so a Graph is safe for
+// concurrent use by multiple goroutines.
+type Graph struct {
+	labels []string
+	adj    [][]NodeID // out-adjacency, sorted per node
+	m      int        // number of edges
+
+	revOnce sync.Once
+	rev     [][]NodeID // in-adjacency, built lazily
+}
+
+// NumNodes reports the number of nodes in g.
+func (g *Graph) NumNodes() int { return len(g.labels) }
+
+// NumEdges reports the number of directed edges in g.
+func (g *Graph) NumEdges() int { return g.m }
+
+// Label returns the label of node v.
+func (g *Graph) Label(v NodeID) string { return g.labels[v] }
+
+// Labels returns the label slice indexed by NodeID. The caller must not
+// modify the returned slice.
+func (g *Graph) Labels() []string { return g.labels }
+
+// Out returns the out-neighbors of v in ascending order. The caller must not
+// modify the returned slice.
+func (g *Graph) Out(v NodeID) []NodeID { return g.adj[v] }
+
+// OutDegree reports the out-degree of v.
+func (g *Graph) OutDegree(v NodeID) int { return len(g.adj[v]) }
+
+// In returns the in-neighbors of v. The reverse adjacency is built on first
+// use and cached. The caller must not modify the returned slice.
+func (g *Graph) In(v NodeID) []NodeID {
+	g.buildReverse()
+	return g.rev[v]
+}
+
+// InDegree reports the in-degree of v.
+func (g *Graph) InDegree(v NodeID) int {
+	g.buildReverse()
+	return len(g.rev[v])
+}
+
+func (g *Graph) buildReverse() {
+	g.revOnce.Do(func() {
+		deg := make([]int32, len(g.labels))
+		for _, nbrs := range g.adj {
+			for _, w := range nbrs {
+				deg[w]++
+			}
+		}
+		g.rev = make([][]NodeID, len(g.labels))
+		for v := range g.rev {
+			if deg[v] > 0 {
+				g.rev[v] = make([]NodeID, 0, deg[v])
+			}
+		}
+		for v, nbrs := range g.adj {
+			for _, w := range nbrs {
+				g.rev[w] = append(g.rev[w], NodeID(v))
+			}
+		}
+	})
+}
+
+// HasEdge reports whether the directed edge (u, v) exists.
+func (g *Graph) HasEdge(u, v NodeID) bool {
+	nbrs := g.adj[u]
+	i := sort.Search(len(nbrs), func(i int) bool { return nbrs[i] >= v })
+	return i < len(nbrs) && nbrs[i] == v
+}
+
+// Edges calls fn for every directed edge (u, v); it stops early if fn
+// returns false.
+func (g *Graph) Edges(fn func(u, v NodeID) bool) {
+	for u, nbrs := range g.adj {
+		for _, v := range nbrs {
+			if !fn(NodeID(u), v) {
+				return
+			}
+		}
+	}
+}
+
+// Validate checks internal invariants and returns an error describing the
+// first violation found, or nil. It is intended for tests and for data
+// loaded from external sources.
+func (g *Graph) Validate() error {
+	n := NodeID(len(g.labels))
+	count := 0
+	for u, nbrs := range g.adj {
+		for i, v := range nbrs {
+			if v < 0 || v >= n {
+				return fmt.Errorf("graph: edge (%d,%d) target out of range [0,%d)", u, v, n)
+			}
+			if i > 0 && nbrs[i-1] > v {
+				return fmt.Errorf("graph: adjacency of node %d not sorted", u)
+			}
+			count++
+		}
+	}
+	if count != g.m {
+		return fmt.Errorf("graph: edge count %d does not match stored m=%d", count, g.m)
+	}
+	return nil
+}
+
+// Clone returns a deep copy of g. The copy shares no mutable state with g.
+func (g *Graph) Clone() *Graph {
+	c := &Graph{
+		labels: append([]string(nil), g.labels...),
+		adj:    make([][]NodeID, len(g.adj)),
+		m:      g.m,
+	}
+	for v, nbrs := range g.adj {
+		c.adj[v] = append([]NodeID(nil), nbrs...)
+	}
+	return c
+}
+
+// InducedSubgraph returns the subgraph of g induced by nodes, together with
+// a mapping from new (dense) IDs back to the original IDs. Nodes may be in
+// any order and must not contain duplicates.
+func (g *Graph) InducedSubgraph(nodes []NodeID) (*Graph, []NodeID) {
+	local := make(map[NodeID]NodeID, len(nodes))
+	orig := make([]NodeID, len(nodes))
+	for i, v := range nodes {
+		local[v] = NodeID(i)
+		orig[i] = v
+	}
+	b := NewBuilder(len(nodes))
+	for _, v := range nodes {
+		b.AddNode(g.labels[v])
+	}
+	for i, v := range nodes {
+		for _, w := range g.adj[v] {
+			if lw, ok := local[w]; ok {
+				b.AddEdge(NodeID(i), lw)
+			}
+		}
+	}
+	sub, err := b.Build()
+	if err != nil {
+		// Induced subgraphs of a valid graph are always valid.
+		panic("graph: induced subgraph build failed: " + err.Error())
+	}
+	return sub, orig
+}
+
+// Reverse returns a new graph with every edge direction flipped.
+func (g *Graph) Reverse() *Graph {
+	b := NewBuilder(g.NumNodes())
+	for _, l := range g.labels {
+		b.AddNode(l)
+	}
+	g.Edges(func(u, v NodeID) bool {
+		b.AddEdge(v, u)
+		return true
+	})
+	r, err := b.Build()
+	if err != nil {
+		panic("graph: reverse build failed: " + err.Error())
+	}
+	return r
+}
+
+// String returns a short human-readable summary.
+func (g *Graph) String() string {
+	return fmt.Sprintf("graph{|V|=%d, |E|=%d}", g.NumNodes(), g.NumEdges())
+}
+
+// Builder incrementally constructs a Graph. It is not safe for concurrent
+// use. Duplicate edges are coalesced; self-loops are permitted (the paper
+// places no constraints on graph shape).
+type Builder struct {
+	labels []string
+	edges  [][2]NodeID
+}
+
+// NewBuilder returns a Builder with capacity hints for n nodes.
+func NewBuilder(n int) *Builder {
+	return &Builder{labels: make([]string, 0, n)}
+}
+
+// AddNode appends a node with the given label and returns its ID.
+func (b *Builder) AddNode(label string) NodeID {
+	b.labels = append(b.labels, label)
+	return NodeID(len(b.labels) - 1)
+}
+
+// AddNodes appends n nodes all carrying label and returns the ID of the
+// first one.
+func (b *Builder) AddNodes(n int, label string) NodeID {
+	first := NodeID(len(b.labels))
+	for i := 0; i < n; i++ {
+		b.labels = append(b.labels, label)
+	}
+	return first
+}
+
+// SetLabel overrides the label of an already-added node.
+func (b *Builder) SetLabel(v NodeID, label string) { b.labels[v] = label }
+
+// AddEdge records the directed edge (u, v). Endpoints must already exist by
+// the time Build is called.
+func (b *Builder) AddEdge(u, v NodeID) {
+	b.edges = append(b.edges, [2]NodeID{u, v})
+}
+
+// NumNodes reports the number of nodes added so far.
+func (b *Builder) NumNodes() int { return len(b.labels) }
+
+// Build finalizes the Builder into an immutable Graph. It sorts adjacency
+// lists, removes duplicate edges, and validates endpoints.
+func (b *Builder) Build() (*Graph, error) {
+	n := NodeID(len(b.labels))
+	for _, e := range b.edges {
+		if e[0] < 0 || e[0] >= n || e[1] < 0 || e[1] >= n {
+			return nil, fmt.Errorf("graph: edge (%d,%d) references missing node (n=%d)", e[0], e[1], n)
+		}
+	}
+	deg := make([]int32, n)
+	for _, e := range b.edges {
+		deg[e[0]]++
+	}
+	adj := make([][]NodeID, n)
+	for v := range adj {
+		if deg[v] > 0 {
+			adj[v] = make([]NodeID, 0, deg[v])
+		}
+	}
+	for _, e := range b.edges {
+		adj[e[0]] = append(adj[e[0]], e[1])
+	}
+	m := 0
+	for v := range adj {
+		nbrs := adj[v]
+		sort.Slice(nbrs, func(i, j int) bool { return nbrs[i] < nbrs[j] })
+		// Deduplicate in place.
+		out := nbrs[:0]
+		for i, w := range nbrs {
+			if i == 0 || nbrs[i-1] != w {
+				out = append(out, w)
+			}
+		}
+		adj[v] = out
+		m += len(out)
+	}
+	return &Graph{labels: append([]string(nil), b.labels...), adj: adj, m: m}, nil
+}
+
+// MustBuild is like Build but panics on error. Intended for tests and
+// generators whose inputs are valid by construction.
+func (b *Builder) MustBuild() *Graph {
+	g, err := b.Build()
+	if err != nil {
+		panic(err)
+	}
+	return g
+}

@@ -1,0 +1,231 @@
+package graph
+
+// This file contains the traversal primitives (BFS, DFS, reachability,
+// unweighted shortest distance, strongly connected components) used by both
+// the centralized baselines and the per-fragment local evaluation steps.
+
+// Reachable reports whether t is reachable from s, using BFS.
+func (g *Graph) Reachable(s, t NodeID) bool {
+	if s == t {
+		return true
+	}
+	seen := make([]bool, g.NumNodes())
+	seen[s] = true
+	queue := []NodeID{s}
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		for _, w := range g.adj[v] {
+			if w == t {
+				return true
+			}
+			if !seen[w] {
+				seen[w] = true
+				queue = append(queue, w)
+			}
+		}
+	}
+	return false
+}
+
+// BFS runs a breadth-first search from s and calls visit(v, depth) for every
+// reachable node, including s at depth 0. Traversal stops early if visit
+// returns false.
+func (g *Graph) BFS(s NodeID, visit func(v NodeID, depth int) bool) {
+	seen := make([]bool, g.NumNodes())
+	seen[s] = true
+	type item struct {
+		v NodeID
+		d int
+	}
+	queue := []item{{s, 0}}
+	for len(queue) > 0 {
+		it := queue[0]
+		queue = queue[1:]
+		if !visit(it.v, it.d) {
+			return
+		}
+		for _, w := range g.adj[it.v] {
+			if !seen[w] {
+				seen[w] = true
+				queue = append(queue, item{w, it.d + 1})
+			}
+		}
+	}
+}
+
+// Descendants returns the set of nodes reachable from s (including s) as a
+// boolean slice indexed by NodeID.
+func (g *Graph) Descendants(s NodeID) []bool {
+	seen := make([]bool, g.NumNodes())
+	seen[s] = true
+	stack := []NodeID{s}
+	for len(stack) > 0 {
+		v := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, w := range g.adj[v] {
+			if !seen[w] {
+				seen[w] = true
+				stack = append(stack, w)
+			}
+		}
+	}
+	return seen
+}
+
+// Dist returns the length of the shortest path from s to t (number of
+// edges), or -1 if t is unreachable from s. Edges are unweighted, so BFS
+// computes exact distances.
+func (g *Graph) Dist(s, t NodeID) int {
+	if s == t {
+		return 0
+	}
+	dist := make([]int32, g.NumNodes())
+	for i := range dist {
+		dist[i] = -1
+	}
+	dist[s] = 0
+	queue := []NodeID{s}
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		for _, w := range g.adj[v] {
+			if dist[w] < 0 {
+				dist[w] = dist[v] + 1
+				if w == t {
+					return int(dist[w])
+				}
+				queue = append(queue, w)
+			}
+		}
+	}
+	return -1
+}
+
+// DistancesFrom returns the BFS distance from s to every node, with -1 for
+// unreachable nodes. If maxDepth >= 0 the search is pruned beyond that depth.
+func (g *Graph) DistancesFrom(s NodeID, maxDepth int) []int32 {
+	dist := make([]int32, g.NumNodes())
+	for i := range dist {
+		dist[i] = -1
+	}
+	dist[s] = 0
+	queue := []NodeID{s}
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		if maxDepth >= 0 && int(dist[v]) >= maxDepth {
+			continue
+		}
+		for _, w := range g.adj[v] {
+			if dist[w] < 0 {
+				dist[w] = dist[v] + 1
+				queue = append(queue, w)
+			}
+		}
+	}
+	return dist
+}
+
+// DFSPostorder performs an iterative depth-first search over the whole graph
+// (restarting from every unvisited node in ID order) and returns the nodes
+// in postorder. It is a building block for SCC computation and for the
+// interval reachability index.
+func (g *Graph) DFSPostorder() []NodeID {
+	n := g.NumNodes()
+	seen := make([]bool, n)
+	post := make([]NodeID, 0, n)
+	type frame struct {
+		v NodeID
+		i int // next out-edge index to explore
+	}
+	var stack []frame
+	for root := NodeID(0); int(root) < n; root++ {
+		if seen[root] {
+			continue
+		}
+		seen[root] = true
+		stack = append(stack, frame{root, 0})
+		for len(stack) > 0 {
+			f := &stack[len(stack)-1]
+			if f.i < len(g.adj[f.v]) {
+				w := g.adj[f.v][f.i]
+				f.i++
+				if !seen[w] {
+					seen[w] = true
+					stack = append(stack, frame{w, 0})
+				}
+				continue
+			}
+			post = append(post, f.v)
+			stack = stack[:len(stack)-1]
+		}
+	}
+	return post
+}
+
+// SCC computes strongly connected components using Kosaraju's algorithm.
+// It returns comp, a slice mapping each node to its component index, and the
+// number of components. Component indices are a reverse topological order of
+// the condensation: if there is an edge from component a to component b with
+// a != b, then comp values satisfy a > b... see TopoComponents for an
+// explicit order.
+func (g *Graph) SCC() (comp []int32, n int) {
+	post := g.DFSPostorder()
+	rg := g.Reverse()
+	comp = make([]int32, g.NumNodes())
+	for i := range comp {
+		comp[i] = -1
+	}
+	var c int32
+	// Process in reverse postorder of g; each DFS tree in rg is one SCC.
+	for i := len(post) - 1; i >= 0; i-- {
+		root := post[i]
+		if comp[root] >= 0 {
+			continue
+		}
+		stack := []NodeID{root}
+		comp[root] = c
+		for len(stack) > 0 {
+			v := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			for _, w := range rg.adj[v] {
+				if comp[w] < 0 {
+					comp[w] = c
+					stack = append(stack, w)
+				}
+			}
+		}
+		c++
+	}
+	return comp, int(c)
+}
+
+// Condensation returns the DAG of strongly connected components: comp maps
+// nodes to component IDs in topological order (edges go from lower to higher
+// component IDs is NOT guaranteed by SCC alone, so this routine renumbers),
+// and dag is the component graph with one node per SCC, labeled "".
+func (g *Graph) Condensation() (comp []int32, dag *Graph) {
+	comp, nc := g.SCC()
+	// Kosaraju assigns component 0 to a source component of the condensation:
+	// components are discovered in reverse topological order of the
+	// condensation DAG reversed, i.e. comp IDs already form a topological
+	// order (edges go from smaller IDs to larger IDs never happens; verify by
+	// construction: an edge u->v across components means u's component was
+	// discovered no later than v's). We renumber defensively by checking.
+	b := NewBuilder(nc)
+	b.AddNodes(nc, "")
+	seen := make(map[int64]struct{})
+	g.Edges(func(u, v NodeID) bool {
+		cu, cv := comp[u], comp[v]
+		if cu != cv {
+			key := int64(cu)<<32 | int64(uint32(cv))
+			if _, ok := seen[key]; !ok {
+				seen[key] = struct{}{}
+				b.AddEdge(NodeID(cu), NodeID(cv))
+			}
+		}
+		return true
+	})
+	return comp, b.MustBuild()
+}

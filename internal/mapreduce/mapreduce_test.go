@@ -1,0 +1,131 @@
+package mapreduce
+
+import (
+	"strings"
+	"testing"
+
+	"distreach/internal/automaton"
+	"distreach/internal/gen"
+	"distreach/internal/graph"
+	"distreach/internal/rx"
+)
+
+func TestWordCount(t *testing.T) {
+	docs := []Pair[int, string]{
+		{0, "a b a"},
+		{1, "b c"},
+		{2, "a"},
+	}
+	job := Job[int, string, string, int, int]{
+		Map: func(_ int, doc string, emit func(string, int)) {
+			for _, w := range strings.Fields(doc) {
+				emit(w, 1)
+			}
+		},
+		Reduce: func(_ string, counts []int) int {
+			n := 0
+			for _, c := range counts {
+				n += c
+			}
+			return n
+		},
+		Reducers: 2,
+	}
+	out, st := Run(job, docs, 3)
+	got := map[string]int{}
+	for _, p := range out {
+		got[p.Key] = p.Value
+	}
+	want := map[string]int{"a": 3, "b": 2, "c": 1}
+	for k, v := range want {
+		if got[k] != v {
+			t.Errorf("count[%s] = %d, want %d", k, got[k], v)
+		}
+	}
+	if st.Mappers != 3 || st.Reducers != 2 {
+		t.Errorf("stats mappers/reducers = %d/%d, want 3/2", st.Mappers, st.Reducers)
+	}
+	if st.ECC <= 0 || st.TotalBytes <= 0 {
+		t.Errorf("accounting missing: ECC=%d total=%d", st.ECC, st.TotalBytes)
+	}
+}
+
+func TestRunSingleMapperAndEmptyInput(t *testing.T) {
+	job := Job[int, int, int, int, int]{
+		Map:    func(k, v int, emit func(int, int)) { emit(k%2, v) },
+		Reduce: func(_ int, vs []int) int { return len(vs) },
+	}
+	out, _ := Run(job, nil, 0)
+	if len(out) != 0 {
+		t.Fatalf("empty input produced %d results", len(out))
+	}
+	out, _ = Run(job, []Pair[int, int]{{1, 10}, {2, 20}, {3, 30}}, 1)
+	got := map[int]int{}
+	for _, p := range out {
+		got[p.Key] = p.Value
+	}
+	if got[0] != 1 || got[1] != 2 {
+		t.Fatalf("grouping wrong: %v", got)
+	}
+}
+
+func TestMRdRPQMatchesOracle(t *testing.T) {
+	rng := gen.NewRNG(77)
+	labels := []string{"A", "B", "C"}
+	for trial := 0; trial < 150; trial++ {
+		n := 2 + rng.Intn(50)
+		g := gen.Uniform(gen.Config{Nodes: n, Edges: rng.Intn(4 * n), Labels: labels, Seed: rng.Uint64()})
+		s := graph.NodeID(rng.Intn(n))
+		tt := graph.NodeID(rng.Intn(n))
+		a := automaton.Random(rng, 2+rng.Intn(6), 4+rng.Intn(10), labels)
+		mappers := 1 + rng.Intn(6)
+		res, err := MRdRPQ(g, s, tt, a, mappers)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if want := automaton.Eval(g, s, tt, a); res.Answer != want {
+			t.Fatalf("trial %d: MRdRPQ=%v oracle=%v (s=%d t=%d mappers=%d %v)",
+				trial, res.Answer, want, s, tt, mappers, g)
+		}
+	}
+}
+
+func TestMRdRPQFigureExample(t *testing.T) {
+	// A labeled chain s -> A -> A -> t must satisfy A* but not B+.
+	b := graph.NewBuilder(4)
+	s := b.AddNode("S")
+	x := b.AddNode("A")
+	y := b.AddNode("A")
+	tt := b.AddNode("T")
+	b.AddEdge(s, x)
+	b.AddEdge(x, y)
+	b.AddEdge(y, tt)
+	g := b.MustBuild()
+	star := automaton.FromRegex(rx.MustParse("A*"))
+	res, err := MRdRPQ(g, s, tt, star, 2)
+	if err != nil || !res.Answer {
+		t.Fatalf("A* chain: answer=%v err=%v", res.Answer, err)
+	}
+	plus := automaton.FromRegex(rx.MustParse("B+"))
+	res, err = MRdRPQ(g, s, tt, plus, 2)
+	if err != nil || res.Answer {
+		t.Fatalf("B+ chain: answer=%v err=%v", res.Answer, err)
+	}
+	if res.Stats.ECC <= 0 {
+		t.Errorf("ECC not accounted: %+v", res.Stats)
+	}
+}
+
+func TestMRdRPQScalesMappers(t *testing.T) {
+	g := gen.PowerLaw(gen.Config{Nodes: 500, Edges: 2000, Labels: gen.LabelAlphabet(5), Seed: 3})
+	a := automaton.FromRegex(rx.MustParse("L0 (L1|L2)*"))
+	for _, mappers := range []int{1, 2, 5, 10} {
+		res, err := MRdRPQ(g, 0, 499, a, mappers)
+		if err != nil {
+			t.Fatalf("mappers=%d: %v", mappers, err)
+		}
+		if res.Fragment.Card() != mappers {
+			t.Errorf("mappers=%d: fragmentation card=%d", mappers, res.Fragment.Card())
+		}
+	}
+}

@@ -1,0 +1,66 @@
+package mapreduce
+
+import (
+	"testing"
+
+	"distreach/internal/bes"
+	"distreach/internal/gen"
+	"distreach/internal/graph"
+)
+
+func TestMRdReachMatchesOracle(t *testing.T) {
+	rng := gen.NewRNG(88)
+	for trial := 0; trial < 150; trial++ {
+		n := 2 + rng.Intn(50)
+		g := gen.Uniform(gen.Config{Nodes: n, Edges: rng.Intn(4 * n), Seed: rng.Uint64()})
+		s := graph.NodeID(rng.Intn(n))
+		tt := graph.NodeID(rng.Intn(n))
+		mappers := 1 + rng.Intn(6)
+		got, st, err := MRdReach(g, s, tt, mappers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want := g.Reachable(s, tt); got != want {
+			t.Fatalf("trial %d: MRdReach=%v oracle=%v (s=%d t=%d mappers=%d)", trial, got, want, s, tt, mappers)
+		}
+		if s != tt && st.ECC <= 0 {
+			t.Fatal("ECC missing")
+		}
+	}
+}
+
+func TestMRdDistMatchesOracle(t *testing.T) {
+	rng := gen.NewRNG(89)
+	for trial := 0; trial < 150; trial++ {
+		n := 2 + rng.Intn(50)
+		g := gen.Uniform(gen.Config{Nodes: n, Edges: rng.Intn(4 * n), Seed: rng.Uint64()})
+		s := graph.NodeID(rng.Intn(n))
+		tt := graph.NodeID(rng.Intn(n))
+		l := rng.Intn(10)
+		ans, dist, _, err := MRdDist(g, s, tt, l, 1+rng.Intn(5))
+		if err != nil {
+			t.Fatal(err)
+		}
+		d := g.Dist(s, tt)
+		want := d >= 0 && d <= l
+		if ans != want {
+			t.Fatalf("trial %d: MRdDist=%v oracle dist=%d l=%d", trial, ans, d, l)
+		}
+		if want && dist != int64(d) {
+			t.Fatalf("trial %d: distance %d, oracle %d", trial, dist, d)
+		}
+	}
+}
+
+func TestMRdDistEdgeCases(t *testing.T) {
+	g := gen.Chain([]string{"A"}, 5)
+	if ans, d, _, err := MRdDist(g, 2, 2, 0, 2); err != nil || !ans || d != 0 {
+		t.Fatalf("s==t: ans=%v d=%d err=%v", ans, d, err)
+	}
+	if ans, d, _, err := MRdDist(g, 0, 4, 0, 2); err != nil || ans || d != bes.Inf {
+		t.Fatalf("l=0: ans=%v d=%d err=%v", ans, d, err)
+	}
+	if ans, _, err := MRdReach(g, 3, 3, 2); err != nil || !ans {
+		t.Fatalf("s==t reach: %v %v", ans, err)
+	}
+}

@@ -1,0 +1,186 @@
+package netsite
+
+import (
+	"encoding/binary"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"distreach/internal/automaton"
+	"distreach/internal/bes"
+	"distreach/internal/core"
+	"distreach/internal/graph"
+)
+
+// Coordinator is the site Sc: it holds one TCP connection per worker site
+// and evaluates queries by posting them to every site in parallel and
+// assembling the returned partial answers. It is safe for concurrent use;
+// concurrent queries serialize per connection.
+type Coordinator struct {
+	mu    sync.Mutex // serializes query rounds (one in-flight frame per conn)
+	conns []net.Conn
+}
+
+// Dial connects to the given site addresses.
+func Dial(addrs []string, timeout time.Duration) (*Coordinator, error) {
+	c := &Coordinator{}
+	for _, a := range addrs {
+		conn, err := net.DialTimeout("tcp", a, timeout)
+		if err != nil {
+			c.Close()
+			return nil, fmt.Errorf("netsite: dial %s: %w", a, err)
+		}
+		c.conns = append(c.conns, conn)
+	}
+	return c, nil
+}
+
+// Close shuts down all site connections.
+func (c *Coordinator) Close() error {
+	var first error
+	for _, conn := range c.conns {
+		if conn != nil {
+			if err := conn.Close(); err != nil && first == nil {
+				first = err
+			}
+		}
+	}
+	return first
+}
+
+// WireStats is the on-the-wire accounting of one query round.
+type WireStats struct {
+	BytesSent     int64         // query frames to all sites
+	BytesReceived int64         // partial-answer frames
+	RoundTrip     time.Duration // slowest site's post+reply wall time
+}
+
+// roundtrip posts one frame to every site in parallel and collects one
+// response frame from each.
+func (c *Coordinator) roundtrip(kind byte, payload []byte) ([][]byte, WireStats, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var st WireStats
+	replies := make([][]byte, len(c.conns))
+	errs := make([]error, len(c.conns))
+	var sent, recv int64
+	var mu sync.Mutex
+	start := time.Now()
+	var wg sync.WaitGroup
+	for i, conn := range c.conns {
+		wg.Add(1)
+		go func(i int, conn net.Conn) {
+			defer wg.Done()
+			n, err := writeFrame(conn, kind, payload)
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			k, resp, rn, err := readFrame(conn)
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			if k == kindError {
+				errs[i] = fmt.Errorf("site %d: %s", i, resp)
+				return
+			}
+			if k != kindAnswer {
+				errs[i] = fmt.Errorf("site %d: unexpected frame kind %q", i, k)
+				return
+			}
+			replies[i] = resp
+			mu.Lock()
+			sent += int64(n)
+			recv += int64(rn)
+			mu.Unlock()
+		}(i, conn)
+	}
+	wg.Wait()
+	st.RoundTrip = time.Since(start)
+	st.BytesSent, st.BytesReceived = sent, recv
+	for _, err := range errs {
+		if err != nil {
+			return nil, st, err
+		}
+	}
+	return replies, st, nil
+}
+
+// Reach evaluates qr(s, t) over the connected sites.
+func (c *Coordinator) Reach(s, t graph.NodeID) (bool, WireStats, error) {
+	if s == t {
+		return true, WireStats{}, nil
+	}
+	payload := make([]byte, 8)
+	binary.LittleEndian.PutUint32(payload, uint32(s))
+	binary.LittleEndian.PutUint32(payload[4:], uint32(t))
+	replies, st, err := c.roundtrip(kindReach, payload)
+	if err != nil {
+		return false, st, err
+	}
+	partials := make([]*core.ReachPartial, len(replies))
+	for i, resp := range replies {
+		partials[i] = new(core.ReachPartial)
+		if err := partials[i].UnmarshalBinary(resp); err != nil {
+			return false, st, fmt.Errorf("netsite: site %d reply: %w", i, err)
+		}
+	}
+	return core.SolveReach(partials, s), st, nil
+}
+
+// ReachWithin evaluates qbr(s, t, l); it returns the answer and the exact
+// distance when within l (bes.Inf otherwise).
+func (c *Coordinator) ReachWithin(s, t graph.NodeID, l int) (bool, int64, WireStats, error) {
+	if s == t {
+		return l >= 0, 0, WireStats{}, nil
+	}
+	if l <= 0 {
+		return false, bes.Inf, WireStats{}, nil
+	}
+	payload := make([]byte, 12)
+	binary.LittleEndian.PutUint32(payload, uint32(s))
+	binary.LittleEndian.PutUint32(payload[4:], uint32(t))
+	binary.LittleEndian.PutUint32(payload[8:], uint32(l))
+	replies, st, err := c.roundtrip(kindDist, payload)
+	if err != nil {
+		return false, bes.Inf, st, err
+	}
+	partials := make([]*core.DistPartial, len(replies))
+	for i, resp := range replies {
+		partials[i] = new(core.DistPartial)
+		if err := partials[i].UnmarshalBinary(resp); err != nil {
+			return false, bes.Inf, st, fmt.Errorf("netsite: site %d reply: %w", i, err)
+		}
+	}
+	d := core.SolveDist(partials, s)
+	return d <= int64(l), d, st, nil
+}
+
+// ReachRegex evaluates qrr(s, t, R) for the query automaton a.
+func (c *Coordinator) ReachRegex(s, t graph.NodeID, a *automaton.Automaton) (bool, WireStats, error) {
+	if s == t && a.AcceptsLabels(nil) {
+		return true, WireStats{}, nil
+	}
+	ab, err := a.MarshalBinary()
+	if err != nil {
+		return false, WireStats{}, err
+	}
+	payload := make([]byte, 8, 8+len(ab))
+	binary.LittleEndian.PutUint32(payload, uint32(s))
+	binary.LittleEndian.PutUint32(payload[4:], uint32(t))
+	payload = append(payload, ab...)
+	replies, st, err := c.roundtrip(kindRPQ, payload)
+	if err != nil {
+		return false, st, err
+	}
+	partials := make([]*core.RPQPartial, len(replies))
+	for i, resp := range replies {
+		partials[i] = new(core.RPQPartial)
+		if err := partials[i].UnmarshalBinary(resp); err != nil {
+			return false, st, fmt.Errorf("netsite: site %d reply: %w", i, err)
+		}
+	}
+	return core.SolveRPQ(partials, s, a), st, nil
+}

@@ -1,0 +1,228 @@
+package netsite
+
+import (
+	"testing"
+	"time"
+
+	"distreach/internal/automaton"
+	"distreach/internal/bes"
+	"distreach/internal/fragment"
+	"distreach/internal/gen"
+	"distreach/internal/graph"
+	"distreach/internal/rx"
+)
+
+func deploy(t *testing.T, g *graph.Graph, k int, seed uint64) (*Coordinator, func()) {
+	t.Helper()
+	fr, err := fragment.Random(g, k, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sites, addrs, err := ServeFragmentation(fr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	co, err := Dial(addrs, 2*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return co, func() {
+		co.Close()
+		for _, s := range sites {
+			s.Close()
+		}
+	}
+}
+
+func TestTCPReachMatchesOracle(t *testing.T) {
+	g := gen.PowerLaw(gen.Config{Nodes: 300, Edges: 1200, Seed: 41})
+	co, done := deploy(t, g, 4, 41)
+	defer done()
+	rng := gen.NewRNG(42)
+	for q := 0; q < 60; q++ {
+		s := graph.NodeID(rng.Intn(300))
+		tt := graph.NodeID(rng.Intn(300))
+		got, st, err := co.Reach(s, tt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want := g.Reachable(s, tt); got != want {
+			t.Fatalf("query %d: tcp=%v oracle=%v (s=%d t=%d)", q, got, want, s, tt)
+		}
+		if s != tt && (st.BytesSent == 0 || st.BytesReceived == 0) {
+			t.Fatalf("no wire traffic recorded: %+v", st)
+		}
+	}
+}
+
+func TestTCPDistMatchesOracle(t *testing.T) {
+	g := gen.Uniform(gen.Config{Nodes: 150, Edges: 450, Seed: 43})
+	co, done := deploy(t, g, 3, 43)
+	defer done()
+	rng := gen.NewRNG(44)
+	for q := 0; q < 60; q++ {
+		s := graph.NodeID(rng.Intn(150))
+		tt := graph.NodeID(rng.Intn(150))
+		l := rng.Intn(10)
+		got, dist, _, err := co.ReachWithin(s, tt, l)
+		if err != nil {
+			t.Fatal(err)
+		}
+		d := g.Dist(s, tt)
+		want := d >= 0 && d <= l
+		if got != want {
+			t.Fatalf("query %d: tcp=%v oracle dist=%d l=%d", q, got, d, l)
+		}
+		if want && dist != int64(d) {
+			t.Fatalf("query %d: distance %d, oracle %d", q, dist, d)
+		}
+		if !want && dist != bes.Inf && dist <= int64(l) {
+			t.Fatalf("query %d: inconsistent distance %d", q, dist)
+		}
+	}
+}
+
+func TestTCPRegexMatchesOracle(t *testing.T) {
+	labels := []string{"A", "B", "C"}
+	g := gen.Uniform(gen.Config{Nodes: 120, Edges: 480, Labels: labels, Seed: 45})
+	co, done := deploy(t, g, 5, 45)
+	defer done()
+	rng := gen.NewRNG(46)
+	for q := 0; q < 40; q++ {
+		s := graph.NodeID(rng.Intn(120))
+		tt := graph.NodeID(rng.Intn(120))
+		a := automaton.Random(rng, 2+rng.Intn(6), 4+rng.Intn(10), labels)
+		got, _, err := co.ReachRegex(s, tt, a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want := automaton.Eval(g, s, tt, a); got != want {
+			t.Fatalf("query %d: tcp=%v oracle=%v", q, got, want)
+		}
+	}
+	// A parsed expression travels the same path.
+	a := automaton.FromRegex(rx.MustParse("A (B|C)*"))
+	if _, _, err := co.ReachRegex(0, 119, a); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTCPConcurrentCoordinators(t *testing.T) {
+	g := gen.PowerLaw(gen.Config{Nodes: 200, Edges: 800, Seed: 47})
+	fr, err := fragment.Random(g, 3, 47)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sites, addrs, err := ServeFragmentation(fr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		for _, s := range sites {
+			s.Close()
+		}
+	}()
+	// Several coordinators sharing the sites, issuing queries concurrently.
+	errc := make(chan error, 4)
+	for w := 0; w < 4; w++ {
+		go func(seed uint64) {
+			co, err := Dial(addrs, 2*time.Second)
+			if err != nil {
+				errc <- err
+				return
+			}
+			defer co.Close()
+			rng := gen.NewRNG(seed)
+			for q := 0; q < 25; q++ {
+				s := graph.NodeID(rng.Intn(200))
+				tt := graph.NodeID(rng.Intn(200))
+				got, _, err := co.Reach(s, tt)
+				if err != nil {
+					errc <- err
+					return
+				}
+				if got != g.Reachable(s, tt) {
+					errc <- err
+					return
+				}
+			}
+			errc <- nil
+		}(uint64(w + 100))
+	}
+	for w := 0; w < 4; w++ {
+		if err := <-errc; err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestTCPErrorPropagation(t *testing.T) {
+	g := gen.Uniform(gen.Config{Nodes: 10, Edges: 20, Seed: 48})
+	fr, err := fragment.Random(g, 2, 48)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sites, addrs, err := ServeFragmentation(fr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		for _, s := range sites {
+			s.Close()
+		}
+	}()
+	co, err := Dial(addrs, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer co.Close()
+	// Hand-roll a malformed frame: unknown kind must come back as an error
+	// frame, and the connection must survive for the next valid query.
+	if _, err := writeFrame(co.conns[0], 'z', []byte{1, 2, 3}); err != nil {
+		t.Fatal(err)
+	}
+	kind, payload, _, err := readFrame(co.conns[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if kind != kindError || len(payload) == 0 {
+		t.Fatalf("expected error frame, got kind %q", kind)
+	}
+	if got, _, err := co.Reach(0, 9); err != nil {
+		t.Fatal(err)
+	} else if want := g.Reachable(0, 9); got != want {
+		t.Fatalf("after error frame: %v want %v", got, want)
+	}
+}
+
+func TestDialFailure(t *testing.T) {
+	if _, err := Dial([]string{"127.0.0.1:1"}, 200*time.Millisecond); err == nil {
+		t.Fatal("dialing a closed port must fail")
+	}
+}
+
+func TestSiteCrashSurfacesError(t *testing.T) {
+	g := gen.Uniform(gen.Config{Nodes: 30, Edges: 90, Seed: 49})
+	fr, err := fragment.Random(g, 2, 49)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sites, addrs, err := ServeFragmentation(fr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	co, err := Dial(addrs, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer co.Close()
+	if _, _, err := co.Reach(0, 29); err != nil {
+		t.Fatalf("healthy round failed: %v", err)
+	}
+	// Kill one site: the next query must fail loudly, not hang or lie.
+	sites[1].Close()
+	if _, _, err := co.Reach(0, 29); err == nil {
+		t.Fatal("query against a dead site must return an error")
+	}
+	sites[0].Close()
+}

@@ -1,0 +1,63 @@
+// Package netsite runs the partial-evaluation algorithms over real TCP
+// connections: each fragment is served by a Site (a TCP server owning one
+// fragment), and a Coordinator dials all sites, posts queries, gathers the
+// partial answers, and assembles them. It is the wire-level counterpart of
+// the in-process simulation in internal/cluster — answers are identical,
+// but here the bytes actually cross a socket, each site really is visited
+// exactly once per query, and the reply sizes can be measured on the wire.
+//
+// The protocol is length-prefixed binary frames:
+//
+//	frame  := length u32 (of the rest) | kind u8 | payload
+//	request kinds: 'r' qr(s,t), 'b' qbr(s,t,l), 'q' qrr(s,t,Gq)
+//	response kind: 'R' partial answer (codec per query class), 'E' error
+package netsite
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+// Frame kinds.
+const (
+	kindReach  = 'r'
+	kindDist   = 'b'
+	kindRPQ    = 'q'
+	kindAnswer = 'R'
+	kindError  = 'E'
+)
+
+// maxFrame bounds a frame to guard against corrupt length prefixes.
+const maxFrame = 1 << 28
+
+// writeFrame sends one frame and reports the bytes written.
+func writeFrame(w io.Writer, kind byte, payload []byte) (int, error) {
+	hdr := make([]byte, 5)
+	binary.LittleEndian.PutUint32(hdr, uint32(1+len(payload)))
+	hdr[4] = kind
+	if _, err := w.Write(hdr); err != nil {
+		return 0, err
+	}
+	if _, err := w.Write(payload); err != nil {
+		return 0, err
+	}
+	return 5 + len(payload), nil
+}
+
+// readFrame receives one frame and reports the bytes read.
+func readFrame(r io.Reader) (kind byte, payload []byte, n int, err error) {
+	hdr := make([]byte, 5)
+	if _, err := io.ReadFull(r, hdr); err != nil {
+		return 0, nil, 0, err
+	}
+	size := binary.LittleEndian.Uint32(hdr)
+	if size == 0 || size > maxFrame {
+		return 0, nil, 0, fmt.Errorf("netsite: implausible frame size %d", size)
+	}
+	payload = make([]byte, size-1)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return 0, nil, 0, err
+	}
+	return hdr[4], payload, 5 + int(size-1), nil
+}

@@ -1,0 +1,170 @@
+package netsite
+
+import (
+	"encoding/binary"
+	"fmt"
+	"net"
+	"sync"
+
+	"distreach/internal/automaton"
+	"distreach/internal/core"
+	"distreach/internal/fragment"
+	"distreach/internal/graph"
+)
+
+// Site serves one fragment over TCP. Create with NewSite, then Addr gives
+// the dial address for the coordinator; Close shuts the listener down.
+type Site struct {
+	frag *fragment.Fragment
+	ln   net.Listener
+
+	mu     sync.Mutex
+	closed bool
+	conns  map[net.Conn]struct{}
+	wg     sync.WaitGroup
+
+	// Logf, if set, receives connection-level errors (default: dropped).
+	Logf func(format string, args ...any)
+}
+
+// NewSite starts serving f on addr ("127.0.0.1:0" picks a free port).
+func NewSite(addr string, f *fragment.Fragment) (*Site, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("netsite: %w", err)
+	}
+	s := &Site{frag: f, ln: ln, conns: make(map[net.Conn]struct{})}
+	s.wg.Add(1)
+	go s.acceptLoop()
+	return s, nil
+}
+
+// Addr reports the address the site listens on.
+func (s *Site) Addr() string { return s.ln.Addr().String() }
+
+// Close stops the site and its connections.
+func (s *Site) Close() error {
+	s.mu.Lock()
+	s.closed = true
+	for c := range s.conns {
+		c.Close()
+	}
+	s.mu.Unlock()
+	err := s.ln.Close()
+	s.wg.Wait()
+	return err
+}
+
+func (s *Site) logf(format string, args ...any) {
+	if s.Logf != nil {
+		s.Logf(format, args...)
+	}
+}
+
+func (s *Site) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			conn.Close()
+			return
+		}
+		s.conns[conn] = struct{}{}
+		s.mu.Unlock()
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			defer func() {
+				s.mu.Lock()
+				delete(s.conns, conn)
+				s.mu.Unlock()
+				conn.Close()
+			}()
+			if err := s.serveConn(conn); err != nil {
+				s.logf("netsite: connection ended: %v", err)
+			}
+		}()
+	}
+}
+
+// serveConn handles one coordinator connection: a sequence of query frames,
+// each answered with one partial-answer frame.
+func (s *Site) serveConn(conn net.Conn) error {
+	for {
+		kind, payload, _, err := readFrame(conn)
+		if err != nil {
+			return err // includes clean EOF on coordinator close
+		}
+		resp, err := s.handle(kind, payload)
+		if err != nil {
+			if _, werr := writeFrame(conn, kindError, []byte(err.Error())); werr != nil {
+				return werr
+			}
+			continue
+		}
+		if _, err := writeFrame(conn, kindAnswer, resp); err != nil {
+			return err
+		}
+	}
+}
+
+func (s *Site) handle(kind byte, payload []byte) ([]byte, error) {
+	switch kind {
+	case kindReach:
+		if len(payload) < 8 {
+			return nil, fmt.Errorf("short qr payload")
+		}
+		src := graph.NodeID(binary.LittleEndian.Uint32(payload))
+		dst := graph.NodeID(binary.LittleEndian.Uint32(payload[4:]))
+		rv := core.LocalEvalReach(s.frag, src, dst)
+		return rv.MarshalBinary()
+	case kindDist:
+		if len(payload) < 12 {
+			return nil, fmt.Errorf("short qbr payload")
+		}
+		src := graph.NodeID(binary.LittleEndian.Uint32(payload))
+		dst := graph.NodeID(binary.LittleEndian.Uint32(payload[4:]))
+		l := int(binary.LittleEndian.Uint32(payload[8:]))
+		rv := core.LocalEvalDist(s.frag, src, dst, l)
+		return rv.MarshalBinary()
+	case kindRPQ:
+		if len(payload) < 8 {
+			return nil, fmt.Errorf("short qrr payload")
+		}
+		src := graph.NodeID(binary.LittleEndian.Uint32(payload))
+		dst := graph.NodeID(binary.LittleEndian.Uint32(payload[4:]))
+		var a automaton.Automaton
+		if err := a.UnmarshalBinary(payload[8:]); err != nil {
+			return nil, err
+		}
+		rv := core.LocalEvalRPQ(s.frag, src, dst, &a)
+		return rv.MarshalBinary()
+	default:
+		return nil, fmt.Errorf("unknown request kind %q", kind)
+	}
+}
+
+// ServeFragmentation is a convenience that starts one Site per fragment on
+// loopback ports and returns the sites plus their addresses. Callers must
+// Close every site.
+func ServeFragmentation(fr *fragment.Fragmentation) ([]*Site, []string, error) {
+	sites := make([]*Site, 0, fr.Card())
+	addrs := make([]string, 0, fr.Card())
+	for _, f := range fr.Fragments() {
+		s, err := NewSite("127.0.0.1:0", f)
+		if err != nil {
+			for _, prev := range sites {
+				prev.Close()
+			}
+			return nil, nil, err
+		}
+		sites = append(sites, s)
+		addrs = append(addrs, s.Addr())
+	}
+	return sites, addrs, nil
+}

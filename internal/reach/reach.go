@@ -1,0 +1,291 @@
+// Package reach provides centralized reachability indexes. The paper's
+// localEval checks "v' ∈ des(v, Fi)" with "any available centralized
+// algorithm for reachability queries [31]" and notes that indexing
+// techniques (reachability matrix, 2-hop labels [5]) can replace plain
+// DFS/BFS to lower the local-evaluation cost. This package supplies those
+// options behind one interface so that the ablation experiment A1 of
+// DESIGN.md can compare them inside the distributed algorithms.
+package reach
+
+import (
+	"fmt"
+
+	"distreach/internal/bitset"
+	"distreach/internal/graph"
+)
+
+// Index answers reachability queries on a fixed graph. Implementations are
+// immutable after construction and safe for concurrent use.
+type Index interface {
+	// Reaches reports whether v is reachable from u (u reaches itself).
+	Reaches(u, v graph.NodeID) bool
+}
+
+// Kind selects an Index implementation.
+type Kind int
+
+// Available index kinds.
+const (
+	KindBFS      Kind = iota // no precomputation; BFS per query
+	KindTC                   // SCC condensation + bitset transitive closure
+	KindInterval             // DFS-forest interval labels with pruned-BFS fallback
+	KindLandmark             // degree-ranked landmarks with pruned-BFS fallback
+)
+
+// String names the kind.
+func (k Kind) String() string {
+	switch k {
+	case KindBFS:
+		return "bfs"
+	case KindTC:
+		return "tc-bitset"
+	case KindInterval:
+		return "interval"
+	case KindLandmark:
+		return "landmark"
+	}
+	return fmt.Sprintf("Kind(%d)", int(k))
+}
+
+// Build constructs an index of the given kind over g.
+func Build(k Kind, g *graph.Graph) Index {
+	switch k {
+	case KindBFS:
+		return BFS{G: g}
+	case KindTC:
+		return NewTC(g)
+	case KindInterval:
+		return NewInterval(g)
+	case KindLandmark:
+		return NewLandmark(g, defaultLandmarks(g))
+	}
+	panic("reach: unknown index kind " + k.String())
+}
+
+func defaultLandmarks(g *graph.Graph) int {
+	n := g.NumNodes()
+	switch {
+	case n <= 64:
+		return n / 4
+	case n <= 4096:
+		return 32
+	default:
+		return 64
+	}
+}
+
+// BFS is the index-free strategy: each query is answered by a fresh BFS.
+type BFS struct{ G *graph.Graph }
+
+// Reaches implements Index.
+func (b BFS) Reaches(u, v graph.NodeID) bool { return b.G.Reachable(u, v) }
+
+// TC is a transitive-closure index: reachability between strongly connected
+// components is materialized as bitsets, so queries are O(1). Construction
+// is O((|V|+|E|) · nc/64) time and O(nc²/64) space for nc components; use it
+// for fragments, not for billion-edge graphs.
+type TC struct {
+	comp []int32
+	desc []bitset.Set // per component: reachable components (including self)
+}
+
+// NewTC builds the transitive closure of g.
+func NewTC(g *graph.Graph) *TC {
+	comp, dag := g.Condensation()
+	nc := dag.NumNodes()
+	desc := make([]bitset.Set, nc)
+	// Component IDs are topologically ordered (edges go from smaller to
+	// larger IDs), so a reverse sweep sees all successors first.
+	for c := nc - 1; c >= 0; c-- {
+		s := bitset.New(nc)
+		s.Set(c)
+		for _, d := range dag.Out(graph.NodeID(c)) {
+			s.Or(desc[d])
+		}
+		desc[c] = s
+	}
+	return &TC{comp: comp, desc: desc}
+}
+
+// Reaches implements Index.
+func (t *TC) Reaches(u, v graph.NodeID) bool {
+	return t.desc[t.comp[u]].Get(int(t.comp[v]))
+}
+
+// Interval is a tree-cover index: a DFS spanning forest assigns each node a
+// [pre, post) interval; containment certifies reachability along tree edges
+// in O(1). Non-tree reachability falls back to BFS, pruned by the intervals
+// (whenever the BFS visits a node whose interval contains the target, it
+// answers true immediately).
+type Interval struct {
+	g         *graph.Graph
+	pre, post []int32
+}
+
+// NewInterval builds the interval labels over a deterministic DFS forest.
+func NewInterval(g *graph.Graph) *Interval {
+	n := g.NumNodes()
+	ix := &Interval{g: g, pre: make([]int32, n), post: make([]int32, n)}
+	for i := range ix.pre {
+		ix.pre[i] = -1
+	}
+	var clock int32
+	type frame struct {
+		v graph.NodeID
+		i int
+	}
+	var stack []frame
+	for root := graph.NodeID(0); int(root) < n; root++ {
+		if ix.pre[root] >= 0 {
+			continue
+		}
+		ix.pre[root] = clock
+		clock++
+		stack = append(stack, frame{root, 0})
+		for len(stack) > 0 {
+			f := &stack[len(stack)-1]
+			if f.i < len(g.Out(f.v)) {
+				w := g.Out(f.v)[f.i]
+				f.i++
+				if ix.pre[w] < 0 {
+					ix.pre[w] = clock
+					clock++
+					stack = append(stack, frame{w, 0})
+				}
+				continue
+			}
+			ix.post[f.v] = clock
+			clock++
+			stack = stack[:len(stack)-1]
+		}
+	}
+	return ix
+}
+
+// covers reports whether u's DFS-tree subtree contains v.
+func (ix *Interval) covers(u, v graph.NodeID) bool {
+	return ix.pre[u] <= ix.pre[v] && ix.post[v] <= ix.post[u]
+}
+
+// Reaches implements Index.
+func (ix *Interval) Reaches(u, v graph.NodeID) bool {
+	if u == v || ix.covers(u, v) {
+		return true
+	}
+	seen := make([]bool, ix.g.NumNodes())
+	seen[u] = true
+	queue := []graph.NodeID{u}
+	for len(queue) > 0 {
+		x := queue[0]
+		queue = queue[1:]
+		for _, w := range ix.g.Out(x) {
+			if seen[w] {
+				continue
+			}
+			if w == v || ix.covers(w, v) {
+				return true
+			}
+			seen[w] = true
+			queue = append(queue, w)
+		}
+	}
+	return false
+}
+
+// Landmark is a pruned-landmark index in the spirit of 2-hop labels [5]:
+// for each of the L highest-degree nodes h we store anc(h) (nodes that
+// reach h) and desc(h) (nodes h reaches) as bitsets. A query (u, v) is true
+// if some landmark h has u ∈ anc(h) and v ∈ desc(h). Otherwise every u~>v
+// path avoids all landmarks, so a fallback BFS that never expands landmarks
+// decides the query exactly.
+type Landmark struct {
+	g        *graph.Graph
+	isLand   []bool
+	anc      []bitset.Set
+	desc     []bitset.Set
+	landmark []graph.NodeID
+}
+
+// NewLandmark builds an index with l landmarks chosen by total degree.
+func NewLandmark(g *graph.Graph, l int) *Landmark {
+	n := g.NumNodes()
+	if l > n {
+		l = n
+	}
+	// Select the l nodes with the largest in+out degree.
+	type dn struct {
+		d int
+		v graph.NodeID
+	}
+	best := make([]dn, 0, n)
+	for v := graph.NodeID(0); int(v) < n; v++ {
+		best = append(best, dn{g.OutDegree(v) + g.InDegree(v), v})
+	}
+	// Partial selection sort of the top l (l is small).
+	for i := 0; i < l; i++ {
+		maxJ := i
+		for j := i + 1; j < len(best); j++ {
+			if best[j].d > best[maxJ].d {
+				maxJ = j
+			}
+		}
+		best[i], best[maxJ] = best[maxJ], best[i]
+	}
+	lm := &Landmark{g: g, isLand: make([]bool, n)}
+	rg := g.Reverse()
+	for i := 0; i < l; i++ {
+		h := best[i].v
+		lm.landmark = append(lm.landmark, h)
+		lm.isLand[h] = true
+		lm.desc = append(lm.desc, reachSet(g, h))
+		lm.anc = append(lm.anc, reachSet(rg, h))
+	}
+	return lm
+}
+
+func reachSet(g *graph.Graph, s graph.NodeID) bitset.Set {
+	set := bitset.New(g.NumNodes())
+	set.Set(int(s))
+	stack := []graph.NodeID{s}
+	for len(stack) > 0 {
+		v := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, w := range g.Out(v) {
+			if !set.Get(int(w)) {
+				set.Set(int(w))
+				stack = append(stack, w)
+			}
+		}
+	}
+	return set
+}
+
+// Reaches implements Index.
+func (lm *Landmark) Reaches(u, v graph.NodeID) bool {
+	if u == v {
+		return true
+	}
+	for i := range lm.landmark {
+		if lm.anc[i].Get(int(u)) && lm.desc[i].Get(int(v)) {
+			return true
+		}
+	}
+	// No path through a landmark exists; search the landmark-free graph.
+	seen := make([]bool, lm.g.NumNodes())
+	seen[u] = true
+	queue := []graph.NodeID{u}
+	for len(queue) > 0 {
+		x := queue[0]
+		queue = queue[1:]
+		for _, w := range lm.g.Out(x) {
+			if w == v {
+				return true
+			}
+			if !seen[w] && !lm.isLand[w] {
+				seen[w] = true
+				queue = append(queue, w)
+			}
+		}
+	}
+	return false
+}

@@ -1,0 +1,112 @@
+package reach
+
+import (
+	"testing"
+
+	"distreach/internal/gen"
+	"distreach/internal/graph"
+)
+
+func randomGraph(seed uint64, n, m int) *graph.Graph {
+	return gen.Uniform(gen.Config{Nodes: n, Edges: m, Seed: seed})
+}
+
+// TestAllIndexesMatchBFS is the central property: every index kind answers
+// exactly like plain BFS on arbitrary graphs, including cyclic ones.
+func TestAllIndexesMatchBFS(t *testing.T) {
+	kinds := []Kind{KindTC, KindInterval, KindLandmark}
+	for seed := uint64(0); seed < 20; seed++ {
+		g := randomGraph(seed, 30, int(seed*7)%120)
+		oracle := BFS{G: g}
+		for _, k := range kinds {
+			idx := Build(k, g)
+			for u := graph.NodeID(0); int(u) < g.NumNodes(); u++ {
+				for v := graph.NodeID(0); int(v) < g.NumNodes(); v++ {
+					if got, want := idx.Reaches(u, v), oracle.Reaches(u, v); got != want {
+						t.Fatalf("%v seed %d: Reaches(%d,%d)=%v, BFS=%v", k, seed, u, v, got, want)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestTCOnCycle(t *testing.T) {
+	b := graph.NewBuilder(4)
+	for i := 0; i < 4; i++ {
+		b.AddNode("")
+	}
+	b.AddEdge(0, 1)
+	b.AddEdge(1, 2)
+	b.AddEdge(2, 0)
+	b.AddEdge(2, 3)
+	g := b.MustBuild()
+	tc := NewTC(g)
+	for u := graph.NodeID(0); u < 3; u++ {
+		for v := graph.NodeID(0); v < 4; v++ {
+			if !tc.Reaches(u, v) {
+				t.Fatalf("cycle member %d should reach %d", u, v)
+			}
+		}
+	}
+	if tc.Reaches(3, 0) {
+		t.Fatal("sink reaches cycle")
+	}
+}
+
+func TestIntervalTreePath(t *testing.T) {
+	// A path graph: intervals alone certify all reachability.
+	b := graph.NewBuilder(10)
+	for i := 0; i < 10; i++ {
+		b.AddNode("")
+	}
+	for i := 0; i+1 < 10; i++ {
+		b.AddEdge(graph.NodeID(i), graph.NodeID(i+1))
+	}
+	g := b.MustBuild()
+	ix := NewInterval(g)
+	if !ix.Reaches(0, 9) || ix.Reaches(9, 0) {
+		t.Fatal("interval index wrong on path")
+	}
+}
+
+func TestLandmarkEdgeCases(t *testing.T) {
+	// Graph smaller than the landmark budget.
+	g := randomGraph(3, 5, 10)
+	lm := NewLandmark(g, 100)
+	for u := graph.NodeID(0); int(u) < 5; u++ {
+		for v := graph.NodeID(0); int(v) < 5; v++ {
+			if lm.Reaches(u, v) != g.Reachable(u, v) {
+				t.Fatalf("landmark wrong on (%d,%d)", u, v)
+			}
+		}
+	}
+	// Zero landmarks degrade to plain BFS.
+	lm0 := NewLandmark(g, 0)
+	if lm0.Reaches(0, 0) != true {
+		t.Fatal("self reachability")
+	}
+}
+
+func TestKindString(t *testing.T) {
+	names := map[Kind]string{
+		KindBFS: "bfs", KindTC: "tc-bitset", KindInterval: "interval", KindLandmark: "landmark",
+	}
+	for k, want := range names {
+		if k.String() != want {
+			t.Errorf("%d.String() = %q", k, k.String())
+		}
+	}
+	if Kind(99).String() == "" {
+		t.Error("unknown kind should still render")
+	}
+}
+
+func TestBuildDispatch(t *testing.T) {
+	g := randomGraph(1, 10, 20)
+	for _, k := range []Kind{KindBFS, KindTC, KindInterval, KindLandmark} {
+		if Build(k, g) == nil {
+			t.Fatalf("Build(%v) returned nil", k)
+		}
+	}
+}

@@ -1,0 +1,85 @@
+package rx
+
+// Brzozowski-derivative matching: an independent decision procedure for
+// membership of a label sequence in L(R). It exists primarily as an oracle
+// for property-based tests of the query automaton (two very different
+// constructions must agree on every string), and doubles as a simple
+// matcher for callers that have a concrete path label in hand.
+
+// Match reports whether the label sequence seq is in the language of n.
+func (n *Node) Match(seq []string) bool {
+	cur := n
+	for _, l := range seq {
+		cur = cur.Derivative(l)
+		if isVoid(cur) {
+			return false
+		}
+	}
+	return cur.Nullable()
+}
+
+// voidNode represents the empty language ∅ (no strings at all), which is
+// distinct from ε. It only arises inside derivative computation; Parse
+// never produces it. We encode ∅ as Union with both children nil and a
+// sentinel label, kept unexported behind isVoid.
+var void = &Node{Kind: Label, Label: "\x00∅"}
+
+func isVoid(n *Node) bool { return n.Kind == Label && n.Label == void.Label }
+
+// Derivative returns the Brzozowski derivative of n with respect to label
+// l: a regular expression denoting { w : l·w ∈ L(n) }. The result is
+// simplified enough to keep repeated derivatives from exploding on the
+// expression sizes used in queries.
+func (n *Node) Derivative(l string) *Node {
+	switch n.Kind {
+	case Empty:
+		return void
+	case Label:
+		if isVoid(n) {
+			return void
+		}
+		if n.Label == Wildcard || n.Label == l {
+			return Eps()
+		}
+		return void
+	case Concat:
+		// d(AB) = d(A)B | [A nullable] d(B)
+		left := simplifyCat(n.Left.Derivative(l), n.Right)
+		if n.Left.Nullable() {
+			return simplifyAlt(left, n.Right.Derivative(l))
+		}
+		return left
+	case Union:
+		return simplifyAlt(n.Left.Derivative(l), n.Right.Derivative(l))
+	case Star:
+		// d(A*) = d(A) A*
+		return simplifyCat(n.Left.Derivative(l), n)
+	}
+	return void
+}
+
+func simplifyCat(a, b *Node) *Node {
+	if isVoid(a) || isVoid(b) {
+		return void
+	}
+	if a.Kind == Empty {
+		return b
+	}
+	if b.Kind == Empty {
+		return a
+	}
+	return &Node{Kind: Concat, Left: a, Right: b}
+}
+
+func simplifyAlt(a, b *Node) *Node {
+	if isVoid(a) {
+		return b
+	}
+	if isVoid(b) {
+		return a
+	}
+	if a == b {
+		return a
+	}
+	return &Node{Kind: Union, Left: a, Right: b}
+}

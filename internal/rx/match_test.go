@@ -1,0 +1,82 @@
+package rx
+
+import (
+	"testing"
+
+	"distreach/internal/gen"
+)
+
+func TestMatchBasics(t *testing.T) {
+	cases := []struct {
+		expr string
+		seq  []string
+		want bool
+	}{
+		{"a", []string{"a"}, true},
+		{"a", []string{"b"}, false},
+		{"a", nil, false},
+		{"", nil, true},
+		{"a*", nil, true},
+		{"a*", []string{"a", "a", "a"}, true},
+		{"a*", []string{"a", "b"}, false},
+		{"a b", []string{"a", "b"}, true},
+		{"a b", []string{"b", "a"}, false},
+		{"a|b", []string{"b"}, true},
+		{"a+", nil, false},
+		{"a?", nil, true},
+		{"_ _", []string{"x", "y"}, true},
+		{"_ _", []string{"x"}, false},
+		{"a (b|c)* a", []string{"a", "b", "c", "b", "a"}, true},
+		{"a (b|c)* a", []string{"a", "a", "a"}, false},
+	}
+	for _, c := range cases {
+		if got := MustParse(c.expr).Match(c.seq); got != c.want {
+			t.Errorf("Match(%q, %v) = %v, want %v", c.expr, c.seq, got, c.want)
+		}
+	}
+}
+
+func TestDerivativeAlgebra(t *testing.T) {
+	// d_a(a b) = b
+	d := MustParse("a b").Derivative("a")
+	if !d.Match([]string{"b"}) || d.Match(nil) {
+		t.Fatalf("d_a(a b) = %v", d)
+	}
+	// d_b(a b) = ∅
+	if d := MustParse("a b").Derivative("b"); !isVoid(d) {
+		t.Fatalf("d_b(a b) = %v, want void", d)
+	}
+	// d_a(a*) = a*
+	d = MustParse("a*").Derivative("a")
+	if !d.Nullable() || !d.Match([]string{"a", "a"}) {
+		t.Fatalf("d_a(a*) = %v", d)
+	}
+}
+
+func TestMatchAcceptsOwnSamples(t *testing.T) {
+	rng := gen.NewRNG(21)
+	labels := []string{"a", "b", "c"}
+	var rand func(depth int) *Node
+	rand = func(depth int) *Node {
+		if depth == 0 || rng.Intn(3) == 0 {
+			return Lbl(labels[rng.Intn(3)])
+		}
+		switch rng.Intn(3) {
+		case 0:
+			return Cat(rand(depth-1), rand(depth-1))
+		case 1:
+			return Alt(rand(depth-1), rand(depth-1))
+		default:
+			return Kleene(rand(depth - 1))
+		}
+	}
+	for i := 0; i < 300; i++ {
+		re := rand(4)
+		for j := 0; j < 4; j++ {
+			seq := re.Sample(rng, 3)
+			if !re.Match(seq) {
+				t.Fatalf("%q rejects its own sample %v", re, seq)
+			}
+		}
+	}
+}

@@ -1,0 +1,281 @@
+// Package rx provides the regular expressions of regular reachability
+// queries (Section 2.2 of the paper):
+//
+//	R ::= ε | a | RR | R ∪ R | R*
+//
+// where a is a node label. The concrete syntax accepted by Parse uses
+// identifiers for labels, '|' for union, juxtaposition for concatenation,
+// '*' for Kleene closure, plus the common abbreviations '+' (RR*),
+// '?' (R ∪ ε), and '_' as the wildcard label that matches any node label
+// (the paper's "wildcard" remark in Section 2.2). 'ε' may be written as
+// "()" or as the empty string.
+package rx
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Kind enumerates AST node kinds.
+type Kind int
+
+// AST node kinds.
+const (
+	Empty  Kind = iota // ε
+	Label              // a single label; Wildcard matches any label
+	Concat             // RR
+	Union              // R ∪ R
+	Star               // R*
+)
+
+// Wildcard is the label that matches any node label.
+const Wildcard = "_"
+
+// Node is a regular-expression AST node. Leaf kinds (Empty, Label) have nil
+// children; Star uses only Left.
+type Node struct {
+	Kind  Kind
+	Label string // for Kind == Label
+	Left  *Node
+	Right *Node
+}
+
+// Lbl returns a label leaf.
+func Lbl(name string) *Node { return &Node{Kind: Label, Label: name} }
+
+// Eps returns the ε node.
+func Eps() *Node { return &Node{Kind: Empty} }
+
+// Cat returns the concatenation of the given expressions (ε for none).
+func Cat(xs ...*Node) *Node {
+	if len(xs) == 0 {
+		return Eps()
+	}
+	n := xs[0]
+	for _, x := range xs[1:] {
+		n = &Node{Kind: Concat, Left: n, Right: x}
+	}
+	return n
+}
+
+// Alt returns the union of the given expressions (ε for none).
+func Alt(xs ...*Node) *Node {
+	if len(xs) == 0 {
+		return Eps()
+	}
+	n := xs[0]
+	for _, x := range xs[1:] {
+		n = &Node{Kind: Union, Left: n, Right: x}
+	}
+	return n
+}
+
+// Kleene returns x*.
+func Kleene(x *Node) *Node { return &Node{Kind: Star, Left: x} }
+
+// Size reports the number of AST nodes, the |R| of the paper's complexity
+// bounds.
+func (n *Node) Size() int {
+	if n == nil {
+		return 0
+	}
+	return 1 + n.Left.Size() + n.Right.Size()
+}
+
+// Nullable reports whether ε is in the language of n.
+func (n *Node) Nullable() bool {
+	switch n.Kind {
+	case Empty, Star:
+		return true
+	case Label:
+		return false
+	case Concat:
+		return n.Left.Nullable() && n.Right.Nullable()
+	case Union:
+		return n.Left.Nullable() || n.Right.Nullable()
+	}
+	return false
+}
+
+// String renders the expression in the concrete syntax accepted by Parse.
+func (n *Node) String() string {
+	var b strings.Builder
+	n.render(&b, 0)
+	return b.String()
+}
+
+// precedence: Union=1, Concat=2, Star=3.
+func (n *Node) render(b *strings.Builder, prec int) {
+	switch n.Kind {
+	case Empty:
+		b.WriteString("()")
+	case Label:
+		b.WriteString(n.Label)
+	case Concat:
+		if prec > 2 {
+			b.WriteByte('(')
+		}
+		n.Left.render(b, 2)
+		b.WriteByte(' ')
+		n.Right.render(b, 2)
+		if prec > 2 {
+			b.WriteByte(')')
+		}
+	case Union:
+		if prec > 1 {
+			b.WriteByte('(')
+		}
+		n.Left.render(b, 1)
+		b.WriteByte('|')
+		n.Right.render(b, 1)
+		if prec > 1 {
+			b.WriteByte(')')
+		}
+	case Star:
+		n.Left.render(b, 3)
+		b.WriteByte('*')
+	}
+}
+
+// Parse parses the concrete syntax into an AST.
+//
+// Grammar:
+//
+//	expr   := term ('|' term)*
+//	term   := factor*
+//	factor := atom ('*' | '+' | '?')*
+//	atom   := LABEL | '(' expr? ')'
+//
+// An empty term denotes ε; labels are runs of letters, digits, and '_'.
+func Parse(s string) (*Node, error) {
+	p := &parser{in: s}
+	n := p.expr()
+	p.skipSpace()
+	if p.err == nil && p.pos != len(p.in) {
+		return nil, fmt.Errorf("rx: unexpected %q at offset %d", p.in[p.pos], p.pos)
+	}
+	if p.err != nil {
+		return nil, p.err
+	}
+	return n, nil
+}
+
+// MustParse is Parse but panics on error; for tests and constants.
+func MustParse(s string) *Node {
+	n, err := Parse(s)
+	if err != nil {
+		panic(err)
+	}
+	return n
+}
+
+type parser struct {
+	in  string
+	pos int
+	err error
+}
+
+func (p *parser) skipSpace() {
+	for p.pos < len(p.in) && (p.in[p.pos] == ' ' || p.in[p.pos] == '\t' || p.in[p.pos] == '\n') {
+		p.pos++
+	}
+}
+
+func (p *parser) peek() byte {
+	p.skipSpace()
+	if p.pos >= len(p.in) {
+		return 0
+	}
+	return p.in[p.pos]
+}
+
+func (p *parser) expr() *Node {
+	n := p.term()
+	for p.peek() == '|' {
+		p.pos++
+		n = &Node{Kind: Union, Left: n, Right: p.term()}
+	}
+	return n
+}
+
+func (p *parser) term() *Node {
+	var n *Node
+	for {
+		c := p.peek()
+		if c == 0 || c == '|' || c == ')' {
+			break
+		}
+		f := p.factor()
+		if f == nil {
+			break
+		}
+		if n == nil {
+			n = f
+		} else {
+			n = &Node{Kind: Concat, Left: n, Right: f}
+		}
+	}
+	if n == nil {
+		return Eps()
+	}
+	return n
+}
+
+func (p *parser) factor() *Node {
+	n := p.atom()
+	if n == nil {
+		return nil
+	}
+	for {
+		switch p.peek() {
+		case '*':
+			p.pos++
+			n = &Node{Kind: Star, Left: n}
+		case '+':
+			p.pos++
+			n = &Node{Kind: Concat, Left: n, Right: &Node{Kind: Star, Left: n}}
+		case '?':
+			p.pos++
+			n = &Node{Kind: Union, Left: n, Right: Eps()}
+		default:
+			return n
+		}
+	}
+}
+
+func isLabelByte(c byte) bool {
+	return c == '_' || c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c >= '0' && c <= '9'
+}
+
+func (p *parser) atom() *Node {
+	switch c := p.peek(); {
+	case c == '(':
+		p.pos++
+		var n *Node
+		if p.peek() == ')' {
+			n = Eps()
+		} else {
+			n = p.expr()
+		}
+		if p.peek() != ')' {
+			if p.err == nil {
+				p.err = fmt.Errorf("rx: missing ')' at offset %d", p.pos)
+			}
+			return n
+		}
+		p.pos++
+		return n
+	case isLabelByte(c):
+		start := p.pos
+		for p.pos < len(p.in) && isLabelByte(p.in[p.pos]) {
+			p.pos++
+		}
+		return Lbl(p.in[start:p.pos])
+	default:
+		if c != 0 && p.err == nil {
+			p.err = fmt.Errorf("rx: unexpected %q at offset %d", c, p.pos)
+			p.pos++ // make progress so parsing terminates
+		}
+		return nil
+	}
+}

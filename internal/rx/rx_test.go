@@ -1,0 +1,140 @@
+package rx
+
+import (
+	"testing"
+
+	"distreach/internal/gen"
+)
+
+func TestParseBasics(t *testing.T) {
+	cases := []struct {
+		in   string
+		size int
+	}{
+		{"a", 1},
+		{"a b", 3},
+		{"a|b", 3},
+		{"a*", 2},
+		{"a+", 4}, // a(a*)
+		{"a?", 3}, // a|ε
+		{"()", 1}, // ε
+		{"", 1},   // ε
+		{"(a b)*", 4},
+		{"DB*|HR*", 5},
+	}
+	for _, c := range cases {
+		n, err := Parse(c.in)
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", c.in, err)
+		}
+		if n.Size() != c.size {
+			t.Errorf("Parse(%q).Size() = %d, want %d", c.in, n.Size(), c.size)
+		}
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	for _, in := range []string{"(a", "a)", "*", "a | | b)(", "((("} {
+		if _, err := Parse(in); err == nil {
+			t.Errorf("Parse(%q): expected error", in)
+		}
+	}
+}
+
+func TestParsePrecedence(t *testing.T) {
+	// Concatenation binds tighter than union; star tighter than both.
+	n := MustParse("a b|c")
+	if n.Kind != Union || n.Left.Kind != Concat {
+		t.Fatalf("a b|c parsed as %v", n)
+	}
+	n = MustParse("a b*")
+	if n.Kind != Concat || n.Right.Kind != Star {
+		t.Fatalf("a b* parsed as %v", n)
+	}
+}
+
+func TestNullable(t *testing.T) {
+	cases := map[string]bool{
+		"":      true,
+		"a":     false,
+		"a*":    true,
+		"a|()":  true,
+		"a b":   false,
+		"a* b*": true,
+		"a? b?": true,
+		"a+":    false,
+	}
+	for in, want := range cases {
+		if got := MustParse(in).Nullable(); got != want {
+			t.Errorf("Nullable(%q) = %v, want %v", in, got, want)
+		}
+	}
+}
+
+func TestStringRoundTrip(t *testing.T) {
+	rng := gen.NewRNG(1)
+	labels := []string{"a", "b", "c"}
+	var rand func(depth int) *Node
+	rand = func(depth int) *Node {
+		if depth == 0 || rng.Intn(3) == 0 {
+			if rng.Intn(4) == 0 {
+				return Eps()
+			}
+			return Lbl(labels[rng.Intn(3)])
+		}
+		switch rng.Intn(3) {
+		case 0:
+			return Cat(rand(depth-1), rand(depth-1))
+		case 1:
+			return Alt(rand(depth-1), rand(depth-1))
+		default:
+			return Kleene(rand(depth - 1))
+		}
+	}
+	for i := 0; i < 200; i++ {
+		n := rand(4)
+		s := n.String()
+		n2, err := Parse(s)
+		if err != nil {
+			t.Fatalf("re-parse of %q failed: %v", s, err)
+		}
+		if n2.String() != s {
+			t.Fatalf("round trip not stable: %q -> %q", s, n2.String())
+		}
+	}
+}
+
+func TestSampleProducesOnlyKnownLabels(t *testing.T) {
+	rng := gen.NewRNG(2)
+	n := MustParse("a (b|c)* d?")
+	for i := 0; i < 100; i++ {
+		seq := n.Sample(rng, 4)
+		if len(seq) == 0 || seq[0] != "a" {
+			t.Fatalf("sample %v must start with a", seq)
+		}
+		for _, l := range seq {
+			switch l {
+			case "a", "b", "c", "d":
+			default:
+				t.Fatalf("unexpected label %q", l)
+			}
+		}
+	}
+}
+
+func TestLabels(t *testing.T) {
+	n := MustParse("a (b|_)* a")
+	ls := n.Labels()
+	if len(ls) != 2 {
+		t.Fatalf("Labels = %v, want {a, b}", ls)
+	}
+}
+
+func TestHelpersEmpty(t *testing.T) {
+	if Cat().Kind != Empty || Alt().Kind != Empty {
+		t.Fatal("empty Cat/Alt must be ε")
+	}
+	if got := Cat(Lbl("a"), Lbl("b"), Lbl("c")).Size(); got != 5 {
+		t.Fatalf("Cat size = %d", got)
+	}
+}

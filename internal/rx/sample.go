@@ -1,0 +1,63 @@
+package rx
+
+import "distreach/internal/gen"
+
+// Sample generates a pseudo-random member string of the language of n,
+// drawing randomness from rng. Star nodes repeat their body a geometrically
+// distributed number of times (p = 1/2, capped at maxRep). Wildcard labels
+// are emitted as rx.Wildcard; callers substituting concrete labels must
+// handle them. Sample is used by property-based tests: every sampled string
+// must be accepted by the query automaton built from n.
+func (n *Node) Sample(rng *gen.RNG, maxRep int) []string {
+	var out []string
+	n.sample(rng, maxRep, &out)
+	return out
+}
+
+func (n *Node) sample(rng *gen.RNG, maxRep int, out *[]string) {
+	switch n.Kind {
+	case Empty:
+	case Label:
+		*out = append(*out, n.Label)
+	case Concat:
+		n.Left.sample(rng, maxRep, out)
+		n.Right.sample(rng, maxRep, out)
+	case Union:
+		if rng.Intn(2) == 0 {
+			n.Left.sample(rng, maxRep, out)
+		} else {
+			n.Right.sample(rng, maxRep, out)
+		}
+	case Star:
+		reps := 0
+		for reps < maxRep && rng.Intn(2) == 0 {
+			reps++
+		}
+		for i := 0; i < reps; i++ {
+			n.Left.sample(rng, maxRep, out)
+		}
+	}
+}
+
+// Labels returns the set of distinct concrete labels mentioned in n,
+// excluding the wildcard.
+func (n *Node) Labels() []string {
+	seen := map[string]bool{}
+	var walk func(*Node)
+	walk = func(m *Node) {
+		if m == nil {
+			return
+		}
+		if m.Kind == Label && m.Label != Wildcard {
+			seen[m.Label] = true
+		}
+		walk(m.Left)
+		walk(m.Right)
+	}
+	walk(n)
+	out := make([]string, 0, len(seen))
+	for l := range seen {
+		out = append(out, l)
+	}
+	return out
+}

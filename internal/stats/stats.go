@@ -1,0 +1,78 @@
+// Package stats holds the small numeric and formatting helpers used by the
+// benchmark harness to print the paper's tables and figure series.
+package stats
+
+import (
+	"fmt"
+	"sort"
+	"time"
+)
+
+// MeanDuration returns the arithmetic mean of ds (0 for empty input).
+func MeanDuration(ds []time.Duration) time.Duration {
+	if len(ds) == 0 {
+		return 0
+	}
+	var sum time.Duration
+	for _, d := range ds {
+		sum += d
+	}
+	return sum / time.Duration(len(ds))
+}
+
+// Percentile returns the p-th percentile (0..100) of ds using
+// nearest-rank; it sorts a copy.
+func Percentile(ds []time.Duration, p float64) time.Duration {
+	if len(ds) == 0 {
+		return 0
+	}
+	cp := append([]time.Duration(nil), ds...)
+	sort.Slice(cp, func(i, j int) bool { return cp[i] < cp[j] })
+	rank := int(p/100*float64(len(cp))+0.5) - 1
+	if rank < 0 {
+		rank = 0
+	}
+	if rank >= len(cp) {
+		rank = len(cp) - 1
+	}
+	return cp[rank]
+}
+
+// MeanInt64 returns the arithmetic mean of xs (0 for empty input).
+func MeanInt64(xs []int64) int64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var sum int64
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / int64(len(xs))
+}
+
+// Bytes renders a byte count in a human-readable unit (B, KB, MB, GB).
+func Bytes(n int64) string {
+	switch {
+	case n >= 1<<30:
+		return fmt.Sprintf("%.2fGB", float64(n)/(1<<30))
+	case n >= 1<<20:
+		return fmt.Sprintf("%.2fMB", float64(n)/(1<<20))
+	case n >= 1<<10:
+		return fmt.Sprintf("%.2fKB", float64(n)/(1<<10))
+	default:
+		return fmt.Sprintf("%dB", n)
+	}
+}
+
+// Millis renders a duration as fractional milliseconds.
+func Millis(d time.Duration) string {
+	return fmt.Sprintf("%.2fms", float64(d)/float64(time.Millisecond))
+}
+
+// Ratio renders a/b as a percentage string ("n/a" when b is 0).
+func Ratio(a, b int64) string {
+	if b == 0 {
+		return "n/a"
+	}
+	return fmt.Sprintf("%.1f%%", 100*float64(a)/float64(b))
+}

@@ -1,0 +1,68 @@
+package stats
+
+import (
+	"testing"
+	"time"
+)
+
+func TestMeanDuration(t *testing.T) {
+	if MeanDuration(nil) != 0 {
+		t.Fatal("empty mean")
+	}
+	ds := []time.Duration{time.Second, 3 * time.Second}
+	if MeanDuration(ds) != 2*time.Second {
+		t.Fatal("mean wrong")
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	ds := []time.Duration{5, 1, 3, 2, 4}
+	if Percentile(ds, 50) != 3 {
+		t.Fatalf("p50 = %v", Percentile(ds, 50))
+	}
+	if Percentile(ds, 100) != 5 || Percentile(ds, 0) != 1 {
+		t.Fatal("extremes wrong")
+	}
+	if Percentile(nil, 50) != 0 {
+		t.Fatal("empty percentile")
+	}
+	// Input must not be mutated.
+	if ds[0] != 5 {
+		t.Fatal("input sorted in place")
+	}
+}
+
+func TestMeanInt64(t *testing.T) {
+	if MeanInt64([]int64{2, 4, 9}) != 5 {
+		t.Fatal("int mean wrong")
+	}
+	if MeanInt64(nil) != 0 {
+		t.Fatal("empty int mean")
+	}
+}
+
+func TestBytes(t *testing.T) {
+	cases := map[int64]string{
+		12:      "12B",
+		2048:    "2.00KB",
+		3 << 20: "3.00MB",
+		5 << 30: "5.00GB",
+	}
+	for in, want := range cases {
+		if got := Bytes(in); got != want {
+			t.Errorf("Bytes(%d) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestMillisAndRatio(t *testing.T) {
+	if Millis(1500*time.Microsecond) != "1.50ms" {
+		t.Fatalf("millis = %q", Millis(1500*time.Microsecond))
+	}
+	if Ratio(1, 4) != "25.0%" {
+		t.Fatalf("ratio = %q", Ratio(1, 4))
+	}
+	if Ratio(1, 0) != "n/a" {
+		t.Fatal("zero denominator")
+	}
+}

@@ -1,0 +1,112 @@
+package workload
+
+import (
+	"distreach/internal/automaton"
+	"distreach/internal/gen"
+	"distreach/internal/graph"
+)
+
+// Query is one reachability (or bounded reachability) query endpoint pair.
+type Query struct {
+	S, T graph.NodeID
+}
+
+// ReachQueries generates n random reachability queries over g, aiming for
+// the paper's mix of roughly trueRate positive queries ("around 30% return
+// true"). Queries are drawn by rejection sampling against a centralized
+// reachability check; if the graph cannot supply enough queries of one
+// polarity within a bounded number of attempts, the remainder is filled
+// with unconstrained random pairs.
+func ReachQueries(g *graph.Graph, n int, trueRate float64, seed uint64) []Query {
+	rng := gen.NewRNG(seed)
+	wantTrue := int(float64(n) * trueRate)
+	wantFalse := n - wantTrue
+	out := make([]Query, 0, n)
+	attempts := 0
+	maxAttempts := 50 * n
+	for len(out) < n && attempts < maxAttempts {
+		attempts++
+		s := graph.NodeID(rng.Intn(g.NumNodes()))
+		t := graph.NodeID(rng.Intn(g.NumNodes()))
+		if s == t {
+			continue
+		}
+		reach := g.Reachable(s, t)
+		switch {
+		case reach && wantTrue > 0:
+			wantTrue--
+			out = append(out, Query{s, t})
+		case !reach && wantFalse > 0:
+			wantFalse--
+			out = append(out, Query{s, t})
+		}
+	}
+	for len(out) < n {
+		s := graph.NodeID(rng.Intn(g.NumNodes()))
+		t := graph.NodeID(rng.Intn(g.NumNodes()))
+		out = append(out, Query{s, t})
+	}
+	return out
+}
+
+// RandomPairs generates n unconstrained random (s, t) pairs.
+func RandomPairs(g *graph.Graph, n int, seed uint64) []Query {
+	rng := gen.NewRNG(seed)
+	out := make([]Query, n)
+	for i := range out {
+		out[i] = Query{
+			S: graph.NodeID(rng.Intn(g.NumNodes())),
+			T: graph.NodeID(rng.Intn(g.NumNodes())),
+		}
+	}
+	return out
+}
+
+// RPQQuery is one regular reachability query: endpoints plus the query
+// automaton Gq(R).
+type RPQQuery struct {
+	S, T graph.NodeID
+	A    *automaton.Automaton
+}
+
+// Complexity mirrors the paper's query-complexity triples (|Vq|, |Eq|,
+// |Lq|), e.g. (8, 16, 8) for the Exp-3 default.
+type Complexity struct {
+	States, Transitions, Labels int
+}
+
+// RPQQueries generates n random regular reachability queries of the given
+// complexity over g. Automaton labels are drawn from the labels that
+// actually occur in g (the paper draws queries "from a set L of labels" of
+// the dataset); endpoints are uniform random nodes.
+func RPQQueries(g *graph.Graph, n int, c Complexity, seed uint64) []RPQQuery {
+	rng := gen.NewRNG(seed)
+	labels := distinctLabels(g, c.Labels)
+	out := make([]RPQQuery, n)
+	for i := range out {
+		out[i] = RPQQuery{
+			S: graph.NodeID(rng.Intn(g.NumNodes())),
+			T: graph.NodeID(rng.Intn(g.NumNodes())),
+			A: automaton.Random(rng, c.States, c.Transitions, labels),
+		}
+	}
+	return out
+}
+
+// distinctLabels returns up to want distinct labels occurring in g, by
+// frequency of first appearance; if the graph has fewer, all are returned.
+func distinctLabels(g *graph.Graph, want int) []string {
+	seen := map[string]bool{}
+	var out []string
+	for v := 0; v < g.NumNodes() && len(out) < want; v++ {
+		l := g.Label(graph.NodeID(v))
+		if !seen[l] {
+			seen[l] = true
+			out = append(out, l)
+		}
+	}
+	if len(out) == 0 {
+		out = []string{""}
+	}
+	return out
+}

@@ -1,0 +1,112 @@
+package workload
+
+import (
+	"testing"
+
+	"distreach/internal/automaton"
+	"distreach/internal/graph"
+)
+
+func TestDatasetsGenerate(t *testing.T) {
+	for _, d := range append(append([]Dataset{}, ReachDatasets...), LabeledDatasets...) {
+		g := d.Generate()
+		if g.NumNodes() != d.V {
+			t.Errorf("%s: |V| = %d, want %d", d.Name, g.NumNodes(), d.V)
+		}
+		if g.NumEdges() == 0 {
+			t.Errorf("%s: no edges", d.Name)
+		}
+		if d.Labels > 0 {
+			if l := g.Label(0); l == "" {
+				t.Errorf("%s: labeled dataset has empty label", d.Name)
+			}
+		}
+		if err := g.Validate(); err != nil {
+			t.Errorf("%s: %v", d.Name, err)
+		}
+	}
+}
+
+func TestByName(t *testing.T) {
+	if d, ok := ByName("Youtube"); !ok || d.Labels != 12 {
+		t.Fatalf("ByName(Youtube) = %+v, %v", d, ok)
+	}
+	if _, ok := ByName("nope"); ok {
+		t.Fatal("unknown dataset found")
+	}
+}
+
+func TestReachQueriesMix(t *testing.T) {
+	d := Dataset{Name: "test", V: 500, E: 2500, Seed: 5}
+	g := d.Generate()
+	qs := ReachQueries(g, 100, 0.3, 17)
+	if len(qs) != 100 {
+		t.Fatalf("got %d queries", len(qs))
+	}
+	trues := 0
+	for _, q := range qs {
+		if g.Reachable(q.S, q.T) {
+			trues++
+		}
+	}
+	// Aim for ~30%; accept a broad band since the fill-up path is random.
+	if trues < 10 || trues > 60 {
+		t.Fatalf("true rate %d%%, want around 30%%", trues)
+	}
+}
+
+func TestReachQueriesDeterministic(t *testing.T) {
+	g := Dataset{V: 100, E: 400, Seed: 1}.Generate()
+	a := ReachQueries(g, 20, 0.3, 3)
+	b := ReachQueries(g, 20, 0.3, 3)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("same seed, different queries")
+		}
+	}
+}
+
+func TestRandomPairsInRange(t *testing.T) {
+	g := Dataset{V: 50, E: 100, Seed: 2}.Generate()
+	for _, q := range RandomPairs(g, 50, 4) {
+		if q.S < 0 || int(q.S) >= 50 || q.T < 0 || int(q.T) >= 50 {
+			t.Fatalf("pair out of range: %+v", q)
+		}
+	}
+}
+
+func TestRPQQueriesComplexity(t *testing.T) {
+	g := Dataset{V: 300, E: 900, Labels: 10, Seed: 6}.Generate()
+	c := Complexity{States: 8, Transitions: 16, Labels: 8}
+	qs := RPQQueries(g, 30, c, 7)
+	if len(qs) != 30 {
+		t.Fatalf("got %d queries", len(qs))
+	}
+	for _, q := range qs {
+		if q.A.NumStates() != 8 {
+			t.Fatalf("|Vq| = %d", q.A.NumStates())
+		}
+		if q.A.NumTransitions() == 0 {
+			t.Fatal("no transitions")
+		}
+		// Every position label must occur in the graph's alphabet.
+		for u := 2; u < q.A.NumStates(); u++ {
+			if q.A.StateLabel(u) == "" {
+				t.Fatal("position without label")
+			}
+		}
+	}
+}
+
+func TestDistinctLabelsFallback(t *testing.T) {
+	// Unlabeled graph: the generator must still produce automata.
+	g := Dataset{V: 20, E: 40, Seed: 8}.Generate()
+	qs := RPQQueries(g, 3, Complexity{States: 4, Transitions: 6, Labels: 4}, 9)
+	for _, q := range qs {
+		if q.A == nil {
+			t.Fatal("nil automaton")
+		}
+	}
+	_ = automaton.Start
+	_ = graph.None
+}
