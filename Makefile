@@ -1,0 +1,35 @@
+# The same commands CI runs (.github/workflows/ci.yml), for humans.
+
+GO ?= go
+
+.PHONY: all build test race bench bench-smoke fmt fmt-check vet ci
+
+all: build test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# Full benchmark pass (real measurements).
+bench:
+	$(GO) test -bench . -benchmem ./...
+
+# One-iteration smoke run: proves every benchmark still compiles and runs.
+bench-smoke:
+	$(GO) test -run '^$$' -bench . -benchtime 1x ./...
+
+fmt:
+	gofmt -w .
+
+fmt-check:
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+
+vet:
+	$(GO) vet ./...
+
+ci: build vet fmt-check race bench-smoke

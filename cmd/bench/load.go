@@ -1,0 +1,199 @@
+package main
+
+import (
+	"fmt"
+	"net/http"
+	neturl "net/url"
+	"os"
+	"sort"
+	"sync"
+	"time"
+
+	"distreach/internal/automaton"
+	"distreach/internal/fragment"
+	"distreach/internal/gen"
+	"distreach/internal/graph"
+	"distreach/internal/netsite"
+)
+
+// loadConfig is the closed-loop load generator: N concurrent clients, each
+// issuing the next query as soon as the previous one answers, against
+// either an in-process TCP deployment (the default) or a running cmd/serve
+// gateway (-url).
+type loadConfig struct {
+	clients  int
+	duration time.Duration
+	class    string // qr | qbr | qrr | mixed
+	url      string // non-empty: drive an HTTP gateway instead
+	nodes    int
+	edges    int
+	k        int
+	seed     uint64
+}
+
+// clientStats is one client's closed-loop tally.
+type clientStats struct {
+	lats []time.Duration
+	errs int
+}
+
+func runLoad(cfg loadConfig) error {
+	switch cfg.class {
+	case "qr", "qbr", "qrr", "mixed":
+	default:
+		return fmt.Errorf("unknown query class %q (want qr, qbr, qrr or mixed)", cfg.class)
+	}
+	var issue func(rng *gen.RNG, q int) error
+	target := cfg.url
+	if cfg.url != "" {
+		issue = httpIssuer(cfg)
+	} else {
+		var cleanup func()
+		var err error
+		issue, cleanup, err = wireIssuer(cfg)
+		if err != nil {
+			return err
+		}
+		defer cleanup()
+		target = fmt.Sprintf("in-process deployment (%d sites, |V|=%d, |E|=%d)", cfg.k, cfg.nodes, cfg.edges)
+	}
+
+	fmt.Fprintf(os.Stderr, "load: %d clients, %v, class %s, target %s\n",
+		cfg.clients, cfg.duration, cfg.class, target)
+	stats := make([]clientStats, cfg.clients)
+	deadline := time.Now().Add(cfg.duration)
+	start := time.Now()
+	var wg sync.WaitGroup
+	for w := 0; w < cfg.clients; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := gen.NewRNG(cfg.seed + uint64(w)*7919)
+			for q := 0; time.Now().Before(deadline); q++ {
+				t0 := time.Now()
+				if err := issue(rng, q); err != nil {
+					stats[w].errs++ // failed queries don't count as served work
+					continue
+				}
+				stats[w].lats = append(stats[w].lats, time.Since(t0))
+			}
+		}(w)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	var all []time.Duration
+	errs := 0
+	for _, s := range stats {
+		all = append(all, s.lats...)
+		errs += s.errs
+	}
+	if len(all) == 0 {
+		return fmt.Errorf("load: no queries completed (%d errors)", errs)
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+	pct := func(p float64) time.Duration {
+		i := int(p * float64(len(all)-1))
+		return all[i].Round(time.Microsecond)
+	}
+	var sum time.Duration
+	for _, d := range all {
+		sum += d
+	}
+	fmt.Printf("queries     %d (%d errors)\n", len(all), errs)
+	fmt.Printf("elapsed     %v\n", elapsed.Round(time.Millisecond))
+	fmt.Printf("throughput  %.0f q/s\n", float64(len(all))/elapsed.Seconds())
+	fmt.Printf("latency     mean %v  p50 %v  p90 %v  p99 %v  max %v\n",
+		(sum / time.Duration(len(all))).Round(time.Microsecond),
+		pct(0.50), pct(0.90), pct(0.99), pct(1.0))
+	if errs > 0 {
+		return fmt.Errorf("load: %d queries failed", errs)
+	}
+	return nil
+}
+
+var loadLabels = []string{"A", "B", "C"}
+
+// pickQuery draws one query of the configured class mix.
+func pickQuery(class string, rng *gen.RNG, q, n int) (cls string, s, t graph.NodeID, l int) {
+	if class == "mixed" {
+		cls = []string{"qr", "qbr", "qrr"}[q%3]
+	} else {
+		cls = class
+	}
+	s = graph.NodeID(rng.Intn(n))
+	t = graph.NodeID(rng.Intn(n))
+	l = 1 + rng.Intn(8)
+	return cls, s, t, l
+}
+
+// wireIssuer deploys loopback sites in-process and drives them over the
+// multiplexed TCP protocol through a single shared coordinator.
+func wireIssuer(cfg loadConfig) (func(*gen.RNG, int) error, func(), error) {
+	g := gen.PowerLaw(gen.Config{Nodes: cfg.nodes, Edges: cfg.edges, Labels: loadLabels, Seed: cfg.seed})
+	fr, err := fragment.Random(g, cfg.k, cfg.seed)
+	if err != nil {
+		return nil, nil, err
+	}
+	sites, addrs, err := netsite.ServeFragmentation(fr)
+	if err != nil {
+		return nil, nil, err
+	}
+	co, err := netsite.Dial(addrs, 3*time.Second)
+	if err != nil {
+		for _, s := range sites {
+			s.Close()
+		}
+		return nil, nil, err
+	}
+	cleanup := func() {
+		co.Close()
+		for _, s := range sites {
+			s.Close()
+		}
+	}
+	issue := func(rng *gen.RNG, q int) error {
+		cls, s, t, l := pickQuery(cfg.class, rng, q, cfg.nodes)
+		var err error
+		switch cls {
+		case "qr":
+			_, _, err = co.Reach(s, t)
+		case "qbr":
+			_, _, _, err = co.ReachWithin(s, t, l)
+		case "qrr":
+			a := automaton.Random(rng, 2+rng.Intn(4), 4+rng.Intn(8), loadLabels)
+			_, _, err = co.ReachRegex(s, t, a)
+		}
+		return err
+	}
+	return issue, cleanup, nil
+}
+
+// httpIssuer drives a running cmd/serve gateway. Node IDs are drawn from
+// [0, nodes); point -nodes at the deployed graph's size.
+func httpIssuer(cfg loadConfig) func(*gen.RNG, int) error {
+	client := &http.Client{Timeout: 10 * time.Second}
+	exprs := []string{"A(A|B)*", "(A|B|C)+", "AB*C?"}
+	return func(rng *gen.RNG, q int) error {
+		cls, s, t, l := pickQuery(cfg.class, rng, q, cfg.nodes)
+		var url string
+		switch cls {
+		case "qr":
+			url = fmt.Sprintf("%s/reach?s=%d&t=%d", cfg.url, s, t)
+		case "qbr":
+			url = fmt.Sprintf("%s/reachwithin?s=%d&t=%d&l=%d", cfg.url, s, t, l)
+		case "qrr":
+			url = fmt.Sprintf("%s/reachregex?s=%d&t=%d&r=%s",
+				cfg.url, s, t, neturl.QueryEscape(exprs[q%len(exprs)]))
+		}
+		resp, err := client.Get(url)
+		if err != nil {
+			return err
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			return fmt.Errorf("%s: status %s", url, resp.Status)
+		}
+		return nil
+	}
+}

@@ -1,5 +1,6 @@
 // Command bench regenerates the paper's evaluation: Table 2, every panel of
 // Fig. 11, the in-text visit/traffic claims, and the DESIGN.md ablations.
+// It doubles as a closed-loop load generator for the serving runtime.
 //
 // Usage:
 //
@@ -7,6 +8,13 @@
 //	bench -all                 # the whole suite
 //	bench -all -md -out EXPERIMENTS.raw.md
 //	bench -exp F11a -queries 100 -scale 1.0 -v
+//
+// Load generation (closed loop: each client issues its next query as soon
+// as the previous answers; reports throughput and latency percentiles):
+//
+//	bench -load -clients 8 -duration 3s                   # in-process TCP deployment
+//	bench -load -clients 16 -class mixed -nodes 5000
+//	bench -load -url http://127.0.0.1:8080 -clients 32    # against a cmd/serve gateway
 //
 // Output rows mirror the series the paper plots; absolute numbers differ
 // (simulated sites, scaled datasets) but the shapes — who wins, by what
@@ -33,8 +41,36 @@ func main() {
 		md      = flag.Bool("md", false, "emit GitHub-flavored markdown tables")
 		out     = flag.String("out", "", "write output to a file instead of stdout")
 		verbose = flag.Bool("v", false, "log progress to stderr")
+
+		load     = flag.Bool("load", false, "run the closed-loop load generator instead of experiments")
+		clients  = flag.Int("clients", 8, "load: concurrent closed-loop clients")
+		duration = flag.Duration("duration", 3*time.Second, "load: how long to drive traffic")
+		class    = flag.String("class", "qr", "load: query class: qr | qbr | qrr | mixed")
+		url      = flag.String("url", "", "load: drive a cmd/serve gateway at this base URL instead of an in-process deployment")
+		nodes    = flag.Int("nodes", 2000, "load: graph nodes (in-process mode; node-ID range in -url mode)")
+		edges    = flag.Int("edges", 8000, "load: graph edges (in-process mode)")
+		k        = flag.Int("k", 4, "load: fragment count (in-process mode)")
+		seed     = flag.Uint64("seed", 1, "load: workload seed")
 	)
 	flag.Parse()
+
+	if *load {
+		err := runLoad(loadConfig{
+			clients:  *clients,
+			duration: *duration,
+			class:    *class,
+			url:      *url,
+			nodes:    *nodes,
+			edges:    *edges,
+			k:        *k,
+			seed:     *seed,
+		})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "bench: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	if *list {
 		for _, id := range exp.IDs() {

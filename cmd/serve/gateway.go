@@ -1,0 +1,199 @@
+package main
+
+import (
+	"encoding/json"
+	"net/http"
+	"strconv"
+	"sync/atomic"
+	"time"
+
+	"distreach"
+	"distreach/internal/graph"
+	"distreach/internal/netsite"
+	"distreach/internal/qcache"
+)
+
+// cachedAnswer is the value stored per query key: the Boolean answer plus
+// the exact distance for bounded queries.
+type cachedAnswer struct {
+	Answer  bool
+	Dist    int64
+	HasDist bool
+}
+
+// gateway serves the HTTP/JSON API over one multiplexing coordinator.
+type gateway struct {
+	co      *netsite.Coordinator
+	cache   *qcache.Cache[cachedAnswer]
+	queries atomic.Int64
+	started time.Time
+}
+
+func newGateway(co *netsite.Coordinator, cacheCap int) *gateway {
+	return &gateway{co: co, cache: qcache.New[cachedAnswer](cacheCap), started: time.Now()}
+}
+
+func (g *gateway) routes() *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /reach", g.handleReach)
+	mux.HandleFunc("GET /reachwithin", g.handleReachWithin)
+	mux.HandleFunc("GET /reachregex", g.handleReachRegex)
+	mux.HandleFunc("GET /stats", g.handleStats)
+	mux.HandleFunc("POST /flush", g.handleFlush)
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Write([]byte("ok\n"))
+	})
+	return mux
+}
+
+// wireJSON mirrors netsite.WireStats for responses served off the wire.
+type wireJSON struct {
+	BytesSent       int64 `json:"bytes_sent"`
+	BytesReceived   int64 `json:"bytes_received"`
+	RoundTripMicros int64 `json:"round_trip_us"`
+}
+
+type queryResponse struct {
+	Query  string    `json:"query"`
+	Answer bool      `json:"answer"`
+	Dist   *int64    `json:"dist,omitempty"`
+	Cached bool      `json:"cached"`
+	Wire   *wireJSON `json:"wire,omitempty"`
+}
+
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(v)
+}
+
+// nodeParam parses one required node-ID query parameter.
+func nodeParam(r *http.Request, name string) (graph.NodeID, bool) {
+	v, err := strconv.ParseUint(r.URL.Query().Get(name), 10, 32)
+	if err != nil {
+		return 0, false
+	}
+	return graph.NodeID(v), true
+}
+
+func badRequest(w http.ResponseWriter, msg string) {
+	writeJSON(w, http.StatusBadRequest, errorResponse{Error: msg})
+}
+
+func (g *gateway) respond(w http.ResponseWriter, query string, ans cachedAnswer, cached bool, st netsite.WireStats) {
+	resp := queryResponse{Query: query, Answer: ans.Answer, Cached: cached}
+	if ans.HasDist {
+		resp.Dist = &ans.Dist
+	}
+	if !cached {
+		resp.Wire = &wireJSON{
+			BytesSent:       st.BytesSent,
+			BytesReceived:   st.BytesReceived,
+			RoundTripMicros: st.RoundTrip.Microseconds(),
+		}
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (g *gateway) handleReach(w http.ResponseWriter, r *http.Request) {
+	s, ok := nodeParam(r, "s")
+	t, ok2 := nodeParam(r, "t")
+	if !ok || !ok2 {
+		badRequest(w, "reach needs numeric s and t")
+		return
+	}
+	g.queries.Add(1)
+	query := "qr(" + r.URL.Query().Get("s") + "," + r.URL.Query().Get("t") + ")"
+	key := qcache.ReachKey(s, t)
+	if ans, hit := g.cache.Get(key); hit {
+		g.respond(w, query, ans, true, netsite.WireStats{})
+		return
+	}
+	answer, st, err := g.co.Reach(s, t)
+	if err != nil {
+		writeJSON(w, http.StatusBadGateway, errorResponse{Error: err.Error()})
+		return
+	}
+	ans := cachedAnswer{Answer: answer}
+	g.cache.Put(key, ans)
+	g.respond(w, query, ans, false, st)
+}
+
+func (g *gateway) handleReachWithin(w http.ResponseWriter, r *http.Request) {
+	s, ok := nodeParam(r, "s")
+	t, ok2 := nodeParam(r, "t")
+	l, err := strconv.Atoi(r.URL.Query().Get("l"))
+	if !ok || !ok2 || err != nil || l < 0 {
+		badRequest(w, "reachwithin needs numeric s, t and bound l >= 0")
+		return
+	}
+	g.queries.Add(1)
+	query := "qbr(" + r.URL.Query().Get("s") + "," + r.URL.Query().Get("t") + "," + r.URL.Query().Get("l") + ")"
+	key := qcache.DistKey(s, t, l)
+	if ans, hit := g.cache.Get(key); hit {
+		g.respond(w, query, ans, true, netsite.WireStats{})
+		return
+	}
+	answer, dist, st, err := g.co.ReachWithin(s, t, l)
+	if err != nil {
+		writeJSON(w, http.StatusBadGateway, errorResponse{Error: err.Error()})
+		return
+	}
+	// The distance is exact only when within the bound; otherwise it is the
+	// solver's infinity sentinel, which callers should not see.
+	ans := cachedAnswer{Answer: answer, Dist: dist, HasDist: answer}
+	g.cache.Put(key, ans)
+	g.respond(w, query, ans, false, st)
+}
+
+func (g *gateway) handleReachRegex(w http.ResponseWriter, r *http.Request) {
+	s, ok := nodeParam(r, "s")
+	t, ok2 := nodeParam(r, "t")
+	expr := r.URL.Query().Get("r")
+	if !ok || !ok2 || expr == "" {
+		badRequest(w, "reachregex needs numeric s, t and expression r")
+		return
+	}
+	a, err := distreach.CompileRegex(expr)
+	if err != nil {
+		badRequest(w, err.Error())
+		return
+	}
+	g.queries.Add(1)
+	query := "qrr(" + r.URL.Query().Get("s") + "," + r.URL.Query().Get("t") + "," + expr + ")"
+	key := qcache.RPQKey(s, t, expr)
+	if ans, hit := g.cache.Get(key); hit {
+		g.respond(w, query, ans, true, netsite.WireStats{})
+		return
+	}
+	answer, st, err := g.co.ReachRegex(s, t, a)
+	if err != nil {
+		writeJSON(w, http.StatusBadGateway, errorResponse{Error: err.Error()})
+		return
+	}
+	ans := cachedAnswer{Answer: answer}
+	g.cache.Put(key, ans)
+	g.respond(w, query, ans, false, st)
+}
+
+func (g *gateway) handleStats(w http.ResponseWriter, r *http.Request) {
+	hits, misses := g.cache.Stats()
+	writeJSON(w, http.StatusOK, map[string]any{
+		"queries":        g.queries.Load(),
+		"uptime_seconds": int64(time.Since(g.started).Seconds()),
+		"cache": map[string]any{
+			"hits":    hits,
+			"misses":  misses,
+			"entries": g.cache.Len(),
+		},
+	})
+}
+
+func (g *gateway) handleFlush(w http.ResponseWriter, r *http.Request) {
+	g.cache.Flush()
+	writeJSON(w, http.StatusOK, map[string]string{"status": "flushed"})
+}

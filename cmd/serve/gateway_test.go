@@ -1,0 +1,184 @@
+package main
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"sync"
+	"testing"
+	"time"
+
+	"distreach/internal/fragment"
+	"distreach/internal/gen"
+	"distreach/internal/graph"
+	"distreach/internal/netsite"
+)
+
+func testGateway(t *testing.T) (*gateway, *graph.Graph, *httptest.Server) {
+	t.Helper()
+	labels := []string{"A", "B"}
+	g := gen.Uniform(gen.Config{Nodes: 80, Edges: 320, Labels: labels, Seed: 61})
+	fr, err := fragment.Random(g, 3, 61)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sites, addrs, err := netsite.ServeFragmentation(fr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	co, err := netsite.Dial(addrs, 2*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gw := newGateway(co, 128)
+	srv := httptest.NewServer(gw.routes())
+	t.Cleanup(func() {
+		srv.Close()
+		co.Close()
+		for _, s := range sites {
+			s.Close()
+		}
+	})
+	return gw, g, srv
+}
+
+func getJSON(t *testing.T, url string, wantStatus int) map[string]any {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != wantStatus {
+		t.Fatalf("GET %s: status %d, want %d", url, resp.StatusCode, wantStatus)
+	}
+	var m map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&m); err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestGatewayReachMatchesOracle(t *testing.T) {
+	_, g, srv := testGateway(t)
+	rng := gen.NewRNG(62)
+	for q := 0; q < 30; q++ {
+		s := rng.Intn(80)
+		tt := rng.Intn(80)
+		m := getJSON(t, srv.URL+"/reach?s="+strconv.Itoa(s)+"&t="+strconv.Itoa(tt), 200)
+		if got, want := m["answer"].(bool), g.Reachable(graph.NodeID(s), graph.NodeID(tt)); got != want {
+			t.Fatalf("qr(%d,%d): http=%v oracle=%v", s, tt, got, want)
+		}
+	}
+}
+
+func TestGatewayCacheHitAndFlush(t *testing.T) {
+	gw, _, srv := testGateway(t)
+	url := srv.URL + "/reach?s=3&t=70"
+	first := getJSON(t, url, 200)
+	if first["cached"].(bool) {
+		t.Fatal("first query must miss the cache")
+	}
+	if first["wire"] == nil {
+		t.Fatal("uncached query must report wire stats")
+	}
+	second := getJSON(t, url, 200)
+	if !second["cached"].(bool) {
+		t.Fatal("repeat query must hit the cache")
+	}
+	if second["answer"] != first["answer"] {
+		t.Fatal("cached answer differs from computed answer")
+	}
+	if second["wire"] != nil {
+		t.Fatal("cached query must not report wire stats")
+	}
+	resp, err := http.Post(srv.URL+"/flush", "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if gw.cache.Len() != 0 {
+		t.Fatal("flush must empty the cache")
+	}
+	third := getJSON(t, url, 200)
+	if third["cached"].(bool) {
+		t.Fatal("query after flush must miss the cache")
+	}
+}
+
+func TestGatewayReachWithinAndRegex(t *testing.T) {
+	_, g, srv := testGateway(t)
+	m := getJSON(t, srv.URL+"/reachwithin?s=5&t=60&l=4", 200)
+	d := g.Dist(5, 60)
+	want := d >= 0 && d <= 4
+	if m["answer"].(bool) != want {
+		t.Fatalf("qbr(5,60,4): http=%v oracle dist=%d", m["answer"], d)
+	}
+	if want {
+		if dist := int(m["dist"].(float64)); dist != d {
+			t.Fatalf("dist %d, oracle %d", dist, d)
+		}
+	}
+	// Regex answers travel URL-encoded.
+	m = getJSON(t, srv.URL+"/reachregex?s=5&t=60&r=A%28A%7CB%29%2A", 200) // A(A|B)*
+	if _, ok := m["answer"].(bool); !ok {
+		t.Fatalf("qrr: malformed response %v", m)
+	}
+}
+
+func TestGatewayRejectsBadParams(t *testing.T) {
+	_, _, srv := testGateway(t)
+	for _, path := range []string{
+		"/reach?s=x&t=2",
+		"/reach?t=2",
+		"/reachwithin?s=1&t=2&l=-3",
+		"/reachwithin?s=1&t=2",
+		"/reachregex?s=1&t=2",
+		"/reachregex?s=1&t=2&r=%28", // unbalanced paren
+	} {
+		m := getJSON(t, srv.URL+path, 400)
+		if m["error"] == "" {
+			t.Fatalf("%s: error body missing", path)
+		}
+	}
+}
+
+func TestGatewayConcurrentClients(t *testing.T) {
+	_, g, srv := testGateway(t)
+	var wg sync.WaitGroup
+	errs := make(chan string, 8)
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(seed uint64) {
+			defer wg.Done()
+			rng := gen.NewRNG(seed)
+			for q := 0; q < 20; q++ {
+				s := rng.Intn(80)
+				tt := rng.Intn(80)
+				resp, err := http.Get(srv.URL + "/reach?s=" + strconv.Itoa(s) + "&t=" + strconv.Itoa(tt))
+				if err != nil {
+					errs <- err.Error()
+					return
+				}
+				var m map[string]any
+				err = json.NewDecoder(resp.Body).Decode(&m)
+				resp.Body.Close()
+				if err != nil {
+					errs <- err.Error()
+					return
+				}
+				if got, want := m["answer"].(bool), g.Reachable(graph.NodeID(s), graph.NodeID(tt)); got != want {
+					errs <- "wrong answer under concurrency"
+					return
+				}
+			}
+		}(uint64(70 + w))
+	}
+	wg.Wait()
+	select {
+	case e := <-errs:
+		t.Fatal(e)
+	default:
+	}
+}

@@ -1,0 +1,128 @@
+// Command serve is the query gateway: an HTTP/JSON front end over a
+// distributed deployment. It dials the worker sites once, multiplexes all
+// HTTP traffic over those connections (many queries in flight at a time),
+// and fronts the coordinator with an LRU answer cache so repeat queries
+// never touch the wire.
+//
+// Two deployment modes:
+//
+//	serve -sites 10.0.0.1:7000,10.0.0.2:7000          # real sites (cmd/site)
+//	serve -graph g.txt -k 4                           # self-contained: in-process loopback sites
+//
+// API:
+//
+//	GET  /reach?s=0&t=99           qr(s,t)
+//	GET  /reachwithin?s=0&t=99&l=6 qbr(s,t,l)
+//	GET  /reachregex?s=0&t=99&r=A(B|C)*  qrr(s,t,R) (URL-encode r)
+//	GET  /stats                    queries served, cache hits/misses
+//	POST /flush                    invalidate the answer cache wholesale
+//	GET  /healthz                  liveness
+//
+// The cache has no per-entry expiry: on a static fragmentation answers
+// never go stale. Redeploying (restarting serve against new sites, or
+// POST /flush after swapping the graph under a running deployment)
+// invalidates it wholesale.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"strings"
+	"time"
+
+	"distreach"
+	"distreach/internal/fragment"
+	"distreach/internal/graph"
+	"distreach/internal/netsite"
+)
+
+func main() {
+	var (
+		listen    = flag.String("listen", "127.0.0.1:8080", "HTTP listen address")
+		sites     = flag.String("sites", "", "comma-separated site addresses (dial a running deployment)")
+		graphPath = flag.String("graph", "", "graph file for self-contained mode (format of cmd/gengraph)")
+		k         = flag.Int("k", 4, "fragment count (self-contained mode)")
+		partition = flag.String("partition", "random", "partitioner: random | hash | contiguous | greedy")
+		seed      = flag.Uint64("seed", 1, "partitioner seed")
+		cacheCap  = flag.Int("cache", 4096, "answer cache capacity (entries)")
+		timeout   = flag.Duration("timeout", 3*time.Second, "site dial timeout")
+	)
+	flag.Parse()
+
+	var (
+		co    *netsite.Coordinator
+		owned []*netsite.Site
+		err   error
+	)
+	switch {
+	case *sites != "":
+		co, err = netsite.Dial(strings.Split(*sites, ","), *timeout)
+		if err != nil {
+			fatal(err)
+		}
+	case *graphPath != "":
+		var addrs []string
+		owned, addrs, err = selfDeploy(*graphPath, *partition, *k, *seed)
+		if err != nil {
+			fatal(err)
+		}
+		co, err = netsite.Dial(addrs, *timeout)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("serve: self-contained deployment, %d loopback sites\n", len(owned))
+	default:
+		fmt.Fprintln(os.Stderr, "serve: need -sites (running deployment) or -graph (self-contained)")
+		os.Exit(2)
+	}
+	defer co.Close()
+	defer func() {
+		for _, s := range owned {
+			s.Close()
+		}
+	}()
+
+	gw := newGateway(co, *cacheCap)
+	fmt.Printf("serve: gateway on http://%s (cache %d entries)\n", *listen, *cacheCap)
+	if err := http.ListenAndServe(*listen, gw.routes()); err != nil {
+		fatal(err)
+	}
+}
+
+// selfDeploy loads the graph, partitions it, and serves every fragment on
+// a loopback site inside this process.
+func selfDeploy(graphPath, partition string, k int, seed uint64) ([]*netsite.Site, []string, error) {
+	f, err := os.Open(graphPath)
+	if err != nil {
+		return nil, nil, err
+	}
+	g, err := graph.Read(f)
+	f.Close()
+	if err != nil {
+		return nil, nil, err
+	}
+	var fr *fragment.Fragmentation
+	switch partition {
+	case "random":
+		fr, err = distreach.PartitionRandom(g, k, seed)
+	case "hash":
+		fr, err = distreach.PartitionHash(g, k)
+	case "contiguous":
+		fr, err = distreach.PartitionContiguous(g, k)
+	case "greedy":
+		fr, err = distreach.PartitionGreedy(g, k, seed)
+	default:
+		err = fmt.Errorf("unknown partitioner %q", partition)
+	}
+	if err != nil {
+		return nil, nil, err
+	}
+	return netsite.ServeFragmentation(fr)
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "serve: %v\n", err)
+	os.Exit(1)
+}

@@ -1,0 +1,3 @@
+module distreach
+
+go 1.24

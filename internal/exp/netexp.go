@@ -2,6 +2,7 @@ package exp
 
 import (
 	"fmt"
+	"sync"
 	"time"
 
 	"distreach/internal/cluster"
@@ -13,6 +14,7 @@ import (
 
 func init() {
 	register("N1", tcpCrossCheck)
+	register("N2", tcpConcurrency)
 }
 
 // tcpCrossCheck validates the in-process simulation against the real TCP
@@ -80,6 +82,81 @@ func tcpCrossCheck(cfg Config) (Table, error) {
 			d.Name, fmt.Sprint(len(qs)), fmt.Sprint(agree),
 			fmt.Sprint(simBytes / n), fmt.Sprint(wireBytes / n),
 			fmt.Sprint(rt / time.Duration(n)),
+		})
+	}
+	return t, nil
+}
+
+// tcpConcurrency measures multiplexed serving: the same TCP deployment is
+// driven by 1, 2, 4 and 8 closed-loop clients sharing one coordinator's
+// connections, and the table reports throughput and the speedup over the
+// serialized (1-client) baseline. Before multiplexing, the coordinator
+// pinned every query round behind one mutex, so this column was flat at
+// 1.0x by construction.
+func tcpConcurrency(cfg Config) (Table, error) {
+	t := Table{
+		ID:     "N2",
+		Title:  "Serving N2: query throughput vs concurrent in-flight queries",
+		Header: []string{"dataset", "clients", "queries", "throughput q/s", "speedup"},
+		Notes: "Closed-loop clients share one coordinator and its site connections; frames are multiplexed by request ID. " +
+			"Sites emulate a 10ms service time (a loaded or remote site): on loopback every site time-shares this " +
+			"machine's cores, so without emulated latency a single query round already saturates local compute.",
+	}
+	d := workload.ReachDatasets[4]
+	d.V = cfg.scale(d.V)
+	d.E = cfg.scale(d.E)
+	g := d.Generate()
+	fr, err := fragment.Random(g, d.CardF, d.Seed)
+	if err != nil {
+		return t, err
+	}
+	sites, addrs, err := netsite.ServeFragmentationOpts(fr, netsite.SiteOptions{Delay: 10 * time.Millisecond})
+	if err != nil {
+		return t, err
+	}
+	defer func() {
+		for _, s := range sites {
+			s.Close()
+		}
+	}()
+	co, err := netsite.Dial(addrs, 3*time.Second)
+	if err != nil {
+		return t, err
+	}
+	defer co.Close()
+	qs := workload.ReachQueries(g, cfg.queries(25)*8, 0.3, d.Seed+37)
+	var base float64
+	for _, clients := range []int{1, 2, 4, 8} {
+		cfg.logf("N2: %s with %d clients", d.Name, clients)
+		start := time.Now()
+		var wg sync.WaitGroup
+		errs := make([]error, clients)
+		for w := 0; w < clients; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				for i := w; i < len(qs); i += clients {
+					if _, _, err := co.Reach(qs[i].S, qs[i].T); err != nil {
+						errs[w] = err
+						return
+					}
+				}
+			}(w)
+		}
+		wg.Wait()
+		elapsed := time.Since(start)
+		for _, err := range errs {
+			if err != nil {
+				return t, err
+			}
+		}
+		qps := float64(len(qs)) / elapsed.Seconds()
+		if clients == 1 {
+			base = qps
+		}
+		t.Rows = append(t.Rows, []string{
+			d.Name, fmt.Sprint(clients), fmt.Sprint(len(qs)),
+			fmt.Sprintf("%.0f", qps), fmt.Sprintf("%.1fx", qps/base),
 		})
 	}
 	return t, nil

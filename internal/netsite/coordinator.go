@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"distreach/internal/automaton"
@@ -15,11 +16,111 @@ import (
 
 // Coordinator is the site Sc: it holds one TCP connection per worker site
 // and evaluates queries by posting them to every site in parallel and
-// assembling the returned partial answers. It is safe for concurrent use;
-// concurrent queries serialize per connection.
+// assembling the returned partial answers. It is safe for concurrent use,
+// and concurrent queries are multiplexed over the same connections: each
+// query round is tagged with a request ID, sites answer in whatever order
+// they finish, and a per-connection reader demultiplexes replies back to
+// the waiting queries. Many queries can be in flight at once.
 type Coordinator struct {
-	mu    sync.Mutex // serializes query rounds (one in-flight frame per conn)
-	conns []net.Conn
+	conns  []*siteConn
+	nextID atomic.Uint32
+}
+
+// wireReply is one demultiplexed response frame.
+type wireReply struct {
+	kind    byte
+	payload []byte
+	n       int // bytes read off the wire for this frame
+}
+
+// siteConn is one multiplexed connection to a worker site: a write mutex
+// serializes outgoing frames, a reader goroutine routes response frames to
+// the pending query that posted the matching request ID. When the reader
+// stops (connection dropped, site closed, corrupt frame) every pending
+// query fails promptly with the cause — in-flight queries never hang.
+type siteConn struct {
+	conn net.Conn
+	wmu  sync.Mutex // serializes whole-frame writes
+
+	mu      sync.Mutex
+	pending map[uint32]chan wireReply
+	err     error // sticky; set once when the reader loop exits
+}
+
+func newSiteConn(conn net.Conn) *siteConn {
+	sc := &siteConn{conn: conn, pending: make(map[uint32]chan wireReply)}
+	go sc.readLoop()
+	return sc
+}
+
+func (sc *siteConn) readLoop() {
+	for {
+		id, kind, payload, n, err := readFrame(sc.conn)
+		if err != nil {
+			sc.fail(err)
+			return
+		}
+		sc.mu.Lock()
+		ch, ok := sc.pending[id]
+		if ok {
+			delete(sc.pending, id)
+		}
+		sc.mu.Unlock()
+		if ok {
+			ch <- wireReply{kind: kind, payload: payload, n: n}
+		}
+		// A reply with no pending query is dropped: its query already
+		// failed on another site's error and gave up on this one.
+	}
+}
+
+// fail records the terminal error and wakes every pending query: a closed
+// reply channel tells the waiter to read sc.err.
+func (sc *siteConn) fail(err error) {
+	sc.mu.Lock()
+	if sc.err == nil {
+		sc.err = err
+	}
+	pend := sc.pending
+	sc.pending = make(map[uint32]chan wireReply)
+	sc.mu.Unlock()
+	for _, ch := range pend {
+		close(ch)
+	}
+}
+
+// post registers id in the pending table and sends the request frame. The
+// registration happens before the write so a fast reply can never race
+// past its waiter.
+func (sc *siteConn) post(id uint32, kind byte, payload []byte) (chan wireReply, int, error) {
+	ch := make(chan wireReply, 1)
+	sc.mu.Lock()
+	if sc.err != nil {
+		err := sc.err
+		sc.mu.Unlock()
+		return nil, 0, err
+	}
+	sc.pending[id] = ch
+	sc.mu.Unlock()
+	sc.wmu.Lock()
+	n, err := writeFrame(sc.conn, id, kind, payload)
+	sc.wmu.Unlock()
+	if err != nil {
+		// A failed write may have flushed part of the frame, desyncing the
+		// length-prefixed stream: poison the whole connection rather than
+		// let later queries parse garbage.
+		sc.conn.Close()
+		sc.fail(err)
+		return nil, 0, err
+	}
+	return ch, n, nil
+}
+
+// lastErr reports the sticky reader error, if any.
+func (sc *siteConn) lastErr() error {
+	sc.mu.Lock()
+	defer sc.mu.Unlock()
+	return sc.err
 }
 
 // Dial connects to the given site addresses.
@@ -31,17 +132,17 @@ func Dial(addrs []string, timeout time.Duration) (*Coordinator, error) {
 			c.Close()
 			return nil, fmt.Errorf("netsite: dial %s: %w", a, err)
 		}
-		c.conns = append(c.conns, conn)
+		c.conns = append(c.conns, newSiteConn(conn))
 	}
 	return c, nil
 }
 
-// Close shuts down all site connections.
+// Close shuts down all site connections; in-flight queries fail.
 func (c *Coordinator) Close() error {
 	var first error
-	for _, conn := range c.conns {
-		if conn != nil {
-			if err := conn.Close(); err != nil && first == nil {
+	for _, sc := range c.conns {
+		if sc != nil {
+			if err := sc.conn.Close(); err != nil && first == nil {
 				first = err
 			}
 		}
@@ -57,49 +158,51 @@ type WireStats struct {
 }
 
 // roundtrip posts one frame to every site in parallel and collects one
-// response frame from each.
+// response frame from each. Concurrent rounds interleave freely: each
+// draws a fresh request ID and waits only on its own replies.
 func (c *Coordinator) roundtrip(kind byte, payload []byte) ([][]byte, WireStats, error) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	var st WireStats
+	id := c.nextID.Add(1)
+	start := time.Now()
 	replies := make([][]byte, len(c.conns))
 	errs := make([]error, len(c.conns))
-	var sent, recv int64
-	var mu sync.Mutex
-	start := time.Now()
+	var sent, recv atomic.Int64
 	var wg sync.WaitGroup
-	for i, conn := range c.conns {
+	for i, sc := range c.conns {
 		wg.Add(1)
-		go func(i int, conn net.Conn) {
+		go func(i int, sc *siteConn) {
 			defer wg.Done()
-			n, err := writeFrame(conn, kind, payload)
+			ch, n, err := sc.post(id, kind, payload)
 			if err != nil {
-				errs[i] = err
+				errs[i] = fmt.Errorf("site %d: %w", i, err)
 				return
 			}
-			k, resp, rn, err := readFrame(conn)
-			if err != nil {
-				errs[i] = err
+			sent.Add(int64(n))
+			r, ok := <-ch
+			if !ok {
+				err := sc.lastErr()
+				if err == nil {
+					err = fmt.Errorf("connection closed")
+				}
+				errs[i] = fmt.Errorf("site %d: %w", i, err)
 				return
 			}
-			if k == kindError {
-				errs[i] = fmt.Errorf("site %d: %s", i, resp)
-				return
+			switch r.kind {
+			case kindAnswer:
+				recv.Add(int64(r.n))
+				replies[i] = r.payload
+			case kindError:
+				errs[i] = fmt.Errorf("site %d: %s", i, r.payload)
+			default:
+				errs[i] = fmt.Errorf("site %d: unexpected frame kind %q", i, r.kind)
 			}
-			if k != kindAnswer {
-				errs[i] = fmt.Errorf("site %d: unexpected frame kind %q", i, k)
-				return
-			}
-			replies[i] = resp
-			mu.Lock()
-			sent += int64(n)
-			recv += int64(rn)
-			mu.Unlock()
-		}(i, conn)
+		}(i, sc)
 	}
 	wg.Wait()
-	st.RoundTrip = time.Since(start)
-	st.BytesSent, st.BytesReceived = sent, recv
+	st := WireStats{
+		BytesSent:     sent.Load(),
+		BytesReceived: recv.Load(),
+		RoundTrip:     time.Since(start),
+	}
 	for _, err := range errs {
 		if err != nil {
 			return nil, st, err

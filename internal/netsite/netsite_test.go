@@ -1,6 +1,7 @@
 package netsite
 
 import (
+	"net"
 	"testing"
 	"time"
 
@@ -171,23 +172,32 @@ func TestTCPErrorPropagation(t *testing.T) {
 			s.Close()
 		}
 	}()
-	co, err := Dial(addrs, time.Second)
+	// Hand-roll a malformed frame on a raw connection: an unknown kind must
+	// come back as an error frame echoing the request ID, and the
+	// connection must survive for a coordinator dialing afterwards.
+	raw, err := net.Dial("tcp", addrs[0])
 	if err != nil {
 		t.Fatal(err)
 	}
-	defer co.Close()
-	// Hand-roll a malformed frame: unknown kind must come back as an error
-	// frame, and the connection must survive for the next valid query.
-	if _, err := writeFrame(co.conns[0], 'z', []byte{1, 2, 3}); err != nil {
+	defer raw.Close()
+	if _, err := writeFrame(raw, 77, 'z', []byte{1, 2, 3}); err != nil {
 		t.Fatal(err)
 	}
-	kind, payload, _, err := readFrame(co.conns[0])
+	id, kind, payload, _, err := readFrame(raw)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if kind != kindError || len(payload) == 0 {
 		t.Fatalf("expected error frame, got kind %q", kind)
 	}
+	if id != 77 {
+		t.Fatalf("error frame echoes id %d, want 77", id)
+	}
+	co, err := Dial(addrs, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer co.Close()
 	if got, _, err := co.Reach(0, 9); err != nil {
 		t.Fatal(err)
 	} else if want := g.Reachable(0, 9); got != want {

@@ -6,11 +6,16 @@
 // but here the bytes actually cross a socket, each site really is visited
 // exactly once per query, and the reply sizes can be measured on the wire.
 //
-// The protocol is length-prefixed binary frames:
+// The protocol is length-prefixed binary frames, multiplexed: every frame
+// carries a request ID, so many queries can be in flight on one connection
+// at once. Sites may answer out of order; the coordinator demultiplexes
+// replies back to their queries by ID.
 //
-//	frame  := length u32 (of the rest) | kind u8 | payload
+//	frame  := length u32 (of the rest) | id u32 | kind u8 | payload
 //	request kinds: 'r' qr(s,t), 'b' qbr(s,t,l), 'q' qrr(s,t,Gq)
 //	response kind: 'R' partial answer (codec per query class), 'E' error
+//
+// A response frame echoes the ID of the request it answers.
 package netsite
 
 import (
@@ -31,33 +36,37 @@ const (
 // maxFrame bounds a frame to guard against corrupt length prefixes.
 const maxFrame = 1 << 28
 
-// writeFrame sends one frame and reports the bytes written.
-func writeFrame(w io.Writer, kind byte, payload []byte) (int, error) {
-	hdr := make([]byte, 5)
-	binary.LittleEndian.PutUint32(hdr, uint32(1+len(payload)))
-	hdr[4] = kind
-	if _, err := w.Write(hdr); err != nil {
+// minFrame is the smallest legal length value: id u32 + kind u8, no payload.
+const minFrame = 5
+
+// writeFrame sends one frame and reports the bytes written. The frame is
+// assembled into one buffer so a single Write hits the socket: concurrent
+// senders serialized by a mutex then interleave whole frames, never bytes.
+func writeFrame(w io.Writer, id uint32, kind byte, payload []byte) (int, error) {
+	buf := make([]byte, 4+minFrame+len(payload))
+	binary.LittleEndian.PutUint32(buf, uint32(minFrame+len(payload)))
+	binary.LittleEndian.PutUint32(buf[4:], id)
+	buf[8] = kind
+	copy(buf[9:], payload)
+	if _, err := w.Write(buf); err != nil {
 		return 0, err
 	}
-	if _, err := w.Write(payload); err != nil {
-		return 0, err
-	}
-	return 5 + len(payload), nil
+	return len(buf), nil
 }
 
 // readFrame receives one frame and reports the bytes read.
-func readFrame(r io.Reader) (kind byte, payload []byte, n int, err error) {
-	hdr := make([]byte, 5)
+func readFrame(r io.Reader) (id uint32, kind byte, payload []byte, n int, err error) {
+	hdr := make([]byte, 4)
 	if _, err := io.ReadFull(r, hdr); err != nil {
-		return 0, nil, 0, err
+		return 0, 0, nil, 0, err
 	}
 	size := binary.LittleEndian.Uint32(hdr)
-	if size == 0 || size > maxFrame {
-		return 0, nil, 0, fmt.Errorf("netsite: implausible frame size %d", size)
+	if size < minFrame || size > maxFrame {
+		return 0, 0, nil, 0, fmt.Errorf("netsite: implausible frame size %d", size)
 	}
-	payload = make([]byte, size-1)
-	if _, err := io.ReadFull(r, payload); err != nil {
-		return 0, nil, 0, err
+	body := make([]byte, size)
+	if _, err := io.ReadFull(r, body); err != nil {
+		return 0, 0, nil, 0, err
 	}
-	return hdr[4], payload, 5 + int(size-1), nil
+	return binary.LittleEndian.Uint32(body), body[4], body[5:], 4 + int(size), nil
 }

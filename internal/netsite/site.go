@@ -5,6 +5,8 @@ import (
 	"fmt"
 	"net"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"distreach/internal/automaton"
 	"distreach/internal/core"
@@ -12,11 +14,33 @@ import (
 	"distreach/internal/graph"
 )
 
+// defaultWorkers bounds the per-connection worker pool when SiteOptions
+// leaves Workers zero: enough to keep a multiplexing coordinator busy
+// without letting one connection monopolize the site.
+const defaultWorkers = 8
+
+// SiteOptions tunes a Site at construction time.
+type SiteOptions struct {
+	// Workers bounds the per-connection worker pool: how many frames from
+	// one coordinator connection evaluate concurrently. 0 means the
+	// default (8).
+	Workers int
+	// Delay adds an artificial pause before each local evaluation. It
+	// emulates slower sites (WAN deployments, loaded machines) and gives
+	// tests a deterministic per-query service time; 0 disables it.
+	Delay time.Duration
+}
+
 // Site serves one fragment over TCP. Create with NewSite, then Addr gives
 // the dial address for the coordinator; Close shuts the listener down.
+// Frames arriving on one connection are evaluated concurrently by a
+// bounded worker pool, so a coordinator multiplexing many queries over the
+// connection is served in parallel, not one frame at a time.
 type Site struct {
-	frag *fragment.Fragment
-	ln   net.Listener
+	frag    *fragment.Fragment
+	ln      net.Listener
+	workers int
+	delay   time.Duration
 
 	mu     sync.Mutex
 	closed bool
@@ -24,16 +48,33 @@ type Site struct {
 	wg     sync.WaitGroup
 
 	// Logf, if set, receives connection-level errors (default: dropped).
+	// Set it before the first coordinator connects.
 	Logf func(format string, args ...any)
 }
 
-// NewSite starts serving f on addr ("127.0.0.1:0" picks a free port).
+// NewSite starts serving f on addr ("127.0.0.1:0" picks a free port) with
+// default options.
 func NewSite(addr string, f *fragment.Fragment) (*Site, error) {
+	return NewSiteOpts(addr, f, SiteOptions{})
+}
+
+// NewSiteOpts starts serving f on addr with explicit options.
+func NewSiteOpts(addr string, f *fragment.Fragment, o SiteOptions) (*Site, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("netsite: %w", err)
 	}
-	s := &Site{frag: f, ln: ln, conns: make(map[net.Conn]struct{})}
+	workers := o.Workers
+	if workers <= 0 {
+		workers = defaultWorkers
+	}
+	s := &Site{
+		frag:    f,
+		ln:      ln,
+		workers: workers,
+		delay:   o.Delay,
+		conns:   make(map[net.Conn]struct{}),
+	}
 	s.wg.Add(1)
 	go s.acceptLoop()
 	return s, nil
@@ -92,28 +133,67 @@ func (s *Site) acceptLoop() {
 	}
 }
 
-// serveConn handles one coordinator connection: a sequence of query frames,
-// each answered with one partial-answer frame.
+// frameJob is one request frame awaiting evaluation.
+type frameJob struct {
+	id      uint32
+	kind    byte
+	payload []byte
+}
+
+// serveConn handles one coordinator connection: a reader feeds request
+// frames to a bounded pool of workers, each answering with a response
+// frame that echoes the request ID. Responses go out in completion order;
+// the coordinator's demultiplexer reorders by ID.
 func (s *Site) serveConn(conn net.Conn) error {
-	for {
-		kind, payload, _, err := readFrame(conn)
-		if err != nil {
-			return err // includes clean EOF on coordinator close
-		}
-		resp, err := s.handle(kind, payload)
-		if err != nil {
-			if _, werr := writeFrame(conn, kindError, []byte(err.Error())); werr != nil {
-				return werr
+	jobs := make(chan frameJob)
+	var (
+		wmu    sync.Mutex  // serializes whole response frames
+		broken atomic.Bool // a response write failed; drain without writing
+		wg     sync.WaitGroup
+	)
+	for w := 0; w < s.workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := range jobs {
+				if broken.Load() {
+					continue // connection died; don't evaluate dead work
+				}
+				resp, err := s.handle(j.kind, j.payload)
+				kind := byte(kindAnswer)
+				if err != nil {
+					kind, resp = kindError, []byte(err.Error())
+				}
+				wmu.Lock()
+				_, werr := writeFrame(conn, j.id, kind, resp)
+				wmu.Unlock()
+				if werr != nil {
+					// Poison the connection: the reader unblocks with an
+					// error, and remaining jobs drain without writing.
+					broken.Store(true)
+					conn.Close()
+				}
 			}
-			continue
-		}
-		if _, err := writeFrame(conn, kindAnswer, resp); err != nil {
-			return err
-		}
+		}()
 	}
+	var err error
+	for {
+		id, kind, payload, _, rerr := readFrame(conn)
+		if rerr != nil {
+			err = rerr // includes clean EOF on coordinator close
+			break
+		}
+		jobs <- frameJob{id: id, kind: kind, payload: payload}
+	}
+	close(jobs)
+	wg.Wait()
+	return err
 }
 
 func (s *Site) handle(kind byte, payload []byte) ([]byte, error) {
+	if s.delay > 0 {
+		time.Sleep(s.delay)
+	}
 	switch kind {
 	case kindReach:
 		if len(payload) < 8 {
@@ -153,10 +233,15 @@ func (s *Site) handle(kind byte, payload []byte) ([]byte, error) {
 // loopback ports and returns the sites plus their addresses. Callers must
 // Close every site.
 func ServeFragmentation(fr *fragment.Fragmentation) ([]*Site, []string, error) {
+	return ServeFragmentationOpts(fr, SiteOptions{})
+}
+
+// ServeFragmentationOpts is ServeFragmentation with explicit site options.
+func ServeFragmentationOpts(fr *fragment.Fragmentation, o SiteOptions) ([]*Site, []string, error) {
 	sites := make([]*Site, 0, fr.Card())
 	addrs := make([]string, 0, fr.Card())
 	for _, f := range fr.Fragments() {
-		s, err := NewSite("127.0.0.1:0", f)
+		s, err := NewSiteOpts("127.0.0.1:0", f, o)
 		if err != nil {
 			for _, prev := range sites {
 				prev.Close()

@@ -1,0 +1,118 @@
+// Package qcache is a small, concurrency-safe LRU cache for distributed
+// query answers. The gateway (cmd/serve) fronts the coordinator with it:
+// repeat queries — the common shape of heavy read traffic — are answered
+// from memory without visiting any site. Keys encode the query class and
+// its parameters; there is no per-entry expiry, because answers on a
+// static fragmentation never go stale — the cache is instead invalidated
+// wholesale (Flush) whenever the deployment behind it changes.
+package qcache
+
+import (
+	"container/list"
+	"fmt"
+	"sync"
+
+	"distreach/internal/graph"
+)
+
+// Cache is a fixed-capacity LRU map from query key to answer.
+// The zero value is not usable; create with New.
+type Cache[V any] struct {
+	mu     sync.Mutex
+	cap    int
+	ll     *list.List // front = most recently used
+	items  map[string]*list.Element
+	hits   uint64
+	misses uint64
+}
+
+type entry[V any] struct {
+	key string
+	val V
+}
+
+// New returns a cache holding at most capacity answers; capacity < 1 is
+// rounded up to 1.
+func New[V any](capacity int) *Cache[V] {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &Cache[V]{
+		cap:   capacity,
+		ll:    list.New(),
+		items: make(map[string]*list.Element, capacity),
+	}
+}
+
+// Get looks up key, marking it most recently used on a hit.
+func (c *Cache[V]) Get(key string) (V, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[key]; ok {
+		c.ll.MoveToFront(el)
+		c.hits++
+		return el.Value.(*entry[V]).val, true
+	}
+	c.misses++
+	var zero V
+	return zero, false
+}
+
+// Put stores key's answer, evicting the least recently used entry when
+// the cache is full. Storing an existing key refreshes its value and
+// recency.
+func (c *Cache[V]) Put(key string, val V) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[key]; ok {
+		el.Value.(*entry[V]).val = val
+		c.ll.MoveToFront(el)
+		return
+	}
+	if c.ll.Len() >= c.cap {
+		oldest := c.ll.Back()
+		c.ll.Remove(oldest)
+		delete(c.items, oldest.Value.(*entry[V]).key)
+	}
+	c.items[key] = c.ll.PushFront(&entry[V]{key: key, val: val})
+}
+
+// Flush empties the cache: the wholesale invalidation used on redeploy,
+// when the graph or fragmentation behind the answers changes.
+func (c *Cache[V]) Flush() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.ll.Init()
+	clear(c.items)
+}
+
+// Len reports the number of cached answers.
+func (c *Cache[V]) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}
+
+// Stats reports cumulative hits and misses (not reset by Flush).
+func (c *Cache[V]) Stats() (hits, misses uint64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.misses
+}
+
+// ReachKey is the cache key of qr(s, t).
+func ReachKey(s, t graph.NodeID) string {
+	return fmt.Sprintf("r:%d:%d", s, t)
+}
+
+// DistKey is the cache key of qbr(s, t, l).
+func DistKey(s, t graph.NodeID, l int) string {
+	return fmt.Sprintf("b:%d:%d:%d", s, t, l)
+}
+
+// RPQKey is the cache key of qrr(s, t, R) for the textual expression R.
+// Distinct spellings of the same language cache separately — a harmless
+// form of under-caching.
+func RPQKey(s, t graph.NodeID, expr string) string {
+	return fmt.Sprintf("q:%d:%d:%s", s, t, expr)
+}

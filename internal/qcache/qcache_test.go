@@ -1,0 +1,116 @@
+package qcache
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func TestGetPut(t *testing.T) {
+	c := New[int](4)
+	if _, ok := c.Get("a"); ok {
+		t.Fatal("empty cache must miss")
+	}
+	c.Put("a", 1)
+	if v, ok := c.Get("a"); !ok || v != 1 {
+		t.Fatalf("got %d,%v want 1,true", v, ok)
+	}
+	c.Put("a", 2) // refresh
+	if v, _ := c.Get("a"); v != 2 {
+		t.Fatalf("refresh lost: %d", v)
+	}
+	if c.Len() != 1 {
+		t.Fatalf("len %d want 1", c.Len())
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	c := New[int](3)
+	c.Put("a", 1)
+	c.Put("b", 2)
+	c.Put("c", 3)
+	c.Get("a")    // a is now most recent; b is least
+	c.Put("d", 4) // evicts b
+	if _, ok := c.Get("b"); ok {
+		t.Fatal("b must have been evicted")
+	}
+	for _, k := range []string{"a", "c", "d"} {
+		if _, ok := c.Get(k); !ok {
+			t.Fatalf("%s must have survived", k)
+		}
+	}
+}
+
+func TestFlush(t *testing.T) {
+	c := New[int](8)
+	c.Put("a", 1)
+	c.Put("b", 2)
+	c.Flush()
+	if c.Len() != 0 {
+		t.Fatalf("len %d after flush", c.Len())
+	}
+	if _, ok := c.Get("a"); ok {
+		t.Fatal("flush must drop every entry")
+	}
+	c.Put("c", 3) // cache stays usable
+	if v, ok := c.Get("c"); !ok || v != 3 {
+		t.Fatal("cache unusable after flush")
+	}
+}
+
+func TestStats(t *testing.T) {
+	c := New[int](2)
+	c.Get("a")
+	c.Put("a", 1)
+	c.Get("a")
+	c.Get("b")
+	hits, misses := c.Stats()
+	if hits != 1 || misses != 2 {
+		t.Fatalf("hits=%d misses=%d want 1,2", hits, misses)
+	}
+}
+
+func TestTinyCapacity(t *testing.T) {
+	c := New[int](0) // rounded up to 1
+	c.Put("a", 1)
+	c.Put("b", 2)
+	if c.Len() != 1 {
+		t.Fatalf("len %d want 1", c.Len())
+	}
+	if _, ok := c.Get("a"); ok {
+		t.Fatal("a must have been evicted by b")
+	}
+}
+
+func TestKeysDisjointAcrossClasses(t *testing.T) {
+	keys := []string{ReachKey(1, 2), DistKey(1, 2, 3), RPQKey(1, 2, "A*"), RPQKey(1, 2, "B*")}
+	seen := make(map[string]bool)
+	for _, k := range keys {
+		if seen[k] {
+			t.Fatalf("key collision: %s", k)
+		}
+		seen[k] = true
+	}
+}
+
+func TestConcurrentAccess(t *testing.T) {
+	c := New[int](64)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				k := fmt.Sprintf("k%d", (w*31+i)%100)
+				if v, ok := c.Get(k); ok && v < 0 {
+					t.Errorf("corrupt value %d", v)
+				}
+				c.Put(k, i)
+				if i%97 == 0 {
+					c.Flush()
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+}
