@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench bench-smoke fmt fmt-check vet ci
+.PHONY: all build test race bench bench-smoke fuzz-smoke fmt fmt-check vet ci
 
 all: build test
 
@@ -23,6 +23,12 @@ bench:
 bench-smoke:
 	$(GO) test -run '^$$' -bench . -benchtime 1x ./...
 
+# Short fuzzing pass over the wire codecs (one target per invocation: the
+# Go fuzzer requires exactly one -fuzz match).
+fuzz-smoke:
+	$(GO) test ./internal/netsite -run '^$$' -fuzz '^FuzzDecodeFrame$$' -fuzztime 20s
+	$(GO) test ./internal/netsite -run '^$$' -fuzz '^FuzzBatchPayload$$' -fuzztime 20s
+
 fmt:
 	gofmt -w .
 
@@ -32,4 +38,4 @@ fmt-check:
 vet:
 	$(GO) vet ./...
 
-ci: build vet fmt-check race bench-smoke
+ci: build vet fmt-check race bench-smoke fuzz-smoke

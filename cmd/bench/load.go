@@ -1,6 +1,8 @@
 package main
 
 import (
+	"bytes"
+	"encoding/json"
 	"fmt"
 	"net/http"
 	neturl "net/url"
@@ -25,6 +27,8 @@ type loadConfig struct {
 	duration time.Duration
 	class    string // qr | qbr | qrr | mixed
 	url      string // non-empty: drive an HTTP gateway instead
+	batch    int    // queries per wire batch; 1 = single-query API
+	delay    time.Duration
 	nodes    int
 	edges    int
 	k        int
@@ -43,6 +47,9 @@ func runLoad(cfg loadConfig) error {
 	default:
 		return fmt.Errorf("unknown query class %q (want qr, qbr, qrr or mixed)", cfg.class)
 	}
+	if cfg.batch < 1 {
+		cfg.batch = 1
+	}
 	var issue func(rng *gen.RNG, q int) error
 	target := cfg.url
 	if cfg.url != "" {
@@ -58,8 +65,8 @@ func runLoad(cfg loadConfig) error {
 		target = fmt.Sprintf("in-process deployment (%d sites, |V|=%d, |E|=%d)", cfg.k, cfg.nodes, cfg.edges)
 	}
 
-	fmt.Fprintf(os.Stderr, "load: %d clients, %v, class %s, target %s\n",
-		cfg.clients, cfg.duration, cfg.class, target)
+	fmt.Fprintf(os.Stderr, "load: %d clients, %v, class %s, batch %d, target %s\n",
+		cfg.clients, cfg.duration, cfg.class, cfg.batch, target)
 	stats := make([]clientStats, cfg.clients)
 	deadline := time.Now().Add(cfg.duration)
 	start := time.Now()
@@ -100,10 +107,18 @@ func runLoad(cfg loadConfig) error {
 	for _, d := range all {
 		sum += d
 	}
-	fmt.Printf("queries     %d (%d errors)\n", len(all), errs)
+	// With -batch N every issue ships N queries in one wire round, so
+	// throughput counts queries while the latency columns describe whole
+	// batches (what one caller waits for).
+	queries := len(all) * cfg.batch
+	fmt.Printf("queries     %d in %d rounds (%d errors)\n", queries, len(all), errs)
 	fmt.Printf("elapsed     %v\n", elapsed.Round(time.Millisecond))
-	fmt.Printf("throughput  %.0f q/s\n", float64(len(all))/elapsed.Seconds())
-	fmt.Printf("latency     mean %v  p50 %v  p90 %v  p99 %v  max %v\n",
+	fmt.Printf("throughput  %.0f q/s\n", float64(queries)/elapsed.Seconds())
+	unit := "query"
+	if cfg.batch > 1 {
+		unit = fmt.Sprintf("batch of %d", cfg.batch)
+	}
+	fmt.Printf("latency     per %s: mean %v  p50 %v  p90 %v  p99 %v  max %v\n", unit,
 		(sum / time.Duration(len(all))).Round(time.Microsecond),
 		pct(0.50), pct(0.90), pct(0.99), pct(1.0))
 	if errs > 0 {
@@ -135,7 +150,7 @@ func wireIssuer(cfg loadConfig) (func(*gen.RNG, int) error, func(), error) {
 	if err != nil {
 		return nil, nil, err
 	}
-	sites, addrs, err := netsite.ServeFragmentation(fr)
+	sites, addrs, err := netsite.ServeFragmentationOpts(fr, netsite.SiteOptions{Delay: cfg.delay})
 	if err != nil {
 		return nil, nil, err
 	}
@@ -153,6 +168,14 @@ func wireIssuer(cfg loadConfig) (func(*gen.RNG, int) error, func(), error) {
 		}
 	}
 	issue := func(rng *gen.RNG, q int) error {
+		if cfg.batch > 1 {
+			qs := make([]netsite.BatchQuery, cfg.batch)
+			for i := range qs {
+				qs[i] = pickBatchQuery(cfg, rng, q*cfg.batch+i)
+			}
+			_, _, err := co.Batch(qs)
+			return err
+		}
 		cls, s, t, l := pickQuery(cfg.class, rng, q, cfg.nodes)
 		var err error
 		switch cls {
@@ -169,11 +192,68 @@ func wireIssuer(cfg loadConfig) (func(*gen.RNG, int) error, func(), error) {
 	return issue, cleanup, nil
 }
 
+// pickBatchQuery draws one wire batch query of the configured class mix.
+func pickBatchQuery(cfg loadConfig, rng *gen.RNG, q int) netsite.BatchQuery {
+	cls, s, t, l := pickQuery(cfg.class, rng, q, cfg.nodes)
+	switch cls {
+	case "qbr":
+		return netsite.BatchQuery{Class: netsite.ClassDist, S: s, T: t, L: l}
+	case "qrr":
+		a := automaton.Random(rng, 2+rng.Intn(4), 4+rng.Intn(8), loadLabels)
+		return netsite.BatchQuery{Class: netsite.ClassRPQ, S: s, T: t, A: a}
+	default:
+		return netsite.BatchQuery{Class: netsite.ClassReach, S: s, T: t}
+	}
+}
+
 // httpIssuer drives a running cmd/serve gateway. Node IDs are drawn from
-// [0, nodes); point -nodes at the deployed graph's size.
+// [0, nodes); point -nodes at the deployed graph's size. With -batch N the
+// issuer posts N queries per POST /batch call instead of one GET each.
 func httpIssuer(cfg loadConfig) func(*gen.RNG, int) error {
 	client := &http.Client{Timeout: 10 * time.Second}
 	exprs := []string{"A(A|B)*", "(A|B|C)+", "AB*C?"}
+	if cfg.batch > 1 {
+		type batchQuery struct {
+			Class string `json:"class"`
+			S     uint32 `json:"s"`
+			T     uint32 `json:"t"`
+			L     *int   `json:"l,omitempty"`
+			R     string `json:"r,omitempty"`
+		}
+		return func(rng *gen.RNG, q int) error {
+			qs := make([]batchQuery, cfg.batch)
+			for i := range qs {
+				n := q*cfg.batch + i
+				cls, s, t, l := pickQuery(cfg.class, rng, n, cfg.nodes)
+				bq := batchQuery{S: uint32(s), T: uint32(t)}
+				switch cls {
+				case "qr":
+					bq.Class = "reach"
+				case "qbr":
+					bq.Class = "reachwithin"
+					bound := l
+					bq.L = &bound
+				case "qrr":
+					bq.Class = "reachregex"
+					bq.R = exprs[n%len(exprs)]
+				}
+				qs[i] = bq
+			}
+			body, err := json.Marshal(map[string]any{"queries": qs})
+			if err != nil {
+				return err
+			}
+			resp, err := client.Post(cfg.url+"/batch", "application/json", bytes.NewReader(body))
+			if err != nil {
+				return err
+			}
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				return fmt.Errorf("POST /batch: status %s", resp.Status)
+			}
+			return nil
+		}
+	}
 	return func(rng *gen.RNG, q int) error {
 		cls, s, t, l := pickQuery(cfg.class, rng, q, cfg.nodes)
 		var url string

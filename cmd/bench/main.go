@@ -15,6 +15,7 @@
 //	bench -load -clients 8 -duration 3s                   # in-process TCP deployment
 //	bench -load -clients 16 -class mixed -nodes 5000
 //	bench -load -url http://127.0.0.1:8080 -clients 32    # against a cmd/serve gateway
+//	bench -load -batch 8 -class mixed                     # 8 queries per wire batch frame
 //
 // Output rows mirror the series the paper plots; absolute numbers differ
 // (simulated sites, scaled datasets) but the shapes — who wins, by what
@@ -46,6 +47,8 @@ func main() {
 		clients  = flag.Int("clients", 8, "load: concurrent closed-loop clients")
 		duration = flag.Duration("duration", 3*time.Second, "load: how long to drive traffic")
 		class    = flag.String("class", "qr", "load: query class: qr | qbr | qrr | mixed")
+		batch    = flag.Int("batch", 1, "load: queries per wire batch (1 = single-query API)")
+		sdelay   = flag.Duration("sitedelay", 0, "load: emulated per-frame site service time (in-process mode; the N3 workload uses 5ms)")
 		url      = flag.String("url", "", "load: drive a cmd/serve gateway at this base URL instead of an in-process deployment")
 		nodes    = flag.Int("nodes", 2000, "load: graph nodes (in-process mode; node-ID range in -url mode)")
 		edges    = flag.Int("edges", 8000, "load: graph edges (in-process mode)")
@@ -59,6 +62,8 @@ func main() {
 			clients:  *clients,
 			duration: *duration,
 			class:    *class,
+			batch:    *batch,
+			delay:    *sdelay,
 			url:      *url,
 			nodes:    *nodes,
 			edges:    *edges,

@@ -2,6 +2,7 @@ package main
 
 import (
 	"encoding/json"
+	"fmt"
 	"net/http"
 	"strconv"
 	"sync/atomic"
@@ -38,6 +39,7 @@ func (g *gateway) routes() *http.ServeMux {
 	mux.HandleFunc("GET /reach", g.handleReach)
 	mux.HandleFunc("GET /reachwithin", g.handleReachWithin)
 	mux.HandleFunc("GET /reachregex", g.handleReachRegex)
+	mux.HandleFunc("POST /batch", g.handleBatch)
 	mux.HandleFunc("GET /stats", g.handleStats)
 	mux.HandleFunc("POST /flush", g.handleFlush)
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
@@ -50,7 +52,19 @@ func (g *gateway) routes() *http.ServeMux {
 type wireJSON struct {
 	BytesSent       int64 `json:"bytes_sent"`
 	BytesReceived   int64 `json:"bytes_received"`
+	FramesSent      int64 `json:"frames_sent"`
+	FramesReceived  int64 `json:"frames_received"`
 	RoundTripMicros int64 `json:"round_trip_us"`
+}
+
+func toWireJSON(st netsite.WireStats) *wireJSON {
+	return &wireJSON{
+		BytesSent:       st.BytesSent,
+		BytesReceived:   st.BytesReceived,
+		FramesSent:      st.FramesSent,
+		FramesReceived:  st.FramesReceived,
+		RoundTripMicros: st.RoundTrip.Microseconds(),
+	}
 }
 
 type queryResponse struct {
@@ -90,11 +104,7 @@ func (g *gateway) respond(w http.ResponseWriter, query string, ans cachedAnswer,
 		resp.Dist = &ans.Dist
 	}
 	if !cached {
-		resp.Wire = &wireJSON{
-			BytesSent:       st.BytesSent,
-			BytesReceived:   st.BytesReceived,
-			RoundTripMicros: st.RoundTrip.Microseconds(),
-		}
+		resp.Wire = toWireJSON(st)
 	}
 	writeJSON(w, http.StatusOK, resp)
 }
@@ -113,13 +123,14 @@ func (g *gateway) handleReach(w http.ResponseWriter, r *http.Request) {
 		g.respond(w, query, ans, true, netsite.WireStats{})
 		return
 	}
+	epoch := g.cache.Generation()
 	answer, st, err := g.co.Reach(s, t)
 	if err != nil {
 		writeJSON(w, http.StatusBadGateway, errorResponse{Error: err.Error()})
 		return
 	}
 	ans := cachedAnswer{Answer: answer}
-	g.cache.Put(key, ans)
+	g.cache.PutIfGeneration(key, ans, epoch)
 	g.respond(w, query, ans, false, st)
 }
 
@@ -138,6 +149,7 @@ func (g *gateway) handleReachWithin(w http.ResponseWriter, r *http.Request) {
 		g.respond(w, query, ans, true, netsite.WireStats{})
 		return
 	}
+	epoch := g.cache.Generation()
 	answer, dist, st, err := g.co.ReachWithin(s, t, l)
 	if err != nil {
 		writeJSON(w, http.StatusBadGateway, errorResponse{Error: err.Error()})
@@ -146,7 +158,7 @@ func (g *gateway) handleReachWithin(w http.ResponseWriter, r *http.Request) {
 	// The distance is exact only when within the bound; otherwise it is the
 	// solver's infinity sentinel, which callers should not see.
 	ans := cachedAnswer{Answer: answer, Dist: dist, HasDist: answer}
-	g.cache.Put(key, ans)
+	g.cache.PutIfGeneration(key, ans, epoch)
 	g.respond(w, query, ans, false, st)
 }
 
@@ -170,14 +182,183 @@ func (g *gateway) handleReachRegex(w http.ResponseWriter, r *http.Request) {
 		g.respond(w, query, ans, true, netsite.WireStats{})
 		return
 	}
+	epoch := g.cache.Generation()
 	answer, st, err := g.co.ReachRegex(s, t, a)
 	if err != nil {
 		writeJSON(w, http.StatusBadGateway, errorResponse{Error: err.Error()})
 		return
 	}
 	ans := cachedAnswer{Answer: answer}
-	g.cache.Put(key, ans)
+	g.cache.PutIfGeneration(key, ans, epoch)
 	g.respond(w, query, ans, false, st)
+}
+
+// maxBatchQueries bounds one POST /batch request; bigger workloads should
+// split into several batches (each still one frame per site).
+const maxBatchQueries = 4096
+
+// maxBatchBody bounds the POST /batch request body, so a hostile client
+// cannot make the JSON decoder allocate an unbounded query slice before
+// the maxBatchQueries check even runs.
+const maxBatchBody = 4 << 20
+
+// batchQueryJSON is one query of a POST /batch request. Class selects the
+// query class and which extra fields apply: "reach" (s, t), "reachwithin"
+// (s, t, l) or "reachregex" (s, t, r).
+type batchQueryJSON struct {
+	Class string  `json:"class"`
+	S     *uint32 `json:"s"`
+	T     *uint32 `json:"t"`
+	L     *int    `json:"l,omitempty"`
+	R     string  `json:"r,omitempty"`
+}
+
+type batchRequestJSON struct {
+	Queries []batchQueryJSON `json:"queries"`
+}
+
+// batchResponseJSON answers a whole batch: one entry per query in request
+// order, plus the single wire round's stats. Misses counts the queries
+// that actually went over the wire — cached answers are stripped from the
+// wire batch before it is posted.
+type batchResponseJSON struct {
+	Answers []queryResponse `json:"answers"`
+	Misses  int             `json:"misses"`
+	Wire    *wireJSON       `json:"wire,omitempty"`
+}
+
+// handleBatch serves POST /batch: it answers what it can from the cache,
+// ships the misses as ONE wire batch (one frame per site however many
+// queries missed), and demultiplexes the answers back into request order.
+func (g *gateway) handleBatch(w http.ResponseWriter, r *http.Request) {
+	var req batchRequestJSON
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBatchBody)).Decode(&req); err != nil {
+		badRequest(w, "batch: malformed JSON: "+err.Error())
+		return
+	}
+	if len(req.Queries) == 0 {
+		badRequest(w, "batch: empty query list")
+		return
+	}
+	if len(req.Queries) > maxBatchQueries {
+		badRequest(w, fmt.Sprintf("batch: %d queries exceeds the limit of %d", len(req.Queries), maxBatchQueries))
+		return
+	}
+
+	// Phase 1: validate and compile the whole batch before touching any
+	// serving state, so a rejected batch leaves /stats and the cache's
+	// hit/miss counters exactly as they were.
+	type parsedQuery struct {
+		bq    netsite.BatchQuery
+		key   string
+		label string
+		dist  bool // ClassDist: the answer carries a distance
+	}
+	parsed := make([]parsedQuery, len(req.Queries))
+	for i, q := range req.Queries {
+		if q.S == nil || q.T == nil {
+			badRequest(w, fmt.Sprintf("batch query %d: needs numeric s and t", i))
+			return
+		}
+		s, t := graph.NodeID(*q.S), graph.NodeID(*q.T)
+		p := parsedQuery{}
+		switch q.Class {
+		case "reach":
+			p.bq = netsite.BatchQuery{Class: netsite.ClassReach, S: s, T: t}
+			p.key = qcache.ReachKey(s, t)
+			p.label = fmt.Sprintf("qr(%d,%d)", s, t)
+		case "reachwithin":
+			if q.L == nil || *q.L < 0 {
+				badRequest(w, fmt.Sprintf("batch query %d: reachwithin needs bound l >= 0", i))
+				return
+			}
+			p.bq = netsite.BatchQuery{Class: netsite.ClassDist, S: s, T: t, L: *q.L}
+			p.key = qcache.DistKey(s, t, *q.L)
+			p.label = fmt.Sprintf("qbr(%d,%d,%d)", s, t, *q.L)
+			p.dist = true
+		case "reachregex":
+			if q.R == "" {
+				badRequest(w, fmt.Sprintf("batch query %d: reachregex needs expression r", i))
+				return
+			}
+			a, err := distreach.CompileRegex(q.R)
+			if err != nil {
+				badRequest(w, fmt.Sprintf("batch query %d: %v", i, err))
+				return
+			}
+			p.bq = netsite.BatchQuery{Class: netsite.ClassRPQ, S: s, T: t, A: a}
+			p.key = qcache.RPQKey(s, t, q.R)
+			p.label = fmt.Sprintf("qrr(%d,%d,%s)", s, t, q.R)
+		default:
+			badRequest(w, fmt.Sprintf("batch query %d: unknown class %q (want reach, reachwithin or reachregex)", i, q.Class))
+			return
+		}
+		parsed[i] = p
+	}
+
+	// Phase 2: answer what the cache holds and strip it from the wire
+	// batch. The flush generation is snapshotted first: if a POST /flush
+	// races the round trip, the computed answers must not be re-inserted —
+	// they may describe the deployment the flush just invalidated.
+	type pendingQuery struct {
+		idx  int
+		slot int // index into wireQs; duplicates share one slot
+		key  string
+		dist bool
+	}
+	answers := make([]queryResponse, len(parsed))
+	wireQs := make([]netsite.BatchQuery, 0, len(parsed))
+	pend := make([]pendingQuery, 0, len(parsed))
+	slotByKey := make(map[string]int)
+	epoch := g.cache.Generation()
+	for i, p := range parsed {
+		g.queries.Add(1)
+		answers[i].Query = p.label
+		if ans, hit := g.cache.Get(p.key); hit {
+			answers[i].Answer = ans.Answer
+			answers[i].Cached = true
+			if ans.HasDist {
+				d := ans.Dist
+				answers[i].Dist = &d
+			}
+			continue
+		}
+		// Duplicate keys within the batch travel (and evaluate) once; the
+		// answer fans out to every index that asked.
+		slot, dup := slotByKey[p.key]
+		if !dup {
+			slot = len(wireQs)
+			slotByKey[p.key] = slot
+			wireQs = append(wireQs, p.bq)
+		}
+		pend = append(pend, pendingQuery{idx: i, slot: slot, key: p.key, dist: p.dist})
+	}
+
+	// Phase 3: one wire round for all the misses, demultiplexed back into
+	// request order.
+	var wj *wireJSON
+	if len(wireQs) > 0 {
+		res, st, err := g.co.Batch(wireQs)
+		if err != nil {
+			writeJSON(w, http.StatusBadGateway, errorResponse{Error: err.Error()})
+			return
+		}
+		for _, p := range pend {
+			ans := cachedAnswer{Answer: res[p.slot].Answer}
+			if p.dist {
+				ans.Dist = res[p.slot].Dist
+				ans.HasDist = res[p.slot].Answer
+			}
+			g.cache.PutIfGeneration(p.key, ans, epoch)
+			answers[p.idx].Answer = ans.Answer
+			if ans.HasDist {
+				d := ans.Dist
+				answers[p.idx].Dist = &d
+			}
+		}
+		wj = toWireJSON(st)
+	}
+	writeJSON(w, http.StatusOK, batchResponseJSON{Answers: answers, Misses: len(wireQs), Wire: wj})
 }
 
 func (g *gateway) handleStats(w http.ResponseWriter, r *http.Request) {

@@ -5,6 +5,7 @@ import (
 	"net/http"
 	"net/http/httptest"
 	"strconv"
+	"strings"
 	"sync"
 	"testing"
 	"time"
@@ -17,13 +18,18 @@ import (
 
 func testGateway(t *testing.T) (*gateway, *graph.Graph, *httptest.Server) {
 	t.Helper()
+	return testGatewayOpts(t, netsite.SiteOptions{})
+}
+
+func testGatewayOpts(t *testing.T, o netsite.SiteOptions) (*gateway, *graph.Graph, *httptest.Server) {
+	t.Helper()
 	labels := []string{"A", "B"}
 	g := gen.Uniform(gen.Config{Nodes: 80, Edges: 320, Labels: labels, Seed: 61})
 	fr, err := fragment.Random(g, 3, 61)
 	if err != nil {
 		t.Fatal(err)
 	}
-	sites, addrs, err := netsite.ServeFragmentation(fr)
+	sites, addrs, err := netsite.ServeFragmentationOpts(fr, o)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -141,6 +147,194 @@ func TestGatewayRejectsBadParams(t *testing.T) {
 		if m["error"] == "" {
 			t.Fatalf("%s: error body missing", path)
 		}
+	}
+}
+
+// postBatch posts a /batch request and decodes the response envelope.
+func postBatch(t *testing.T, url string, body string, wantStatus int) map[string]any {
+	t.Helper()
+	resp, err := http.Post(url+"/batch", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != wantStatus {
+		t.Fatalf("POST /batch: status %d, want %d", resp.StatusCode, wantStatus)
+	}
+	var m map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&m); err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestGatewayBatchMatchesOracle(t *testing.T) {
+	_, g, srv := testGateway(t)
+	m := postBatch(t, srv.URL, `{"queries":[
+		{"class":"reach","s":3,"t":70},
+		{"class":"reachwithin","s":5,"t":60,"l":4},
+		{"class":"reachregex","s":7,"t":50,"r":"A(A|B)*"},
+		{"class":"reach","s":9,"t":9}
+	]}`, 200)
+	answers := m["answers"].([]any)
+	if len(answers) != 4 {
+		t.Fatalf("4 queries, %d answers", len(answers))
+	}
+	a0 := answers[0].(map[string]any)
+	if got, want := a0["answer"].(bool), g.Reachable(3, 70); got != want {
+		t.Fatalf("qr(3,70): batch=%v oracle=%v", got, want)
+	}
+	a1 := answers[1].(map[string]any)
+	d := g.Dist(5, 60)
+	if got, want := a1["answer"].(bool), d >= 0 && d <= 4; got != want {
+		t.Fatalf("qbr(5,60,4): batch=%v oracle dist=%d", got, d)
+	}
+	if !answers[3].(map[string]any)["answer"].(bool) {
+		t.Fatal("qr(9,9) must be true")
+	}
+	// One wire round for the whole batch: frames == sites, misses == 4
+	// (the s==t query still counts as a miss, answered locally for free).
+	if misses := int(m["misses"].(float64)); misses != 4 {
+		t.Fatalf("misses %d, want 4 on a cold cache", misses)
+	}
+	wire := m["wire"].(map[string]any)
+	if fs := int(wire["frames_sent"].(float64)); fs != 3 {
+		t.Fatalf("frames_sent %d, want 3 (one per site)", fs)
+	}
+}
+
+// TestGatewayBatchStripsCachedQueries is the qcache satellite: a batch
+// with half its keys already cached sends only the misses over the wire,
+// and a fully cached batch sends no frames at all.
+func TestGatewayBatchStripsCachedQueries(t *testing.T) {
+	gw, _, srv := testGateway(t)
+	const body = `{"queries":[
+		{"class":"reach","s":1,"t":40},
+		{"class":"reach","s":2,"t":41},
+		{"class":"reachwithin","s":3,"t":42,"l":5},
+		{"class":"reachwithin","s":4,"t":43,"l":5}
+	]}`
+	// Warm exactly half the keys through the single-query API.
+	getJSON(t, srv.URL+"/reach?s=1&t=40", 200)
+	getJSON(t, srv.URL+"/reachwithin?s=3&t=42&l=5", 200)
+	hits0, _ := gw.cache.Stats()
+
+	m := postBatch(t, srv.URL, body, 200)
+	if misses := int(m["misses"].(float64)); misses != 2 {
+		t.Fatalf("misses %d, want 2 (half the batch was cached)", misses)
+	}
+	hits1, _ := gw.cache.Stats()
+	if hits1-hits0 != 2 {
+		t.Fatalf("cache hits grew by %d, want 2", hits1-hits0)
+	}
+	answers := m["answers"].([]any)
+	for i, cached := range []bool{true, false, true, false} {
+		if got := answers[i].(map[string]any)["cached"].(bool); got != cached {
+			t.Fatalf("answer %d cached=%v, want %v", i, got, cached)
+		}
+	}
+	// Frames still one per site — batching the misses, not per query.
+	if fs := int(m["wire"].(map[string]any)["frames_sent"].(float64)); fs != 3 {
+		t.Fatalf("frames_sent %d, want 3", fs)
+	}
+
+	// Now everything is cached: the same batch must not touch the wire.
+	m = postBatch(t, srv.URL, body, 200)
+	if misses := int(m["misses"].(float64)); misses != 0 {
+		t.Fatalf("fully cached batch missed %d times", misses)
+	}
+	if m["wire"] != nil {
+		t.Fatalf("fully cached batch reported wire traffic: %v", m["wire"])
+	}
+}
+
+// TestGatewayBatchDedupsDuplicateQueries: identical queries inside one
+// batch travel the wire once and the answer fans out to every index.
+func TestGatewayBatchDedupsDuplicateQueries(t *testing.T) {
+	_, g, srv := testGateway(t)
+	m := postBatch(t, srv.URL, `{"queries":[
+		{"class":"reach","s":6,"t":55},
+		{"class":"reach","s":6,"t":55},
+		{"class":"reach","s":6,"t":55}
+	]}`, 200)
+	if misses := int(m["misses"].(float64)); misses != 1 {
+		t.Fatalf("3 identical queries produced %d wire queries, want 1", misses)
+	}
+	want := g.Reachable(6, 55)
+	for i, a := range m["answers"].([]any) {
+		if got := a.(map[string]any)["answer"].(bool); got != want {
+			t.Fatalf("answer %d: %v, oracle %v", i, got, want)
+		}
+	}
+}
+
+// TestGatewayBatchFlushRace flushes the cache while a batch is in flight
+// over slow sites: the in-flight batch must not re-insert its pre-flush
+// answers, so nothing stale can ever be served afterwards.
+func TestGatewayBatchFlushRace(t *testing.T) {
+	gw, _, srv := testGatewayOpts(t, netsite.SiteOptions{Delay: 500 * time.Millisecond})
+	done := make(chan map[string]any, 1)
+	go func() {
+		done <- postBatch(t, srv.URL, `{"queries":[
+			{"class":"reach","s":1,"t":40},
+			{"class":"reach","s":2,"t":41}
+		]}`, 200)
+	}()
+	// The handler bumps the query counter after snapshotting the flush
+	// generation and before the wire round, so once the counter reads 2
+	// the batch is committed to its pre-flush epoch and is stuck behind
+	// the sites' service delay — the flush below is guaranteed to race it.
+	for deadline := time.Now().Add(5 * time.Second); gw.queries.Load() < 2; {
+		if time.Now().After(deadline) {
+			t.Fatal("batch never started")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	resp, err := http.Post(srv.URL+"/flush", "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	m := <-done
+	if len(m["answers"].([]any)) != 2 {
+		t.Fatalf("batch lost answers: %v", m)
+	}
+	// The flush raced the round trip: the batch's answers must NOT have
+	// been re-inserted, whichever side won.
+	if n := gw.cache.Len(); n != 0 {
+		t.Fatalf("%d stale entries re-inserted after flush", n)
+	}
+	// And the next batch recomputes rather than serving anything stale.
+	m = postBatch(t, srv.URL, `{"queries":[{"class":"reach","s":1,"t":40}]}`, 200)
+	if misses := int(m["misses"].(float64)); misses != 1 {
+		t.Fatalf("post-flush batch served from a cache that should be empty (misses=%d)", misses)
+	}
+}
+
+func TestGatewayBatchRejectsBadRequests(t *testing.T) {
+	gw, _, srv := testGateway(t)
+	for name, body := range map[string]string{
+		"malformed JSON": `{"queries":[`,
+		"empty list":     `{"queries":[]}`,
+		"missing s":      `{"queries":[{"class":"reach","t":2}]}`,
+		"unknown class":  `{"queries":[{"class":"teleport","s":1,"t":2}]}`,
+		"negative bound": `{"queries":[{"class":"reachwithin","s":1,"t":2,"l":-1}]}`,
+		"missing regex":  `{"queries":[{"class":"reachregex","s":1,"t":2}]}`,
+		"bad regex":      `{"queries":[{"class":"reachregex","s":1,"t":2,"r":"("}]}`,
+		// Valid queries ahead of an invalid one: the whole batch must be
+		// rejected before any serving state is touched.
+		"tail invalid": `{"queries":[{"class":"reach","s":1,"t":2},{"class":"teleport","s":3,"t":4}]}`,
+	} {
+		if m := postBatch(t, srv.URL, body, 400); m["error"] == "" {
+			t.Fatalf("%s: error body missing", name)
+		}
+	}
+	// No rejected batch served anything: counters and cache untouched.
+	if n := gw.queries.Load(); n != 0 {
+		t.Fatalf("rejected batches bumped the query counter to %d", n)
+	}
+	if hits, misses := gw.cache.Stats(); hits != 0 || misses != 0 {
+		t.Fatalf("rejected batches touched the cache: hits=%d misses=%d", hits, misses)
 	}
 }
 

@@ -75,17 +75,13 @@ func DisReachBatch(cl *cluster.Cluster, fr *fragment.Fragmentation, qs []Query) 
 		f := frags[site]
 		sp := sitePartial{byTarget: make(map[graph.NodeID]*ReachPartial, len(order))}
 		for _, gr := range order {
-			// Include every source stored at this site in the iset by
-			// evaluating per source set: LocalEvalReach already handles
-			// one extra source; for several, run the in-node pass once
-			// (s = None) and add per-source equations.
+			// Include every source stored at this site in the iset: the
+			// in-node pass runs once (s = None) and each source adds only
+			// its own equation.
 			rv := LocalEvalReach(f, graph.None, gr.t)
 			for _, s := range gr.sources {
-				if ls, ok := f.Local(s); ok && !f.IsVirtual(ls) && !f.IsInNode(ls) {
-					src := LocalEvalReach(f, s, gr.t)
-					// The source equation is the last one (isetOf appends
-					// the non-in-node source at the end).
-					rv.eqs = append(rv.eqs, src.eqs[len(src.eqs)-1])
+				if eq, ok := sourceEq(f, s, gr.t); ok {
+					rv.eqs = append(rv.eqs, eq)
 				}
 			}
 			sp.byTarget[gr.t] = rv
@@ -123,4 +119,77 @@ func DisReachBatch(cl *cluster.Cluster, fr *fragment.Fragmentation, qs []Query) 
 	})
 	res.Report = run.Finish()
 	return res
+}
+
+// sourceEq computes just the source equation of qr(s, t) on f: the
+// frontier-cut BFS of localEval run from s alone, skipping the per-in-node
+// work. It reports false when s contributes no equation of its own — not
+// stored on this fragment, stored only as a virtual node, or already an
+// in-node (whose equation is part of the source-independent rvset).
+func sourceEq(f *fragment.Fragment, s, t graph.NodeID) (reachEq, bool) {
+	ls, ok := f.Local(s)
+	if !ok || f.IsVirtual(ls) || f.IsInNode(ls) {
+		return reachEq{}, false
+	}
+	if s == t {
+		return reachEq{node: t, constTrue: true}, true
+	}
+	comp := f.LocalSCC()
+	// Equation aliasing, as in localEval: when s shares a local SCC with an
+	// in-node, the two reach exactly the same boundary nodes, so the
+	// two-word alias Xs = Xv replaces a full BFS equation. The in-node's
+	// own equation is always in the source-independent rvset.
+	for _, v := range f.InNodes() {
+		if comp[v] == comp[ls] {
+			return reachEq{node: s, vars: []graph.NodeID{f.Global(v)}}, true
+		}
+	}
+	eq := reachEq{node: s}
+	seen := make([]bool, f.NumTotal())
+	seen[ls] = true
+	queue := make([]int32, 1, 16)
+	queue[0] = ls
+	for len(queue) > 0 {
+		x := queue[0]
+		queue = queue[1:]
+		if x != ls {
+			if g := f.Global(x); g == t {
+				eq.constTrue = true
+				continue
+			} else if f.IsBoundary(x) && comp[x] != comp[ls] {
+				eq.vars = append(eq.vars, g)
+				continue
+			}
+		}
+		for _, w := range f.Out(x) {
+			if !seen[w] {
+				seen[w] = true
+				queue = append(queue, w)
+			}
+		}
+	}
+	return eq, true
+}
+
+// LocalEvalReachShared evaluates qr(s, t) for many sources against one
+// shared target on a fragment: the in-node equations — independent of the
+// source — are computed once, and each source appends only its own
+// equation. The returned partials (one per source, in order) yield the
+// same coordinator-side solution as LocalEvalReach(f, sources[i], t). It
+// is the site-side form of the DisReachBatch target grouping, used by the
+// wire runtime to evaluate batch frames in one pass per target.
+func LocalEvalReachShared(f *fragment.Fragment, t graph.NodeID, sources []graph.NodeID) []*ReachPartial {
+	base := LocalEvalReach(f, graph.None, t)
+	// Full slice expression: appends below always copy, never scribble on
+	// the equations shared across partials.
+	shared := base.eqs[:len(base.eqs):len(base.eqs)]
+	out := make([]*ReachPartial, len(sources))
+	for i, s := range sources {
+		if eq, ok := sourceEq(f, s, t); ok {
+			out[i] = &ReachPartial{eqs: append(shared, eq)}
+		} else {
+			out[i] = base
+		}
+	}
+	return out
 }

@@ -75,6 +75,49 @@ func TestQuickDisReach(t *testing.T) {
 	}
 }
 
+// TestLocalEvalReachSharedMatchesSingle checks the shared-target site
+// evaluation against per-query LocalEvalReach: for random fragmented
+// graphs and shared targets, assembling the shared partials from all
+// fragments must solve to the same answer as the per-query partials — and
+// both must match the centralized oracle.
+func TestLocalEvalReachSharedMatchesSingle(t *testing.T) {
+	rng := gen.NewRNG(63)
+	for trial := 0; trial < 60; trial++ {
+		n := 5 + rng.Intn(40)
+		g := gen.Uniform(gen.Config{Nodes: n, Edges: rng.Intn(4 * n), Seed: uint64(trial)})
+		fr, err := fragment.Random(g, 1+rng.Intn(4), uint64(trial))
+		if err != nil {
+			t.Fatal(err)
+		}
+		frags := fr.Fragments()
+		tt := graph.NodeID(rng.Intn(n))
+		m := 1 + rng.Intn(6)
+		sources := make([]graph.NodeID, m)
+		for i := range sources {
+			sources[i] = graph.NodeID(rng.Intn(n))
+		}
+		shared := make([][]*ReachPartial, len(frags))
+		for fi, f := range frags {
+			shared[fi] = LocalEvalReachShared(f, tt, sources)
+		}
+		for qi, s := range sources {
+			sharedParts := make([]*ReachPartial, len(frags))
+			singleParts := make([]*ReachPartial, len(frags))
+			for fi, f := range frags {
+				sharedParts[fi] = shared[fi][qi]
+				singleParts[fi] = LocalEvalReach(f, s, tt)
+			}
+			got := s == tt || SolveReach(sharedParts, s)
+			single := s == tt || SolveReach(singleParts, s)
+			want := g.Reachable(s, tt)
+			if got != want || single != want {
+				t.Fatalf("trial %d: qr(%d,%d) shared=%v single=%v oracle=%v",
+					trial, s, tt, got, single, want)
+			}
+		}
+	}
+}
+
 func min(a, b int) int {
 	if a < b {
 		return a

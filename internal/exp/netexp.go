@@ -8,6 +8,7 @@ import (
 	"distreach/internal/cluster"
 	"distreach/internal/core"
 	"distreach/internal/fragment"
+	"distreach/internal/graph"
 	"distreach/internal/netsite"
 	"distreach/internal/workload"
 )
@@ -15,6 +16,7 @@ import (
 func init() {
 	register("N1", tcpCrossCheck)
 	register("N2", tcpConcurrency)
+	register("N3", tcpBatching)
 }
 
 // tcpCrossCheck validates the in-process simulation against the real TCP
@@ -156,6 +158,88 @@ func tcpConcurrency(cfg Config) (Table, error) {
 		}
 		t.Rows = append(t.Rows, []string{
 			d.Name, fmt.Sprint(clients), fmt.Sprint(len(qs)),
+			fmt.Sprintf("%.0f", qps), fmt.Sprintf("%.1fx", qps/base),
+		})
+	}
+	return t, nil
+}
+
+// tcpBatching measures wire-level batching: a fixed query budget is
+// answered in batches of growing size over the same deployment, and the
+// table shows frames per query shrinking as 2·sites/batch while
+// throughput climbs — the per-batch form of the paper's one-visit bound,
+// measured on real connections.
+func tcpBatching(cfg Config) (Table, error) {
+	t := Table{
+		ID:     "N3",
+		Title:  "Serving N3: frames and throughput vs wire batch size",
+		Header: []string{"dataset", "batch", "queries", "frames/query", "wire B/query", "throughput q/s", "speedup"},
+		Notes: "One serial client issues the same mixed qr/qbr workload in batches of growing size; every batch costs " +
+			"one request and one response frame per site regardless of its size, so frames per query fall as 2·sites/batch. " +
+			"Sites emulate a 5ms per-frame service time (a loaded or remote site), which batching amortizes across the batch.",
+	}
+	d := workload.ReachDatasets[4]
+	d.V = cfg.scale(d.V)
+	d.E = cfg.scale(d.E)
+	g := d.Generate()
+	fr, err := fragment.Random(g, d.CardF, d.Seed)
+	if err != nil {
+		return t, err
+	}
+	sites, addrs, err := netsite.ServeFragmentationOpts(fr, netsite.SiteOptions{Delay: 5 * time.Millisecond})
+	if err != nil {
+		return t, err
+	}
+	defer func() {
+		for _, s := range sites {
+			s.Close()
+		}
+	}()
+	co, err := netsite.Dial(addrs, 3*time.Second)
+	if err != nil {
+		return t, err
+	}
+	defer co.Close()
+	n := g.NumNodes()
+	budget := cfg.queries(16) * 8
+	qs := make([]netsite.BatchQuery, budget)
+	rqs := workload.ReachQueries(g, budget, 0.3, d.Seed+41)
+	for i, q := range rqs {
+		if i%2 == 0 {
+			qs[i] = netsite.BatchQuery{Class: netsite.ClassReach, S: q.S, T: q.T}
+		} else {
+			qs[i] = netsite.BatchQuery{Class: netsite.ClassDist, S: q.S, T: q.T, L: 1 + i%8}
+		}
+		if qs[i].S == qs[i].T { // keep every query on the wire
+			qs[i].T = (qs[i].T + 1) % graph.NodeID(n)
+		}
+	}
+	var base float64
+	for _, bsz := range []int{1, 2, 4, 8, 16} {
+		cfg.logf("N3: %s with batch size %d", d.Name, bsz)
+		var frames, bytes int64
+		start := time.Now()
+		for i := 0; i < len(qs); i += bsz {
+			end := i + bsz
+			if end > len(qs) {
+				end = len(qs)
+			}
+			_, st, err := co.Batch(qs[i:end])
+			if err != nil {
+				return t, err
+			}
+			frames += st.FramesSent + st.FramesReceived
+			bytes += st.BytesSent + st.BytesReceived
+		}
+		elapsed := time.Since(start)
+		qps := float64(len(qs)) / elapsed.Seconds()
+		if bsz == 1 {
+			base = qps
+		}
+		t.Rows = append(t.Rows, []string{
+			d.Name, fmt.Sprint(bsz), fmt.Sprint(len(qs)),
+			fmt.Sprintf("%.2f", float64(frames)/float64(len(qs))),
+			fmt.Sprint(bytes / int64(len(qs))),
 			fmt.Sprintf("%.0f", qps), fmt.Sprintf("%.1fx", qps/base),
 		})
 	}

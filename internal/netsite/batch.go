@@ -1,0 +1,353 @@
+package netsite
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"distreach/internal/automaton"
+	"distreach/internal/bes"
+	"distreach/internal/core"
+	"distreach/internal/graph"
+)
+
+// Wire batching: a batch frame ('B') carries many mixed-class queries in
+// one payload, and each site answers with a single frame carrying one
+// partial answer per query. The per-query visit guarantee thus becomes a
+// per-batch guarantee over real connections: k queries over n sites cost
+// 2n frames, independent of k.
+//
+// Batch request payload (little-endian):
+//
+//	version u8 | count u32 | per query:
+//	  class u8 ('r'|'b'|'q') | s u32 | t u32
+//	  class 'b' adds: l u32
+//	  class 'q' adds: alen u32 | automaton bytes
+//
+// Batch response payload:
+//
+//	version u8 | count u32 | per query: plen u32 | partial bytes
+//
+// Both codecs are hardened against hostile input (fuzzed): every count and
+// length is bounds-checked against the remaining buffer and trailing bytes
+// are rejected, so a corrupt or adversarial payload yields an error, never
+// a panic or an over-allocation.
+
+// QueryClass tags one query in a wire batch with its query class.
+type QueryClass byte
+
+// The three query classes of the paper, reusing the single-query frame
+// kinds as class tags.
+const (
+	ClassReach QueryClass = kindReach // qr(s,t)
+	ClassDist  QueryClass = kindDist  // qbr(s,t,l)
+	ClassRPQ   QueryClass = kindRPQ   // qrr(s,t,R)
+)
+
+// BatchQuery is one query in a wire batch.
+type BatchQuery struct {
+	Class QueryClass
+	S, T  graph.NodeID
+	L     int                  // distance bound; ClassDist only
+	A     *automaton.Automaton // query automaton; ClassRPQ only
+}
+
+// BatchAnswer is one query's answer within a batch. Dist is meaningful for
+// ClassDist only: the exact distance when Answer is true, bes.Inf
+// otherwise (mirroring Coordinator.ReachWithin).
+type BatchAnswer struct {
+	Answer bool
+	Dist   int64
+}
+
+// batchVersion versions the batch payload codecs independently of the
+// frame layout.
+const batchVersion = 1
+
+// maxBatch bounds the declared per-payload query count against hostile
+// length prefixes; real batches are orders of magnitude smaller.
+const maxBatch = 1 << 20
+
+// batchReader is a bounds-checked cursor over a batch payload.
+type batchReader struct {
+	b   []byte
+	off int
+}
+
+func (r *batchReader) u8() (byte, error) {
+	if r.off+1 > len(r.b) {
+		return 0, fmt.Errorf("netsite: truncated batch payload at offset %d", r.off)
+	}
+	v := r.b[r.off]
+	r.off++
+	return v, nil
+}
+
+func (r *batchReader) u32() (uint32, error) {
+	if r.off+4 > len(r.b) {
+		return 0, fmt.Errorf("netsite: truncated batch payload at offset %d", r.off)
+	}
+	v := binary.LittleEndian.Uint32(r.b[r.off:])
+	r.off += 4
+	return v, nil
+}
+
+func (r *batchReader) bytes(n uint32) ([]byte, error) {
+	if uint64(n) > uint64(len(r.b)-r.off) {
+		return nil, fmt.Errorf("netsite: batch payload claims %d bytes, %d remain", n, len(r.b)-r.off)
+	}
+	v := r.b[r.off : r.off+int(n)]
+	r.off += int(n)
+	return v, nil
+}
+
+// header decodes the version byte and the item count shared by both batch
+// payloads, guarding the count: each item occupies at least min bytes.
+func (r *batchReader) header(min int) (int, error) {
+	v, err := r.u8()
+	if err != nil {
+		return 0, err
+	}
+	if v != batchVersion {
+		return 0, fmt.Errorf("netsite: unsupported batch version %d", v)
+	}
+	n, err := r.u32()
+	if err != nil {
+		return 0, err
+	}
+	if n > maxBatch || uint64(n)*uint64(min) > uint64(len(r.b)-r.off) {
+		return 0, fmt.Errorf("netsite: implausible batch count %d", n)
+	}
+	return int(n), nil
+}
+
+// done rejects trailing bytes, so that decode∘encode is the identity and a
+// frame cannot smuggle data past the codec.
+func (r *batchReader) done() error {
+	if r.off != len(r.b) {
+		return fmt.Errorf("netsite: %d trailing bytes after batch payload", len(r.b)-r.off)
+	}
+	return nil
+}
+
+// encodeBatchRequest packs a mixed-class query batch into one payload.
+func encodeBatchRequest(qs []BatchQuery) ([]byte, error) {
+	b := []byte{batchVersion}
+	b = binary.LittleEndian.AppendUint32(b, uint32(len(qs)))
+	for i, q := range qs {
+		b = append(b, byte(q.Class))
+		b = binary.LittleEndian.AppendUint32(b, uint32(q.S))
+		b = binary.LittleEndian.AppendUint32(b, uint32(q.T))
+		switch q.Class {
+		case ClassReach:
+		case ClassDist:
+			b = binary.LittleEndian.AppendUint32(b, uint32(q.L))
+		case ClassRPQ:
+			if q.A == nil {
+				return nil, fmt.Errorf("netsite: batch query %d: nil automaton", i)
+			}
+			ab, err := q.A.MarshalBinary()
+			if err != nil {
+				return nil, err
+			}
+			b = binary.LittleEndian.AppendUint32(b, uint32(len(ab)))
+			b = append(b, ab...)
+		default:
+			return nil, fmt.Errorf("netsite: batch query %d: unknown class %q", i, byte(q.Class))
+		}
+	}
+	return b, nil
+}
+
+// decodeBatchRequest is the inverse of encodeBatchRequest.
+func decodeBatchRequest(p []byte) ([]BatchQuery, error) {
+	r := &batchReader{b: p}
+	n, err := r.header(9) // class + s + t at minimum
+	if err != nil {
+		return nil, err
+	}
+	qs := make([]BatchQuery, 0, n)
+	for i := 0; i < n; i++ {
+		cls, err := r.u8()
+		if err != nil {
+			return nil, err
+		}
+		s, err := r.u32()
+		if err != nil {
+			return nil, err
+		}
+		t, err := r.u32()
+		if err != nil {
+			return nil, err
+		}
+		q := BatchQuery{Class: QueryClass(cls), S: graph.NodeID(s), T: graph.NodeID(t)}
+		switch q.Class {
+		case ClassReach:
+		case ClassDist:
+			l, err := r.u32()
+			if err != nil {
+				return nil, err
+			}
+			q.L = int(l)
+		case ClassRPQ:
+			alen, err := r.u32()
+			if err != nil {
+				return nil, err
+			}
+			ab, err := r.bytes(alen)
+			if err != nil {
+				return nil, err
+			}
+			q.A = new(automaton.Automaton)
+			if err := q.A.UnmarshalBinary(ab); err != nil {
+				return nil, fmt.Errorf("netsite: batch query %d: %w", i, err)
+			}
+		default:
+			return nil, fmt.Errorf("netsite: batch query %d: unknown class %q", i, cls)
+		}
+		qs = append(qs, q)
+	}
+	if err := r.done(); err != nil {
+		return nil, err
+	}
+	return qs, nil
+}
+
+// encodeBatchReply packs one marshaled partial answer per batched query.
+func encodeBatchReply(parts [][]byte) []byte {
+	b := []byte{batchVersion}
+	b = binary.LittleEndian.AppendUint32(b, uint32(len(parts)))
+	for _, p := range parts {
+		b = binary.LittleEndian.AppendUint32(b, uint32(len(p)))
+		b = append(b, p...)
+	}
+	return b
+}
+
+// decodeBatchReply is the inverse of encodeBatchReply.
+func decodeBatchReply(p []byte) ([][]byte, error) {
+	r := &batchReader{b: p}
+	n, err := r.header(4) // a length prefix per partial at minimum
+	if err != nil {
+		return nil, err
+	}
+	parts := make([][]byte, 0, n)
+	for i := 0; i < n; i++ {
+		plen, err := r.u32()
+		if err != nil {
+			return nil, err
+		}
+		part, err := r.bytes(plen)
+		if err != nil {
+			return nil, err
+		}
+		parts = append(parts, part)
+	}
+	if err := r.done(); err != nil {
+		return nil, err
+	}
+	return parts, nil
+}
+
+// Batch evaluates a mixed-class query batch in one wire round: exactly one
+// request frame per site carries the whole batch, each site evaluates it
+// against its fragment in one pass and answers with one frame carrying a
+// partial per query, and the coordinator demultiplexes and solves each
+// query from its partials. The returned WireStats covers the whole batch:
+// FramesSent (and FramesReceived) equal the site count — independent of
+// len(qs) — which is the per-batch form of the paper's visit bound.
+//
+// Queries that short-circuit locally (s == t, or a non-positive distance
+// bound) are answered without touching the wire; a batch of only such
+// queries sends zero frames. Concurrent batches multiplex over the same
+// connections like single queries do.
+func (c *Coordinator) Batch(qs []BatchQuery) ([]BatchAnswer, WireStats, error) {
+	answers := make([]BatchAnswer, len(qs))
+	wire := make([]BatchQuery, 0, len(qs))
+	widx := make([]int, 0, len(qs))
+	for i, q := range qs {
+		switch q.Class {
+		case ClassReach:
+			if q.S == q.T {
+				answers[i] = BatchAnswer{Answer: true}
+				continue
+			}
+		case ClassDist:
+			if q.S == q.T {
+				answers[i] = BatchAnswer{Answer: q.L >= 0, Dist: 0}
+				continue
+			}
+			if q.L <= 0 {
+				answers[i] = BatchAnswer{Answer: false, Dist: bes.Inf}
+				continue
+			}
+		case ClassRPQ:
+			if q.A == nil {
+				return nil, WireStats{}, fmt.Errorf("netsite: batch query %d: nil automaton", i)
+			}
+			if q.S == q.T && q.A.AcceptsLabels(nil) {
+				answers[i] = BatchAnswer{Answer: true}
+				continue
+			}
+		default:
+			return nil, WireStats{}, fmt.Errorf("netsite: batch query %d: unknown class %q", i, byte(q.Class))
+		}
+		wire = append(wire, q)
+		widx = append(widx, i)
+	}
+	if len(wire) == 0 {
+		return answers, WireStats{}, nil
+	}
+	payload, err := encodeBatchRequest(wire)
+	if err != nil {
+		return nil, WireStats{}, err
+	}
+	replies, st, err := c.roundtrip(kindBatch, payload)
+	if err != nil {
+		return nil, st, err
+	}
+	parts := make([][][]byte, len(replies)) // [site][query] partial bytes
+	for site, resp := range replies {
+		parts[site], err = decodeBatchReply(resp)
+		if err != nil {
+			return nil, st, fmt.Errorf("netsite: site %d reply: %w", site, err)
+		}
+		if len(parts[site]) != len(wire) {
+			return nil, st, fmt.Errorf("netsite: site %d answered %d of %d batch queries",
+				site, len(parts[site]), len(wire))
+		}
+	}
+	for j, q := range wire {
+		i := widx[j]
+		switch q.Class {
+		case ClassReach:
+			partials := make([]*core.ReachPartial, len(parts))
+			for site := range parts {
+				partials[site] = new(core.ReachPartial)
+				if err := partials[site].UnmarshalBinary(parts[site][j]); err != nil {
+					return nil, st, fmt.Errorf("netsite: site %d batch query %d: %w", site, i, err)
+				}
+			}
+			answers[i].Answer = core.SolveReach(partials, q.S)
+		case ClassDist:
+			partials := make([]*core.DistPartial, len(parts))
+			for site := range parts {
+				partials[site] = new(core.DistPartial)
+				if err := partials[site].UnmarshalBinary(parts[site][j]); err != nil {
+					return nil, st, fmt.Errorf("netsite: site %d batch query %d: %w", site, i, err)
+				}
+			}
+			d := core.SolveDist(partials, q.S)
+			answers[i] = BatchAnswer{Answer: d <= int64(q.L), Dist: d}
+		case ClassRPQ:
+			partials := make([]*core.RPQPartial, len(parts))
+			for site := range parts {
+				partials[site] = new(core.RPQPartial)
+				if err := partials[site].UnmarshalBinary(parts[site][j]); err != nil {
+					return nil, st, fmt.Errorf("netsite: site %d batch query %d: %w", site, i, err)
+				}
+			}
+			answers[i].Answer = core.SolveRPQ(partials, q.S, q.A)
+		}
+	}
+	return answers, st, nil
+}

@@ -150,11 +150,14 @@ func (c *Coordinator) Close() error {
 	return first
 }
 
-// WireStats is the on-the-wire accounting of one query round.
+// WireStats is the on-the-wire accounting of one query round (or one
+// whole batch round; see Coordinator.Batch).
 type WireStats struct {
-	BytesSent     int64         // query frames to all sites
-	BytesReceived int64         // partial-answer frames
-	RoundTrip     time.Duration // slowest site's post+reply wall time
+	BytesSent      int64         // query frames to all sites
+	BytesReceived  int64         // partial-answer frames
+	FramesSent     int64         // request frames; one per site per round
+	FramesReceived int64         // response frames; one per site per round
+	RoundTrip      time.Duration // slowest site's post+reply wall time
 }
 
 // roundtrip posts one frame to every site in parallel and collects one
@@ -165,7 +168,7 @@ func (c *Coordinator) roundtrip(kind byte, payload []byte) ([][]byte, WireStats,
 	start := time.Now()
 	replies := make([][]byte, len(c.conns))
 	errs := make([]error, len(c.conns))
-	var sent, recv atomic.Int64
+	var sent, recv, fsent, frecv atomic.Int64
 	var wg sync.WaitGroup
 	for i, sc := range c.conns {
 		wg.Add(1)
@@ -177,6 +180,7 @@ func (c *Coordinator) roundtrip(kind byte, payload []byte) ([][]byte, WireStats,
 				return
 			}
 			sent.Add(int64(n))
+			fsent.Add(1)
 			r, ok := <-ch
 			if !ok {
 				err := sc.lastErr()
@@ -189,6 +193,7 @@ func (c *Coordinator) roundtrip(kind byte, payload []byte) ([][]byte, WireStats,
 			switch r.kind {
 			case kindAnswer:
 				recv.Add(int64(r.n))
+				frecv.Add(1)
 				replies[i] = r.payload
 			case kindError:
 				errs[i] = fmt.Errorf("site %d: %s", i, r.payload)
@@ -199,9 +204,11 @@ func (c *Coordinator) roundtrip(kind byte, payload []byte) ([][]byte, WireStats,
 	}
 	wg.Wait()
 	st := WireStats{
-		BytesSent:     sent.Load(),
-		BytesReceived: recv.Load(),
-		RoundTrip:     time.Since(start),
+		BytesSent:      sent.Load(),
+		BytesReceived:  recv.Load(),
+		FramesSent:     fsent.Load(),
+		FramesReceived: frecv.Load(),
+		RoundTrip:      time.Since(start),
 	}
 	for _, err := range errs {
 		if err != nil {

@@ -1,0 +1,110 @@
+package netsite
+
+import (
+	"bytes"
+	"testing"
+
+	"distreach/internal/automaton"
+	"distreach/internal/gen"
+)
+
+// FuzzDecodeFrame throws arbitrary byte streams at the frame decoder: it
+// must either error or produce a frame that re-encodes to exactly the
+// bytes it consumed. Seeds come from the edge cases the handwritten tests
+// pin down.
+func FuzzDecodeFrame(f *testing.F) {
+	// Valid frames of each request kind, plus the codified edge cases.
+	for _, payload := range [][]byte{nil, {1}, bytes.Repeat([]byte{0xAB}, 256)} {
+		var buf bytes.Buffer
+		if _, err := writeFrame(&buf, 42, kindReach, payload); err != nil {
+			f.Fatal(err)
+		}
+		f.Add(buf.Bytes())
+	}
+	f.Add(rawHeader(0))                                           // zero length
+	f.Add(append(rawHeader(3), 1, 2, 3))                          // shorter than id+kind
+	f.Add(rawHeader(maxFrame + 1))                                // oversized length
+	f.Add(append(rawHeader(100), bytes.Repeat([]byte{7}, 10)...)) // truncated payload
+	f.Add([]byte{1, 0})                                           // truncated header
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		id, kind, payload, n, err := readFrame(bytes.NewReader(data))
+		if err != nil {
+			return // rejecting is always legal; not panicking is the property
+		}
+		if n < 4+minFrame || n > len(data) {
+			t.Fatalf("readFrame consumed %d of %d bytes", n, len(data))
+		}
+		var buf bytes.Buffer
+		wn, err := writeFrame(&buf, id, kind, payload)
+		if err != nil {
+			t.Fatalf("re-encode of a decoded frame failed: %v", err)
+		}
+		if wn != n || !bytes.Equal(buf.Bytes(), data[:n]) {
+			t.Fatalf("frame round trip drifted: read %d bytes, wrote %d", n, wn)
+		}
+	})
+}
+
+// FuzzBatchPayload throws arbitrary bytes at both batch payload decoders.
+// Whatever decodes must re-encode and decode back to the same thing; the
+// rest must be rejected with an error, never a panic or an implausible
+// allocation. The automaton codec nested inside RPQ batch entries gets
+// fuzzed along the way.
+func FuzzBatchPayload(f *testing.F) {
+	rng := gen.NewRNG(7)
+	a := automaton.Random(rng, 3, 5, []string{"A", "B"})
+	seed, err := encodeBatchRequest([]BatchQuery{
+		{Class: ClassReach, S: 1, T: 2},
+		{Class: ClassDist, S: 3, T: 4, L: 6},
+		{Class: ClassRPQ, S: 5, T: 6, A: a},
+	})
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(seed)
+	empty, err := encodeBatchRequest(nil)
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(empty)
+	f.Add(encodeBatchReply([][]byte{{1, 2, 3}, nil, {0xFF}}))
+	f.Add([]byte{batchVersion, 0xFF, 0xFF, 0xFF, 0xFF}) // hostile count
+	f.Add(seed[:len(seed)-3])                           // truncated query
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if qs, err := decodeBatchRequest(data); err == nil {
+			re, err := encodeBatchRequest(qs)
+			if err != nil {
+				t.Fatalf("re-encode of a decoded batch failed: %v", err)
+			}
+			qs2, err := decodeBatchRequest(re)
+			if err != nil {
+				t.Fatalf("decode of a re-encoded batch failed: %v", err)
+			}
+			if len(qs2) != len(qs) {
+				t.Fatalf("batch round trip drifted: %d then %d queries", len(qs), len(qs2))
+			}
+			for i := range qs {
+				if qs2[i].Class != qs[i].Class || qs2[i].S != qs[i].S ||
+					qs2[i].T != qs[i].T || qs2[i].L != qs[i].L {
+					t.Fatalf("query %d drifted: %+v -> %+v", i, qs[i], qs2[i])
+				}
+			}
+		}
+		if parts, err := decodeBatchReply(data); err == nil {
+			parts2, err := decodeBatchReply(encodeBatchReply(parts))
+			if err != nil {
+				t.Fatalf("reply re-encode round trip failed: %v", err)
+			}
+			if len(parts2) != len(parts) {
+				t.Fatalf("reply round trip drifted: %d then %d parts", len(parts), len(parts2))
+			}
+			for i := range parts {
+				if !bytes.Equal(parts[i], parts2[i]) {
+					t.Fatalf("reply part %d drifted", i)
+				}
+			}
+		}
+	})
+}

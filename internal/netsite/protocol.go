@@ -12,10 +12,16 @@
 // replies back to their queries by ID.
 //
 //	frame  := length u32 (of the rest) | id u32 | kind u8 | payload
-//	request kinds: 'r' qr(s,t), 'b' qbr(s,t,l), 'q' qrr(s,t,Gq)
-//	response kind: 'R' partial answer (codec per query class), 'E' error
+//	request kinds: 'r' qr(s,t), 'b' qbr(s,t,l), 'q' qrr(s,t,Gq),
+//	               'B' batch (many mixed-class queries in one payload)
+//	response kind: 'R' partial answer (codec per query class; for 'B', one
+//	               partial per batched query), 'E' error
 //
-// A response frame echoes the ID of the request it answers.
+// A response frame echoes the ID of the request it answers. A batch frame
+// is the wire form of the paper's per-batch visit guarantee: one request
+// frame per site carries the whole batch, and one response frame per site
+// carries every partial answer, so k queries cost the same number of
+// frames as one.
 package netsite
 
 import (
@@ -29,6 +35,7 @@ const (
 	kindReach  = 'r'
 	kindDist   = 'b'
 	kindRPQ    = 'q'
+	kindBatch  = 'B'
 	kindAnswer = 'R'
 	kindError  = 'E'
 )

@@ -224,9 +224,67 @@ func (s *Site) handle(kind byte, payload []byte) ([]byte, error) {
 		}
 		rv := core.LocalEvalRPQ(s.frag, src, dst, &a)
 		return rv.MarshalBinary()
+	case kindBatch:
+		return s.handleBatch(payload)
 	default:
 		return nil, fmt.Errorf("unknown request kind %q", kind)
 	}
+}
+
+// handleBatch evaluates a whole batch frame against the fragment in one
+// pass and returns one partial answer per query. Reach queries sharing a
+// target share their in-node equations (those are source-independent), so
+// the per-target local evaluation runs once however many sources ask for
+// it; distance and regex queries evaluate individually. The frame's
+// service delay (Site.delay) is paid once per batch, not once per query —
+// the amortization the batch protocol exists to deliver.
+func (s *Site) handleBatch(payload []byte) ([]byte, error) {
+	qs, err := decodeBatchRequest(payload)
+	if err != nil {
+		return nil, err
+	}
+	parts := make([][]byte, len(qs))
+	type reachGroup struct {
+		sources []graph.NodeID
+		idx     []int
+	}
+	groups := make(map[graph.NodeID]*reachGroup)
+	var order []graph.NodeID
+	for i, q := range qs {
+		switch q.Class {
+		case ClassReach:
+			gr := groups[q.T]
+			if gr == nil {
+				gr = &reachGroup{}
+				groups[q.T] = gr
+				order = append(order, q.T)
+			}
+			gr.sources = append(gr.sources, q.S)
+			gr.idx = append(gr.idx, i)
+		case ClassDist:
+			rv := core.LocalEvalDist(s.frag, q.S, q.T, q.L)
+			if parts[i], err = rv.MarshalBinary(); err != nil {
+				return nil, err
+			}
+		case ClassRPQ:
+			rv := core.LocalEvalRPQ(s.frag, q.S, q.T, q.A)
+			if parts[i], err = rv.MarshalBinary(); err != nil {
+				return nil, err
+			}
+		default:
+			// Unreachable: decodeBatchRequest rejects unknown classes.
+			return nil, fmt.Errorf("unknown batch query class %q", byte(q.Class))
+		}
+	}
+	for _, t := range order {
+		gr := groups[t]
+		for j, rv := range core.LocalEvalReachShared(s.frag, t, gr.sources) {
+			if parts[gr.idx[j]], err = rv.MarshalBinary(); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return encodeBatchReply(parts), nil
 }
 
 // ServeFragmentation is a convenience that starts one Site per fragment on

@@ -24,6 +24,7 @@ type Cache[V any] struct {
 	items  map[string]*list.Element
 	hits   uint64
 	misses uint64
+	gen    uint64 // flush generation; see Generation
 }
 
 type entry[V any] struct {
@@ -64,6 +65,10 @@ func (c *Cache[V]) Get(key string) (V, bool) {
 func (c *Cache[V]) Put(key string, val V) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	c.putLocked(key, val)
+}
+
+func (c *Cache[V]) putLocked(key string, val V) {
 	if el, ok := c.items[key]; ok {
 		el.Value.(*entry[V]).val = val
 		c.ll.MoveToFront(el)
@@ -77,13 +82,40 @@ func (c *Cache[V]) Put(key string, val V) {
 	c.items[key] = c.ll.PushFront(&entry[V]{key: key, val: val})
 }
 
+// PutIfGeneration stores key's answer only if the flush generation still
+// equals gen — atomically with respect to Flush — and reports whether it
+// stored. Callers snapshot Generation() before computing an answer over a
+// slow round trip: a Flush landing in between turns the insert into a
+// no-op instead of resurrecting a pre-flush answer into the flushed cache.
+func (c *Cache[V]) PutIfGeneration(key string, val V, gen uint64) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.gen != gen {
+		return false
+	}
+	c.putLocked(key, val)
+	return true
+}
+
 // Flush empties the cache: the wholesale invalidation used on redeploy,
-// when the graph or fragmentation behind the answers changes.
+// when the graph or fragmentation behind the answers changes. It also
+// advances the flush generation.
 func (c *Cache[V]) Flush() {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	c.ll.Init()
 	clear(c.items)
+	c.gen++
+}
+
+// Generation reports the flush generation: how many times the cache has
+// been invalidated wholesale. Snapshot it before a slow round trip and
+// pass it to PutIfGeneration afterwards so a Flush that raced the round
+// trip is not silently undone by re-inserting pre-flush answers.
+func (c *Cache[V]) Generation() uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.gen
 }
 
 // Len reports the number of cached answers.

@@ -58,6 +58,45 @@ func TestFlush(t *testing.T) {
 	}
 }
 
+func TestGeneration(t *testing.T) {
+	c := New[int](8)
+	if g := c.Generation(); g != 0 {
+		t.Fatalf("fresh cache generation %d, want 0", g)
+	}
+	c.Put("a", 1)
+	c.Get("a")
+	if g := c.Generation(); g != 0 {
+		t.Fatalf("get/put must not advance the generation (got %d)", g)
+	}
+	c.Flush()
+	c.Flush()
+	if g := c.Generation(); g != 2 {
+		t.Fatalf("generation %d after two flushes, want 2", g)
+	}
+}
+
+func TestPutIfGeneration(t *testing.T) {
+	c := New[int](8)
+	epoch := c.Generation()
+	if !c.PutIfGeneration("a", 1, epoch) {
+		t.Fatal("put with a current generation must store")
+	}
+	if v, ok := c.Get("a"); !ok || v != 1 {
+		t.Fatalf("got %d,%v want 1,true", v, ok)
+	}
+	epoch = c.Generation()
+	c.Flush()
+	if c.PutIfGeneration("b", 2, epoch) {
+		t.Fatal("put with a pre-flush generation must be a no-op")
+	}
+	if _, ok := c.Get("b"); ok {
+		t.Fatal("stale answer resurrected across a flush")
+	}
+	if !c.PutIfGeneration("b", 2, c.Generation()) {
+		t.Fatal("put with the post-flush generation must store")
+	}
+}
+
 func TestStats(t *testing.T) {
 	c := New[int](2)
 	c.Get("a")
