@@ -19,15 +19,19 @@ race:
 bench:
 	$(GO) test -bench . -benchmem ./...
 
-# One-iteration smoke run: proves every benchmark still compiles and runs.
+# One-iteration smoke run: proves every benchmark still compiles and runs,
+# plus one short churn iteration of the load generator (live updates mixed
+# into the query stream).
 bench-smoke:
 	$(GO) test -run '^$$' -bench . -benchtime 1x ./...
+	$(GO) run ./cmd/bench -load -clients 2 -duration 1s -churn 5 -nodes 300 -edges 1200 -class mixed
 
 # Short fuzzing pass over the wire codecs (one target per invocation: the
 # Go fuzzer requires exactly one -fuzz match).
 fuzz-smoke:
 	$(GO) test ./internal/netsite -run '^$$' -fuzz '^FuzzDecodeFrame$$' -fuzztime 20s
 	$(GO) test ./internal/netsite -run '^$$' -fuzz '^FuzzBatchPayload$$' -fuzztime 20s
+	$(GO) test ./internal/netsite -run '^$$' -fuzz '^FuzzUpdatePayload$$' -fuzztime 20s
 
 fmt:
 	gofmt -w .

@@ -25,9 +25,10 @@ import (
 type loadConfig struct {
 	clients  int
 	duration time.Duration
-	class    string // qr | qbr | qrr | mixed
-	url      string // non-empty: drive an HTTP gateway instead
-	batch    int    // queries per wire batch; 1 = single-query API
+	class    string  // qr | qbr | qrr | mixed
+	url      string  // non-empty: drive an HTTP gateway instead
+	batch    int     // queries per wire batch; 1 = single-query API
+	churn    float64 // edge updates per second mixed into the stream; 0 = none
 	delay    time.Duration
 	nodes    int
 	edges    int
@@ -50,14 +51,14 @@ func runLoad(cfg loadConfig) error {
 	if cfg.batch < 1 {
 		cfg.batch = 1
 	}
-	var issue func(rng *gen.RNG, q int) error
+	var issue, update func(rng *gen.RNG, q int) error
 	target := cfg.url
 	if cfg.url != "" {
-		issue = httpIssuer(cfg)
+		issue, update = httpIssuer(cfg)
 	} else {
 		var cleanup func()
 		var err error
-		issue, cleanup, err = wireIssuer(cfg)
+		issue, update, cleanup, err = wireIssuer(cfg)
 		if err != nil {
 			return err
 		}
@@ -65,8 +66,8 @@ func runLoad(cfg loadConfig) error {
 		target = fmt.Sprintf("in-process deployment (%d sites, |V|=%d, |E|=%d)", cfg.k, cfg.nodes, cfg.edges)
 	}
 
-	fmt.Fprintf(os.Stderr, "load: %d clients, %v, class %s, batch %d, target %s\n",
-		cfg.clients, cfg.duration, cfg.class, cfg.batch, target)
+	fmt.Fprintf(os.Stderr, "load: %d clients, %v, class %s, batch %d, churn %.1f/s, target %s\n",
+		cfg.clients, cfg.duration, cfg.class, cfg.batch, cfg.churn, target)
 	stats := make([]clientStats, cfg.clients)
 	deadline := time.Now().Add(cfg.duration)
 	start := time.Now()
@@ -85,6 +86,28 @@ func runLoad(cfg loadConfig) error {
 				stats[w].lats = append(stats[w].lats, time.Since(t0))
 			}
 		}(w)
+	}
+	// The churn loop: a dedicated updater mixing edge inserts/deletes into
+	// the query stream at the requested rate, paced by a fixed interval.
+	var updates, uerrs int
+	if cfg.churn > 0 {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			rng := gen.NewRNG(cfg.seed*31337 + 7)
+			interval := time.Duration(float64(time.Second) / cfg.churn)
+			for i := 0; time.Now().Before(deadline); i++ {
+				t0 := time.Now()
+				if err := update(rng, i); err != nil {
+					uerrs++
+				} else {
+					updates++
+				}
+				if d := interval - time.Since(t0); d > 0 {
+					time.Sleep(d)
+				}
+			}
+		}()
 	}
 	wg.Wait()
 	elapsed := time.Since(start)
@@ -112,6 +135,9 @@ func runLoad(cfg loadConfig) error {
 	// batches (what one caller waits for).
 	queries := len(all) * cfg.batch
 	fmt.Printf("queries     %d in %d rounds (%d errors)\n", queries, len(all), errs)
+	if cfg.churn > 0 {
+		fmt.Printf("updates     %d applied (%d errors)\n", updates, uerrs)
+	}
 	fmt.Printf("elapsed     %v\n", elapsed.Round(time.Millisecond))
 	fmt.Printf("throughput  %.0f q/s\n", float64(queries)/elapsed.Seconds())
 	unit := "query"
@@ -123,6 +149,9 @@ func runLoad(cfg loadConfig) error {
 		pct(0.50), pct(0.90), pct(0.99), pct(1.0))
 	if errs > 0 {
 		return fmt.Errorf("load: %d queries failed", errs)
+	}
+	if uerrs > 0 {
+		return fmt.Errorf("load: %d updates failed", uerrs)
 	}
 	return nil
 }
@@ -144,22 +173,22 @@ func pickQuery(class string, rng *gen.RNG, q, n int) (cls string, s, t graph.Nod
 
 // wireIssuer deploys loopback sites in-process and drives them over the
 // multiplexed TCP protocol through a single shared coordinator.
-func wireIssuer(cfg loadConfig) (func(*gen.RNG, int) error, func(), error) {
+func wireIssuer(cfg loadConfig) (func(*gen.RNG, int) error, func(*gen.RNG, int) error, func(), error) {
 	g := gen.PowerLaw(gen.Config{Nodes: cfg.nodes, Edges: cfg.edges, Labels: loadLabels, Seed: cfg.seed})
 	fr, err := fragment.Random(g, cfg.k, cfg.seed)
 	if err != nil {
-		return nil, nil, err
+		return nil, nil, nil, err
 	}
 	sites, addrs, err := netsite.ServeFragmentationOpts(fr, netsite.SiteOptions{Delay: cfg.delay})
 	if err != nil {
-		return nil, nil, err
+		return nil, nil, nil, err
 	}
 	co, err := netsite.Dial(addrs, 3*time.Second)
 	if err != nil {
 		for _, s := range sites {
 			s.Close()
 		}
-		return nil, nil, err
+		return nil, nil, nil, err
 	}
 	cleanup := func() {
 		co.Close()
@@ -189,7 +218,26 @@ func wireIssuer(cfg loadConfig) (func(*gen.RNG, int) error, func(), error) {
 		}
 		return err
 	}
-	return issue, cleanup, nil
+	update := func(rng *gen.RNG, i int) error {
+		op, u, v := pickUpdate(cfg, rng, i)
+		wop := netsite.UpdateInsert
+		if op == "delete" {
+			wop = netsite.UpdateDelete
+		}
+		_, _, err := co.Update(wop, u, v)
+		return err
+	}
+	return issue, update, cleanup, nil
+}
+
+// pickUpdate draws one edge operation: inserts and deletes alternate so
+// the graph's size stays roughly stable under sustained churn.
+func pickUpdate(cfg loadConfig, rng *gen.RNG, i int) (op string, u, v graph.NodeID) {
+	op = "insert"
+	if i%2 == 1 {
+		op = "delete"
+	}
+	return op, graph.NodeID(rng.Intn(cfg.nodes)), graph.NodeID(rng.Intn(cfg.nodes))
 }
 
 // pickBatchQuery draws one wire batch query of the configured class mix.
@@ -209,9 +257,26 @@ func pickBatchQuery(cfg loadConfig, rng *gen.RNG, q int) netsite.BatchQuery {
 // httpIssuer drives a running cmd/serve gateway. Node IDs are drawn from
 // [0, nodes); point -nodes at the deployed graph's size. With -batch N the
 // issuer posts N queries per POST /batch call instead of one GET each.
-func httpIssuer(cfg loadConfig) func(*gen.RNG, int) error {
+// The second function posts one POST /update per call (the -churn loop).
+func httpIssuer(cfg loadConfig) (func(*gen.RNG, int) error, func(*gen.RNG, int) error) {
 	client := &http.Client{Timeout: 10 * time.Second}
 	exprs := []string{"A(A|B)*", "(A|B|C)+", "AB*C?"}
+	update := func(rng *gen.RNG, i int) error {
+		op, u, v := pickUpdate(cfg, rng, i)
+		body, err := json.Marshal(map[string]any{"op": op, "u": uint32(u), "v": uint32(v)})
+		if err != nil {
+			return err
+		}
+		resp, err := client.Post(cfg.url+"/update", "application/json", bytes.NewReader(body))
+		if err != nil {
+			return err
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			return fmt.Errorf("POST /update: status %s", resp.Status)
+		}
+		return nil
+	}
 	if cfg.batch > 1 {
 		type batchQuery struct {
 			Class string `json:"class"`
@@ -220,7 +285,7 @@ func httpIssuer(cfg loadConfig) func(*gen.RNG, int) error {
 			L     *int   `json:"l,omitempty"`
 			R     string `json:"r,omitempty"`
 		}
-		return func(rng *gen.RNG, q int) error {
+		issue := func(rng *gen.RNG, q int) error {
 			qs := make([]batchQuery, cfg.batch)
 			for i := range qs {
 				n := q*cfg.batch + i
@@ -253,8 +318,9 @@ func httpIssuer(cfg loadConfig) func(*gen.RNG, int) error {
 			}
 			return nil
 		}
+		return issue, update
 	}
-	return func(rng *gen.RNG, q int) error {
+	issue := func(rng *gen.RNG, q int) error {
 		cls, s, t, l := pickQuery(cfg.class, rng, q, cfg.nodes)
 		var url string
 		switch cls {
@@ -276,4 +342,5 @@ func httpIssuer(cfg loadConfig) func(*gen.RNG, int) error {
 		}
 		return nil
 	}
+	return issue, update
 }

@@ -48,6 +48,7 @@ func main() {
 		duration = flag.Duration("duration", 3*time.Second, "load: how long to drive traffic")
 		class    = flag.String("class", "qr", "load: query class: qr | qbr | qrr | mixed")
 		batch    = flag.Int("batch", 1, "load: queries per wire batch (1 = single-query API)")
+		churn    = flag.Float64("churn", 0, "load: edge updates per second mixed into the query stream (0 = none)")
 		sdelay   = flag.Duration("sitedelay", 0, "load: emulated per-frame site service time (in-process mode; the N3 workload uses 5ms)")
 		url      = flag.String("url", "", "load: drive a cmd/serve gateway at this base URL instead of an in-process deployment")
 		nodes    = flag.Int("nodes", 2000, "load: graph nodes (in-process mode; node-ID range in -url mode)")
@@ -63,6 +64,7 @@ func main() {
 			duration: *duration,
 			class:    *class,
 			batch:    *batch,
+			churn:    *churn,
 			delay:    *sdelay,
 			url:      *url,
 			nodes:    *nodes,

@@ -1,7 +1,9 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
 	"strconv"
@@ -26,12 +28,14 @@ type cachedAnswer struct {
 type gateway struct {
 	co      *netsite.Coordinator
 	cache   *qcache.Cache[cachedAnswer]
+	timeout time.Duration // per-request wire deadline; 0 = none
 	queries atomic.Int64
+	updates atomic.Int64
 	started time.Time
 }
 
-func newGateway(co *netsite.Coordinator, cacheCap int) *gateway {
-	return &gateway{co: co, cache: qcache.New[cachedAnswer](cacheCap), started: time.Now()}
+func newGateway(co *netsite.Coordinator, cacheCap int, timeout time.Duration) *gateway {
+	return &gateway{co: co, cache: qcache.New[cachedAnswer](cacheCap), timeout: timeout, started: time.Now()}
 }
 
 func (g *gateway) routes() *http.ServeMux {
@@ -40,12 +44,33 @@ func (g *gateway) routes() *http.ServeMux {
 	mux.HandleFunc("GET /reachwithin", g.handleReachWithin)
 	mux.HandleFunc("GET /reachregex", g.handleReachRegex)
 	mux.HandleFunc("POST /batch", g.handleBatch)
+	mux.HandleFunc("POST /update", g.handleUpdate)
 	mux.HandleFunc("GET /stats", g.handleStats)
 	mux.HandleFunc("POST /flush", g.handleFlush)
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		w.Write([]byte("ok\n"))
 	})
 	return mux
+}
+
+// wireCtx derives the context for one request's wire round trips,
+// applying the gateway's per-request deadline when configured.
+func (g *gateway) wireCtx(r *http.Request) (context.Context, context.CancelFunc) {
+	if g.timeout <= 0 {
+		return r.Context(), func() {}
+	}
+	return context.WithTimeout(r.Context(), g.timeout)
+}
+
+// wireError maps a failed wire round to an HTTP status: 504 when the
+// gateway's deadline expired (a stalled site must not hang the client),
+// 502 for everything else.
+func wireError(w http.ResponseWriter, err error) {
+	status := http.StatusBadGateway
+	if errors.Is(err, context.DeadlineExceeded) {
+		status = http.StatusGatewayTimeout
+	}
+	writeJSON(w, status, errorResponse{Error: err.Error()})
 }
 
 // wireJSON mirrors netsite.WireStats for responses served off the wire.
@@ -124,13 +149,15 @@ func (g *gateway) handleReach(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	epoch := g.cache.Generation()
-	answer, st, err := g.co.Reach(s, t)
+	ctx, cancel := g.wireCtx(r)
+	defer cancel()
+	answer, st, err := g.co.ReachContext(ctx, s, t)
 	if err != nil {
-		writeJSON(w, http.StatusBadGateway, errorResponse{Error: err.Error()})
+		wireError(w, err)
 		return
 	}
 	ans := cachedAnswer{Answer: answer}
-	g.cache.PutIfGeneration(key, ans, epoch)
+	g.cache.PutIfGeneration(key, ans, epoch, st.Touched)
 	g.respond(w, query, ans, false, st)
 }
 
@@ -150,15 +177,17 @@ func (g *gateway) handleReachWithin(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	epoch := g.cache.Generation()
-	answer, dist, st, err := g.co.ReachWithin(s, t, l)
+	ctx, cancel := g.wireCtx(r)
+	defer cancel()
+	answer, dist, st, err := g.co.ReachWithinContext(ctx, s, t, l)
 	if err != nil {
-		writeJSON(w, http.StatusBadGateway, errorResponse{Error: err.Error()})
+		wireError(w, err)
 		return
 	}
 	// The distance is exact only when within the bound; otherwise it is the
 	// solver's infinity sentinel, which callers should not see.
 	ans := cachedAnswer{Answer: answer, Dist: dist, HasDist: answer}
-	g.cache.PutIfGeneration(key, ans, epoch)
+	g.cache.PutIfGeneration(key, ans, epoch, st.Touched)
 	g.respond(w, query, ans, false, st)
 }
 
@@ -183,13 +212,15 @@ func (g *gateway) handleReachRegex(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	epoch := g.cache.Generation()
-	answer, st, err := g.co.ReachRegex(s, t, a)
+	ctx, cancel := g.wireCtx(r)
+	defer cancel()
+	answer, st, err := g.co.ReachRegexContext(ctx, s, t, a)
 	if err != nil {
-		writeJSON(w, http.StatusBadGateway, errorResponse{Error: err.Error()})
+		wireError(w, err)
 		return
 	}
 	ans := cachedAnswer{Answer: answer}
-	g.cache.PutIfGeneration(key, ans, epoch)
+	g.cache.PutIfGeneration(key, ans, epoch, st.Touched)
 	g.respond(w, query, ans, false, st)
 }
 
@@ -338,9 +369,11 @@ func (g *gateway) handleBatch(w http.ResponseWriter, r *http.Request) {
 	// request order.
 	var wj *wireJSON
 	if len(wireQs) > 0 {
-		res, st, err := g.co.Batch(wireQs)
+		ctx, cancel := g.wireCtx(r)
+		defer cancel()
+		res, st, err := g.co.BatchContext(ctx, wireQs)
 		if err != nil {
-			writeJSON(w, http.StatusBadGateway, errorResponse{Error: err.Error()})
+			wireError(w, err)
 			return
 		}
 		for _, p := range pend {
@@ -349,7 +382,7 @@ func (g *gateway) handleBatch(w http.ResponseWriter, r *http.Request) {
 				ans.Dist = res[p.slot].Dist
 				ans.HasDist = res[p.slot].Answer
 			}
-			g.cache.PutIfGeneration(p.key, ans, epoch)
+			g.cache.PutIfGeneration(p.key, ans, epoch, res[p.slot].Touched)
 			answers[p.idx].Answer = ans.Answer
 			if ans.HasDist {
 				d := ans.Dist
@@ -361,15 +394,87 @@ func (g *gateway) handleBatch(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, batchResponseJSON{Answers: answers, Misses: len(wireQs), Wire: wj})
 }
 
+// updateRequestJSON is the body of POST /update: one edge operation.
+type updateRequestJSON struct {
+	Op string  `json:"op"` // "insert" | "delete"
+	U  *uint32 `json:"u"`
+	V  *uint32 `json:"v"`
+}
+
+// updateResponseJSON reports the effect of one edge update: whether the
+// graph changed, which fragments were dirtied, and how many cached
+// answers that evicted (entries whose evaluation touched none of the
+// dirtied fragments keep serving hits).
+type updateResponseJSON struct {
+	Changed bool      `json:"changed"`
+	Dirty   []int     `json:"dirty"`
+	Evicted int       `json:"evicted"`
+	Wire    *wireJSON `json:"wire"`
+}
+
+// handleUpdate serves POST /update: it routes the edge operation to the
+// sites, then evicts exactly the cached answers whose evaluation touched a
+// dirtied fragment — the per-fragment invalidation that replaces a
+// wholesale flush on live graphs.
+func (g *gateway) handleUpdate(w http.ResponseWriter, r *http.Request) {
+	var req updateRequestJSON
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 4096)).Decode(&req); err != nil {
+		badRequest(w, "update: malformed JSON: "+err.Error())
+		return
+	}
+	var op netsite.UpdateOp
+	switch req.Op {
+	case "insert":
+		op = netsite.UpdateInsert
+	case "delete":
+		op = netsite.UpdateDelete
+	default:
+		badRequest(w, fmt.Sprintf("update: unknown op %q (want insert or delete)", req.Op))
+		return
+	}
+	if req.U == nil || req.V == nil {
+		badRequest(w, "update: needs numeric u and v")
+		return
+	}
+	g.updates.Add(1)
+	ctx, cancel := g.wireCtx(r)
+	defer cancel()
+	res, st, err := g.co.UpdateContext(ctx, op, graph.NodeID(*req.U), graph.NodeID(*req.V))
+	if err != nil {
+		// The update frame may already have reached (some) sites before the
+		// round failed or timed out, so the cache can no longer be trusted:
+		// flush conservatively rather than serve pre-update answers forever.
+		g.cache.Flush()
+		wireError(w, err)
+		return
+	}
+	evicted := 0
+	if res.Changed {
+		evicted = g.cache.EvictFragments(res.Dirty)
+	}
+	dirty := res.Dirty
+	if dirty == nil {
+		dirty = []int{}
+	}
+	writeJSON(w, http.StatusOK, updateResponseJSON{
+		Changed: res.Changed,
+		Dirty:   dirty,
+		Evicted: evicted,
+		Wire:    toWireJSON(st),
+	})
+}
+
 func (g *gateway) handleStats(w http.ResponseWriter, r *http.Request) {
 	hits, misses := g.cache.Stats()
 	writeJSON(w, http.StatusOK, map[string]any{
 		"queries":        g.queries.Load(),
+		"updates":        g.updates.Load(),
 		"uptime_seconds": int64(time.Since(g.started).Seconds()),
 		"cache": map[string]any{
-			"hits":    hits,
-			"misses":  misses,
-			"entries": g.cache.Len(),
+			"hits":      hits,
+			"misses":    misses,
+			"entries":   g.cache.Len(),
+			"evictions": g.cache.Evictions(),
 		},
 	})
 }

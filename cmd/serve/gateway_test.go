@@ -37,7 +37,7 @@ func testGatewayOpts(t *testing.T, o netsite.SiteOptions) (*gateway, *graph.Grap
 	if err != nil {
 		t.Fatal(err)
 	}
-	gw := newGateway(co, 128)
+	gw := newGateway(co, 128, 0)
 	srv := httptest.NewServer(gw.routes())
 	t.Cleanup(func() {
 		srv.Close()
@@ -374,5 +374,247 @@ func TestGatewayConcurrentClients(t *testing.T) {
 	case e := <-errs:
 		t.Fatal(e)
 	default:
+	}
+}
+
+// precisionGateway deploys a hand-built graph whose components are
+// fragment-aligned, so queries have disjoint touched-fragment sets:
+//
+//	component A: 0 -> 1 -> 2 -> 3   (nodes 0,1 in fragment 0; 2,3 in 1)
+//	component B: 4 -> 5             (nodes 4,5 in fragment 2)
+func precisionGateway(t *testing.T) (*gateway, *httptest.Server) {
+	t.Helper()
+	b := graph.NewBuilder(6)
+	for i := 0; i < 6; i++ {
+		b.AddNode("A")
+	}
+	b.AddEdge(0, 1)
+	b.AddEdge(1, 2) // the only cross edge: fragment 0 -> fragment 1
+	b.AddEdge(2, 3)
+	b.AddEdge(4, 5)
+	g := b.MustBuild()
+	fr, err := fragment.Build(g, []int{0, 0, 1, 1, 2, 2}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sites, addrs, err := netsite.ServeFragmentation(fr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	co, err := netsite.Dial(addrs, 2*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gw := newGateway(co, 128, 0)
+	srv := httptest.NewServer(gw.routes())
+	t.Cleanup(func() {
+		srv.Close()
+		co.Close()
+		for _, s := range sites {
+			s.Close()
+		}
+	})
+	return gw, srv
+}
+
+// postUpdate posts one edge operation and decodes the response.
+func postUpdate(t *testing.T, url, body string, wantStatus int) map[string]any {
+	t.Helper()
+	resp, err := http.Post(url+"/update", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != wantStatus {
+		t.Fatalf("POST /update: status %d, want %d", resp.StatusCode, wantStatus)
+	}
+	var m map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&m); err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+// TestGatewayUpdateEvictionPrecision is the eviction-precision satellite:
+// after an update dirtying fragment F, keys whose recorded fragment set
+// excludes F must still be served from cache (hit counters prove no
+// collateral eviction), while keys touching F are evicted and recompute
+// the post-update answer.
+func TestGatewayUpdateEvictionPrecision(t *testing.T) {
+	gw, srv := precisionGateway(t)
+	// Warm the cache: qr(0,3) touches fragments {0,1}; qr(4,5) touches {2}.
+	if m := getJSON(t, srv.URL+"/reach?s=0&t=3", 200); m["answer"] != true {
+		t.Fatalf("qr(0,3) = %v, want true", m["answer"])
+	}
+	if m := getJSON(t, srv.URL+"/reach?s=4&t=5", 200); m["answer"] != true {
+		t.Fatalf("qr(4,5) = %v, want true", m["answer"])
+	}
+
+	// Insert 5->4, an internal edge of fragment 2.
+	m := postUpdate(t, srv.URL, `{"op":"insert","u":5,"v":4}`, 200)
+	if m["changed"] != true {
+		t.Fatalf("insert reported changed=%v", m["changed"])
+	}
+	if d := m["dirty"].([]any); len(d) != 1 || int(d[0].(float64)) != 2 {
+		t.Fatalf("insert into fragment 2 dirtied %v", d)
+	}
+	if ev := int(m["evicted"].(float64)); ev != 1 {
+		t.Fatalf("evicted %d entries, want exactly 1 (qr(4,5))", ev)
+	}
+
+	// qr(0,3) avoided fragment 2: it must still hit.
+	hits0, _ := gw.cache.Stats()
+	if m := getJSON(t, srv.URL+"/reach?s=0&t=3", 200); m["cached"] != true {
+		t.Fatal("qr(0,3) must survive an update to fragment 2")
+	}
+	hits1, _ := gw.cache.Stats()
+	if hits1 != hits0+1 {
+		t.Fatalf("hit counter grew by %d, want 1", hits1-hits0)
+	}
+	// qr(4,5) touched fragment 2: evicted, recomputed, still true.
+	if m := getJSON(t, srv.URL+"/reach?s=4&t=5", 200); m["cached"] != false || m["answer"] != true {
+		t.Fatalf("qr(4,5) after eviction: %v", m)
+	}
+
+	// Delete the 2->3 edge: fragment 1 dirtied, qr(0,3) flips to false.
+	m = postUpdate(t, srv.URL, `{"op":"delete","u":2,"v":3}`, 200)
+	if d := m["dirty"].([]any); len(d) != 1 || int(d[0].(float64)) != 1 {
+		t.Fatalf("delete of internal edge of fragment 1 dirtied %v", d)
+	}
+	if ev := int(m["evicted"].(float64)); ev != 1 {
+		t.Fatalf("evicted %d entries, want exactly 1 (qr(0,3))", ev)
+	}
+	if m := getJSON(t, srv.URL+"/reach?s=0&t=3", 200); m["cached"] != false || m["answer"] != false {
+		t.Fatalf("qr(0,3) after deleting 2->3: %v", m)
+	}
+	// qr(4,5) was re-cached with tag {2} and must still be hitting.
+	if m := getJSON(t, srv.URL+"/reach?s=4&t=5", 200); m["cached"] != true {
+		t.Fatal("qr(4,5) must survive an update to fragment 1")
+	}
+
+	// A no-op update (deleting a missing edge) evicts nothing.
+	m = postUpdate(t, srv.URL, `{"op":"delete","u":0,"v":5}`, 200)
+	if m["changed"] != false || int(m["evicted"].(float64)) != 0 {
+		t.Fatalf("no-op update: %v", m)
+	}
+}
+
+// TestGatewayUpdateCrossEdge inserts a cross edge joining the two
+// components: both side fragments are dirtied and the bridged answer
+// appears.
+func TestGatewayUpdateCrossEdge(t *testing.T) {
+	_, srv := precisionGateway(t)
+	if m := getJSON(t, srv.URL+"/reach?s=0&t=5", 200); m["answer"] != false {
+		t.Fatalf("qr(0,5) before bridge: %v", m["answer"])
+	}
+	// 3 (fragment 1) -> 4 (fragment 2): dirties both sides.
+	m := postUpdate(t, srv.URL, `{"op":"insert","u":3,"v":4}`, 200)
+	d := m["dirty"].([]any)
+	if len(d) != 2 || int(d[0].(float64)) != 1 || int(d[1].(float64)) != 2 {
+		t.Fatalf("cross insert dirtied %v, want [1 2]", d)
+	}
+	if m := getJSON(t, srv.URL+"/reach?s=0&t=5", 200); m["answer"] != true {
+		t.Fatalf("qr(0,5) after bridge: %v", m["answer"])
+	}
+}
+
+func TestGatewayUpdateRejectsBadRequests(t *testing.T) {
+	gw, srv := precisionGateway(t)
+	for name, body := range map[string]string{
+		"malformed JSON": `{"op":`,
+		"unknown op":     `{"op":"teleport","u":1,"v":2}`,
+		"missing u":      `{"op":"insert","v":2}`,
+		"missing v":      `{"op":"insert","u":1}`,
+	} {
+		if m := postUpdate(t, srv.URL, body, 400); m["error"] == "" {
+			t.Fatalf("%s: error body missing", name)
+		}
+	}
+	if n := gw.updates.Load(); n != 0 {
+		t.Fatalf("rejected updates bumped the counter to %d", n)
+	}
+	// Out-of-range endpoints are a site-side error: surfaced as 502.
+	postUpdate(t, srv.URL, `{"op":"insert","u":1,"v":4096}`, 502)
+}
+
+// TestGatewayRequestTimeout is the deadline satellite: with a per-request
+// timeout shorter than the sites' service time, queries and updates come
+// back 504 promptly instead of hanging.
+func TestGatewayRequestTimeout(t *testing.T) {
+	labels := []string{"A", "B"}
+	g := gen.Uniform(gen.Config{Nodes: 40, Edges: 160, Labels: labels, Seed: 63})
+	fr, err := fragment.Random(g, 2, 63)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sites, addrs, err := netsite.ServeFragmentationOpts(fr, netsite.SiteOptions{Delay: 2 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	co, err := netsite.Dial(addrs, 2*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gw := newGateway(co, 128, 50*time.Millisecond)
+	srv := httptest.NewServer(gw.routes())
+	defer func() {
+		srv.Close()
+		co.Close()
+		for _, s := range sites {
+			s.Close()
+		}
+	}()
+	start := time.Now()
+	m := getJSON(t, srv.URL+"/reach?s=0&t=39", 504)
+	if elapsed := time.Since(start); elapsed > time.Second {
+		t.Fatalf("504 took %v; the deadline must fire at ~50ms, not wait out the site", elapsed)
+	}
+	if m["error"] == "" {
+		t.Fatal("504 body must carry an error")
+	}
+	// Batches and updates honor the same deadline.
+	postBatch(t, srv.URL, `{"queries":[{"class":"reach","s":0,"t":39}]}`, 504)
+	postUpdate(t, srv.URL, `{"op":"insert","u":0,"v":39}`, 504)
+	// Nothing was cached from the timed-out rounds.
+	if n := gw.cache.Len(); n != 0 {
+		t.Fatalf("%d entries cached from timed-out rounds", n)
+	}
+}
+
+// TestGatewayFailedUpdateFlushesCache: an update round that errors may
+// still have reached (and mutated) some sites, so the gateway must flush
+// the cache conservatively rather than keep serving pre-update answers.
+func TestGatewayFailedUpdateFlushesCache(t *testing.T) {
+	labels := []string{"A"}
+	g := gen.Uniform(gen.Config{Nodes: 30, Edges: 120, Labels: labels, Seed: 65})
+	fr, err := fragment.Random(g, 2, 65)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sites, addrs, err := netsite.ServeFragmentation(fr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	co, err := netsite.Dial(addrs, 2*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gw := newGateway(co, 128, 0)
+	srv := httptest.NewServer(gw.routes())
+	defer func() {
+		srv.Close()
+		co.Close()
+		for _, s := range sites {
+			s.Close()
+		}
+	}()
+	getJSON(t, srv.URL+"/reach?s=0&t=29", 200) // warm one key
+	if gw.cache.Len() != 1 {
+		t.Fatalf("cache holds %d entries, want 1", gw.cache.Len())
+	}
+	sites[1].Close() // half the deployment gone: the update round must fail
+	postUpdate(t, srv.URL, `{"op":"insert","u":0,"v":29}`, 502)
+	if n := gw.cache.Len(); n != 0 {
+		t.Fatalf("failed update left %d cached entries; the surviving site may have applied it", n)
 	}
 }

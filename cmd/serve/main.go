@@ -14,14 +14,20 @@
 //	GET  /reach?s=0&t=99           qr(s,t)
 //	GET  /reachwithin?s=0&t=99&l=6 qbr(s,t,l)
 //	GET  /reachregex?s=0&t=99&r=A(B|C)*  qrr(s,t,R) (URL-encode r)
+//	POST /batch                    many queries, one wire frame per site
+//	POST /update                   live edge insert/delete: {"op":"insert","u":0,"v":99}
 //	GET  /stats                    queries served, cache hits/misses
 //	POST /flush                    invalidate the answer cache wholesale
 //	GET  /healthz                  liveness
 //
-// The cache has no per-entry expiry: on a static fragmentation answers
-// never go stale. Redeploying (restarting serve against new sites, or
-// POST /flush after swapping the graph under a running deployment)
-// invalidates it wholesale.
+// The cache has no per-entry expiry. On a static fragmentation answers
+// never go stale; under live updates (POST /update) the gateway evicts
+// exactly the cached answers whose evaluation touched a dirtied fragment,
+// so the rest keep serving hits. POST /flush (or redeploying) still
+// invalidates wholesale when the graph is swapped entirely.
+//
+// -timeout applies a per-request deadline to the wire round trips: a
+// stalled site turns into a prompt 504 instead of a hung client.
 package main
 
 import (
@@ -47,7 +53,8 @@ func main() {
 		partition = flag.String("partition", "random", "partitioner: random | hash | contiguous | greedy")
 		seed      = flag.Uint64("seed", 1, "partitioner seed")
 		cacheCap  = flag.Int("cache", 4096, "answer cache capacity (entries)")
-		timeout   = flag.Duration("timeout", 3*time.Second, "site dial timeout")
+		dialTO    = flag.Duration("dialtimeout", 3*time.Second, "site dial timeout")
+		reqTO     = flag.Duration("timeout", 0, "per-request wire deadline (0 = none); expiry returns 504")
 	)
 	flag.Parse()
 
@@ -58,7 +65,7 @@ func main() {
 	)
 	switch {
 	case *sites != "":
-		co, err = netsite.Dial(strings.Split(*sites, ","), *timeout)
+		co, err = netsite.Dial(strings.Split(*sites, ","), *dialTO)
 		if err != nil {
 			fatal(err)
 		}
@@ -68,7 +75,7 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
-		co, err = netsite.Dial(addrs, *timeout)
+		co, err = netsite.Dial(addrs, *dialTO)
 		if err != nil {
 			fatal(err)
 		}
@@ -84,8 +91,8 @@ func main() {
 		}
 	}()
 
-	gw := newGateway(co, *cacheCap)
-	fmt.Printf("serve: gateway on http://%s (cache %d entries)\n", *listen, *cacheCap)
+	gw := newGateway(co, *cacheCap, *reqTO)
+	fmt.Printf("serve: gateway on http://%s (cache %d entries, request timeout %v)\n", *listen, *cacheCap, *reqTO)
 	if err := http.ListenAndServe(*listen, gw.routes()); err != nil {
 		fatal(err)
 	}

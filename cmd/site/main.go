@@ -52,7 +52,11 @@ func main() {
 		fatal(fmt.Errorf("fragment %d out of range [0,%d)", *fragID, fr.Card()))
 	}
 	f := fr.Fragments()[*fragID]
-	s, err := netsite.NewSite(*listen, f)
+	// The site keeps the whole fragmentation as its replica of the
+	// deployment (it loaded the full graph and assignment anyway), which
+	// lets it apply broadcast edge-update frames and report which
+	// fragments they dirtied.
+	s, err := netsite.NewSiteFor(*listen, fr, *fragID, netsite.SiteOptions{})
 	if err != nil {
 		fatal(err)
 	}

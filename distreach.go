@@ -219,15 +219,38 @@ func Serve(fr *Fragmentation) ([]*SiteServer, []string, error) {
 	return netsite.ServeFragmentation(fr)
 }
 
-// ListenSite serves a single fragment on the given TCP address.
+// ListenSite serves a single fragment on the given TCP address. Sites
+// started this way have no fragmentation replica and reject edge-update
+// frames; use ListenSiteFor for live deployments.
 func ListenSite(addr string, f *fragment.Fragment) (*SiteServer, error) {
 	return netsite.NewSite(addr, f)
+}
+
+// ListenSiteFor serves fragment fragID of fr on the given TCP address,
+// keeping fr as the site's replica of the deployment so broadcast edge
+// updates (Coordinator.Update) can be applied.
+func ListenSiteFor(addr string, fr *Fragmentation, fragID int) (*SiteServer, error) {
+	return netsite.NewSiteFor(addr, fr, fragID, netsite.SiteOptions{})
 }
 
 // DialSites connects a coordinator to running sites.
 func DialSites(addrs []string, timeout time.Duration) (*Coordinator, error) {
 	return netsite.Dial(addrs, timeout)
 }
+
+// UpdateOp selects the edge operation of a live update: UpdateInsert or
+// UpdateDelete.
+type UpdateOp = netsite.UpdateOp
+
+// The two edge operations of Coordinator.Update.
+const (
+	UpdateInsert = netsite.UpdateInsert
+	UpdateDelete = netsite.UpdateDelete
+)
+
+// UpdateResult reports the effect of one live edge update: whether the
+// graph changed and which fragments were dirtied.
+type UpdateResult = netsite.UpdateResult
 
 // ReachRegexMR evaluates qrr(s, t, R) with the MapReduce algorithm MRdRPQ:
 // the graph is partitioned into `mappers` fragments, each mapper runs local

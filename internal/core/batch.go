@@ -171,25 +171,17 @@ func sourceEq(f *fragment.Fragment, s, t graph.NodeID) (reachEq, bool) {
 	return eq, true
 }
 
-// LocalEvalReachShared evaluates qr(s, t) for many sources against one
-// shared target on a fragment: the in-node equations — independent of the
-// source — are computed once, and each source appends only its own
-// equation. The returned partials (one per source, in order) yield the
-// same coordinator-side solution as LocalEvalReach(f, sources[i], t). It
-// is the site-side form of the DisReachBatch target grouping, used by the
-// wire runtime to evaluate batch frames in one pass per target.
-func LocalEvalReachShared(f *fragment.Fragment, t graph.NodeID, sources []graph.NodeID) []*ReachPartial {
-	base := LocalEvalReach(f, graph.None, t)
-	// Full slice expression: appends below always copy, never scribble on
-	// the equations shared across partials.
-	shared := base.eqs[:len(base.eqs):len(base.eqs)]
-	out := make([]*ReachPartial, len(sources))
-	for i, s := range sources {
-		if eq, ok := sourceEq(f, s, t); ok {
-			out[i] = &ReachPartial{eqs: append(shared, eq)}
-		} else {
-			out[i] = base
-		}
+// SourceOnlyReach returns a partial holding just the source equation of
+// qr(s, t) on f, or nil when s contributes no equation of its own (not
+// stored here, stored only as a virtual node, or already an in-node whose
+// equation belongs to the source-independent rvset). Together with
+// LocalEvalReach(f, graph.None, t) it splits a fragment's batch answer
+// into a per-target shared part and a per-source part, which the wire
+// batch reply ships deduplicated.
+func SourceOnlyReach(f *fragment.Fragment, s, t graph.NodeID) *ReachPartial {
+	eq, ok := sourceEq(f, s, t)
+	if !ok {
+		return nil
 	}
-	return out
+	return &ReachPartial{eqs: []reachEq{eq}}
 }

@@ -75,12 +75,13 @@ func TestQuickDisReach(t *testing.T) {
 	}
 }
 
-// TestLocalEvalReachSharedMatchesSingle checks the shared-target site
-// evaluation against per-query LocalEvalReach: for random fragmented
-// graphs and shared targets, assembling the shared partials from all
-// fragments must solve to the same answer as the per-query partials — and
-// both must match the centralized oracle.
-func TestLocalEvalReachSharedMatchesSingle(t *testing.T) {
+// TestSharedTargetSplitMatchesSingle checks the per-target split the wire
+// batch reply ships deduplicated: for random fragmented graphs, composing
+// each fragment's source-independent rvset (LocalEvalReach with s = None)
+// with the per-source equation (SourceOnlyReach) must solve to the same
+// answer as the per-query partials — and both must match the centralized
+// oracle.
+func TestSharedTargetSplitMatchesSingle(t *testing.T) {
 	rng := gen.NewRNG(63)
 	for trial := 0; trial < 60; trial++ {
 		n := 5 + rng.Intn(40)
@@ -91,27 +92,24 @@ func TestLocalEvalReachSharedMatchesSingle(t *testing.T) {
 		}
 		frags := fr.Fragments()
 		tt := graph.NodeID(rng.Intn(n))
-		m := 1 + rng.Intn(6)
-		sources := make([]graph.NodeID, m)
-		for i := range sources {
-			sources[i] = graph.NodeID(rng.Intn(n))
-		}
-		shared := make([][]*ReachPartial, len(frags))
+		bases := make([]*ReachPartial, len(frags))
 		for fi, f := range frags {
-			shared[fi] = LocalEvalReachShared(f, tt, sources)
+			bases[fi] = LocalEvalReach(f, graph.None, tt)
 		}
-		for qi, s := range sources {
-			sharedParts := make([]*ReachPartial, len(frags))
+		m := 1 + rng.Intn(6)
+		for qi := 0; qi < m; qi++ {
+			s := graph.NodeID(rng.Intn(n))
+			splitParts := make([]*ReachPartial, 0, 2*len(frags))
 			singleParts := make([]*ReachPartial, len(frags))
 			for fi, f := range frags {
-				sharedParts[fi] = shared[fi][qi]
+				splitParts = append(splitParts, bases[fi], SourceOnlyReach(f, s, tt))
 				singleParts[fi] = LocalEvalReach(f, s, tt)
 			}
-			got := s == tt || SolveReach(sharedParts, s)
+			got := s == tt || SolveReach(splitParts, s)
 			single := s == tt || SolveReach(singleParts, s)
 			want := g.Reachable(s, tt)
 			if got != want || single != want {
-				t.Fatalf("trial %d: qr(%d,%d) shared=%v single=%v oracle=%v",
+				t.Fatalf("trial %d: qr(%d,%d) split=%v single=%v oracle=%v",
 					trial, s, tt, got, single, want)
 			}
 		}

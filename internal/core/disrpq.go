@@ -332,9 +332,11 @@ func LocalEvalRPQ(f *fragment.Fragment, s, t graph.NodeID, a *automaton.Automato
 				eq.entries = append(eq.entries, entry)
 			}
 		}
-		if len(eq.entries) > 0 {
-			rv.eqs = append(rv.eqs, eq)
-		}
+		// Emit the vector even when every entry is empty: the equation's
+		// presence records that this fragment evaluated the node, which the
+		// touched-fragment analysis (TouchedRPQ) relies on for sound cache
+		// invalidation under live updates.
+		rv.eqs = append(rv.eqs, eq)
 	}
 	return rv
 }

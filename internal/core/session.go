@@ -131,6 +131,30 @@ func (se *Session) Reach(s, t graph.NodeID) Result {
 	return Result{Answer: ans, Report: run.Finish()}
 }
 
+// InsertEdge applies a live edge insertion to the session's fragmentation
+// and invalidates the cached rvsets of exactly the dirtied fragments — the
+// in-process twin of the wire path's Coordinator.Update followed by
+// per-fragment cache eviction. The next query per cached target recomputes
+// only those fragments.
+func (se *Session) InsertEdge(u, v graph.NodeID) (dirty []int, changed bool, err error) {
+	dirty, changed, err = se.fr.InsertEdge(u, v)
+	se.invalidateAll(dirty)
+	return dirty, changed, err
+}
+
+// DeleteEdge is InsertEdge for a live edge deletion.
+func (se *Session) DeleteEdge(u, v graph.NodeID) (dirty []int, changed bool, err error) {
+	dirty, changed, err = se.fr.DeleteEdge(u, v)
+	se.invalidateAll(dirty)
+	return dirty, changed, err
+}
+
+func (se *Session) invalidateAll(dirty []int) {
+	for _, f := range dirty {
+		se.Invalidate(f)
+	}
+}
+
 // Invalidate drops the cached partial answers of one fragment (e.g. after
 // its edges changed); every cached target refreshes just that fragment on
 // its next query.

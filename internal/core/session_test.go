@@ -79,3 +79,47 @@ func TestSessionInvalidateRefreshesFragment(t *testing.T) {
 		}
 	}
 }
+
+// TestSessionLiveUpdates drives the in-process twin of the wire update
+// path: edge inserts/deletes through the Session mutate the fragmentation
+// and invalidate exactly the dirtied fragments' cached rvsets, so warm
+// queries stay correct against the mutated graph.
+func TestSessionLiveUpdates(t *testing.T) {
+	rng := gen.NewRNG(33)
+	for trial := 0; trial < 20; trial++ {
+		n := 20 + rng.Intn(60)
+		g := gen.Uniform(gen.Config{Nodes: n, Edges: n + rng.Intn(3*n), Seed: uint64(500 + trial)})
+		k := 1 + rng.Intn(4)
+		fr, err := fragment.Random(g, k, uint64(trial))
+		if err != nil {
+			t.Fatal(err)
+		}
+		cl := cluster.New(k, cluster.NetModel{})
+		se := NewSession(cl, fr)
+		targets := []graph.NodeID{graph.NodeID(rng.Intn(n)), graph.NodeID(rng.Intn(n))}
+		// Warm the per-target rvset caches.
+		for _, tt := range targets {
+			se.Reach(graph.NodeID(rng.Intn(n)), tt)
+		}
+		for step := 0; step < 10; step++ {
+			u := graph.NodeID(rng.Intn(n))
+			v := graph.NodeID(rng.Intn(n))
+			var err error
+			if rng.Intn(2) == 0 {
+				_, _, err = se.InsertEdge(u, v)
+			} else {
+				_, _, err = se.DeleteEdge(u, v)
+			}
+			if err != nil {
+				t.Fatalf("trial %d step %d: %v", trial, step, err)
+			}
+			for _, tt := range targets {
+				s := graph.NodeID(rng.Intn(n))
+				if got, want := se.Reach(s, tt).Answer, g.Reachable(s, tt); got != want {
+					t.Fatalf("trial %d step %d: qr(%d,%d) session=%v oracle=%v",
+						trial, step, s, tt, got, want)
+				}
+			}
+		}
+	}
+}

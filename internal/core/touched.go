@@ -1,0 +1,128 @@
+package core
+
+import (
+	"sort"
+
+	"distreach/internal/graph"
+)
+
+// Touched-fragment analysis for answer-cache invalidation. The solved
+// value of a query depends only on the equations in the dependency closure
+// of the source variable Xs: starting from s, follow each equation's
+// variables (boundary nodes) transitively. A fragment outside that closure
+// cannot influence the answer — and, because an edge update always dirties
+// the fragment storing the edge's source, it cannot influence the answer
+// AFTER any sequence of single-edge updates either, unless one of those
+// updates dirtied a closure fragment first:
+//
+// A new path enabled (or an old path destroyed) by an update must use the
+// updated edge (x, y); the path's prefix up to the first updated edge
+// existed at evaluation time, so s reached x then, so x's fragment is in
+// the closure — and every update to (x, y) dirties x's fragment. Evicting
+// cache entries whose touched set intersects an update's dirty set is
+// therefore sound, while entries whose closure avoids the dirtied
+// fragments keep serving hits.
+//
+// The functions below compute, per query, the indices of the partials that
+// own at least one equation in the closure of Xs. The indices refer to
+// positions in the partials slice: callers align those with site /
+// fragment IDs.
+
+// touchedWalk runs the closure BFS shared by all three query classes over
+// a node -> (owners, successor nodes) view of the equation system.
+func touchedWalk(s graph.NodeID, eqsOf map[graph.NodeID][]int, varsOf map[graph.NodeID][]graph.NodeID) []int {
+	touched := map[int]bool{}
+	seen := map[graph.NodeID]bool{s: true}
+	stack := []graph.NodeID{s}
+	for len(stack) > 0 {
+		x := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, site := range eqsOf[x] {
+			touched[site] = true
+		}
+		for _, v := range varsOf[x] {
+			if !seen[v] {
+				seen[v] = true
+				stack = append(stack, v)
+			}
+		}
+	}
+	out := make([]int, 0, len(touched))
+	for site := range touched {
+		out = append(out, site)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// TouchedReach reports which partials the answer of qr(s, t) depends on:
+// the (sorted) indices into partials owning an equation in the dependency
+// closure of Xs. Nil partials are skipped.
+func TouchedReach(partials []*ReachPartial, s graph.NodeID) []int {
+	eqsOf := map[graph.NodeID][]int{}
+	varsOf := map[graph.NodeID][]graph.NodeID{}
+	for i, rv := range partials {
+		if rv == nil {
+			continue
+		}
+		for _, eq := range rv.eqs {
+			eqsOf[eq.node] = append(eqsOf[eq.node], i)
+			varsOf[eq.node] = append(varsOf[eq.node], eq.vars...)
+		}
+	}
+	return touchedWalk(s, eqsOf, varsOf)
+}
+
+// TouchedDist is TouchedReach for the min-equations of qbr(s, t, l).
+func TouchedDist(partials []*DistPartial, s graph.NodeID) []int {
+	eqsOf := map[graph.NodeID][]int{}
+	varsOf := map[graph.NodeID][]graph.NodeID{}
+	for i, rv := range partials {
+		if rv == nil {
+			continue
+		}
+		for _, eq := range rv.eqs {
+			eqsOf[eq.node] = append(eqsOf[eq.node], i)
+			for _, term := range eq.terms {
+				if !term.isConst {
+					varsOf[eq.node] = append(varsOf[eq.node], term.varNode)
+				}
+			}
+		}
+	}
+	return touchedWalk(s, eqsOf, varsOf)
+}
+
+// TouchedRPQ is TouchedReach for qrr(s, t, R); nq is the query automaton's
+// state count (the variable key stride). The closure is tracked at node
+// granularity (states collapsed), which only over-approximates. When s has
+// no equation in any partial — LocalEvalRPQ emits one for every in-node
+// and for a locally stored s, so this means the partials say nothing about
+// s — every index is reported, the conservative tag.
+func TouchedRPQ(partials []*RPQPartial, s graph.NodeID, nq int) []int {
+	eqsOf := map[graph.NodeID][]int{}
+	varsOf := map[graph.NodeID][]graph.NodeID{}
+	for i, rv := range partials {
+		if rv == nil {
+			continue
+		}
+		for _, eq := range rv.eqs {
+			eqsOf[eq.node] = append(eqsOf[eq.node], i)
+			for _, e := range eq.entries {
+				for _, v := range e.vars {
+					varsOf[eq.node] = append(varsOf[eq.node], graph.NodeID(v/int64(nq)))
+				}
+			}
+		}
+	}
+	if len(eqsOf[s]) == 0 {
+		all := make([]int, 0, len(partials))
+		for i, rv := range partials {
+			if rv != nil {
+				all = append(all, i)
+			}
+		}
+		return all
+	}
+	return touchedWalk(s, eqsOf, varsOf)
+}

@@ -8,8 +8,10 @@ import (
 	"distreach/internal/cluster"
 	"distreach/internal/core"
 	"distreach/internal/fragment"
+	"distreach/internal/gen"
 	"distreach/internal/graph"
 	"distreach/internal/netsite"
+	"distreach/internal/qcache"
 	"distreach/internal/workload"
 )
 
@@ -17,6 +19,7 @@ func init() {
 	register("N1", tcpCrossCheck)
 	register("N2", tcpConcurrency)
 	register("N3", tcpBatching)
+	register("N4", churnEviction)
 }
 
 // tcpCrossCheck validates the in-process simulation against the real TCP
@@ -242,6 +245,128 @@ func tcpBatching(cfg Config) (Table, error) {
 			fmt.Sprint(bytes / int64(len(qs))),
 			fmt.Sprintf("%.0f", qps), fmt.Sprintf("%.1fx", qps/base),
 		})
+	}
+	return t, nil
+}
+
+// churnEviction measures live updates against the answer cache: a
+// repeat-heavy query stream (the shape the cache exists for) is mixed with
+// edge updates at growing churn rates, once with the per-fragment
+// invalidation (evict only the keys whose evaluation touched a dirtied
+// fragment) and once with the wholesale flush that predated it. The table
+// reports cache hit rate and throughput: per-fragment eviction holds both
+// up under churn, while flushing pays a full re-warm per update.
+func churnEviction(cfg Config) (Table, error) {
+	t := Table{
+		ID:     "N4",
+		Title:  "Serving N4: cache hit rate and throughput vs churn — per-fragment eviction vs wholesale flush",
+		Header: []string{"dataset", "invalidation", "updates/1k queries", "queries", "updates", "hit rate", "throughput q/s"},
+		Notes: "One serial client replays a repeat-heavy reach workload (128-query pool) through the answer cache while an " +
+			"updater mixes in block-local edge inserts/deletes; every update invalidates either per-fragment (dirty set from the " +
+			"sites, evicting only answers whose evaluation touched a dirtied fragment) or by flushing the whole cache. The " +
+			"graph is a community SBM partitioned one block per fragment, so a query's touched set is its own block and an " +
+			"update's dirty set misses the other fragments' answers. Sites emulate a 2ms per-frame service time, so every " +
+			"avoided re-computation is visible in throughput.",
+	}
+	const blocks = 8
+	size := cfg.scale(400)
+	name := fmt.Sprintf("SBM %dx%d", blocks, size)
+	budget := cfg.queries(25) * 40
+	const seed = 11
+	for _, mode := range []string{"per-fragment", "flush"} {
+		for _, churn := range []int{0, 10, 50} { // updates per 1000 queries
+			cfg.logf("N4: %s at churn %d/1k", mode, churn)
+			// Fresh deployment per cell: updates mutate the graph, and both
+			// modes must start from the same state to compare fairly. The
+			// graph has planted communities and the partition recovers them
+			// (one block per fragment), the regime per-fragment eviction is
+			// designed for: queries and updates are block-local, so an
+			// update's dirty set misses most cached answers.
+			g := gen.Communities(gen.CommunitiesConfig{
+				Communities: blocks, Size: size, InDegree: 4, Seed: seed,
+			})
+			fr, err := fragment.Contiguous(g, blocks)
+			if err != nil {
+				return t, err
+			}
+			sites, addrs, err := netsite.ServeFragmentationOpts(fr, netsite.SiteOptions{Delay: 2 * time.Millisecond})
+			if err != nil {
+				return t, err
+			}
+			co, err := netsite.Dial(addrs, 3*time.Second)
+			if err != nil {
+				for _, s := range sites {
+					s.Close()
+				}
+				return t, err
+			}
+			rng := gen.NewRNG(seed + 53)
+			inBlock := func() (graph.NodeID, graph.NodeID) {
+				base := rng.Intn(blocks) * size
+				return graph.NodeID(base + rng.Intn(size)), graph.NodeID(base + rng.Intn(size))
+			}
+			pool := make([]core.Query, 128)
+			for i := range pool {
+				s, t := inBlock()
+				pool[i] = core.Query{S: s, T: t}
+			}
+			cache := qcache.New[bool](4096)
+			var hits, updates int
+			every := 0
+			if churn > 0 {
+				every = 1000 / churn
+			}
+			start := time.Now()
+			var failure error
+			for q := 0; q < budget && failure == nil; q++ {
+				if every > 0 && q%every == 0 && q > 0 {
+					op := netsite.UpdateInsert
+					if updates%2 == 1 {
+						op = netsite.UpdateDelete
+					}
+					uu, uv := inBlock()
+					res, _, err := co.Update(op, uu, uv)
+					if err != nil {
+						failure = err
+						break
+					}
+					updates++
+					if res.Changed {
+						if mode == "flush" {
+							cache.Flush()
+						} else {
+							cache.EvictFragments(res.Dirty)
+						}
+					}
+				}
+				qu := pool[rng.Intn(len(pool))]
+				key := qcache.ReachKey(qu.S, qu.T)
+				if _, ok := cache.Get(key); ok {
+					hits++
+					continue
+				}
+				epoch := cache.Generation()
+				ans, st, err := co.Reach(qu.S, qu.T)
+				if err != nil {
+					failure = err
+					break
+				}
+				cache.PutIfGeneration(key, ans, epoch, st.Touched)
+			}
+			elapsed := time.Since(start)
+			co.Close()
+			for _, s := range sites {
+				s.Close()
+			}
+			if failure != nil {
+				return t, failure
+			}
+			t.Rows = append(t.Rows, []string{
+				name, mode, fmt.Sprint(churn), fmt.Sprint(budget), fmt.Sprint(updates),
+				fmt.Sprintf("%.0f%%", 100*float64(hits)/float64(budget)),
+				fmt.Sprintf("%.0f", float64(budget)/elapsed.Seconds()),
+			})
+		}
 	}
 	return t, nil
 }

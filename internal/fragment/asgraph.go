@@ -1,22 +1,20 @@
 package fragment
 
 import (
-	"sync"
-
 	"distreach/internal/graph"
 )
 
-// asGraph caches the graph.Graph view of a fragment.
-var asGraphCache sync.Map // *Fragment -> *graph.Graph
-
 // AsGraph returns the fragment's local structure (real nodes followed by
-// virtual nodes, with internal and cross edges) as an immutable graph.Graph
-// whose node IDs are the fragment's local indices. The view is built on
-// first use and cached; it backs the pluggable reachability indexes of
-// internal/reach used inside local evaluation.
+// virtual nodes, with internal and cross edges) as a graph.Graph whose
+// node IDs are the fragment's local indices. The view is built on first
+// use, cached on the fragment, and dropped whenever the fragment mutates
+// (InsertEdge/DeleteEdge on its Fragmentation); it backs the pluggable
+// reachability indexes of internal/reach used inside local evaluation.
 func (f *Fragment) AsGraph() *graph.Graph {
-	if g, ok := asGraphCache.Load(f); ok {
-		return g.(*graph.Graph)
+	f.viewMu.Lock()
+	defer f.viewMu.Unlock()
+	if f.viewGraph != nil {
+		return f.viewGraph
 	}
 	b := graph.NewBuilder(f.NumTotal())
 	for l := 0; l < f.NumTotal(); l++ {
@@ -27,26 +25,39 @@ func (f *Fragment) AsGraph() *graph.Graph {
 			b.AddEdge(graph.NodeID(lu), graph.NodeID(lv))
 		}
 	}
-	g := b.MustBuild()
-	actual, _ := asGraphCache.LoadOrStore(f, g)
-	return actual.(*graph.Graph)
+	f.viewGraph = b.MustBuild()
+	return f.viewGraph
 }
-
-// sccCache caches the local SCC decomposition of a fragment.
-var sccCache sync.Map // *Fragment -> []int32
 
 // LocalSCC returns the strongly-connected-component index of every local
 // index of the fragment (including virtual nodes, which are always
 // singleton components since they have no outgoing edges). The
-// decomposition is query-independent, computed on first use and cached; it
-// backs the equation-aliasing compression of local evaluation: in-nodes in
-// the same local SCC reach exactly the same boundary nodes, so their
-// Boolean equations are identical.
+// decomposition is query-independent; like AsGraph it is computed on first
+// use, cached, and invalidated by mutation. It backs the equation-aliasing
+// compression of local evaluation: in-nodes in the same local SCC reach
+// exactly the same boundary nodes, so their Boolean equations are
+// identical.
 func (f *Fragment) LocalSCC() []int32 {
-	if c, ok := sccCache.Load(f); ok {
-		return c.([]int32)
+	f.viewMu.Lock()
+	if f.viewSCC != nil {
+		scc := f.viewSCC
+		f.viewMu.Unlock()
+		return scc
 	}
+	f.viewMu.Unlock()
+	// Build outside viewMu: AsGraph takes it too.
 	comp, _ := f.AsGraph().SCC()
-	actual, _ := sccCache.LoadOrStore(f, comp)
-	return actual.([]int32)
+	f.viewMu.Lock()
+	f.viewSCC = comp
+	scc := f.viewSCC
+	f.viewMu.Unlock()
+	return scc
+}
+
+// invalidateViews drops the cached derived views after a mutation.
+func (f *Fragment) invalidateViews() {
+	f.viewMu.Lock()
+	f.viewGraph = nil
+	f.viewSCC = nil
+	f.viewMu.Unlock()
 }

@@ -15,13 +15,24 @@ package fragment
 
 import (
 	"fmt"
+	"sync"
 
 	"distreach/internal/graph"
 )
 
 // Fragmentation is a partition of a graph into fragments plus the derived
-// fragment graph. It is immutable once built and safe for concurrent use.
+// fragment graph. The node-to-fragment assignment is fixed at Build time,
+// but the edge set is live: InsertEdge and DeleteEdge mutate the global
+// graph and the affected fragments in place, maintaining the virtual-node
+// and in-node bookkeeping on both sides of a cross edge and reporting which
+// fragments were dirtied (whose partial answers may have changed).
+//
+// Concurrency: mutations serialize internally; readers that must not
+// observe a mutation mid-flight (the wire sites evaluating queries) hold
+// RLock for the duration of their read. Purely in-process callers that
+// never mutate concurrently may skip the lock.
 type Fragmentation struct {
+	mu    sync.RWMutex
 	g     *graph.Graph
 	frags []*Fragment
 	owner []int32 // node -> fragment index
@@ -31,6 +42,14 @@ type Fragmentation struct {
 	crossEdges int
 	vf         int // |Vf|: number of distinct in-nodes plus virtual-node originals
 }
+
+// RLock takes the fragmentation's read lock: queries evaluated concurrently
+// with InsertEdge/DeleteEdge must hold it so an update never mutates a
+// fragment mid-evaluation.
+func (fr *Fragmentation) RLock() { fr.mu.RLock() }
+
+// RUnlock releases RLock.
+func (fr *Fragmentation) RUnlock() { fr.mu.RUnlock() }
 
 // Fragment is one fragment Fi. Local node indices are dense:
 //
@@ -51,6 +70,12 @@ type Fragment struct {
 	inNodes  []int32                // Fi.I as local indices (sorted)
 	isIn     []bool                 // local index -> member of Fi.I
 	edges    int                    // |Ei| + |cEi|
+
+	// Lazily built derived views (the graph.Graph form of the fragment and
+	// its local SCC decomposition), dropped whenever the fragment mutates.
+	viewMu    sync.Mutex
+	viewGraph *graph.Graph
+	viewSCC   []int32
 }
 
 // NumLocal reports |Vi|, the number of real nodes stored in the fragment.

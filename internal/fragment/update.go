@@ -1,0 +1,216 @@
+package fragment
+
+import (
+	"fmt"
+	"sort"
+
+	"distreach/internal/graph"
+)
+
+// Live edge updates. The paper's conclusion sketches combining partial
+// evaluation with incremental evaluation so a changing graph does not force
+// recomputation from scratch; the precondition is a fragmentation that can
+// change at all. InsertEdge and DeleteEdge mutate the global graph and the
+// affected fragments in place and report the set of dirtied fragments —
+// exactly the fragments whose partial answers (rvsets) may differ after the
+// update:
+//
+//   - an internal edge dirties only the fragment storing it;
+//   - a cross edge dirties its source fragment (adjacency and virtual
+//     nodes change) and, when the target's in-node status flips, the
+//     target fragment too (its in-node set, hence its equation set,
+//     changes).
+//
+// The dirty set drives invalidation everywhere: core.Session drops the
+// cached rvsets of dirtied fragments, and the gateway's answer cache
+// evicts exactly the keys whose evaluation touched a dirtied fragment.
+
+// checkEndpoints validates that u and v are nodes of the fragmented graph.
+func (fr *Fragmentation) checkEndpoints(u, v graph.NodeID) error {
+	n := graph.NodeID(len(fr.owner))
+	if u < 0 || u >= n || v < 0 || v >= n {
+		return fmt.Errorf("fragment: edge (%d,%d) endpoint out of range [0,%d)", u, v, n)
+	}
+	return nil
+}
+
+// InsertEdge adds the directed edge (u, v) to the graph and its owning
+// fragment(s), maintaining virtual-node and in-node bookkeeping. It
+// reports the dirtied fragment IDs (sorted) and whether anything changed
+// (false when the edge already existed). Safe for concurrent use with
+// readers holding RLock.
+func (fr *Fragmentation) InsertEdge(u, v graph.NodeID) (dirty []int, changed bool, err error) {
+	if err := fr.checkEndpoints(u, v); err != nil {
+		return nil, false, err
+	}
+	fr.mu.Lock()
+	defer fr.mu.Unlock()
+	if !fr.g.InsertEdge(u, v) {
+		return nil, false, nil
+	}
+	a, b := int(fr.owner[u]), int(fr.owner[v])
+	fa := fr.frags[a]
+	lu := fa.localOf[u]
+	if a == b {
+		fa.addLocalEdge(lu, fa.localOf[v])
+		fa.invalidateViews()
+		return []int{a}, true, nil
+	}
+	// Cross edge: the source fragment gains the edge (ending at a virtual
+	// node), the target fragment gains an in-node if v was not one yet.
+	lv := fa.ensureVirtual(v, fr.g.Label(v))
+	fa.addLocalEdge(lu, lv)
+	fa.invalidateViews()
+	fr.crossEdges++
+	dirty = []int{a}
+	fb := fr.frags[b]
+	if lb := fb.localOf[v]; !fb.isIn[lb] {
+		fb.addInNode(lb)
+		fr.vf++
+		dirty = append(dirty, b)
+	}
+	sort.Ints(dirty)
+	return dirty, true, nil
+}
+
+// DeleteEdge removes the directed edge (u, v) from the graph and its
+// owning fragment(s), dropping the source fragment's virtual node when its
+// last referencing edge disappears and the target's in-node status when no
+// cross edge enters it anymore. It reports the dirtied fragment IDs
+// (sorted) and whether anything changed (false when the edge did not
+// exist). Safe for concurrent use with readers holding RLock.
+func (fr *Fragmentation) DeleteEdge(u, v graph.NodeID) (dirty []int, changed bool, err error) {
+	if err := fr.checkEndpoints(u, v); err != nil {
+		return nil, false, err
+	}
+	fr.mu.Lock()
+	defer fr.mu.Unlock()
+	if !fr.g.DeleteEdge(u, v) {
+		return nil, false, nil
+	}
+	a, b := int(fr.owner[u]), int(fr.owner[v])
+	fa := fr.frags[a]
+	lu, lv := fa.localOf[u], fa.localOf[v]
+	fa.removeLocalEdge(lu, lv)
+	if a == b {
+		fa.invalidateViews()
+		return []int{a}, true, nil
+	}
+	fr.crossEdges--
+	fa.dropVirtualIfOrphan(lv)
+	fa.invalidateViews()
+	dirty = []int{a}
+	// v stays an in-node of its fragment iff some cross edge still enters
+	// it; the global graph (whose reverse adjacency is maintained
+	// incrementally) answers that directly.
+	still := false
+	for _, w := range fr.g.In(v) {
+		if fr.owner[w] != fr.owner[v] {
+			still = true
+			break
+		}
+	}
+	if !still {
+		fb := fr.frags[b]
+		if lb := fb.localOf[v]; fb.isIn[lb] {
+			fb.removeInNode(lb)
+			fr.vf--
+			dirty = append(dirty, b)
+		}
+	}
+	sort.Ints(dirty)
+	return dirty, true, nil
+}
+
+// addLocalEdge appends the local edge (lu, lv). The global graph has
+// already deduplicated, so the edge is known to be new.
+func (f *Fragment) addLocalEdge(lu, lv int32) {
+	f.adj[lu] = append(f.adj[lu], lv)
+	f.edges++
+}
+
+// removeLocalEdge deletes the local edge (lu, lv).
+func (f *Fragment) removeLocalEdge(lu, lv int32) {
+	nbrs := f.adj[lu]
+	for i, w := range nbrs {
+		if w == lv {
+			f.adj[lu] = append(nbrs[:i], nbrs[i+1:]...)
+			f.edges--
+			return
+		}
+	}
+}
+
+// ensureVirtual returns the local index of global node v, registering it
+// as a new virtual node (with the given label) if absent.
+func (f *Fragment) ensureVirtual(v graph.NodeID, label string) int32 {
+	if l, ok := f.localOf[v]; ok {
+		return l
+	}
+	l := int32(len(f.globalOf))
+	f.localOf[v] = l
+	f.globalOf = append(f.globalOf, v)
+	f.labels = append(f.labels, label)
+	f.isIn = append(f.isIn, false)
+	f.adj = append(f.adj, nil)
+	return l
+}
+
+// dropVirtualIfOrphan removes virtual node lv when no fragment edge
+// targets it anymore, so Fi.O stays exactly "targets of cross edges from
+// Fi". The tail virtual node is swapped into the vacated slot (virtual
+// nodes occupy the tail of the local index space and never appear in
+// inNodes), and every adjacency reference to it is remapped.
+func (f *Fragment) dropVirtualIfOrphan(lv int32) {
+	if int(lv) < f.nLocal {
+		return // real node; only virtual targets are reclaimed
+	}
+	for _, nbrs := range f.adj {
+		for _, w := range nbrs {
+			if w == lv {
+				return // still referenced
+			}
+		}
+	}
+	gone := f.globalOf[lv]
+	last := int32(len(f.globalOf) - 1)
+	if lv != last {
+		moved := f.globalOf[last]
+		for x := range f.adj {
+			for i, w := range f.adj[x] {
+				if w == last {
+					f.adj[x][i] = lv
+				}
+			}
+		}
+		f.globalOf[lv] = moved
+		f.labels[lv] = f.labels[last]
+		f.isIn[lv] = f.isIn[last]
+		f.adj[lv] = f.adj[last]
+		f.localOf[moved] = lv
+	}
+	f.globalOf = f.globalOf[:last]
+	f.labels = f.labels[:last]
+	f.isIn = f.isIn[:last]
+	f.adj = f.adj[:last]
+	delete(f.localOf, gone)
+}
+
+// addInNode registers real local index l as an in-node, keeping inNodes
+// sorted.
+func (f *Fragment) addInNode(l int32) {
+	f.isIn[l] = true
+	i := sort.Search(len(f.inNodes), func(i int) bool { return f.inNodes[i] >= l })
+	f.inNodes = append(f.inNodes, 0)
+	copy(f.inNodes[i+1:], f.inNodes[i:])
+	f.inNodes[i] = l
+}
+
+// removeInNode deregisters real local index l as an in-node.
+func (f *Fragment) removeInNode(l int32) {
+	f.isIn[l] = false
+	i := sort.Search(len(f.inNodes), func(i int) bool { return f.inNodes[i] >= l })
+	if i < len(f.inNodes) && f.inNodes[i] == l {
+		f.inNodes = append(f.inNodes[:i], f.inNodes[i+1:]...)
+	}
+}

@@ -1,10 +1,11 @@
 // Package graph provides node-labeled directed graphs and the traversal
 // primitives used throughout the distributed reachability library.
 //
-// A Graph is immutable once built (see Builder). Nodes are identified by
-// dense IDs in [0, NumNodes). Each node carries a label drawn from a finite
-// alphabet; labels drive regular reachability queries, where the label of a
-// path is the sequence of labels of its interior nodes.
+// A Graph is built with a Builder and thereafter supports in-place edge
+// insertion and deletion (the node set stays fixed). Nodes are identified
+// by dense IDs in [0, NumNodes). Each node carries a label drawn from a
+// finite alphabet; labels drive regular reachability queries, where the
+// label of a path is the sequence of labels of its interior nodes.
 package graph
 
 import (
@@ -19,18 +20,20 @@ type NodeID int32
 // None is the sentinel for "no node".
 const None NodeID = -1
 
-// Graph is an immutable node-labeled directed graph.
+// Graph is a node-labeled directed graph.
 //
 // The zero value is an empty graph. Use a Builder to construct non-empty
-// graphs; Graph methods never mutate the structure, so a Graph is safe for
-// concurrent use by multiple goroutines.
+// graphs. Read methods are safe for concurrent use; InsertEdge and
+// DeleteEdge mutate the structure and require the caller to exclude all
+// other readers and writers (internal/fragment.Fragmentation serializes
+// this for the distributed runtime).
 type Graph struct {
 	labels []string
 	adj    [][]NodeID // out-adjacency, sorted per node
 	m      int        // number of edges
 
-	revOnce sync.Once
-	rev     [][]NodeID // in-adjacency, built lazily
+	revMu sync.Mutex
+	rev   [][]NodeID // in-adjacency, built lazily; nil until first use
 }
 
 // NumNodes reports the number of nodes in g.
@@ -67,25 +70,85 @@ func (g *Graph) InDegree(v NodeID) int {
 }
 
 func (g *Graph) buildReverse() {
-	g.revOnce.Do(func() {
-		deg := make([]int32, len(g.labels))
-		for _, nbrs := range g.adj {
-			for _, w := range nbrs {
-				deg[w]++
-			}
+	g.revMu.Lock()
+	defer g.revMu.Unlock()
+	if g.rev != nil {
+		return
+	}
+	deg := make([]int32, len(g.labels))
+	for _, nbrs := range g.adj {
+		for _, w := range nbrs {
+			deg[w]++
 		}
-		g.rev = make([][]NodeID, len(g.labels))
-		for v := range g.rev {
-			if deg[v] > 0 {
-				g.rev[v] = make([]NodeID, 0, deg[v])
-			}
+	}
+	rev := make([][]NodeID, len(g.labels))
+	for v := range rev {
+		if deg[v] > 0 {
+			rev[v] = make([]NodeID, 0, deg[v])
 		}
-		for v, nbrs := range g.adj {
-			for _, w := range nbrs {
-				g.rev[w] = append(g.rev[w], NodeID(v))
-			}
+	}
+	for v, nbrs := range g.adj {
+		for _, w := range nbrs {
+			rev[w] = append(rev[w], NodeID(v))
 		}
-	})
+	}
+	g.rev = rev
+}
+
+// insertSorted adds v to the ascending slice s unless already present,
+// reporting whether it inserted.
+func insertSorted(s []NodeID, v NodeID) ([]NodeID, bool) {
+	i := sort.Search(len(s), func(i int) bool { return s[i] >= v })
+	if i < len(s) && s[i] == v {
+		return s, false
+	}
+	s = append(s, 0)
+	copy(s[i+1:], s[i:])
+	s[i] = v
+	return s, true
+}
+
+// removeSorted deletes v from the ascending slice s, reporting whether it
+// was present.
+func removeSorted(s []NodeID, v NodeID) ([]NodeID, bool) {
+	i := sort.Search(len(s), func(i int) bool { return s[i] >= v })
+	if i >= len(s) || s[i] != v {
+		return s, false
+	}
+	return append(s[:i], s[i+1:]...), true
+}
+
+// InsertEdge adds the directed edge (u, v) in place, reporting whether the
+// graph changed (false when the edge already exists). Both endpoints must
+// be existing nodes. The caller must exclude concurrent readers and
+// writers for the duration of the call.
+func (g *Graph) InsertEdge(u, v NodeID) bool {
+	nbrs, ok := insertSorted(g.adj[u], v)
+	if !ok {
+		return false
+	}
+	g.adj[u] = nbrs
+	g.m++
+	if g.rev != nil {
+		g.rev[v], _ = insertSorted(g.rev[v], u)
+	}
+	return true
+}
+
+// DeleteEdge removes the directed edge (u, v) in place, reporting whether
+// the graph changed (false when the edge did not exist). The caller must
+// exclude concurrent readers and writers for the duration of the call.
+func (g *Graph) DeleteEdge(u, v NodeID) bool {
+	nbrs, ok := removeSorted(g.adj[u], v)
+	if !ok {
+		return false
+	}
+	g.adj[u] = nbrs
+	g.m--
+	if g.rev != nil {
+		g.rev[v], _ = removeSorted(g.rev[v], u)
+	}
+	return true
 }
 
 // HasEdge reports whether the directed edge (u, v) exists.

@@ -328,3 +328,75 @@ func TestEncodedSizeMonotone(t *testing.T) {
 		t.Fatal("EncodedSize should grow with the graph")
 	}
 }
+
+func TestInsertDeleteEdge(t *testing.T) {
+	for seed := uint64(0); seed < 8; seed++ {
+		g := randomGraph(seed, 20, 40)
+		// Mirror the edge set in a map and replay a mutation sequence.
+		mirror := map[[2]NodeID]bool{}
+		g.Edges(func(u, v NodeID) bool {
+			mirror[[2]NodeID{u, v}] = true
+			return true
+		})
+		if seed%2 == 0 {
+			g.In(0) // build the reverse adjacency early: it must stay in sync
+		}
+		state := seed + 99
+		next := func() uint64 {
+			state += 0x9e3779b97f4a7c15
+			z := state
+			z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+			return z ^ (z >> 27)
+		}
+		for step := 0; step < 200; step++ {
+			u := NodeID(next() % 20)
+			v := NodeID(next() % 20)
+			e := [2]NodeID{u, v}
+			if next()%2 == 0 {
+				if got, want := g.InsertEdge(u, v), !mirror[e]; got != want {
+					t.Fatalf("seed %d step %d: InsertEdge(%d,%d)=%v want %v", seed, step, u, v, got, want)
+				}
+				mirror[e] = true
+			} else {
+				if got, want := g.DeleteEdge(u, v), mirror[e]; got != want {
+					t.Fatalf("seed %d step %d: DeleteEdge(%d,%d)=%v want %v", seed, step, u, v, got, want)
+				}
+				delete(mirror, e)
+			}
+		}
+		if err := g.Validate(); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if g.NumEdges() != len(mirror) {
+			t.Fatalf("seed %d: %d edges, mirror has %d", seed, g.NumEdges(), len(mirror))
+		}
+		count := 0
+		g.Edges(func(u, v NodeID) bool {
+			if !mirror[[2]NodeID{u, v}] {
+				t.Fatalf("seed %d: phantom edge (%d,%d)", seed, u, v)
+			}
+			count++
+			return true
+		})
+		if count != len(mirror) {
+			t.Fatalf("seed %d: iterated %d edges, mirror has %d", seed, count, len(mirror))
+		}
+		// The (incrementally maintained or fresh) reverse adjacency agrees.
+		for v := NodeID(0); v < 20; v++ {
+			for _, u := range g.In(v) {
+				if !g.HasEdge(u, v) {
+					t.Fatalf("seed %d: In(%d) lists %d but edge missing", seed, v, u)
+				}
+			}
+			indeg := 0
+			for e := range mirror {
+				if e[1] == v {
+					indeg++
+				}
+			}
+			if indeg != g.InDegree(v) {
+				t.Fatalf("seed %d: InDegree(%d)=%d want %d", seed, v, g.InDegree(v), indeg)
+			}
+		}
+	}
+}

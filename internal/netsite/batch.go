@@ -1,6 +1,7 @@
 package netsite
 
 import (
+	"context"
 	"encoding/binary"
 	"fmt"
 
@@ -25,7 +26,16 @@ import (
 //
 // Batch response payload:
 //
-//	version u8 | count u32 | per query: plen u32 | partial bytes
+//	version u8 | nshared u32 | per section: slen u32 | bytes
+//	           | count u32 | per query: sref u32 | plen u32 | partial bytes
+//
+// The shared sections deduplicate the reply: reach queries sharing a
+// target share their in-node equations (they are independent of the
+// source), so the site ships that rvset once as a section and each query
+// references it by sref (1+index; 0 means no section) alongside its own
+// source equation. However many sources ask about one target, the shared
+// equations cross the wire once — mirroring the site already computing
+// them once.
 //
 // Both codecs are hardened against hostile input (fuzzed): every count and
 // length is bounds-checked against the remaining buffer and trailing bytes
@@ -53,15 +63,19 @@ type BatchQuery struct {
 
 // BatchAnswer is one query's answer within a batch. Dist is meaningful for
 // ClassDist only: the exact distance when Answer is true, bes.Inf
-// otherwise (mirroring Coordinator.ReachWithin).
+// otherwise (mirroring Coordinator.ReachWithin). Touched mirrors
+// WireStats.Touched per query: the sites whose partials the answer
+// depends on (nil for locally short-circuited queries).
 type BatchAnswer struct {
-	Answer bool
-	Dist   int64
+	Answer  bool
+	Dist    int64
+	Touched []int
 }
 
 // batchVersion versions the batch payload codecs independently of the
-// frame layout.
-const batchVersion = 1
+// frame layout. Version 2 added the shared per-target sections to the
+// reply.
+const batchVersion = 2
 
 // maxBatch bounds the declared per-payload query count against hostile
 // length prefixes; real batches are orders of magnitude smaller.
@@ -212,40 +226,77 @@ func decodeBatchRequest(p []byte) ([]BatchQuery, error) {
 	return qs, nil
 }
 
-// encodeBatchReply packs one marshaled partial answer per batched query.
-func encodeBatchReply(parts [][]byte) []byte {
+// encodeBatchReply packs the shared per-target sections plus, per batched
+// query, a section reference (0 = none, else 1+index) and the query's own
+// marshaled partial (empty when the shared section says it all).
+func encodeBatchReply(shared [][]byte, refs []uint32, parts [][]byte) []byte {
 	b := []byte{batchVersion}
+	b = binary.LittleEndian.AppendUint32(b, uint32(len(shared)))
+	for _, s := range shared {
+		b = binary.LittleEndian.AppendUint32(b, uint32(len(s)))
+		b = append(b, s...)
+	}
 	b = binary.LittleEndian.AppendUint32(b, uint32(len(parts)))
-	for _, p := range parts {
+	for i, p := range parts {
+		b = binary.LittleEndian.AppendUint32(b, refs[i])
 		b = binary.LittleEndian.AppendUint32(b, uint32(len(p)))
 		b = append(b, p...)
 	}
 	return b
 }
 
-// decodeBatchReply is the inverse of encodeBatchReply.
-func decodeBatchReply(p []byte) ([][]byte, error) {
+// decodeBatchReply is the inverse of encodeBatchReply. Every count, length
+// and section reference is validated.
+func decodeBatchReply(p []byte) (shared [][]byte, refs []uint32, parts [][]byte, err error) {
 	r := &batchReader{b: p}
-	n, err := r.header(4) // a length prefix per partial at minimum
+	ns, err := r.header(4) // a length prefix per section at minimum
 	if err != nil {
-		return nil, err
+		return nil, nil, nil, err
 	}
-	parts := make([][]byte, 0, n)
-	for i := 0; i < n; i++ {
+	shared = make([][]byte, 0, ns)
+	for i := 0; i < ns; i++ {
+		slen, err := r.u32()
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		s, err := r.bytes(slen)
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		shared = append(shared, s)
+	}
+	n, err := r.u32()
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	if n > maxBatch || uint64(n)*8 > uint64(len(r.b)-r.off) {
+		return nil, nil, nil, fmt.Errorf("netsite: implausible batch reply count %d", n)
+	}
+	refs = make([]uint32, 0, n)
+	parts = make([][]byte, 0, n)
+	for i := 0; i < int(n); i++ {
+		ref, err := r.u32()
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		if ref > uint32(len(shared)) {
+			return nil, nil, nil, fmt.Errorf("netsite: batch reply query %d references section %d of %d", i, ref, len(shared))
+		}
 		plen, err := r.u32()
 		if err != nil {
-			return nil, err
+			return nil, nil, nil, err
 		}
 		part, err := r.bytes(plen)
 		if err != nil {
-			return nil, err
+			return nil, nil, nil, err
 		}
+		refs = append(refs, ref)
 		parts = append(parts, part)
 	}
 	if err := r.done(); err != nil {
-		return nil, err
+		return nil, nil, nil, err
 	}
-	return parts, nil
+	return shared, refs, parts, nil
 }
 
 // Batch evaluates a mixed-class query batch in one wire round: exactly one
@@ -261,6 +312,11 @@ func decodeBatchReply(p []byte) ([][]byte, error) {
 // queries sends zero frames. Concurrent batches multiplex over the same
 // connections like single queries do.
 func (c *Coordinator) Batch(qs []BatchQuery) ([]BatchAnswer, WireStats, error) {
+	return c.BatchContext(context.Background(), qs)
+}
+
+// BatchContext is Batch honoring a context deadline or cancellation.
+func (c *Coordinator) BatchContext(ctx context.Context, qs []BatchQuery) ([]BatchAnswer, WireStats, error) {
 	answers := make([]BatchAnswer, len(qs))
 	wire := make([]BatchQuery, 0, len(qs))
 	widx := make([]int, 0, len(qs))
@@ -301,52 +357,89 @@ func (c *Coordinator) Batch(qs []BatchQuery) ([]BatchAnswer, WireStats, error) {
 	if err != nil {
 		return nil, WireStats{}, err
 	}
-	replies, st, err := c.roundtrip(kindBatch, payload)
+	replies, st, err := c.roundtrip(ctx, kindBatch, payload)
 	if err != nil {
 		return nil, st, err
 	}
-	parts := make([][][]byte, len(replies)) // [site][query] partial bytes
+	// Per site: the decoded shared sections (reach rvsets, unmarshaled
+	// once however many queries reference them), plus per-query refs and
+	// own partial bytes.
+	type siteReply struct {
+		shared []*core.ReachPartial
+		refs   []uint32
+		parts  [][]byte
+	}
+	srs := make([]siteReply, len(replies))
 	for site, resp := range replies {
-		parts[site], err = decodeBatchReply(resp)
+		shared, refs, parts, err := decodeBatchReply(resp)
 		if err != nil {
 			return nil, st, fmt.Errorf("netsite: site %d reply: %w", site, err)
 		}
-		if len(parts[site]) != len(wire) {
+		if len(parts) != len(wire) {
 			return nil, st, fmt.Errorf("netsite: site %d answered %d of %d batch queries",
-				site, len(parts[site]), len(wire))
+				site, len(parts), len(wire))
 		}
+		sr := siteReply{refs: refs, parts: parts, shared: make([]*core.ReachPartial, len(shared))}
+		for k, sb := range shared {
+			sr.shared[k] = new(core.ReachPartial)
+			if err := sr.shared[k].UnmarshalBinary(sb); err != nil {
+				return nil, st, fmt.Errorf("netsite: site %d shared section %d: %w", site, k, err)
+			}
+		}
+		srs[site] = sr
+	}
+	// siteOf maps a 2-per-site partial layout (shared, own) back to sites.
+	siteOf := func(idx []int) []int {
+		out := make([]int, 0, len(idx))
+		last := -1
+		for _, x := range idx { // idx is sorted; x/2 is nondecreasing
+			if s := x / 2; s != last {
+				out = append(out, s)
+				last = s
+			}
+		}
+		return out
 	}
 	for j, q := range wire {
 		i := widx[j]
 		switch q.Class {
 		case ClassReach:
-			partials := make([]*core.ReachPartial, len(parts))
-			for site := range parts {
-				partials[site] = new(core.ReachPartial)
-				if err := partials[site].UnmarshalBinary(parts[site][j]); err != nil {
-					return nil, st, fmt.Errorf("netsite: site %d batch query %d: %w", site, i, err)
+			// Two partials per site: the shared per-target rvset and the
+			// query's own source equation. SolveReach composes them.
+			partials := make([]*core.ReachPartial, 2*len(srs))
+			for site, sr := range srs {
+				if ref := sr.refs[j]; ref > 0 {
+					partials[2*site] = sr.shared[ref-1]
+				}
+				if own := sr.parts[j]; len(own) > 0 {
+					partials[2*site+1] = new(core.ReachPartial)
+					if err := partials[2*site+1].UnmarshalBinary(own); err != nil {
+						return nil, st, fmt.Errorf("netsite: site %d batch query %d: %w", site, i, err)
+					}
 				}
 			}
 			answers[i].Answer = core.SolveReach(partials, q.S)
+			answers[i].Touched = siteOf(core.TouchedReach(partials, q.S))
 		case ClassDist:
-			partials := make([]*core.DistPartial, len(parts))
-			for site := range parts {
+			partials := make([]*core.DistPartial, len(srs))
+			for site, sr := range srs {
 				partials[site] = new(core.DistPartial)
-				if err := partials[site].UnmarshalBinary(parts[site][j]); err != nil {
+				if err := partials[site].UnmarshalBinary(sr.parts[j]); err != nil {
 					return nil, st, fmt.Errorf("netsite: site %d batch query %d: %w", site, i, err)
 				}
 			}
 			d := core.SolveDist(partials, q.S)
-			answers[i] = BatchAnswer{Answer: d <= int64(q.L), Dist: d}
+			answers[i] = BatchAnswer{Answer: d <= int64(q.L), Dist: d, Touched: core.TouchedDist(partials, q.S)}
 		case ClassRPQ:
-			partials := make([]*core.RPQPartial, len(parts))
-			for site := range parts {
+			partials := make([]*core.RPQPartial, len(srs))
+			for site, sr := range srs {
 				partials[site] = new(core.RPQPartial)
-				if err := partials[site].UnmarshalBinary(parts[site][j]); err != nil {
+				if err := partials[site].UnmarshalBinary(sr.parts[j]); err != nil {
 					return nil, st, fmt.Errorf("netsite: site %d batch query %d: %w", site, i, err)
 				}
 			}
 			answers[i].Answer = core.SolveRPQ(partials, q.S, q.A)
+			answers[i].Touched = core.TouchedRPQ(partials, q.S, q.A.NumStates())
 		}
 	}
 	return answers, st, nil

@@ -73,6 +73,36 @@ func TestBatchOneFramePerSite(t *testing.T) {
 			}
 		}
 	}
+
+	// Reply deduplication: reach queries sharing a target reference one
+	// shared in-node-equation section instead of repeating it, so the
+	// reply for k same-target queries must grow far slower than k times
+	// the single-query reply.
+	const fan = 32
+	single, st1, err := co.Batch([]BatchQuery{{Class: ClassReach, S: 0, T: 199}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	many := make([]BatchQuery, fan)
+	for i := range many {
+		many[i] = BatchQuery{Class: ClassReach, S: graph.NodeID(i), T: 199}
+	}
+	answers, stn, err := co.Batch(many)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, a := range answers {
+		if want := g.Reachable(graph.NodeID(i), 199); a.Answer != want {
+			t.Fatalf("dedup batch query %d: wire=%v oracle=%v", i, a.Answer, want)
+		}
+	}
+	if single[0].Answer != answers[0].Answer {
+		t.Fatal("single and fanned batch disagree on qr(0,199)")
+	}
+	if stn.BytesReceived >= fan*st1.BytesReceived/2 {
+		t.Fatalf("deduplicated reply did not shrink: %d queries cost %dB, single costs %dB (want < %d)",
+			fan, stn.BytesReceived, st1.BytesReceived, fan*st1.BytesReceived/2)
+	}
 }
 
 // TestBatchMatchesSingleQueryAPI runs the same queries through Batch and
@@ -176,14 +206,16 @@ func TestBatchCodecRejectsHostilePayloads(t *testing.T) {
 			t.Errorf("decodeBatchRequest accepted %s payload", name)
 		}
 	}
-	reply := encodeBatchReply([][]byte{{1, 2, 3}, nil})
+	reply := encodeBatchReply([][]byte{{9, 9}}, []uint32{1, 0}, [][]byte{{1, 2, 3}, nil})
 	for name, p := range map[string][]byte{
-		"bad version":    {7, 0, 0, 0, 0},
-		"huge count":     {batchVersion, 0xFF, 0xFF, 0xFF, 0x7F},
-		"truncated part": reply[:len(reply)-1],
-		"trailing bytes": append(append([]byte{}, reply...), 1),
+		"bad version":        {7, 0, 0, 0, 0},
+		"huge section count": {batchVersion, 0xFF, 0xFF, 0xFF, 0x7F},
+		"huge query count":   append([]byte{batchVersion, 0, 0, 0, 0}, 0xFF, 0xFF, 0xFF, 0x7F),
+		"dangling sref":      encodeBatchReply(nil, []uint32{3}, [][]byte{{1}}),
+		"truncated part":     reply[:len(reply)-1],
+		"trailing bytes":     append(append([]byte{}, reply...), 1),
 	} {
-		if _, err := decodeBatchReply(p); err == nil {
+		if _, _, _, err := decodeBatchReply(p); err == nil {
 			t.Errorf("decodeBatchReply accepted %s payload", name)
 		}
 	}
@@ -200,9 +232,10 @@ func TestBatchCodecRejectsHostilePayloads(t *testing.T) {
 	if len(dec) != 2 || dec[0] != qs[0] || dec[1] != qs[1] {
 		t.Fatalf("request round trip: %+v", dec)
 	}
-	parts, err := decodeBatchReply(encodeBatchReply([][]byte{nil, {7}}))
-	if err != nil || len(parts) != 2 || len(parts[0]) != 0 || len(parts[1]) != 1 {
-		t.Fatalf("reply round trip: %v %v", parts, err)
+	shared, refs, parts, err := decodeBatchReply(encodeBatchReply([][]byte{{5}}, []uint32{0, 1}, [][]byte{nil, {7}}))
+	if err != nil || len(shared) != 1 || len(parts) != 2 || refs[0] != 0 || refs[1] != 1 ||
+		len(parts[0]) != 0 || len(parts[1]) != 1 {
+		t.Fatalf("reply round trip: %v %v %v %v", shared, refs, parts, err)
 	}
 }
 

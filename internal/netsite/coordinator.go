@@ -1,6 +1,7 @@
 package netsite
 
 import (
+	"context"
 	"encoding/binary"
 	"fmt"
 	"net"
@@ -24,6 +25,7 @@ import (
 type Coordinator struct {
 	conns  []*siteConn
 	nextID atomic.Uint32
+	updMu  sync.Mutex // serializes update rounds; see Coordinator.Update
 }
 
 // wireReply is one demultiplexed response frame.
@@ -116,6 +118,14 @@ func (sc *siteConn) post(id uint32, kind byte, payload []byte) (chan wireReply, 
 	return ch, n, nil
 }
 
+// drop abandons a pending request (context deadline or cancellation): the
+// reply, if it ever arrives, is discarded by the read loop.
+func (sc *siteConn) drop(id uint32) {
+	sc.mu.Lock()
+	delete(sc.pending, id)
+	sc.mu.Unlock()
+}
+
 // lastErr reports the sticky reader error, if any.
 func (sc *siteConn) lastErr() error {
 	sc.mu.Lock()
@@ -158,12 +168,22 @@ type WireStats struct {
 	FramesSent     int64         // request frames; one per site per round
 	FramesReceived int64         // response frames; one per site per round
 	RoundTrip      time.Duration // slowest site's post+reply wall time
+
+	// Touched lists, sorted, the sites (== fragment indices) whose partial
+	// answers the query's solution actually depends on — the dependency
+	// closure of the source variable (see core.TouchedReach). An answer
+	// cache keyed on it can evict precisely when a fragment changes. Nil
+	// for rounds without that notion (batches report it per query, updates
+	// report a dirty set instead).
+	Touched []int
 }
 
 // roundtrip posts one frame to every site in parallel and collects one
 // response frame from each. Concurrent rounds interleave freely: each
-// draws a fresh request ID and waits only on its own replies.
-func (c *Coordinator) roundtrip(kind byte, payload []byte) ([][]byte, WireStats, error) {
+// draws a fresh request ID and waits only on its own replies. A context
+// deadline or cancellation abandons the round promptly: pending requests
+// are dropped and late replies are discarded.
+func (c *Coordinator) roundtrip(ctx context.Context, kind byte, payload []byte) ([][]byte, WireStats, error) {
 	id := c.nextID.Add(1)
 	start := time.Now()
 	replies := make([][]byte, len(c.conns))
@@ -181,7 +201,15 @@ func (c *Coordinator) roundtrip(kind byte, payload []byte) ([][]byte, WireStats,
 			}
 			sent.Add(int64(n))
 			fsent.Add(1)
-			r, ok := <-ch
+			var r wireReply
+			var ok bool
+			select {
+			case r, ok = <-ch:
+			case <-ctx.Done():
+				sc.drop(id)
+				errs[i] = fmt.Errorf("site %d: %w", i, ctx.Err())
+				return
+			}
 			if !ok {
 				err := sc.lastErr()
 				if err == nil {
@@ -220,13 +248,18 @@ func (c *Coordinator) roundtrip(kind byte, payload []byte) ([][]byte, WireStats,
 
 // Reach evaluates qr(s, t) over the connected sites.
 func (c *Coordinator) Reach(s, t graph.NodeID) (bool, WireStats, error) {
+	return c.ReachContext(context.Background(), s, t)
+}
+
+// ReachContext is Reach honoring a context deadline or cancellation.
+func (c *Coordinator) ReachContext(ctx context.Context, s, t graph.NodeID) (bool, WireStats, error) {
 	if s == t {
 		return true, WireStats{}, nil
 	}
 	payload := make([]byte, 8)
 	binary.LittleEndian.PutUint32(payload, uint32(s))
 	binary.LittleEndian.PutUint32(payload[4:], uint32(t))
-	replies, st, err := c.roundtrip(kindReach, payload)
+	replies, st, err := c.roundtrip(ctx, kindReach, payload)
 	if err != nil {
 		return false, st, err
 	}
@@ -237,12 +270,19 @@ func (c *Coordinator) Reach(s, t graph.NodeID) (bool, WireStats, error) {
 			return false, st, fmt.Errorf("netsite: site %d reply: %w", i, err)
 		}
 	}
+	st.Touched = core.TouchedReach(partials, s)
 	return core.SolveReach(partials, s), st, nil
 }
 
 // ReachWithin evaluates qbr(s, t, l); it returns the answer and the exact
 // distance when within l (bes.Inf otherwise).
 func (c *Coordinator) ReachWithin(s, t graph.NodeID, l int) (bool, int64, WireStats, error) {
+	return c.ReachWithinContext(context.Background(), s, t, l)
+}
+
+// ReachWithinContext is ReachWithin honoring a context deadline or
+// cancellation.
+func (c *Coordinator) ReachWithinContext(ctx context.Context, s, t graph.NodeID, l int) (bool, int64, WireStats, error) {
 	if s == t {
 		return l >= 0, 0, WireStats{}, nil
 	}
@@ -253,7 +293,7 @@ func (c *Coordinator) ReachWithin(s, t graph.NodeID, l int) (bool, int64, WireSt
 	binary.LittleEndian.PutUint32(payload, uint32(s))
 	binary.LittleEndian.PutUint32(payload[4:], uint32(t))
 	binary.LittleEndian.PutUint32(payload[8:], uint32(l))
-	replies, st, err := c.roundtrip(kindDist, payload)
+	replies, st, err := c.roundtrip(ctx, kindDist, payload)
 	if err != nil {
 		return false, bes.Inf, st, err
 	}
@@ -264,12 +304,19 @@ func (c *Coordinator) ReachWithin(s, t graph.NodeID, l int) (bool, int64, WireSt
 			return false, bes.Inf, st, fmt.Errorf("netsite: site %d reply: %w", i, err)
 		}
 	}
+	st.Touched = core.TouchedDist(partials, s)
 	d := core.SolveDist(partials, s)
 	return d <= int64(l), d, st, nil
 }
 
 // ReachRegex evaluates qrr(s, t, R) for the query automaton a.
 func (c *Coordinator) ReachRegex(s, t graph.NodeID, a *automaton.Automaton) (bool, WireStats, error) {
+	return c.ReachRegexContext(context.Background(), s, t, a)
+}
+
+// ReachRegexContext is ReachRegex honoring a context deadline or
+// cancellation.
+func (c *Coordinator) ReachRegexContext(ctx context.Context, s, t graph.NodeID, a *automaton.Automaton) (bool, WireStats, error) {
 	if s == t && a.AcceptsLabels(nil) {
 		return true, WireStats{}, nil
 	}
@@ -281,7 +328,7 @@ func (c *Coordinator) ReachRegex(s, t graph.NodeID, a *automaton.Automaton) (boo
 	binary.LittleEndian.PutUint32(payload, uint32(s))
 	binary.LittleEndian.PutUint32(payload[4:], uint32(t))
 	payload = append(payload, ab...)
-	replies, st, err := c.roundtrip(kindRPQ, payload)
+	replies, st, err := c.roundtrip(ctx, kindRPQ, payload)
 	if err != nil {
 		return false, st, err
 	}
@@ -292,5 +339,6 @@ func (c *Coordinator) ReachRegex(s, t graph.NodeID, a *automaton.Automaton) (boo
 			return false, st, fmt.Errorf("netsite: site %d reply: %w", i, err)
 		}
 	}
+	st.Touched = core.TouchedRPQ(partials, s, a.NumStates())
 	return core.SolveRPQ(partials, s, a), st, nil
 }

@@ -26,6 +26,15 @@ func FuzzDecodeFrame(f *testing.F) {
 	f.Add(rawHeader(maxFrame + 1))                                // oversized length
 	f.Add(append(rawHeader(100), bytes.Repeat([]byte{7}, 10)...)) // truncated payload
 	f.Add([]byte{1, 0})                                           // truncated header
+	// Update frames, request and reply.
+	var upd bytes.Buffer
+	if _, err := writeFrame(&upd, 7, kindUpdate, encodeUpdateRequest(UpdateInsert, 3, 4)); err != nil {
+		f.Fatal(err)
+	}
+	if _, err := writeFrame(&upd, 7, kindAnswer, encodeUpdateReply(true, []int{0, 2})); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(upd.Bytes())
 
 	f.Fuzz(func(t *testing.T, data []byte) {
 		id, kind, payload, n, err := readFrame(bytes.NewReader(data))
@@ -68,7 +77,7 @@ func FuzzBatchPayload(f *testing.F) {
 		f.Fatal(err)
 	}
 	f.Add(empty)
-	f.Add(encodeBatchReply([][]byte{{1, 2, 3}, nil, {0xFF}}))
+	f.Add(encodeBatchReply([][]byte{{9, 8}}, []uint32{1, 0, 1}, [][]byte{{1, 2, 3}, nil, {0xFF}}))
 	f.Add([]byte{batchVersion, 0xFF, 0xFF, 0xFF, 0xFF}) // hostile count
 	f.Add(seed[:len(seed)-3])                           // truncated query
 
@@ -92,18 +101,47 @@ func FuzzBatchPayload(f *testing.F) {
 				}
 			}
 		}
-		if parts, err := decodeBatchReply(data); err == nil {
-			parts2, err := decodeBatchReply(encodeBatchReply(parts))
+		if shared, refs, parts, err := decodeBatchReply(data); err == nil {
+			shared2, refs2, parts2, err := decodeBatchReply(encodeBatchReply(shared, refs, parts))
 			if err != nil {
 				t.Fatalf("reply re-encode round trip failed: %v", err)
 			}
-			if len(parts2) != len(parts) {
-				t.Fatalf("reply round trip drifted: %d then %d parts", len(parts), len(parts2))
+			if len(shared2) != len(shared) || len(parts2) != len(parts) {
+				t.Fatalf("reply round trip drifted: %d/%d then %d/%d sections/parts",
+					len(shared), len(parts), len(shared2), len(parts2))
+			}
+			for i := range shared {
+				if !bytes.Equal(shared[i], shared2[i]) {
+					t.Fatalf("reply section %d drifted", i)
+				}
 			}
 			for i := range parts {
-				if !bytes.Equal(parts[i], parts2[i]) {
+				if refs[i] != refs2[i] || !bytes.Equal(parts[i], parts2[i]) {
 					t.Fatalf("reply part %d drifted", i)
 				}
+			}
+		}
+	})
+}
+
+// FuzzUpdatePayload throws arbitrary bytes at the update frame codecs:
+// whatever decodes must survive a re-encode round trip; the rest must be
+// rejected with an error, never a panic or an implausible allocation.
+func FuzzUpdatePayload(f *testing.F) {
+	f.Add(encodeUpdateRequest(UpdateInsert, 1, 2))
+	f.Add(encodeUpdateRequest(UpdateDelete, 0xFFFFFFF, 0))
+	f.Add(encodeUpdateReply(true, []int{0, 1, 5}))
+	f.Add(encodeUpdateReply(false, nil))
+	f.Add([]byte{1, 0xFF, 0xFF, 0xFF, 0x7F}) // hostile dirty count
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if op, u, v, err := decodeUpdateRequest(data); err == nil {
+			if !bytes.Equal(encodeUpdateRequest(op, u, v), data) {
+				t.Fatalf("update request round trip drifted")
+			}
+		}
+		if changed, dirty, err := decodeUpdateReply(data); err == nil {
+			if !bytes.Equal(encodeUpdateReply(changed, dirty), data) {
+				t.Fatalf("update reply round trip drifted")
 			}
 		}
 	})

@@ -13,9 +13,11 @@
 //
 //	frame  := length u32 (of the rest) | id u32 | kind u8 | payload
 //	request kinds: 'r' qr(s,t), 'b' qbr(s,t,l), 'q' qrr(s,t,Gq),
-//	               'B' batch (many mixed-class queries in one payload)
+//	               'B' batch (many mixed-class queries in one payload),
+//	               'U' edge update (insert or delete one edge)
 //	response kind: 'R' partial answer (codec per query class; for 'B', one
-//	               partial per batched query), 'E' error
+//	               partial per batched query; for 'U', the changed flag and
+//	               dirtied fragment IDs), 'E' error
 //
 // A response frame echoes the ID of the request it answers. A batch frame
 // is the wire form of the paper's per-batch visit guarantee: one request
@@ -36,6 +38,7 @@ const (
 	kindDist   = 'b'
 	kindRPQ    = 'q'
 	kindBatch  = 'B'
+	kindUpdate = 'U'
 	kindAnswer = 'R'
 	kindError  = 'E'
 )

@@ -31,13 +31,22 @@ type SiteOptions struct {
 	Delay time.Duration
 }
 
-// Site serves one fragment over TCP. Create with NewSite, then Addr gives
-// the dial address for the coordinator; Close shuts the listener down.
-// Frames arriving on one connection are evaluated concurrently by a
-// bounded worker pool, so a coordinator multiplexing many queries over the
+// Site serves one fragment over TCP. Create with NewSiteFor (or NewSite
+// for a bare fragment without update support), then Addr gives the dial
+// address for the coordinator; Close shuts the listener down. Frames
+// arriving on one connection are evaluated concurrently by a bounded
+// worker pool, so a coordinator multiplexing many queries over the
 // connection is served in parallel, not one frame at a time.
+//
+// A site built with NewSiteFor holds a replica of the whole fragmentation
+// and accepts update frames: queries evaluate under the fragmentation's
+// read lock and updates apply exclusively, so a mutation never tears a
+// fragment mid-evaluation. In-process sites created by ServeFragmentation
+// share one fragmentation, which makes the broadcast update idempotent
+// across them (the first frame applies it, the rest observe a no-op).
 type Site struct {
 	frag    *fragment.Fragment
+	frtn    *fragment.Fragmentation // nil: bare fragment, updates rejected
 	ln      net.Listener
 	workers int
 	delay   time.Duration
@@ -53,13 +62,28 @@ type Site struct {
 }
 
 // NewSite starts serving f on addr ("127.0.0.1:0" picks a free port) with
-// default options.
+// default options. The site has no fragmentation replica, so it rejects
+// update frames; prefer NewSiteFor for live deployments.
 func NewSite(addr string, f *fragment.Fragment) (*Site, error) {
 	return NewSiteOpts(addr, f, SiteOptions{})
 }
 
-// NewSiteOpts starts serving f on addr with explicit options.
+// NewSiteOpts starts serving f on addr with explicit options and no update
+// support (see NewSite).
 func NewSiteOpts(addr string, f *fragment.Fragment, o SiteOptions) (*Site, error) {
+	return newSite(addr, f, nil, o)
+}
+
+// NewSiteFor starts serving fragment fragID of fr on addr. The site keeps
+// fr as its replica of the deployment, which enables edge-update frames.
+func NewSiteFor(addr string, fr *fragment.Fragmentation, fragID int, o SiteOptions) (*Site, error) {
+	if fragID < 0 || fragID >= fr.Card() {
+		return nil, fmt.Errorf("netsite: fragment %d out of range [0,%d)", fragID, fr.Card())
+	}
+	return newSite(addr, fr.Fragments()[fragID], fr, o)
+}
+
+func newSite(addr string, f *fragment.Fragment, fr *fragment.Fragmentation, o SiteOptions) (*Site, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("netsite: %w", err)
@@ -70,6 +94,7 @@ func NewSiteOpts(addr string, f *fragment.Fragment, o SiteOptions) (*Site, error
 	}
 	s := &Site{
 		frag:    f,
+		frtn:    fr,
 		ln:      ln,
 		workers: workers,
 		delay:   o.Delay,
@@ -194,6 +219,16 @@ func (s *Site) handle(kind byte, payload []byte) ([]byte, error) {
 	if s.delay > 0 {
 		time.Sleep(s.delay)
 	}
+	if kind == kindUpdate {
+		return s.handleUpdate(payload)
+	}
+	// Queries read the fragment under the fragmentation's read lock so a
+	// concurrent update never mutates it mid-evaluation. Bare-fragment
+	// sites have no update path, hence nothing to lock against.
+	if s.frtn != nil {
+		s.frtn.RLock()
+		defer s.frtn.RUnlock()
+	}
 	switch kind {
 	case kindReach:
 		if len(payload) < 8 {
@@ -231,36 +266,70 @@ func (s *Site) handle(kind byte, payload []byte) ([]byte, error) {
 	}
 }
 
+// handleUpdate applies one edge update to the site's fragmentation replica
+// and reports what changed from its point of view. The mutation locks out
+// query evaluation internally (writers exclude the read lock handle takes
+// for queries).
+func (s *Site) handleUpdate(payload []byte) ([]byte, error) {
+	if s.frtn == nil {
+		return nil, fmt.Errorf("site serves a bare fragment; updates unsupported")
+	}
+	op, u, v, err := decodeUpdateRequest(payload)
+	if err != nil {
+		return nil, err
+	}
+	var dirty []int
+	var changed bool
+	switch op {
+	case UpdateInsert:
+		dirty, changed, err = s.frtn.InsertEdge(u, v)
+	case UpdateDelete:
+		dirty, changed, err = s.frtn.DeleteEdge(u, v)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return encodeUpdateReply(changed, dirty), nil
+}
+
 // handleBatch evaluates a whole batch frame against the fragment in one
 // pass and returns one partial answer per query. Reach queries sharing a
-// target share their in-node equations (those are source-independent), so
-// the per-target local evaluation runs once however many sources ask for
-// it; distance and regex queries evaluate individually. The frame's
-// service delay (Site.delay) is paid once per batch, not once per query —
-// the amortization the batch protocol exists to deliver.
+// target share their in-node equations (those are source-independent): the
+// per-target local evaluation runs once however many sources ask for it,
+// AND its result ships once, as a shared reply section the queries
+// reference — each query's own slot carries only its source equation.
+// Distance and regex queries evaluate individually. The frame's service
+// delay (Site.delay) is paid once per batch, not once per query — the
+// amortization the batch protocol exists to deliver.
 func (s *Site) handleBatch(payload []byte) ([]byte, error) {
 	qs, err := decodeBatchRequest(payload)
 	if err != nil {
 		return nil, err
 	}
 	parts := make([][]byte, len(qs))
-	type reachGroup struct {
-		sources []graph.NodeID
-		idx     []int
-	}
-	groups := make(map[graph.NodeID]*reachGroup)
-	var order []graph.NodeID
+	refs := make([]uint32, len(qs))
+	var shared [][]byte
+	sectionOf := make(map[graph.NodeID]uint32) // target -> 1+section index
 	for i, q := range qs {
 		switch q.Class {
 		case ClassReach:
-			gr := groups[q.T]
-			if gr == nil {
-				gr = &reachGroup{}
-				groups[q.T] = gr
-				order = append(order, q.T)
+			ref, ok := sectionOf[q.T]
+			if !ok {
+				base := core.LocalEvalReach(s.frag, graph.None, q.T)
+				sb, err := base.MarshalBinary()
+				if err != nil {
+					return nil, err
+				}
+				shared = append(shared, sb)
+				ref = uint32(len(shared))
+				sectionOf[q.T] = ref
 			}
-			gr.sources = append(gr.sources, q.S)
-			gr.idx = append(gr.idx, i)
+			refs[i] = ref
+			if own := core.SourceOnlyReach(s.frag, q.S, q.T); own != nil {
+				if parts[i], err = own.MarshalBinary(); err != nil {
+					return nil, err
+				}
+			}
 		case ClassDist:
 			rv := core.LocalEvalDist(s.frag, q.S, q.T, q.L)
 			if parts[i], err = rv.MarshalBinary(); err != nil {
@@ -276,15 +345,7 @@ func (s *Site) handleBatch(payload []byte) ([]byte, error) {
 			return nil, fmt.Errorf("unknown batch query class %q", byte(q.Class))
 		}
 	}
-	for _, t := range order {
-		gr := groups[t]
-		for j, rv := range core.LocalEvalReachShared(s.frag, t, gr.sources) {
-			if parts[gr.idx[j]], err = rv.MarshalBinary(); err != nil {
-				return nil, err
-			}
-		}
-	}
-	return encodeBatchReply(parts), nil
+	return encodeBatchReply(shared, refs, parts), nil
 }
 
 // ServeFragmentation is a convenience that starts one Site per fragment on
@@ -299,7 +360,7 @@ func ServeFragmentationOpts(fr *fragment.Fragmentation, o SiteOptions) ([]*Site,
 	sites := make([]*Site, 0, fr.Card())
 	addrs := make([]string, 0, fr.Card())
 	for _, f := range fr.Fragments() {
-		s, err := NewSiteOpts("127.0.0.1:0", f, o)
+		s, err := NewSiteFor("127.0.0.1:0", fr, f.ID, o)
 		if err != nil {
 			for _, prev := range sites {
 				prev.Close()

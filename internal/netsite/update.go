@@ -1,0 +1,152 @@
+package netsite
+
+import (
+	"context"
+	"encoding/binary"
+	"fmt"
+	"sort"
+
+	"distreach/internal/graph"
+)
+
+// Live graph updates over the wire. An update frame ('U') carries one edge
+// insertion or deletion. The coordinator broadcasts it to every site; each
+// site holds a replica of the whole fragmentation (cmd/site loads the full
+// graph and assignment anyway, and in-process deployments share one), so
+// each site applies the update to the fragment(s) it affects and replies
+// with what changed from its replica's point of view. Application is
+// idempotent — re-inserting an existing edge or re-deleting a missing one
+// is a no-op — so sites sharing one in-process fragmentation apply it once
+// and the rest observe a no-op; the coordinator unions the replies into
+// the definitive dirty set.
+//
+// Update request payload (little-endian):
+//
+//	op u8 ('i' insert | 'd' delete) | u u32 | v u32
+//
+// Update response payload:
+//
+//	changed u8 | count u32 | dirty fragment IDs u32 each
+//
+// Consistency: one coordinator serializes its updates (they run one round
+// at a time), and each site orders an update against its own in-flight
+// queries with a write lock, but a multi-site round is not atomic — a
+// query racing an update may combine pre- and post-update partials. The
+// system is eventually consistent: once an update round returns, every
+// subsequent query sees it.
+
+// UpdateOp selects the edge operation of an update frame.
+type UpdateOp byte
+
+// The two edge operations.
+const (
+	UpdateInsert UpdateOp = 'i'
+	UpdateDelete UpdateOp = 'd'
+)
+
+// UpdateResult reports the effect of one edge update on the deployment.
+type UpdateResult struct {
+	// Changed is false when the update was a no-op (inserting an existing
+	// edge, deleting a missing one).
+	Changed bool
+	// Dirty lists the fragments whose partial answers may have changed,
+	// sorted ascending. Empty when Changed is false.
+	Dirty []int
+}
+
+// encodeUpdateRequest packs one edge update.
+func encodeUpdateRequest(op UpdateOp, u, v graph.NodeID) []byte {
+	b := []byte{byte(op)}
+	b = binary.LittleEndian.AppendUint32(b, uint32(u))
+	b = binary.LittleEndian.AppendUint32(b, uint32(v))
+	return b
+}
+
+// decodeUpdateRequest is the inverse of encodeUpdateRequest, hardened
+// against hostile payloads.
+func decodeUpdateRequest(p []byte) (UpdateOp, graph.NodeID, graph.NodeID, error) {
+	if len(p) != 9 {
+		return 0, 0, 0, fmt.Errorf("netsite: update payload is %d bytes, want 9", len(p))
+	}
+	op := UpdateOp(p[0])
+	if op != UpdateInsert && op != UpdateDelete {
+		return 0, 0, 0, fmt.Errorf("netsite: unknown update op %q", p[0])
+	}
+	u := graph.NodeID(binary.LittleEndian.Uint32(p[1:]))
+	v := graph.NodeID(binary.LittleEndian.Uint32(p[5:]))
+	return op, u, v, nil
+}
+
+// encodeUpdateReply packs one site's view of an applied update.
+func encodeUpdateReply(changed bool, dirty []int) []byte {
+	b := []byte{0}
+	if changed {
+		b[0] = 1
+	}
+	b = binary.LittleEndian.AppendUint32(b, uint32(len(dirty)))
+	for _, d := range dirty {
+		b = binary.LittleEndian.AppendUint32(b, uint32(d))
+	}
+	return b
+}
+
+// decodeUpdateReply is the inverse of encodeUpdateReply, hardened against
+// hostile payloads: the declared count is bounds-checked against the
+// buffer and trailing bytes are rejected.
+func decodeUpdateReply(p []byte) (changed bool, dirty []int, err error) {
+	if len(p) < 5 {
+		return false, nil, fmt.Errorf("netsite: update reply is %d bytes, want >= 5", len(p))
+	}
+	if p[0] > 1 {
+		return false, nil, fmt.Errorf("netsite: update reply changed flag %d", p[0])
+	}
+	n := binary.LittleEndian.Uint32(p[1:])
+	if uint64(n)*4 != uint64(len(p)-5) {
+		return false, nil, fmt.Errorf("netsite: update reply claims %d fragment IDs in %d bytes", n, len(p)-5)
+	}
+	dirty = make([]int, 0, n)
+	for i := 0; i < int(n); i++ {
+		dirty = append(dirty, int(binary.LittleEndian.Uint32(p[5+4*i:])))
+	}
+	return p[0] == 1, dirty, nil
+}
+
+// Update applies one edge insertion or deletion to the deployment: the
+// update frame is broadcast to every site, each applies it to its replica
+// of the fragmentation, and the replies are unioned into the definitive
+// changed flag and dirty fragment set. Updates from one coordinator are
+// serialized (one round in flight at a time) so every site applies them in
+// the same order.
+func (c *Coordinator) Update(op UpdateOp, u, v graph.NodeID) (UpdateResult, WireStats, error) {
+	return c.UpdateContext(context.Background(), op, u, v)
+}
+
+// UpdateContext is Update honoring a context deadline or cancellation.
+func (c *Coordinator) UpdateContext(ctx context.Context, op UpdateOp, u, v graph.NodeID) (UpdateResult, WireStats, error) {
+	if op != UpdateInsert && op != UpdateDelete {
+		return UpdateResult{}, WireStats{}, fmt.Errorf("netsite: unknown update op %q", byte(op))
+	}
+	c.updMu.Lock()
+	defer c.updMu.Unlock()
+	replies, st, err := c.roundtrip(ctx, kindUpdate, encodeUpdateRequest(op, u, v))
+	if err != nil {
+		return UpdateResult{}, st, err
+	}
+	var res UpdateResult
+	seen := map[int]bool{}
+	for i, resp := range replies {
+		changed, dirty, err := decodeUpdateReply(resp)
+		if err != nil {
+			return UpdateResult{}, st, fmt.Errorf("netsite: site %d reply: %w", i, err)
+		}
+		res.Changed = res.Changed || changed
+		for _, d := range dirty {
+			if !seen[d] {
+				seen[d] = true
+				res.Dirty = append(res.Dirty, d)
+			}
+		}
+	}
+	sort.Ints(res.Dirty)
+	return res, st, nil
+}

@@ -78,7 +78,7 @@ func TestGeneration(t *testing.T) {
 func TestPutIfGeneration(t *testing.T) {
 	c := New[int](8)
 	epoch := c.Generation()
-	if !c.PutIfGeneration("a", 1, epoch) {
+	if !c.PutIfGeneration("a", 1, epoch, nil) {
 		t.Fatal("put with a current generation must store")
 	}
 	if v, ok := c.Get("a"); !ok || v != 1 {
@@ -86,13 +86,13 @@ func TestPutIfGeneration(t *testing.T) {
 	}
 	epoch = c.Generation()
 	c.Flush()
-	if c.PutIfGeneration("b", 2, epoch) {
+	if c.PutIfGeneration("b", 2, epoch, nil) {
 		t.Fatal("put with a pre-flush generation must be a no-op")
 	}
 	if _, ok := c.Get("b"); ok {
 		t.Fatal("stale answer resurrected across a flush")
 	}
-	if !c.PutIfGeneration("b", 2, c.Generation()) {
+	if !c.PutIfGeneration("b", 2, c.Generation(), nil) {
 		t.Fatal("put with the post-flush generation must store")
 	}
 }
@@ -152,4 +152,66 @@ func TestConcurrentAccess(t *testing.T) {
 		}(w)
 	}
 	wg.Wait()
+}
+
+func TestEvictFragmentsPrecision(t *testing.T) {
+	c := New[int](16)
+	c.PutTagged("a", 1, []int{0, 1})
+	c.PutTagged("b", 2, []int{2})
+	c.PutTagged("c", 3, []int{1, 2})
+	c.Put("const", 4) // tag-free: update-immune
+	if n := c.EvictFragments([]int{1}); n != 2 {
+		t.Fatalf("evicted %d entries, want 2 (a and c)", n)
+	}
+	if _, ok := c.Get("a"); ok {
+		t.Fatal("a touched fragment 1 and must be gone")
+	}
+	if _, ok := c.Get("c"); ok {
+		t.Fatal("c touched fragment 1 and must be gone")
+	}
+	if v, ok := c.Get("b"); !ok || v != 2 {
+		t.Fatal("b avoided fragment 1 and must survive")
+	}
+	if v, ok := c.Get("const"); !ok || v != 4 {
+		t.Fatal("tag-free entry must survive any eviction")
+	}
+	if got := c.Evictions(); got != 2 {
+		t.Fatalf("Evictions() = %d, want 2", got)
+	}
+	// An empty dirty set is free and does not advance the generation.
+	gen := c.Generation()
+	if n := c.EvictFragments(nil); n != 0 {
+		t.Fatalf("empty dirty set evicted %d", n)
+	}
+	if c.Generation() != gen {
+		t.Fatal("empty dirty set advanced the generation")
+	}
+}
+
+func TestEvictFragmentsGuardsInFlightInserts(t *testing.T) {
+	c := New[int](8)
+	epoch := c.Generation()
+	if n := c.EvictFragments([]int{0}); n != 0 {
+		t.Fatalf("evicted %d from an empty cache", n)
+	}
+	// The eviction advanced the generation: an answer computed before the
+	// update must not land.
+	if c.PutIfGeneration("stale", 1, epoch, []int{3}) {
+		t.Fatal("pre-eviction insert must be a no-op")
+	}
+	if !c.PutIfGeneration("fresh", 2, c.Generation(), []int{3}) {
+		t.Fatal("post-eviction insert must store")
+	}
+}
+
+func TestPutTaggedRefreshesTags(t *testing.T) {
+	c := New[int](8)
+	c.PutTagged("a", 1, []int{0})
+	c.PutTagged("a", 2, []int{5}) // re-tag
+	if n := c.EvictFragments([]int{0}); n != 0 {
+		t.Fatalf("stale tag evicted %d entries", n)
+	}
+	if n := c.EvictFragments([]int{5}); n != 1 {
+		t.Fatalf("fresh tag evicted %d entries, want 1", n)
+	}
 }
