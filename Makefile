@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench bench-smoke fuzz-smoke fmt fmt-check vet ci
+.PHONY: all build test race bench bench-smoke fuzz-smoke staticcheck fmt fmt-check vet ci
 
 all: build test
 
@@ -20,11 +20,12 @@ bench:
 	$(GO) test -bench . -benchmem ./...
 
 # One-iteration smoke run: proves every benchmark still compiles and runs,
-# plus one short churn iteration of the load generator (live updates mixed
-# into the query stream).
+# plus short load-generator iterations — edge churn, node-op churn with a
+# forced live rebalance — against an in-process deployment.
 bench-smoke:
 	$(GO) test -run '^$$' -bench . -benchtime 1x ./...
 	$(GO) run ./cmd/bench -load -clients 2 -duration 1s -churn 5 -nodes 300 -edges 1200 -class mixed
+	$(GO) run ./cmd/bench -load -clients 2 -duration 1s -churn 20 -nodechurn -rebalance 300ms -nodes 300 -edges 1200 -class mixed
 
 # Short fuzzing pass over the wire codecs (one target per invocation: the
 # Go fuzzer requires exactly one -fuzz match).
@@ -32,6 +33,12 @@ fuzz-smoke:
 	$(GO) test ./internal/netsite -run '^$$' -fuzz '^FuzzDecodeFrame$$' -fuzztime 20s
 	$(GO) test ./internal/netsite -run '^$$' -fuzz '^FuzzBatchPayload$$' -fuzztime 20s
 	$(GO) test ./internal/netsite -run '^$$' -fuzz '^FuzzUpdatePayload$$' -fuzztime 20s
+	$(GO) test ./internal/netsite -run '^$$' -fuzz '^FuzzRebalancePayload$$' -fuzztime 20s
+
+# Static analysis beyond go vet. Downloads the tool on first run; CI has
+# its own job for it.
+staticcheck:
+	$(GO) run honnef.co/go/tools/cmd/staticcheck@2025.1.1 ./...
 
 fmt:
 	gofmt -w .

@@ -4,10 +4,12 @@ import (
 	"bytes"
 	"encoding/json"
 	"fmt"
+	"io"
 	"net/http"
 	neturl "net/url"
 	"os"
 	"sort"
+	"strings"
 	"sync"
 	"time"
 
@@ -23,17 +25,19 @@ import (
 // either an in-process TCP deployment (the default) or a running cmd/serve
 // gateway (-url).
 type loadConfig struct {
-	clients  int
-	duration time.Duration
-	class    string  // qr | qbr | qrr | mixed
-	url      string  // non-empty: drive an HTTP gateway instead
-	batch    int     // queries per wire batch; 1 = single-query API
-	churn    float64 // edge updates per second mixed into the stream; 0 = none
-	delay    time.Duration
-	nodes    int
-	edges    int
-	k        int
-	seed     uint64
+	clients   int
+	duration  time.Duration
+	class     string        // qr | qbr | qrr | mixed
+	url       string        // non-empty: drive an HTTP gateway instead
+	batch     int           // queries per wire batch; 1 = single-query API
+	churn     float64       // updates per second mixed into the stream; 0 = none
+	nodechurn bool          // mix node inserts/deletes into the churn stream
+	rebalance time.Duration // force a live re-fragmentation at this interval; 0 = never
+	delay     time.Duration
+	nodes     int
+	edges     int
+	k         int
+	seed      uint64
 }
 
 // clientStats is one client's closed-loop tally.
@@ -52,13 +56,14 @@ func runLoad(cfg loadConfig) error {
 		cfg.batch = 1
 	}
 	var issue, update func(rng *gen.RNG, q int) error
+	var rebalance func(epoch uint64) error
 	target := cfg.url
 	if cfg.url != "" {
-		issue, update = httpIssuer(cfg)
+		issue, update, rebalance = httpIssuer(cfg)
 	} else {
 		var cleanup func()
 		var err error
-		issue, update, cleanup, err = wireIssuer(cfg)
+		issue, update, rebalance, cleanup, err = wireIssuer(cfg)
 		if err != nil {
 			return err
 		}
@@ -66,8 +71,8 @@ func runLoad(cfg loadConfig) error {
 		target = fmt.Sprintf("in-process deployment (%d sites, |V|=%d, |E|=%d)", cfg.k, cfg.nodes, cfg.edges)
 	}
 
-	fmt.Fprintf(os.Stderr, "load: %d clients, %v, class %s, batch %d, churn %.1f/s, target %s\n",
-		cfg.clients, cfg.duration, cfg.class, cfg.batch, cfg.churn, target)
+	fmt.Fprintf(os.Stderr, "load: %d clients, %v, class %s, batch %d, churn %.1f/s (node ops %v), rebalance %v, target %s\n",
+		cfg.clients, cfg.duration, cfg.class, cfg.batch, cfg.churn, cfg.nodechurn, cfg.rebalance, target)
 	stats := make([]clientStats, cfg.clients)
 	deadline := time.Now().Add(cfg.duration)
 	start := time.Now()
@@ -109,6 +114,27 @@ func runLoad(cfg loadConfig) error {
 			}
 		}()
 	}
+	// Forced rebalances: a dedicated loop re-fragments the deployment at
+	// the requested interval while queries and churn keep flowing — the
+	// smoke form of the zero-downtime epoch switch.
+	var rebalances, rerrs int
+	if cfg.rebalance > 0 {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for epoch := uint64(1); time.Now().Before(deadline); epoch++ {
+				time.Sleep(cfg.rebalance)
+				if !time.Now().Before(deadline) {
+					return
+				}
+				if err := rebalance(epoch); err != nil {
+					rerrs++
+				} else {
+					rebalances++
+				}
+			}
+		}()
+	}
 	wg.Wait()
 	elapsed := time.Since(start)
 
@@ -138,6 +164,9 @@ func runLoad(cfg loadConfig) error {
 	if cfg.churn > 0 {
 		fmt.Printf("updates     %d applied (%d errors)\n", updates, uerrs)
 	}
+	if cfg.rebalance > 0 {
+		fmt.Printf("rebalances  %d applied (%d errors)\n", rebalances, rerrs)
+	}
 	fmt.Printf("elapsed     %v\n", elapsed.Round(time.Millisecond))
 	fmt.Printf("throughput  %.0f q/s\n", float64(queries)/elapsed.Seconds())
 	unit := "query"
@@ -152,6 +181,9 @@ func runLoad(cfg loadConfig) error {
 	}
 	if uerrs > 0 {
 		return fmt.Errorf("load: %d updates failed", uerrs)
+	}
+	if rerrs > 0 {
+		return fmt.Errorf("load: %d rebalances failed", rerrs)
 	}
 	return nil
 }
@@ -173,22 +205,22 @@ func pickQuery(class string, rng *gen.RNG, q, n int) (cls string, s, t graph.Nod
 
 // wireIssuer deploys loopback sites in-process and drives them over the
 // multiplexed TCP protocol through a single shared coordinator.
-func wireIssuer(cfg loadConfig) (func(*gen.RNG, int) error, func(*gen.RNG, int) error, func(), error) {
+func wireIssuer(cfg loadConfig) (func(*gen.RNG, int) error, func(*gen.RNG, int) error, func(uint64) error, func(), error) {
 	g := gen.PowerLaw(gen.Config{Nodes: cfg.nodes, Edges: cfg.edges, Labels: loadLabels, Seed: cfg.seed})
 	fr, err := fragment.Random(g, cfg.k, cfg.seed)
 	if err != nil {
-		return nil, nil, nil, err
+		return nil, nil, nil, nil, err
 	}
 	sites, addrs, err := netsite.ServeFragmentationOpts(fr, netsite.SiteOptions{Delay: cfg.delay})
 	if err != nil {
-		return nil, nil, nil, err
+		return nil, nil, nil, nil, err
 	}
 	co, err := netsite.Dial(addrs, 3*time.Second)
 	if err != nil {
 		for _, s := range sites {
 			s.Close()
 		}
-		return nil, nil, nil, err
+		return nil, nil, nil, nil, err
 	}
 	cleanup := func() {
 		co.Close()
@@ -219,25 +251,39 @@ func wireIssuer(cfg loadConfig) (func(*gen.RNG, int) error, func(*gen.RNG, int) 
 		return err
 	}
 	update := func(rng *gen.RNG, i int) error {
-		op, u, v := pickUpdate(cfg, rng, i)
-		wop := netsite.UpdateInsert
-		if op == "delete" {
-			wop = netsite.UpdateDelete
+		_, _, err := co.Apply([]netsite.Op{pickUpdate(cfg, rng, i)})
+		if err != nil && strings.Contains(err.Error(), "not a live node") {
+			// Random churn aimed an edge op at a node a previous op
+			// deleted; the deployment rightly rejected the batch. That is
+			// organic no-op churn, not a serving failure.
+			return nil
 		}
-		_, _, err := co.Update(wop, u, v)
 		return err
 	}
-	return issue, update, cleanup, nil
+	rebalance := func(epoch uint64) error {
+		_, _, err := co.Rebalance(epoch, "edgecut", cfg.seed+epoch)
+		return err
+	}
+	return issue, update, rebalance, cleanup, nil
 }
 
-// pickUpdate draws one edge operation: inserts and deletes alternate so
-// the graph's size stays roughly stable under sustained churn.
-func pickUpdate(cfg loadConfig, rng *gen.RNG, i int) (op string, u, v graph.NodeID) {
-	op = "insert"
-	if i%2 == 1 {
-		op = "delete"
+// pickUpdate draws one mutation. Edge inserts and deletes alternate so the
+// graph's size stays roughly stable under sustained churn; with -nodechurn
+// every fourth op is a node insert or delete instead, exercising the
+// live node set (deletes aim at random IDs, so some are no-ops — exactly
+// the shape of organic churn).
+func pickUpdate(cfg loadConfig, rng *gen.RNG, i int) netsite.Op {
+	if cfg.nodechurn && i%4 == 3 {
+		if i%8 == 3 {
+			return netsite.Op{Kind: netsite.OpInsertNode, Label: loadLabels[rng.Intn(len(loadLabels))], Frag: -1}
+		}
+		return netsite.Op{Kind: netsite.OpDeleteNode, U: graph.NodeID(rng.Intn(cfg.nodes))}
 	}
-	return op, graph.NodeID(rng.Intn(cfg.nodes)), graph.NodeID(rng.Intn(cfg.nodes))
+	kind := netsite.OpInsertEdge
+	if i%2 == 1 {
+		kind = netsite.OpDeleteEdge
+	}
+	return netsite.Op{Kind: kind, U: graph.NodeID(rng.Intn(cfg.nodes)), V: graph.NodeID(rng.Intn(cfg.nodes))}
 }
 
 // pickBatchQuery draws one wire batch query of the configured class mix.
@@ -257,13 +303,25 @@ func pickBatchQuery(cfg loadConfig, rng *gen.RNG, q int) netsite.BatchQuery {
 // httpIssuer drives a running cmd/serve gateway. Node IDs are drawn from
 // [0, nodes); point -nodes at the deployed graph's size. With -batch N the
 // issuer posts N queries per POST /batch call instead of one GET each.
-// The second function posts one POST /update per call (the -churn loop).
-func httpIssuer(cfg loadConfig) (func(*gen.RNG, int) error, func(*gen.RNG, int) error) {
+// The second function posts one POST /update per call (the -churn loop);
+// the third posts POST /rebalance (the forced-rebalance loop).
+func httpIssuer(cfg loadConfig) (func(*gen.RNG, int) error, func(*gen.RNG, int) error, func(uint64) error) {
 	client := &http.Client{Timeout: 10 * time.Second}
 	exprs := []string{"A(A|B)*", "(A|B|C)+", "AB*C?"}
 	update := func(rng *gen.RNG, i int) error {
-		op, u, v := pickUpdate(cfg, rng, i)
-		body, err := json.Marshal(map[string]any{"op": op, "u": uint32(u), "v": uint32(v)})
+		op := pickUpdate(cfg, rng, i)
+		m := map[string]any{}
+		switch op.Kind {
+		case netsite.OpInsertEdge:
+			m = map[string]any{"op": "insert", "u": uint32(op.U), "v": uint32(op.V)}
+		case netsite.OpDeleteEdge:
+			m = map[string]any{"op": "delete", "u": uint32(op.U), "v": uint32(op.V)}
+		case netsite.OpInsertNode:
+			m = map[string]any{"op": "insertnode", "label": op.Label}
+		case netsite.OpDeleteNode:
+			m = map[string]any{"op": "deletenode", "u": uint32(op.U)}
+		}
+		body, err := json.Marshal(m)
 		if err != nil {
 			return err
 		}
@@ -271,11 +329,30 @@ func httpIssuer(cfg loadConfig) (func(*gen.RNG, int) error, func(*gen.RNG, int) 
 		if err != nil {
 			return err
 		}
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
 		resp.Body.Close()
 		if resp.StatusCode != http.StatusOK {
+			if strings.Contains(string(msg), "not a live node") {
+				return nil // churn aimed at a tombstone; expected no-op
+			}
 			return fmt.Errorf("POST /update: status %s", resp.Status)
 		}
 		return nil
+	}
+	rebalance := func(uint64) error {
+		resp, err := client.Post(cfg.url+"/rebalance", "application/json", strings.NewReader("{}"))
+		if err != nil {
+			return err
+		}
+		resp.Body.Close()
+		switch resp.StatusCode {
+		case http.StatusOK:
+			return nil
+		case http.StatusConflict:
+			return nil // a round is already in flight: the intent is served
+		default:
+			return fmt.Errorf("POST /rebalance: status %s", resp.Status)
+		}
 	}
 	if cfg.batch > 1 {
 		type batchQuery struct {
@@ -318,7 +395,7 @@ func httpIssuer(cfg loadConfig) (func(*gen.RNG, int) error, func(*gen.RNG, int) 
 			}
 			return nil
 		}
-		return issue, update
+		return issue, update, rebalance
 	}
 	issue := func(rng *gen.RNG, q int) error {
 		cls, s, t, l := pickQuery(cfg.class, rng, q, cfg.nodes)
@@ -342,5 +419,5 @@ func httpIssuer(cfg loadConfig) (func(*gen.RNG, int) error, func(*gen.RNG, int) 
 		}
 		return nil
 	}
-	return issue, update
+	return issue, update, rebalance
 }

@@ -43,34 +43,38 @@ func main() {
 		out     = flag.String("out", "", "write output to a file instead of stdout")
 		verbose = flag.Bool("v", false, "log progress to stderr")
 
-		load     = flag.Bool("load", false, "run the closed-loop load generator instead of experiments")
-		clients  = flag.Int("clients", 8, "load: concurrent closed-loop clients")
-		duration = flag.Duration("duration", 3*time.Second, "load: how long to drive traffic")
-		class    = flag.String("class", "qr", "load: query class: qr | qbr | qrr | mixed")
-		batch    = flag.Int("batch", 1, "load: queries per wire batch (1 = single-query API)")
-		churn    = flag.Float64("churn", 0, "load: edge updates per second mixed into the query stream (0 = none)")
-		sdelay   = flag.Duration("sitedelay", 0, "load: emulated per-frame site service time (in-process mode; the N3 workload uses 5ms)")
-		url      = flag.String("url", "", "load: drive a cmd/serve gateway at this base URL instead of an in-process deployment")
-		nodes    = flag.Int("nodes", 2000, "load: graph nodes (in-process mode; node-ID range in -url mode)")
-		edges    = flag.Int("edges", 8000, "load: graph edges (in-process mode)")
-		k        = flag.Int("k", 4, "load: fragment count (in-process mode)")
-		seed     = flag.Uint64("seed", 1, "load: workload seed")
+		load      = flag.Bool("load", false, "run the closed-loop load generator instead of experiments")
+		clients   = flag.Int("clients", 8, "load: concurrent closed-loop clients")
+		duration  = flag.Duration("duration", 3*time.Second, "load: how long to drive traffic")
+		class     = flag.String("class", "qr", "load: query class: qr | qbr | qrr | mixed")
+		batch     = flag.Int("batch", 1, "load: queries per wire batch (1 = single-query API)")
+		churn     = flag.Float64("churn", 0, "load: updates per second mixed into the query stream (0 = none)")
+		nodechurn = flag.Bool("nodechurn", false, "load: mix node inserts/deletes into the churn stream")
+		rebalance = flag.Duration("rebalance", 0, "load: force a live re-fragmentation at this interval (0 = never)")
+		sdelay    = flag.Duration("sitedelay", 0, "load: emulated per-frame site service time (in-process mode; the N3 workload uses 5ms)")
+		url       = flag.String("url", "", "load: drive a cmd/serve gateway at this base URL instead of an in-process deployment")
+		nodes     = flag.Int("nodes", 2000, "load: graph nodes (in-process mode; node-ID range in -url mode)")
+		edges     = flag.Int("edges", 8000, "load: graph edges (in-process mode)")
+		k         = flag.Int("k", 4, "load: fragment count (in-process mode)")
+		seed      = flag.Uint64("seed", 1, "load: workload seed")
 	)
 	flag.Parse()
 
 	if *load {
 		err := runLoad(loadConfig{
-			clients:  *clients,
-			duration: *duration,
-			class:    *class,
-			batch:    *batch,
-			churn:    *churn,
-			delay:    *sdelay,
-			url:      *url,
-			nodes:    *nodes,
-			edges:    *edges,
-			k:        *k,
-			seed:     *seed,
+			clients:   *clients,
+			duration:  *duration,
+			class:     *class,
+			batch:     *batch,
+			churn:     *churn,
+			nodechurn: *nodechurn,
+			rebalance: *rebalance,
+			delay:     *sdelay,
+			url:       *url,
+			nodes:     *nodes,
+			edges:     *edges,
+			k:         *k,
+			seed:      *seed,
 		})
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "bench: %v\n", err)

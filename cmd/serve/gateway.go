@@ -7,10 +7,12 @@ import (
 	"fmt"
 	"net/http"
 	"strconv"
+	"sync"
 	"sync/atomic"
 	"time"
 
 	"distreach"
+	"distreach/internal/fragment"
 	"distreach/internal/graph"
 	"distreach/internal/netsite"
 	"distreach/internal/qcache"
@@ -24,27 +26,65 @@ type cachedAnswer struct {
 	HasDist bool
 }
 
+// gwOptions configures a gateway beyond its coordinator.
+type gwOptions struct {
+	cacheCap    int
+	timeout     time.Duration // per-request wire deadline; 0 = none
+	maxInflight int           // backpressure: concurrent requests; 0 = default
+	skew        float64       // auto-rebalance threshold; 0 = disabled
+	partitioner string        // rebalance strategy (fragment.ByName)
+	seed        uint64        // rebalance partitioner seed base
+}
+
+// defaultMaxInflight bounds concurrent query/update requests when the
+// -maxinflight flag is left zero: enough for heavy multiplexed traffic,
+// finite so a flood degrades into prompt 429s instead of collapse.
+const defaultMaxInflight = 1024
+
 // gateway serves the HTTP/JSON API over one multiplexing coordinator.
 type gateway struct {
 	co      *netsite.Coordinator
 	cache   *qcache.Cache[cachedAnswer]
-	timeout time.Duration // per-request wire deadline; 0 = none
+	opts    gwOptions
+	sem     chan struct{} // in-flight request slots (backpressure)
 	queries atomic.Int64
 	updates atomic.Int64
+
+	rejected    atomic.Int64  // requests turned away with 429
+	epoch       atomic.Uint64 // highest deployment epoch observed
+	rebalances  atomic.Int64  // successful rebalance rounds
+	rebalancing atomic.Bool   // single-flight latch for auto-rebalance
+
+	statsMu   sync.Mutex
+	lastStats fragment.BalanceStats // latest balance seen in an update reply
+
 	started time.Time
 }
 
-func newGateway(co *netsite.Coordinator, cacheCap int, timeout time.Duration) *gateway {
-	return &gateway{co: co, cache: qcache.New[cachedAnswer](cacheCap), timeout: timeout, started: time.Now()}
+func newGateway(co *netsite.Coordinator, o gwOptions) *gateway {
+	if o.maxInflight <= 0 {
+		o.maxInflight = defaultMaxInflight
+	}
+	if o.partitioner == "" {
+		o.partitioner = "edgecut"
+	}
+	return &gateway{
+		co:      co,
+		cache:   qcache.New[cachedAnswer](o.cacheCap),
+		opts:    o,
+		sem:     make(chan struct{}, o.maxInflight),
+		started: time.Now(),
+	}
 }
 
 func (g *gateway) routes() *http.ServeMux {
 	mux := http.NewServeMux()
-	mux.HandleFunc("GET /reach", g.handleReach)
-	mux.HandleFunc("GET /reachwithin", g.handleReachWithin)
-	mux.HandleFunc("GET /reachregex", g.handleReachRegex)
-	mux.HandleFunc("POST /batch", g.handleBatch)
-	mux.HandleFunc("POST /update", g.handleUpdate)
+	mux.HandleFunc("GET /reach", g.limit(g.handleReach))
+	mux.HandleFunc("GET /reachwithin", g.limit(g.handleReachWithin))
+	mux.HandleFunc("GET /reachregex", g.limit(g.handleReachRegex))
+	mux.HandleFunc("POST /batch", g.limit(g.handleBatch))
+	mux.HandleFunc("POST /update", g.limit(g.handleUpdate))
+	mux.HandleFunc("POST /rebalance", g.handleRebalance)
 	mux.HandleFunc("GET /stats", g.handleStats)
 	mux.HandleFunc("POST /flush", g.handleFlush)
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
@@ -53,22 +93,62 @@ func (g *gateway) routes() *http.ServeMux {
 	return mux
 }
 
+// limit is the backpressure middleware: each query or update occupies one
+// in-flight slot for its duration; when every slot is taken the request is
+// turned away immediately with 429 and a Retry-After hint, so a traffic
+// flood degrades into cheap rejections instead of piling goroutines onto
+// saturated site connections. /stats, /flush and /healthz stay exempt —
+// an operator must be able to look at a saturated gateway.
+func (g *gateway) limit(h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		select {
+		case g.sem <- struct{}{}:
+			defer func() { <-g.sem }()
+			h(w, r)
+		default:
+			g.rejected.Add(1)
+			w.Header().Set("Retry-After", "1")
+			writeJSON(w, http.StatusTooManyRequests, errorResponse{Error: "gateway saturated; retry later"})
+		}
+	}
+}
+
+// noteEpoch keeps the gateway's view of the deployment epoch fresh from
+// whatever wire traffic happens to flow (queries and updates both carry
+// it).
+func (g *gateway) noteEpoch(epoch uint64) {
+	for {
+		cur := g.epoch.Load()
+		if epoch <= cur || g.epoch.CompareAndSwap(cur, epoch) {
+			return
+		}
+	}
+}
+
 // wireCtx derives the context for one request's wire round trips,
 // applying the gateway's per-request deadline when configured.
 func (g *gateway) wireCtx(r *http.Request) (context.Context, context.CancelFunc) {
-	if g.timeout <= 0 {
+	if g.opts.timeout <= 0 {
 		return r.Context(), func() {}
 	}
-	return context.WithTimeout(r.Context(), g.timeout)
+	return context.WithTimeout(r.Context(), g.opts.timeout)
 }
 
 // wireError maps a failed wire round to an HTTP status: 504 when the
 // gateway's deadline expired (a stalled site must not hang the client),
-// 502 for everything else.
-func wireError(w http.ResponseWriter, err error) {
+// 503 + Retry-After for an epoch split (an out-of-sync replica — e.g. a
+// site restarted from its original files after rebalances; the gateway
+// kicks off a re-sync rebalance in the background, so retries succeed
+// once every replica reaches the fresh epoch), 502 for everything else.
+func (g *gateway) wireError(w http.ResponseWriter, err error) {
 	status := http.StatusBadGateway
-	if errors.Is(err, context.DeadlineExceeded) {
+	switch {
+	case errors.Is(err, context.DeadlineExceeded):
 		status = http.StatusGatewayTimeout
+	case errors.Is(err, netsite.ErrEpochSplit):
+		status = http.StatusServiceUnavailable
+		w.Header().Set("Retry-After", "1")
+		go g.rebalance()
 	}
 	writeJSON(w, status, errorResponse{Error: err.Error()})
 }
@@ -153,9 +233,10 @@ func (g *gateway) handleReach(w http.ResponseWriter, r *http.Request) {
 	defer cancel()
 	answer, st, err := g.co.ReachContext(ctx, s, t)
 	if err != nil {
-		wireError(w, err)
+		g.wireError(w, err)
 		return
 	}
+	g.noteEpoch(st.Epoch)
 	ans := cachedAnswer{Answer: answer}
 	g.cache.PutIfGeneration(key, ans, epoch, st.Touched)
 	g.respond(w, query, ans, false, st)
@@ -181,9 +262,10 @@ func (g *gateway) handleReachWithin(w http.ResponseWriter, r *http.Request) {
 	defer cancel()
 	answer, dist, st, err := g.co.ReachWithinContext(ctx, s, t, l)
 	if err != nil {
-		wireError(w, err)
+		g.wireError(w, err)
 		return
 	}
+	g.noteEpoch(st.Epoch)
 	// The distance is exact only when within the bound; otherwise it is the
 	// solver's infinity sentinel, which callers should not see.
 	ans := cachedAnswer{Answer: answer, Dist: dist, HasDist: answer}
@@ -216,9 +298,10 @@ func (g *gateway) handleReachRegex(w http.ResponseWriter, r *http.Request) {
 	defer cancel()
 	answer, st, err := g.co.ReachRegexContext(ctx, s, t, a)
 	if err != nil {
-		wireError(w, err)
+		g.wireError(w, err)
 		return
 	}
+	g.noteEpoch(st.Epoch)
 	ans := cachedAnswer{Answer: answer}
 	g.cache.PutIfGeneration(key, ans, epoch, st.Touched)
 	g.respond(w, query, ans, false, st)
@@ -373,9 +456,10 @@ func (g *gateway) handleBatch(w http.ResponseWriter, r *http.Request) {
 		defer cancel()
 		res, st, err := g.co.BatchContext(ctx, wireQs)
 		if err != nil {
-			wireError(w, err)
+			g.wireError(w, err)
 			return
 		}
+		g.noteEpoch(st.Epoch)
 		for _, p := range pend {
 			ans := cachedAnswer{Answer: res[p.slot].Answer}
 			if p.dist {
@@ -394,60 +478,140 @@ func (g *gateway) handleBatch(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, batchResponseJSON{Answers: answers, Misses: len(wireQs), Wire: wj})
 }
 
-// updateRequestJSON is the body of POST /update: one edge operation.
+// updateOpJSON is one mutation of a POST /update batch. Op selects the
+// kind and which fields apply: "insert"/"delete" (edge: u, v),
+// "insertnode" (label, optional frag) or "deletenode" (u).
+type updateOpJSON struct {
+	Op    string  `json:"op"`
+	U     *uint32 `json:"u,omitempty"`
+	V     *uint32 `json:"v,omitempty"`
+	Label string  `json:"label,omitempty"`
+	Frag  *int    `json:"frag,omitempty"`
+}
+
+// updateRequestJSON is the body of POST /update: either the legacy
+// single-edge form (op/u/v at the top level) or a transactional batch in
+// "ops" — one wire frame, one write lock, one unioned dirty set.
 type updateRequestJSON struct {
-	Op string  `json:"op"` // "insert" | "delete"
-	U  *uint32 `json:"u"`
-	V  *uint32 `json:"v"`
+	updateOpJSON
+	Ops []updateOpJSON `json:"ops,omitempty"`
 }
 
-// updateResponseJSON reports the effect of one edge update: whether the
-// graph changed, which fragments were dirtied, and how many cached
-// answers that evicted (entries whose evaluation touched none of the
-// dirtied fragments keep serving hits).
+// maxUpdateOps bounds one POST /update batch.
+const maxUpdateOps = 1024
+
+// balanceJSON mirrors fragment.BalanceStats for /update, /rebalance and
+// /stats responses.
+type balanceJSON struct {
+	Fragments  int     `json:"fragments"`
+	MaxSize    int     `json:"max_size"`
+	MinSize    int     `json:"min_size"`
+	MeanSize   float64 `json:"mean_size"`
+	Skew       float64 `json:"skew"`
+	Vf         int     `json:"vf"`
+	CrossEdges int     `json:"cross_edges"`
+	Epoch      uint64  `json:"epoch"`
+}
+
+func toBalanceJSON(bs fragment.BalanceStats) *balanceJSON {
+	return &balanceJSON{
+		Fragments:  bs.Fragments,
+		MaxSize:    bs.MaxSize,
+		MinSize:    bs.MinSize,
+		MeanSize:   bs.MeanSize(),
+		Skew:       bs.Skew(),
+		Vf:         bs.Vf,
+		CrossEdges: bs.CrossEdges,
+		Epoch:      bs.Epoch,
+	}
+}
+
+// updateResponseJSON reports the effect of one update batch: whether the
+// graph changed, which fragments were dirtied, the IDs handed to inserted
+// nodes, how many cached answers were evicted (entries whose evaluation
+// touched none of the dirtied fragments keep serving hits), and the
+// post-update balance of the deployment.
 type updateResponseJSON struct {
-	Changed bool      `json:"changed"`
-	Dirty   []int     `json:"dirty"`
-	Evicted int       `json:"evicted"`
-	Wire    *wireJSON `json:"wire"`
+	Changed bool         `json:"changed"`
+	Dirty   []int        `json:"dirty"`
+	NewIDs  []uint32     `json:"new_ids,omitempty"`
+	Evicted int          `json:"evicted"`
+	Balance *balanceJSON `json:"balance,omitempty"`
+	Wire    *wireJSON    `json:"wire"`
 }
 
-// handleUpdate serves POST /update: it routes the edge operation to the
-// sites, then evicts exactly the cached answers whose evaluation touched a
-// dirtied fragment — the per-fragment invalidation that replaces a
-// wholesale flush on live graphs.
+// parseUpdateOps converts the JSON body into wire ops.
+func parseUpdateOps(req updateRequestJSON) ([]netsite.Op, error) {
+	raw := req.Ops
+	if len(raw) == 0 {
+		raw = []updateOpJSON{req.updateOpJSON}
+	}
+	if len(raw) > maxUpdateOps {
+		return nil, fmt.Errorf("update: %d ops exceeds the limit of %d", len(raw), maxUpdateOps)
+	}
+	ops := make([]netsite.Op, 0, len(raw))
+	for i, o := range raw {
+		switch o.Op {
+		case "insert", "delete":
+			if o.U == nil || o.V == nil {
+				return nil, fmt.Errorf("update op %d: %s needs numeric u and v", i, o.Op)
+			}
+			kind := netsite.OpInsertEdge
+			if o.Op == "delete" {
+				kind = netsite.OpDeleteEdge
+			}
+			ops = append(ops, netsite.Op{Kind: kind, U: graph.NodeID(*o.U), V: graph.NodeID(*o.V)})
+		case "insertnode":
+			frag := -1
+			if o.Frag != nil {
+				frag = *o.Frag
+			}
+			ops = append(ops, netsite.Op{Kind: netsite.OpInsertNode, Label: o.Label, Frag: frag})
+		case "deletenode":
+			if o.U == nil {
+				return nil, fmt.Errorf("update op %d: deletenode needs numeric u", i)
+			}
+			ops = append(ops, netsite.Op{Kind: netsite.OpDeleteNode, U: graph.NodeID(*o.U)})
+		default:
+			return nil, fmt.Errorf("update op %d: unknown op %q (want insert, delete, insertnode or deletenode)", i, o.Op)
+		}
+	}
+	return ops, nil
+}
+
+// handleUpdate serves POST /update: it routes the mutation batch to the
+// sites as one transactional frame, evicts exactly the cached answers
+// whose evaluation touched a dirtied fragment — the per-fragment
+// invalidation that replaces a wholesale flush on live graphs — and, when
+// the reply's balance stats cross the configured skew threshold, kicks
+// off an automatic rebalance in the background.
 func (g *gateway) handleUpdate(w http.ResponseWriter, r *http.Request) {
 	var req updateRequestJSON
-	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 4096)).Decode(&req); err != nil {
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20)).Decode(&req); err != nil {
 		badRequest(w, "update: malformed JSON: "+err.Error())
 		return
 	}
-	var op netsite.UpdateOp
-	switch req.Op {
-	case "insert":
-		op = netsite.UpdateInsert
-	case "delete":
-		op = netsite.UpdateDelete
-	default:
-		badRequest(w, fmt.Sprintf("update: unknown op %q (want insert or delete)", req.Op))
-		return
-	}
-	if req.U == nil || req.V == nil {
-		badRequest(w, "update: needs numeric u and v")
+	ops, err := parseUpdateOps(req)
+	if err != nil {
+		badRequest(w, err.Error())
 		return
 	}
 	g.updates.Add(1)
 	ctx, cancel := g.wireCtx(r)
 	defer cancel()
-	res, st, err := g.co.UpdateContext(ctx, op, graph.NodeID(*req.U), graph.NodeID(*req.V))
+	res, st, err := g.co.ApplyContext(ctx, ops)
 	if err != nil {
 		// The update frame may already have reached (some) sites before the
 		// round failed or timed out, so the cache can no longer be trusted:
 		// flush conservatively rather than serve pre-update answers forever.
 		g.cache.Flush()
-		wireError(w, err)
+		g.wireError(w, err)
 		return
 	}
+	g.noteEpoch(res.Epoch)
+	g.statsMu.Lock()
+	g.lastStats = res.Stats
+	g.statsMu.Unlock()
 	evicted := 0
 	if res.Changed {
 		evicted = g.cache.EvictFragments(res.Dirty)
@@ -456,20 +620,128 @@ func (g *gateway) handleUpdate(w http.ResponseWriter, r *http.Request) {
 	if dirty == nil {
 		dirty = []int{}
 	}
+	newIDs := make([]uint32, 0, len(res.NewIDs))
+	for _, id := range res.NewIDs {
+		newIDs = append(newIDs, uint32(id))
+	}
 	writeJSON(w, http.StatusOK, updateResponseJSON{
 		Changed: res.Changed,
 		Dirty:   dirty,
+		NewIDs:  newIDs,
 		Evicted: evicted,
+		Balance: toBalanceJSON(res.Stats),
 		Wire:    toWireJSON(st),
+	})
+	// Auto-rebalance: the update reply carried the deployment's balance
+	// for free; if churn has skewed it past the threshold, restore the
+	// paper's |Fm|/|Vf| parameters in the background (single-flight).
+	if g.opts.skew > 0 && res.Stats.Skew() >= g.opts.skew {
+		go g.rebalance()
+	}
+}
+
+// rebalanceResponseJSON reports a rebalance round.
+type rebalanceResponseJSON struct {
+	Rebalanced bool         `json:"rebalanced"`
+	Epoch      uint64       `json:"epoch"`
+	Balance    *balanceJSON `json:"balance"`
+}
+
+// errRebalanceInFlight reports that another rebalance round is already
+// running; the caller's intent is being served by it.
+var errRebalanceInFlight = errors.New("rebalance already in flight")
+
+// rebalance runs one re-fragmentation round (single-flight: concurrent
+// triggers collapse into one) and flushes the answer cache — fragment IDs
+// mean different things across epochs, so per-fragment eviction cannot
+// carry over; the generation bump stops in-flight rounds from
+// resurrecting pre-rebalance answers.
+func (g *gateway) rebalance() (netsite.RebalanceResult, error) {
+	if !g.rebalancing.CompareAndSwap(false, true) {
+		return netsite.RebalanceResult{}, errRebalanceInFlight
+	}
+	defer g.rebalancing.Store(false)
+	// A rebuild of a large deployment outlives any per-query deadline;
+	// give the round its own generous budget.
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+	var res netsite.RebalanceResult
+	var err error
+	for attempt := 0; attempt < 3; attempt++ {
+		epoch := g.epoch.Load() + 1
+		res, _, err = g.co.RebalanceContext(ctx, epoch, g.opts.partitioner, g.opts.seed+epoch)
+		if err != nil {
+			if errors.Is(err, netsite.ErrReplicaDiverged) {
+				// The epoch may not have been fresh for every replica (one
+				// kept an older build instead of rebuilding). Sync to the
+				// highest epoch the replies reported and force a strictly
+				// higher one where everyone rebuilds: if the fingerprints
+				// still differ then, the divergence is real — a replica's
+				// graph state is stale and needs re-seeding.
+				g.noteEpoch(epoch)
+				g.noteEpoch(res.Epoch)
+				continue
+			}
+			return res, err
+		}
+		g.noteEpoch(res.Epoch)
+		if res.Applied {
+			g.cache.Flush()
+			g.rebalances.Add(1)
+			g.statsMu.Lock()
+			g.lastStats = res.Stats
+			g.statsMu.Unlock()
+			return res, nil
+		}
+		// The deployment was already past the requested epoch (another
+		// gateway rebalanced): sync and try once more.
+	}
+	return res, err
+}
+
+// handleRebalance serves POST /rebalance: the manual trigger for the same
+// re-fragmentation the skew threshold fires automatically. Colliding with
+// an in-flight round is not a failure — the deployment is rebalancing as
+// asked — so that maps to 409 + Retry-After rather than a gateway error.
+func (g *gateway) handleRebalance(w http.ResponseWriter, r *http.Request) {
+	res, err := g.rebalance()
+	if errors.Is(err, errRebalanceInFlight) {
+		w.Header().Set("Retry-After", "1")
+		writeJSON(w, http.StatusConflict, errorResponse{Error: err.Error()})
+		return
+	}
+	if err != nil {
+		g.wireError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, rebalanceResponseJSON{
+		Rebalanced: res.Applied,
+		Epoch:      res.Epoch,
+		Balance:    toBalanceJSON(res.Stats),
 	})
 }
 
 func (g *gateway) handleStats(w http.ResponseWriter, r *http.Request) {
 	hits, misses := g.cache.Stats()
+	g.statsMu.Lock()
+	last := g.lastStats
+	g.statsMu.Unlock()
+	var balance *balanceJSON
+	if last.Fragments > 0 {
+		balance = toBalanceJSON(last)
+	}
 	writeJSON(w, http.StatusOK, map[string]any{
 		"queries":        g.queries.Load(),
 		"updates":        g.updates.Load(),
+		"epoch":          g.epoch.Load(),
+		"rebalances":     g.rebalances.Load(),
 		"uptime_seconds": int64(time.Since(g.started).Seconds()),
+		"backpressure": map[string]any{
+			"max_inflight": cap(g.sem),
+			"inflight":     len(g.sem),
+			"rejected":     g.rejected.Load(),
+		},
+		"balance": balance,
 		"cache": map[string]any{
 			"hits":      hits,
 			"misses":    misses,

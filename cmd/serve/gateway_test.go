@@ -37,7 +37,7 @@ func testGatewayOpts(t *testing.T, o netsite.SiteOptions) (*gateway, *graph.Grap
 	if err != nil {
 		t.Fatal(err)
 	}
-	gw := newGateway(co, 128, 0)
+	gw := newGateway(co, gwOptions{cacheCap: 128})
 	srv := httptest.NewServer(gw.routes())
 	t.Cleanup(func() {
 		srv.Close()
@@ -405,7 +405,7 @@ func precisionGateway(t *testing.T) (*gateway, *httptest.Server) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	gw := newGateway(co, 128, 0)
+	gw := newGateway(co, gwOptions{cacheCap: 128})
 	srv := httptest.NewServer(gw.routes())
 	t.Cleanup(func() {
 		srv.Close()
@@ -555,7 +555,7 @@ func TestGatewayRequestTimeout(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	gw := newGateway(co, 128, 50*time.Millisecond)
+	gw := newGateway(co, gwOptions{cacheCap: 128, timeout: 50 * time.Millisecond})
 	srv := httptest.NewServer(gw.routes())
 	defer func() {
 		srv.Close()
@@ -599,7 +599,7 @@ func TestGatewayFailedUpdateFlushesCache(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	gw := newGateway(co, 128, 0)
+	gw := newGateway(co, gwOptions{cacheCap: 128})
 	srv := httptest.NewServer(gw.routes())
 	defer func() {
 		srv.Close()

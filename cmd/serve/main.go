@@ -15,8 +15,11 @@
 //	GET  /reachwithin?s=0&t=99&l=6 qbr(s,t,l)
 //	GET  /reachregex?s=0&t=99&r=A(B|C)*  qrr(s,t,R) (URL-encode r)
 //	POST /batch                    many queries, one wire frame per site
-//	POST /update                   live edge insert/delete: {"op":"insert","u":0,"v":99}
-//	GET  /stats                    queries served, cache hits/misses
+//	POST /update                   live mutations: {"op":"insert","u":0,"v":99}
+//	                               or a transactional batch {"ops":[...]} of
+//	                               insert|delete|insertnode|deletenode
+//	POST /rebalance                live re-fragmentation (zero-downtime epoch switch)
+//	GET  /stats                    queries served, cache hits/misses, balance, epoch
 //	POST /flush                    invalidate the answer cache wholesale
 //	GET  /healthz                  liveness
 //
@@ -24,10 +27,17 @@
 // never go stale; under live updates (POST /update) the gateway evicts
 // exactly the cached answers whose evaluation touched a dirtied fragment,
 // so the rest keep serving hits. POST /flush (or redeploying) still
-// invalidates wholesale when the graph is swapped entirely.
+// invalidates wholesale when the graph is swapped entirely, and a
+// rebalance flushes by generation (fragment IDs change meaning across
+// epochs).
 //
 // -timeout applies a per-request deadline to the wire round trips: a
 // stalled site turns into a prompt 504 instead of a hung client.
+// -maxinflight bounds concurrent requests; excess traffic gets 429 +
+// Retry-After instead of queueing. -skew S makes the gateway
+// self-rebalancing: every update reply carries the deployment's balance
+// stats, and when max/mean fragment size crosses S a background
+// re-fragmentation (strategy: -rebalancepartition) restores it.
 package main
 
 import (
@@ -50,11 +60,14 @@ func main() {
 		sites     = flag.String("sites", "", "comma-separated site addresses (dial a running deployment)")
 		graphPath = flag.String("graph", "", "graph file for self-contained mode (format of cmd/gengraph)")
 		k         = flag.Int("k", 4, "fragment count (self-contained mode)")
-		partition = flag.String("partition", "random", "partitioner: random | hash | contiguous | greedy")
+		partition = flag.String("partition", "random", "partitioner: random | hash | contiguous | greedy | edgecut")
 		seed      = flag.Uint64("seed", 1, "partitioner seed")
 		cacheCap  = flag.Int("cache", 4096, "answer cache capacity (entries)")
 		dialTO    = flag.Duration("dialtimeout", 3*time.Second, "site dial timeout")
 		reqTO     = flag.Duration("timeout", 0, "per-request wire deadline (0 = none); expiry returns 504")
+		inflight  = flag.Int("maxinflight", 0, "backpressure: max concurrent query/update requests (0 = default 1024); excess gets 429")
+		skew      = flag.Float64("skew", 0, "auto-rebalance when max/mean fragment size crosses this (0 = manual /rebalance only; try 2.0)")
+		rebPart   = flag.String("rebalancepartition", "edgecut", "partitioner used by /rebalance and auto-rebalance")
 	)
 	flag.Parse()
 
@@ -91,8 +104,16 @@ func main() {
 		}
 	}()
 
-	gw := newGateway(co, *cacheCap, *reqTO)
-	fmt.Printf("serve: gateway on http://%s (cache %d entries, request timeout %v)\n", *listen, *cacheCap, *reqTO)
+	gw := newGateway(co, gwOptions{
+		cacheCap:    *cacheCap,
+		timeout:     *reqTO,
+		maxInflight: *inflight,
+		skew:        *skew,
+		partitioner: *rebPart,
+		seed:        *seed,
+	})
+	fmt.Printf("serve: gateway on http://%s (cache %d entries, request timeout %v, max in-flight %d, skew threshold %.1f)\n",
+		*listen, *cacheCap, *reqTO, cap(gw.sem), *skew)
 	if err := http.ListenAndServe(*listen, gw.routes()); err != nil {
 		fatal(err)
 	}
@@ -120,6 +141,8 @@ func selfDeploy(graphPath, partition string, k int, seed uint64) ([]*netsite.Sit
 		fr, err = distreach.PartitionContiguous(g, k)
 	case "greedy":
 		fr, err = distreach.PartitionGreedy(g, k, seed)
+	case "edgecut":
+		fr, err = distreach.PartitionEdgeCut(g, k, seed)
 	default:
 		err = fmt.Errorf("unknown partitioner %q", partition)
 	}

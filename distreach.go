@@ -86,6 +86,49 @@ func PartitionGreedy(g *Graph, k int, seed uint64) (*Fragmentation, error) {
 	return fragment.Greedy(g, k, seed)
 }
 
+// PartitionEdgeCut partitions g into k fragments with the balance-aware
+// greedy edge-cut (LDG) strategy: each node goes to the fragment holding
+// most of its neighbors, discounted by how full that fragment is. It
+// minimizes both |Fm| and |Vf| — the two parameters of the paper's
+// guarantees — and is the strategy live rebalancing uses by default.
+func PartitionEdgeCut(g *Graph, k int, seed uint64) (*Fragmentation, error) {
+	return fragment.EdgeCut(g, k, seed)
+}
+
+// Partitioner chooses node-to-fragment assignments; see the fragment
+// package for the built-in strategies and PartitionerByName.
+type Partitioner = fragment.Partitioner
+
+// PartitionerByName resolves a partitioner from its textual name
+// ("random", "hash", "contiguous", "greedy", "edgecut").
+func PartitionerByName(name string, seed uint64) (Partitioner, error) {
+	return fragment.ByName(name, seed)
+}
+
+// PartitionBy fragments g with an explicit partitioner and attaches it to
+// the result, so live node insertions and rebalances reuse the strategy.
+func PartitionBy(g *Graph, p Partitioner, k int) (*Fragmentation, error) {
+	return fragment.Partition(g, p, k)
+}
+
+// BalanceStats summarizes a fragmentation's health: largest/mean fragment
+// size (local work), |Vf| and cross edges (network traffic), and the Skew
+// that triggers rebalancing. Obtain it from Fragmentation.BalanceStats or
+// from every live-update reply.
+type BalanceStats = fragment.BalanceStats
+
+// Op is one mutation of a transactional update batch: an edge insert or
+// delete, a node insert, or a node delete.
+type Op = fragment.Op
+
+// The mutation kinds of Op.
+const (
+	OpInsertEdge = fragment.OpInsertEdge
+	OpDeleteEdge = fragment.OpDeleteEdge
+	OpInsertNode = fragment.OpInsertNode
+	OpDeleteNode = fragment.OpDeleteNode
+)
+
 // PartitionWith builds a fragmentation from an explicit node-to-fragment
 // assignment (assign[v] in [0, k) is the site storing node v). The paper
 // places no constraints on fragmentations, so any assignment is legal.
@@ -248,9 +291,14 @@ const (
 	UpdateDelete = netsite.UpdateDelete
 )
 
-// UpdateResult reports the effect of one live edge update: whether the
-// graph changed and which fragments were dirtied.
+// UpdateResult reports the effect of one live update batch: whether the
+// graph changed, which fragments were dirtied, the IDs of inserted nodes,
+// and the post-update balance stats.
 type UpdateResult = netsite.UpdateResult
+
+// RebalanceResult reports the outcome of a live re-fragmentation
+// (Coordinator.Rebalance): the epoch reached and the new balance.
+type RebalanceResult = netsite.RebalanceResult
 
 // ReachRegexMR evaluates qrr(s, t, R) with the MapReduce algorithm MRdRPQ:
 // the graph is partitioned into `mappers` fragments, each mapper runs local

@@ -96,6 +96,10 @@ func (se *Session) Reach(s, t graph.NodeID) Result {
 	// Source equation: only s's site works, and only when s is not already
 	// an in-node (in-node equations are in the cached rvset).
 	owner := se.fr.Owner(s)
+	if owner < 0 {
+		// s was deleted: nothing reaches anywhere from a tombstone.
+		return Result{Answer: false, Report: run.Finish()}
+	}
 	f := frags[owner]
 	var srcEq *ReachPartial
 	ls, _ := f.Local(s)
@@ -147,6 +151,41 @@ func (se *Session) DeleteEdge(u, v graph.NodeID) (dirty []int, changed bool, err
 	dirty, changed, err = se.fr.DeleteEdge(u, v)
 	se.invalidateAll(dirty)
 	return dirty, changed, err
+}
+
+// InsertNode adds a node carrying label (placed by the fragmentation's
+// partitioner) and invalidates the receiving fragment's cached rvsets.
+func (se *Session) InsertNode(label string) (graph.NodeID, []int, error) {
+	id, dirty, err := se.fr.InsertNode(label, -1)
+	se.invalidateAll(dirty)
+	return id, dirty, err
+}
+
+// DeleteNode removes node v, cascading to its incident edges, and
+// invalidates every dirtied fragment's cached rvsets. Cached targets that
+// mention v recompute against the node-less graph on their next query.
+func (se *Session) DeleteNode(v graph.NodeID) (dirty []int, changed bool, err error) {
+	dirty, changed, err = se.fr.DeleteNode(v)
+	se.invalidateAll(dirty)
+	se.mu.Lock()
+	delete(se.cache, v) // a deleted target's rvsets are meaningless now
+	se.mu.Unlock()
+	return dirty, changed, err
+}
+
+// Apply runs a transactional mutation batch (fragment.Op) through the
+// session, invalidating the union of dirtied fragments once.
+func (se *Session) Apply(ops []fragment.Op) (fragment.ApplyResult, error) {
+	res, err := se.fr.Apply(ops)
+	se.invalidateAll(res.Dirty)
+	for _, op := range ops {
+		if op.Kind == fragment.OpDeleteNode {
+			se.mu.Lock()
+			delete(se.cache, op.U)
+			se.mu.Unlock()
+		}
+	}
+	return res, err
 }
 
 func (se *Session) invalidateAll(dirty []int) {

@@ -20,6 +20,7 @@ func init() {
 	register("N2", tcpConcurrency)
 	register("N3", tcpBatching)
 	register("N4", churnEviction)
+	register("N5", skewRebalance)
 }
 
 // tcpCrossCheck validates the in-process simulation against the real TCP
@@ -368,5 +369,134 @@ func churnEviction(cfg Config) (Table, error) {
 			})
 		}
 	}
+	return t, nil
+}
+
+// skewRebalance charts the tentpole of the online-rebalancing work: a
+// community graph starts well partitioned, sustained skewed churn (hot-
+// block edge inserts plus node inserts that attach to the hot block)
+// degrades the fragmentation parameters the paper's guarantees depend on
+// — |Fm| bloats, |Vf| and cross edges multiply — and per-query wire cost
+// degrades with them. One live rebalance (epoch switch under traffic,
+// balance-aware edge-cut partitioner) snaps both the parameters and the
+// query cost back to within a fresh build's ballpark.
+func skewRebalance(cfg Config) (Table, error) {
+	t := Table{
+		ID:     "N5",
+		Title:  "Serving N5: query cost under skewed churn, before and after live rebalance",
+		Header: []string{"phase", "|Fm|", "skew", "|Vf|", "cross edges", "wire B/query", "frames/query", "round trip/query"},
+		Notes: "SBM community graph served over TCP (2ms emulated site service time), partitioned with the same edgecut strategy a real deployment would use. " +
+			"The churn phase inserts hot-block edges and new nodes wired into the hot block; every query phase replays the same " +
+			"mixed workload. The rebalance is the live epoch switch (queries keep flowing) with the edgecut (LDG) partitioner; " +
+			"the last row rebuilds from scratch over the same mutated graph as the reference the 1.5x acceptance bound compares against.",
+	}
+	const blocks = 6
+	size := cfg.scale(250)
+	g := gen.Communities(gen.CommunitiesConfig{Communities: blocks, Size: size, InDegree: 4, Seed: 21})
+	fr, err := fragment.EdgeCut(g, blocks, 21)
+	if err != nil {
+		return t, err
+	}
+	sites, addrs, err := netsite.ServeFragmentationOpts(fr, netsite.SiteOptions{Delay: 2 * time.Millisecond})
+	if err != nil {
+		return t, err
+	}
+	defer func() {
+		for _, s := range sites {
+			s.Close()
+		}
+	}()
+	co, err := netsite.Dial(addrs, 3*time.Second)
+	if err != nil {
+		return t, err
+	}
+	defer co.Close()
+
+	queries := cfg.queries(25) * 4
+	rng := gen.NewRNG(22)
+	qs := make([]core.Query, queries)
+	n := g.NumNodes()
+	for i := range qs {
+		qs[i] = core.Query{S: graph.NodeID(rng.Intn(n)), T: graph.NodeID(rng.Intn(n))}
+		if qs[i].S == qs[i].T {
+			qs[i].T = (qs[i].T + 1) % graph.NodeID(n)
+		}
+	}
+	measure := func(phase string, bs fragment.BalanceStats) error {
+		var bytes, frames int64
+		var rt time.Duration
+		for _, q := range qs {
+			_, st, err := co.Reach(q.S, q.T)
+			if err != nil {
+				return err
+			}
+			bytes += st.BytesSent + st.BytesReceived
+			frames += st.FramesSent + st.FramesReceived
+			rt += st.RoundTrip
+		}
+		t.Rows = append(t.Rows, []string{
+			phase, fmt.Sprint(bs.MaxSize), fmt.Sprintf("%.2f", bs.Skew()),
+			fmt.Sprint(bs.Vf), fmt.Sprint(bs.CrossEdges),
+			fmt.Sprint(bytes / int64(len(qs))),
+			fmt.Sprintf("%.1f", float64(frames)/float64(len(qs))),
+			fmt.Sprint((rt / time.Duration(len(qs))).Round(time.Microsecond)),
+		})
+		return nil
+	}
+
+	if err := measure("fresh", fr.BalanceStats()); err != nil {
+		return t, err
+	}
+
+	// Skewed churn: every round adds hot-block edges and one new node
+	// wired into the hot block (its balance-aware placement lands it on a
+	// cold fragment, so each attachment is a cross edge).
+	cfg.logf("N5: skewed churn")
+	churnRounds := cfg.scale(150)
+	var churned fragment.BalanceStats
+	crng := gen.NewRNG(23)
+	hot := func() graph.NodeID { return graph.NodeID(crng.Intn(size)) }
+	for i := 0; i < churnRounds; i++ {
+		res, _, err := co.Apply([]netsite.Op{
+			{Kind: netsite.OpInsertEdge, U: hot(), V: hot()},
+			{Kind: netsite.OpInsertEdge, U: hot(), V: hot()},
+			{Kind: netsite.OpInsertNode, Label: "A", Frag: -1},
+		})
+		if err != nil {
+			return t, err
+		}
+		if _, _, err := co.Apply([]netsite.Op{
+			{Kind: netsite.OpInsertEdge, U: hot(), V: res.NewIDs[0]},
+			{Kind: netsite.OpInsertEdge, U: res.NewIDs[0], V: hot()},
+		}); err != nil {
+			return t, err
+		}
+		churned = res.Stats
+	}
+	if err := measure("after skewed churn", churned); err != nil {
+		return t, err
+	}
+
+	// Live rebalance: the epoch switch happens under whatever traffic is
+	// flowing; here the measurement traffic follows it immediately.
+	cfg.logf("N5: rebalancing")
+	reb, _, err := co.Rebalance(1, "edgecut", 24)
+	if err != nil {
+		return t, err
+	}
+	if err := measure("after rebalance", reb.Stats); err != nil {
+		return t, err
+	}
+
+	// Reference: a from-scratch edge-cut build over the same mutated graph.
+	ref, err := fragment.EdgeCut(g, blocks, 25)
+	if err != nil {
+		return t, err
+	}
+	rs := ref.BalanceStats()
+	t.Rows = append(t.Rows, []string{
+		"fresh rebuild (reference)", fmt.Sprint(rs.MaxSize), fmt.Sprintf("%.2f", rs.Skew()),
+		fmt.Sprint(rs.Vf), fmt.Sprint(rs.CrossEdges), "-", "-", "-",
+	})
 	return t, nil
 }

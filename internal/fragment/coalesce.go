@@ -23,7 +23,11 @@ func Coalesce(fr *Fragmentation, placement []int, sites int) (*Fragmentation, er
 	g := fr.Graph()
 	assign := make([]int, g.NumNodes())
 	for v := range assign {
-		p := placement[fr.Owner(graph.NodeID(v))]
+		o := fr.Owner(graph.NodeID(v))
+		if o < 0 {
+			continue // tombstone: Build ignores its assignment
+		}
+		p := placement[o]
 		if p < 0 || p >= sites {
 			return nil, fmt.Errorf("fragment: placement %d out of range [0,%d)", p, sites)
 		}

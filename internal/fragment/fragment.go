@@ -35,12 +35,33 @@ type Fragmentation struct {
 	mu    sync.RWMutex
 	g     *graph.Graph
 	frags []*Fragment
-	owner []int32 // node -> fragment index
+	owner []int32 // node -> fragment index; -1 for tombstoned nodes
 
 	// Fragment graph Gf summary: all cross edges (u, v) where u and v live
 	// in different fragments. CrossEdges is also the edge set of Gf.
 	crossEdges int
 	vf         int // |Vf|: number of distinct in-nodes plus virtual-node originals
+
+	// part chooses the placement of live-inserted nodes and is reused by
+	// rebalances; nil falls back to least-loaded placement.
+	part Partitioner
+}
+
+// SetPartitioner attaches the strategy that placed this fragmentation, so
+// live node insertions and rebalances reuse it. Partition sets it
+// automatically; fragmentations built from a raw assignment (Build,
+// fragment.Read) default to balance-only placement.
+func (fr *Fragmentation) SetPartitioner(p Partitioner) {
+	fr.mu.Lock()
+	fr.part = p
+	fr.mu.Unlock()
+}
+
+// Partitioner reports the attached strategy (nil when none was set).
+func (fr *Fragmentation) Partitioner() Partitioner {
+	fr.mu.RLock()
+	defer fr.mu.RUnlock()
+	return fr.part
 }
 
 // RLock takes the fragmentation's read lock: queries evaluated concurrently
@@ -163,7 +184,8 @@ func (fr *Fragmentation) Fragments() []*Fragment { return fr.frags }
 // Card reports card(F), the number of fragments.
 func (fr *Fragmentation) Card() int { return len(fr.frags) }
 
-// Owner reports the index of the fragment that stores node v.
+// Owner reports the index of the fragment that stores node v, or -1 when
+// v is a tombstone left by DeleteNode.
 func (fr *Fragmentation) Owner(v graph.NodeID) int { return int(fr.owner[v]) }
 
 // CrossEdges reports the number of edges crossing fragments (|Ef|).
@@ -204,6 +226,10 @@ func Build(g *graph.Graph, assign []int, k int) (*Fragmentation, error) {
 	}
 	owner := make([]int32, len(assign))
 	for v, fi := range assign {
+		if g.Deleted(graph.NodeID(v)) {
+			owner[v] = -1 // tombstone: stored nowhere, assignment ignored
+			continue
+		}
 		if fi < 0 || fi >= k {
 			return nil, fmt.Errorf("fragment: node %d assigned to fragment %d, want [0,%d)", v, fi, k)
 		}
@@ -216,6 +242,9 @@ func Build(g *graph.Graph, assign []int, k int) (*Fragmentation, error) {
 	// First pass: register real nodes in global ID order so local indices
 	// are deterministic.
 	for v := graph.NodeID(0); int(v) < g.NumNodes(); v++ {
+		if owner[v] < 0 {
+			continue
+		}
 		f := frags[owner[v]]
 		f.localOf[v] = int32(len(f.globalOf))
 		f.globalOf = append(f.globalOf, v)
@@ -312,8 +341,8 @@ func (fr *Fragmentation) Validate() error {
 			}
 		}
 	}
-	if totalLocal != g.NumNodes() {
-		return fmt.Errorf("fragment: fragments store %d nodes, graph has %d", totalLocal, g.NumNodes())
+	if totalLocal != g.NumLive() {
+		return fmt.Errorf("fragment: fragments store %d nodes, graph has %d live", totalLocal, g.NumLive())
 	}
 	// Edge coverage: every global edge appears exactly once across fragments.
 	edgeCount := 0

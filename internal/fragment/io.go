@@ -25,7 +25,11 @@ func Write(w io.Writer, fr *Fragmentation) error {
 	n := fr.Graph().NumNodes()
 	fmt.Fprintf(bw, "fragmentation %d %d\n", fr.Card(), n)
 	for v := 0; v < n; v++ {
-		fmt.Fprintf(bw, "%d\n", fr.Owner(graph.NodeID(v)))
+		o := fr.Owner(graph.NodeID(v))
+		if o < 0 {
+			o = 0 // tombstone: any in-range value; Build ignores it on reload
+		}
+		fmt.Fprintf(bw, "%d\n", o)
 	}
 	return bw.Flush()
 }

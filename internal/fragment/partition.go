@@ -1,6 +1,8 @@
 package fragment
 
 import (
+	"fmt"
+
 	"distreach/internal/gen"
 	"distreach/internal/graph"
 )
@@ -8,43 +10,139 @@ import (
 // Partitioning strategies. The paper randomly partitions its graphs ("we
 // randomly partitioned real-life and synthetic graphs G into a set F of
 // fragments") and stresses that the algorithms' guarantees hold no matter
-// how G is fragmented. We provide random (the paper's default), hash, and a
-// locality-aware greedy strategy so that the effect of |Vf| on traffic can
-// be studied (DESIGN.md ablation 3).
+// how G is fragmented. Every strategy implements the Partitioner
+// interface, so build-time fragmentation, node placement under live
+// insertion, and live re-fragmentation all go through one abstraction; the
+// original free functions (Random, Hash, ...) remain as wrappers.
 
-// Random partitions g into k fragments by assigning each node independently
-// and uniformly at random, then rebalancing so fragment sizes differ by at
-// most one node (matching the paper's size(F) = |G|/card(F) setup).
-func Random(g *graph.Graph, k int, seed uint64) (*Fragmentation, error) {
+// Partitioner chooses a node-to-fragment assignment. Implementations must
+// be deterministic for a given configuration and graph state: sites
+// holding independent replicas of a deployment re-run the same partitioner
+// during a live rebalance and must all arrive at the same fragmentation.
+type Partitioner interface {
+	// Name identifies the strategy (the form ByName accepts).
+	Name() string
+	// Assign maps every node of g to a fragment in [0, k). Entries for
+	// tombstoned (deleted) nodes are ignored by Build.
+	Assign(g *graph.Graph, k int) ([]int, error)
+	// Place picks the fragment for one newly inserted node, given the
+	// current per-fragment real-node counts. The node has no edges yet, so
+	// balance is the only signal; strategies with a structural placement
+	// rule (Hash) may use the node ID instead.
+	Place(v graph.NodeID, sizes []int) int
+}
+
+// Partition fragments g with the given partitioner and attaches the
+// partitioner to the result, so live node insertions and rebalances reuse
+// the same strategy.
+func Partition(g *graph.Graph, p Partitioner, k int) (*Fragmentation, error) {
+	assign, err := p.Assign(g, k)
+	if err != nil {
+		return nil, err
+	}
+	fr, err := Build(g, assign, k)
+	if err != nil {
+		return nil, err
+	}
+	fr.SetPartitioner(p)
+	return fr, nil
+}
+
+// ByName resolves a partitioner from its textual name ("random", "hash",
+// "contiguous", "greedy", "edgecut"); seed parameterizes the seeded
+// strategies. This is how CLI flags and rebalance wire frames select a
+// strategy.
+func ByName(name string, seed uint64) (Partitioner, error) {
+	switch name {
+	case "random":
+		return RandomPartitioner{Seed: seed}, nil
+	case "hash":
+		return HashPartitioner{}, nil
+	case "contiguous":
+		return ContiguousPartitioner{}, nil
+	case "greedy":
+		return GreedyPartitioner{Seed: seed}, nil
+	case "edgecut":
+		return EdgeCutPartitioner{Seed: seed}, nil
+	default:
+		return nil, fmt.Errorf("fragment: unknown partitioner %q (want random, hash, contiguous, greedy or edgecut)", name)
+	}
+}
+
+// leastLoaded is the default balance-aware placement: the fragment with
+// the fewest real nodes, lowest index on ties (deterministic across
+// replicas).
+func leastLoaded(sizes []int) int {
+	best := 0
+	for i := 1; i < len(sizes); i++ {
+		if sizes[i] < sizes[best] {
+			best = i
+		}
+	}
+	return best
+}
+
+// RandomPartitioner assigns each node uniformly at random, rebalanced so
+// fragment sizes differ by at most one node (the paper's size(F) =
+// |G|/card(F) setup).
+type RandomPartitioner struct{ Seed uint64 }
+
+// Name implements Partitioner.
+func (RandomPartitioner) Name() string { return "random" }
+
+// Assign implements Partitioner.
+func (p RandomPartitioner) Assign(g *graph.Graph, k int) ([]int, error) {
 	n := g.NumNodes()
-	rng := gen.NewRNG(seed)
+	rng := gen.NewRNG(p.Seed)
 	perm := rng.Perm(n)
 	assign := make([]int, n)
 	for i, v := range perm {
 		assign[v] = i % k // balanced random: permutation + round robin
 	}
-	return Build(g, assign, k)
+	return assign, nil
 }
 
-// Hash partitions g into k fragments by a deterministic hash of the node ID.
-// This mirrors the default placement of key/value stores and of Hadoop's
+// Place implements Partitioner.
+func (RandomPartitioner) Place(_ graph.NodeID, sizes []int) int { return leastLoaded(sizes) }
+
+// HashPartitioner assigns by a deterministic hash of the node ID,
+// mirroring the default placement of key/value stores and of Hadoop's
 // default partitioner (Section 6).
-func Hash(g *graph.Graph, k int) (*Fragmentation, error) {
+type HashPartitioner struct{}
+
+// Name implements Partitioner.
+func (HashPartitioner) Name() string { return "hash" }
+
+func hashNode(v graph.NodeID, k int) int {
+	h := uint64(v) * 0x9e3779b97f4a7c15
+	h ^= h >> 29
+	return int(h % uint64(k))
+}
+
+// Assign implements Partitioner.
+func (HashPartitioner) Assign(g *graph.Graph, k int) ([]int, error) {
 	n := g.NumNodes()
 	assign := make([]int, n)
 	for v := 0; v < n; v++ {
-		h := uint64(v) * 0x9e3779b97f4a7c15
-		h ^= h >> 29
-		assign[v] = int(h % uint64(k))
+		assign[v] = hashNode(graph.NodeID(v), k)
 	}
-	return Build(g, assign, k)
+	return assign, nil
 }
 
-// Contiguous partitions g into k fragments of consecutive node IDs (node v
-// goes to fragment v*k/n). Generators that emit locality-correlated IDs make
-// this a cheap locality-aware baseline; for arbitrary IDs it behaves like a
-// range partitioner.
-func Contiguous(g *graph.Graph, k int) (*Fragmentation, error) {
+// Place implements Partitioner: hash placement stays structural so a
+// node's fragment is a pure function of its ID.
+func (HashPartitioner) Place(v graph.NodeID, sizes []int) int { return hashNode(v, len(sizes)) }
+
+// ContiguousPartitioner assigns consecutive node IDs to the same fragment
+// (node v goes to fragment v*k/n). Generators that emit
+// locality-correlated IDs make this a cheap locality-aware baseline.
+type ContiguousPartitioner struct{}
+
+// Name implements Partitioner.
+func (ContiguousPartitioner) Name() string { return "contiguous" }
+
+// Assign implements Partitioner.
+func (ContiguousPartitioner) Assign(g *graph.Graph, k int) ([]int, error) {
 	n := g.NumNodes()
 	assign := make([]int, n)
 	for v := 0; v < n; v++ {
@@ -54,17 +152,25 @@ func Contiguous(g *graph.Graph, k int) (*Fragmentation, error) {
 		}
 		assign[v] = f
 	}
-	return Build(g, assign, k)
+	return assign, nil
 }
 
-// Greedy grows k fragments by parallel BFS from k random seeds over the
-// undirected version of g, assigning each node to the first frontier that
-// reaches it. Compared with Random it produces far fewer cross edges
-// (smaller |Vf|), which lowers the traffic of all algorithms; the paper's
-// guarantees are parameterized by |Vf| so both partitioners satisfy them.
-func Greedy(g *graph.Graph, k int, seed uint64) (*Fragmentation, error) {
+// Place implements Partitioner.
+func (ContiguousPartitioner) Place(_ graph.NodeID, sizes []int) int { return leastLoaded(sizes) }
+
+// GreedyPartitioner grows k fragments by parallel BFS from k random seeds
+// over the undirected version of g, assigning each node to the first
+// frontier that reaches it. Compared with Random it produces far fewer
+// cross edges (smaller |Vf|), which lowers the traffic of all algorithms.
+type GreedyPartitioner struct{ Seed uint64 }
+
+// Name implements Partitioner.
+func (GreedyPartitioner) Name() string { return "greedy" }
+
+// Assign implements Partitioner.
+func (p GreedyPartitioner) Assign(g *graph.Graph, k int) ([]int, error) {
 	n := g.NumNodes()
-	rng := gen.NewRNG(seed)
+	rng := gen.NewRNG(p.Seed)
 	assign := make([]int, n)
 	for i := range assign {
 		assign[i] = -1
@@ -127,7 +233,159 @@ func Greedy(g *graph.Graph, k int, seed uint64) (*Fragmentation, error) {
 			}
 		}
 	}
-	return Build(g, assign, k)
+	return assign, nil
+}
+
+// Place implements Partitioner.
+func (GreedyPartitioner) Place(_ graph.NodeID, sizes []int) int { return leastLoaded(sizes) }
+
+// EdgeCutPartitioner is the balance-aware greedy edge-cut strategy used by
+// live rebalancing: nodes stream in BFS order from seeded random roots (so
+// neighborhoods arrive consecutively) and each goes to the fragment
+// holding most of its (in- and out-) neighbors, discounted by how full
+// that fragment already is — the linear deterministic greedy (LDG)
+// objective score(i) = |N(v) ∩ Fi| · (1 − size(Fi)/C). Fullness is
+// measured in the paper's fragment-size metric (nodes + incident edges,
+// the quantity |Fm| bounds), not node count alone, so an edge-dense hot
+// region gets split across fragments instead of bloating one. EdgeCut
+// thus minimizes both |Vf| (few cross edges) and |Fm| — exactly the two
+// parameters the paper's guarantees are parameterized by.
+type EdgeCutPartitioner struct{ Seed uint64 }
+
+// Name implements Partitioner.
+func (EdgeCutPartitioner) Name() string { return "edgecut" }
+
+// Assign implements Partitioner.
+func (p EdgeCutPartitioner) Assign(g *graph.Graph, k int) ([]int, error) {
+	n := g.NumNodes()
+	rng := gen.NewRNG(p.Seed)
+	assign := make([]int, n)
+	weight := make([]int, n) // 1 + degree: v's contribution to |Fi|
+	totalWeight := 0
+	for i := range assign {
+		assign[i] = -1
+		if !g.Deleted(graph.NodeID(i)) {
+			weight[i] = 1 + g.OutDegree(graph.NodeID(i)) + g.InDegree(graph.NodeID(i))
+			totalWeight += weight[i]
+		}
+	}
+	capacity := float64(totalWeight)*1.1/float64(k) + 1
+	sizes := make([]int, k)
+
+	// BFS stream order over the undirected graph from seeded random roots:
+	// when a node comes up, most of its neighborhood has just been placed,
+	// which is what lets the LDG score see (and keep) community structure.
+	order := make([]graph.NodeID, 0, n)
+	seen := make([]bool, n)
+	queue := make([]graph.NodeID, 0, n)
+	for _, ri := range rng.Perm(n) {
+		root := graph.NodeID(ri)
+		if seen[root] || g.Deleted(root) {
+			continue
+		}
+		seen[root] = true
+		queue = append(queue[:0], root)
+		for len(queue) > 0 {
+			v := queue[0]
+			queue = queue[1:]
+			order = append(order, v)
+			visit := func(w graph.NodeID) {
+				if !seen[w] {
+					seen[w] = true
+					queue = append(queue, w)
+				}
+			}
+			for _, w := range g.Out(v) {
+				visit(w)
+			}
+			for _, w := range g.In(v) {
+				visit(w)
+			}
+		}
+	}
+
+	counts := make([]int, k)
+	stamp := make([]int, k) // round tag so counts reset in O(deg), not O(k)
+	round := 0
+	for _, v := range order {
+		round++
+		tally := func(w graph.NodeID) {
+			if f := assign[w]; f >= 0 {
+				if stamp[f] != round {
+					stamp[f] = round
+					counts[f] = 0
+				}
+				counts[f]++
+			}
+		}
+		for _, w := range g.Out(v) {
+			tally(w)
+		}
+		for _, w := range g.In(v) {
+			tally(w)
+		}
+		best, bestScore := -1, -1.0
+		for i := 0; i < k; i++ {
+			slack := 1 - float64(sizes[i])/capacity
+			if slack < 0 {
+				continue // fragment at capacity: balance forbids it
+			}
+			c := 0
+			if stamp[i] == round {
+				c = counts[i]
+			}
+			// +1 smooths the neighbor count so empty fragments with slack
+			// still attract isolated nodes (pure balance fallback).
+			score := float64(c+1) * slack
+			if score > bestScore {
+				best, bestScore = i, score
+			}
+		}
+		if best < 0 {
+			best = leastLoaded(sizes) // every fragment at capacity: balance wins
+		}
+		assign[v] = best
+		sizes[best] += weight[v]
+	}
+	// Tombstoned slots still need a legal assignment value for Build's
+	// bookkeeping path; park them on fragment 0 (Build ignores them).
+	for v := 0; v < n; v++ {
+		if assign[v] == -1 {
+			assign[v] = 0
+		}
+	}
+	return assign, nil
+}
+
+// Place implements Partitioner.
+func (EdgeCutPartitioner) Place(_ graph.NodeID, sizes []int) int { return leastLoaded(sizes) }
+
+// Random partitions g into k fragments by assigning each node
+// independently and uniformly at random, then rebalancing so fragment
+// sizes differ by at most one node.
+func Random(g *graph.Graph, k int, seed uint64) (*Fragmentation, error) {
+	return Partition(g, RandomPartitioner{Seed: seed}, k)
+}
+
+// Hash partitions g into k fragments by a deterministic hash of the node ID.
+func Hash(g *graph.Graph, k int) (*Fragmentation, error) {
+	return Partition(g, HashPartitioner{}, k)
+}
+
+// Contiguous partitions g into k fragments of consecutive node IDs.
+func Contiguous(g *graph.Graph, k int) (*Fragmentation, error) {
+	return Partition(g, ContiguousPartitioner{}, k)
+}
+
+// Greedy partitions g into k fragments grown by BFS from k random seeds.
+func Greedy(g *graph.Graph, k int, seed uint64) (*Fragmentation, error) {
+	return Partition(g, GreedyPartitioner{Seed: seed}, k)
+}
+
+// EdgeCut partitions g into k fragments with the balance-aware greedy
+// edge-cut (LDG) strategy.
+func EdgeCut(g *graph.Graph, k int, seed uint64) (*Fragmentation, error) {
+	return Partition(g, EdgeCutPartitioner{Seed: seed}, k)
 }
 
 func min(a, b int) int {

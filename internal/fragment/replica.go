@@ -1,0 +1,122 @@
+package fragment
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Replica is a site's handle on the deployment's current fragmentation,
+// tagged with an epoch that advances on every live re-fragmentation. Sites
+// resolve Current per request, so queries in flight across a rebalance
+// keep evaluating against the fragmentation (and epoch) they started with
+// — the swap is atomic and nothing blocks: zero-downtime redeploy.
+//
+// In-process deployments share one Replica across all their sites, which
+// makes broadcast application idempotent: update frames are deduplicated
+// by sequence number, and a rebalance frame rebuilds once (the first site
+// to handle it) while the rest observe the epoch already reached.
+// Separate-process sites each own a Replica; determinism of the
+// partitioners makes their independent rebuilds agree.
+type Replica struct {
+	mu    sync.Mutex
+	fr    *Fragmentation
+	epoch uint64
+
+	// Recently applied update-batch sequence numbers and their results,
+	// for broadcast dedupe. A window (rather than just the last seq) keeps
+	// dedupe correct when two coordinators' serialized update streams
+	// interleave at the replica.
+	seqRes map[uint64]ApplyResult
+	seqLog []uint64 // FIFO of live keys in seqRes
+
+	// rebMu serializes rebalances so k co-located sites handling the same
+	// broadcast frame do not rebuild k times.
+	rebMu sync.Mutex
+}
+
+// seqWindow bounds how many applied batch results a replica remembers for
+// dedupe; far more than the frames of any plausible in-flight broadcast
+// interleaving.
+const seqWindow = 256
+
+// NewReplica wraps fr at epoch 0.
+func NewReplica(fr *Fragmentation) *Replica {
+	return &Replica{fr: fr, seqRes: make(map[uint64]ApplyResult, seqWindow)}
+}
+
+// Current reports the fragmentation serving queries right now and its
+// epoch.
+func (r *Replica) Current() (*Fragmentation, uint64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.fr, r.epoch
+}
+
+// Epoch reports the current epoch.
+func (r *Replica) Epoch() uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.epoch
+}
+
+// Apply runs one transactional update batch against the current
+// fragmentation. A non-zero seq deduplicates broadcast delivery: when
+// several sites share one Replica, the first frame applies the batch and
+// the rest replay its recorded result instead of re-applying (node
+// insertion is not idempotent, unlike edge ops). Coordinators draw their
+// sequence numbers from random 64-bit bases, so two coordinators'
+// streams neither collide nor evict each other's in-flight entries from
+// the dedupe window. seq 0 always applies.
+func (r *Replica) Apply(seq uint64, ops []Op) (ApplyResult, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if seq != 0 {
+		if res, ok := r.seqRes[seq]; ok {
+			return res, nil
+		}
+	}
+	res, err := r.fr.Apply(ops)
+	if err != nil {
+		return res, err
+	}
+	if seq != 0 {
+		if len(r.seqLog) >= seqWindow {
+			delete(r.seqRes, r.seqLog[0])
+			r.seqLog = r.seqLog[1:]
+		}
+		r.seqRes[seq] = res
+		r.seqLog = append(r.seqLog, seq)
+	}
+	return res, nil
+}
+
+// Rebalance advances the replica to the given epoch by re-fragmenting the
+// current graph with partitioner p: the new fragmentation is built while
+// queries keep flowing (the rebuild holds only the old fragmentation's
+// read lock, which excludes updates but not queries), then swapped in
+// atomically. It reports whether this call performed the rebuild — false
+// when the replica already reached (or passed) the epoch, the idempotent
+// no-op the broadcast relies on. The fragment count is preserved: each
+// site keeps serving the same fragment index of the new fragmentation.
+func (r *Replica) Rebalance(epoch uint64, p Partitioner) (bool, error) {
+	r.rebMu.Lock()
+	defer r.rebMu.Unlock()
+	cur, curEpoch := r.Current()
+	if epoch <= curEpoch {
+		return false, nil // already there: another co-located site rebuilt
+	}
+	k := cur.Card()
+	// Hold the read lock during the rebuild: updates (which need the write
+	// lock) are excluded, so the graph is stable, while queries (fellow
+	// read-lockers) keep draining against the old fragmentation.
+	cur.mu.RLock()
+	next, err := Partition(cur.g, p, k)
+	cur.mu.RUnlock()
+	if err != nil {
+		return false, fmt.Errorf("fragment: rebalance to epoch %d: %w", epoch, err)
+	}
+	r.mu.Lock()
+	r.fr, r.epoch = next, epoch
+	r.mu.Unlock()
+	return true, nil
+}

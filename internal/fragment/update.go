@@ -7,29 +7,147 @@ import (
 	"distreach/internal/graph"
 )
 
-// Live edge updates. The paper's conclusion sketches combining partial
-// evaluation with incremental evaluation so a changing graph does not force
-// recomputation from scratch; the precondition is a fragmentation that can
-// change at all. InsertEdge and DeleteEdge mutate the global graph and the
-// affected fragments in place and report the set of dirtied fragments —
-// exactly the fragments whose partial answers (rvsets) may differ after the
-// update:
+// Live updates. The paper's conclusion sketches combining partial
+// evaluation with incremental evaluation so a changing graph does not
+// force recomputation from scratch; the precondition is a fragmentation
+// that can change at all. Originally only the edge set was live; the
+// online-rebalancing work made the node set live too, and turned single
+// mutations into transactional batches: Apply takes a sequence of ops,
+// applies them atomically under one write lock (ops are pre-validated, so
+// a rejected batch changes nothing), and reports one unioned dirty set —
+// the fragments whose partial answers (rvsets) may differ after the batch:
 //
 //   - an internal edge dirties only the fragment storing it;
 //   - a cross edge dirties its source fragment (adjacency and virtual
 //     nodes change) and, when the target's in-node status flips, the
 //     target fragment too (its in-node set, hence its equation set,
-//     changes).
+//     changes);
+//   - a node insertion dirties the fragment that receives the node;
+//   - a node deletion cascades to its incident edges (dirtying as above)
+//     and dirties the fragment that stored the node.
 //
 // The dirty set drives invalidation everywhere: core.Session drops the
 // cached rvsets of dirtied fragments, and the gateway's answer cache
 // evicts exactly the keys whose evaluation touched a dirtied fragment.
 
-// checkEndpoints validates that u and v are nodes of the fragmented graph.
-func (fr *Fragmentation) checkEndpoints(u, v graph.NodeID) error {
+// OpKind selects the mutation an Op performs.
+type OpKind byte
+
+// The four mutation kinds. The byte values double as the wire encoding of
+// the multi-op update frame.
+const (
+	OpInsertEdge OpKind = 'i'
+	OpDeleteEdge OpKind = 'd'
+	OpInsertNode OpKind = 'n'
+	OpDeleteNode OpKind = 'r'
+)
+
+// Op is one mutation of a transactional update batch.
+type Op struct {
+	Kind OpKind
+	// U, V are the edge endpoints for OpInsertEdge/OpDeleteEdge; U is the
+	// node for OpDeleteNode.
+	U, V graph.NodeID
+	// Label is the new node's label for OpInsertNode.
+	Label string
+	// Frag pins the new node's fragment for OpInsertNode; -1 lets the
+	// fragmentation's partitioner place it (balance-aware by default).
+	Frag int
+}
+
+// ApplyResult reports the effect of one update batch.
+type ApplyResult struct {
+	// Changed is false when every op was a no-op (inserting existing
+	// edges, deleting missing ones, deleting already-deleted nodes).
+	Changed bool
+	// Dirty lists the fragments whose partial answers may have changed,
+	// sorted ascending and deduplicated across the whole batch.
+	Dirty []int
+	// NewIDs holds the ID assigned to each OpInsertNode, in op order.
+	NewIDs []graph.NodeID
+}
+
+// Apply runs a batch of mutations atomically: the whole batch is validated
+// first (a rejected batch leaves the fragmentation untouched), then applied
+// under the write lock readers exclude with RLock, so no query ever
+// observes a half-applied batch. Safe for concurrent use with readers
+// holding RLock.
+//
+// Validation is conservative about node reuse: ops may only reference
+// nodes that are live when the batch starts, so an edge op cannot target a
+// node inserted earlier in the same batch (its ID is not known to the
+// caller anyway — it is reported in NewIDs).
+func (fr *Fragmentation) Apply(ops []Op) (ApplyResult, error) {
+	fr.mu.Lock()
+	defer fr.mu.Unlock()
+	if err := fr.validateOpsLocked(ops); err != nil {
+		return ApplyResult{}, err
+	}
+	var res ApplyResult
+	dirty := make(map[int]bool)
+	for _, op := range ops {
+		switch op.Kind {
+		case OpInsertEdge:
+			d, changed := fr.insertEdgeLocked(op.U, op.V)
+			res.Changed = res.Changed || changed
+			for _, f := range d {
+				dirty[f] = true
+			}
+		case OpDeleteEdge:
+			d, changed := fr.deleteEdgeLocked(op.U, op.V)
+			res.Changed = res.Changed || changed
+			for _, f := range d {
+				dirty[f] = true
+			}
+		case OpInsertNode:
+			id, f := fr.insertNodeLocked(op.Label, op.Frag)
+			res.NewIDs = append(res.NewIDs, id)
+			res.Changed = true
+			dirty[f] = true
+		case OpDeleteNode:
+			d, changed := fr.deleteNodeLocked(op.U)
+			res.Changed = res.Changed || changed
+			for f := range d {
+				dirty[f] = true
+			}
+		}
+	}
+	res.Dirty = make([]int, 0, len(dirty))
+	for f := range dirty {
+		res.Dirty = append(res.Dirty, f)
+	}
+	sort.Ints(res.Dirty)
+	return res, nil
+}
+
+// validateOpsLocked rejects a batch whose application could fail midway,
+// so Apply is all-or-nothing. It simulates node deletions (an op after
+// "delete node v" may not reference v) but not insertions (new IDs are
+// unknown to the caller until Apply returns).
+func (fr *Fragmentation) validateOpsLocked(ops []Op) error {
 	n := graph.NodeID(len(fr.owner))
-	if u < 0 || u >= n || v < 0 || v >= n {
-		return fmt.Errorf("fragment: edge (%d,%d) endpoint out of range [0,%d)", u, v, n)
+	deletedInBatch := make(map[graph.NodeID]bool)
+	live := func(v graph.NodeID) bool {
+		return v >= 0 && v < n && fr.owner[v] >= 0 && !deletedInBatch[v]
+	}
+	for i, op := range ops {
+		switch op.Kind {
+		case OpInsertEdge, OpDeleteEdge:
+			if !live(op.U) || !live(op.V) {
+				return fmt.Errorf("fragment: op %d: edge (%d,%d) endpoint not a live node of [0,%d)", i, op.U, op.V, n)
+			}
+		case OpInsertNode:
+			if op.Frag != -1 && (op.Frag < 0 || op.Frag >= len(fr.frags)) {
+				return fmt.Errorf("fragment: op %d: node placement %d out of range [0,%d)", i, op.Frag, len(fr.frags))
+			}
+		case OpDeleteNode:
+			if op.U < 0 || op.U >= n {
+				return fmt.Errorf("fragment: op %d: node %d out of range [0,%d)", i, op.U, n)
+			}
+			deletedInBatch[op.U] = true // later ops may not reference it
+		default:
+			return fmt.Errorf("fragment: op %d: unknown kind %q", i, byte(op.Kind))
+		}
 	}
 	return nil
 }
@@ -40,13 +158,49 @@ func (fr *Fragmentation) checkEndpoints(u, v graph.NodeID) error {
 // (false when the edge already existed). Safe for concurrent use with
 // readers holding RLock.
 func (fr *Fragmentation) InsertEdge(u, v graph.NodeID) (dirty []int, changed bool, err error) {
-	if err := fr.checkEndpoints(u, v); err != nil {
-		return nil, false, err
+	res, err := fr.Apply([]Op{{Kind: OpInsertEdge, U: u, V: v}})
+	return res.Dirty, res.Changed, err
+}
+
+// DeleteEdge removes the directed edge (u, v) from the graph and its
+// owning fragment(s), dropping the source fragment's virtual node when its
+// last referencing edge disappears and the target's in-node status when no
+// cross edge enters it anymore. It reports the dirtied fragment IDs
+// (sorted) and whether anything changed (false when the edge did not
+// exist). Safe for concurrent use with readers holding RLock.
+func (fr *Fragmentation) DeleteEdge(u, v graph.NodeID) (dirty []int, changed bool, err error) {
+	res, err := fr.Apply([]Op{{Kind: OpDeleteEdge, U: u, V: v}})
+	return res.Dirty, res.Changed, err
+}
+
+// InsertNode adds a node carrying label to the graph and places it in a
+// fragment: the given one, or — when frag is -1 — the one the attached
+// partitioner picks (least-loaded by default). It returns the new node's
+// ID and the dirtied fragment. Safe for concurrent use with readers
+// holding RLock.
+func (fr *Fragmentation) InsertNode(label string, frag int) (graph.NodeID, []int, error) {
+	res, err := fr.Apply([]Op{{Kind: OpInsertNode, Label: label, Frag: frag}})
+	if err != nil {
+		return graph.None, nil, err
 	}
-	fr.mu.Lock()
-	defer fr.mu.Unlock()
+	return res.NewIDs[0], res.Dirty, nil
+}
+
+// DeleteNode removes node v: every incident edge is deleted first (with
+// the usual virtual-node and in-node bookkeeping on both sides), then the
+// node itself leaves its fragment and becomes a graph tombstone whose ID a
+// later InsertNode may reuse. It reports the dirtied fragment IDs (sorted)
+// and whether anything changed (false when v was already deleted). Safe
+// for concurrent use with readers holding RLock.
+func (fr *Fragmentation) DeleteNode(v graph.NodeID) (dirty []int, changed bool, err error) {
+	res, err := fr.Apply([]Op{{Kind: OpDeleteNode, U: v}})
+	return res.Dirty, res.Changed, err
+}
+
+// insertEdgeLocked adds edge (u, v); endpoints are validated live.
+func (fr *Fragmentation) insertEdgeLocked(u, v graph.NodeID) (dirty []int, changed bool) {
 	if !fr.g.InsertEdge(u, v) {
-		return nil, false, nil
+		return nil, false
 	}
 	a, b := int(fr.owner[u]), int(fr.owner[v])
 	fa := fr.frags[a]
@@ -54,7 +208,7 @@ func (fr *Fragmentation) InsertEdge(u, v graph.NodeID) (dirty []int, changed boo
 	if a == b {
 		fa.addLocalEdge(lu, fa.localOf[v])
 		fa.invalidateViews()
-		return []int{a}, true, nil
+		return []int{a}, true
 	}
 	// Cross edge: the source fragment gains the edge (ending at a virtual
 	// node), the target fragment gains an in-node if v was not one yet.
@@ -70,23 +224,13 @@ func (fr *Fragmentation) InsertEdge(u, v graph.NodeID) (dirty []int, changed boo
 		dirty = append(dirty, b)
 	}
 	sort.Ints(dirty)
-	return dirty, true, nil
+	return dirty, true
 }
 
-// DeleteEdge removes the directed edge (u, v) from the graph and its
-// owning fragment(s), dropping the source fragment's virtual node when its
-// last referencing edge disappears and the target's in-node status when no
-// cross edge enters it anymore. It reports the dirtied fragment IDs
-// (sorted) and whether anything changed (false when the edge did not
-// exist). Safe for concurrent use with readers holding RLock.
-func (fr *Fragmentation) DeleteEdge(u, v graph.NodeID) (dirty []int, changed bool, err error) {
-	if err := fr.checkEndpoints(u, v); err != nil {
-		return nil, false, err
-	}
-	fr.mu.Lock()
-	defer fr.mu.Unlock()
+// deleteEdgeLocked removes edge (u, v); endpoints are validated live.
+func (fr *Fragmentation) deleteEdgeLocked(u, v graph.NodeID) (dirty []int, changed bool) {
 	if !fr.g.DeleteEdge(u, v) {
-		return nil, false, nil
+		return nil, false
 	}
 	a, b := int(fr.owner[u]), int(fr.owner[v])
 	fa := fr.frags[a]
@@ -94,7 +238,7 @@ func (fr *Fragmentation) DeleteEdge(u, v graph.NodeID) (dirty []int, changed boo
 	fa.removeLocalEdge(lu, lv)
 	if a == b {
 		fa.invalidateViews()
-		return []int{a}, true, nil
+		return []int{a}, true
 	}
 	fr.crossEdges--
 	fa.dropVirtualIfOrphan(lv)
@@ -119,7 +263,146 @@ func (fr *Fragmentation) DeleteEdge(u, v graph.NodeID) (dirty []int, changed boo
 		}
 	}
 	sort.Ints(dirty)
-	return dirty, true, nil
+	return dirty, true
+}
+
+// insertNodeLocked adds a node and places it; frag -1 delegates to the
+// partitioner (least-loaded when none is attached).
+func (fr *Fragmentation) insertNodeLocked(label string, frag int) (graph.NodeID, int) {
+	id := fr.g.InsertNode(label)
+	if int(id) == len(fr.owner) {
+		fr.owner = append(fr.owner, 0)
+	}
+	if frag < 0 {
+		sizes := make([]int, len(fr.frags))
+		for i, f := range fr.frags {
+			sizes[i] = f.NumLocal()
+		}
+		if fr.part != nil {
+			frag = fr.part.Place(id, sizes)
+		} else {
+			frag = leastLoaded(sizes)
+		}
+	}
+	fr.owner[id] = int32(frag)
+	f := fr.frags[frag]
+	f.addRealNode(id, label)
+	f.invalidateViews()
+	return id, frag
+}
+
+// deleteNodeLocked removes node v: incident edges cascade through
+// deleteEdgeLocked, then the (now isolated) node leaves its fragment and
+// becomes a graph tombstone.
+func (fr *Fragmentation) deleteNodeLocked(v graph.NodeID) (map[int]bool, bool) {
+	if fr.owner[v] < 0 {
+		return nil, false
+	}
+	dirty := make(map[int]bool)
+	for _, w := range append([]graph.NodeID(nil), fr.g.Out(v)...) {
+		d, _ := fr.deleteEdgeLocked(v, w)
+		for _, f := range d {
+			dirty[f] = true
+		}
+	}
+	for _, u := range append([]graph.NodeID(nil), fr.g.In(v)...) {
+		d, _ := fr.deleteEdgeLocked(u, v)
+		for _, f := range d {
+			dirty[f] = true
+		}
+	}
+	fi := int(fr.owner[v])
+	f := fr.frags[fi]
+	f.removeRealNode(v)
+	f.invalidateViews()
+	fr.owner[v] = -1
+	fr.g.DeleteNode(v) // edges are already gone; this leaves the tombstone
+	dirty[fi] = true
+	return dirty, true
+}
+
+// addRealNode registers v as a new real node of the fragment. Real nodes
+// occupy local indices [0, nLocal), so when virtual nodes exist the first
+// one is relocated to a fresh tail slot to vacate index nLocal.
+func (f *Fragment) addRealNode(v graph.NodeID, label string) {
+	slot := int32(f.nLocal)
+	if f.NumVirtual() > 0 {
+		tail := int32(len(f.globalOf))
+		moved := f.globalOf[slot]
+		f.globalOf = append(f.globalOf, moved)
+		f.labels = append(f.labels, f.labels[slot])
+		f.isIn = append(f.isIn, false)
+		f.adj = append(f.adj, nil) // virtual nodes have no out-edges
+		f.localOf[moved] = tail
+		f.remapRefs(slot, tail)
+	} else {
+		f.globalOf = append(f.globalOf, 0)
+		f.labels = append(f.labels, "")
+		f.isIn = append(f.isIn, false)
+		f.adj = append(f.adj, nil)
+	}
+	f.globalOf[slot] = v
+	f.labels[slot] = label
+	f.isIn[slot] = false
+	f.adj[slot] = nil
+	f.localOf[v] = slot
+	f.nLocal++
+}
+
+// removeRealNode deregisters real node v. Preconditions (established by
+// deleteNodeLocked): v has no incident edges, so no adjacency list
+// references it and it is not an in-node. The last real node swaps into
+// the vacated slot, and the tail virtual node swaps into the freed
+// boundary slot so the real/virtual split stays contiguous.
+func (f *Fragment) removeRealNode(v graph.NodeID) {
+	lv := f.localOf[v]
+	last := int32(f.nLocal - 1)
+	if lv != last {
+		wasIn := f.isIn[last]
+		if wasIn {
+			f.removeInNode(last)
+		}
+		f.remapRefs(last, lv)
+		moved := f.globalOf[last]
+		f.globalOf[lv] = moved
+		f.labels[lv] = f.labels[last]
+		f.adj[lv] = f.adj[last]
+		f.isIn[lv] = false
+		f.localOf[moved] = lv
+		if wasIn {
+			f.addInNode(lv)
+		}
+	}
+	f.nLocal--
+	// Slot nLocal is now free; pull the tail virtual node (if any) into it
+	// so virtual nodes keep occupying a contiguous tail.
+	tail := int32(len(f.globalOf) - 1)
+	if tail > int32(f.nLocal) {
+		f.remapRefs(tail, int32(f.nLocal))
+		movedV := f.globalOf[tail]
+		f.globalOf[f.nLocal] = movedV
+		f.labels[f.nLocal] = f.labels[tail]
+		f.isIn[f.nLocal] = false
+		f.adj[f.nLocal] = nil
+		f.localOf[movedV] = int32(f.nLocal)
+	}
+	f.globalOf = f.globalOf[:tail]
+	f.labels = f.labels[:tail]
+	f.isIn = f.isIn[:tail]
+	f.adj = f.adj[:tail]
+	delete(f.localOf, v)
+}
+
+// remapRefs rewrites every adjacency reference from local index from to
+// local index to.
+func (f *Fragment) remapRefs(from, to int32) {
+	for x := range f.adj {
+		for i, w := range f.adj[x] {
+			if w == from {
+				f.adj[x][i] = to
+			}
+		}
+	}
 }
 
 // addLocalEdge appends the local edge (lu, lv). The global graph has
@@ -176,13 +459,7 @@ func (f *Fragment) dropVirtualIfOrphan(lv int32) {
 	last := int32(len(f.globalOf) - 1)
 	if lv != last {
 		moved := f.globalOf[last]
-		for x := range f.adj {
-			for i, w := range f.adj[x] {
-				if w == last {
-					f.adj[x][i] = lv
-				}
-			}
-		}
+		f.remapRefs(last, lv)
 		f.globalOf[lv] = moved
 		f.labels[lv] = f.labels[last]
 		f.isIn[lv] = f.isIn[last]

@@ -2,10 +2,15 @@
 // primitives used throughout the distributed reachability library.
 //
 // A Graph is built with a Builder and thereafter supports in-place edge
-// insertion and deletion (the node set stays fixed). Nodes are identified
-// by dense IDs in [0, NumNodes). Each node carries a label drawn from a
-// finite alphabet; labels drive regular reachability queries, where the
-// label of a path is the sequence of labels of its interior nodes.
+// insertion and deletion, and — since the live-rebalancing work — node
+// insertion and deletion as well. Nodes are identified by dense IDs in
+// [0, NumNodes). DeleteNode removes the node's incident edges and leaves a
+// tombstone: the ID slot stays allocated (so every other node keeps its
+// ID) but reads as Deleted, and a later InsertNode reuses the lowest
+// tombstoned slot before growing the ID space. Each node carries a label
+// drawn from a finite alphabet; labels drive regular reachability queries,
+// where the label of a path is the sequence of labels of its interior
+// nodes.
 package graph
 
 import (
@@ -32,12 +37,24 @@ type Graph struct {
 	adj    [][]NodeID // out-adjacency, sorted per node
 	m      int        // number of edges
 
+	deleted []bool   // tombstones; nil when no node was ever deleted
+	free    []NodeID // tombstoned slots, ascending; InsertNode reuses the lowest
+
 	revMu sync.Mutex
 	rev   [][]NodeID // in-adjacency, built lazily; nil until first use
 }
 
-// NumNodes reports the number of nodes in g.
+// NumNodes reports the number of node-ID slots in g, including tombstones
+// left by DeleteNode. IDs are always in [0, NumNodes).
 func (g *Graph) NumNodes() int { return len(g.labels) }
+
+// NumLive reports the number of live (non-deleted) nodes.
+func (g *Graph) NumLive() int { return len(g.labels) - len(g.free) }
+
+// Deleted reports whether node v is a tombstone left by DeleteNode.
+func (g *Graph) Deleted(v NodeID) bool {
+	return g.deleted != nil && g.deleted[v]
+}
 
 // NumEdges reports the number of directed edges in g.
 func (g *Graph) NumEdges() int { return g.m }
@@ -151,6 +168,63 @@ func (g *Graph) DeleteEdge(u, v NodeID) bool {
 	return true
 }
 
+// InsertNode adds a node carrying label and returns its ID, reusing the
+// lowest tombstoned slot when one exists (so the ID space does not grow
+// without bound under node churn) and appending a fresh ID otherwise. The
+// caller must exclude concurrent readers and writers for the duration of
+// the call.
+func (g *Graph) InsertNode(label string) NodeID {
+	if len(g.free) > 0 {
+		id := g.free[0]
+		g.free = g.free[1:]
+		g.labels[id] = label
+		g.deleted[id] = false
+		return id
+	}
+	id := NodeID(len(g.labels))
+	g.labels = append(g.labels, label)
+	g.adj = append(g.adj, nil)
+	if g.deleted != nil {
+		g.deleted = append(g.deleted, false)
+	}
+	if g.rev != nil {
+		g.rev = append(g.rev, nil)
+	}
+	return id
+}
+
+// DeleteNode removes node v in place: every incident edge (outgoing and
+// incoming) is deleted and the slot becomes a tombstone that a later
+// InsertNode may reuse. It reports whether the graph changed (false when v
+// is out of range or already deleted). Other nodes keep their IDs. The
+// caller must exclude concurrent readers and writers for the duration of
+// the call.
+func (g *Graph) DeleteNode(v NodeID) bool {
+	if v < 0 || int(v) >= len(g.labels) || g.Deleted(v) {
+		return false
+	}
+	// Incoming edges require the reverse adjacency; build it before
+	// mutating so it stays maintained incrementally afterwards.
+	g.buildReverse()
+	for _, w := range append([]NodeID(nil), g.adj[v]...) {
+		g.rev[w], _ = removeSorted(g.rev[w], v)
+		g.m--
+	}
+	g.adj[v] = nil
+	for _, u := range append([]NodeID(nil), g.rev[v]...) {
+		g.adj[u], _ = removeSorted(g.adj[u], v)
+		g.m--
+	}
+	g.rev[v] = nil
+	if g.deleted == nil {
+		g.deleted = make([]bool, len(g.labels))
+	}
+	g.deleted[v] = true
+	g.labels[v] = ""
+	g.free, _ = insertSorted(g.free, v)
+	return true
+}
+
 // HasEdge reports whether the directed edge (u, v) exists.
 func (g *Graph) HasEdge(u, v NodeID) bool {
 	nbrs := g.adj[u]
@@ -190,6 +264,36 @@ func (g *Graph) Validate() error {
 	if count != g.m {
 		return fmt.Errorf("graph: edge count %d does not match stored m=%d", count, g.m)
 	}
+	// Tombstone consistency: the free list and the deleted flags must agree,
+	// and a deleted node must have no incident edges.
+	nDel := 0
+	for v := NodeID(0); v < n; v++ {
+		if !g.Deleted(v) {
+			continue
+		}
+		nDel++
+		if len(g.adj[v]) != 0 {
+			return fmt.Errorf("graph: deleted node %d has out-edges", v)
+		}
+	}
+	if nDel != len(g.free) {
+		return fmt.Errorf("graph: %d deleted nodes but %d free slots", nDel, len(g.free))
+	}
+	for i, v := range g.free {
+		if !g.Deleted(v) {
+			return fmt.Errorf("graph: free slot %d is not deleted", v)
+		}
+		if i > 0 && g.free[i-1] >= v {
+			return fmt.Errorf("graph: free list not sorted at %d", v)
+		}
+	}
+	for u := range g.adj {
+		for _, v := range g.adj[u] {
+			if g.Deleted(v) {
+				return fmt.Errorf("graph: edge (%d,%d) targets a deleted node", u, v)
+			}
+		}
+	}
 	return nil
 }
 
@@ -199,6 +303,10 @@ func (g *Graph) Clone() *Graph {
 		labels: append([]string(nil), g.labels...),
 		adj:    make([][]NodeID, len(g.adj)),
 		m:      g.m,
+		free:   append([]NodeID(nil), g.free...),
+	}
+	if g.deleted != nil {
+		c.deleted = append([]bool(nil), g.deleted...)
 	}
 	for v, nbrs := range g.adj {
 		c.adj[v] = append([]NodeID(nil), nbrs...)

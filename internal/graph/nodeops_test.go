@@ -1,0 +1,117 @@
+package graph
+
+import "testing"
+
+// TestNodeInsertDelete exercises the tombstone lifecycle: deletion removes
+// incident edges (including self-loops), the slot reads as deleted, and a
+// later insert reuses the lowest free slot before growing the ID space.
+func TestNodeInsertDelete(t *testing.T) {
+	b := NewBuilder(4)
+	a := b.AddNode("A")
+	c := b.AddNode("B")
+	d := b.AddNode("C")
+	e := b.AddNode("A")
+	b.AddEdge(a, c)
+	b.AddEdge(c, d)
+	b.AddEdge(d, c)
+	b.AddEdge(c, c) // self-loop
+	b.AddEdge(e, c)
+	g := b.MustBuild()
+
+	if !g.DeleteNode(c) {
+		t.Fatal("DeleteNode(c) reported no change")
+	}
+	if g.DeleteNode(c) {
+		t.Fatal("double DeleteNode reported a change")
+	}
+	if !g.Deleted(c) || g.Deleted(a) {
+		t.Fatalf("Deleted flags wrong: c=%v a=%v", g.Deleted(c), g.Deleted(a))
+	}
+	if g.NumEdges() != 0 {
+		t.Fatalf("deleting c should remove all 5 edges, %d remain", g.NumEdges())
+	}
+	if g.NumNodes() != 4 || g.NumLive() != 3 {
+		t.Fatalf("NumNodes=%d NumLive=%d, want 4/3", g.NumNodes(), g.NumLive())
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Reuse: the freed slot comes back before the ID space grows.
+	id := g.InsertNode("D")
+	if id != c {
+		t.Fatalf("InsertNode reused %d, want freed slot %d", id, c)
+	}
+	if g.Deleted(id) || g.Label(id) != "D" {
+		t.Fatalf("reused slot not live with new label: deleted=%v label=%q", g.Deleted(id), g.Label(id))
+	}
+	if !g.InsertEdge(a, id) {
+		t.Fatal("InsertEdge to reused node failed")
+	}
+	next := g.InsertNode("E")
+	if int(next) != 4 {
+		t.Fatalf("InsertNode grew to %d, want 4", next)
+	}
+	if g.NumNodes() != 5 || g.NumLive() != 5 {
+		t.Fatalf("NumNodes=%d NumLive=%d, want 5/5", g.NumNodes(), g.NumLive())
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestDeleteNodeIncoming deletes a node whose edges are mostly incoming and
+// checks the reverse adjacency stays consistent for later traversals.
+func TestDeleteNodeIncoming(t *testing.T) {
+	b := NewBuilder(5)
+	for i := 0; i < 5; i++ {
+		b.AddNode("A")
+	}
+	for i := 0; i < 4; i++ {
+		b.AddEdge(NodeID(i), 4)
+	}
+	g := b.MustBuild()
+	_ = g.In(4) // force the reverse adjacency before mutating
+	if !g.DeleteNode(4) {
+		t.Fatal("DeleteNode reported no change")
+	}
+	for i := 0; i < 4; i++ {
+		if g.OutDegree(NodeID(i)) != 0 {
+			t.Fatalf("node %d still has out-edges after target deletion", i)
+		}
+	}
+	id := g.InsertNode("B")
+	if !g.InsertEdge(0, id) || len(g.In(id)) != 1 {
+		t.Fatalf("reverse adjacency stale after reuse: in=%v", g.In(id))
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCloneCopiesTombstones: clones must not share free-list state.
+func TestCloneCopiesTombstones(t *testing.T) {
+	b := NewBuilder(3)
+	b.AddNode("A")
+	b.AddNode("B")
+	b.AddNode("C")
+	b.AddEdge(0, 1)
+	g := b.MustBuild()
+	g.DeleteNode(1)
+	c := g.Clone()
+	if !c.Deleted(1) || c.NumLive() != 2 {
+		t.Fatalf("clone lost tombstone: deleted=%v live=%d", c.Deleted(1), c.NumLive())
+	}
+	if id := c.InsertNode("X"); id != 1 {
+		t.Fatalf("clone reuse gave %d, want 1", id)
+	}
+	if !g.Deleted(1) {
+		t.Fatal("insert on clone mutated the original's tombstone")
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -96,12 +96,30 @@ func (r *batchReader) u8() (byte, error) {
 	return v, nil
 }
 
+func (r *batchReader) u16() (uint16, error) {
+	if r.off+2 > len(r.b) {
+		return 0, fmt.Errorf("netsite: truncated batch payload at offset %d", r.off)
+	}
+	v := binary.LittleEndian.Uint16(r.b[r.off:])
+	r.off += 2
+	return v, nil
+}
+
 func (r *batchReader) u32() (uint32, error) {
 	if r.off+4 > len(r.b) {
 		return 0, fmt.Errorf("netsite: truncated batch payload at offset %d", r.off)
 	}
 	v := binary.LittleEndian.Uint32(r.b[r.off:])
 	r.off += 4
+	return v, nil
+}
+
+func (r *batchReader) u64() (uint64, error) {
+	if r.off+8 > len(r.b) {
+		return 0, fmt.Errorf("netsite: truncated batch payload at offset %d", r.off)
+	}
+	v := binary.LittleEndian.Uint64(r.b[r.off:])
+	r.off += 8
 	return v, nil
 }
 
@@ -357,7 +375,7 @@ func (c *Coordinator) BatchContext(ctx context.Context, qs []BatchQuery) ([]Batc
 	if err != nil {
 		return nil, WireStats{}, err
 	}
-	replies, st, err := c.roundtrip(ctx, kindBatch, payload)
+	replies, st, err := c.queryRound(ctx, kindBatch, payload)
 	if err != nil {
 		return nil, st, err
 	}

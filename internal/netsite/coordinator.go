@@ -3,7 +3,9 @@ package netsite
 import (
 	"context"
 	"encoding/binary"
+	"errors"
 	"fmt"
+	"math/rand/v2"
 	"net"
 	"sync"
 	"sync/atomic"
@@ -15,6 +17,15 @@ import (
 	"distreach/internal/graph"
 )
 
+// ErrEpochSplit reports that the sites are serving from different
+// deployment epochs and the round could not be completed consistently.
+// Transient splits (a query racing a rebalance swap) are retried away
+// internally; a persistent split means some replica is out of sync — a
+// site restarted from its original files after rebalances, say — and a
+// fresh rebalance round to a higher epoch realigns every replica (the
+// gateway does exactly that when it sees this error).
+var ErrEpochSplit = errors.New("netsite: sites answered from different epochs")
+
 // Coordinator is the site Sc: it holds one TCP connection per worker site
 // and evaluates queries by posting them to every site in parallel and
 // assembling the returned partial answers. It is safe for concurrent use,
@@ -22,11 +33,24 @@ import (
 // query round is tagged with a request ID, sites answer in whatever order
 // they finish, and a per-connection reader demultiplexes replies back to
 // the waiting queries. Many queries can be in flight at once.
+//
+// A dropped site connection fails its in-flight queries promptly, then
+// heals itself: the coordinator redials in the background with bounded
+// exponential backoff, so queries succeed again as soon as the site is
+// back — no restart required.
 type Coordinator struct {
-	conns  []*siteConn
-	nextID atomic.Uint32
-	updMu  sync.Mutex // serializes update rounds; see Coordinator.Update
+	conns   []*siteConn
+	nextID  atomic.Uint32
+	nextSeq atomic.Uint64 // update-batch sequence numbers (broadcast dedupe)
+	updMu   sync.Mutex    // serializes update and rebalance rounds
 }
+
+// Reconnect backoff bounds: the first redial happens almost immediately,
+// later ones back off exponentially up to the cap.
+const (
+	redialMin = 25 * time.Millisecond
+	redialMax = 2 * time.Second
+)
 
 // wireReply is one demultiplexed response frame.
 type wireReply struct {
@@ -39,27 +63,42 @@ type wireReply struct {
 // serializes outgoing frames, a reader goroutine routes response frames to
 // the pending query that posted the matching request ID. When the reader
 // stops (connection dropped, site closed, corrupt frame) every pending
-// query fails promptly with the cause — in-flight queries never hang.
+// query fails promptly with the cause — in-flight queries never hang —
+// and a background redial loop reconnects with bounded exponential
+// backoff; queries posted while the link is down fail fast with the last
+// error.
 type siteConn struct {
-	conn net.Conn
-	wmu  sync.Mutex // serializes whole-frame writes
+	addr    string
+	timeout time.Duration // dial timeout, initial and redial
+	done    chan struct{} // closed by Coordinator.Close; stops redialing
 
-	mu      sync.Mutex
-	pending map[uint32]chan wireReply
-	err     error // sticky; set once when the reader loop exits
+	wmu sync.Mutex // serializes whole-frame writes
+
+	mu        sync.Mutex
+	conn      net.Conn // nil while the link is down
+	pending   map[uint32]chan wireReply
+	err       error // last failure; nil while connected
+	closed    bool
+	redialing bool
 }
 
-func newSiteConn(conn net.Conn) *siteConn {
-	sc := &siteConn{conn: conn, pending: make(map[uint32]chan wireReply)}
-	go sc.readLoop()
+func newSiteConn(addr string, conn net.Conn, timeout time.Duration) *siteConn {
+	sc := &siteConn{
+		addr:    addr,
+		timeout: timeout,
+		done:    make(chan struct{}),
+		conn:    conn,
+		pending: make(map[uint32]chan wireReply),
+	}
+	go sc.readLoop(conn)
 	return sc
 }
 
-func (sc *siteConn) readLoop() {
+func (sc *siteConn) readLoop(conn net.Conn) {
 	for {
-		id, kind, payload, n, err := readFrame(sc.conn)
+		id, kind, payload, n, err := readFrame(conn)
 		if err != nil {
-			sc.fail(err)
+			sc.lost(conn, err)
 			return
 		}
 		sc.mu.Lock()
@@ -76,18 +115,70 @@ func (sc *siteConn) readLoop() {
 	}
 }
 
-// fail records the terminal error and wakes every pending query: a closed
-// reply channel tells the waiter to read sc.err.
-func (sc *siteConn) fail(err error) {
+// lost records a connection failure, wakes every pending query (a closed
+// reply channel tells the waiter to read sc.err), and starts the redial
+// loop. Stale incarnations (a write error racing the reader's own
+// failure) are ignored.
+func (sc *siteConn) lost(conn net.Conn, err error) {
+	conn.Close()
 	sc.mu.Lock()
-	if sc.err == nil {
-		sc.err = err
+	if sc.conn != conn {
+		sc.mu.Unlock()
+		return // already failed over from this incarnation
 	}
+	sc.conn = nil
+	sc.err = err
 	pend := sc.pending
 	sc.pending = make(map[uint32]chan wireReply)
+	redial := !sc.closed && !sc.redialing
+	if redial {
+		sc.redialing = true
+	}
 	sc.mu.Unlock()
 	for _, ch := range pend {
 		close(ch)
+	}
+	if redial {
+		go sc.redial()
+	}
+}
+
+// redial reconnects with bounded exponential backoff until it succeeds or
+// the coordinator closes.
+func (sc *siteConn) redial() {
+	backoff := redialMin
+	for {
+		select {
+		case <-sc.done:
+			return
+		default:
+		}
+		conn, err := net.DialTimeout("tcp", sc.addr, sc.timeout)
+		if err == nil {
+			sc.mu.Lock()
+			if sc.closed {
+				sc.mu.Unlock()
+				conn.Close()
+				return
+			}
+			sc.conn = conn
+			sc.err = nil
+			sc.redialing = false
+			sc.mu.Unlock()
+			go sc.readLoop(conn)
+			return
+		}
+		sc.mu.Lock()
+		sc.err = fmt.Errorf("redial %s: %w", sc.addr, err)
+		sc.mu.Unlock()
+		select {
+		case <-sc.done:
+			return
+		case <-time.After(backoff):
+		}
+		if backoff *= 2; backoff > redialMax {
+			backoff = redialMax
+		}
 	}
 }
 
@@ -97,22 +188,29 @@ func (sc *siteConn) fail(err error) {
 func (sc *siteConn) post(id uint32, kind byte, payload []byte) (chan wireReply, int, error) {
 	ch := make(chan wireReply, 1)
 	sc.mu.Lock()
-	if sc.err != nil {
+	if sc.closed {
+		sc.mu.Unlock()
+		return nil, 0, fmt.Errorf("coordinator closed")
+	}
+	if sc.conn == nil {
 		err := sc.err
 		sc.mu.Unlock()
+		if err == nil {
+			err = fmt.Errorf("connection down")
+		}
 		return nil, 0, err
 	}
+	conn := sc.conn
 	sc.pending[id] = ch
 	sc.mu.Unlock()
 	sc.wmu.Lock()
-	n, err := writeFrame(sc.conn, id, kind, payload)
+	n, err := writeFrame(conn, id, kind, payload)
 	sc.wmu.Unlock()
 	if err != nil {
 		// A failed write may have flushed part of the frame, desyncing the
-		// length-prefixed stream: poison the whole connection rather than
-		// let later queries parse garbage.
-		sc.conn.Close()
-		sc.fail(err)
+		// length-prefixed stream: poison this incarnation rather than let
+		// later queries parse garbage. The redial loop takes it from here.
+		sc.lost(conn, err)
 		return nil, 0, err
 	}
 	return ch, n, nil
@@ -126,33 +224,69 @@ func (sc *siteConn) drop(id uint32) {
 	sc.mu.Unlock()
 }
 
-// lastErr reports the sticky reader error, if any.
+// lastErr reports the current failure, if the link is down.
 func (sc *siteConn) lastErr() error {
 	sc.mu.Lock()
 	defer sc.mu.Unlock()
 	return sc.err
 }
 
+// close tears the connection down for good: no redial, pending queries
+// fail. Safe to call more than once.
+func (sc *siteConn) close() error {
+	sc.mu.Lock()
+	if sc.closed {
+		sc.mu.Unlock()
+		return nil
+	}
+	close(sc.done)
+	sc.closed = true
+	conn := sc.conn
+	sc.conn = nil
+	if sc.err == nil {
+		sc.err = fmt.Errorf("coordinator closed")
+	}
+	pend := sc.pending
+	sc.pending = make(map[uint32]chan wireReply)
+	sc.mu.Unlock()
+	for _, ch := range pend {
+		close(ch)
+	}
+	if conn != nil {
+		return conn.Close()
+	}
+	return nil
+}
+
 // Dial connects to the given site addresses.
 func Dial(addrs []string, timeout time.Duration) (*Coordinator, error) {
 	c := &Coordinator{}
+	// Update-batch sequence numbers start at a random base so two
+	// coordinators sharing a deployment never collide: a collision would
+	// make the replicas' broadcast dedupe silently swallow one
+	// coordinator's batch and answer it with the other's result.
+	c.nextSeq.Store(rand.Uint64())
 	for _, a := range addrs {
 		conn, err := net.DialTimeout("tcp", a, timeout)
 		if err != nil {
 			c.Close()
 			return nil, fmt.Errorf("netsite: dial %s: %w", a, err)
 		}
-		c.conns = append(c.conns, newSiteConn(conn))
+		c.conns = append(c.conns, newSiteConn(a, conn, timeout))
 	}
 	return c, nil
 }
 
-// Close shuts down all site connections; in-flight queries fail.
+// NumSites reports how many worker sites the coordinator is connected to.
+func (c *Coordinator) NumSites() int { return len(c.conns) }
+
+// Close shuts down all site connections; in-flight queries fail and no
+// reconnection is attempted.
 func (c *Coordinator) Close() error {
 	var first error
 	for _, sc := range c.conns {
 		if sc != nil {
-			if err := sc.conn.Close(); err != nil && first == nil {
+			if err := sc.close(); err != nil && first == nil {
 				first = err
 			}
 		}
@@ -169,6 +303,11 @@ type WireStats struct {
 	FramesReceived int64         // response frames; one per site per round
 	RoundTrip      time.Duration // slowest site's post+reply wall time
 
+	// Epoch is the deployment epoch every site answered from. Query
+	// rounds enforce agreement (retrying the rare round that straddles a
+	// live rebalance), so one answer never mixes fragmentation epochs.
+	Epoch uint64
+
 	// Touched lists, sorted, the sites (== fragment indices) whose partial
 	// answers the query's solution actually depends on — the dependency
 	// closure of the source variable (see core.TouchedReach). An answer
@@ -178,15 +317,28 @@ type WireStats struct {
 	Touched []int
 }
 
+// add accumulates another round's accounting (used when an epoch-split
+// round retries: the retried frames and bytes are real traffic).
+func (st *WireStats) add(o WireStats) {
+	st.BytesSent += o.BytesSent
+	st.BytesReceived += o.BytesReceived
+	st.FramesSent += o.FramesSent
+	st.FramesReceived += o.FramesReceived
+	st.RoundTrip += o.RoundTrip
+	st.Epoch = o.Epoch
+}
+
 // roundtrip posts one frame to every site in parallel and collects one
-// response frame from each. Concurrent rounds interleave freely: each
-// draws a fresh request ID and waits only on its own replies. A context
-// deadline or cancellation abandons the round promptly: pending requests
-// are dropped and late replies are discarded.
-func (c *Coordinator) roundtrip(ctx context.Context, kind byte, payload []byte) ([][]byte, WireStats, error) {
+// response frame from each, stripping the epoch tag every answer carries.
+// Concurrent rounds interleave freely: each draws a fresh request ID and
+// waits only on its own replies. A context deadline or cancellation
+// abandons the round promptly: pending requests are dropped and late
+// replies are discarded.
+func (c *Coordinator) roundtrip(ctx context.Context, kind byte, payload []byte) ([][]byte, []uint64, WireStats, error) {
 	id := c.nextID.Add(1)
 	start := time.Now()
 	replies := make([][]byte, len(c.conns))
+	epochs := make([]uint64, len(c.conns))
 	errs := make([]error, len(c.conns))
 	var sent, recv, fsent, frecv atomic.Int64
 	var wg sync.WaitGroup
@@ -220,9 +372,14 @@ func (c *Coordinator) roundtrip(ctx context.Context, kind byte, payload []byte) 
 			}
 			switch r.kind {
 			case kindAnswer:
+				if len(r.payload) < 8 {
+					errs[i] = fmt.Errorf("site %d: answer of %d bytes lacks the epoch tag", i, len(r.payload))
+					return
+				}
 				recv.Add(int64(r.n))
 				frecv.Add(1)
-				replies[i] = r.payload
+				epochs[i] = binary.LittleEndian.Uint64(r.payload)
+				replies[i] = r.payload[8:]
 			case kindError:
 				errs[i] = fmt.Errorf("site %d: %s", i, r.payload)
 			default:
@@ -240,10 +397,61 @@ func (c *Coordinator) roundtrip(ctx context.Context, kind byte, payload []byte) 
 	}
 	for _, err := range errs {
 		if err != nil {
-			return nil, st, err
+			return nil, nil, st, err
 		}
 	}
-	return replies, st, nil
+	return replies, epochs, st, nil
+}
+
+// Epoch-split retry tuning: how often a query round is retried when its
+// sites answered from different epochs, and the backoff between attempts.
+// The backoff matters: an immediate retry lands inside the same rebalance
+// burst that split the round, while a short exponential pause lets the
+// swap finish propagating to every site's worker.
+const (
+	epochRetries      = 6
+	epochRetryBackoff = time.Millisecond
+)
+
+// queryRound is roundtrip for query kinds: it additionally enforces that
+// every site answered from the same deployment epoch, retrying the round
+// otherwise. Partial answers are Boolean equations over the fragmentation
+// the site evaluated on; composing them across two fragmentations would
+// be meaningless, so a round that straddles a live rebalance is thrown
+// away and re-posted against the settled deployment.
+func (c *Coordinator) queryRound(ctx context.Context, kind byte, payload []byte) ([][]byte, WireStats, error) {
+	var total WireStats
+	backoff := epochRetryBackoff
+	for attempt := 0; ; attempt++ {
+		replies, epochs, st, err := c.roundtrip(ctx, kind, payload)
+		total.add(st)
+		if err != nil {
+			return nil, total, err
+		}
+		split := false
+		for _, e := range epochs[1:] {
+			if e != epochs[0] {
+				split = true
+				break
+			}
+		}
+		if !split {
+			total.Epoch = 0
+			if len(epochs) > 0 {
+				total.Epoch = epochs[0]
+			}
+			return replies, total, nil
+		}
+		if attempt+1 >= epochRetries {
+			return nil, total, fmt.Errorf("%w (%v after %d attempts)", ErrEpochSplit, epochs, attempt+1)
+		}
+		select {
+		case <-ctx.Done():
+			return nil, total, ctx.Err()
+		case <-time.After(backoff):
+		}
+		backoff *= 2
+	}
 }
 
 // Reach evaluates qr(s, t) over the connected sites.
@@ -259,7 +467,7 @@ func (c *Coordinator) ReachContext(ctx context.Context, s, t graph.NodeID) (bool
 	payload := make([]byte, 8)
 	binary.LittleEndian.PutUint32(payload, uint32(s))
 	binary.LittleEndian.PutUint32(payload[4:], uint32(t))
-	replies, st, err := c.roundtrip(ctx, kindReach, payload)
+	replies, st, err := c.queryRound(ctx, kindReach, payload)
 	if err != nil {
 		return false, st, err
 	}
@@ -293,7 +501,7 @@ func (c *Coordinator) ReachWithinContext(ctx context.Context, s, t graph.NodeID,
 	binary.LittleEndian.PutUint32(payload, uint32(s))
 	binary.LittleEndian.PutUint32(payload[4:], uint32(t))
 	binary.LittleEndian.PutUint32(payload[8:], uint32(l))
-	replies, st, err := c.roundtrip(ctx, kindDist, payload)
+	replies, st, err := c.queryRound(ctx, kindDist, payload)
 	if err != nil {
 		return false, bes.Inf, st, err
 	}
@@ -328,7 +536,7 @@ func (c *Coordinator) ReachRegexContext(ctx context.Context, s, t graph.NodeID, 
 	binary.LittleEndian.PutUint32(payload, uint32(s))
 	binary.LittleEndian.PutUint32(payload[4:], uint32(t))
 	payload = append(payload, ab...)
-	replies, st, err := c.roundtrip(ctx, kindRPQ, payload)
+	replies, st, err := c.queryRound(ctx, kindRPQ, payload)
 	if err != nil {
 		return false, st, err
 	}

@@ -5,7 +5,9 @@ import (
 	"testing"
 
 	"distreach/internal/automaton"
+	"distreach/internal/fragment"
 	"distreach/internal/gen"
+	"distreach/internal/graph"
 )
 
 // FuzzDecodeFrame throws arbitrary byte streams at the frame decoder: it
@@ -26,12 +28,23 @@ func FuzzDecodeFrame(f *testing.F) {
 	f.Add(rawHeader(maxFrame + 1))                                // oversized length
 	f.Add(append(rawHeader(100), bytes.Repeat([]byte{7}, 10)...)) // truncated payload
 	f.Add([]byte{1, 0})                                           // truncated header
-	// Update frames, request and reply.
+	// Update and rebalance frames, request and reply.
 	var upd bytes.Buffer
-	if _, err := writeFrame(&upd, 7, kindUpdate, encodeUpdateRequest(UpdateInsert, 3, 4)); err != nil {
+	ureq, err := encodeUpdateRequest(9, []Op{{Kind: OpInsertEdge, U: 3, V: 4}})
+	if err != nil {
 		f.Fatal(err)
 	}
-	if _, err := writeFrame(&upd, 7, kindAnswer, encodeUpdateReply(true, []int{0, 2})); err != nil {
+	if _, err := writeFrame(&upd, 7, kindUpdate, ureq); err != nil {
+		f.Fatal(err)
+	}
+	if _, err := writeFrame(&upd, 7, kindAnswer, encodeUpdateReply(true, []int{0, 2}, nil, fragment.BalanceStats{})); err != nil {
+		f.Fatal(err)
+	}
+	rreq, err := encodeRebalanceRequest(3, 4, 11, "edgecut")
+	if err != nil {
+		f.Fatal(err)
+	}
+	if _, err := writeFrame(&upd, 8, kindRebalance, rreq); err != nil {
 		f.Fatal(err)
 	}
 	f.Add(upd.Bytes())
@@ -124,24 +137,81 @@ func FuzzBatchPayload(f *testing.F) {
 	})
 }
 
-// FuzzUpdatePayload throws arbitrary bytes at the update frame codecs:
-// whatever decodes must survive a re-encode round trip; the rest must be
-// rejected with an error, never a panic or an implausible allocation.
+// FuzzUpdatePayload throws arbitrary bytes at the multi-op update frame
+// codecs: whatever decodes must survive a re-encode round trip; the rest
+// must be rejected with an error, never a panic or an implausible
+// allocation.
 func FuzzUpdatePayload(f *testing.F) {
-	f.Add(encodeUpdateRequest(UpdateInsert, 1, 2))
-	f.Add(encodeUpdateRequest(UpdateDelete, 0xFFFFFFF, 0))
-	f.Add(encodeUpdateReply(true, []int{0, 1, 5}))
-	f.Add(encodeUpdateReply(false, nil))
-	f.Add([]byte{1, 0xFF, 0xFF, 0xFF, 0x7F}) // hostile dirty count
+	mixed, err := encodeUpdateRequest(17, []Op{
+		{Kind: OpInsertEdge, U: 1, V: 2},
+		{Kind: OpDeleteEdge, U: 0xFFFFFF, V: 0},
+		{Kind: OpInsertNode, Label: "A", Frag: -1},
+		{Kind: OpInsertNode, Label: "long-label", Frag: 3},
+		{Kind: OpDeleteNode, U: 7},
+	})
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(mixed)
+	single, err := encodeUpdateRequest(0, []Op{{Kind: OpDeleteEdge, U: 5, V: 6}})
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(single)
+	bs := fragment.BalanceStats{Fragments: 3, MaxSize: 40, MinSize: 10, TotalSize: 90, Vf: 12, CrossEdges: 30}
+	f.Add(encodeUpdateReply(true, []int{0, 1, 5}, []graph.NodeID{9}, bs))
+	f.Add(encodeUpdateReply(false, nil, nil, fragment.BalanceStats{}))
+	f.Add([]byte{updateVersion, 0xFF, 0xFF, 0xFF, 0x7F})                        // hostile op count
+	f.Add([]byte{updateVersion, 1, 0xFF, 0xFF, 0xFF, 0x7F})                     // hostile dirty count
+	f.Add(append(mixed[:len(mixed)-2], 0xFF))                                   // truncated op
+	f.Add([]byte{'i', 1, 0, 0, 0, 2, 0, 0, 0})                                  // legacy v1 single-edge frame
+	f.Add([]byte{updateVersion, 0, 0, 0, 0, 0, 0, 0, 0, 1, 0, 0, 0, 'n', 0xFF}) // truncated node op
 	f.Fuzz(func(t *testing.T, data []byte) {
-		if op, u, v, err := decodeUpdateRequest(data); err == nil {
-			if !bytes.Equal(encodeUpdateRequest(op, u, v), data) {
+		if seq, ops, err := decodeUpdateRequest(data); err == nil {
+			re, err := encodeUpdateRequest(seq, ops)
+			if err != nil {
+				t.Fatalf("re-encode of a decoded update failed: %v", err)
+			}
+			if !bytes.Equal(re, data) {
 				t.Fatalf("update request round trip drifted")
 			}
 		}
-		if changed, dirty, err := decodeUpdateReply(data); err == nil {
-			if !bytes.Equal(encodeUpdateReply(changed, dirty), data) {
+		if changed, dirty, ids, bs, err := decodeUpdateReply(data); err == nil {
+			if !bytes.Equal(encodeUpdateReply(changed, dirty, ids, bs), data) {
 				t.Fatalf("update reply round trip drifted")
+			}
+		}
+	})
+}
+
+// FuzzRebalancePayload throws arbitrary bytes at the rebalance frame
+// codecs with the same round-trip-or-reject property.
+func FuzzRebalancePayload(f *testing.F) {
+	for _, name := range []string{"edgecut", "random", "x"} {
+		req, err := encodeRebalanceRequest(5, 4, 99, name)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(req)
+	}
+	bs := fragment.BalanceStats{Fragments: 4, MaxSize: 25, MinSize: 20, TotalSize: 88, Vf: 9, CrossEdges: 14}
+	f.Add(encodeRebalanceReply(6, true, 0xDEADBEEF, bs))
+	f.Add(encodeRebalanceReply(0, false, 0, fragment.BalanceStats{}))
+	f.Add([]byte{1, 0, 0, 0, 0, 0, 0, 0, 4, 0, 0, 0}) // truncated request
+	f.Add(bytes.Repeat([]byte{0xFF}, 22))             // hostile name length
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if epoch, k, seed, name, err := decodeRebalanceRequest(data); err == nil {
+			re, err := encodeRebalanceRequest(epoch, k, seed, name)
+			if err != nil {
+				t.Fatalf("re-encode of a decoded rebalance request failed: %v", err)
+			}
+			if !bytes.Equal(re, data) {
+				t.Fatalf("rebalance request round trip drifted")
+			}
+		}
+		if epoch, applied, fp, bs, err := decodeRebalanceReply(data); err == nil {
+			if !bytes.Equal(encodeRebalanceReply(epoch, applied, fp, bs), data) {
+				t.Fatalf("rebalance reply round trip drifted")
 			}
 		}
 	})

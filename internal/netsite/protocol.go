@@ -14,16 +14,26 @@
 //	frame  := length u32 (of the rest) | id u32 | kind u8 | payload
 //	request kinds: 'r' qr(s,t), 'b' qbr(s,t,l), 'q' qrr(s,t,Gq),
 //	               'B' batch (many mixed-class queries in one payload),
-//	               'U' edge update (insert or delete one edge)
-//	response kind: 'R' partial answer (codec per query class; for 'B', one
-//	               partial per batched query; for 'U', the changed flag and
-//	               dirtied fragment IDs), 'E' error
+//	               'U' update (a transactional batch of edge and node
+//	               mutations), 'R' rebalance (re-fragment the deployment
+//	               at a new epoch)
+//	response kind: 'R' answer: epoch u64 | body (body codec per request
+//	               kind; for 'B', one partial per batched query; for 'U',
+//	               the changed flag, dirtied fragment IDs, new node IDs
+//	               and balance stats), 'E' error
 //
-// A response frame echoes the ID of the request it answers. A batch frame
-// is the wire form of the paper's per-batch visit guarantee: one request
-// frame per site carries the whole batch, and one response frame per site
-// carries every partial answer, so k queries cost the same number of
-// frames as one.
+// A response frame echoes the ID of the request it answers, and every
+// answer is prefixed with the epoch of the fragmentation that produced it:
+// the coordinator rejects (and retries) a query round whose sites answered
+// from different epochs, so a query racing a live rebalance never combines
+// partial answers across fragmentations. The byte 'R' names both the
+// rebalance request and the answer response; direction disambiguates
+// (coordinators send requests, sites send responses).
+//
+// A batch frame is the wire form of the paper's per-batch visit guarantee:
+// one request frame per site carries the whole batch, and one response
+// frame per site carries every partial answer, so k queries cost the same
+// number of frames as one.
 package netsite
 
 import (
@@ -32,15 +42,18 @@ import (
 	"io"
 )
 
-// Frame kinds.
+// Frame kinds. kindRebalance shares the byte 'R' with kindAnswer: request
+// and response kinds never travel in the same direction, so the site
+// reads it as "rebalance" and the coordinator as "answer".
 const (
-	kindReach  = 'r'
-	kindDist   = 'b'
-	kindRPQ    = 'q'
-	kindBatch  = 'B'
-	kindUpdate = 'U'
-	kindAnswer = 'R'
-	kindError  = 'E'
+	kindReach     = 'r'
+	kindDist      = 'b'
+	kindRPQ       = 'q'
+	kindBatch     = 'B'
+	kindUpdate    = 'U'
+	kindRebalance = 'R'
+	kindAnswer    = 'R'
+	kindError     = 'E'
 )
 
 // maxFrame bounds a frame to guard against corrupt length prefixes.

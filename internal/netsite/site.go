@@ -31,22 +31,26 @@ type SiteOptions struct {
 	Delay time.Duration
 }
 
-// Site serves one fragment over TCP. Create with NewSiteFor (or NewSite
-// for a bare fragment without update support), then Addr gives the dial
-// address for the coordinator; Close shuts the listener down. Frames
+// Site serves one fragment index over TCP. Create with NewSiteFor (or
+// NewSite for a bare fragment without update support), then Addr gives the
+// dial address for the coordinator; Close shuts the listener down. Frames
 // arriving on one connection are evaluated concurrently by a bounded
 // worker pool, so a coordinator multiplexing many queries over the
 // connection is served in parallel, not one frame at a time.
 //
-// A site built with NewSiteFor holds a replica of the whole fragmentation
-// and accepts update frames: queries evaluate under the fragmentation's
-// read lock and updates apply exclusively, so a mutation never tears a
-// fragment mid-evaluation. In-process sites created by ServeFragmentation
-// share one fragmentation, which makes the broadcast update idempotent
-// across them (the first frame applies it, the rest observe a no-op).
+// A site built with NewSiteFor (or NewSiteReplica) holds a Replica of the
+// whole fragmentation and accepts update and rebalance frames: queries
+// snapshot the replica's current fragmentation, evaluate under its read
+// lock (so a mutation never tears a fragment mid-evaluation), and stamp
+// their answer with the epoch they evaluated at; a rebalance builds the
+// next fragmentation while queries keep flowing and swaps it in
+// atomically. In-process sites created by ServeFragmentation share one
+// Replica, which makes broadcast updates and rebalances idempotent across
+// them.
 type Site struct {
-	frag    *fragment.Fragment
-	frtn    *fragment.Fragmentation // nil: bare fragment, updates rejected
+	rep     *fragment.Replica  // nil: bare fragment, updates rejected
+	bare    *fragment.Fragment // set iff rep is nil
+	fragID  int
 	ln      net.Listener
 	workers int
 	delay   time.Duration
@@ -63,7 +67,7 @@ type Site struct {
 
 // NewSite starts serving f on addr ("127.0.0.1:0" picks a free port) with
 // default options. The site has no fragmentation replica, so it rejects
-// update frames; prefer NewSiteFor for live deployments.
+// update and rebalance frames; prefer NewSiteFor for live deployments.
 func NewSite(addr string, f *fragment.Fragment) (*Site, error) {
 	return NewSiteOpts(addr, f, SiteOptions{})
 }
@@ -71,19 +75,32 @@ func NewSite(addr string, f *fragment.Fragment) (*Site, error) {
 // NewSiteOpts starts serving f on addr with explicit options and no update
 // support (see NewSite).
 func NewSiteOpts(addr string, f *fragment.Fragment, o SiteOptions) (*Site, error) {
-	return newSite(addr, f, nil, o)
+	return newSite(addr, nil, f, f.ID, o)
 }
 
-// NewSiteFor starts serving fragment fragID of fr on addr. The site keeps
-// fr as its replica of the deployment, which enables edge-update frames.
+// NewSiteFor starts serving fragment fragID of fr on addr. The site wraps
+// fr in its own Replica of the deployment, which enables update and
+// rebalance frames.
 func NewSiteFor(addr string, fr *fragment.Fragmentation, fragID int, o SiteOptions) (*Site, error) {
 	if fragID < 0 || fragID >= fr.Card() {
 		return nil, fmt.Errorf("netsite: fragment %d out of range [0,%d)", fragID, fr.Card())
 	}
-	return newSite(addr, fr.Fragments()[fragID], fr, o)
+	return newSite(addr, fragment.NewReplica(fr), nil, fragID, o)
 }
 
-func newSite(addr string, f *fragment.Fragment, fr *fragment.Fragmentation, o SiteOptions) (*Site, error) {
+// NewSiteReplica starts serving fragment fragID of the given shared
+// replica on addr. Sites sharing one Replica (the in-process deployment
+// of ServeFragmentation) apply broadcast updates and rebalances once
+// between them.
+func NewSiteReplica(addr string, rep *fragment.Replica, fragID int, o SiteOptions) (*Site, error) {
+	fr, _ := rep.Current()
+	if fragID < 0 || fragID >= fr.Card() {
+		return nil, fmt.Errorf("netsite: fragment %d out of range [0,%d)", fragID, fr.Card())
+	}
+	return newSite(addr, rep, nil, fragID, o)
+}
+
+func newSite(addr string, rep *fragment.Replica, bare *fragment.Fragment, fragID int, o SiteOptions) (*Site, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("netsite: %w", err)
@@ -93,8 +110,9 @@ func newSite(addr string, f *fragment.Fragment, fr *fragment.Fragmentation, o Si
 		workers = defaultWorkers
 	}
 	s := &Site{
-		frag:    f,
-		frtn:    fr,
+		rep:     rep,
+		bare:    bare,
+		fragID:  fragID,
 		ln:      ln,
 		workers: workers,
 		delay:   o.Delay,
@@ -167,8 +185,9 @@ type frameJob struct {
 
 // serveConn handles one coordinator connection: a reader feeds request
 // frames to a bounded pool of workers, each answering with a response
-// frame that echoes the request ID. Responses go out in completion order;
-// the coordinator's demultiplexer reorders by ID.
+// frame that echoes the request ID and carries the epoch the frame was
+// served at. Responses go out in completion order; the coordinator's
+// demultiplexer reorders by ID.
 func (s *Site) serveConn(conn net.Conn) error {
 	jobs := make(chan frameJob)
 	var (
@@ -184,10 +203,13 @@ func (s *Site) serveConn(conn net.Conn) error {
 				if broken.Load() {
 					continue // connection died; don't evaluate dead work
 				}
-				resp, err := s.handle(j.kind, j.payload)
+				epoch, resp, err := s.handle(j.kind, j.payload)
 				kind := byte(kindAnswer)
 				if err != nil {
 					kind, resp = kindError, []byte(err.Error())
+				} else {
+					tagged := binary.LittleEndian.AppendUint64(make([]byte, 0, 8+len(resp)), epoch)
+					resp = append(tagged, resp...)
 				}
 				wmu.Lock()
 				_, werr := writeFrame(conn, j.id, kind, resp)
@@ -215,93 +237,138 @@ func (s *Site) serveConn(conn net.Conn) error {
 	return err
 }
 
-func (s *Site) handle(kind byte, payload []byte) ([]byte, error) {
+// snapshot resolves the fragmentation and fragment this frame evaluates
+// against, plus the epoch to stamp the answer with. Bare sites have no
+// replica: epoch 0, no fragmentation lock to take.
+func (s *Site) snapshot() (*fragment.Fragment, *fragment.Fragmentation, uint64) {
+	if s.rep == nil {
+		return s.bare, nil, 0
+	}
+	fr, epoch := s.rep.Current()
+	return fr.Fragments()[s.fragID], fr, epoch
+}
+
+func (s *Site) handle(kind byte, payload []byte) (uint64, []byte, error) {
 	if s.delay > 0 {
 		time.Sleep(s.delay)
 	}
-	if kind == kindUpdate {
+	switch kind {
+	case kindUpdate:
 		return s.handleUpdate(payload)
+	case kindRebalance:
+		return s.handleRebalance(payload)
 	}
-	// Queries read the fragment under the fragmentation's read lock so a
-	// concurrent update never mutates it mid-evaluation. Bare-fragment
-	// sites have no update path, hence nothing to lock against.
-	if s.frtn != nil {
-		s.frtn.RLock()
-		defer s.frtn.RUnlock()
+	// Queries snapshot the current fragmentation and read their fragment
+	// under its lock, so a concurrent update never mutates it
+	// mid-evaluation and a concurrent rebalance swap leaves this
+	// evaluation draining consistently against the old epoch.
+	f, fr, epoch := s.snapshot()
+	if fr != nil {
+		fr.RLock()
+		defer fr.RUnlock()
 	}
 	switch kind {
 	case kindReach:
 		if len(payload) < 8 {
-			return nil, fmt.Errorf("short qr payload")
+			return 0, nil, fmt.Errorf("short qr payload")
 		}
 		src := graph.NodeID(binary.LittleEndian.Uint32(payload))
 		dst := graph.NodeID(binary.LittleEndian.Uint32(payload[4:]))
-		rv := core.LocalEvalReach(s.frag, src, dst)
-		return rv.MarshalBinary()
+		rv := core.LocalEvalReach(f, src, dst)
+		b, err := rv.MarshalBinary()
+		return epoch, b, err
 	case kindDist:
 		if len(payload) < 12 {
-			return nil, fmt.Errorf("short qbr payload")
+			return 0, nil, fmt.Errorf("short qbr payload")
 		}
 		src := graph.NodeID(binary.LittleEndian.Uint32(payload))
 		dst := graph.NodeID(binary.LittleEndian.Uint32(payload[4:]))
 		l := int(binary.LittleEndian.Uint32(payload[8:]))
-		rv := core.LocalEvalDist(s.frag, src, dst, l)
-		return rv.MarshalBinary()
+		rv := core.LocalEvalDist(f, src, dst, l)
+		b, err := rv.MarshalBinary()
+		return epoch, b, err
 	case kindRPQ:
 		if len(payload) < 8 {
-			return nil, fmt.Errorf("short qrr payload")
+			return 0, nil, fmt.Errorf("short qrr payload")
 		}
 		src := graph.NodeID(binary.LittleEndian.Uint32(payload))
 		dst := graph.NodeID(binary.LittleEndian.Uint32(payload[4:]))
 		var a automaton.Automaton
 		if err := a.UnmarshalBinary(payload[8:]); err != nil {
-			return nil, err
+			return 0, nil, err
 		}
-		rv := core.LocalEvalRPQ(s.frag, src, dst, &a)
-		return rv.MarshalBinary()
+		rv := core.LocalEvalRPQ(f, src, dst, &a)
+		b, err := rv.MarshalBinary()
+		return epoch, b, err
 	case kindBatch:
-		return s.handleBatch(payload)
+		b, err := s.handleBatch(f, payload)
+		return epoch, b, err
 	default:
-		return nil, fmt.Errorf("unknown request kind %q", kind)
+		return 0, nil, fmt.Errorf("unknown request kind %q", kind)
 	}
 }
 
-// handleUpdate applies one edge update to the site's fragmentation replica
-// and reports what changed from its point of view. The mutation locks out
-// query evaluation internally (writers exclude the read lock handle takes
-// for queries).
-func (s *Site) handleUpdate(payload []byte) ([]byte, error) {
-	if s.frtn == nil {
-		return nil, fmt.Errorf("site serves a bare fragment; updates unsupported")
+// handleUpdate applies one transactional mutation batch to the site's
+// replica and reports what changed from its point of view, including the
+// post-update balance stats. The mutation locks out query evaluation
+// internally (writers exclude the read lock queries take), and the batch
+// sequence number deduplicates broadcast delivery across sites sharing
+// one replica.
+func (s *Site) handleUpdate(payload []byte) (uint64, []byte, error) {
+	if s.rep == nil {
+		return 0, nil, fmt.Errorf("site serves a bare fragment; updates unsupported")
 	}
-	op, u, v, err := decodeUpdateRequest(payload)
+	seq, ops, err := decodeUpdateRequest(payload)
 	if err != nil {
-		return nil, err
+		return 0, nil, err
 	}
-	var dirty []int
-	var changed bool
-	switch op {
-	case UpdateInsert:
-		dirty, changed, err = s.frtn.InsertEdge(u, v)
-	case UpdateDelete:
-		dirty, changed, err = s.frtn.DeleteEdge(u, v)
-	}
+	res, err := s.rep.Apply(seq, ops)
 	if err != nil {
-		return nil, err
+		return 0, nil, err
 	}
-	return encodeUpdateReply(changed, dirty), nil
+	fr, epoch := s.rep.Current()
+	return epoch, encodeUpdateReply(res.Changed, res.Dirty, res.NewIDs, fr.BalanceStats()), nil
+}
+
+// handleRebalance re-fragments the site's replica at the requested epoch.
+// The rebuild happens under the old fragmentation's read lock — queries
+// keep flowing the whole time — and the swap is atomic; replicas already
+// at (or past) the epoch no-op, which makes the broadcast idempotent both
+// for co-located sites sharing a replica and for re-delivered frames.
+func (s *Site) handleRebalance(payload []byte) (uint64, []byte, error) {
+	if s.rep == nil {
+		return 0, nil, fmt.Errorf("site serves a bare fragment; rebalance unsupported")
+	}
+	epoch, k, seed, name, err := decodeRebalanceRequest(payload)
+	if err != nil {
+		return 0, nil, err
+	}
+	p, err := fragment.ByName(name, seed)
+	if err != nil {
+		return 0, nil, err
+	}
+	cur, _ := s.rep.Current()
+	if k != cur.Card() {
+		return 0, nil, fmt.Errorf("rebalance wants %d fragments, deployment has %d sites", k, cur.Card())
+	}
+	applied, err := s.rep.Rebalance(epoch, p)
+	if err != nil {
+		return 0, nil, err
+	}
+	fr, at := s.rep.Current()
+	return at, encodeRebalanceReply(at, applied, fr.Fingerprint(), fr.BalanceStats()), nil
 }
 
 // handleBatch evaluates a whole batch frame against the fragment in one
 // pass and returns one partial answer per query. Reach queries sharing a
 // target share their in-node equations (those are source-independent): the
-// per-target local evaluation runs once however many sources ask for it,
+// per-target local evaluation runs once however many queries ask for it,
 // AND its result ships once, as a shared reply section the queries
 // reference — each query's own slot carries only its source equation.
 // Distance and regex queries evaluate individually. The frame's service
 // delay (Site.delay) is paid once per batch, not once per query — the
 // amortization the batch protocol exists to deliver.
-func (s *Site) handleBatch(payload []byte) ([]byte, error) {
+func (s *Site) handleBatch(frag *fragment.Fragment, payload []byte) ([]byte, error) {
 	qs, err := decodeBatchRequest(payload)
 	if err != nil {
 		return nil, err
@@ -315,7 +382,7 @@ func (s *Site) handleBatch(payload []byte) ([]byte, error) {
 		case ClassReach:
 			ref, ok := sectionOf[q.T]
 			if !ok {
-				base := core.LocalEvalReach(s.frag, graph.None, q.T)
+				base := core.LocalEvalReach(frag, graph.None, q.T)
 				sb, err := base.MarshalBinary()
 				if err != nil {
 					return nil, err
@@ -325,18 +392,18 @@ func (s *Site) handleBatch(payload []byte) ([]byte, error) {
 				sectionOf[q.T] = ref
 			}
 			refs[i] = ref
-			if own := core.SourceOnlyReach(s.frag, q.S, q.T); own != nil {
+			if own := core.SourceOnlyReach(frag, q.S, q.T); own != nil {
 				if parts[i], err = own.MarshalBinary(); err != nil {
 					return nil, err
 				}
 			}
 		case ClassDist:
-			rv := core.LocalEvalDist(s.frag, q.S, q.T, q.L)
+			rv := core.LocalEvalDist(frag, q.S, q.T, q.L)
 			if parts[i], err = rv.MarshalBinary(); err != nil {
 				return nil, err
 			}
 		case ClassRPQ:
-			rv := core.LocalEvalRPQ(s.frag, q.S, q.T, q.A)
+			rv := core.LocalEvalRPQ(frag, q.S, q.T, q.A)
 			if parts[i], err = rv.MarshalBinary(); err != nil {
 				return nil, err
 			}
@@ -349,18 +416,20 @@ func (s *Site) handleBatch(payload []byte) ([]byte, error) {
 }
 
 // ServeFragmentation is a convenience that starts one Site per fragment on
-// loopback ports and returns the sites plus their addresses. Callers must
-// Close every site.
+// loopback ports and returns the sites plus their addresses. The sites
+// share one Replica, so broadcast updates and rebalances apply once.
+// Callers must Close every site.
 func ServeFragmentation(fr *fragment.Fragmentation) ([]*Site, []string, error) {
 	return ServeFragmentationOpts(fr, SiteOptions{})
 }
 
 // ServeFragmentationOpts is ServeFragmentation with explicit site options.
 func ServeFragmentationOpts(fr *fragment.Fragmentation, o SiteOptions) ([]*Site, []string, error) {
+	rep := fragment.NewReplica(fr)
 	sites := make([]*Site, 0, fr.Card())
 	addrs := make([]string, 0, fr.Card())
 	for _, f := range fr.Fragments() {
-		s, err := NewSiteFor("127.0.0.1:0", fr, f.ID, o)
+		s, err := NewSiteReplica("127.0.0.1:0", rep, f.ID, o)
 		if err != nil {
 			for _, prev := range sites {
 				prev.Close()

@@ -6,36 +6,61 @@ import (
 	"fmt"
 	"sort"
 
+	"distreach/internal/fragment"
 	"distreach/internal/graph"
 )
 
-// Live graph updates over the wire. An update frame ('U') carries one edge
-// insertion or deletion. The coordinator broadcasts it to every site; each
-// site holds a replica of the whole fragmentation (cmd/site loads the full
-// graph and assignment anyway, and in-process deployments share one), so
-// each site applies the update to the fragment(s) it affects and replies
-// with what changed from its replica's point of view. Application is
-// idempotent — re-inserting an existing edge or re-deleting a missing one
-// is a no-op — so sites sharing one in-process fragmentation apply it once
-// and the rest observe a no-op; the coordinator unions the replies into
-// the definitive dirty set.
+// Live graph updates over the wire. An update frame ('U') carries one
+// transactional batch of mutations — edge inserts/deletes and node
+// inserts/deletes. The coordinator broadcasts it to every site; each site
+// holds a replica of the whole fragmentation, applies the batch atomically
+// under the fragmentation write lock, and replies with what changed from
+// its replica's point of view. Broadcast delivery is deduplicated by the
+// batch's sequence number (sites sharing one in-process replica apply it
+// once and the rest replay the recorded result — node insertion, unlike
+// edge ops, is not idempotent), and the coordinator unions the replies
+// into the definitive dirty set.
 //
 // Update request payload (little-endian):
 //
-//	op u8 ('i' insert | 'd' delete) | u u32 | v u32
+//	ver u8 (2) | seq u64 | count u32 | per op:
+//	  kind u8 ('i' insert edge | 'd' delete edge | 'n' insert node |
+//	           'r' delete node)
+//	  'i'/'d' add: u u32 | v u32
+//	  'n'     adds: frag i32 (-1 = partitioner places) | llen u16 | label
+//	  'r'     adds: v u32
 //
 // Update response payload:
 //
-//	changed u8 | count u32 | dirty fragment IDs u32 each
+//	ver u8 (2) | changed u8 | ndirty u32 | dirty u32 each
+//	          | nnew u32 | new node IDs u32 each
+//	          | balance stats: k u32 | maxSize u32 | minSize u32 |
+//	            totalSize u64 | vf u32 | crossEdges u32
 //
-// Consistency: one coordinator serializes its updates (they run one round
-// at a time), and each site orders an update against its own in-flight
-// queries with a write lock, but a multi-site round is not atomic — a
-// query racing an update may combine pre- and post-update partials. The
-// system is eventually consistent: once an update round returns, every
-// subsequent query sees it.
+// Every reply rides inside the epoch-prefixed answer frame, and the reply
+// carries the post-update BalanceStats so the gateway can watch skew drift
+// without extra traffic and trigger a rebalance.
+//
+// Consistency: one coordinator serializes its update and rebalance rounds
+// (they run one at a time), and each site orders a batch against its own
+// in-flight queries with the write lock, but a multi-site round is not
+// atomic — a query racing an update may combine pre- and post-update
+// partials. The system is eventually consistent: once an update round
+// returns, every subsequent query sees it.
 
-// UpdateOp selects the edge operation of an update frame.
+// Op is one mutation of a wire update batch (alias of fragment.Op).
+type Op = fragment.Op
+
+// The four mutation kinds, re-exported for wire callers.
+const (
+	OpInsertEdge = fragment.OpInsertEdge
+	OpDeleteEdge = fragment.OpDeleteEdge
+	OpInsertNode = fragment.OpInsertNode
+	OpDeleteNode = fragment.OpDeleteNode
+)
+
+// UpdateOp selects the edge operation of the single-edge Update
+// convenience wrapper.
 type UpdateOp byte
 
 // The two edge operations.
@@ -44,98 +69,321 @@ const (
 	UpdateDelete UpdateOp = 'd'
 )
 
-// UpdateResult reports the effect of one edge update on the deployment.
+// UpdateResult reports the effect of one update batch on the deployment.
 type UpdateResult struct {
-	// Changed is false when the update was a no-op (inserting an existing
-	// edge, deleting a missing one).
+	// Changed is false when the whole batch was a no-op (inserting
+	// existing edges, deleting missing ones, re-deleting nodes).
 	Changed bool
 	// Dirty lists the fragments whose partial answers may have changed,
 	// sorted ascending. Empty when Changed is false.
 	Dirty []int
+	// NewIDs holds the node ID assigned to each OpInsertNode, in op order.
+	NewIDs []graph.NodeID
+	// Epoch is the deployment epoch the batch applied under.
+	Epoch uint64
+	// Stats is the post-update balance of the fragmentation; the gateway
+	// watches its Skew to trigger automatic rebalancing.
+	Stats fragment.BalanceStats
 }
 
-// encodeUpdateRequest packs one edge update.
-func encodeUpdateRequest(op UpdateOp, u, v graph.NodeID) []byte {
-	b := []byte{byte(op)}
-	b = binary.LittleEndian.AppendUint32(b, uint32(u))
-	b = binary.LittleEndian.AppendUint32(b, uint32(v))
-	return b
+// updateVersion versions the update payload codecs.
+const updateVersion = 2
+
+// maxOps bounds the declared op count of one update frame against hostile
+// length prefixes; it comfortably exceeds any real transactional batch.
+const maxOps = 1 << 16
+
+// encodeUpdateRequest packs one transactional mutation batch.
+func encodeUpdateRequest(seq uint64, ops []Op) ([]byte, error) {
+	b := []byte{updateVersion}
+	b = binary.LittleEndian.AppendUint64(b, seq)
+	b = binary.LittleEndian.AppendUint32(b, uint32(len(ops)))
+	for i, op := range ops {
+		b = append(b, byte(op.Kind))
+		switch op.Kind {
+		case OpInsertEdge, OpDeleteEdge:
+			b = binary.LittleEndian.AppendUint32(b, uint32(op.U))
+			b = binary.LittleEndian.AppendUint32(b, uint32(op.V))
+		case OpInsertNode:
+			if len(op.Label) > 0xFFFF {
+				return nil, fmt.Errorf("netsite: op %d: label of %d bytes exceeds the wire limit", i, len(op.Label))
+			}
+			b = binary.LittleEndian.AppendUint32(b, uint32(int32(op.Frag)))
+			b = binary.LittleEndian.AppendUint16(b, uint16(len(op.Label)))
+			b = append(b, op.Label...)
+		case OpDeleteNode:
+			b = binary.LittleEndian.AppendUint32(b, uint32(op.U))
+		default:
+			return nil, fmt.Errorf("netsite: op %d: unknown kind %q", i, byte(op.Kind))
+		}
+	}
+	return b, nil
 }
 
 // decodeUpdateRequest is the inverse of encodeUpdateRequest, hardened
-// against hostile payloads.
-func decodeUpdateRequest(p []byte) (UpdateOp, graph.NodeID, graph.NodeID, error) {
-	if len(p) != 9 {
-		return 0, 0, 0, fmt.Errorf("netsite: update payload is %d bytes, want 9", len(p))
+// against hostile payloads: every count and length is bounds-checked and
+// trailing bytes are rejected.
+func decodeUpdateRequest(p []byte) (seq uint64, ops []Op, err error) {
+	r := &batchReader{b: p}
+	v, err := r.u8()
+	if err != nil {
+		return 0, nil, err
 	}
-	op := UpdateOp(p[0])
-	if op != UpdateInsert && op != UpdateDelete {
-		return 0, 0, 0, fmt.Errorf("netsite: unknown update op %q", p[0])
+	if v != updateVersion {
+		return 0, nil, fmt.Errorf("netsite: unsupported update version %d", v)
 	}
-	u := graph.NodeID(binary.LittleEndian.Uint32(p[1:]))
-	v := graph.NodeID(binary.LittleEndian.Uint32(p[5:]))
-	return op, u, v, nil
+	seq, err = r.u64()
+	if err != nil {
+		return 0, nil, err
+	}
+	n, err := r.u32()
+	if err != nil {
+		return 0, nil, err
+	}
+	if n > maxOps || uint64(n) > uint64(len(r.b)-r.off) { // each op is >= 1 byte
+		return 0, nil, fmt.Errorf("netsite: implausible update op count %d", n)
+	}
+	ops = make([]Op, 0, n)
+	for i := 0; i < int(n); i++ {
+		kind, err := r.u8()
+		if err != nil {
+			return 0, nil, err
+		}
+		op := Op{Kind: fragment.OpKind(kind)}
+		switch op.Kind {
+		case OpInsertEdge, OpDeleteEdge:
+			u, err := r.u32()
+			if err != nil {
+				return 0, nil, err
+			}
+			v, err := r.u32()
+			if err != nil {
+				return 0, nil, err
+			}
+			op.U, op.V = graph.NodeID(u), graph.NodeID(v)
+		case OpInsertNode:
+			f, err := r.u32()
+			if err != nil {
+				return 0, nil, err
+			}
+			llen, err := r.u16()
+			if err != nil {
+				return 0, nil, err
+			}
+			lb, err := r.bytes(uint32(llen))
+			if err != nil {
+				return 0, nil, err
+			}
+			op.Frag = int(int32(f))
+			op.Label = string(lb)
+		case OpDeleteNode:
+			u, err := r.u32()
+			if err != nil {
+				return 0, nil, err
+			}
+			op.U = graph.NodeID(u)
+		default:
+			return 0, nil, fmt.Errorf("netsite: update op %d: unknown kind %q", i, kind)
+		}
+		ops = append(ops, op)
+	}
+	if err := r.done(); err != nil {
+		return 0, nil, err
+	}
+	return seq, ops, nil
 }
 
-// encodeUpdateReply packs one site's view of an applied update.
-func encodeUpdateReply(changed bool, dirty []int) []byte {
-	b := []byte{0}
+// encodeUpdateReply packs one site's view of an applied update batch plus
+// the post-update balance stats.
+func encodeUpdateReply(changed bool, dirty []int, newIDs []graph.NodeID, bs fragment.BalanceStats) []byte {
+	b := []byte{updateVersion, 0}
 	if changed {
-		b[0] = 1
+		b[1] = 1
 	}
 	b = binary.LittleEndian.AppendUint32(b, uint32(len(dirty)))
 	for _, d := range dirty {
 		b = binary.LittleEndian.AppendUint32(b, uint32(d))
 	}
+	b = binary.LittleEndian.AppendUint32(b, uint32(len(newIDs)))
+	for _, id := range newIDs {
+		b = binary.LittleEndian.AppendUint32(b, uint32(id))
+	}
+	b = appendBalanceStats(b, bs)
 	return b
 }
 
 // decodeUpdateReply is the inverse of encodeUpdateReply, hardened against
-// hostile payloads: the declared count is bounds-checked against the
-// buffer and trailing bytes are rejected.
-func decodeUpdateReply(p []byte) (changed bool, dirty []int, err error) {
-	if len(p) < 5 {
-		return false, nil, fmt.Errorf("netsite: update reply is %d bytes, want >= 5", len(p))
+// hostile payloads.
+func decodeUpdateReply(p []byte) (changed bool, dirty []int, newIDs []graph.NodeID, bs fragment.BalanceStats, err error) {
+	r := &batchReader{b: p}
+	v, err := r.u8()
+	if err != nil {
+		return false, nil, nil, bs, err
 	}
-	if p[0] > 1 {
-		return false, nil, fmt.Errorf("netsite: update reply changed flag %d", p[0])
+	if v != updateVersion {
+		return false, nil, nil, bs, fmt.Errorf("netsite: unsupported update reply version %d", v)
 	}
-	n := binary.LittleEndian.Uint32(p[1:])
-	if uint64(n)*4 != uint64(len(p)-5) {
-		return false, nil, fmt.Errorf("netsite: update reply claims %d fragment IDs in %d bytes", n, len(p)-5)
+	ch, err := r.u8()
+	if err != nil {
+		return false, nil, nil, bs, err
 	}
-	dirty = make([]int, 0, n)
-	for i := 0; i < int(n); i++ {
-		dirty = append(dirty, int(binary.LittleEndian.Uint32(p[5+4*i:])))
+	if ch > 1 {
+		return false, nil, nil, bs, fmt.Errorf("netsite: update reply changed flag %d", ch)
 	}
-	return p[0] == 1, dirty, nil
+	nd, err := r.u32()
+	if err != nil {
+		return false, nil, nil, bs, err
+	}
+	if uint64(nd)*4 > uint64(len(r.b)-r.off) {
+		return false, nil, nil, bs, fmt.Errorf("netsite: update reply claims %d fragment IDs in %d bytes", nd, len(r.b)-r.off)
+	}
+	dirty = make([]int, 0, nd)
+	for i := 0; i < int(nd); i++ {
+		d, err := r.u32()
+		if err != nil {
+			return false, nil, nil, bs, err
+		}
+		dirty = append(dirty, int(d))
+	}
+	nn, err := r.u32()
+	if err != nil {
+		return false, nil, nil, bs, err
+	}
+	if uint64(nn)*4 > uint64(len(r.b)-r.off) {
+		return false, nil, nil, bs, fmt.Errorf("netsite: update reply claims %d new IDs in %d bytes", nn, len(r.b)-r.off)
+	}
+	newIDs = make([]graph.NodeID, 0, nn)
+	for i := 0; i < int(nn); i++ {
+		id, err := r.u32()
+		if err != nil {
+			return false, nil, nil, bs, err
+		}
+		newIDs = append(newIDs, graph.NodeID(id))
+	}
+	bs, err = readBalanceStats(r)
+	if err != nil {
+		return false, nil, nil, bs, err
+	}
+	if err := r.done(); err != nil {
+		return false, nil, nil, bs, err
+	}
+	return ch == 1, dirty, newIDs, bs, nil
 }
 
-// Update applies one edge insertion or deletion to the deployment: the
-// update frame is broadcast to every site, each applies it to its replica
-// of the fragmentation, and the replies are unioned into the definitive
-// changed flag and dirty fragment set. Updates from one coordinator are
-// serialized (one round in flight at a time) so every site applies them in
-// the same order.
+// appendBalanceStats packs the balance summary every update and rebalance
+// reply carries.
+func appendBalanceStats(b []byte, bs fragment.BalanceStats) []byte {
+	b = binary.LittleEndian.AppendUint32(b, uint32(bs.Fragments))
+	b = binary.LittleEndian.AppendUint32(b, uint32(bs.MaxSize))
+	b = binary.LittleEndian.AppendUint32(b, uint32(bs.MinSize))
+	b = binary.LittleEndian.AppendUint64(b, uint64(bs.TotalSize))
+	b = binary.LittleEndian.AppendUint32(b, uint32(bs.Vf))
+	b = binary.LittleEndian.AppendUint32(b, uint32(bs.CrossEdges))
+	return b
+}
+
+// readBalanceStats is the inverse of appendBalanceStats.
+func readBalanceStats(r *batchReader) (fragment.BalanceStats, error) {
+	var bs fragment.BalanceStats
+	k, err := r.u32()
+	if err != nil {
+		return bs, err
+	}
+	maxs, err := r.u32()
+	if err != nil {
+		return bs, err
+	}
+	mins, err := r.u32()
+	if err != nil {
+		return bs, err
+	}
+	total, err := r.u64()
+	if err != nil {
+		return bs, err
+	}
+	vf, err := r.u32()
+	if err != nil {
+		return bs, err
+	}
+	cross, err := r.u32()
+	if err != nil {
+		return bs, err
+	}
+	bs.Fragments = int(k)
+	bs.MaxSize = int(maxs)
+	bs.MinSize = int(mins)
+	bs.TotalSize = int64(total)
+	bs.Vf = int(vf)
+	bs.CrossEdges = int(cross)
+	return bs, nil
+}
+
+// Update applies one edge insertion or deletion to the deployment — the
+// single-edge convenience form of Apply.
 func (c *Coordinator) Update(op UpdateOp, u, v graph.NodeID) (UpdateResult, WireStats, error) {
 	return c.UpdateContext(context.Background(), op, u, v)
 }
 
 // UpdateContext is Update honoring a context deadline or cancellation.
 func (c *Coordinator) UpdateContext(ctx context.Context, op UpdateOp, u, v graph.NodeID) (UpdateResult, WireStats, error) {
-	if op != UpdateInsert && op != UpdateDelete {
+	var kind fragment.OpKind
+	switch op {
+	case UpdateInsert:
+		kind = OpInsertEdge
+	case UpdateDelete:
+		kind = OpDeleteEdge
+	default:
 		return UpdateResult{}, WireStats{}, fmt.Errorf("netsite: unknown update op %q", byte(op))
+	}
+	return c.ApplyContext(ctx, []Op{{Kind: kind, U: u, V: v}})
+}
+
+// InsertNode adds a node carrying label to the deployment; the replicas'
+// partitioner places it. The assigned ID is UpdateResult.NewIDs[0].
+func (c *Coordinator) InsertNode(label string) (UpdateResult, WireStats, error) {
+	return c.ApplyContext(context.Background(), []Op{{Kind: OpInsertNode, Label: label, Frag: -1}})
+}
+
+// DeleteNode removes node v from the deployment, cascading to its
+// incident edges.
+func (c *Coordinator) DeleteNode(v graph.NodeID) (UpdateResult, WireStats, error) {
+	return c.ApplyContext(context.Background(), []Op{{Kind: OpDeleteNode, U: v}})
+}
+
+// Apply runs one transactional mutation batch against the deployment: the
+// batch travels in a single update frame to every site, each replica
+// applies it atomically under its fragmentation write lock, and the
+// replies are unioned into the definitive changed flag, dirty fragment
+// set and new node IDs. Batches from one coordinator are serialized (one
+// round in flight at a time) so every site applies them in the same
+// order.
+func (c *Coordinator) Apply(ops []Op) (UpdateResult, WireStats, error) {
+	return c.ApplyContext(context.Background(), ops)
+}
+
+// ApplyContext is Apply honoring a context deadline or cancellation.
+func (c *Coordinator) ApplyContext(ctx context.Context, ops []Op) (UpdateResult, WireStats, error) {
+	if len(ops) == 0 {
+		return UpdateResult{}, WireStats{}, fmt.Errorf("netsite: empty update batch")
 	}
 	c.updMu.Lock()
 	defer c.updMu.Unlock()
-	replies, st, err := c.roundtrip(ctx, kindUpdate, encodeUpdateRequest(op, u, v))
+	seq := c.nextSeq.Add(1)
+	if seq == 0 { // the random base wrapped; 0 means "no dedupe" on the wire
+		seq = c.nextSeq.Add(1)
+	}
+	payload, err := encodeUpdateRequest(seq, ops)
+	if err != nil {
+		return UpdateResult{}, WireStats{}, err
+	}
+	replies, epochs, st, err := c.roundtrip(ctx, kindUpdate, payload)
 	if err != nil {
 		return UpdateResult{}, st, err
 	}
 	var res UpdateResult
 	seen := map[int]bool{}
 	for i, resp := range replies {
-		changed, dirty, err := decodeUpdateReply(resp)
+		changed, dirty, newIDs, bs, err := decodeUpdateReply(resp)
 		if err != nil {
 			return UpdateResult{}, st, fmt.Errorf("netsite: site %d reply: %w", i, err)
 		}
@@ -146,7 +394,22 @@ func (c *Coordinator) UpdateContext(ctx context.Context, op UpdateOp, u, v graph
 				res.Dirty = append(res.Dirty, d)
 			}
 		}
+		if i == 0 {
+			res.NewIDs, res.Stats, res.Epoch = newIDs, bs, epochs[0]
+		} else if epochs[i] != res.Epoch {
+			// An update must apply on one epoch everywhere; a split means a
+			// replica is out of sync (or a rebalance raced this round from
+			// another coordinator).
+			return UpdateResult{}, st, fmt.Errorf("%w (update applied across epochs %d and %d)", ErrEpochSplit, res.Epoch, epochs[i])
+		}
+		for j, id := range newIDs {
+			if j < len(res.NewIDs) && res.NewIDs[j] != id {
+				return UpdateResult{}, st, fmt.Errorf("netsite: sites disagree on new node IDs (%d vs %d)", res.NewIDs[j], id)
+			}
+		}
 	}
 	sort.Ints(res.Dirty)
+	res.Stats.Epoch = res.Epoch
+	st.Epoch = res.Epoch
 	return res, st, nil
 }
