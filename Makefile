@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench bench-smoke fuzz-smoke staticcheck fmt fmt-check vet ci
+.PHONY: all build test race bench bench-smoke fuzz-smoke recovery-smoke staticcheck fmt fmt-check vet ci
 
 all: build test
 
@@ -27,13 +27,28 @@ bench-smoke:
 	$(GO) run ./cmd/bench -load -clients 2 -duration 1s -churn 5 -nodes 300 -edges 1200 -class mixed
 	$(GO) run ./cmd/bench -load -clients 2 -duration 1s -churn 20 -nodechurn -rebalance 300ms -nodes 300 -edges 1200 -class mixed
 
-# Short fuzzing pass over the wire codecs (one target per invocation: the
-# Go fuzzer requires exactly one -fuzz match).
+# Short fuzzing pass over the wire and durability codecs (one target per
+# invocation: the Go fuzzer requires exactly one -fuzz match).
 fuzz-smoke:
 	$(GO) test ./internal/netsite -run '^$$' -fuzz '^FuzzDecodeFrame$$' -fuzztime 20s
 	$(GO) test ./internal/netsite -run '^$$' -fuzz '^FuzzBatchPayload$$' -fuzztime 20s
 	$(GO) test ./internal/netsite -run '^$$' -fuzz '^FuzzUpdatePayload$$' -fuzztime 20s
 	$(GO) test ./internal/netsite -run '^$$' -fuzz '^FuzzRebalancePayload$$' -fuzztime 20s
+	$(GO) test ./internal/netsite -run '^$$' -fuzz '^FuzzSyncPayload$$' -fuzztime 20s
+	$(GO) test ./internal/oplog -run '^$$' -fuzz '^FuzzOpsCodec$$' -fuzztime 20s
+	$(GO) test ./internal/oplog -run '^$$' -fuzz '^FuzzSegmentScan$$' -fuzztime 20s
+
+# Crash-recovery acceptance pass (race-enabled): kill-and-restart catch-up
+# over 50 randomized graphs, two concurrent gateways under one sequencer,
+# snapshot-fallback catch-up, durable-sequencer restart resumption, and the
+# gateway's WAL boot recovery.
+recovery-smoke:
+	$(GO) test -race -count 1 \
+		-run 'TestSiteCatchUpAfterRestart|TestTwoGatewaysConverge|TestSyncSnapshotFallback' ./internal/netsite
+	$(GO) test -race -count 1 \
+		-run 'TestSequencerResumesAfterRestart|TestStoreRecover|TestLogTornTailTruncated' ./internal/oplog
+	$(GO) test -race -count 1 \
+		-run 'TestGatewayDurabilityStats|TestGatewayRecoversDeploymentFromWAL' ./cmd/serve
 
 # Static analysis beyond go vet. Downloads the tool on first run; CI has
 # its own job for it.
@@ -49,4 +64,4 @@ fmt-check:
 vet:
 	$(GO) vet ./...
 
-ci: build vet fmt-check race bench-smoke fuzz-smoke
+ci: build vet fmt-check race bench-smoke recovery-smoke fuzz-smoke

@@ -11,6 +11,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"distreach/internal/automaton"
@@ -57,13 +58,15 @@ func runLoad(cfg loadConfig) error {
 	}
 	var issue, update func(rng *gen.RNG, q int) error
 	var rebalance func(epoch uint64) error
+	var maxLag atomic.Uint64 // worst replica lag observed (wire mode; batches)
+	wireMode := cfg.url == ""
 	target := cfg.url
 	if cfg.url != "" {
 		issue, update, rebalance = httpIssuer(cfg)
 	} else {
 		var cleanup func()
 		var err error
-		issue, update, rebalance, cleanup, err = wireIssuer(cfg)
+		issue, update, rebalance, cleanup, err = wireIssuer(cfg, &maxLag)
 		if err != nil {
 			return err
 		}
@@ -163,6 +166,9 @@ func runLoad(cfg loadConfig) error {
 	fmt.Printf("queries     %d in %d rounds (%d errors)\n", queries, len(all), errs)
 	if cfg.churn > 0 {
 		fmt.Printf("updates     %d applied (%d errors)\n", updates, uerrs)
+		if wireMode {
+			fmt.Printf("replica lag max %d batches behind the sequencer\n", maxLag.Load())
+		}
 	}
 	if cfg.rebalance > 0 {
 		fmt.Printf("rebalances  %d applied (%d errors)\n", rebalances, rerrs)
@@ -204,8 +210,10 @@ func pickQuery(class string, rng *gen.RNG, q, n int) (cls string, s, t graph.Nod
 }
 
 // wireIssuer deploys loopback sites in-process and drives them over the
-// multiplexed TCP protocol through a single shared coordinator.
-func wireIssuer(cfg loadConfig) (func(*gen.RNG, int) error, func(*gen.RNG, int) error, func(uint64) error, func(), error) {
+// multiplexed TCP protocol through a single shared coordinator. The
+// returned lag function samples the worst replica lag observed so far —
+// how many sequenced batches the slowest site trails the sequencer by.
+func wireIssuer(cfg loadConfig, maxLag *atomic.Uint64) (func(*gen.RNG, int) error, func(*gen.RNG, int) error, func(uint64) error, func(), error) {
 	g := gen.PowerLaw(gen.Config{Nodes: cfg.nodes, Edges: cfg.edges, Labels: loadLabels, Seed: cfg.seed})
 	fr, err := fragment.Random(g, cfg.k, cfg.seed)
 	if err != nil {
@@ -252,6 +260,22 @@ func wireIssuer(cfg loadConfig) (func(*gen.RNG, int) error, func(*gen.RNG, int) 
 	}
 	update := func(rng *gen.RNG, i int) error {
 		_, _, err := co.Apply([]netsite.Op{pickUpdate(cfg, rng, i)})
+		// Sample the worst replica lag: how far the slowest site trails the
+		// sequencer's total order right now (CAS max — concurrent samplers
+		// must not overwrite a larger observation).
+		seq := co.Sequencer().LSN()
+		for _, l := range co.ReplicaLSNs() {
+			if l >= seq {
+				continue
+			}
+			lag := seq - l
+			for {
+				cur := maxLag.Load()
+				if lag <= cur || maxLag.CompareAndSwap(cur, lag) {
+					break
+				}
+			}
+		}
 		if err != nil && strings.Contains(err.Error(), "not a live node") {
 			// Random churn aimed an edge op at a node a previous op
 			// deleted; the deployment rightly rejected the batch. That is

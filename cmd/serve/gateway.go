@@ -6,6 +6,7 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"os"
 	"strconv"
 	"sync"
 	"sync/atomic"
@@ -15,6 +16,7 @@ import (
 	"distreach/internal/fragment"
 	"distreach/internal/graph"
 	"distreach/internal/netsite"
+	"distreach/internal/oplog"
 	"distreach/internal/qcache"
 )
 
@@ -34,6 +36,8 @@ type gwOptions struct {
 	skew        float64       // auto-rebalance threshold; 0 = disabled
 	partitioner string        // rebalance strategy (fragment.ByName)
 	seed        uint64        // rebalance partitioner seed base
+	store       *oplog.Store  // durable oplog (-wal); nil = in-memory order only
+	snapEvery   int           // checkpoint + log-truncate cadence in batches; 0 = never
 }
 
 // defaultMaxInflight bounds concurrent query/update requests when the
@@ -54,6 +58,9 @@ type gateway struct {
 	epoch       atomic.Uint64 // highest deployment epoch observed
 	rebalances  atomic.Int64  // successful rebalance rounds
 	rebalancing atomic.Bool   // single-flight latch for auto-rebalance
+	syncing     atomic.Bool   // single-flight latch for catch-up replication
+	syncs       atomic.Int64  // successful catch-up rounds
+	snapping    atomic.Bool   // single-flight latch for checkpointing
 
 	statsMu   sync.Mutex
 	lastStats fragment.BalanceStats // latest balance seen in an update reply
@@ -67,6 +74,9 @@ func newGateway(co *netsite.Coordinator, o gwOptions) *gateway {
 	}
 	if o.partitioner == "" {
 		o.partitioner = "edgecut"
+	}
+	if o.store != nil {
+		co.UseSequencer(oplog.NewDurableSequencer(o.store))
 	}
 	return &gateway{
 		co:      co,
@@ -136,10 +146,10 @@ func (g *gateway) wireCtx(r *http.Request) (context.Context, context.CancelFunc)
 
 // wireError maps a failed wire round to an HTTP status: 504 when the
 // gateway's deadline expired (a stalled site must not hang the client),
-// 503 + Retry-After for an epoch split (an out-of-sync replica — e.g. a
-// site restarted from its original files after rebalances; the gateway
-// kicks off a re-sync rebalance in the background, so retries succeed
-// once every replica reaches the fresh epoch), 502 for everything else.
+// 503 + Retry-After for a state split (a replica serving a different
+// epoch or update-log position — e.g. a site restarted from stale files;
+// the gateway kicks off catch-up replication in the background, so
+// retries succeed once every replica converges), 502 for everything else.
 func (g *gateway) wireError(w http.ResponseWriter, err error) {
 	status := http.StatusBadGateway
 	switch {
@@ -148,9 +158,74 @@ func (g *gateway) wireError(w http.ResponseWriter, err error) {
 	case errors.Is(err, netsite.ErrEpochSplit):
 		status = http.StatusServiceUnavailable
 		w.Header().Set("Retry-After", "1")
-		go g.rebalance()
+		go g.heal()
 	}
 	writeJSON(w, status, errorResponse{Error: err.Error()})
+}
+
+// heal is the self-repair path (single-flight): catch-up replication
+// brings every replica to the same update-log position — streaming the
+// write-ahead log's suffix, or a whole snapshot, to the ones that fell
+// behind — then realigns epochs with a forced rebalance if they still
+// diverge. Works without a -wal store too: the log suffix is then
+// unavailable, but a snapshot fetched from the most advanced replica
+// covers any gap.
+func (g *gateway) heal() {
+	if !g.syncing.CompareAndSwap(false, true) {
+		return
+	}
+	defer g.syncing.Store(false)
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+	o := netsite.SyncOptions{Partitioner: g.opts.partitioner, Seed: g.opts.seed}
+	if g.opts.store != nil {
+		o.Log = g.opts.store.Log()
+		o.Snapshot = func() (*oplog.Snapshot, bool) {
+			s, ok, err := g.opts.store.LoadSnapshot()
+			return s, ok && err == nil
+		}
+	}
+	rep, err := g.co.SyncReplicas(ctx, o)
+	if err != nil {
+		return // the next split re-triggers; a dead site heals when redialed
+	}
+	g.syncs.Add(1)
+	if rep.Rebalanced {
+		// Fragment IDs changed meaning across the epoch switch; cached
+		// answers keyed on the old fragmentation must go.
+		g.cache.Flush()
+		g.rebalances.Add(1)
+	}
+	g.noteEpoch(rep.Epoch)
+}
+
+// maybeSnapshot checkpoints the deployment when the write-ahead log has
+// grown -snapshot-every batches past the last snapshot: a verified
+// snapshot is fetched from the most advanced replica, saved, and the log
+// truncated behind it (single-flight, in the background).
+func (g *gateway) maybeSnapshot() {
+	st := g.opts.store
+	if st == nil || g.opts.snapEvery <= 0 {
+		return
+	}
+	if g.co.Sequencer().LSN() < st.SnapshotLSN()+uint64(g.opts.snapEvery) {
+		return
+	}
+	if !g.snapping.CompareAndSwap(false, true) {
+		return
+	}
+	go func() {
+		defer g.snapping.Store(false)
+		ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+		defer cancel()
+		snap, err := g.co.FetchSnapshot(ctx)
+		if err != nil {
+			return
+		}
+		if err := st.SaveSnapshot(snap); err != nil {
+			fmt.Fprintf(os.Stderr, "serve: snapshot at LSN %d failed: %v\n", snap.LSN, err)
+		}
+	}()
 }
 
 // wireJSON mirrors netsite.WireStats for responses served off the wire.
@@ -536,6 +611,8 @@ type updateResponseJSON struct {
 	Dirty   []int        `json:"dirty"`
 	NewIDs  []uint32     `json:"new_ids,omitempty"`
 	Evicted int          `json:"evicted"`
+	LSN     uint64       `json:"lsn"`
+	Missed  []int        `json:"missed,omitempty"`
 	Balance *balanceJSON `json:"balance,omitempty"`
 	Wire    *wireJSON    `json:"wire"`
 }
@@ -629,9 +706,17 @@ func (g *gateway) handleUpdate(w http.ResponseWriter, r *http.Request) {
 		Dirty:   dirty,
 		NewIDs:  newIDs,
 		Evicted: evicted,
+		LSN:     res.LSN,
+		Missed:  res.Missed,
 		Balance: toBalanceJSON(res.Stats),
 		Wire:    toWireJSON(st),
 	})
+	// A laggard missed this (sequenced, logged) batch — catch it up in the
+	// background so queries stop splitting as soon as possible.
+	if len(res.Missed) > 0 {
+		go g.heal()
+	}
+	g.maybeSnapshot()
 	// Auto-rebalance: the update reply carried the deployment's balance
 	// for free; if churn has skewed it past the threshold, restore the
 	// paper's |Fm|/|Vf| parameters in the background (single-flight).
@@ -730,6 +815,28 @@ func (g *gateway) handleStats(w http.ResponseWriter, r *http.Request) {
 	if last.Fragments > 0 {
 		balance = toBalanceJSON(last)
 	}
+	lsn := g.co.Sequencer().LSN()
+	replicaLSNs := g.co.ReplicaLSNs()
+	var maxLag uint64
+	for _, l := range replicaLSNs {
+		if l < lsn && lsn-l > maxLag {
+			maxLag = lsn - l
+		}
+	}
+	durability := map[string]any{
+		"lsn":          lsn,
+		"replica_lsns": replicaLSNs,
+		"max_lag":      maxLag,
+		"syncs":        g.syncs.Load(),
+	}
+	if st := g.opts.store; st != nil {
+		segs, bytes := st.Log().Stats()
+		durability["wal"] = map[string]any{
+			"snapshot_lsn":  st.SnapshotLSN(),
+			"segments":      segs,
+			"segment_bytes": bytes,
+		}
+	}
 	writeJSON(w, http.StatusOK, map[string]any{
 		"queries":        g.queries.Load(),
 		"updates":        g.updates.Load(),
@@ -741,7 +848,8 @@ func (g *gateway) handleStats(w http.ResponseWriter, r *http.Request) {
 			"inflight":     len(g.sem),
 			"rejected":     g.rejected.Load(),
 		},
-		"balance": balance,
+		"durability": durability,
+		"balance":    balance,
 		"cache": map[string]any{
 			"hits":      hits,
 			"misses":    misses,

@@ -52,6 +52,7 @@ import (
 	"distreach/internal/fragment"
 	"distreach/internal/graph"
 	"distreach/internal/netsite"
+	"distreach/internal/oplog"
 )
 
 func main() {
@@ -68,6 +69,9 @@ func main() {
 		inflight  = flag.Int("maxinflight", 0, "backpressure: max concurrent query/update requests (0 = default 1024); excess gets 429")
 		skew      = flag.Float64("skew", 0, "auto-rebalance when max/mean fragment size crosses this (0 = manual /rebalance only; try 2.0)")
 		rebPart   = flag.String("rebalancepartition", "edgecut", "partitioner used by /rebalance and auto-rebalance")
+		wal       = flag.String("wal", "", "durability: write-ahead log directory; every update batch is sequenced and logged before broadcast, and a restarted gateway resumes the order and replays missed batches to the sites")
+		snapEvery = flag.Int("snapshot-every", 256, "with -wal: checkpoint the deployment and truncate the log every N update batches (0 = never)")
+		fsync     = flag.String("fsync", "always", "with -wal: fsync policy, always | never")
 	)
 	flag.Parse()
 
@@ -104,6 +108,21 @@ func main() {
 		}
 	}()
 
+	var store *oplog.Store
+	if *wal != "" {
+		policy, err := oplog.ParseSyncPolicy(*fsync)
+		if err != nil {
+			fatal(err)
+		}
+		store, err = oplog.OpenStore(*wal, oplog.LogOptions{Fsync: policy})
+		if err != nil {
+			fatal(err)
+		}
+		defer store.Close()
+		fmt.Printf("serve: write-ahead log in %s (recovered LSN %d, snapshot LSN %d, fsync %s)\n",
+			*wal, store.LastLSN(), store.SnapshotLSN(), *fsync)
+	}
+
 	gw := newGateway(co, gwOptions{
 		cacheCap:    *cacheCap,
 		timeout:     *reqTO,
@@ -111,7 +130,17 @@ func main() {
 		skew:        *skew,
 		partitioner: *rebPart,
 		seed:        *seed,
+		store:       store,
+		snapEvery:   *snapEvery,
 	})
+	if store != nil {
+		// Boot-time recovery: the sites may be behind the write-ahead log
+		// (a self-deployed gateway restarts its sites from the original
+		// graph file; a batch may have been logged but never broadcast).
+		// One catch-up round replays the delta before traffic lands on a
+		// stale replica.
+		go gw.heal()
+	}
 	fmt.Printf("serve: gateway on http://%s (cache %d entries, request timeout %v, max in-flight %d, skew threshold %.1f)\n",
 		*listen, *cacheCap, *reqTO, cap(gw.sem), *skew)
 	if err := http.ListenAndServe(*listen, gw.routes()); err != nil {

@@ -10,6 +10,13 @@
 //	site -graph g.txt -assign a.txt -fragment 1 -listen 127.0.0.1:7001 &
 //	site -graph g.txt -assign a.txt -fragment 2 -listen 127.0.0.1:7002 &
 //	coord -graph g.txt -sites 127.0.0.1:7000,127.0.0.1:7001,127.0.0.1:7002 -s 0 -t 99
+//
+// With -wal DIR the site is durable: every applied update batch is
+// appended to a segmented CRC-framed log, a checkpoint is written every
+// -snapshot-every batches (truncating the log behind it), and a restarted
+// site recovers from snapshot+log instead of the original files — it
+// rejoins the deployment trailing only what it missed while down, which
+// the gateway's catch-up replication streams over automatically.
 package main
 
 import (
@@ -21,6 +28,7 @@ import (
 	"distreach/internal/fragment"
 	"distreach/internal/graph"
 	"distreach/internal/netsite"
+	"distreach/internal/oplog"
 )
 
 func main() {
@@ -29,6 +37,9 @@ func main() {
 		assignPath = flag.String("assign", "", "fragmentation assignment file (written by coord -writeassign)")
 		fragID     = flag.Int("fragment", 0, "index of the fragment this site owns")
 		listen     = flag.String("listen", "127.0.0.1:0", "TCP listen address")
+		wal        = flag.String("wal", "", "durability: log/snapshot directory; applied batches are logged and a restart recovers from snapshot+log")
+		snapEvery  = flag.Int("snapshot-every", 256, "with -wal: checkpoint and truncate the log every N applied batches (0 = never)")
+		fsync      = flag.String("fsync", "always", "with -wal: fsync policy, always | never")
 	)
 	flag.Parse()
 	if *graphPath == "" || *assignPath == "" {
@@ -51,12 +62,41 @@ func main() {
 	if *fragID < 0 || *fragID >= fr.Card() {
 		fatal(fmt.Errorf("fragment %d out of range [0,%d)", *fragID, fr.Card()))
 	}
-	f := fr.Fragments()[*fragID]
+
 	// The site keeps the whole fragmentation as its replica of the
 	// deployment (it loaded the full graph and assignment anyway), which
-	// lets it apply broadcast edge-update frames and report which
-	// fragments they dirtied.
-	s, err := netsite.NewSiteFor(*listen, fr, *fragID, netsite.SiteOptions{})
+	// lets it apply broadcast update frames and report which fragments
+	// they dirtied. With -wal, the replica recovers from the store — the
+	// newest snapshot plus the log suffix — rather than serving the
+	// original (possibly stale) files.
+	rep := fragment.NewReplica(fr)
+	opts := netsite.SiteOptions{}
+	if *wal != "" {
+		policy, err := oplog.ParseSyncPolicy(*fsync)
+		if err != nil {
+			fatal(err)
+		}
+		store, err := oplog.OpenStore(*wal, oplog.LogOptions{Fsync: policy})
+		if err != nil {
+			fatal(err)
+		}
+		defer store.Close()
+		rep, err = oplog.Recover(store, fr)
+		if err != nil {
+			fatal(err)
+		}
+		opts.Store = store
+		opts.SnapshotEvery = *snapEvery
+		_, epoch, lsn := rep.State()
+		fmt.Printf("site: recovered from %s at LSN %d, epoch %d (snapshot LSN %d)\n",
+			*wal, lsn, epoch, store.SnapshotLSN())
+	}
+	cur, _, _ := rep.State()
+	if *fragID >= cur.Card() {
+		fatal(fmt.Errorf("fragment %d out of range [0,%d) after recovery", *fragID, cur.Card()))
+	}
+	f := cur.Fragments()[*fragID]
+	s, err := netsite.NewSiteReplica(*listen, rep, *fragID, opts)
 	if err != nil {
 		fatal(err)
 	}

@@ -1,0 +1,221 @@
+package exp
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"time"
+
+	"distreach/internal/fragment"
+	"distreach/internal/gen"
+	"distreach/internal/graph"
+	"distreach/internal/netsite"
+	"distreach/internal/oplog"
+)
+
+func init() {
+	register("N6", durableRecovery)
+}
+
+// durableRecovery charts the durability layer's two costs:
+//
+//  1. Recovery: a replica that missed D update batches while down rejoins
+//     by catch-up replication. With the write-ahead log intact the missed
+//     delta replays (cost grows with D); "full re-seed" ships a whole
+//     snapshot instead (cost flat in D, proportional to graph size) — the
+//     crossover is the case for snapshots bounding the log.
+//  2. Sequencer overhead: sequencing every batch through one total order
+//     (and write-ahead logging it) taxes update throughput; the fsync
+//     policy sets the price.
+func durableRecovery(cfg Config) (Table, error) {
+	t := Table{
+		ID:     "N6",
+		Title:  "Durability N6: recovery time vs missed updates, and sequencer overhead",
+		Header: []string{"scenario", "missed", "recovery", "replayed", "snapshots", "sync KB", "upd/s"},
+		Notes: "Recovery rows: a 3-site deployment (independent replicas) keeps accepting sequenced writes while one site is down; " +
+			"the site restarts from its pre-crash files and rejoins via catch-up replication — log replay when the write-ahead log " +
+			"reaches back (cost ~ missed batches), whole-snapshot transfer when it does not (full re-seed; cost ~ graph size, flat in " +
+			"missed count). Throughput rows: closed-loop single-op update batches through the sequencer; the durable rows write-ahead " +
+			"log every batch under the named fsync policy.",
+	}
+	size := cfg.scale(400)
+	for _, missed := range []int{16, 64, 256} {
+		for _, reseed := range []bool{false, true} {
+			row, err := recoveryRow(size, missed, reseed)
+			if err != nil {
+				return t, err
+			}
+			t.Rows = append(t.Rows, row)
+		}
+	}
+	batches := cfg.scale(300)
+	for _, mode := range []string{"in-memory", "wal fsync=never", "wal fsync=always"} {
+		row, err := throughputRow(mode, size, batches)
+		if err != nil {
+			return t, err
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	return t, nil
+}
+
+// recoveryRow measures one catch-up: a site misses `missed` batches, then
+// rejoins by replay (write-ahead log available) or by full re-seed
+// (snapshot transfer only).
+func recoveryRow(size, missed int, reseed bool) ([]string, error) {
+	g := gen.PowerLaw(gen.Config{Nodes: size, Edges: 4 * size, Labels: []string{"A", "B"}, Seed: 51})
+	const k = 3
+	assign := make([]int, g.NumNodes())
+	for v := range assign {
+		assign[v] = v % k
+	}
+	reps := make([]*fragment.Replica, k)
+	sites := make([]*netsite.Site, k)
+	addrs := make([]string, k)
+	for i := 0; i < k; i++ {
+		fr, err := fragment.Build(g.Clone(), assign, k)
+		if err != nil {
+			return nil, err
+		}
+		reps[i] = fragment.NewReplica(fr)
+		sites[i], err = netsite.NewSiteReplica("127.0.0.1:0", reps[i], i, netsite.SiteOptions{})
+		if err != nil {
+			return nil, err
+		}
+		addrs[i] = sites[i].Addr()
+	}
+	defer func() {
+		for _, s := range sites {
+			if s != nil {
+				s.Close()
+			}
+		}
+	}()
+	dir, err := os.MkdirTemp("", "distreach-n6-*")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(dir)
+	store, err := oplog.OpenStore(dir, oplog.LogOptions{Fsync: oplog.SyncNever})
+	if err != nil {
+		return nil, err
+	}
+	defer store.Close()
+	seq := oplog.NewDurableSequencer(store)
+	co, err := netsite.Dial(addrs, 3*time.Second)
+	if err != nil {
+		return nil, err
+	}
+	co.UseSequencer(seq)
+
+	// The victim goes down; the deployment keeps writing.
+	victim := k - 1
+	sites[victim].Close()
+	sites[victim] = nil
+	rng := gen.NewRNG(52)
+	for i := 0; i < missed; i++ {
+		u, v := graph.NodeID(rng.Intn(size)), graph.NodeID(rng.Intn(size))
+		if _, _, err := co.Apply([]netsite.Op{{Kind: netsite.OpInsertEdge, U: u, V: v}}); err != nil {
+			return nil, err
+		}
+	}
+
+	// Restart the victim from its pre-crash files (LSN 0 here: it never
+	// persisted) and rejoin.
+	fr, err := fragment.Build(g.Clone(), assign, k)
+	if err != nil {
+		return nil, err
+	}
+	reps[victim] = fragment.NewReplica(fr)
+	sites[victim], err = netsite.NewSiteReplica("127.0.0.1:0", reps[victim], victim, netsite.SiteOptions{})
+	if err != nil {
+		return nil, err
+	}
+	addrs[victim] = sites[victim].Addr()
+	co.Close()
+	co2, err := netsite.Dial(addrs, 3*time.Second)
+	if err != nil {
+		return nil, err
+	}
+	defer co2.Close()
+	co2.UseSequencer(seq)
+
+	o := netsite.SyncOptions{Seed: 53}
+	scenario := "full re-seed (snapshot)"
+	if !reseed {
+		o.Log = store.Log()
+		scenario = "catch-up (log replay)"
+	}
+	start := time.Now()
+	rep, err := co2.SyncReplicas(context.Background(), o)
+	if err != nil {
+		return nil, err
+	}
+	elapsed := time.Since(start)
+	return []string{
+		scenario, fmt.Sprint(missed), fmt.Sprint(elapsed.Round(10 * time.Microsecond)),
+		fmt.Sprint(rep.Replayed), fmt.Sprint(rep.Snapshots),
+		fmt.Sprintf("%.1f", float64(rep.Bytes)/1024), "-",
+	}, nil
+}
+
+// throughputRow measures sequenced update throughput under one durability
+// mode.
+func throughputRow(mode string, size, batches int) ([]string, error) {
+	g := gen.PowerLaw(gen.Config{Nodes: size, Edges: 4 * size, Labels: []string{"A", "B"}, Seed: 54})
+	fr, err := fragment.Random(g, 3, 54)
+	if err != nil {
+		return nil, err
+	}
+	sites, addrs, err := netsite.ServeFragmentation(fr)
+	if err != nil {
+		return nil, err
+	}
+	defer func() {
+		for _, s := range sites {
+			s.Close()
+		}
+	}()
+	co, err := netsite.Dial(addrs, 3*time.Second)
+	if err != nil {
+		return nil, err
+	}
+	defer co.Close()
+	switch mode {
+	case "in-memory":
+		// Dial's default sequencer.
+	default:
+		policy := oplog.SyncNever
+		if mode == "wal fsync=always" {
+			policy = oplog.SyncAlways
+		}
+		dir, err := os.MkdirTemp("", "distreach-n6-*")
+		if err != nil {
+			return nil, err
+		}
+		defer os.RemoveAll(dir)
+		store, err := oplog.OpenStore(dir, oplog.LogOptions{Fsync: policy})
+		if err != nil {
+			return nil, err
+		}
+		defer store.Close()
+		co.UseSequencer(oplog.NewDurableSequencer(store))
+	}
+	rng := gen.NewRNG(55)
+	start := time.Now()
+	for i := 0; i < batches; i++ {
+		u, v := graph.NodeID(rng.Intn(size)), graph.NodeID(rng.Intn(size))
+		kind := netsite.OpInsertEdge
+		if i%2 == 1 {
+			kind = netsite.OpDeleteEdge
+		}
+		if _, _, err := co.Apply([]netsite.Op{{Kind: kind, U: u, V: v}}); err != nil {
+			return nil, err
+		}
+	}
+	elapsed := time.Since(start)
+	return []string{
+		"update throughput (" + mode + ")", "-", "-", "-", "-", "-",
+		fmt.Sprintf("%.0f", float64(batches)/elapsed.Seconds()),
+	}, nil
+}

@@ -1,6 +1,7 @@
 package fragment
 
 import (
+	"errors"
 	"fmt"
 	"testing"
 
@@ -220,9 +221,12 @@ func TestInsertNodePlacement(t *testing.T) {
 	}
 }
 
-// TestReplicaSeqDedupe: broadcast delivery of one batch to sites sharing a
-// replica applies once; node insertion is the op that makes this matter.
-func TestReplicaSeqDedupe(t *testing.T) {
+// TestReplicaLSNOrder: broadcast delivery of one batch to sites sharing a
+// replica applies once (node insertion is the op that makes this matter),
+// the total order is enforced — a gap marks the replica behind, a foreign
+// writer colliding on an applied LSN fails loudly — and log replay
+// (nonce 0) deduplicates against live application.
+func TestReplicaLSNOrder(t *testing.T) {
 	g := gen.Uniform(gen.Config{Nodes: 10, Edges: 20, Labels: []string{"A"}, Seed: 2})
 	fr, err := Random(g, 2, 2)
 	if err != nil {
@@ -230,13 +234,19 @@ func TestReplicaSeqDedupe(t *testing.T) {
 	}
 	rep := NewReplica(fr)
 	ops := []Op{{Kind: OpInsertNode, Label: "B", Frag: -1}}
-	r1, err := rep.Apply(41, ops)
+	r1, adv, err := rep.ApplyLSN(1, 7, ops)
 	if err != nil {
 		t.Fatal(err)
 	}
-	r2, err := rep.Apply(41, ops) // duplicate delivery
+	if !adv {
+		t.Fatal("first delivery did not advance the replica")
+	}
+	r2, adv, err := rep.ApplyLSN(1, 7, ops) // duplicate delivery, same writer
 	if err != nil {
 		t.Fatal(err)
+	}
+	if adv {
+		t.Fatal("duplicate delivery advanced the replica")
 	}
 	if len(r1.NewIDs) != 1 || len(r2.NewIDs) != 1 || r1.NewIDs[0] != r2.NewIDs[0] {
 		t.Fatalf("duplicate delivery diverged: %v vs %v", r1.NewIDs, r2.NewIDs)
@@ -245,12 +255,38 @@ func TestReplicaSeqDedupe(t *testing.T) {
 	if cur.Graph().NumLive() != 11 {
 		t.Fatalf("node inserted %d times, want once", cur.Graph().NumLive()-10)
 	}
-	// A fresh sequence number applies again.
-	if _, err := rep.Apply(42, ops); err != nil {
+	// Log replay (nonce 0) of an applied LSN replays the recorded result.
+	if r3, _, err := rep.ApplyLSN(1, 0, ops); err != nil || r3.NewIDs[0] != r1.NewIDs[0] {
+		t.Fatalf("replay of applied LSN: res %v err %v", r3.NewIDs, err)
+	}
+	// A different writer colliding on the applied LSN fails loudly.
+	if _, _, err := rep.ApplyLSN(1, 99, ops); err == nil {
+		t.Fatal("foreign-writer collision on an applied LSN must error")
+	}
+	// The next LSN applies; a gap marks the replica behind.
+	if _, _, err := rep.ApplyLSN(2, 8, ops); err != nil {
 		t.Fatal(err)
 	}
 	if cur.Graph().NumLive() != 12 {
-		t.Fatalf("fresh seq did not apply: %d live nodes", cur.Graph().NumLive())
+		t.Fatalf("next LSN did not apply: %d live nodes", cur.Graph().NumLive())
+	}
+	if _, _, err := rep.ApplyLSN(5, 9, ops); !errors.Is(err, ErrReplicaBehind) {
+		t.Fatalf("gap returned %v, want ErrReplicaBehind", err)
+	}
+	if rep.LSN() != 2 {
+		t.Fatalf("replica LSN = %d, want 2", rep.LSN())
+	}
+	// A deterministically rejected batch still advances the order (the slot
+	// becomes a recorded no-op) and replays its rejection.
+	bad := []Op{{Kind: OpInsertEdge, U: 0, V: 9999}}
+	if _, adv, err := rep.ApplyLSN(3, 10, bad); err == nil || !adv {
+		t.Fatalf("rejected batch: adv=%v err=%v, want advance with error", adv, err)
+	}
+	if _, adv, err := rep.ApplyLSN(3, 10, bad); err == nil || adv {
+		t.Fatalf("replayed rejection: adv=%v err=%v, want recorded error without advance", adv, err)
+	}
+	if rep.LSN() != 3 {
+		t.Fatalf("replica LSN = %d, want 3 after rejected slot", rep.LSN())
 	}
 }
 
@@ -264,7 +300,7 @@ func TestReplicaRebalance(t *testing.T) {
 		t.Fatal(err)
 	}
 	rep := NewReplica(fr)
-	if _, err := rep.Apply(0, []Op{{Kind: OpInsertEdge, U: 0, V: 39}}); err != nil {
+	if _, _, err := rep.ApplyLSN(0, 0, []Op{{Kind: OpInsertEdge, U: 0, V: 39}}); err != nil {
 		t.Fatal(err)
 	}
 	applied, err := rep.Rebalance(1, EdgeCutPartitioner{Seed: 7})

@@ -69,6 +69,27 @@ func ByName(name string, seed uint64) (Partitioner, error) {
 	}
 }
 
+// Describe is the inverse of ByName: the name and seed that reconstruct
+// p. Snapshots record them so a replica seeded from a snapshot re-attaches
+// the same strategy and live node placement stays deterministic across
+// replicas. A nil (or foreign) partitioner describes as "", the
+// least-loaded default.
+func Describe(p Partitioner) (name string, seed uint64) {
+	switch t := p.(type) {
+	case RandomPartitioner:
+		return t.Name(), t.Seed
+	case HashPartitioner:
+		return t.Name(), 0
+	case ContiguousPartitioner:
+		return t.Name(), 0
+	case GreedyPartitioner:
+		return t.Name(), t.Seed
+	case EdgeCutPartitioner:
+		return t.Name(), t.Seed
+	}
+	return "", 0
+}
+
 // leastLoaded is the default balance-aware placement: the fragment with
 // the fewest real nodes, lowest index on ties (deterministic across
 // replicas).

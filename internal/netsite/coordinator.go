@@ -5,7 +5,6 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
-	"math/rand/v2"
 	"net"
 	"sync"
 	"sync/atomic"
@@ -15,16 +14,17 @@ import (
 	"distreach/internal/bes"
 	"distreach/internal/core"
 	"distreach/internal/graph"
+	"distreach/internal/oplog"
 )
 
 // ErrEpochSplit reports that the sites are serving from different
-// deployment epochs and the round could not be completed consistently.
-// Transient splits (a query racing a rebalance swap) are retried away
+// deployment states — epochs or update-log positions (LSNs) — and the
+// round could not be completed consistently. Transient splits (a query
+// racing a rebalance swap or an update broadcast) are retried away
 // internally; a persistent split means some replica is out of sync — a
-// site restarted from its original files after rebalances, say — and a
-// fresh rebalance round to a higher epoch realigns every replica (the
-// gateway does exactly that when it sees this error).
-var ErrEpochSplit = errors.New("netsite: sites answered from different epochs")
+// site restarted from stale files, say — and catch-up replication
+// (Coordinator.SyncReplicas, run automatically by the gateway) repairs it.
+var ErrEpochSplit = errors.New("netsite: sites answered from different states")
 
 // Coordinator is the site Sc: it holds one TCP connection per worker site
 // and evaluates queries by posting them to every site in parallel and
@@ -34,15 +34,29 @@ var ErrEpochSplit = errors.New("netsite: sites answered from different epochs")
 // they finish, and a per-connection reader demultiplexes replies back to
 // the waiting queries. Many queries can be in flight at once.
 //
+// Updates are sequenced: every batch draws a monotonic LSN from the
+// coordinator's sequencer (an in-memory one by default; UseSequencer
+// attaches a shared or durable one) and replicas apply batches in LSN
+// order. Every coordinator and gateway writing to one deployment must
+// share one sequencer — that is what gives interleaved writers a single
+// total order.
+//
 // A dropped site connection fails its in-flight queries promptly, then
 // heals itself: the coordinator redials in the background with bounded
 // exponential backoff, so queries succeed again as soon as the site is
 // back — no restart required.
 type Coordinator struct {
-	conns   []*siteConn
-	nextID  atomic.Uint32
-	nextSeq atomic.Uint64 // update-batch sequence numbers (broadcast dedupe)
-	updMu   sync.Mutex    // serializes update and rebalance rounds
+	conns  []*siteConn
+	nextID atomic.Uint32
+	updMu  sync.Mutex // serializes update and rebalance rounds locally
+
+	seqMu   sync.Mutex
+	seq     *oplog.Sequencer
+	seqInit bool // the sequencer has adopted the deployment's LSN
+
+	// siteLSNs tracks the newest LSN each site has answered from — the
+	// replica-lag signal /stats and bench report.
+	siteLSNs []atomic.Uint64
 }
 
 // Reconnect backoff bounds: the first redial happens almost immediately,
@@ -258,14 +272,13 @@ func (sc *siteConn) close() error {
 	return nil
 }
 
-// Dial connects to the given site addresses.
+// Dial connects to the given site addresses. The coordinator starts with
+// a fresh in-memory sequencer; before its first update it adopts the
+// deployment's current LSN (a hello round), so it extends the existing
+// order. Multiple coordinators writing to one deployment must share a
+// sequencer via UseSequencer.
 func Dial(addrs []string, timeout time.Duration) (*Coordinator, error) {
-	c := &Coordinator{}
-	// Update-batch sequence numbers start at a random base so two
-	// coordinators sharing a deployment never collide: a collision would
-	// make the replicas' broadcast dedupe silently swallow one
-	// coordinator's batch and answer it with the other's result.
-	c.nextSeq.Store(rand.Uint64())
+	c := &Coordinator{seq: oplog.NewSequencer(0)}
 	for _, a := range addrs {
 		conn, err := net.DialTimeout("tcp", a, timeout)
 		if err != nil {
@@ -274,11 +287,50 @@ func Dial(addrs []string, timeout time.Duration) (*Coordinator, error) {
 		}
 		c.conns = append(c.conns, newSiteConn(a, conn, timeout))
 	}
+	c.siteLSNs = make([]atomic.Uint64, len(c.conns))
 	return c, nil
 }
 
 // NumSites reports how many worker sites the coordinator is connected to.
 func (c *Coordinator) NumSites() int { return len(c.conns) }
+
+// UseSequencer attaches the sequencer update batches draw their LSNs
+// from: the shared (often durable, write-ahead logging) sequencer of the
+// deployment. It replaces the private in-memory one Dial installs.
+func (c *Coordinator) UseSequencer(s *oplog.Sequencer) {
+	c.seqMu.Lock()
+	c.seq = s
+	c.seqInit = false
+	c.seqMu.Unlock()
+}
+
+// Sequencer reports the coordinator's current sequencer.
+func (c *Coordinator) Sequencer() *oplog.Sequencer {
+	c.seqMu.Lock()
+	defer c.seqMu.Unlock()
+	return c.seq
+}
+
+// ReplicaLSNs reports the newest LSN each site has answered from — a lag
+// of s.Sequencer().LSN()-min(ReplicaLSNs()) batches means some replica
+// has not yet caught up.
+func (c *Coordinator) ReplicaLSNs() []uint64 {
+	out := make([]uint64, len(c.siteLSNs))
+	for i := range c.siteLSNs {
+		out[i] = c.siteLSNs[i].Load()
+	}
+	return out
+}
+
+// noteSiteLSN records the newest LSN observed from site i.
+func (c *Coordinator) noteSiteLSN(i int, lsn uint64) {
+	for {
+		cur := c.siteLSNs[i].Load()
+		if lsn <= cur || c.siteLSNs[i].CompareAndSwap(cur, lsn) {
+			return
+		}
+	}
+}
 
 // Close shuts down all site connections; in-flight queries fail and no
 // reconnection is attempted.
@@ -303,10 +355,13 @@ type WireStats struct {
 	FramesReceived int64         // response frames; one per site per round
 	RoundTrip      time.Duration // slowest site's post+reply wall time
 
-	// Epoch is the deployment epoch every site answered from. Query
-	// rounds enforce agreement (retrying the rare round that straddles a
-	// live rebalance), so one answer never mixes fragmentation epochs.
+	// Epoch is the deployment epoch every site answered from, and LSN the
+	// update-log position. Query rounds enforce agreement on both
+	// (retrying the rare round that straddles a live rebalance or update
+	// broadcast), so one answer never mixes fragmentation epochs or
+	// update states.
 	Epoch uint64
+	LSN   uint64
 
 	// Touched lists, sorted, the sites (== fragment indices) whose partial
 	// answers the query's solution actually depends on — the dependency
@@ -326,29 +381,43 @@ func (st *WireStats) add(o WireStats) {
 	st.FramesReceived += o.FramesReceived
 	st.RoundTrip += o.RoundTrip
 	st.Epoch = o.Epoch
+	st.LSN = o.LSN
 }
 
-// roundtrip posts one frame to every site in parallel and collects one
-// response frame from each, stripping the epoch tag every answer carries.
-// Concurrent rounds interleave freely: each draws a fresh request ID and
-// waits only on its own replies. A context deadline or cancellation
-// abandons the round promptly: pending requests are dropped and late
-// replies are discarded.
-func (c *Coordinator) roundtrip(ctx context.Context, kind byte, payload []byte) ([][]byte, []uint64, WireStats, error) {
+// siteResult is one site's outcome in a round: either a decoded answer
+// (payload + the state tag it carried) or an error. appErr distinguishes
+// an error *reply* from the site (the frame arrived, the site refused)
+// from a connection-level failure (the site never saw or never answered
+// the frame).
+type siteResult struct {
+	payload []byte
+	epoch   uint64
+	lsn     uint64
+	err     error
+	appErr  bool
+}
+
+// roundtripAll posts one frame to every site in parallel and collects one
+// response from each, reporting per-site outcomes: callers that can
+// tolerate individual failures (sequenced updates, whose log re-delivers
+// to laggards) inspect the slice; roundtrip wraps it for all-or-nothing
+// callers. Concurrent rounds interleave freely: each draws a fresh
+// request ID and waits only on its own replies. A context deadline or
+// cancellation abandons the round promptly.
+func (c *Coordinator) roundtripAll(ctx context.Context, kind byte, payload []byte) ([]siteResult, WireStats) {
 	id := c.nextID.Add(1)
 	start := time.Now()
-	replies := make([][]byte, len(c.conns))
-	epochs := make([]uint64, len(c.conns))
-	errs := make([]error, len(c.conns))
+	results := make([]siteResult, len(c.conns))
 	var sent, recv, fsent, frecv atomic.Int64
 	var wg sync.WaitGroup
 	for i, sc := range c.conns {
 		wg.Add(1)
 		go func(i int, sc *siteConn) {
 			defer wg.Done()
+			res := &results[i]
 			ch, n, err := sc.post(id, kind, payload)
 			if err != nil {
-				errs[i] = fmt.Errorf("site %d: %w", i, err)
+				res.err = fmt.Errorf("site %d: %w", i, err)
 				return
 			}
 			sent.Add(int64(n))
@@ -359,7 +428,7 @@ func (c *Coordinator) roundtrip(ctx context.Context, kind byte, payload []byte) 
 			case r, ok = <-ch:
 			case <-ctx.Done():
 				sc.drop(id)
-				errs[i] = fmt.Errorf("site %d: %w", i, ctx.Err())
+				res.err = fmt.Errorf("site %d: %w", i, ctx.Err())
 				return
 			}
 			if !ok {
@@ -367,23 +436,28 @@ func (c *Coordinator) roundtrip(ctx context.Context, kind byte, payload []byte) 
 				if err == nil {
 					err = fmt.Errorf("connection closed")
 				}
-				errs[i] = fmt.Errorf("site %d: %w", i, err)
+				res.err = fmt.Errorf("site %d: %w", i, err)
 				return
 			}
 			switch r.kind {
 			case kindAnswer:
-				if len(r.payload) < 8 {
-					errs[i] = fmt.Errorf("site %d: answer of %d bytes lacks the epoch tag", i, len(r.payload))
+				if len(r.payload) < answerPrefix {
+					res.err = fmt.Errorf("site %d: answer of %d bytes lacks the state tag", i, len(r.payload))
+					res.appErr = true
 					return
 				}
 				recv.Add(int64(r.n))
 				frecv.Add(1)
-				epochs[i] = binary.LittleEndian.Uint64(r.payload)
-				replies[i] = r.payload[8:]
+				res.epoch = binary.LittleEndian.Uint64(r.payload)
+				res.lsn = binary.LittleEndian.Uint64(r.payload[8:])
+				res.payload = r.payload[answerPrefix:]
+				c.noteSiteLSN(i, res.lsn)
 			case kindError:
-				errs[i] = fmt.Errorf("site %d: %s", i, r.payload)
+				res.err = fmt.Errorf("site %d: %s", i, r.payload)
+				res.appErr = true
 			default:
-				errs[i] = fmt.Errorf("site %d: unexpected frame kind %q", i, r.kind)
+				res.err = fmt.Errorf("site %d: unexpected frame kind %q", i, r.kind)
+				res.appErr = true
 			}
 		}(i, sc)
 	}
@@ -395,55 +469,112 @@ func (c *Coordinator) roundtrip(ctx context.Context, kind byte, payload []byte) 
 		FramesReceived: frecv.Load(),
 		RoundTrip:      time.Since(start),
 	}
-	for _, err := range errs {
-		if err != nil {
-			return nil, nil, st, err
+	return results, st
+}
+
+// roundtrip is roundtripAll for all-or-nothing callers: the first site
+// error fails the round.
+func (c *Coordinator) roundtrip(ctx context.Context, kind byte, payload []byte) ([][]byte, []uint64, []uint64, WireStats, error) {
+	results, st := c.roundtripAll(ctx, kind, payload)
+	replies := make([][]byte, len(results))
+	epochs := make([]uint64, len(results))
+	lsns := make([]uint64, len(results))
+	for i, r := range results {
+		if r.err != nil {
+			return nil, nil, nil, st, r.err
 		}
+		replies[i], epochs[i], lsns[i] = r.payload, r.epoch, r.lsn
 	}
-	return replies, epochs, st, nil
+	return replies, epochs, lsns, st, nil
+}
+
+// postOne posts one frame to a single site and waits for its response —
+// the per-site form of roundtripAll used by catch-up replication, whose
+// replay payloads differ per site.
+func (c *Coordinator) postOne(ctx context.Context, site int, kind byte, payload []byte) (body []byte, epoch, lsn uint64, err error) {
+	if site < 0 || site >= len(c.conns) {
+		return nil, 0, 0, fmt.Errorf("netsite: site %d out of range [0,%d)", site, len(c.conns))
+	}
+	sc := c.conns[site]
+	id := c.nextID.Add(1)
+	ch, _, err := sc.post(id, kind, payload)
+	if err != nil {
+		return nil, 0, 0, fmt.Errorf("site %d: %w", site, err)
+	}
+	var r wireReply
+	var ok bool
+	select {
+	case r, ok = <-ch:
+	case <-ctx.Done():
+		sc.drop(id)
+		return nil, 0, 0, fmt.Errorf("site %d: %w", site, ctx.Err())
+	}
+	if !ok {
+		err := sc.lastErr()
+		if err == nil {
+			err = fmt.Errorf("connection closed")
+		}
+		return nil, 0, 0, fmt.Errorf("site %d: %w", site, err)
+	}
+	switch r.kind {
+	case kindAnswer:
+		if len(r.payload) < answerPrefix {
+			return nil, 0, 0, fmt.Errorf("site %d: answer of %d bytes lacks the state tag", site, len(r.payload))
+		}
+		epoch = binary.LittleEndian.Uint64(r.payload)
+		lsn = binary.LittleEndian.Uint64(r.payload[8:])
+		c.noteSiteLSN(site, lsn)
+		return r.payload[answerPrefix:], epoch, lsn, nil
+	case kindError:
+		return nil, 0, 0, fmt.Errorf("site %d: %s", site, r.payload)
+	default:
+		return nil, 0, 0, fmt.Errorf("site %d: unexpected frame kind %q", site, r.kind)
+	}
 }
 
 // Epoch-split retry tuning: how often a query round is retried when its
-// sites answered from different epochs, and the backoff between attempts.
+// sites answered from different states, and the backoff between attempts.
 // The backoff matters: an immediate retry lands inside the same rebalance
-// burst that split the round, while a short exponential pause lets the
-// swap finish propagating to every site's worker.
+// or update burst that split the round, while a short exponential pause
+// lets the new state finish propagating to every site's worker.
 const (
-	epochRetries      = 6
+	epochRetries      = 8
 	epochRetryBackoff = time.Millisecond
 )
 
 // queryRound is roundtrip for query kinds: it additionally enforces that
-// every site answered from the same deployment epoch, retrying the round
-// otherwise. Partial answers are Boolean equations over the fragmentation
-// the site evaluated on; composing them across two fragmentations would
-// be meaningless, so a round that straddles a live rebalance is thrown
-// away and re-posted against the settled deployment.
+// every site answered from the same deployment state — epoch and
+// update-log LSN — retrying the round otherwise. Partial answers are
+// Boolean equations over the fragmentation and graph the site evaluated
+// on; composing them across two fragmentations (or across an update that
+// landed on only some replicas) would be meaningless, so a round that
+// straddles a live rebalance or update broadcast is thrown away and
+// re-posted against the settled deployment.
 func (c *Coordinator) queryRound(ctx context.Context, kind byte, payload []byte) ([][]byte, WireStats, error) {
 	var total WireStats
 	backoff := epochRetryBackoff
 	for attempt := 0; ; attempt++ {
-		replies, epochs, st, err := c.roundtrip(ctx, kind, payload)
+		replies, epochs, lsns, st, err := c.roundtrip(ctx, kind, payload)
 		total.add(st)
 		if err != nil {
 			return nil, total, err
 		}
 		split := false
-		for _, e := range epochs[1:] {
-			if e != epochs[0] {
+		for i := 1; i < len(epochs); i++ {
+			if epochs[i] != epochs[0] || lsns[i] != lsns[0] {
 				split = true
 				break
 			}
 		}
 		if !split {
-			total.Epoch = 0
+			total.Epoch, total.LSN = 0, 0
 			if len(epochs) > 0 {
-				total.Epoch = epochs[0]
+				total.Epoch, total.LSN = epochs[0], lsns[0]
 			}
 			return replies, total, nil
 		}
 		if attempt+1 >= epochRetries {
-			return nil, total, fmt.Errorf("%w (%v after %d attempts)", ErrEpochSplit, epochs, attempt+1)
+			return nil, total, fmt.Errorf("%w (epochs %v, lsns %v after %d attempts)", ErrEpochSplit, epochs, lsns, attempt+1)
 		}
 		select {
 		case <-ctx.Done():

@@ -8,6 +8,7 @@ import (
 	"distreach/internal/fragment"
 	"distreach/internal/gen"
 	"distreach/internal/graph"
+	"distreach/internal/oplog"
 )
 
 // FuzzDecodeFrame throws arbitrary byte streams at the frame decoder: it
@@ -30,7 +31,7 @@ func FuzzDecodeFrame(f *testing.F) {
 	f.Add([]byte{1, 0})                                           // truncated header
 	// Update and rebalance frames, request and reply.
 	var upd bytes.Buffer
-	ureq, err := encodeUpdateRequest(9, []Op{{Kind: OpInsertEdge, U: 3, V: 4}})
+	ureq, err := encodeUpdateRequest(9, 77, []Op{{Kind: OpInsertEdge, U: 3, V: 4}})
 	if err != nil {
 		f.Fatal(err)
 	}
@@ -142,7 +143,7 @@ func FuzzBatchPayload(f *testing.F) {
 // must be rejected with an error, never a panic or an implausible
 // allocation.
 func FuzzUpdatePayload(f *testing.F) {
-	mixed, err := encodeUpdateRequest(17, []Op{
+	mixed, err := encodeUpdateRequest(17, 23, []Op{
 		{Kind: OpInsertEdge, U: 1, V: 2},
 		{Kind: OpDeleteEdge, U: 0xFFFFFF, V: 0},
 		{Kind: OpInsertNode, Label: "A", Frag: -1},
@@ -153,7 +154,7 @@ func FuzzUpdatePayload(f *testing.F) {
 		f.Fatal(err)
 	}
 	f.Add(mixed)
-	single, err := encodeUpdateRequest(0, []Op{{Kind: OpDeleteEdge, U: 5, V: 6}})
+	single, err := encodeUpdateRequest(0, 0, []Op{{Kind: OpDeleteEdge, U: 5, V: 6}})
 	if err != nil {
 		f.Fatal(err)
 	}
@@ -165,10 +166,11 @@ func FuzzUpdatePayload(f *testing.F) {
 	f.Add([]byte{updateVersion, 1, 0xFF, 0xFF, 0xFF, 0x7F})                     // hostile dirty count
 	f.Add(append(mixed[:len(mixed)-2], 0xFF))                                   // truncated op
 	f.Add([]byte{'i', 1, 0, 0, 0, 2, 0, 0, 0})                                  // legacy v1 single-edge frame
+	f.Add([]byte{2, 9, 0, 0, 0, 0, 0, 0, 0, 1, 0, 0, 0, 'i'})                   // legacy v2 frame
 	f.Add([]byte{updateVersion, 0, 0, 0, 0, 0, 0, 0, 0, 1, 0, 0, 0, 'n', 0xFF}) // truncated node op
 	f.Fuzz(func(t *testing.T, data []byte) {
-		if seq, ops, err := decodeUpdateRequest(data); err == nil {
-			re, err := encodeUpdateRequest(seq, ops)
+		if lsn, nonce, ops, err := decodeUpdateRequest(data); err == nil {
+			re, err := encodeUpdateRequest(lsn, nonce, ops)
 			if err != nil {
 				t.Fatalf("re-encode of a decoded update failed: %v", err)
 			}
@@ -179,6 +181,84 @@ func FuzzUpdatePayload(f *testing.F) {
 		if changed, dirty, ids, bs, err := decodeUpdateReply(data); err == nil {
 			if !bytes.Equal(encodeUpdateReply(changed, dirty, ids, bs), data) {
 				t.Fatalf("update reply round trip drifted")
+			}
+		}
+	})
+}
+
+// FuzzSyncPayload throws arbitrary bytes at the catch-up replication
+// ('S') frame codecs: the replay record list must survive a re-encode
+// round trip, and the snapshot decoder — which nests the graph and
+// assignment text codecs plus a fingerprint check — must reject hostile
+// input with an error, never a panic or an implausible allocation.
+func FuzzSyncPayload(f *testing.F) {
+	rep, err := encodeSyncReplay([]oplog.Record{
+		{LSN: 5, Ops: []Op{{Kind: OpInsertEdge, U: 1, V: 2}}},
+		{LSN: 6, Ops: []Op{{Kind: OpInsertNode, Label: "A", Frag: -1}, {Kind: OpDeleteNode, U: 3}}},
+	})
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(rep)
+	empty, err := encodeSyncReplay(nil)
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(empty)
+	f.Add([]byte{syncHello})
+	f.Add([]byte{syncFetch})
+	f.Add([]byte{syncReplay, 0xFF, 0xFF, 0xFF, 0xFF}) // hostile record count
+	f.Add(rep[:len(rep)-3])                           // truncated record
+	// A real snapshot seed, plus mutilations of it.
+	g := gen.Uniform(gen.Config{Nodes: 12, Edges: 30, Labels: []string{"A", "B"}, Seed: 11})
+	fr, err := fragment.Random(g, 2, 11)
+	if err != nil {
+		f.Fatal(err)
+	}
+	snap, err := oplog.TakeSnapshot(fragment.NewReplicaAt(fr, 3, 9))
+	if err != nil {
+		f.Fatal(err)
+	}
+	sb, err := oplog.EncodeSnapshot(snap)
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(append([]byte{syncSnapshot}, sb...))
+	f.Add(append([]byte{syncSnapshot}, sb[:len(sb)/2]...))
+	mut := append([]byte{syncSnapshot}, sb...)
+	mut[len(mut)/2] ^= 0xFF
+	f.Add(mut)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) == 0 {
+			return
+		}
+		switch data[0] {
+		case syncReplay:
+			if recs, err := decodeSyncReplay(data[1:]); err == nil {
+				re, err := encodeSyncReplay(recs)
+				if err != nil {
+					t.Fatalf("re-encode of a decoded replay failed: %v", err)
+				}
+				if !bytes.Equal(re, data) {
+					t.Fatalf("replay round trip drifted")
+				}
+			}
+		case syncSnapshot:
+			if snap, err := oplog.DecodeSnapshot(data[1:]); err == nil {
+				// Whatever decodes (and passes the fingerprint check) must
+				// re-encode to a decodable snapshot with the same identity.
+				re, err := oplog.EncodeSnapshot(snap)
+				if err != nil {
+					t.Fatalf("re-encode of a decoded snapshot failed: %v", err)
+				}
+				snap2, err := oplog.DecodeSnapshot(re)
+				if err != nil {
+					t.Fatalf("decode of a re-encoded snapshot failed: %v", err)
+				}
+				if snap2.LSN != snap.LSN || snap2.Epoch != snap.Epoch || snap2.Fingerprint != snap.Fingerprint {
+					t.Fatalf("snapshot identity drifted: %+v vs %+v", snap, snap2)
+				}
 			}
 		}
 	})

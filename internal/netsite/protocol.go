@@ -14,21 +14,25 @@
 //	frame  := length u32 (of the rest) | id u32 | kind u8 | payload
 //	request kinds: 'r' qr(s,t), 'b' qbr(s,t,l), 'q' qrr(s,t,Gq),
 //	               'B' batch (many mixed-class queries in one payload),
-//	               'U' update (a transactional batch of edge and node
-//	               mutations), 'R' rebalance (re-fragment the deployment
-//	               at a new epoch)
-//	response kind: 'R' answer: epoch u64 | body (body codec per request
-//	               kind; for 'B', one partial per batched query; for 'U',
-//	               the changed flag, dirtied fragment IDs, new node IDs
-//	               and balance stats), 'E' error
+//	               'U' update (a sequenced transactional batch of edge and
+//	               node mutations), 'R' rebalance (re-fragment the
+//	               deployment at a new epoch), 'S' sync (catch-up
+//	               replication: hello / replay / snapshot / fetch)
+//	response kind: 'R' answer: epoch u64 | lsn u64 | body (body codec per
+//	               request kind; for 'B', one partial per batched query;
+//	               for 'U', the changed flag, dirtied fragment IDs, new
+//	               node IDs and balance stats), 'E' error
 //
 // A response frame echoes the ID of the request it answers, and every
-// answer is prefixed with the epoch of the fragmentation that produced it:
-// the coordinator rejects (and retries) a query round whose sites answered
-// from different epochs, so a query racing a live rebalance never combines
-// partial answers across fragmentations. The byte 'R' names both the
-// rebalance request and the answer response; direction disambiguates
-// (coordinators send requests, sites send responses).
+// answer is prefixed with the epoch of the fragmentation that produced it
+// plus the LSN of the last update batch it reflects: the coordinator
+// rejects (and retries) a query round whose sites answered from different
+// (epoch, LSN) states, so a query racing a live rebalance or update never
+// combines partial answers across fragmentations or update positions — a
+// persistent LSN split marks a replica that missed updates and triggers
+// catch-up replication. The byte 'R' names both the rebalance request and
+// the answer response; direction disambiguates (coordinators send
+// requests, sites send responses).
 //
 // A batch frame is the wire form of the paper's per-batch visit guarantee:
 // one request frame per site carries the whole batch, and one response
@@ -52,9 +56,14 @@ const (
 	kindBatch     = 'B'
 	kindUpdate    = 'U'
 	kindRebalance = 'R'
+	kindSync      = 'S'
 	kindAnswer    = 'R'
 	kindError     = 'E'
 )
+
+// answerPrefix is the length of the state tag every answer frame carries:
+// epoch u64 | lsn u64.
+const answerPrefix = 16
 
 // maxFrame bounds a frame to guard against corrupt length prefixes.
 const maxFrame = 1 << 28

@@ -147,16 +147,22 @@ func (c *Coordinator) Rebalance(epoch uint64, partitioner string, seed uint64) (
 // cancellation. Prefer a generous deadline: the sites rebuild the whole
 // fragmentation before answering.
 func (c *Coordinator) RebalanceContext(ctx context.Context, epoch uint64, partitioner string, seed uint64) (RebalanceResult, WireStats, error) {
+	c.updMu.Lock()
+	defer c.updMu.Unlock()
+	return c.rebalanceLocked(ctx, epoch, partitioner, seed)
+}
+
+// rebalanceLocked is RebalanceContext with the round lock already held
+// (SyncReplicas realigns epochs mid-sync through it).
+func (c *Coordinator) rebalanceLocked(ctx context.Context, epoch uint64, partitioner string, seed uint64) (RebalanceResult, WireStats, error) {
 	if _, err := fragment.ByName(partitioner, seed); err != nil {
 		return RebalanceResult{}, WireStats{}, err
 	}
-	c.updMu.Lock()
-	defer c.updMu.Unlock()
 	payload, err := encodeRebalanceRequest(epoch, len(c.conns), seed, partitioner)
 	if err != nil {
 		return RebalanceResult{}, WireStats{}, err
 	}
-	replies, _, st, err := c.roundtrip(ctx, kindRebalance, payload)
+	replies, _, _, st, err := c.roundtrip(ctx, kindRebalance, payload)
 	if err != nil {
 		return RebalanceResult{}, st, err
 	}

@@ -150,7 +150,11 @@ func TestCoordinatorCloseTwice(t *testing.T) {
 
 // TestTwoCoordinatorsNoSeqCollision: two coordinators updating the same
 // deployment must not have their batches swallowed by the broadcast
-// dedupe window — each coordinator's node insert must really land.
+// dedupe window — each coordinator's node insert must really land. With
+// the sequenced log, the second coordinator adopts the deployment's LSN
+// before its first submit (a hello round), so its batch extends the total
+// order instead of colliding at LSN 1; concurrent writers share one
+// sequencer outright (TestTwoGatewaysConverge).
 func TestTwoCoordinatorsNoSeqCollision(t *testing.T) {
 	g := gen.Uniform(gen.Config{Nodes: 20, Edges: 40, Labels: []string{"A"}, Seed: 604})
 	fr, err := fragment.Random(g, 2, 604)

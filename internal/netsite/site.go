@@ -12,6 +12,7 @@ import (
 	"distreach/internal/core"
 	"distreach/internal/fragment"
 	"distreach/internal/graph"
+	"distreach/internal/oplog"
 )
 
 // defaultWorkers bounds the per-connection worker pool when SiteOptions
@@ -29,6 +30,16 @@ type SiteOptions struct {
 	// emulates slower sites (WAN deployments, loaded machines) and gives
 	// tests a deterministic per-query service time; 0 disables it.
 	Delay time.Duration
+	// Store, if set, makes the site durable: every applied update batch
+	// (live or replayed) is appended to the store's log, and snapshots are
+	// written every SnapshotEvery batches (truncating the log behind
+	// them). A restarted site recovers from the store (oplog.Recover) and
+	// catch-up replication streams only what it missed while down.
+	Store *oplog.Store
+	// SnapshotEvery is the local checkpoint cadence in applied batches;
+	// 0 disables periodic snapshots (the log grows until truncated by an
+	// installed snapshot).
+	SnapshotEvery int
 }
 
 // Site serves one fragment index over TCP. Create with NewSiteFor (or
@@ -39,14 +50,15 @@ type SiteOptions struct {
 // connection is served in parallel, not one frame at a time.
 //
 // A site built with NewSiteFor (or NewSiteReplica) holds a Replica of the
-// whole fragmentation and accepts update and rebalance frames: queries
-// snapshot the replica's current fragmentation, evaluate under its read
+// whole fragmentation and accepts update, rebalance and sync frames:
+// queries snapshot the replica's current state, evaluate under its read
 // lock (so a mutation never tears a fragment mid-evaluation), and stamp
-// their answer with the epoch they evaluated at; a rebalance builds the
-// next fragmentation while queries keep flowing and swaps it in
-// atomically. In-process sites created by ServeFragmentation share one
-// Replica, which makes broadcast updates and rebalances idempotent across
-// them.
+// their answer with the epoch and update-log LSN they evaluated at; a
+// rebalance builds the next fragmentation while queries keep flowing and
+// swaps it in atomically; sync frames stream the update-log suffix (or a
+// whole snapshot) into a replica that fell behind. In-process sites
+// created by ServeFragmentation share one Replica, which makes broadcast
+// updates and rebalances idempotent across them.
 type Site struct {
 	rep     *fragment.Replica  // nil: bare fragment, updates rejected
 	bare    *fragment.Fragment // set iff rep is nil
@@ -54,6 +66,10 @@ type Site struct {
 	ln      net.Listener
 	workers int
 	delay   time.Duration
+
+	store     *oplog.Store
+	snapEvery int
+	persistMu sync.Mutex // orders replica apply + log append across workers
 
 	mu     sync.Mutex
 	closed bool
@@ -110,13 +126,15 @@ func newSite(addr string, rep *fragment.Replica, bare *fragment.Fragment, fragID
 		workers = defaultWorkers
 	}
 	s := &Site{
-		rep:     rep,
-		bare:    bare,
-		fragID:  fragID,
-		ln:      ln,
-		workers: workers,
-		delay:   o.Delay,
-		conns:   make(map[net.Conn]struct{}),
+		rep:       rep,
+		bare:      bare,
+		fragID:    fragID,
+		ln:        ln,
+		workers:   workers,
+		delay:     o.Delay,
+		store:     o.Store,
+		snapEvery: o.SnapshotEvery,
+		conns:     make(map[net.Conn]struct{}),
 	}
 	s.wg.Add(1)
 	go s.acceptLoop()
@@ -185,9 +203,9 @@ type frameJob struct {
 
 // serveConn handles one coordinator connection: a reader feeds request
 // frames to a bounded pool of workers, each answering with a response
-// frame that echoes the request ID and carries the epoch the frame was
-// served at. Responses go out in completion order; the coordinator's
-// demultiplexer reorders by ID.
+// frame that echoes the request ID and carries the epoch and update-log
+// LSN the frame was served at. Responses go out in completion order; the
+// coordinator's demultiplexer reorders by ID.
 func (s *Site) serveConn(conn net.Conn) error {
 	jobs := make(chan frameJob)
 	var (
@@ -203,12 +221,14 @@ func (s *Site) serveConn(conn net.Conn) error {
 				if broken.Load() {
 					continue // connection died; don't evaluate dead work
 				}
-				epoch, resp, err := s.handle(j.kind, j.payload)
+				epoch, lsn, resp, err := s.handle(j.kind, j.payload)
 				kind := byte(kindAnswer)
 				if err != nil {
 					kind, resp = kindError, []byte(err.Error())
 				} else {
-					tagged := binary.LittleEndian.AppendUint64(make([]byte, 0, 8+len(resp)), epoch)
+					tagged := make([]byte, answerPrefix, answerPrefix+len(resp))
+					binary.LittleEndian.PutUint64(tagged, epoch)
+					binary.LittleEndian.PutUint64(tagged[8:], lsn)
 					resp = append(tagged, resp...)
 				}
 				wmu.Lock()
@@ -238,17 +258,17 @@ func (s *Site) serveConn(conn net.Conn) error {
 }
 
 // snapshot resolves the fragmentation and fragment this frame evaluates
-// against, plus the epoch to stamp the answer with. Bare sites have no
-// replica: epoch 0, no fragmentation lock to take.
-func (s *Site) snapshot() (*fragment.Fragment, *fragment.Fragmentation, uint64) {
+// against, plus the epoch and LSN to stamp the answer with. Bare sites
+// have no replica: epoch 0, LSN 0, no fragmentation lock to take.
+func (s *Site) snapshot() (*fragment.Fragment, *fragment.Fragmentation, uint64, uint64) {
 	if s.rep == nil {
-		return s.bare, nil, 0
+		return s.bare, nil, 0, 0
 	}
-	fr, epoch := s.rep.Current()
-	return fr.Fragments()[s.fragID], fr, epoch
+	fr, epoch, lsn := s.rep.State()
+	return fr.Fragments()[s.fragID], fr, epoch, lsn
 }
 
-func (s *Site) handle(kind byte, payload []byte) (uint64, []byte, error) {
+func (s *Site) handle(kind byte, payload []byte) (uint64, uint64, []byte, error) {
 	if s.delay > 0 {
 		time.Sleep(s.delay)
 	}
@@ -257,12 +277,14 @@ func (s *Site) handle(kind byte, payload []byte) (uint64, []byte, error) {
 		return s.handleUpdate(payload)
 	case kindRebalance:
 		return s.handleRebalance(payload)
+	case kindSync:
+		return s.handleSync(payload)
 	}
 	// Queries snapshot the current fragmentation and read their fragment
 	// under its lock, so a concurrent update never mutates it
 	// mid-evaluation and a concurrent rebalance swap leaves this
 	// evaluation draining consistently against the old epoch.
-	f, fr, epoch := s.snapshot()
+	f, fr, epoch, lsn := s.snapshot()
 	if fr != nil {
 		fr.RLock()
 		defer fr.RUnlock()
@@ -270,64 +292,89 @@ func (s *Site) handle(kind byte, payload []byte) (uint64, []byte, error) {
 	switch kind {
 	case kindReach:
 		if len(payload) < 8 {
-			return 0, nil, fmt.Errorf("short qr payload")
+			return 0, 0, nil, fmt.Errorf("short qr payload")
 		}
 		src := graph.NodeID(binary.LittleEndian.Uint32(payload))
 		dst := graph.NodeID(binary.LittleEndian.Uint32(payload[4:]))
 		rv := core.LocalEvalReach(f, src, dst)
 		b, err := rv.MarshalBinary()
-		return epoch, b, err
+		return epoch, lsn, b, err
 	case kindDist:
 		if len(payload) < 12 {
-			return 0, nil, fmt.Errorf("short qbr payload")
+			return 0, 0, nil, fmt.Errorf("short qbr payload")
 		}
 		src := graph.NodeID(binary.LittleEndian.Uint32(payload))
 		dst := graph.NodeID(binary.LittleEndian.Uint32(payload[4:]))
 		l := int(binary.LittleEndian.Uint32(payload[8:]))
 		rv := core.LocalEvalDist(f, src, dst, l)
 		b, err := rv.MarshalBinary()
-		return epoch, b, err
+		return epoch, lsn, b, err
 	case kindRPQ:
 		if len(payload) < 8 {
-			return 0, nil, fmt.Errorf("short qrr payload")
+			return 0, 0, nil, fmt.Errorf("short qrr payload")
 		}
 		src := graph.NodeID(binary.LittleEndian.Uint32(payload))
 		dst := graph.NodeID(binary.LittleEndian.Uint32(payload[4:]))
 		var a automaton.Automaton
 		if err := a.UnmarshalBinary(payload[8:]); err != nil {
-			return 0, nil, err
+			return 0, 0, nil, err
 		}
 		rv := core.LocalEvalRPQ(f, src, dst, &a)
 		b, err := rv.MarshalBinary()
-		return epoch, b, err
+		return epoch, lsn, b, err
 	case kindBatch:
 		b, err := s.handleBatch(f, payload)
-		return epoch, b, err
+		return epoch, lsn, b, err
 	default:
-		return 0, nil, fmt.Errorf("unknown request kind %q", kind)
+		return 0, 0, nil, fmt.Errorf("unknown request kind %q", kind)
 	}
 }
 
-// handleUpdate applies one transactional mutation batch to the site's
-// replica and reports what changed from its point of view, including the
+// applyPersisted runs one sequenced batch through the replica and, when
+// the site is durable, logs the slot (applied or deterministically
+// rejected — both advance the order) and takes a periodic checkpoint. The
+// persist mutex keeps the log's LSN sequence aligned with the replica's
+// when a live update and a catch-up replay interleave.
+func (s *Site) applyPersisted(lsn, nonce uint64, ops []Op) (fragment.ApplyResult, bool, error) {
+	if s.store != nil {
+		s.persistMu.Lock()
+		defer s.persistMu.Unlock()
+	}
+	res, advanced, err := s.rep.ApplyLSN(lsn, nonce, ops)
+	if advanced && s.store != nil {
+		if perr := s.store.Log().Append(oplog.Record{LSN: lsn, Ops: ops}); perr != nil {
+			s.logf("netsite: oplog append of batch %d failed: %v", lsn, perr)
+		} else if s.snapEvery > 0 && lsn >= s.store.SnapshotLSN()+uint64(s.snapEvery) {
+			if snap, serr := oplog.TakeSnapshot(s.rep); serr != nil {
+				s.logf("netsite: snapshot at batch %d failed: %v", lsn, serr)
+			} else if serr := s.store.SaveSnapshot(snap); serr != nil {
+				s.logf("netsite: snapshot at batch %d failed: %v", lsn, serr)
+			}
+		}
+	}
+	return res, advanced, err
+}
+
+// handleUpdate applies one sequenced mutation batch to the site's replica
+// and reports what changed from its point of view, including the
 // post-update balance stats. The mutation locks out query evaluation
-// internally (writers exclude the read lock queries take), and the batch
-// sequence number deduplicates broadcast delivery across sites sharing
-// one replica.
-func (s *Site) handleUpdate(payload []byte) (uint64, []byte, error) {
+// internally (writers exclude the read lock queries take), the LSN orders
+// the batch against every other writer's, and re-delivered frames replay
+// the recorded outcome.
+func (s *Site) handleUpdate(payload []byte) (uint64, uint64, []byte, error) {
 	if s.rep == nil {
-		return 0, nil, fmt.Errorf("site serves a bare fragment; updates unsupported")
+		return 0, 0, nil, fmt.Errorf("site serves a bare fragment; updates unsupported")
 	}
-	seq, ops, err := decodeUpdateRequest(payload)
+	lsn, nonce, ops, err := decodeUpdateRequest(payload)
 	if err != nil {
-		return 0, nil, err
+		return 0, 0, nil, err
 	}
-	res, err := s.rep.Apply(seq, ops)
+	res, _, err := s.applyPersisted(lsn, nonce, ops)
 	if err != nil {
-		return 0, nil, err
+		return 0, 0, nil, err
 	}
-	fr, epoch := s.rep.Current()
-	return epoch, encodeUpdateReply(res.Changed, res.Dirty, res.NewIDs, fr.BalanceStats()), nil
+	fr, epoch, at := s.rep.State()
+	return epoch, at, encodeUpdateReply(res.Changed, res.Dirty, res.NewIDs, fr.BalanceStats()), nil
 }
 
 // handleRebalance re-fragments the site's replica at the requested epoch.
@@ -335,28 +382,28 @@ func (s *Site) handleUpdate(payload []byte) (uint64, []byte, error) {
 // keep flowing the whole time — and the swap is atomic; replicas already
 // at (or past) the epoch no-op, which makes the broadcast idempotent both
 // for co-located sites sharing a replica and for re-delivered frames.
-func (s *Site) handleRebalance(payload []byte) (uint64, []byte, error) {
+func (s *Site) handleRebalance(payload []byte) (uint64, uint64, []byte, error) {
 	if s.rep == nil {
-		return 0, nil, fmt.Errorf("site serves a bare fragment; rebalance unsupported")
+		return 0, 0, nil, fmt.Errorf("site serves a bare fragment; rebalance unsupported")
 	}
 	epoch, k, seed, name, err := decodeRebalanceRequest(payload)
 	if err != nil {
-		return 0, nil, err
+		return 0, 0, nil, err
 	}
 	p, err := fragment.ByName(name, seed)
 	if err != nil {
-		return 0, nil, err
+		return 0, 0, nil, err
 	}
 	cur, _ := s.rep.Current()
 	if k != cur.Card() {
-		return 0, nil, fmt.Errorf("rebalance wants %d fragments, deployment has %d sites", k, cur.Card())
+		return 0, 0, nil, fmt.Errorf("rebalance wants %d fragments, deployment has %d sites", k, cur.Card())
 	}
 	applied, err := s.rep.Rebalance(epoch, p)
 	if err != nil {
-		return 0, nil, err
+		return 0, 0, nil, err
 	}
-	fr, at := s.rep.Current()
-	return at, encodeRebalanceReply(at, applied, fr.Fingerprint(), fr.BalanceStats()), nil
+	fr, at, lsn := s.rep.State()
+	return at, lsn, encodeRebalanceReply(at, applied, fr.Fingerprint(), fr.BalanceStats()), nil
 }
 
 // handleBatch evaluates a whole batch frame against the fragment in one
@@ -426,6 +473,14 @@ func ServeFragmentation(fr *fragment.Fragmentation) ([]*Site, []string, error) {
 // ServeFragmentationOpts is ServeFragmentation with explicit site options.
 func ServeFragmentationOpts(fr *fragment.Fragmentation, o SiteOptions) ([]*Site, []string, error) {
 	rep := fragment.NewReplica(fr)
+	return ServeReplica(rep, o)
+}
+
+// ServeReplica starts one Site per fragment of the given shared replica on
+// loopback ports — ServeFragmentation for a replica recovered from a
+// store (oplog.Recover) rather than built fresh.
+func ServeReplica(rep *fragment.Replica, o SiteOptions) ([]*Site, []string, error) {
+	fr, _ := rep.Current()
 	sites := make([]*Site, 0, fr.Card())
 	addrs := make([]string, 0, fr.Card())
 	for _, f := range fr.Fragments() {

@@ -4,49 +4,59 @@ import (
 	"context"
 	"encoding/binary"
 	"fmt"
+	"math/rand/v2"
 	"sort"
+	"strings"
 
 	"distreach/internal/fragment"
 	"distreach/internal/graph"
+	"distreach/internal/oplog"
 )
 
 // Live graph updates over the wire. An update frame ('U') carries one
-// transactional batch of mutations — edge inserts/deletes and node
-// inserts/deletes. The coordinator broadcasts it to every site; each site
-// holds a replica of the whole fragmentation, applies the batch atomically
-// under the fragmentation write lock, and replies with what changed from
-// its replica's point of view. Broadcast delivery is deduplicated by the
-// batch's sequence number (sites sharing one in-process replica apply it
-// once and the rest replay the recorded result — node insertion, unlike
-// edge ops, is not idempotent), and the coordinator unions the replies
-// into the definitive dirty set.
+// sequenced transactional batch of mutations — edge inserts/deletes and
+// node inserts/deletes. The coordinator draws the batch's LSN from the
+// deployment's sequencer (write-ahead logging it first when the sequencer
+// is durable) and broadcasts the frame to every site; each site holds a
+// replica of the whole fragmentation, applies the batch atomically under
+// the fragmentation write lock in LSN order, and replies with what changed
+// from its replica's point of view. Re-delivered frames (sites sharing one
+// in-process replica, retries) replay the recorded result — node
+// insertion, unlike edge ops, is not idempotent — and the coordinator
+// unions the replies into the definitive dirty set.
 //
 // Update request payload (little-endian):
 //
-//	ver u8 (2) | seq u64 | count u32 | per op:
+//	ver u8 (3) | lsn u64 | nonce u64 | count u32 | per op:
 //	  kind u8 ('i' insert edge | 'd' delete edge | 'n' insert node |
 //	           'r' delete node)
 //	  'i'/'d' add: u u32 | v u32
 //	  'n'     adds: frag i32 (-1 = partitioner places) | llen u16 | label
 //	  'r'     adds: v u32
 //
+// The nonce identifies the submitter: a replica that sees a *different*
+// writer's batch at an LSN it already applied errors loudly (two gateways
+// forked the order by not sharing a sequencer) instead of silently
+// swallowing the batch.
+//
 // Update response payload:
 //
-//	ver u8 (2) | changed u8 | ndirty u32 | dirty u32 each
+//	ver u8 (3) | changed u8 | ndirty u32 | dirty u32 each
 //	          | nnew u32 | new node IDs u32 each
 //	          | balance stats: k u32 | maxSize u32 | minSize u32 |
 //	            totalSize u64 | vf u32 | crossEdges u32
 //
-// Every reply rides inside the epoch-prefixed answer frame, and the reply
-// carries the post-update BalanceStats so the gateway can watch skew drift
-// without extra traffic and trigger a rebalance.
+// Every reply rides inside the (epoch, lsn)-prefixed answer frame, and the
+// reply carries the post-update BalanceStats so the gateway can watch skew
+// drift without extra traffic and trigger a rebalance.
 //
-// Consistency: one coordinator serializes its update and rebalance rounds
-// (they run one at a time), and each site orders a batch against its own
-// in-flight queries with the write lock, but a multi-site round is not
-// atomic — a query racing an update may combine pre- and post-update
-// partials. The system is eventually consistent: once an update round
-// returns, every subsequent query sees it.
+// Consistency: the sequencer serializes update rounds across every writer
+// of the deployment, and replicas enforce LSN order, so all replicas apply
+// all batches in one total order. A site that is unreachable (or behind)
+// during a round is skipped — the write-ahead log re-delivers to it via
+// catch-up replication (see sync.go), and query rounds refuse to combine
+// its stale partials with fresh ones in the meantime (the LSN tag on every
+// answer), so convergence is eventual but never silently wrong.
 
 // Op is one mutation of a wire update batch (alias of fragment.Op).
 type Op = fragment.Op
@@ -79,118 +89,56 @@ type UpdateResult struct {
 	Dirty []int
 	// NewIDs holds the node ID assigned to each OpInsertNode, in op order.
 	NewIDs []graph.NodeID
-	// Epoch is the deployment epoch the batch applied under.
+	// Epoch is the deployment epoch the batch applied under, and LSN the
+	// position it holds in the update log's total order.
 	Epoch uint64
+	LSN   uint64
+	// Missed lists the sites that did not apply the batch this round —
+	// unreachable, or behind on the log. The batch is durably sequenced,
+	// so catch-up replication delivers it to them; callers should trigger
+	// a sync when Missed is non-empty.
+	Missed []int
 	// Stats is the post-update balance of the fragmentation; the gateway
 	// watches its Skew to trigger automatic rebalancing.
 	Stats fragment.BalanceStats
 }
 
 // updateVersion versions the update payload codecs.
-const updateVersion = 2
+const updateVersion = 3
 
-// maxOps bounds the declared op count of one update frame against hostile
-// length prefixes; it comfortably exceeds any real transactional batch.
-const maxOps = 1 << 16
-
-// encodeUpdateRequest packs one transactional mutation batch.
-func encodeUpdateRequest(seq uint64, ops []Op) ([]byte, error) {
+// encodeUpdateRequest packs one sequenced transactional mutation batch.
+func encodeUpdateRequest(lsn, nonce uint64, ops []Op) ([]byte, error) {
 	b := []byte{updateVersion}
-	b = binary.LittleEndian.AppendUint64(b, seq)
-	b = binary.LittleEndian.AppendUint32(b, uint32(len(ops)))
-	for i, op := range ops {
-		b = append(b, byte(op.Kind))
-		switch op.Kind {
-		case OpInsertEdge, OpDeleteEdge:
-			b = binary.LittleEndian.AppendUint32(b, uint32(op.U))
-			b = binary.LittleEndian.AppendUint32(b, uint32(op.V))
-		case OpInsertNode:
-			if len(op.Label) > 0xFFFF {
-				return nil, fmt.Errorf("netsite: op %d: label of %d bytes exceeds the wire limit", i, len(op.Label))
-			}
-			b = binary.LittleEndian.AppendUint32(b, uint32(int32(op.Frag)))
-			b = binary.LittleEndian.AppendUint16(b, uint16(len(op.Label)))
-			b = append(b, op.Label...)
-		case OpDeleteNode:
-			b = binary.LittleEndian.AppendUint32(b, uint32(op.U))
-		default:
-			return nil, fmt.Errorf("netsite: op %d: unknown kind %q", i, byte(op.Kind))
-		}
-	}
-	return b, nil
+	b = binary.LittleEndian.AppendUint64(b, lsn)
+	b = binary.LittleEndian.AppendUint64(b, nonce)
+	return oplog.AppendOps(b, ops)
 }
 
 // decodeUpdateRequest is the inverse of encodeUpdateRequest, hardened
 // against hostile payloads: every count and length is bounds-checked and
 // trailing bytes are rejected.
-func decodeUpdateRequest(p []byte) (seq uint64, ops []Op, err error) {
-	r := &batchReader{b: p}
-	v, err := r.u8()
+func decodeUpdateRequest(p []byte) (lsn, nonce uint64, ops []Op, err error) {
+	r := oplog.NewCursor(p)
+	v, err := r.U8()
 	if err != nil {
-		return 0, nil, err
+		return 0, 0, nil, err
 	}
 	if v != updateVersion {
-		return 0, nil, fmt.Errorf("netsite: unsupported update version %d", v)
+		return 0, 0, nil, fmt.Errorf("netsite: unsupported update version %d", v)
 	}
-	seq, err = r.u64()
-	if err != nil {
-		return 0, nil, err
+	if lsn, err = r.U64(); err != nil {
+		return 0, 0, nil, err
 	}
-	n, err := r.u32()
-	if err != nil {
-		return 0, nil, err
+	if nonce, err = r.U64(); err != nil {
+		return 0, 0, nil, err
 	}
-	if n > maxOps || uint64(n) > uint64(len(r.b)-r.off) { // each op is >= 1 byte
-		return 0, nil, fmt.Errorf("netsite: implausible update op count %d", n)
+	if ops, err = oplog.ReadOps(r); err != nil {
+		return 0, 0, nil, err
 	}
-	ops = make([]Op, 0, n)
-	for i := 0; i < int(n); i++ {
-		kind, err := r.u8()
-		if err != nil {
-			return 0, nil, err
-		}
-		op := Op{Kind: fragment.OpKind(kind)}
-		switch op.Kind {
-		case OpInsertEdge, OpDeleteEdge:
-			u, err := r.u32()
-			if err != nil {
-				return 0, nil, err
-			}
-			v, err := r.u32()
-			if err != nil {
-				return 0, nil, err
-			}
-			op.U, op.V = graph.NodeID(u), graph.NodeID(v)
-		case OpInsertNode:
-			f, err := r.u32()
-			if err != nil {
-				return 0, nil, err
-			}
-			llen, err := r.u16()
-			if err != nil {
-				return 0, nil, err
-			}
-			lb, err := r.bytes(uint32(llen))
-			if err != nil {
-				return 0, nil, err
-			}
-			op.Frag = int(int32(f))
-			op.Label = string(lb)
-		case OpDeleteNode:
-			u, err := r.u32()
-			if err != nil {
-				return 0, nil, err
-			}
-			op.U = graph.NodeID(u)
-		default:
-			return 0, nil, fmt.Errorf("netsite: update op %d: unknown kind %q", i, kind)
-		}
-		ops = append(ops, op)
+	if err := r.Done(); err != nil {
+		return 0, 0, nil, err
 	}
-	if err := r.done(); err != nil {
-		return 0, nil, err
-	}
-	return seq, ops, nil
+	return lsn, nonce, ops, nil
 }
 
 // encodeUpdateReply packs one site's view of an applied update batch plus
@@ -351,14 +299,69 @@ func (c *Coordinator) DeleteNode(v graph.NodeID) (UpdateResult, WireStats, error
 }
 
 // Apply runs one transactional mutation batch against the deployment: the
-// batch travels in a single update frame to every site, each replica
+// batch draws an LSN from the sequencer (write-ahead logged first when
+// durable), travels in a single update frame to every site, each replica
 // applies it atomically under its fragmentation write lock, and the
 // replies are unioned into the definitive changed flag, dirty fragment
-// set and new node IDs. Batches from one coordinator are serialized (one
-// round in flight at a time) so every site applies them in the same
-// order.
+// set and new node IDs. The sequencer serializes batches across every
+// writer, so all replicas apply them in the same order.
 func (c *Coordinator) Apply(ops []Op) (UpdateResult, WireStats, error) {
 	return c.ApplyContext(context.Background(), ops)
+}
+
+// ensureSeqInit adopts the deployment's current LSN into a sequencer that
+// has not submitted through this coordinator yet: a hello round asks every
+// reachable site where the log stands, so a freshly dialed coordinator
+// (or a gateway whose write-ahead log is younger than the deployment)
+// extends the existing order instead of forking it. Bare-fragment sites
+// reject the hello with an error *reply*; that still proves the site is
+// reachable (and has no LSN), so it counts as an answer. Only a round in
+// which NO site answered at all fails — latching "initialized" on silence
+// would adopt LSN 0 and fork a deployment that is really further along.
+func (c *Coordinator) ensureSeqInit(ctx context.Context, seq *oplog.Sequencer) error {
+	c.seqMu.Lock()
+	done := c.seqInit
+	c.seqMu.Unlock()
+	if done {
+		return nil
+	}
+	results, _ := c.roundtripAll(ctx, kindSync, []byte{syncHello})
+	var max uint64
+	answered := false
+	var firstErr error
+	for _, r := range results {
+		switch {
+		case r.err == nil:
+			answered = true
+			if r.lsn > max {
+				max = r.lsn
+			}
+		case r.appErr:
+			answered = true // reachable, just not a replica-backed site
+		case firstErr == nil:
+			firstErr = r.err
+		}
+	}
+	if !answered {
+		if firstErr == nil {
+			firstErr = fmt.Errorf("netsite: no sites connected")
+		}
+		return fmt.Errorf("netsite: cannot adopt the deployment's LSN: %w", firstErr)
+	}
+	if err := seq.Advance(max); err != nil {
+		return err
+	}
+	c.seqMu.Lock()
+	c.seqInit = true
+	c.seqMu.Unlock()
+	return nil
+}
+
+// isBehindError reports whether a site's error reply marks a replica that
+// missed earlier batches (fragment.ErrReplicaBehind, flattened to text by
+// the wire's error frame).
+func isBehindError(err error) bool {
+	return err != nil && strings.Contains(err.Error(), "replica is behind the update log")
 }
 
 // ApplyContext is Apply honoring a context deadline or cancellation.
@@ -368,45 +371,96 @@ func (c *Coordinator) ApplyContext(ctx context.Context, ops []Op) (UpdateResult,
 	}
 	c.updMu.Lock()
 	defer c.updMu.Unlock()
-	seq := c.nextSeq.Add(1)
-	if seq == 0 { // the random base wrapped; 0 means "no dedupe" on the wire
-		seq = c.nextSeq.Add(1)
-	}
-	payload, err := encodeUpdateRequest(seq, ops)
-	if err != nil {
+	seq := c.Sequencer()
+	if err := c.ensureSeqInit(ctx, seq); err != nil {
 		return UpdateResult{}, WireStats{}, err
 	}
-	replies, epochs, st, err := c.roundtrip(ctx, kindUpdate, payload)
+	var res UpdateResult
+	var st WireStats
+	nonce := rand.Uint64() | 1 // nonzero: 0 means "replay, match anything"
+	_, err := seq.Submit(ops, func(lsn uint64) error {
+		payload, err := encodeUpdateRequest(lsn, nonce, ops)
+		if err != nil {
+			return err
+		}
+		results, rst := c.roundtripAll(ctx, kindUpdate, payload)
+		st = rst
+		st.LSN = lsn
+		// A site that is unreachable or behind on the log is a laggard,
+		// not a failure: the batch is sequenced (and, with a durable
+		// sequencer, logged), so catch-up replication re-delivers it. Any
+		// other site error — validation, codec, bare fragment — is
+		// deterministic across replicas and fails the round.
+		applied, behind := 0, false
+		for i, r := range results {
+			if r.err != nil {
+				if !r.appErr || isBehindError(r.err) {
+					behind = behind || isBehindError(r.err)
+					res.Missed = append(res.Missed, i)
+					continue
+				}
+				return r.err
+			}
+			applied++
+		}
+		if applied == 0 {
+			// The batch reached no replica. Every replica being behind the
+			// sequenced log is a state split the caller can heal (catch-up
+			// replication re-delivers from the log); either way the batch
+			// was not delivered, which lets an in-memory sequencer reclaim
+			// the LSN instead of leaving a hole.
+			var cause error
+			for _, r := range results {
+				if r.err != nil {
+					cause = r.err
+					break
+				}
+			}
+			if cause == nil {
+				cause = fmt.Errorf("netsite: no sites connected")
+			}
+			if behind {
+				return fmt.Errorf("%w: %w (replicas trail the sequenced log; catch-up needed): %v", oplog.ErrNotDelivered, ErrEpochSplit, cause)
+			}
+			return fmt.Errorf("%w: %v", oplog.ErrNotDelivered, cause)
+		}
+		seen := map[int]bool{}
+		first := true
+		for i, r := range results {
+			if r.err != nil {
+				continue
+			}
+			changed, dirty, newIDs, bs, err := decodeUpdateReply(r.payload)
+			if err != nil {
+				return fmt.Errorf("netsite: site %d reply: %w", i, err)
+			}
+			res.Changed = res.Changed || changed
+			for _, d := range dirty {
+				if !seen[d] {
+					seen[d] = true
+					res.Dirty = append(res.Dirty, d)
+				}
+			}
+			if first {
+				first = false
+				res.NewIDs, res.Stats, res.Epoch = newIDs, bs, r.epoch
+			} else if r.epoch != res.Epoch {
+				// An update must apply on one epoch everywhere; a split means a
+				// replica is out of sync (or a rebalance raced this round from
+				// another coordinator).
+				return fmt.Errorf("%w (update applied across epochs %d and %d)", ErrEpochSplit, res.Epoch, r.epoch)
+			}
+			for j, id := range newIDs {
+				if j < len(res.NewIDs) && res.NewIDs[j] != id {
+					return fmt.Errorf("netsite: sites disagree on new node IDs (%d vs %d)", res.NewIDs[j], id)
+				}
+			}
+		}
+		res.LSN = lsn
+		return nil
+	})
 	if err != nil {
 		return UpdateResult{}, st, err
-	}
-	var res UpdateResult
-	seen := map[int]bool{}
-	for i, resp := range replies {
-		changed, dirty, newIDs, bs, err := decodeUpdateReply(resp)
-		if err != nil {
-			return UpdateResult{}, st, fmt.Errorf("netsite: site %d reply: %w", i, err)
-		}
-		res.Changed = res.Changed || changed
-		for _, d := range dirty {
-			if !seen[d] {
-				seen[d] = true
-				res.Dirty = append(res.Dirty, d)
-			}
-		}
-		if i == 0 {
-			res.NewIDs, res.Stats, res.Epoch = newIDs, bs, epochs[0]
-		} else if epochs[i] != res.Epoch {
-			// An update must apply on one epoch everywhere; a split means a
-			// replica is out of sync (or a rebalance raced this round from
-			// another coordinator).
-			return UpdateResult{}, st, fmt.Errorf("%w (update applied across epochs %d and %d)", ErrEpochSplit, res.Epoch, epochs[i])
-		}
-		for j, id := range newIDs {
-			if j < len(res.NewIDs) && res.NewIDs[j] != id {
-				return UpdateResult{}, st, fmt.Errorf("netsite: sites disagree on new node IDs (%d vs %d)", res.NewIDs[j], id)
-			}
-		}
 	}
 	sort.Ints(res.Dirty)
 	res.Stats.Epoch = res.Epoch

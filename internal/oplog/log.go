@@ -1,0 +1,422 @@
+package oplog
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+)
+
+// SyncPolicy selects when the log flushes appends to stable storage.
+type SyncPolicy int
+
+const (
+	// SyncAlways fsyncs after every append: a record acknowledged is a
+	// record that survives power loss. The durable default.
+	SyncAlways SyncPolicy = iota
+	// SyncNever leaves flushing to the OS: fast, survives process crashes
+	// but not machine crashes. For benchmarks and tests.
+	SyncNever
+)
+
+// ParseSyncPolicy resolves the -fsync flag values.
+func ParseSyncPolicy(s string) (SyncPolicy, error) {
+	switch s {
+	case "", "always":
+		return SyncAlways, nil
+	case "never", "none":
+		return SyncNever, nil
+	}
+	return 0, fmt.Errorf("oplog: unknown fsync policy %q (want always or never)", s)
+}
+
+// Segment file layout. Every segment starts with a fixed header whose
+// base field is the LSN the segment starts after (its first record, if
+// any, carries base+1). The header is what lets a restarted sequencer
+// resume the total order even when every record has been truncated away:
+// the active segment always survives truncation, and its base (plus any
+// records after it) pins the last assigned LSN.
+//
+//	header := magic "DRWAL" u8*5 | version u8 | reserved u16 | base u64
+//	record := size u32 | crc32c u32 | body          (size = len(body))
+//	body   := lsn u64 | ops (AppendOps codec)
+const (
+	segMagic      = "DRWAL"
+	segVersion    = 1
+	segHeaderSize = 5 + 1 + 2 + 8
+	recHeaderSize = 8
+)
+
+// maxRecordBody bounds one record against corrupt size prefixes.
+const maxRecordBody = 1 << 26
+
+// defaultSegmentBytes rotates segments at 4 MiB.
+const defaultSegmentBytes = 4 << 20
+
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// LogOptions tunes a Log at open time. The zero value is a durable
+// default: fsync on every append, 4 MiB segments.
+type LogOptions struct {
+	Fsync        SyncPolicy
+	SegmentBytes int64 // rotate the active segment past this size; 0 = 4 MiB
+}
+
+// segment is one on-disk log file.
+type segment struct {
+	path string
+	base uint64 // LSN the segment starts after
+	last uint64 // LSN of its last record (== base when empty)
+	size int64
+}
+
+// Log is the durable segmented record log. Safe for concurrent use;
+// appends are strictly ordered (each record's LSN must be last+1).
+type Log struct {
+	dir  string
+	opts LogOptions
+
+	mu     sync.Mutex
+	segs   []segment // sorted by base; the last one is active
+	active *os.File
+	last   uint64 // last appended (or recovered) LSN
+}
+
+// OpenLog opens (or creates) the log in dir, scanning existing segments
+// and recovering the last LSN. A torn or corrupt record at the tail of
+// the newest segment is truncated away (the usual crash outcome: the
+// record was never acknowledged); corruption anywhere else is an error.
+func OpenLog(dir string, opts LogOptions) (*Log, error) {
+	if opts.SegmentBytes <= 0 {
+		opts.SegmentBytes = defaultSegmentBytes
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("oplog: %w", err)
+	}
+	names, err := filepath.Glob(filepath.Join(dir, "seg-*.wal"))
+	if err != nil {
+		return nil, fmt.Errorf("oplog: %w", err)
+	}
+	sort.Strings(names)
+	l := &Log{dir: dir, opts: opts}
+	for i, name := range names {
+		seg, err := scanSegment(name, i == len(names)-1)
+		if err != nil {
+			return nil, err
+		}
+		if len(l.segs) > 0 && seg.base != l.segs[len(l.segs)-1].last {
+			return nil, fmt.Errorf("oplog: segment %s starts after LSN %d but the previous one ends at %d",
+				filepath.Base(name), seg.base, l.segs[len(l.segs)-1].last)
+		}
+		l.segs = append(l.segs, seg)
+		l.last = seg.last
+	}
+	if len(l.segs) == 0 {
+		if err := l.rotateLocked(0); err != nil {
+			return nil, err
+		}
+	} else {
+		f, err := os.OpenFile(l.segs[len(l.segs)-1].path, os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			return nil, fmt.Errorf("oplog: %w", err)
+		}
+		// The tail may have been truncated past a torn record; O_APPEND
+		// writes after the surviving prefix.
+		if err := f.Truncate(l.segs[len(l.segs)-1].size); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("oplog: %w", err)
+		}
+		l.active = f
+	}
+	return l, nil
+}
+
+// scanSegment reads one segment's header and walks its records. When tail
+// is true, a torn or corrupt suffix is dropped (size records the surviving
+// prefix); otherwise it is an error.
+func scanSegment(path string, tail bool) (segment, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return segment{}, fmt.Errorf("oplog: %w", err)
+	}
+	defer f.Close()
+	hdr := make([]byte, segHeaderSize)
+	if _, err := io.ReadFull(f, hdr); err != nil {
+		return segment{}, fmt.Errorf("oplog: %s: short header: %w", filepath.Base(path), err)
+	}
+	if string(hdr[:5]) != segMagic || hdr[5] != segVersion {
+		return segment{}, fmt.Errorf("oplog: %s: bad segment header", filepath.Base(path))
+	}
+	seg := segment{path: path, base: binary.LittleEndian.Uint64(hdr[8:]), size: segHeaderSize}
+	seg.last = seg.base
+	rh := make([]byte, recHeaderSize)
+	for {
+		if _, err := io.ReadFull(f, rh); err != nil {
+			if err == io.EOF {
+				return seg, nil
+			}
+			if tail {
+				return seg, nil // torn record header: drop it
+			}
+			return segment{}, fmt.Errorf("oplog: %s: torn record header mid-log", filepath.Base(path))
+		}
+		size := binary.LittleEndian.Uint32(rh)
+		crc := binary.LittleEndian.Uint32(rh[4:])
+		if size < 8 || size > maxRecordBody {
+			if tail {
+				return seg, nil
+			}
+			return segment{}, fmt.Errorf("oplog: %s: implausible record size %d", filepath.Base(path), size)
+		}
+		body := make([]byte, size)
+		if _, err := io.ReadFull(f, body); err != nil {
+			if tail {
+				return seg, nil
+			}
+			return segment{}, fmt.Errorf("oplog: %s: torn record body mid-log", filepath.Base(path))
+		}
+		if crc32.Checksum(body, crcTable) != crc {
+			if tail {
+				return seg, nil
+			}
+			return segment{}, fmt.Errorf("oplog: %s: record CRC mismatch mid-log", filepath.Base(path))
+		}
+		lsn := binary.LittleEndian.Uint64(body)
+		if lsn != seg.last+1 {
+			return segment{}, fmt.Errorf("oplog: %s: record LSN %d after %d", filepath.Base(path), lsn, seg.last)
+		}
+		seg.last = lsn
+		seg.size += int64(recHeaderSize) + int64(size)
+	}
+}
+
+func segName(base uint64) string { return fmt.Sprintf("seg-%016x.wal", base) }
+
+// rotateLocked opens a fresh active segment starting after base.
+func (l *Log) rotateLocked(base uint64) error {
+	path := filepath.Join(l.dir, segName(base))
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_EXCL, 0o644)
+	if err != nil {
+		return fmt.Errorf("oplog: %w", err)
+	}
+	hdr := make([]byte, segHeaderSize)
+	copy(hdr, segMagic)
+	hdr[5] = segVersion
+	binary.LittleEndian.PutUint64(hdr[8:], base)
+	if _, err := f.Write(hdr); err != nil {
+		f.Close()
+		return fmt.Errorf("oplog: %w", err)
+	}
+	if l.opts.Fsync == SyncAlways {
+		if err := f.Sync(); err != nil {
+			f.Close()
+			return fmt.Errorf("oplog: %w", err)
+		}
+	}
+	if l.active != nil {
+		l.active.Close()
+	}
+	l.active = f
+	l.segs = append(l.segs, segment{path: path, base: base, last: base, size: segHeaderSize})
+	return nil
+}
+
+// Append durably appends one record. The record's LSN must be exactly
+// LastLSN+1 — the log stores the total order, it does not invent one.
+func (l *Log) Append(rec Record) error {
+	body := binary.LittleEndian.AppendUint64(make([]byte, 0, 16), rec.LSN)
+	body, err := AppendOps(body, rec.Ops)
+	if err != nil {
+		return err
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.active == nil {
+		return fmt.Errorf("oplog: log closed")
+	}
+	if rec.LSN != l.last+1 {
+		return fmt.Errorf("oplog: append LSN %d, log is at %d", rec.LSN, l.last)
+	}
+	cur := &l.segs[len(l.segs)-1]
+	if cur.size >= l.opts.SegmentBytes {
+		if err := l.rotateLocked(l.last); err != nil {
+			return err
+		}
+		cur = &l.segs[len(l.segs)-1]
+	}
+	frame := make([]byte, recHeaderSize+len(body))
+	binary.LittleEndian.PutUint32(frame, uint32(len(body)))
+	binary.LittleEndian.PutUint32(frame[4:], crc32.Checksum(body, crcTable))
+	copy(frame[recHeaderSize:], body)
+	if _, err := l.active.Write(frame); err != nil {
+		return fmt.Errorf("oplog: %w", err)
+	}
+	if l.opts.Fsync == SyncAlways {
+		if err := l.active.Sync(); err != nil {
+			return fmt.Errorf("oplog: %w", err)
+		}
+	}
+	cur.size += int64(len(frame))
+	cur.last = rec.LSN
+	l.last = rec.LSN
+	return nil
+}
+
+// LastLSN reports the LSN of the newest record (or the recovered base when
+// the log is empty): the point the total order resumes from.
+func (l *Log) LastLSN() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.last
+}
+
+// ReadFrom returns every record with LSN >= from, in order. ok is false
+// when the log no longer holds that prefix (truncated after a snapshot):
+// the caller must fall back to snapshot transfer.
+func (l *Log) ReadFrom(from uint64) (recs []Record, ok bool, err error) {
+	if from == 0 {
+		from = 1
+	}
+	l.mu.Lock()
+	segs := append([]segment(nil), l.segs...)
+	l.mu.Unlock()
+	if len(segs) == 0 || from <= segs[0].base {
+		return nil, false, nil
+	}
+	for _, seg := range segs {
+		if seg.last < from {
+			continue
+		}
+		srecs, err := readSegmentRecords(seg)
+		if err != nil {
+			return nil, false, err
+		}
+		for _, r := range srecs {
+			if r.LSN >= from {
+				recs = append(recs, r)
+			}
+		}
+	}
+	return recs, true, nil
+}
+
+// readSegmentRecords decodes every record of one scanned segment (only the
+// prefix recorded in seg.size, so a torn tail is never replayed).
+func readSegmentRecords(seg segment) ([]Record, error) {
+	data, err := os.ReadFile(seg.path)
+	if err != nil {
+		return nil, fmt.Errorf("oplog: %w", err)
+	}
+	if int64(len(data)) > seg.size {
+		data = data[:seg.size]
+	}
+	if len(data) < segHeaderSize {
+		return nil, fmt.Errorf("oplog: %s: short segment", filepath.Base(seg.path))
+	}
+	var recs []Record
+	off := segHeaderSize
+	for off+recHeaderSize <= len(data) {
+		size := binary.LittleEndian.Uint32(data[off:])
+		crc := binary.LittleEndian.Uint32(data[off+4:])
+		if size < 8 || size > maxRecordBody || off+recHeaderSize+int(size) > len(data) {
+			return nil, fmt.Errorf("oplog: %s: corrupt record at offset %d", filepath.Base(seg.path), off)
+		}
+		body := data[off+recHeaderSize : off+recHeaderSize+int(size)]
+		if crc32.Checksum(body, crcTable) != crc {
+			return nil, fmt.Errorf("oplog: %s: record CRC mismatch at offset %d", filepath.Base(seg.path), off)
+		}
+		cur := NewCursor(body)
+		lsn, err := cur.U64()
+		if err != nil {
+			return nil, err
+		}
+		ops, err := ReadOps(cur)
+		if err != nil {
+			return nil, fmt.Errorf("oplog: %s: record %d: %w", filepath.Base(seg.path), lsn, err)
+		}
+		if err := cur.Done(); err != nil {
+			return nil, err
+		}
+		recs = append(recs, Record{LSN: lsn, Ops: ops})
+		off += recHeaderSize + int(size)
+	}
+	return recs, nil
+}
+
+// TruncateThrough drops whole segments whose records are all <= lsn —
+// called after a snapshot at lsn makes that prefix redundant. The active
+// segment always survives, so the last LSN stays pinned on disk.
+func (l *Log) TruncateThrough(lsn uint64) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	kept := l.segs[:0]
+	for i, seg := range l.segs {
+		if i < len(l.segs)-1 && seg.last <= lsn {
+			if err := os.Remove(seg.path); err != nil {
+				return fmt.Errorf("oplog: %w", err)
+			}
+			continue
+		}
+		kept = append(kept, seg)
+	}
+	l.segs = kept
+	return nil
+}
+
+// AdvanceTo jumps the log forward to lsn without records: every existing
+// segment is dropped (their records precede the gap, so no contiguous
+// replay through them is possible anyway) and a fresh segment starting
+// after lsn becomes active. Used when the deployment turns out to be ahead
+// of the write-ahead log — the order is preserved, and replicas older than
+// lsn are caught up by snapshot transfer instead of replay.
+func (l *Log) AdvanceTo(lsn uint64) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if lsn <= l.last {
+		return nil
+	}
+	for _, seg := range l.segs {
+		if seg.path != "" {
+			os.Remove(seg.path)
+		}
+	}
+	if l.active != nil {
+		l.active.Close()
+		l.active = nil
+	}
+	l.segs = nil
+	if err := l.rotateLocked(lsn); err != nil {
+		return err
+	}
+	l.last = lsn
+	return nil
+}
+
+// Stats reports the segment count and total bytes on disk.
+func (l *Log) Stats() (segments int, bytes int64) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	for _, seg := range l.segs {
+		bytes += seg.size
+	}
+	return len(l.segs), bytes
+}
+
+// Close flushes and closes the active segment.
+func (l *Log) Close() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.active == nil {
+		return nil
+	}
+	err := l.active.Sync()
+	if cerr := l.active.Close(); err == nil {
+		err = cerr
+	}
+	l.active = nil
+	return err
+}

@@ -1,0 +1,105 @@
+package oplog
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"distreach/internal/fragment"
+)
+
+// ErrNotDelivered marks a broadcast failure in which the batch reached no
+// replica at all. Wrapped into the error a Submit broadcast returns, it
+// lets an in-memory sequencer roll the assigned LSN back: with no log and
+// no replica holding the batch, keeping the LSN would leave a hole in the
+// order that nothing could ever fill.
+var ErrNotDelivered = errors.New("oplog: batch reached no replica")
+
+// Sequencer assigns one monotonic LSN to every update batch of a
+// deployment and (when durable) write-ahead logs the batch before it is
+// broadcast. Every writer — however many coordinators or gateways front
+// the deployment — must submit through the same sequencer: that is what
+// turns interleaved update streams into one total order the replicas can
+// enforce. Submit holds the order lock across the broadcast, so batch N+1
+// never reaches a replica before batch N.
+//
+// A durable sequencer resumes exactly where it stopped: the log's segment
+// headers pin the last assigned LSN even when every record has been
+// truncated away, so a restarted gateway extends the order instead of
+// forking it (the failure the old random-seq-base scheme had).
+type Sequencer struct {
+	mu   sync.Mutex
+	last uint64
+	log  *Log // nil: in-memory order only
+}
+
+// NewSequencer starts an in-memory sequencer whose next LSN is last+1.
+func NewSequencer(last uint64) *Sequencer {
+	return &Sequencer{last: last}
+}
+
+// NewDurableSequencer resumes the order recorded in the store: the next
+// LSN follows the newest record or snapshot, and every submitted batch is
+// appended to the store's log before it is broadcast.
+func NewDurableSequencer(st *Store) *Sequencer {
+	return &Sequencer{last: st.LastLSN(), log: st.Log()}
+}
+
+// LSN reports the last assigned LSN.
+func (s *Sequencer) LSN() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.last
+}
+
+// Durable reports whether submitted batches are write-ahead logged.
+func (s *Sequencer) Durable() bool { return s.log != nil }
+
+// Advance raises the sequencer to at least lsn. Used when a fresh
+// in-memory sequencer fronts a deployment that already has history: the
+// coordinator adopts the replicas' LSN before its first submit so it
+// extends the order.
+func (s *Sequencer) Advance(lsn uint64) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if lsn <= s.last {
+		return nil
+	}
+	if s.log != nil {
+		// The deployment is ahead of the write-ahead log — records were lost
+		// (a deleted WAL directory, say). Jump the log forward so the order
+		// stays intact; the lost prefix was only needed to catch up replicas
+		// older than it, which snapshot transfer covers.
+		if err := s.log.AdvanceTo(lsn); err != nil {
+			return err
+		}
+	}
+	s.last = lsn
+	return nil
+}
+
+// Submit assigns the next LSN to ops, appends the record to the log when
+// durable (fsync per the log's policy), then runs broadcast while holding
+// the order lock. When the sequencer is durable the LSN is consumed even
+// if broadcast fails: the record is in the log, so replicas that missed
+// it catch up from there — at-least-once delivery under one total order.
+// An in-memory sequencer has no such backstop, so a broadcast that
+// reached no replica at all (ErrNotDelivered) rolls the LSN back — the
+// batch exists nowhere, and keeping the number would wedge every later
+// update behind a hole nothing can fill.
+func (s *Sequencer) Submit(ops []fragment.Op, broadcast func(lsn uint64) error) (uint64, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	lsn := s.last + 1
+	if s.log != nil {
+		if err := s.log.Append(Record{LSN: lsn, Ops: ops}); err != nil {
+			return 0, fmt.Errorf("oplog: write-ahead append: %w", err)
+		}
+	}
+	s.last = lsn
+	err := broadcast(lsn)
+	if err != nil && s.log == nil && errors.Is(err, ErrNotDelivered) {
+		s.last = lsn - 1
+	}
+	return lsn, err
+}

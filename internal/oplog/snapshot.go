@@ -1,0 +1,248 @@
+package oplog
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+
+	"distreach/internal/fragment"
+	"distreach/internal/graph"
+)
+
+// Snapshot is a checkpoint of the whole fragmentation state at an LSN: the
+// graph, the node-to-fragment assignment, the deployment epoch, and the
+// partitioner that places live-inserted nodes. A snapshot plus the log
+// records after its LSN reconstructs the deployment state exactly; the
+// fingerprint (fragment.Fingerprint over graph + assignment) is verified
+// on decode, so a truncated or bit-rotted snapshot fails loudly instead of
+// seeding a silently diverged replica.
+type Snapshot struct {
+	LSN         uint64
+	Epoch       uint64
+	Fingerprint uint64
+	Partitioner string // "" = none attached (least-loaded placement)
+	Seed        uint64
+	Fr          *fragment.Fragmentation
+
+	// enc caches the serialized form captured atomically with the identity
+	// fields (TakeSnapshot); EncodeSnapshot returns it when present so a
+	// snapshot of a live replica can never be re-serialized against a
+	// graph that moved on since the LSN was recorded.
+	enc []byte
+}
+
+// Snapshot envelope (little-endian):
+//
+//	magic "DRSNAP" | version u8 | nlen u8 | partitioner name |
+//	seed u64 | lsn u64 | epoch u64 | fingerprint u64 |
+//	glen u32 | graph text (graph.Write) |
+//	alen u32 | assignment text (fragment.Write) |
+//	dlen u32 | tombstoned node IDs u32 each (ascending)
+//
+// The graph text codec does not record tombstones (slots freed by node
+// deletion, whose IDs a later insert reuses), so the envelope carries them
+// explicitly and the decoder re-deletes those slots before rebuilding the
+// fragmentation — ID assignment stays deterministic across a snapshot
+// round trip.
+const (
+	snapMagic   = "DRSNAP"
+	snapVersion = 1
+)
+
+// TakeSnapshot captures the replica state behind rep as a Snapshot whose
+// serialized form is frozen together with its identity: the state is
+// encoded, then the replica is re-checked — if an update or rebalance
+// landed meanwhile (new LSN, epoch, or a swapped fragmentation) the
+// attempt is thrown away and retried, so the recorded LSN and fingerprint
+// always describe exactly the encoded bytes.
+func TakeSnapshot(rep *fragment.Replica) (*Snapshot, error) {
+	for attempt := 0; attempt < 8; attempt++ {
+		fr, epoch, lsn := rep.State()
+		name, seed := fragment.Describe(fr.Partitioner())
+		snap := &Snapshot{LSN: lsn, Epoch: epoch, Partitioner: name, Seed: seed, Fr: fr}
+		enc, err := encodeSnapshotState(snap)
+		if err != nil {
+			return nil, err
+		}
+		snap.Fingerprint = fr.Fingerprint()
+		if fr2, e2, l2 := rep.State(); l2 == lsn && e2 == epoch && fr2 == fr {
+			snap.enc = finishSnapshotEnvelope(snap, enc)
+			return snap, nil
+		}
+	}
+	return nil, fmt.Errorf("oplog: replica too hot to snapshot (updates landed on every attempt)")
+}
+
+// EncodeSnapshot serializes snap, preferring the form frozen by
+// TakeSnapshot; a snapshot assembled at rest (decoded, or built in tests)
+// is serialized fresh under the fragmentation's read lock.
+func EncodeSnapshot(snap *Snapshot) ([]byte, error) {
+	if snap.enc != nil {
+		return snap.enc, nil
+	}
+	enc, err := encodeSnapshotState(snap)
+	if err != nil {
+		return nil, err
+	}
+	if snap.Fingerprint == 0 {
+		snap.Fingerprint = snap.Fr.Fingerprint()
+	}
+	return finishSnapshotEnvelope(snap, enc), nil
+}
+
+// snapshotState is the state portion of the envelope: graph text,
+// assignment text and tombstone list, captured under one read lock.
+type snapshotState struct {
+	graph, assign []byte
+	dead          []uint32
+}
+
+// encodeSnapshotState captures the fragmentation state under its read
+// lock, so a concurrent update never tears it.
+func encodeSnapshotState(snap *Snapshot) (*snapshotState, error) {
+	if len(snap.Partitioner) > 0xFF {
+		return nil, fmt.Errorf("oplog: partitioner name of %d bytes out of range", len(snap.Partitioner))
+	}
+	var gbuf, abuf bytes.Buffer
+	snap.Fr.RLock()
+	g := snap.Fr.Graph()
+	gerr := graph.Write(&gbuf, g)
+	aerr := fragment.Write(&abuf, snap.Fr)
+	var dead []uint32
+	for v := 0; v < g.NumNodes(); v++ {
+		if g.Deleted(graph.NodeID(v)) {
+			dead = append(dead, uint32(v))
+		}
+	}
+	snap.Fr.RUnlock()
+	if gerr != nil {
+		return nil, gerr
+	}
+	if aerr != nil {
+		return nil, aerr
+	}
+	return &snapshotState{graph: gbuf.Bytes(), assign: abuf.Bytes(), dead: dead}, nil
+}
+
+// finishSnapshotEnvelope assembles the final envelope from the identity
+// fields and a captured state.
+func finishSnapshotEnvelope(snap *Snapshot, st *snapshotState) []byte {
+	b := make([]byte, 0, len(snapMagic)+2+len(snap.Partitioner)+36+len(st.graph)+len(st.assign)+4*len(st.dead)+4)
+	b = append(b, snapMagic...)
+	b = append(b, snapVersion, byte(len(snap.Partitioner)))
+	b = append(b, snap.Partitioner...)
+	b = binary.LittleEndian.AppendUint64(b, snap.Seed)
+	b = binary.LittleEndian.AppendUint64(b, snap.LSN)
+	b = binary.LittleEndian.AppendUint64(b, snap.Epoch)
+	b = binary.LittleEndian.AppendUint64(b, snap.Fingerprint)
+	b = binary.LittleEndian.AppendUint32(b, uint32(len(st.graph)))
+	b = append(b, st.graph...)
+	b = binary.LittleEndian.AppendUint32(b, uint32(len(st.assign)))
+	b = append(b, st.assign...)
+	b = binary.LittleEndian.AppendUint32(b, uint32(len(st.dead)))
+	for _, v := range st.dead {
+		b = binary.LittleEndian.AppendUint32(b, v)
+	}
+	return b
+}
+
+// DecodeSnapshot parses and verifies a snapshot: the envelope is
+// bounds-checked against hostile input, the fragmentation is rebuilt, its
+// fingerprint must equal the recorded one, and the recorded partitioner is
+// re-attached so live node placement stays deterministic across replicas.
+func DecodeSnapshot(p []byte) (*Snapshot, error) {
+	r := NewCursor(p)
+	magic, err := r.Bytes(uint32(len(snapMagic)))
+	if err != nil || string(magic) != snapMagic {
+		return nil, fmt.Errorf("oplog: not a snapshot (bad magic)")
+	}
+	ver, err := r.U8()
+	if err != nil {
+		return nil, err
+	}
+	if ver != snapVersion {
+		return nil, fmt.Errorf("oplog: unsupported snapshot version %d", ver)
+	}
+	nlen, err := r.U8()
+	if err != nil {
+		return nil, err
+	}
+	name, err := r.Bytes(uint32(nlen))
+	if err != nil {
+		return nil, err
+	}
+	snap := &Snapshot{Partitioner: string(name)}
+	if snap.Seed, err = r.U64(); err != nil {
+		return nil, err
+	}
+	if snap.LSN, err = r.U64(); err != nil {
+		return nil, err
+	}
+	if snap.Epoch, err = r.U64(); err != nil {
+		return nil, err
+	}
+	if snap.Fingerprint, err = r.U64(); err != nil {
+		return nil, err
+	}
+	glen, err := r.U32()
+	if err != nil {
+		return nil, err
+	}
+	gtext, err := r.Bytes(glen)
+	if err != nil {
+		return nil, err
+	}
+	alen, err := r.U32()
+	if err != nil {
+		return nil, err
+	}
+	atext, err := r.Bytes(alen)
+	if err != nil {
+		return nil, err
+	}
+	dlen, err := r.U32()
+	if err != nil {
+		return nil, err
+	}
+	if uint64(dlen)*4 > uint64(r.Remaining()) {
+		return nil, fmt.Errorf("oplog: snapshot claims %d tombstones in %d bytes", dlen, r.Remaining())
+	}
+	dead := make([]uint32, 0, dlen)
+	for i := 0; i < int(dlen); i++ {
+		v, err := r.U32()
+		if err != nil {
+			return nil, err
+		}
+		dead = append(dead, v)
+	}
+	if err := r.Done(); err != nil {
+		return nil, err
+	}
+	g, err := graph.Read(bytes.NewReader(gtext))
+	if err != nil {
+		return nil, fmt.Errorf("oplog: snapshot graph: %w", err)
+	}
+	// Re-tombstone in ascending ID order, so the free-slot list (which a
+	// later insert consumes lowest-first) matches the snapshotted state.
+	for _, v := range dead {
+		if int(v) >= g.NumNodes() || !g.DeleteNode(graph.NodeID(v)) {
+			return nil, fmt.Errorf("oplog: snapshot tombstone %d invalid", v)
+		}
+	}
+	fr, err := fragment.Read(bytes.NewReader(atext), g)
+	if err != nil {
+		return nil, fmt.Errorf("oplog: snapshot assignment: %w", err)
+	}
+	if snap.Partitioner != "" {
+		part, err := fragment.ByName(snap.Partitioner, snap.Seed)
+		if err != nil {
+			return nil, fmt.Errorf("oplog: snapshot partitioner: %w", err)
+		}
+		fr.SetPartitioner(part)
+	}
+	if fp := fr.Fingerprint(); fp != snap.Fingerprint {
+		return nil, fmt.Errorf("oplog: snapshot fingerprint mismatch (recorded %x, rebuilt %x)", snap.Fingerprint, fp)
+	}
+	snap.Fr = fr
+	return snap, nil
+}

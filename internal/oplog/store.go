@@ -1,0 +1,180 @@
+package oplog
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+
+	"distreach/internal/fragment"
+)
+
+// Store is a directory holding one process's durable state: the segmented
+// record log plus the snapshot files that bound replay. Both the gateway
+// (its write-ahead log of every sequenced batch) and cmd/site (its applied
+// batches and local checkpoints) use one.
+type Store struct {
+	dir string
+	log *Log
+
+	mu      sync.Mutex
+	snapLSN uint64 // LSN of the newest snapshot on disk; 0 = none
+}
+
+// OpenStore opens (or creates) the store in dir and recovers its state:
+// segments are scanned (recovering the last LSN even when the log is
+// empty — the segment header pins it) and the newest snapshot is located.
+func OpenStore(dir string, opts LogOptions) (*Store, error) {
+	l, err := OpenLog(dir, opts)
+	if err != nil {
+		return nil, err
+	}
+	st := &Store{dir: dir, log: l}
+	names, err := filepath.Glob(filepath.Join(dir, "snap-*.snap"))
+	if err != nil {
+		l.Close()
+		return nil, fmt.Errorf("oplog: %w", err)
+	}
+	sort.Strings(names)
+	if len(names) > 0 {
+		var lsn uint64
+		if _, err := fmt.Sscanf(filepath.Base(names[len(names)-1]), "snap-%x.snap", &lsn); err != nil {
+			l.Close()
+			return nil, fmt.Errorf("oplog: bad snapshot name %q", names[len(names)-1])
+		}
+		st.snapLSN = lsn
+	}
+	return st, nil
+}
+
+// Log exposes the store's record log.
+func (st *Store) Log() *Log { return st.log }
+
+// Dir reports the store's directory.
+func (st *Store) Dir() string { return st.dir }
+
+// SnapshotLSN reports the LSN of the newest snapshot on disk (0 = none).
+func (st *Store) SnapshotLSN() uint64 {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return st.snapLSN
+}
+
+// LastLSN reports the highest LSN the store knows: the log's last record
+// or the newest snapshot, whichever is later.
+func (st *Store) LastLSN() uint64 {
+	lsn := st.log.LastLSN()
+	if s := st.SnapshotLSN(); s > lsn {
+		lsn = s
+	}
+	return lsn
+}
+
+func (st *Store) snapPath(lsn uint64) string {
+	return filepath.Join(st.dir, fmt.Sprintf("snap-%016x.snap", lsn))
+}
+
+// SaveSnapshot writes snap durably (write to a temp file, fsync, rename),
+// then truncates the log through snap.LSN and removes older snapshots —
+// the prefix they cover is now redundant.
+func (st *Store) SaveSnapshot(snap *Snapshot) error {
+	b, err := EncodeSnapshot(snap)
+	if err != nil {
+		return err
+	}
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if snap.LSN <= st.snapLSN && st.snapLSN != 0 {
+		return nil // an equal or newer snapshot already exists
+	}
+	tmp := filepath.Join(st.dir, "snap.tmp")
+	f, err := os.Create(tmp)
+	if err != nil {
+		return fmt.Errorf("oplog: %w", err)
+	}
+	if _, err := f.Write(b); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("oplog: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("oplog: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("oplog: %w", err)
+	}
+	if err := os.Rename(tmp, st.snapPath(snap.LSN)); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("oplog: %w", err)
+	}
+	old := st.snapLSN
+	st.snapLSN = snap.LSN
+	if old != 0 {
+		os.Remove(st.snapPath(old))
+	}
+	if err := st.log.TruncateThrough(snap.LSN); err != nil {
+		return err
+	}
+	// A snapshot installed over the wire may be ahead of the local log (the
+	// records it covers were never received); jump the log forward so later
+	// appends extend the order from the snapshot.
+	return st.log.AdvanceTo(snap.LSN)
+}
+
+// LoadSnapshot reads and verifies the newest snapshot. ok is false when
+// the store holds none.
+func (st *Store) LoadSnapshot() (*Snapshot, bool, error) {
+	st.mu.Lock()
+	lsn := st.snapLSN
+	st.mu.Unlock()
+	if lsn == 0 {
+		return nil, false, nil
+	}
+	b, err := os.ReadFile(st.snapPath(lsn))
+	if err != nil {
+		return nil, false, fmt.Errorf("oplog: %w", err)
+	}
+	snap, err := DecodeSnapshot(b)
+	if err != nil {
+		return nil, false, err
+	}
+	return snap, true, nil
+}
+
+// Close closes the underlying log.
+func (st *Store) Close() error { return st.log.Close() }
+
+// Recover rebuilds a replica from the store: the newest snapshot when one
+// exists (otherwise the caller-supplied base state at LSN 0), with every
+// log record after it replayed in order. This is what a restarted site
+// boots from — its state then trails the deployment only by whatever it
+// missed while down, which catch-up replication streams over the wire.
+func Recover(st *Store, base *fragment.Fragmentation) (*fragment.Replica, error) {
+	fr, epoch, lsn := base, uint64(0), uint64(0)
+	if snap, ok, err := st.LoadSnapshot(); err != nil {
+		return nil, err
+	} else if ok {
+		fr, epoch, lsn = snap.Fr, snap.Epoch, snap.LSN
+	}
+	rep := fragment.NewReplicaAt(fr, epoch, lsn)
+	recs, ok, err := st.log.ReadFrom(lsn + 1)
+	if err != nil {
+		return nil, err
+	}
+	if !ok {
+		return nil, fmt.Errorf("oplog: log does not reach back to LSN %d (snapshot missing?)", lsn+1)
+	}
+	for _, rec := range recs {
+		if _, advanced, err := rep.ApplyLSN(rec.LSN, 0, rec.Ops); err != nil && !advanced {
+			// A record that advanced with an error is a recorded rejection —
+			// a deterministic no-op slot of the total order. Anything else
+			// (a gap, a stale record) means the store is inconsistent.
+			return nil, fmt.Errorf("oplog: replay of record %d failed: %w", rec.LSN, err)
+		}
+	}
+	return rep, nil
+}
