@@ -1,8 +1,12 @@
 # The same commands CI runs (.github/workflows/ci.yml), for humans.
+# `make ci` is the single source of truth: every gate the workflow
+# enforces is a target here, and the workflow only calls make.
 
 GO ?= go
 
-.PHONY: all build test race bench bench-smoke fuzz-smoke recovery-smoke staticcheck fmt fmt-check vet ci
+.PHONY: all build test race bench bench-smoke bench-json bench-trajectory \
+	cross-checks fuzz-smoke recovery-smoke govulncheck staticcheck \
+	fmt fmt-check vet ci
 
 all: build test
 
@@ -19,16 +23,39 @@ race:
 bench:
 	$(GO) test -bench . -benchmem ./...
 
+# One parameterized load-generator invocation shared by every smoke run
+# (the flags were previously duplicated and drifting between lines).
+BENCH_LOAD_FLAGS ?= -load -clients 2 -duration 1s -nodes 300 -edges 1200 -class mixed
+
 # One-iteration smoke run: proves every benchmark still compiles and runs,
 # plus short load-generator iterations — edge churn, node-op churn with a
-# forced live rebalance — against an in-process deployment.
+# forced live rebalance (also exercising the JSON report path) — against
+# an in-process deployment.
 bench-smoke:
 	$(GO) test -run '^$$' -bench . -benchtime 1x ./...
-	$(GO) run ./cmd/bench -load -clients 2 -duration 1s -churn 5 -nodes 300 -edges 1200 -class mixed
-	$(GO) run ./cmd/bench -load -clients 2 -duration 1s -churn 20 -nodechurn -rebalance 300ms -nodes 300 -edges 1200 -class mixed
+	$(GO) run ./cmd/bench $(BENCH_LOAD_FLAGS) -churn 5
+	$(GO) run ./cmd/bench $(BENCH_LOAD_FLAGS) -churn 20 -nodechurn -rebalance 300ms -json /tmp/bench-smoke.json
 
-# Short fuzzing pass over the wire and durability codecs (one target per
-# invocation: the Go fuzzer requires exactly one -fuzz match).
+# The pinned bench-trajectory run: open loop on the checked-in SNAP sample
+# at a fixed offered rate, seed and duration, emitting a schema-versioned
+# report. This exact configuration produced the committed BENCH_PR6.json
+# baseline; refresh it with `make bench-json BENCH_JSON_OUT=BENCH_PR6.json`.
+BENCH_TRAJECTORY_FLAGS ?= -load -rate 200 -arrival poisson -duration 5s -clients 4 \
+	-churn 10 -seed 6 -snap internal/graph/testdata/p2p-sample.txt
+BENCH_JSON_OUT ?= BENCH.json
+
+bench-json:
+	$(GO) run ./cmd/bench $(BENCH_TRAJECTORY_FLAGS) -json $(BENCH_JSON_OUT)
+
+# What CI's bench-trajectory job runs: measure, then gate against the
+# committed baseline (>20% throughput drop or >50% p99 growth fails; see
+# cmd/benchcheck for the override when a regression is intentional).
+bench-trajectory:
+	$(MAKE) bench-json BENCH_JSON_OUT=BENCH_PR.json
+	$(GO) run ./cmd/benchcheck -baseline BENCH_PR6.json -current BENCH_PR.json
+
+# Short fuzzing pass over the wire, durability and dataset codecs (one
+# target per invocation: the Go fuzzer requires exactly one -fuzz match).
 fuzz-smoke:
 	$(GO) test ./internal/netsite -run '^$$' -fuzz '^FuzzDecodeFrame$$' -fuzztime 20s
 	$(GO) test ./internal/netsite -run '^$$' -fuzz '^FuzzBatchPayload$$' -fuzztime 20s
@@ -37,6 +64,7 @@ fuzz-smoke:
 	$(GO) test ./internal/netsite -run '^$$' -fuzz '^FuzzSyncPayload$$' -fuzztime 20s
 	$(GO) test ./internal/oplog -run '^$$' -fuzz '^FuzzOpsCodec$$' -fuzztime 20s
 	$(GO) test ./internal/oplog -run '^$$' -fuzz '^FuzzSegmentScan$$' -fuzztime 20s
+	$(GO) test ./internal/graph -run '^$$' -fuzz '^FuzzSNAPLoader$$' -fuzztime 20s
 
 # Crash-recovery acceptance pass (race-enabled): kill-and-restart catch-up
 # over 50 randomized graphs, two concurrent gateways under one sequencer,
@@ -50,10 +78,22 @@ recovery-smoke:
 	$(GO) test -race -count 1 \
 		-run 'TestGatewayDurabilityStats|TestGatewayRecoversDeploymentFromWAL' ./cmd/serve
 
-# Static analysis beyond go vet. Downloads the tool on first run; CI has
-# its own job for it.
+# The wire/simulation cross-checks CI pins with -count 1 (they are part of
+# `make race` too; the explicit run guards against cached passes).
+cross-checks:
+	$(GO) test -race -run 'TestBatchWireCrossCheck|TestBatchLifecycleNoLeak' -count 1 ./internal/netsite
+	$(GO) test -race -run 'TestUpdateWireCrossCheck|TestUpdateConcurrentWithQueries' -count 1 ./internal/netsite
+	$(GO) test -race -run 'TestNodeOpsWireCrossCheck|TestNodeMutationCrossCheck|TestRebalanceEpochRace|TestRebalanceRestoresBalance' -count 1 ./internal/netsite ./internal/fragment
+
+# Static analysis beyond go vet. Downloads the tool on first run.
 staticcheck:
 	$(GO) run honnef.co/go/tools/cmd/staticcheck@2025.1.1 ./...
+
+# Known-vulnerability scan against the Go vuln DB. Downloads the scanner
+# on first run and needs network for the DB, so it is its own target (and
+# CI job) rather than part of the offline-friendly gates.
+govulncheck:
+	$(GO) run golang.org/x/vuln/cmd/govulncheck@v1.1.4 ./...
 
 fmt:
 	gofmt -w .
@@ -64,4 +104,4 @@ fmt-check:
 vet:
 	$(GO) vet ./...
 
-ci: build vet fmt-check race bench-smoke recovery-smoke fuzz-smoke
+ci: build vet fmt-check race cross-checks recovery-smoke bench-smoke staticcheck fuzz-smoke

@@ -5,10 +5,10 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"math"
 	"net/http"
 	neturl "net/url"
 	"os"
-	"sort"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -21,10 +21,18 @@ import (
 	"distreach/internal/netsite"
 )
 
-// loadConfig is the closed-loop load generator: N concurrent clients, each
-// issuing the next query as soon as the previous one answers, against
-// either an in-process TCP deployment (the default) or a running cmd/serve
-// gateway (-url).
+// loadConfig drives the load generator: N concurrent clients against
+// either an in-process TCP deployment (the default) or a running
+// cmd/serve gateway (-url), in one of two loop disciplines:
+//
+//   - closed loop (rate == 0): each client issues its next query as soon
+//     as the previous one answers. Measures peak sustainable throughput;
+//     latency self-limits to the service time.
+//   - open loop (-rate R): arrivals follow a fixed schedule (Poisson or
+//     uniform gaps) independent of completions, the way real traffic
+//     does. Latency is measured from the SCHEDULED arrival, so queue
+//     delay under overload shows up instead of being coordinated away,
+//     and the dequeue delay is reported separately as lateness.
 type loadConfig struct {
 	clients   int
 	duration  time.Duration
@@ -35,15 +43,20 @@ type loadConfig struct {
 	nodechurn bool          // mix node inserts/deletes into the churn stream
 	rebalance time.Duration // force a live re-fragmentation at this interval; 0 = never
 	delay     time.Duration
+	rate      float64 // offered arrivals per second; 0 = closed loop
+	arrival   string  // open loop schedule: poisson | uniform
+	jsonPath  string  // non-empty: write a schema-versioned report here
+	snap      string  // non-empty: load the in-process graph from this SNAP file
 	nodes     int
 	edges     int
 	k         int
 	seed      uint64
 }
 
-// clientStats is one client's closed-loop tally.
+// clientStats is one client's tally.
 type clientStats struct {
 	lats []time.Duration
+	late []time.Duration // open loop: dequeue time - scheduled arrival
 	errs int
 }
 
@@ -53,12 +66,18 @@ func runLoad(cfg loadConfig) error {
 	default:
 		return fmt.Errorf("unknown query class %q (want qr, qbr, qrr or mixed)", cfg.class)
 	}
+	switch cfg.arrival {
+	case "poisson", "uniform":
+	default:
+		return fmt.Errorf("unknown arrival schedule %q (want poisson or uniform)", cfg.arrival)
+	}
 	if cfg.batch < 1 {
 		cfg.batch = 1
 	}
 	var issue, update func(rng *gen.RNG, q int) error
 	var rebalance func(epoch uint64) error
-	var maxLag atomic.Uint64 // worst replica lag observed (wire mode; batches)
+	var maxLag atomic.Uint64   // worst replica lag observed (wire mode; batches)
+	var wireBytes atomic.Int64 // sent+received across all wire rounds
 	wireMode := cfg.url == ""
 	target := cfg.url
 	if cfg.url != "" {
@@ -66,34 +85,32 @@ func runLoad(cfg loadConfig) error {
 	} else {
 		var cleanup func()
 		var err error
-		issue, update, rebalance, cleanup, err = wireIssuer(cfg, &maxLag)
+		issue, update, rebalance, cleanup, err = wireIssuer(&cfg, &maxLag, &wireBytes)
 		if err != nil {
 			return err
 		}
 		defer cleanup()
-		target = fmt.Sprintf("in-process deployment (%d sites, |V|=%d, |E|=%d)", cfg.k, cfg.nodes, cfg.edges)
+		src := "synthetic"
+		if cfg.snap != "" {
+			src = cfg.snap
+		}
+		target = fmt.Sprintf("in-process deployment (%d sites, |V|=%d, |E|=%d, %s)", cfg.k, cfg.nodes, cfg.edges, src)
 	}
 
-	fmt.Fprintf(os.Stderr, "load: %d clients, %v, class %s, batch %d, churn %.1f/s (node ops %v), rebalance %v, target %s\n",
-		cfg.clients, cfg.duration, cfg.class, cfg.batch, cfg.churn, cfg.nodechurn, cfg.rebalance, target)
+	mode := "closed"
+	if cfg.rate > 0 {
+		mode = fmt.Sprintf("open %.0f/s %s", cfg.rate, cfg.arrival)
+	}
+	fmt.Fprintf(os.Stderr, "load: %d clients, %v, %s loop, class %s, batch %d, churn %.1f/s (node ops %v), rebalance %v, target %s\n",
+		cfg.clients, cfg.duration, mode, cfg.class, cfg.batch, cfg.churn, cfg.nodechurn, cfg.rebalance, target)
 	stats := make([]clientStats, cfg.clients)
 	deadline := time.Now().Add(cfg.duration)
 	start := time.Now()
 	var wg sync.WaitGroup
-	for w := 0; w < cfg.clients; w++ {
-		wg.Add(1)
-		go func(w int) {
-			defer wg.Done()
-			rng := gen.NewRNG(cfg.seed + uint64(w)*7919)
-			for q := 0; time.Now().Before(deadline); q++ {
-				t0 := time.Now()
-				if err := issue(rng, q); err != nil {
-					stats[w].errs++ // failed queries don't count as served work
-					continue
-				}
-				stats[w].lats = append(stats[w].lats, time.Since(t0))
-			}
-		}(w)
+	if cfg.rate > 0 {
+		driveOpen(cfg, &wg, stats, issue, start, deadline)
+	} else {
+		driveClosed(cfg, &wg, stats, issue, deadline)
 	}
 	// The churn loop: a dedicated updater mixing edge inserts/deletes into
 	// the query stream at the requested rate, paced by a fixed interval.
@@ -141,24 +158,17 @@ func runLoad(cfg loadConfig) error {
 	wg.Wait()
 	elapsed := time.Since(start)
 
-	var all []time.Duration
+	var all, late []time.Duration
 	errs := 0
 	for _, s := range stats {
 		all = append(all, s.lats...)
+		late = append(late, s.late...)
 		errs += s.errs
 	}
 	if len(all) == 0 {
 		return fmt.Errorf("load: no queries completed (%d errors)", errs)
 	}
-	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
-	pct := func(p float64) time.Duration {
-		i := int(p * float64(len(all)-1))
-		return all[i].Round(time.Microsecond)
-	}
-	var sum time.Duration
-	for _, d := range all {
-		sum += d
-	}
+	lat := summarize(all)
 	// With -batch N every issue ships N queries in one wire round, so
 	// throughput counts queries while the latency columns describe whole
 	// batches (what one caller waits for).
@@ -174,14 +184,73 @@ func runLoad(cfg loadConfig) error {
 		fmt.Printf("rebalances  %d applied (%d errors)\n", rebalances, rerrs)
 	}
 	fmt.Printf("elapsed     %v\n", elapsed.Round(time.Millisecond))
+	if cfg.rate > 0 {
+		fmt.Printf("offered     %.0f q/s (%s arrivals)\n", cfg.rate, cfg.arrival)
+	}
 	fmt.Printf("throughput  %.0f q/s\n", float64(queries)/elapsed.Seconds())
 	unit := "query"
 	if cfg.batch > 1 {
 		unit = fmt.Sprintf("batch of %d", cfg.batch)
 	}
-	fmt.Printf("latency     per %s: mean %v  p50 %v  p90 %v  p99 %v  max %v\n", unit,
-		(sum / time.Duration(len(all))).Round(time.Microsecond),
-		pct(0.50), pct(0.90), pct(0.99), pct(1.0))
+	fmt.Printf("latency     per %s: mean %s  p50 %s  p90 %s  p99 %s  max %s\n", unit,
+		fmtDurationUS(lat.MeanUS), fmtDurationUS(lat.P50US), fmtDurationUS(lat.P90US),
+		fmtDurationUS(lat.P99US), fmtDurationUS(lat.MaxUS))
+	var lateness *latencySummary
+	if cfg.rate > 0 {
+		l := summarize(late)
+		lateness = &l
+		fmt.Printf("lateness    dequeue - schedule: p50 %s  p99 %s  max %s\n",
+			fmtDurationUS(l.P50US), fmtDurationUS(l.P99US), fmtDurationUS(l.MaxUS))
+	}
+	if wireMode {
+		fmt.Printf("wire        %.0f bytes/query\n", float64(wireBytes.Load())/float64(queries))
+	}
+
+	if cfg.jsonPath != "" {
+		rep := benchReport{
+			Schema: benchSchema,
+			Mode:   map[bool]string{true: "open", false: "closed"}[cfg.rate > 0],
+			Config: benchReportConfig{
+				Clients:     cfg.clients,
+				DurationSec: cfg.duration.Seconds(),
+				Class:       cfg.class,
+				Batch:       cfg.batch,
+				ChurnPerSec: cfg.churn,
+				NodeChurn:   cfg.nodechurn,
+				RebalanceMS: cfg.rebalance.Milliseconds(),
+				RatePerSec:  cfg.rate,
+				Arrival:     cfg.arrival,
+				Snap:        cfg.snap,
+				URL:         cfg.url,
+				Nodes:       cfg.nodes,
+				Edges:       cfg.edges,
+				K:           cfg.k,
+				Seed:        cfg.seed,
+			},
+			Queries:      queries,
+			Rounds:       len(all),
+			Errors:       errs,
+			ElapsedSec:   elapsed.Seconds(),
+			QPS:          float64(queries) / elapsed.Seconds(),
+			Latency:      lat,
+			Lateness:     lateness,
+			Updates:      updates,
+			UpdateErrors: uerrs,
+			Rebalances:   rebalances,
+			MaxLag:       maxLag.Load(),
+			RSSBytes:     rssBytes(),
+		}
+		if cfg.rate > 0 {
+			rep.OfferedQPS = cfg.rate
+		}
+		if wireMode {
+			rep.BytesPerQuery = float64(wireBytes.Load()) / float64(queries)
+		}
+		if err := writeReport(cfg.jsonPath, rep); err != nil {
+			return fmt.Errorf("load: writing %s: %w", cfg.jsonPath, err)
+		}
+		fmt.Fprintf(os.Stderr, "load: wrote %s\n", cfg.jsonPath)
+	}
 	if errs > 0 {
 		return fmt.Errorf("load: %d queries failed", errs)
 	}
@@ -192,6 +261,74 @@ func runLoad(cfg loadConfig) error {
 		return fmt.Errorf("load: %d rebalances failed", rerrs)
 	}
 	return nil
+}
+
+// driveClosed starts the closed-loop clients: each issues back-to-back.
+func driveClosed(cfg loadConfig, wg *sync.WaitGroup, stats []clientStats, issue func(*gen.RNG, int) error, deadline time.Time) {
+	for w := 0; w < cfg.clients; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := gen.NewRNG(cfg.seed + uint64(w)*7919)
+			for q := 0; time.Now().Before(deadline); q++ {
+				t0 := time.Now()
+				if err := issue(rng, q); err != nil {
+					stats[w].errs++ // failed queries don't count as served work
+					continue
+				}
+				stats[w].lats = append(stats[w].lats, time.Since(t0))
+			}
+		}(w)
+	}
+}
+
+// driveOpen starts the open-loop machinery: one generator emitting
+// scheduled arrival times (Poisson or uniform gaps at cfg.rate), and
+// cfg.clients workers draining them. Latency is charged from the
+// scheduled arrival; the dequeue delay is tracked as lateness.
+func driveOpen(cfg loadConfig, wg *sync.WaitGroup, stats []clientStats, issue func(*gen.RNG, int) error, start, deadline time.Time) {
+	arrivals := make(chan time.Time, 1<<14)
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		defer close(arrivals)
+		rng := gen.NewRNG(cfg.seed ^ 0xA5A5A5A5)
+		next := start
+		for {
+			gap := time.Duration(float64(time.Second) / cfg.rate)
+			if cfg.arrival == "poisson" {
+				// Exponential inter-arrival: -ln(1-U)/rate.
+				gap = time.Duration(-math.Log(1-rng.Float64()) * float64(time.Second) / cfg.rate)
+			}
+			next = next.Add(gap)
+			if next.After(deadline) {
+				return
+			}
+			if d := time.Until(next); d > 0 {
+				time.Sleep(d)
+			}
+			arrivals <- next
+		}
+	}()
+	for w := 0; w < cfg.clients; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := gen.NewRNG(cfg.seed + uint64(w)*7919)
+			for q := 0; ; q++ {
+				sched, ok := <-arrivals
+				if !ok {
+					return
+				}
+				stats[w].late = append(stats[w].late, time.Since(sched))
+				if err := issue(rng, q); err != nil {
+					stats[w].errs++
+					continue
+				}
+				stats[w].lats = append(stats[w].lats, time.Since(sched))
+			}
+		}(w)
+	}
 }
 
 var loadLabels = []string{"A", "B", "C"}
@@ -210,11 +347,24 @@ func pickQuery(class string, rng *gen.RNG, q, n int) (cls string, s, t graph.Nod
 }
 
 // wireIssuer deploys loopback sites in-process and drives them over the
-// multiplexed TCP protocol through a single shared coordinator. The
-// returned lag function samples the worst replica lag observed so far —
-// how many sequenced batches the slowest site trails the sequencer by.
-func wireIssuer(cfg loadConfig, maxLag *atomic.Uint64) (func(*gen.RNG, int) error, func(*gen.RNG, int) error, func(uint64) error, func(), error) {
-	g := gen.PowerLaw(gen.Config{Nodes: cfg.nodes, Edges: cfg.edges, Labels: loadLabels, Seed: cfg.seed})
+// multiplexed TCP protocol through a single shared coordinator. The graph
+// is synthetic by default, or loaded from cfg.snap (a SNAP edge list,
+// plain or gzipped; cfg.nodes/cfg.edges are overwritten with the real
+// counts). Wire traffic accumulates into wireBytes; maxLag samples the
+// worst replica lag observed — how many sequenced batches the slowest
+// site trails the sequencer by.
+func wireIssuer(cfg *loadConfig, maxLag *atomic.Uint64, wireBytes *atomic.Int64) (func(*gen.RNG, int) error, func(*gen.RNG, int) error, func(uint64) error, func(), error) {
+	var g *graph.Graph
+	if cfg.snap != "" {
+		var err error
+		g, err = graph.OpenSNAP(cfg.snap, loadLabels)
+		if err != nil {
+			return nil, nil, nil, nil, err
+		}
+		cfg.nodes, cfg.edges = g.NumNodes(), g.NumEdges()
+	} else {
+		g = gen.PowerLaw(gen.Config{Nodes: cfg.nodes, Edges: cfg.edges, Labels: loadLabels, Seed: cfg.seed})
+	}
 	fr, err := fragment.Random(g, cfg.k, cfg.seed)
 	if err != nil {
 		return nil, nil, nil, nil, err
@@ -236,30 +386,38 @@ func wireIssuer(cfg loadConfig, maxLag *atomic.Uint64) (func(*gen.RNG, int) erro
 			s.Close()
 		}
 	}
+	account := func(st netsite.WireStats) {
+		wireBytes.Add(st.BytesSent + st.BytesReceived)
+	}
+	nodes := cfg.nodes
 	issue := func(rng *gen.RNG, q int) error {
 		if cfg.batch > 1 {
 			qs := make([]netsite.BatchQuery, cfg.batch)
 			for i := range qs {
-				qs[i] = pickBatchQuery(cfg, rng, q*cfg.batch+i)
+				qs[i] = pickBatchQuery(cfg.class, nodes, rng, q*cfg.batch+i)
 			}
-			_, _, err := co.Batch(qs)
+			_, st, err := co.Batch(qs)
+			account(st)
 			return err
 		}
-		cls, s, t, l := pickQuery(cfg.class, rng, q, cfg.nodes)
+		cls, s, t, l := pickQuery(cfg.class, rng, q, nodes)
+		var st netsite.WireStats
 		var err error
 		switch cls {
 		case "qr":
-			_, _, err = co.Reach(s, t)
+			_, st, err = co.Reach(s, t)
 		case "qbr":
-			_, _, _, err = co.ReachWithin(s, t, l)
+			_, _, st, err = co.ReachWithin(s, t, l)
 		case "qrr":
 			a := automaton.Random(rng, 2+rng.Intn(4), 4+rng.Intn(8), loadLabels)
-			_, _, err = co.ReachRegex(s, t, a)
+			_, st, err = co.ReachRegex(s, t, a)
 		}
+		account(st)
 		return err
 	}
 	update := func(rng *gen.RNG, i int) error {
-		_, _, err := co.Apply([]netsite.Op{pickUpdate(cfg, rng, i)})
+		_, st, err := co.Apply([]netsite.Op{pickUpdate(cfg.nodechurn, nodes, rng, i)})
+		account(st)
 		// Sample the worst replica lag: how far the slowest site trails the
 		// sequencer's total order right now (CAS max — concurrent samplers
 		// must not overwrite a larger observation).
@@ -285,7 +443,8 @@ func wireIssuer(cfg loadConfig, maxLag *atomic.Uint64) (func(*gen.RNG, int) erro
 		return err
 	}
 	rebalance := func(epoch uint64) error {
-		_, _, err := co.Rebalance(epoch, "edgecut", cfg.seed+epoch)
+		_, st, err := co.Rebalance(epoch, "edgecut", cfg.seed+epoch)
+		account(st)
 		return err
 	}
 	return issue, update, rebalance, cleanup, nil
@@ -296,23 +455,23 @@ func wireIssuer(cfg loadConfig, maxLag *atomic.Uint64) (func(*gen.RNG, int) erro
 // every fourth op is a node insert or delete instead, exercising the
 // live node set (deletes aim at random IDs, so some are no-ops — exactly
 // the shape of organic churn).
-func pickUpdate(cfg loadConfig, rng *gen.RNG, i int) netsite.Op {
-	if cfg.nodechurn && i%4 == 3 {
+func pickUpdate(nodechurn bool, nodes int, rng *gen.RNG, i int) netsite.Op {
+	if nodechurn && i%4 == 3 {
 		if i%8 == 3 {
 			return netsite.Op{Kind: netsite.OpInsertNode, Label: loadLabels[rng.Intn(len(loadLabels))], Frag: -1}
 		}
-		return netsite.Op{Kind: netsite.OpDeleteNode, U: graph.NodeID(rng.Intn(cfg.nodes))}
+		return netsite.Op{Kind: netsite.OpDeleteNode, U: graph.NodeID(rng.Intn(nodes))}
 	}
 	kind := netsite.OpInsertEdge
 	if i%2 == 1 {
 		kind = netsite.OpDeleteEdge
 	}
-	return netsite.Op{Kind: kind, U: graph.NodeID(rng.Intn(cfg.nodes)), V: graph.NodeID(rng.Intn(cfg.nodes))}
+	return netsite.Op{Kind: kind, U: graph.NodeID(rng.Intn(nodes)), V: graph.NodeID(rng.Intn(nodes))}
 }
 
 // pickBatchQuery draws one wire batch query of the configured class mix.
-func pickBatchQuery(cfg loadConfig, rng *gen.RNG, q int) netsite.BatchQuery {
-	cls, s, t, l := pickQuery(cfg.class, rng, q, cfg.nodes)
+func pickBatchQuery(class string, nodes int, rng *gen.RNG, q int) netsite.BatchQuery {
+	cls, s, t, l := pickQuery(class, rng, q, nodes)
 	switch cls {
 	case "qbr":
 		return netsite.BatchQuery{Class: netsite.ClassDist, S: s, T: t, L: l}
@@ -333,7 +492,7 @@ func httpIssuer(cfg loadConfig) (func(*gen.RNG, int) error, func(*gen.RNG, int) 
 	client := &http.Client{Timeout: 10 * time.Second}
 	exprs := []string{"A(A|B)*", "(A|B|C)+", "AB*C?"}
 	update := func(rng *gen.RNG, i int) error {
-		op := pickUpdate(cfg, rng, i)
+		op := pickUpdate(cfg.nodechurn, cfg.nodes, rng, i)
 		m := map[string]any{}
 		switch op.Kind {
 		case netsite.OpInsertEdge:

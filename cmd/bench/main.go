@@ -9,13 +9,19 @@
 //	bench -all -md -out EXPERIMENTS.raw.md
 //	bench -exp F11a -queries 100 -scale 1.0 -v
 //
-// Load generation (closed loop: each client issues its next query as soon
-// as the previous answers; reports throughput and latency percentiles):
+// Load generation. Closed loop (default): each client issues its next query
+// as soon as the previous answers — measures peak sustainable throughput.
+// Open loop (-rate): arrivals follow a fixed Poisson or uniform schedule
+// independent of completions, latency is charged from the scheduled arrival
+// (no coordinated omission), and dequeue delay is reported as lateness.
 //
 //	bench -load -clients 8 -duration 3s                   # in-process TCP deployment
 //	bench -load -clients 16 -class mixed -nodes 5000
 //	bench -load -url http://127.0.0.1:8080 -clients 32    # against a cmd/serve gateway
 //	bench -load -batch 8 -class mixed                     # 8 queries per wire batch frame
+//	bench -load -rate 500 -arrival poisson -duration 5s   # open loop at 500 q/s offered
+//	bench -load -snap p2p-Gnutella08.txt.gz -rate 200     # drive a real SNAP graph
+//	bench -load -rate 200 -json BENCH.json                # machine-checkable report
 //
 // Output rows mirror the series the paper plots; absolute numbers differ
 // (simulated sites, scaled datasets) but the shapes — who wins, by what
@@ -43,14 +49,18 @@ func main() {
 		out     = flag.String("out", "", "write output to a file instead of stdout")
 		verbose = flag.Bool("v", false, "log progress to stderr")
 
-		load      = flag.Bool("load", false, "run the closed-loop load generator instead of experiments")
-		clients   = flag.Int("clients", 8, "load: concurrent closed-loop clients")
+		load      = flag.Bool("load", false, "run the load generator instead of experiments")
+		clients   = flag.Int("clients", 8, "load: concurrent clients (closed loop) or workers (open loop)")
 		duration  = flag.Duration("duration", 3*time.Second, "load: how long to drive traffic")
 		class     = flag.String("class", "qr", "load: query class: qr | qbr | qrr | mixed")
 		batch     = flag.Int("batch", 1, "load: queries per wire batch (1 = single-query API)")
 		churn     = flag.Float64("churn", 0, "load: updates per second mixed into the query stream (0 = none)")
 		nodechurn = flag.Bool("nodechurn", false, "load: mix node inserts/deletes into the churn stream")
 		rebalance = flag.Duration("rebalance", 0, "load: force a live re-fragmentation at this interval (0 = never)")
+		rate      = flag.Float64("rate", 0, "load: open-loop offered arrivals per second (0 = closed loop)")
+		arrival   = flag.String("arrival", "poisson", "load: open-loop arrival schedule: poisson | uniform")
+		jsonOut   = flag.String("json", "", "load: write a schema-versioned JSON report to this path")
+		snap      = flag.String("snap", "", "load: build the in-process deployment from this SNAP edge-list file")
 		sdelay    = flag.Duration("sitedelay", 0, "load: emulated per-frame site service time (in-process mode; the N3 workload uses 5ms)")
 		url       = flag.String("url", "", "load: drive a cmd/serve gateway at this base URL instead of an in-process deployment")
 		nodes     = flag.Int("nodes", 2000, "load: graph nodes (in-process mode; node-ID range in -url mode)")
@@ -69,6 +79,10 @@ func main() {
 			churn:     *churn,
 			nodechurn: *nodechurn,
 			rebalance: *rebalance,
+			rate:      *rate,
+			arrival:   *arrival,
+			jsonPath:  *jsonOut,
+			snap:      *snap,
 			delay:     *sdelay,
 			url:       *url,
 			nodes:     *nodes,

@@ -1,0 +1,155 @@
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Machine-checkable bench reports. A -json run writes one BENCH_*.json
+// whose schema is versioned, so CI can compare runs across PRs (see
+// cmd/benchcheck) without scraping the human-readable output. Schema v1:
+//
+//	{
+//	  "schema": "distreach-bench/v1",
+//	  "mode": "open" | "closed",
+//	  "config": { ... the knobs that shaped the run ... },
+//	  "queries": N, "rounds": N, "errors": N, "elapsed_sec": S,
+//	  "qps": Q,                          // achieved throughput
+//	  "offered_qps": R,                  // open loop only: the schedule
+//	  "latency_us":  {"mean":..,"p50":..,"p90":..,"p95":..,"p99":..,"max":..},
+//	  "lateness_us": {...},              // open loop only: start - scheduled
+//	  "updates": N, "update_errors": N, "rebalances": N,
+//	  "max_replica_lag_batches": N,      // wire mode with churn
+//	  "bytes_per_query": B,              // wire mode: sent+received
+//	  "rss_bytes": B                     // generator process VmRSS
+//	}
+//
+// Latency percentiles are measured from the SCHEDULED arrival in open
+// loop (so queue delay under overload is charged to the system, not
+// silently dropped — no coordinated omission) and from issue time in
+// closed loop.
+const benchSchema = "distreach-bench/v1"
+
+type latencySummary struct {
+	MeanUS int64 `json:"mean"`
+	P50US  int64 `json:"p50"`
+	P90US  int64 `json:"p90"`
+	P95US  int64 `json:"p95"`
+	P99US  int64 `json:"p99"`
+	MaxUS  int64 `json:"max"`
+}
+
+// summarize sorts lats in place and reduces it to microsecond percentiles.
+func summarize(lats []time.Duration) latencySummary {
+	if len(lats) == 0 {
+		return latencySummary{}
+	}
+	sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+	var sum time.Duration
+	for _, d := range lats {
+		sum += d
+	}
+	pct := func(p float64) int64 {
+		return lats[int(p*float64(len(lats)-1))].Microseconds()
+	}
+	return latencySummary{
+		MeanUS: (sum / time.Duration(len(lats))).Microseconds(),
+		P50US:  pct(0.50),
+		P90US:  pct(0.90),
+		P95US:  pct(0.95),
+		P99US:  pct(0.99),
+		MaxUS:  pct(1.0),
+	}
+}
+
+type benchReportConfig struct {
+	Clients     int     `json:"clients"`
+	DurationSec float64 `json:"duration_sec"`
+	Class       string  `json:"class"`
+	Batch       int     `json:"batch"`
+	ChurnPerSec float64 `json:"churn_per_sec"`
+	NodeChurn   bool    `json:"node_churn"`
+	RebalanceMS int64   `json:"rebalance_ms"`
+	RatePerSec  float64 `json:"rate_per_sec"` // 0 = closed loop
+	Arrival     string  `json:"arrival,omitempty"`
+	Snap        string  `json:"snap,omitempty"`
+	URL         string  `json:"url,omitempty"`
+	Nodes       int     `json:"nodes"`
+	Edges       int     `json:"edges"`
+	K           int     `json:"k"`
+	Seed        uint64  `json:"seed"`
+}
+
+type benchReport struct {
+	Schema  string            `json:"schema"`
+	Mode    string            `json:"mode"`
+	Config  benchReportConfig `json:"config"`
+	Queries int               `json:"queries"`
+	Rounds  int               `json:"rounds"`
+	Errors  int               `json:"errors"`
+
+	ElapsedSec float64 `json:"elapsed_sec"`
+	QPS        float64 `json:"qps"`
+	OfferedQPS float64 `json:"offered_qps,omitempty"`
+
+	Latency  latencySummary  `json:"latency_us"`
+	Lateness *latencySummary `json:"lateness_us,omitempty"`
+
+	Updates      int    `json:"updates"`
+	UpdateErrors int    `json:"update_errors"`
+	Rebalances   int    `json:"rebalances"`
+	MaxLag       uint64 `json:"max_replica_lag_batches"`
+
+	BytesPerQuery float64 `json:"bytes_per_query"`
+	RSSBytes      int64   `json:"rss_bytes"`
+}
+
+// writeReport serializes rep to path (pretty-printed, trailing newline,
+// stable key order via struct fields — byte-reproducible for a pinned
+// seed and deterministic counters).
+func writeReport(path string, rep benchReport) error {
+	b, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(b, '\n'), 0o644)
+}
+
+// rssBytes reports the process's resident set (VmRSS) in bytes; 0 when
+// /proc is unavailable (non-Linux).
+func rssBytes() int64 {
+	f, err := os.Open("/proc/self/status")
+	if err != nil {
+		return 0
+	}
+	defer f.Close()
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		line := sc.Text()
+		if !strings.HasPrefix(line, "VmRSS:") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 2 {
+			return 0
+		}
+		kb, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil {
+			return 0
+		}
+		return kb << 10
+	}
+	return 0
+}
+
+// fmtDurationUS renders a microsecond count the way the plain output
+// formats durations.
+func fmtDurationUS(us int64) string {
+	return fmt.Sprint(time.Duration(us) * time.Microsecond)
+}

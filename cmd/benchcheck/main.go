@@ -1,0 +1,121 @@
+// Command benchcheck compares a fresh bench report (cmd/bench -json)
+// against a committed baseline and fails when the performance trajectory
+// regresses. CI runs it after the bench-trajectory smoke:
+//
+//	go run ./cmd/bench -load -rate ... -json BENCH_PR.json
+//	go run ./cmd/benchcheck -baseline BENCH_PR6.json -current BENCH_PR.json
+//
+// A regression is a throughput drop beyond -max-qps-drop (default 20%) or
+// a p99 latency growth beyond -max-p99-growth (default 50%). The gates are
+// deliberately loose: CI runners are noisy, and the job exists to catch
+// collapses (an accidental O(n) in the hot path), not 3% wiggles.
+//
+// Override: when a PR knowingly trades throughput away (say, for
+// correctness or durability), pass -allow-regression or set
+// BENCHCHECK_ALLOW=1 — the comparison still prints, but the exit code is
+// 0. Commit a refreshed baseline in the same PR so the next change is
+// measured against reality, not history.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+)
+
+// report mirrors the subset of cmd/bench's schema v1 that the gates read.
+type report struct {
+	Schema  string  `json:"schema"`
+	Mode    string  `json:"mode"`
+	Errors  int     `json:"errors"`
+	QPS     float64 `json:"qps"`
+	Latency struct {
+		P50 int64 `json:"p50"`
+		P99 int64 `json:"p99"`
+	} `json:"latency_us"`
+	BytesPerQuery float64 `json:"bytes_per_query"`
+}
+
+func load(path string) (report, error) {
+	var r report
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return r, err
+	}
+	if err := json.Unmarshal(b, &r); err != nil {
+		return r, fmt.Errorf("%s: %w", path, err)
+	}
+	if r.Schema != "distreach-bench/v1" {
+		return r, fmt.Errorf("%s: unknown schema %q (want distreach-bench/v1)", path, r.Schema)
+	}
+	return r, nil
+}
+
+func main() {
+	var (
+		baseline = flag.String("baseline", "", "committed baseline report (required)")
+		current  = flag.String("current", "", "freshly measured report (required)")
+		qpsDrop  = flag.Float64("max-qps-drop", 0.20, "fail when throughput drops more than this fraction")
+		p99Grow  = flag.Float64("max-p99-growth", 0.50, "fail when p99 latency grows more than this fraction")
+		allow    = flag.Bool("allow-regression", false, "report but do not fail (also BENCHCHECK_ALLOW=1)")
+	)
+	flag.Parse()
+	if *baseline == "" || *current == "" {
+		fmt.Fprintln(os.Stderr, "benchcheck: need -baseline and -current")
+		os.Exit(2)
+	}
+	base, err := load(*baseline)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchcheck: %v\n", err)
+		os.Exit(2)
+	}
+	cur, err := load(*current)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchcheck: %v\n", err)
+		os.Exit(2)
+	}
+	if base.Mode != cur.Mode {
+		fmt.Fprintf(os.Stderr, "benchcheck: comparing a %s-loop run against a %s-loop baseline\n", cur.Mode, base.Mode)
+		os.Exit(2)
+	}
+
+	ratio := func(cur, base float64) string {
+		if base == 0 {
+			return "n/a"
+		}
+		return fmt.Sprintf("%+.1f%%", 100*(cur-base)/base)
+	}
+	fmt.Printf("benchcheck: %s vs %s (%s loop)\n", *current, *baseline, cur.Mode)
+	fmt.Printf("  qps         %8.0f -> %8.0f  (%s)\n", base.QPS, cur.QPS, ratio(cur.QPS, base.QPS))
+	fmt.Printf("  p50 latency %7dus -> %7dus  (%s)\n", base.Latency.P50, cur.Latency.P50, ratio(float64(cur.Latency.P50), float64(base.Latency.P50)))
+	fmt.Printf("  p99 latency %7dus -> %7dus  (%s)\n", base.Latency.P99, cur.Latency.P99, ratio(float64(cur.Latency.P99), float64(base.Latency.P99)))
+	if base.BytesPerQuery > 0 && cur.BytesPerQuery > 0 {
+		fmt.Printf("  bytes/query %8.0f -> %8.0f  (%s)\n", base.BytesPerQuery, cur.BytesPerQuery, ratio(cur.BytesPerQuery, base.BytesPerQuery))
+	}
+
+	var fails []string
+	if cur.Errors > 0 {
+		fails = append(fails, fmt.Sprintf("current run had %d query errors", cur.Errors))
+	}
+	if base.QPS > 0 && cur.QPS < base.QPS*(1-*qpsDrop) {
+		fails = append(fails, fmt.Sprintf("throughput dropped %.0f%% (budget %.0f%%)",
+			100*(base.QPS-cur.QPS)/base.QPS, 100**qpsDrop))
+	}
+	if base.Latency.P99 > 0 && float64(cur.Latency.P99) > float64(base.Latency.P99)*(1+*p99Grow) {
+		fails = append(fails, fmt.Sprintf("p99 latency grew %.0f%% (budget %.0f%%)",
+			100*float64(cur.Latency.P99-base.Latency.P99)/float64(base.Latency.P99), 100**p99Grow))
+	}
+	if len(fails) == 0 {
+		fmt.Println("benchcheck: within budget")
+		return
+	}
+	for _, f := range fails {
+		fmt.Fprintf(os.Stderr, "benchcheck: REGRESSION: %s\n", f)
+	}
+	if *allow || os.Getenv("BENCHCHECK_ALLOW") == "1" {
+		fmt.Fprintln(os.Stderr, "benchcheck: regression allowed by override — refresh the committed baseline in this PR")
+		return
+	}
+	os.Exit(1)
+}

@@ -5,6 +5,11 @@
 //
 //	gengraph -nodes 10000 -edges 40000 -labels 8 -model powerlaw -seed 1 > g.txt
 //	gengraph -dataset Youtube > youtube.txt
+//	gengraph -snap p2p-Gnutella08.txt.gz -labels 4 > gnutella.txt
+//
+// -snap converts a SNAP edge-list file (plain or gzipped, IDs remapped
+// deterministically; see internal/graph.ReadSNAP) into the labeled text
+// format the rest of the tooling consumes.
 package main
 
 import (
@@ -26,11 +31,22 @@ func main() {
 		model   = flag.String("model", "powerlaw", "generator: powerlaw | uniform | layered | cycle")
 		seed    = flag.Uint64("seed", 1, "generator seed")
 		dataset = flag.String("dataset", "", "generate a named dataset analogue instead (see DESIGN.md)")
+		snap    = flag.String("snap", "", "convert a SNAP edge-list file (plain or gzip) instead of generating")
 	)
 	flag.Parse()
 
 	var g *graph.Graph
-	if *dataset != "" {
+	if *snap != "" {
+		var alphabet []string
+		if *labels > 0 {
+			alphabet = gen.LabelAlphabet(*labels)
+		}
+		var err error
+		if g, err = graph.OpenSNAP(*snap, alphabet); err != nil {
+			fmt.Fprintf(os.Stderr, "gengraph: %v\n", err)
+			os.Exit(1)
+		}
+	} else if *dataset != "" {
 		d, ok := workload.ByName(*dataset)
 		if !ok {
 			fmt.Fprintf(os.Stderr, "gengraph: unknown dataset %q\n", *dataset)

@@ -1,0 +1,188 @@
+package csr
+
+import (
+	"reflect"
+	"testing"
+)
+
+// model mirrors a Store as plain [][]int32 for cross-checking.
+type model [][]int32
+
+func (m model) equal(t *testing.T, s *Store[int32], step int) {
+	t.Helper()
+	if s.NumRows() != len(m) {
+		t.Fatalf("step %d: rows %d, want %d", step, s.NumRows(), len(m))
+	}
+	for i := range m {
+		got := s.Row(int32(i))
+		if len(got) != len(m[i]) || (len(got) > 0 && !reflect.DeepEqual(got, m[i])) {
+			t.Fatalf("step %d: row %d = %v, want %v", step, i, got, m[i])
+		}
+		if s.RowLen(int32(i)) != len(m[i]) {
+			t.Fatalf("step %d: RowLen(%d) = %d, want %d", step, i, s.RowLen(int32(i)), len(m[i]))
+		}
+	}
+}
+
+func TestStoreRandomizedAgainstModel(t *testing.T) {
+	// A deterministic xorshift so the sequence is reproducible.
+	state := uint64(0x9E3779B97F4A7C15)
+	rnd := func(n int) int {
+		state ^= state << 13
+		state ^= state >> 7
+		state ^= state << 17
+		return int(state % uint64(n))
+	}
+	for trial := 0; trial < 30; trial++ {
+		nrows := 1 + rnd(8)
+		rows := make(model, nrows)
+		for i := range rows {
+			for j := 0; j < rnd(6); j++ {
+				rows[i] = append(rows[i], int32(rnd(40)))
+			}
+		}
+		s := FromRows(rows)
+		m := make(model, len(rows))
+		for i := range rows {
+			m[i] = append([]int32(nil), rows[i]...)
+		}
+		for step := 0; step < 200; step++ {
+			if len(m) == 0 {
+				s.AppendRow(nil)
+				m = append(m, nil)
+			}
+			i := int32(rnd(len(m)))
+			v := int32(rnd(40))
+			switch rnd(10) {
+			case 0:
+				s.Append(i, v)
+				m[i] = append(m[i], v)
+			case 1:
+				row := []int32{v, v + 1}
+				s.SetRow(i, append([]int32(nil), row...))
+				m[i] = row
+			case 2:
+				s.AppendRow([]int32{v})
+				m = append(m, []int32{v})
+			case 3:
+				if len(m) > 1 {
+					n := 1 + rnd(len(m))
+					s.Truncate(n)
+					m = m[:n]
+				}
+			case 4:
+				got := s.RemoveFirst(i, v)
+				want := false
+				for at, w := range m[i] {
+					if w == v {
+						m[i] = append(append([]int32(nil), m[i][:at]...), m[i][at+1:]...)
+						want = true
+						break
+					}
+				}
+				if got != want {
+					t.Fatalf("trial %d step %d: RemoveFirst=%v, want %v", trial, step, got, want)
+				}
+			case 5:
+				s.ReplaceAll(v, v+1)
+				for x := range m {
+					for j, w := range m[x] {
+						if w == v {
+							if len(m[x]) > 0 { // force a private copy like the store does
+								m[x] = append([]int32(nil), m[x]...)
+							}
+							m[x][j] = v + 1
+						}
+					}
+				}
+			case 6:
+				got := s.Contains(v)
+				want := false
+				for _, r := range m {
+					for _, w := range r {
+						if w == v {
+							want = true
+						}
+					}
+				}
+				if got != want {
+					t.Fatalf("trial %d step %d: Contains=%v, want %v", trial, step, got, want)
+				}
+			case 7:
+				s.Compact()
+				if s.OverlayRows() != 0 {
+					t.Fatalf("trial %d step %d: overlay not empty after Compact", trial, step)
+				}
+			case 8:
+				s2 := s.Clone()
+				m.equal(t, s2, step)
+				s2.Append(i, 99) // must not affect the original
+			default:
+				s.SetRow(i, nil)
+				m[i] = nil
+			}
+			m.equal(t, s, step)
+		}
+	}
+}
+
+func TestSortedOps(t *testing.T) {
+	s := FromRows([][]int32{{1, 3, 5}, nil})
+	if !s.InsertSorted(0, 4) || !reflect.DeepEqual(s.Row(0), []int32{1, 3, 4, 5}) {
+		t.Fatalf("insert 4: %v", s.Row(0))
+	}
+	if s.InsertSorted(0, 3) {
+		t.Fatal("duplicate insert reported true")
+	}
+	if !s.RemoveSorted(0, 1) || !reflect.DeepEqual(s.Row(0), []int32{3, 4, 5}) {
+		t.Fatalf("remove 1: %v", s.Row(0))
+	}
+	if s.RemoveSorted(0, 99) {
+		t.Fatal("absent remove reported true")
+	}
+	if !s.InsertSorted(1, 7) || !reflect.DeepEqual(s.Row(1), []int32{7}) {
+		t.Fatalf("insert into empty row: %v", s.Row(1))
+	}
+	s.Compact()
+	if !reflect.DeepEqual(s.Row(0), []int32{3, 4, 5}) || !reflect.DeepEqual(s.Row(1), []int32{7}) {
+		t.Fatalf("after compact: %v %v", s.Row(0), s.Row(1))
+	}
+	if s.Bytes() <= 0 {
+		t.Fatal("Bytes() not positive")
+	}
+}
+
+func TestTruncateBelowBaseAndRegrow(t *testing.T) {
+	s := FromRows([][]int32{{1}, {2}, {3}})
+	s.Truncate(1)
+	if s.NumRows() != 1 || !reflect.DeepEqual(s.Row(0), []int32{1}) {
+		t.Fatalf("after truncate: n=%d row0=%v", s.NumRows(), s.Row(0))
+	}
+	s.AppendRow([]int32{9})
+	if s.NumRows() != 2 || !reflect.DeepEqual(s.Row(1), []int32{9}) {
+		t.Fatalf("regrown slot: n=%d row1=%v", s.NumRows(), s.Row(1))
+	}
+	s.AppendRow([]int32{8})
+	s.AppendRow([]int32{7})
+	if s.NumRows() != 4 || !reflect.DeepEqual(s.Row(3), []int32{7}) {
+		t.Fatalf("extra rows: n=%d row3=%v", s.NumRows(), s.Row(3))
+	}
+	s.Compact()
+	want := [][]int32{{1}, {9}, {8}, {7}}
+	for i, w := range want {
+		if !reflect.DeepEqual(s.Row(int32(i)), w) {
+			t.Fatalf("post-compact row %d = %v, want %v", i, s.Row(int32(i)), w)
+		}
+	}
+}
+
+func TestNewIsEmpty(t *testing.T) {
+	s := New[int32]()
+	if s.NumRows() != 0 || s.Bytes() < 0 {
+		t.Fatalf("New: %d rows", s.NumRows())
+	}
+	s.AppendRow([]int32{1, 2})
+	if !reflect.DeepEqual(s.Row(0), []int32{1, 2}) {
+		t.Fatal("append into empty store")
+	}
+}

@@ -1,0 +1,251 @@
+package exp
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+
+	"distreach/internal/fragment"
+	"distreach/internal/gen"
+	"distreach/internal/graph"
+	"distreach/internal/netsite"
+)
+
+func init() {
+	register("N7", realGraphScale)
+}
+
+// realGraphScale charts the real-graph-scale work from two angles.
+//
+// Load: open-loop latency vs offered load over the TCP runtime, on the
+// checked-in SNAP sample (a real Gnutella-shaped edge list through the
+// loader's remap) and a synthetic power-law graph of matching size.
+// Arrivals follow a Poisson schedule independent of completions and
+// latency is charged from the scheduled arrival, so the curve shows the
+// classic open-loop knee: flat while the deployment keeps up, queueing
+// blow-up past saturation — which a closed-loop measurement structurally
+// cannot show.
+//
+// Memory: bytes per node of the CSR fragment layout versus the
+// map-per-node layout it replaced, both heap-measured on the same
+// fragmentation. The legacy layout is reconstructed field-for-field
+// (localOf map, per-node adjacency slices, per-node label strings) so the
+// comparison is against what the code actually shipped, not a strawman.
+func realGraphScale(cfg Config) (Table, error) {
+	t := Table{
+		ID:     "N7",
+		Title:  "Scale N7: open-loop latency vs offered load, and CSR vs map-per-node fragment memory",
+		Header: []string{"graph", "offered q/s", "arrivals", "qps", "p50", "p99", "late p99", "CSR B/node", "map B/node", "reduction"},
+		Notes: "Open loop: Poisson arrivals at the offered rate, 8 workers, latency charged from the scheduled arrival " +
+			"(no coordinated omission; 'late p99' is dequeue delay — how far behind schedule the system ran). " +
+			"Memory rows heap-measure (runtime.ReadMemStats around a fresh build) the CSR fragment storage against a " +
+			"field-for-field reconstruction of the pre-CSR map-per-node layout over the same fragmentation.",
+	}
+	const k = 4
+	type dataset struct {
+		name string
+		g    *graph.Graph
+	}
+	sample, err := graph.SampleSNAP([]string{"A", "B", "C"})
+	if err != nil {
+		return t, err
+	}
+	synth := gen.PowerLaw(gen.Config{
+		Nodes:  cfg.scale(sample.NumNodes()),
+		Edges:  cfg.scale(sample.NumEdges()),
+		Labels: []string{"A", "B", "C"},
+		Seed:   7,
+	})
+	datasets := []dataset{
+		{fmt.Sprintf("p2p-sample (SNAP, |V|=%d)", sample.NumNodes()), sample},
+		{fmt.Sprintf("powerlaw (synthetic, |V|=%d)", synth.NumNodes()), synth},
+	}
+	arrivals := cfg.queries(30) * 8
+	for _, d := range datasets {
+		fr, err := fragment.Random(d.g, k, 17)
+		if err != nil {
+			return t, err
+		}
+		sites, addrs, err := netsite.ServeFragmentation(fr)
+		if err != nil {
+			return t, err
+		}
+		co, err := netsite.Dial(addrs, 3*time.Second)
+		if err != nil {
+			for _, s := range sites {
+				s.Close()
+			}
+			return t, err
+		}
+		for _, rate := range []float64{200, 600, 1800} {
+			cfg.logf("N7: %s at %.0f q/s offered", d.name, rate)
+			qps, p50, p99, latep99, err := openLoopPoint(co, d.g.NumNodes(), rate, arrivals, 19+uint64(rate))
+			if err != nil {
+				co.Close()
+				for _, s := range sites {
+					s.Close()
+				}
+				return t, err
+			}
+			t.Rows = append(t.Rows, []string{
+				d.name, fmt.Sprintf("%.0f", rate), fmt.Sprint(arrivals),
+				fmt.Sprintf("%.0f", qps),
+				p50.Round(10 * time.Microsecond).String(),
+				p99.Round(10 * time.Microsecond).String(),
+				latep99.Round(10 * time.Microsecond).String(),
+				"-", "-", "-",
+			})
+		}
+		co.Close()
+		for _, s := range sites {
+			s.Close()
+		}
+
+		// Memory row: heap-measure a fresh CSR build and a legacy-layout
+		// reconstruction over the same graph and assignment.
+		csrBytes, mapBytes, err := measureStorage(d.g, fr, k)
+		if err != nil {
+			return t, err
+		}
+		n := float64(d.g.NumNodes())
+		t.Rows = append(t.Rows, []string{
+			d.name, "-", "-", "-", "-", "-", "-",
+			fmt.Sprintf("%.0f", float64(csrBytes)/n),
+			fmt.Sprintf("%.0f", float64(mapBytes)/n),
+			fmt.Sprintf("%.1fx", float64(mapBytes)/float64(csrBytes)),
+		})
+	}
+	return t, nil
+}
+
+// openLoopPoint drives one measurement point: `arrivals` queries on a
+// Poisson schedule at `rate` per second against co, 8 workers, latency
+// charged from each query's scheduled arrival.
+func openLoopPoint(co *netsite.Coordinator, n int, rate float64, arrivals int, seed uint64) (qps float64, p50, p99, latep99 time.Duration, err error) {
+	const workers = 8
+	type job struct{ sched time.Time }
+	jobs := make(chan job, arrivals)
+	lats := make([][]time.Duration, workers)
+	lates := make([][]time.Duration, workers)
+	errs := make([]error, workers)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := gen.NewRNG(seed + uint64(w)*104729)
+			for j := range jobs {
+				lates[w] = append(lates[w], time.Since(j.sched))
+				s := graph.NodeID(rng.Intn(n))
+				tt := graph.NodeID(rng.Intn(n))
+				if _, _, e := co.Reach(s, tt); e != nil {
+					errs[w] = e
+					return
+				}
+				lats[w] = append(lats[w], time.Since(j.sched))
+			}
+		}(w)
+	}
+	rng := gen.NewRNG(seed ^ 0x5DEECE66D)
+	next := start
+	for i := 0; i < arrivals; i++ {
+		next = next.Add(time.Duration(-math.Log(1-rng.Float64()) * float64(time.Second) / rate))
+		if d := time.Until(next); d > 0 {
+			time.Sleep(d)
+		}
+		jobs <- job{sched: next}
+	}
+	close(jobs)
+	wg.Wait()
+	elapsed := time.Since(start)
+	for _, e := range errs {
+		if e != nil {
+			return 0, 0, 0, 0, e
+		}
+	}
+	var all, late []time.Duration
+	for w := 0; w < workers; w++ {
+		all = append(all, lats[w]...)
+		late = append(late, lates[w]...)
+	}
+	if len(all) == 0 {
+		return 0, 0, 0, 0, fmt.Errorf("exp: N7: no queries completed")
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+	sort.Slice(late, func(i, j int) bool { return late[i] < late[j] })
+	pct := func(s []time.Duration, p float64) time.Duration { return s[int(p*float64(len(s)-1))] }
+	return float64(len(all)) / elapsed.Seconds(),
+		pct(all, 0.50), pct(all, 0.99), pct(late, 0.99), nil
+}
+
+// legacyFragment is the pre-CSR per-fragment storage, reconstructed
+// field-for-field for the memory comparison: a map entry per node for the
+// global-to-local index, a separately allocated adjacency slice per node,
+// a Go string per node label.
+type legacyFragment struct {
+	localOf map[graph.NodeID]int32
+	globals []graph.NodeID
+	adj     [][]int32
+	labels  []string
+	isIn    []bool
+	inNodes []int32
+}
+
+// measureStorage heap-measures (HeapAlloc delta across forced GCs) a fresh
+// CSR fragmentation build and a legacy-layout reconstruction of the same
+// fragmentation. Both measurements include everything each layout would
+// retain; the shared input graph is excluded from both.
+func measureStorage(g *graph.Graph, fr *fragment.Fragmentation, k int) (csrBytes, mapBytes int64, err error) {
+	assign := make([]int, g.NumNodes())
+	for v := 0; v < g.NumNodes(); v++ {
+		assign[v] = fr.Owner(graph.NodeID(v))
+	}
+	heap := func() uint64 {
+		runtime.GC()
+		runtime.GC()
+		var m runtime.MemStats
+		runtime.ReadMemStats(&m)
+		return m.HeapAlloc
+	}
+
+	before := heap()
+	fr2, err := fragment.Build(g, assign, k)
+	if err != nil {
+		return 0, 0, err
+	}
+	csrBytes = int64(heap() - before)
+
+	before = heap()
+	legacy := make([]*legacyFragment, 0, len(fr2.Fragments()))
+	for _, f := range fr2.Fragments() {
+		total := f.NumTotal()
+		lf := &legacyFragment{
+			localOf: make(map[graph.NodeID]int32, total),
+			globals: make([]graph.NodeID, total),
+			adj:     make([][]int32, total),
+			labels:  make([]string, total),
+			isIn:    make([]bool, total),
+			inNodes: append([]int32(nil), f.InNodes()...),
+		}
+		for l := int32(0); l < int32(total); l++ {
+			v := f.Global(l)
+			lf.localOf[v] = l
+			lf.globals[l] = v
+			if row := f.Out(l); len(row) > 0 {
+				lf.adj[l] = append([]int32(nil), row...)
+			}
+			// The legacy layout stored one string per node; cloning the
+			// bytes reproduces its per-node backing allocations.
+			lf.labels[l] = string(append([]byte(nil), f.Label(l)...))
+		}
+		legacy = append(legacy, lf)
+	}
+	mapBytes = int64(heap() - before)
+	runtime.KeepAlive(fr2)
+	runtime.KeepAlive(legacy)
+	return csrBytes, mapBytes, nil
+}

@@ -18,10 +18,10 @@ func (f *Fragment) AsGraph() *graph.Graph {
 	}
 	b := graph.NewBuilder(f.NumTotal())
 	for l := 0; l < f.NumTotal(); l++ {
-		b.AddNode(f.labels[l])
+		b.AddNode(f.labs.get(int32(l)))
 	}
-	for lu, nbrs := range f.adj {
-		for _, lv := range nbrs {
+	for lu := 0; lu < f.NumTotal(); lu++ {
+		for _, lv := range f.adj.Row(int32(lu)) {
 			b.AddEdge(graph.NodeID(lu), graph.NodeID(lv))
 		}
 	}

@@ -15,8 +15,10 @@ package fragment
 
 import (
 	"fmt"
+	"sort"
 	"sync"
 
+	"distreach/internal/csr"
 	"distreach/internal/graph"
 )
 
@@ -80,17 +82,25 @@ func (fr *Fragmentation) RUnlock() { fr.mu.RUnlock() }
 // Local adjacency includes both internal edges Ei and cross edges cEi (which
 // always end at a virtual node). Virtual nodes have no outgoing edges within
 // the fragment.
+//
+// Storage is CSR-compact: adjacency lives in a csr.Store (flat
+// offsets/targets arrays plus a mutation overlay), the two-way local/global
+// index is a single sorted array with an overlay (idIndex), and labels are
+// interned (labelTable). Live mutations accumulate in the overlays; compact
+// folds them back to the flat form and renumbers local indices to the
+// canonical order above. All equations, partial answers and wire frames
+// reference nodes by global ID, so renumbering is invisible outside the
+// fragment.
 type Fragment struct {
 	ID int
 
-	globalOf []graph.NodeID         // local index -> global ID (real + virtual)
-	localOf  map[graph.NodeID]int32 // global ID -> local index
-	adj      [][]int32              // local out-adjacency
-	labels   []string               // local labels (virtual nodes carry the remote label)
-	nLocal   int                    // count of real nodes
-	inNodes  []int32                // Fi.I as local indices (sorted)
-	isIn     []bool                 // local index -> member of Fi.I
-	edges    int                    // |Ei| + |cEi|
+	ids     *idIndex          // local slot <-> global ID
+	adj     *csr.Store[int32] // local out-adjacency
+	labs    *labelTable       // local labels (virtual nodes carry the remote label)
+	nLocal  int               // count of real nodes
+	inNodes []int32           // Fi.I as local indices (sorted)
+	isIn    []bool            // local index -> member of Fi.I
+	edges   int               // |Ei| + |cEi|
 
 	// Lazily built derived views (the graph.Graph form of the fragment and
 	// its local SCC decomposition), dropped whenever the fragment mutates.
@@ -103,10 +113,10 @@ type Fragment struct {
 func (f *Fragment) NumLocal() int { return f.nLocal }
 
 // NumVirtual reports |Fi.O|, the number of virtual nodes.
-func (f *Fragment) NumVirtual() int { return len(f.globalOf) - f.nLocal }
+func (f *Fragment) NumVirtual() int { return f.ids.len() - f.nLocal }
 
 // NumTotal reports the number of local indices (real + virtual).
-func (f *Fragment) NumTotal() int { return len(f.globalOf) }
+func (f *Fragment) NumTotal() int { return f.ids.len() }
 
 // NumEdges reports |Ei| + |cEi|, the edges stored at this fragment.
 func (f *Fragment) NumEdges() int { return f.edges }
@@ -116,19 +126,18 @@ func (f *Fragment) NumEdges() int { return f.edges }
 func (f *Fragment) Size() int { return f.NumTotal() + f.edges }
 
 // Global maps a local index to the global node ID.
-func (f *Fragment) Global(local int32) graph.NodeID { return f.globalOf[local] }
+func (f *Fragment) Global(local int32) graph.NodeID { return f.ids.global(local) }
 
 // Local maps a global node ID to its local index; ok is false if the node is
 // neither stored in nor a virtual node of this fragment.
 func (f *Fragment) Local(v graph.NodeID) (int32, bool) {
-	l, ok := f.localOf[v]
-	return l, ok
+	return f.ids.local(v)
 }
 
 // HasLocal reports whether global node v is a real (non-virtual) node of
 // this fragment.
 func (f *Fragment) HasLocal(v graph.NodeID) bool {
-	l, ok := f.localOf[v]
+	l, ok := f.ids.local(v)
 	return ok && int(l) < f.nLocal
 }
 
@@ -136,11 +145,11 @@ func (f *Fragment) HasLocal(v graph.NodeID) bool {
 func (f *Fragment) IsVirtual(l int32) bool { return int(l) >= f.nLocal }
 
 // Out returns the local out-neighbors of local node l. Callers must not
-// modify the returned slice.
-func (f *Fragment) Out(l int32) []int32 { return f.adj[l] }
+// modify the returned slice, nor hold it across a Compact.
+func (f *Fragment) Out(l int32) []int32 { return f.adj.Row(l) }
 
 // Label returns the label of local node l.
-func (f *Fragment) Label(l int32) string { return f.labels[l] }
+func (f *Fragment) Label(l int32) string { return f.labs.get(l) }
 
 // InNodes returns Fi.I as local indices, sorted ascending. Callers must not
 // modify the returned slice.
@@ -158,7 +167,7 @@ func (f *Fragment) IsBoundary(l int32) bool { return f.IsVirtual(l) || f.isIn[l]
 // VirtualNodes returns Fi.O as local indices (NumLocal..NumTotal-1).
 func (f *Fragment) VirtualNodes() []int32 {
 	out := make([]int32, 0, f.NumVirtual())
-	for l := int32(f.nLocal); int(l) < len(f.globalOf); l++ {
+	for l := int32(f.nLocal); int(l) < f.ids.len(); l++ {
 		out = append(out, l)
 	}
 	return out
@@ -168,11 +177,86 @@ func (f *Fragment) VirtualNodes() []int32 {
 // site (used by the naive baselines): label bytes plus 8 bytes per edge.
 func (f *Fragment) EncodedSize() int {
 	size := 16
-	for _, l := range f.labels {
-		size += 4 + len(l)
+	for l := int32(0); int(l) < f.ids.len(); l++ {
+		size += 4 + len(f.labs.get(l))
 	}
 	size += 8 * f.edges
 	return size
+}
+
+// StorageBytes estimates the resident bytes of the fragment's storage:
+// exact for the flat bases, modeled for the overlays (~48 bytes per map
+// entry). This is the quantity exp N7 charts against the legacy map-based
+// layout.
+func (f *Fragment) StorageBytes() int64 {
+	return f.ids.bytes() + f.adj.Bytes() + f.labs.bytes() +
+		int64(cap(f.isIn)) + int64(cap(f.inNodes))*4
+}
+
+// OverlayEntries reports the fragment's compaction debt: the number of
+// rows, slots and index entries currently living outside the flat bases.
+func (f *Fragment) OverlayEntries() int {
+	return f.ids.overlayEntries() + f.adj.OverlayRows()
+}
+
+// compact folds every overlay back into flat arrays and renumbers local
+// indices to the canonical order (real nodes sorted by global ID, then
+// virtual nodes sorted by global ID) — the order Build produces, so a
+// compacted fragment is indistinguishable from a freshly built one. Safe
+// only while the caller excludes readers (the Fragmentation write lock).
+func (f *Fragment) compact() {
+	if f.OverlayEntries() == 0 {
+		return
+	}
+	nTotal := f.ids.len()
+	order := make([]graph.NodeID, nTotal)
+	for l := 0; l < nTotal; l++ {
+		order[l] = f.ids.global(int32(l))
+	}
+	reals := append([]graph.NodeID(nil), order[:f.nLocal]...)
+	virts := append([]graph.NodeID(nil), order[f.nLocal:]...)
+	sort.Slice(reals, func(i, j int) bool { return reals[i] < reals[j] })
+	sort.Slice(virts, func(i, j int) bool { return virts[i] < virts[j] })
+	base := append(reals, virts...)
+	newSlot := make(map[graph.NodeID]int32, nTotal)
+	for l, v := range base {
+		newSlot[v] = int32(l)
+	}
+	perm := make([]int32, nTotal) // old slot -> new slot
+	for l := 0; l < nTotal; l++ {
+		perm[l] = newSlot[order[l]]
+	}
+	rows := make([][]int32, nTotal)
+	labels := make([]string, nTotal)
+	isIn := make([]bool, nTotal)
+	for l := 0; l < nTotal; l++ {
+		nl := perm[l]
+		old := f.adj.Row(int32(l))
+		if len(old) > 0 {
+			row := make([]int32, len(old))
+			for i, w := range old {
+				row[i] = perm[w]
+			}
+			sort.Slice(row, func(i, j int) bool { return row[i] < row[j] })
+			rows[nl] = row
+		}
+		labels[nl] = f.labs.get(int32(l))
+		isIn[nl] = f.isIn[l]
+	}
+	f.ids = newIDIndex(base, f.nLocal)
+	f.adj = csr.FromRows(rows)
+	f.labs = newLabelTable(nTotal)
+	for _, s := range labels {
+		f.labs.append(s)
+	}
+	f.isIn = isIn
+	f.inNodes = f.inNodes[:0]
+	for l, in := range isIn {
+		if in {
+			f.inNodes = append(f.inNodes, int32(l))
+		}
+	}
+	f.invalidateViews()
 }
 
 // Graph returns the underlying global graph.
@@ -208,6 +292,31 @@ func (fr *Fragmentation) MaxFragmentSize() int {
 	return max
 }
 
+// StorageBytes sums the fragments' StorageBytes.
+func (fr *Fragmentation) StorageBytes() int64 {
+	var b int64
+	for _, f := range fr.frags {
+		b += f.StorageBytes()
+	}
+	return b
+}
+
+// Compact folds every fragment's mutation overlay (and the global graph's)
+// back into flat CSR arrays, renumbering local indices to the canonical
+// Build order. It takes the write lock, so it must not run concurrently
+// with a query evaluation that holds RLock across its whole read — the
+// serving runtime calls it at the same epoch-swap points that install
+// rebalances and snapshots. Cached rvsets and answer caches stay valid:
+// they are keyed by global IDs, which compaction never changes.
+func (fr *Fragmentation) Compact() {
+	fr.mu.Lock()
+	defer fr.mu.Unlock()
+	fr.g.Compact()
+	for _, f := range fr.frags {
+		f.compact()
+	}
+}
+
 // String summarizes the fragmentation.
 func (fr *Fragmentation) String() string {
 	return fmt.Sprintf("fragmentation{k=%d, |Vf|=%d, |Ef|=%d, |Fm|=%d}",
@@ -235,28 +344,44 @@ func Build(g *graph.Graph, assign []int, k int) (*Fragmentation, error) {
 		}
 		owner[v] = int32(fi)
 	}
-	frags := make([]*Fragment, k)
-	for i := range frags {
-		frags[i] = &Fragment{ID: i, localOf: make(map[graph.NodeID]int32)}
+	// Build with plain slices and one transient map per fragment, then
+	// freeze into the compact stores at the end.
+	type build struct {
+		globalOf []graph.NodeID
+		localOf  map[graph.NodeID]int32
+		adj      [][]int32
+		labels   []string
+		nLocal   int
+		inNodes  []int32
+		isIn     []bool
+		edges    int
+	}
+	bs := make([]*build, k)
+	for i := range bs {
+		bs[i] = &build{localOf: make(map[graph.NodeID]int32)}
 	}
 	// First pass: register real nodes in global ID order so local indices
-	// are deterministic.
+	// are deterministic (and the idIndex base real prefix is sorted).
 	for v := graph.NodeID(0); int(v) < g.NumNodes(); v++ {
 		if owner[v] < 0 {
 			continue
 		}
-		f := frags[owner[v]]
-		f.localOf[v] = int32(len(f.globalOf))
-		f.globalOf = append(f.globalOf, v)
-		f.labels = append(f.labels, g.Label(v))
+		b := bs[owner[v]]
+		b.localOf[v] = int32(len(b.globalOf))
+		b.globalOf = append(b.globalOf, v)
+		b.labels = append(b.labels, g.Label(v))
 	}
-	for _, f := range frags {
-		f.nLocal = len(f.globalOf)
+	for _, b := range bs {
+		b.nLocal = len(b.globalOf)
 	}
-	// Second pass: add virtual nodes for cross-edge targets.
+	// Second pass: collect cross-edge targets, then register each
+	// fragment's virtual nodes in ascending global-ID order (the idIndex
+	// virtual tail must be sorted; the order is also what replicas derive
+	// independently, so it must be a pure function of graph+assignment).
 	crossEdges := 0
 	isIn := make([]bool, g.NumNodes())   // node has an incoming cross edge
 	isOrig := make([]bool, g.NumNodes()) // node is the original of some virtual node
+	virtuals := make([][]graph.NodeID, k)
 	g.Edges(func(u, v graph.NodeID) bool {
 		if owner[u] == owner[v] {
 			return true
@@ -264,35 +389,50 @@ func Build(g *graph.Graph, assign []int, k int) (*Fragmentation, error) {
 		crossEdges++
 		isIn[v] = true
 		isOrig[v] = true
-		f := frags[owner[u]]
-		if _, ok := f.localOf[v]; !ok {
-			f.localOf[v] = int32(len(f.globalOf))
-			f.globalOf = append(f.globalOf, v)
-			f.labels = append(f.labels, g.Label(v))
+		b := bs[owner[u]]
+		if _, ok := b.localOf[v]; !ok {
+			b.localOf[v] = -1 // placeholder: slot assigned after sorting
+			virtuals[owner[u]] = append(virtuals[owner[u]], v)
 		}
 		return true
 	})
+	for i, b := range bs {
+		vs := virtuals[i]
+		sort.Slice(vs, func(x, y int) bool { return vs[x] < vs[y] })
+		for _, v := range vs {
+			b.localOf[v] = int32(len(b.globalOf))
+			b.globalOf = append(b.globalOf, v)
+			b.labels = append(b.labels, g.Label(v))
+		}
+	}
 	// Third pass: build local adjacency (internal edges + cross edges).
-	for _, f := range frags {
-		f.adj = make([][]int32, len(f.globalOf))
+	for _, b := range bs {
+		b.adj = make([][]int32, len(b.globalOf))
 	}
 	g.Edges(func(u, v graph.NodeID) bool {
-		f := frags[owner[u]]
-		lu := f.localOf[u]
-		lv := f.localOf[v] // exists: same-fragment or virtual registered above
-		f.adj[lu] = append(f.adj[lu], lv)
-		f.edges++
+		b := bs[owner[u]]
+		lu := b.localOf[u]
+		lv := b.localOf[v] // exists: same-fragment or virtual registered above
+		b.adj[lu] = append(b.adj[lu], lv)
+		b.edges++
 		return true
 	})
+	// Canonicalize rows by local index so a freshly built fragment and a
+	// compacted one are bit-identical.
+	for _, b := range bs {
+		for _, row := range b.adj {
+			sort.Slice(row, func(i, j int) bool { return row[i] < row[j] })
+		}
+	}
 	// In-nodes per fragment.
-	for _, f := range frags {
-		f.isIn = make([]bool, len(f.globalOf))
+	for _, b := range bs {
+		b.isIn = make([]bool, len(b.globalOf))
 	}
 	for v := graph.NodeID(0); int(v) < g.NumNodes(); v++ {
 		if isIn[v] {
-			f := frags[owner[v]]
-			f.inNodes = append(f.inNodes, f.localOf[v])
-			f.isIn[f.localOf[v]] = true
+			b := bs[owner[v]]
+			b.inNodes = append(b.inNodes, b.localOf[v])
+			b.isIn[b.localOf[v]] = true
 		}
 	}
 	vf := 0
@@ -300,6 +440,24 @@ func Build(g *graph.Graph, assign []int, k int) (*Fragmentation, error) {
 		if isOrig[v] || isIn[v] {
 			vf++
 		}
+	}
+	// Freeze into compact fragments.
+	frags := make([]*Fragment, k)
+	for i, b := range bs {
+		f := &Fragment{
+			ID:      i,
+			ids:     newIDIndex(b.globalOf, b.nLocal),
+			adj:     csr.FromRows(b.adj),
+			labs:    newLabelTable(len(b.globalOf)),
+			nLocal:  b.nLocal,
+			inNodes: b.inNodes,
+			isIn:    b.isIn,
+			edges:   b.edges,
+		}
+		for _, s := range b.labels {
+			f.labs.append(s)
+		}
+		frags[i] = f
 	}
 	return &Fragmentation{g: g, frags: frags, owner: owner, crossEdges: crossEdges, vf: vf}, nil
 }
@@ -314,30 +472,36 @@ func (fr *Fragmentation) Validate() error {
 	totalLocal := 0
 	for _, f := range fr.frags {
 		for l := 0; l < f.nLocal; l++ {
-			v := f.globalOf[l]
+			v := f.Global(int32(l))
 			if seen[v] {
 				return fmt.Errorf("fragment: node %d stored in more than one fragment", v)
 			}
 			seen[v] = true
-			if f.labels[l] != g.Label(v) {
+			if f.Label(int32(l)) != g.Label(v) {
 				return fmt.Errorf("fragment: node %d label mismatch", v)
 			}
 			if fr.owner[v] != int32(f.ID) {
 				return fmt.Errorf("fragment: owner index inconsistent for node %d", v)
 			}
+			if got, ok := f.Local(v); !ok || got != int32(l) {
+				return fmt.Errorf("fragment %d: index roundtrip broken for node %d", f.ID, v)
+			}
 		}
 		totalLocal += f.nLocal
 		// Virtual nodes must belong to other fragments and have no out-edges.
-		for l := f.nLocal; l < len(f.globalOf); l++ {
-			v := f.globalOf[l]
+		for l := f.nLocal; l < f.NumTotal(); l++ {
+			v := f.Global(int32(l))
 			if fr.owner[v] == int32(f.ID) {
 				return fmt.Errorf("fragment %d: virtual node %d is local", f.ID, v)
 			}
-			if len(f.adj[l]) != 0 {
+			if f.adj.RowLen(int32(l)) != 0 {
 				return fmt.Errorf("fragment %d: virtual node %d has out-edges", f.ID, v)
 			}
-			if f.labels[l] != g.Label(v) {
+			if f.Label(int32(l)) != g.Label(v) {
 				return fmt.Errorf("fragment %d: virtual node %d label mismatch", f.ID, v)
+			}
+			if got, ok := f.Local(v); !ok || got != int32(l) {
+				return fmt.Errorf("fragment %d: index roundtrip broken for virtual node %d", f.ID, v)
 			}
 		}
 	}
@@ -347,10 +511,10 @@ func (fr *Fragmentation) Validate() error {
 	// Edge coverage: every global edge appears exactly once across fragments.
 	edgeCount := 0
 	for _, f := range fr.frags {
-		for lu, nbrs := range f.adj {
-			u := f.globalOf[lu]
-			for _, lv := range nbrs {
-				v := f.globalOf[lv]
+		for lu := 0; lu < f.NumTotal(); lu++ {
+			u := f.Global(int32(lu))
+			for _, lv := range f.adj.Row(int32(lu)) {
+				v := f.Global(lv)
 				if !g.HasEdge(u, v) {
 					return fmt.Errorf("fragment %d: phantom edge (%d,%d)", f.ID, u, v)
 				}
@@ -372,7 +536,7 @@ func (fr *Fragmentation) Validate() error {
 	gotIn := make(map[graph.NodeID]bool)
 	for _, f := range fr.frags {
 		for _, l := range f.inNodes {
-			gotIn[f.globalOf[l]] = true
+			gotIn[f.Global(l)] = true
 		}
 	}
 	if len(wantIn) != len(gotIn) {

@@ -186,6 +186,13 @@ func (r *Replica) Rebalance(epoch uint64, p Partitioner) (bool, error) {
 		return false, nil // already there: another co-located site rebuilt
 	}
 	k := cur.Card()
+	// Fold the graph's mutation overlay into its flat CSR base first — the
+	// epoch swap is the designated compaction point, and the rebuild below
+	// re-reads the whole graph anyway. The brief write lock gives the
+	// exclusivity the base swap needs (the same exclusivity updates use).
+	cur.mu.Lock()
+	cur.g.Compact()
+	cur.mu.Unlock()
 	// Hold the read lock during the rebuild: updates (which need the write
 	// lock) are excluded, so the graph is stable, while queries (fellow
 	// read-lockers) keep draining against the old fragmentation.

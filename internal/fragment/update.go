@@ -29,6 +29,10 @@ import (
 // The dirty set drives invalidation everywhere: core.Session drops the
 // cached rvsets of dirtied fragments, and the gateway's answer cache
 // evicts exactly the keys whose evaluation touched a dirtied fragment.
+//
+// All mutations below write through the fragments' overlay storage
+// (idIndex patches, csr.Store overlay rows); the flat bases are only
+// rewritten by compact().
 
 // OpKind selects the mutation an Op performs.
 type OpKind byte
@@ -204,9 +208,10 @@ func (fr *Fragmentation) insertEdgeLocked(u, v graph.NodeID) (dirty []int, chang
 	}
 	a, b := int(fr.owner[u]), int(fr.owner[v])
 	fa := fr.frags[a]
-	lu := fa.localOf[u]
+	lu, _ := fa.ids.local(u)
 	if a == b {
-		fa.addLocalEdge(lu, fa.localOf[v])
+		lv, _ := fa.ids.local(v)
+		fa.addLocalEdge(lu, lv)
 		fa.invalidateViews()
 		return []int{a}, true
 	}
@@ -218,7 +223,7 @@ func (fr *Fragmentation) insertEdgeLocked(u, v graph.NodeID) (dirty []int, chang
 	fr.crossEdges++
 	dirty = []int{a}
 	fb := fr.frags[b]
-	if lb := fb.localOf[v]; !fb.isIn[lb] {
+	if lb, _ := fb.ids.local(v); !fb.isIn[lb] {
 		fb.addInNode(lb)
 		fr.vf++
 		dirty = append(dirty, b)
@@ -234,7 +239,8 @@ func (fr *Fragmentation) deleteEdgeLocked(u, v graph.NodeID) (dirty []int, chang
 	}
 	a, b := int(fr.owner[u]), int(fr.owner[v])
 	fa := fr.frags[a]
-	lu, lv := fa.localOf[u], fa.localOf[v]
+	lu, _ := fa.ids.local(u)
+	lv, _ := fa.ids.local(v)
 	fa.removeLocalEdge(lu, lv)
 	if a == b {
 		fa.invalidateViews()
@@ -256,7 +262,7 @@ func (fr *Fragmentation) deleteEdgeLocked(u, v graph.NodeID) (dirty []int, chang
 	}
 	if !still {
 		fb := fr.frags[b]
-		if lb := fb.localOf[v]; fb.isIn[lb] {
+		if lb, _ := fb.ids.local(v); fb.isIn[lb] {
 			fb.removeInNode(lb)
 			fr.vf--
 			dirty = append(dirty, b)
@@ -321,31 +327,39 @@ func (fr *Fragmentation) deleteNodeLocked(v graph.NodeID) (map[int]bool, bool) {
 	return dirty, true
 }
 
+// copyRow returns a private copy of a csr row view, so moving a row
+// between slots never aliases the store's immutable base (in-place
+// overlay mutations on the destination slot would otherwise corrupt it).
+func copyRow(r []int32) []int32 {
+	if len(r) == 0 {
+		return nil
+	}
+	return append([]int32(nil), r...)
+}
+
 // addRealNode registers v as a new real node of the fragment. Real nodes
 // occupy local indices [0, nLocal), so when virtual nodes exist the first
 // one is relocated to a fresh tail slot to vacate index nLocal.
 func (f *Fragment) addRealNode(v graph.NodeID, label string) {
 	slot := int32(f.nLocal)
 	if f.NumVirtual() > 0 {
-		tail := int32(len(f.globalOf))
-		moved := f.globalOf[slot]
-		f.globalOf = append(f.globalOf, moved)
-		f.labels = append(f.labels, f.labels[slot])
+		moved := f.ids.global(slot)
+		f.ids.append(moved) // records both directions for the relocated virtual
+		f.labs.append(f.labs.get(slot))
 		f.isIn = append(f.isIn, false)
-		f.adj = append(f.adj, nil) // virtual nodes have no out-edges
-		f.localOf[moved] = tail
-		f.remapRefs(slot, tail)
+		f.adj.AppendRow(nil) // virtual nodes have no out-edges
+		f.remapRefs(slot, int32(f.ids.len()-1))
 	} else {
-		f.globalOf = append(f.globalOf, 0)
-		f.labels = append(f.labels, "")
+		f.ids.append(v)
+		f.labs.append("")
 		f.isIn = append(f.isIn, false)
-		f.adj = append(f.adj, nil)
+		f.adj.AppendRow(nil)
 	}
-	f.globalOf[slot] = v
-	f.labels[slot] = label
+	f.ids.setGlobal(slot, v)
+	f.labs.set(slot, label)
 	f.isIn[slot] = false
-	f.adj[slot] = nil
-	f.localOf[v] = slot
+	f.adj.SetRow(slot, nil)
+	f.ids.setLocal(v, slot)
 	f.nLocal++
 }
 
@@ -355,7 +369,7 @@ func (f *Fragment) addRealNode(v graph.NodeID, label string) {
 // the vacated slot, and the tail virtual node swaps into the freed
 // boundary slot so the real/virtual split stays contiguous.
 func (f *Fragment) removeRealNode(v graph.NodeID) {
-	lv := f.localOf[v]
+	lv, _ := f.ids.local(v)
 	last := int32(f.nLocal - 1)
 	if lv != last {
 		wasIn := f.isIn[last]
@@ -363,12 +377,12 @@ func (f *Fragment) removeRealNode(v graph.NodeID) {
 			f.removeInNode(last)
 		}
 		f.remapRefs(last, lv)
-		moved := f.globalOf[last]
-		f.globalOf[lv] = moved
-		f.labels[lv] = f.labels[last]
-		f.adj[lv] = f.adj[last]
+		moved := f.ids.global(last)
+		f.ids.setGlobal(lv, moved)
+		f.labs.set(lv, f.labs.get(last))
+		f.adj.SetRow(lv, copyRow(f.adj.Row(last)))
 		f.isIn[lv] = false
-		f.localOf[moved] = lv
+		f.ids.setLocal(moved, lv)
 		if wasIn {
 			f.addInNode(lv)
 		}
@@ -376,66 +390,53 @@ func (f *Fragment) removeRealNode(v graph.NodeID) {
 	f.nLocal--
 	// Slot nLocal is now free; pull the tail virtual node (if any) into it
 	// so virtual nodes keep occupying a contiguous tail.
-	tail := int32(len(f.globalOf) - 1)
+	tail := int32(f.ids.len() - 1)
 	if tail > int32(f.nLocal) {
 		f.remapRefs(tail, int32(f.nLocal))
-		movedV := f.globalOf[tail]
-		f.globalOf[f.nLocal] = movedV
-		f.labels[f.nLocal] = f.labels[tail]
+		movedV := f.ids.global(tail)
+		f.ids.setGlobal(int32(f.nLocal), movedV)
+		f.labs.set(int32(f.nLocal), f.labs.get(tail))
 		f.isIn[f.nLocal] = false
-		f.adj[f.nLocal] = nil
-		f.localOf[movedV] = int32(f.nLocal)
+		f.adj.SetRow(int32(f.nLocal), nil)
+		f.ids.setLocal(movedV, int32(f.nLocal))
 	}
-	f.globalOf = f.globalOf[:tail]
-	f.labels = f.labels[:tail]
+	f.ids.truncate(int(tail))
+	f.labs.truncate(int(tail))
 	f.isIn = f.isIn[:tail]
-	f.adj = f.adj[:tail]
-	delete(f.localOf, v)
+	f.adj.Truncate(int(tail))
+	f.ids.delLocal(v)
 }
 
 // remapRefs rewrites every adjacency reference from local index from to
 // local index to.
 func (f *Fragment) remapRefs(from, to int32) {
-	for x := range f.adj {
-		for i, w := range f.adj[x] {
-			if w == from {
-				f.adj[x][i] = to
-			}
-		}
-	}
+	f.adj.ReplaceAll(from, to)
 }
 
 // addLocalEdge appends the local edge (lu, lv). The global graph has
 // already deduplicated, so the edge is known to be new.
 func (f *Fragment) addLocalEdge(lu, lv int32) {
-	f.adj[lu] = append(f.adj[lu], lv)
+	f.adj.Append(lu, lv)
 	f.edges++
 }
 
 // removeLocalEdge deletes the local edge (lu, lv).
 func (f *Fragment) removeLocalEdge(lu, lv int32) {
-	nbrs := f.adj[lu]
-	for i, w := range nbrs {
-		if w == lv {
-			f.adj[lu] = append(nbrs[:i], nbrs[i+1:]...)
-			f.edges--
-			return
-		}
+	if f.adj.RemoveFirst(lu, lv) {
+		f.edges--
 	}
 }
 
 // ensureVirtual returns the local index of global node v, registering it
 // as a new virtual node (with the given label) if absent.
 func (f *Fragment) ensureVirtual(v graph.NodeID, label string) int32 {
-	if l, ok := f.localOf[v]; ok {
+	if l, ok := f.ids.local(v); ok {
 		return l
 	}
-	l := int32(len(f.globalOf))
-	f.localOf[v] = l
-	f.globalOf = append(f.globalOf, v)
-	f.labels = append(f.labels, label)
+	l := f.ids.append(v)
+	f.labs.append(label)
 	f.isIn = append(f.isIn, false)
-	f.adj = append(f.adj, nil)
+	f.adj.AppendRow(nil)
 	return l
 }
 
@@ -448,29 +449,25 @@ func (f *Fragment) dropVirtualIfOrphan(lv int32) {
 	if int(lv) < f.nLocal {
 		return // real node; only virtual targets are reclaimed
 	}
-	for _, nbrs := range f.adj {
-		for _, w := range nbrs {
-			if w == lv {
-				return // still referenced
-			}
-		}
+	if f.adj.Contains(lv) {
+		return // still referenced
 	}
-	gone := f.globalOf[lv]
-	last := int32(len(f.globalOf) - 1)
+	gone := f.ids.global(lv)
+	last := int32(f.ids.len() - 1)
 	if lv != last {
-		moved := f.globalOf[last]
+		moved := f.ids.global(last)
 		f.remapRefs(last, lv)
-		f.globalOf[lv] = moved
-		f.labels[lv] = f.labels[last]
+		f.ids.setGlobal(lv, moved)
+		f.labs.set(lv, f.labs.get(last))
 		f.isIn[lv] = f.isIn[last]
-		f.adj[lv] = f.adj[last]
-		f.localOf[moved] = lv
+		f.adj.SetRow(lv, copyRow(f.adj.Row(last)))
+		f.ids.setLocal(moved, lv)
 	}
-	f.globalOf = f.globalOf[:last]
-	f.labels = f.labels[:last]
+	f.ids.truncate(int(last))
+	f.labs.truncate(int(last))
 	f.isIn = f.isIn[:last]
-	f.adj = f.adj[:last]
-	delete(f.localOf, gone)
+	f.adj.Truncate(int(last))
+	f.ids.delLocal(gone)
 }
 
 // addInNode registers real local index l as an in-node, keeping inNodes

@@ -11,12 +11,20 @@
 // drawn from a finite alphabet; labels drive regular reachability queries,
 // where the label of a path is the sequence of labels of its interior
 // nodes.
+//
+// Storage is CSR-compact: the forward and reverse adjacencies live in
+// csr.Store bases (one offsets array plus one flat targets array each,
+// 4 bytes per node + 4 bytes per edge) with small copy-on-write overlays
+// absorbing live mutations; Compact folds an overlay back into its base.
+// This is what lets one site hold multi-million-node graphs in RAM.
 package graph
 
 import (
 	"fmt"
 	"sort"
 	"sync"
+
+	"distreach/internal/csr"
 )
 
 // NodeID identifies a node within a Graph. IDs are dense: 0..NumNodes-1.
@@ -27,21 +35,21 @@ const None NodeID = -1
 
 // Graph is a node-labeled directed graph.
 //
-// The zero value is an empty graph. Use a Builder to construct non-empty
-// graphs. Read methods are safe for concurrent use; InsertEdge and
-// DeleteEdge mutate the structure and require the caller to exclude all
-// other readers and writers (internal/fragment.Fragmentation serializes
-// this for the distributed runtime).
+// Use a Builder to construct graphs. Read methods are safe for concurrent
+// use; InsertEdge and DeleteEdge mutate the structure and require the
+// caller to exclude all other readers and writers
+// (internal/fragment.Fragmentation serializes this for the distributed
+// runtime).
 type Graph struct {
 	labels []string
-	adj    [][]NodeID // out-adjacency, sorted per node
-	m      int        // number of edges
+	adj    *csr.Store[NodeID] // out-adjacency, sorted per node
+	m      int                // number of edges
 
 	deleted []bool   // tombstones; nil when no node was ever deleted
 	free    []NodeID // tombstoned slots, ascending; InsertNode reuses the lowest
 
 	revMu sync.Mutex
-	rev   [][]NodeID // in-adjacency, built lazily; nil until first use
+	rev   *csr.Store[NodeID] // in-adjacency, built lazily; nil until first use
 }
 
 // NumNodes reports the number of node-ID slots in g, including tombstones
@@ -68,22 +76,22 @@ func (g *Graph) Labels() []string { return g.labels }
 
 // Out returns the out-neighbors of v in ascending order. The caller must not
 // modify the returned slice.
-func (g *Graph) Out(v NodeID) []NodeID { return g.adj[v] }
+func (g *Graph) Out(v NodeID) []NodeID { return g.adj.Row(int32(v)) }
 
 // OutDegree reports the out-degree of v.
-func (g *Graph) OutDegree(v NodeID) int { return len(g.adj[v]) }
+func (g *Graph) OutDegree(v NodeID) int { return g.adj.RowLen(int32(v)) }
 
 // In returns the in-neighbors of v. The reverse adjacency is built on first
 // use and cached. The caller must not modify the returned slice.
 func (g *Graph) In(v NodeID) []NodeID {
 	g.buildReverse()
-	return g.rev[v]
+	return g.rev.Row(int32(v))
 }
 
 // InDegree reports the in-degree of v.
 func (g *Graph) InDegree(v NodeID) int {
 	g.buildReverse()
-	return len(g.rev[v])
+	return g.rev.RowLen(int32(v))
 }
 
 func (g *Graph) buildReverse() {
@@ -93,46 +101,21 @@ func (g *Graph) buildReverse() {
 		return
 	}
 	deg := make([]int32, len(g.labels))
-	for _, nbrs := range g.adj {
-		for _, w := range nbrs {
-			deg[w]++
-		}
-	}
+	g.Edges(func(_, w NodeID) bool {
+		deg[w]++
+		return true
+	})
 	rev := make([][]NodeID, len(g.labels))
 	for v := range rev {
 		if deg[v] > 0 {
 			rev[v] = make([]NodeID, 0, deg[v])
 		}
 	}
-	for v, nbrs := range g.adj {
-		for _, w := range nbrs {
-			rev[w] = append(rev[w], NodeID(v))
-		}
-	}
-	g.rev = rev
-}
-
-// insertSorted adds v to the ascending slice s unless already present,
-// reporting whether it inserted.
-func insertSorted(s []NodeID, v NodeID) ([]NodeID, bool) {
-	i := sort.Search(len(s), func(i int) bool { return s[i] >= v })
-	if i < len(s) && s[i] == v {
-		return s, false
-	}
-	s = append(s, 0)
-	copy(s[i+1:], s[i:])
-	s[i] = v
-	return s, true
-}
-
-// removeSorted deletes v from the ascending slice s, reporting whether it
-// was present.
-func removeSorted(s []NodeID, v NodeID) ([]NodeID, bool) {
-	i := sort.Search(len(s), func(i int) bool { return s[i] >= v })
-	if i >= len(s) || s[i] != v {
-		return s, false
-	}
-	return append(s[:i], s[i+1:]...), true
+	g.Edges(func(v, w NodeID) bool {
+		rev[w] = append(rev[w], v)
+		return true
+	})
+	g.rev = csr.FromRows(rev)
 }
 
 // InsertEdge adds the directed edge (u, v) in place, reporting whether the
@@ -140,14 +123,12 @@ func removeSorted(s []NodeID, v NodeID) ([]NodeID, bool) {
 // be existing nodes. The caller must exclude concurrent readers and
 // writers for the duration of the call.
 func (g *Graph) InsertEdge(u, v NodeID) bool {
-	nbrs, ok := insertSorted(g.adj[u], v)
-	if !ok {
+	if !g.adj.InsertSorted(int32(u), v) {
 		return false
 	}
-	g.adj[u] = nbrs
 	g.m++
 	if g.rev != nil {
-		g.rev[v], _ = insertSorted(g.rev[v], u)
+		g.rev.InsertSorted(int32(v), u)
 	}
 	return true
 }
@@ -156,14 +137,12 @@ func (g *Graph) InsertEdge(u, v NodeID) bool {
 // the graph changed (false when the edge did not exist). The caller must
 // exclude concurrent readers and writers for the duration of the call.
 func (g *Graph) DeleteEdge(u, v NodeID) bool {
-	nbrs, ok := removeSorted(g.adj[u], v)
-	if !ok {
+	if !g.adj.RemoveSorted(int32(u), v) {
 		return false
 	}
-	g.adj[u] = nbrs
 	g.m--
 	if g.rev != nil {
-		g.rev[v], _ = removeSorted(g.rev[v], u)
+		g.rev.RemoveSorted(int32(v), u)
 	}
 	return true
 }
@@ -183,12 +162,12 @@ func (g *Graph) InsertNode(label string) NodeID {
 	}
 	id := NodeID(len(g.labels))
 	g.labels = append(g.labels, label)
-	g.adj = append(g.adj, nil)
+	g.adj.AppendRow(nil)
 	if g.deleted != nil {
 		g.deleted = append(g.deleted, false)
 	}
 	if g.rev != nil {
-		g.rev = append(g.rev, nil)
+		g.rev.AppendRow(nil)
 	}
 	return id
 }
@@ -206,28 +185,41 @@ func (g *Graph) DeleteNode(v NodeID) bool {
 	// Incoming edges require the reverse adjacency; build it before
 	// mutating so it stays maintained incrementally afterwards.
 	g.buildReverse()
-	for _, w := range append([]NodeID(nil), g.adj[v]...) {
-		g.rev[w], _ = removeSorted(g.rev[w], v)
+	for _, w := range append([]NodeID(nil), g.Out(v)...) {
+		g.rev.RemoveSorted(int32(w), v)
 		g.m--
 	}
-	g.adj[v] = nil
-	for _, u := range append([]NodeID(nil), g.rev[v]...) {
-		g.adj[u], _ = removeSorted(g.adj[u], v)
+	g.adj.SetRow(int32(v), nil)
+	for _, u := range append([]NodeID(nil), g.rev.Row(int32(v))...) {
+		g.adj.RemoveSorted(int32(u), v)
 		g.m--
 	}
-	g.rev[v] = nil
+	g.rev.SetRow(int32(v), nil)
 	if g.deleted == nil {
 		g.deleted = make([]bool, len(g.labels))
 	}
 	g.deleted[v] = true
 	g.labels[v] = ""
-	g.free, _ = insertSorted(g.free, v)
+	g.free, _ = insertSortedIDs(g.free, v)
 	return true
+}
+
+// insertSortedIDs adds v to the ascending slice s unless already present,
+// reporting whether it inserted.
+func insertSortedIDs(s []NodeID, v NodeID) ([]NodeID, bool) {
+	i := sort.Search(len(s), func(i int) bool { return s[i] >= v })
+	if i < len(s) && s[i] == v {
+		return s, false
+	}
+	s = append(s, 0)
+	copy(s[i+1:], s[i:])
+	s[i] = v
+	return s, true
 }
 
 // HasEdge reports whether the directed edge (u, v) exists.
 func (g *Graph) HasEdge(u, v NodeID) bool {
-	nbrs := g.adj[u]
+	nbrs := g.Out(u)
 	i := sort.Search(len(nbrs), func(i int) bool { return nbrs[i] >= v })
 	return i < len(nbrs) && nbrs[i] == v
 }
@@ -235,13 +227,44 @@ func (g *Graph) HasEdge(u, v NodeID) bool {
 // Edges calls fn for every directed edge (u, v); it stops early if fn
 // returns false.
 func (g *Graph) Edges(fn func(u, v NodeID) bool) {
-	for u, nbrs := range g.adj {
-		for _, v := range nbrs {
+	for u := 0; u < g.adj.NumRows(); u++ {
+		for _, v := range g.adj.Row(int32(u)) {
 			if !fn(NodeID(u), v) {
 				return
 			}
 		}
 	}
+}
+
+// Compact folds the forward and reverse adjacency overlays back into
+// fresh CSR bases. Content is unchanged; the caller must exclude all
+// readers and writers for the duration (the serving runtime compacts at
+// rebalance and snapshot time, under the fragmentation write lock).
+func (g *Graph) Compact() {
+	g.adj.Compact()
+	g.revMu.Lock()
+	if g.rev != nil {
+		g.rev.Compact()
+	}
+	g.revMu.Unlock()
+}
+
+// StorageBytes estimates the resident bytes of the graph's storage:
+// adjacency bases and overlays, labels (headers plus content), and the
+// tombstone bookkeeping.
+func (g *Graph) StorageBytes() int64 {
+	b := g.adj.Bytes()
+	g.revMu.Lock()
+	if g.rev != nil {
+		b += g.rev.Bytes()
+	}
+	g.revMu.Unlock()
+	b += int64(cap(g.labels)) * 16
+	for _, l := range g.labels {
+		b += int64(len(l))
+	}
+	b += int64(cap(g.deleted)) + int64(cap(g.free))*4
+	return b
 }
 
 // Validate checks internal invariants and returns an error describing the
@@ -250,7 +273,8 @@ func (g *Graph) Edges(fn func(u, v NodeID) bool) {
 func (g *Graph) Validate() error {
 	n := NodeID(len(g.labels))
 	count := 0
-	for u, nbrs := range g.adj {
+	for u := NodeID(0); u < n; u++ {
+		nbrs := g.Out(u)
 		for i, v := range nbrs {
 			if v < 0 || v >= n {
 				return fmt.Errorf("graph: edge (%d,%d) target out of range [0,%d)", u, v, n)
@@ -272,7 +296,7 @@ func (g *Graph) Validate() error {
 			continue
 		}
 		nDel++
-		if len(g.adj[v]) != 0 {
+		if g.OutDegree(v) != 0 {
 			return fmt.Errorf("graph: deleted node %d has out-edges", v)
 		}
 	}
@@ -287,31 +311,27 @@ func (g *Graph) Validate() error {
 			return fmt.Errorf("graph: free list not sorted at %d", v)
 		}
 	}
-	for u := range g.adj {
-		for _, v := range g.adj[u] {
-			if g.Deleted(v) {
-				return fmt.Errorf("graph: edge (%d,%d) targets a deleted node", u, v)
-			}
+	var bad error
+	g.Edges(func(u, v NodeID) bool {
+		if g.Deleted(v) {
+			bad = fmt.Errorf("graph: edge (%d,%d) targets a deleted node", u, v)
+			return false
 		}
-	}
-	return nil
+		return true
+	})
+	return bad
 }
 
-// Clone returns a deep copy of g. The copy shares no mutable state with g.
+// Clone returns a deep copy of g. The copy shares no mutable state with g
+// (the immutable CSR base is shared copy-on-write).
 func (g *Graph) Clone() *Graph {
-	c := &Graph{
-		labels: append([]string(nil), g.labels...),
-		adj:    make([][]NodeID, len(g.adj)),
-		m:      g.m,
-		free:   append([]NodeID(nil), g.free...),
+	return &Graph{
+		labels:  append([]string(nil), g.labels...),
+		adj:     g.adj.Clone(),
+		m:       g.m,
+		free:    append([]NodeID(nil), g.free...),
+		deleted: append([]bool(nil), g.deleted...),
 	}
-	if g.deleted != nil {
-		c.deleted = append([]bool(nil), g.deleted...)
-	}
-	for v, nbrs := range g.adj {
-		c.adj[v] = append([]NodeID(nil), nbrs...)
-	}
-	return c
 }
 
 // InducedSubgraph returns the subgraph of g induced by nodes, together with
@@ -329,7 +349,7 @@ func (g *Graph) InducedSubgraph(nodes []NodeID) (*Graph, []NodeID) {
 		b.AddNode(g.labels[v])
 	}
 	for i, v := range nodes {
-		for _, w := range g.adj[v] {
+		for _, w := range g.Out(v) {
 			if lw, ok := local[w]; ok {
 				b.AddEdge(NodeID(i), lw)
 			}
@@ -442,7 +462,7 @@ func (b *Builder) Build() (*Graph, error) {
 		adj[v] = out
 		m += len(out)
 	}
-	return &Graph{labels: append([]string(nil), b.labels...), adj: adj, m: m}, nil
+	return &Graph{labels: append([]string(nil), b.labels...), adj: csr.FromRows(adj), m: m}, nil
 }
 
 // MustBuild is like Build but panics on error. Intended for tests and

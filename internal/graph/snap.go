@@ -1,0 +1,112 @@
+package graph
+
+import (
+	"bufio"
+	"compress/gzip"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// SNAP edge-list loader. The Stanford SNAP collection (p2p-Gnutella,
+// soc-Slashdot, twitter-combined, ...) distributes graphs as plain or
+// gzipped text: '#'-prefixed comment lines followed by one directed edge
+// per line, two integer node IDs separated by whitespace. Node IDs are
+// arbitrary (sparse, unordered); this loader remaps them to the dense
+// [0, n) space the rest of the system requires.
+//
+// The remap is deterministic and content-addressed: distinct original IDs
+// are sorted ascending and assigned dense IDs in that order, so the same
+// file always produces the same graph regardless of edge order, and the
+// mapping can be recomputed by anyone holding the file. Duplicate edges
+// collapse (the Builder deduplicates); self-loops are kept.
+//
+// SNAP files carry no labels. When a label alphabet is supplied, node
+// labels are assigned deterministically from the ORIGINAL ID
+// (labels[origID mod len]), so the labeling is stable under edge
+// reordering too; an empty alphabet leaves every node unlabeled.
+
+// snapMaxLine bounds a single input line; real SNAP files stay far below.
+const snapMaxLine = 1 << 20
+
+// ReadSNAP parses a SNAP edge list from r (plain text; use OpenSNAP for
+// transparent gzip). labels may be nil for an unlabeled graph.
+func ReadSNAP(r io.Reader, labels []string) (*Graph, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<16), snapMaxLine)
+	type edge struct{ u, v int64 }
+	var edges []edge
+	ids := make(map[int64]struct{})
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		s := strings.TrimSpace(sc.Text())
+		if s == "" || strings.HasPrefix(s, "#") {
+			continue
+		}
+		fields := strings.Fields(s)
+		if len(fields) != 2 {
+			return nil, fmt.Errorf("graph: snap line %d: want 2 fields, got %d (%q)", lineNo, len(fields), s)
+		}
+		u, err := strconv.ParseInt(fields[0], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("graph: snap line %d: bad source id %q", lineNo, fields[0])
+		}
+		v, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("graph: snap line %d: bad target id %q", lineNo, fields[1])
+		}
+		if u < 0 || v < 0 {
+			return nil, fmt.Errorf("graph: snap line %d: negative node id", lineNo)
+		}
+		edges = append(edges, edge{u, v})
+		ids[u] = struct{}{}
+		ids[v] = struct{}{}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("graph: snap: %w", err)
+	}
+	// Deterministic dense remap: original IDs sorted ascending.
+	order := make([]int64, 0, len(ids))
+	for id := range ids {
+		order = append(order, id)
+	}
+	sort.Slice(order, func(i, j int) bool { return order[i] < order[j] })
+	dense := make(map[int64]NodeID, len(order))
+	b := NewBuilder(len(order))
+	for i, id := range order {
+		dense[id] = NodeID(i)
+		label := ""
+		if len(labels) > 0 {
+			label = labels[id%int64(len(labels))]
+		}
+		b.AddNode(label)
+	}
+	for _, e := range edges {
+		b.AddEdge(dense[e.u], dense[e.v])
+	}
+	return b.Build()
+}
+
+// OpenSNAP loads a SNAP edge list from path, transparently decompressing
+// gzip (detected by magic bytes, not file extension).
+func OpenSNAP(path string, labels []string) (*Graph, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	br := bufio.NewReader(f)
+	if magic, err := br.Peek(2); err == nil && magic[0] == 0x1f && magic[1] == 0x8b {
+		zr, err := gzip.NewReader(br)
+		if err != nil {
+			return nil, fmt.Errorf("graph: snap %s: %w", path, err)
+		}
+		defer zr.Close()
+		return ReadSNAP(zr, labels)
+	}
+	return ReadSNAP(br, labels)
+}

@@ -1,0 +1,167 @@
+package graph
+
+import (
+	"bytes"
+	"compress/gzip"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestReadSNAPBasic(t *testing.T) {
+	in := `# Directed graph: test
+# Nodes: 4 Edges: 5
+
+10	30
+10 20
+30	20
+20	20
+10	30
+`
+	g, err := ReadSNAP(strings.NewReader(in), []string{"a", "b", "c"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Original IDs {10,20,30} sort to dense {0,1,2}.
+	if g.NumNodes() != 3 {
+		t.Fatalf("nodes = %d, want 3", g.NumNodes())
+	}
+	// Duplicate (10,30) collapses; self-loop (20,20) is kept.
+	if g.NumEdges() != 4 {
+		t.Fatalf("edges = %d, want 4", g.NumEdges())
+	}
+	for _, e := range [][2]NodeID{{0, 2}, {0, 1}, {2, 1}, {1, 1}} {
+		if !g.HasEdge(e[0], e[1]) {
+			t.Fatalf("missing edge %v", e)
+		}
+	}
+	// Labels come from the ORIGINAL id mod alphabet: 10%3=1, 20%3=2, 30%3=0.
+	for i, want := range []string{"b", "c", "a"} {
+		if got := g.Label(NodeID(i)); got != want {
+			t.Fatalf("label(%d) = %q, want %q", i, got, want)
+		}
+	}
+}
+
+func TestReadSNAPMalformed(t *testing.T) {
+	for _, in := range []string{
+		"1\n",                      // one field
+		"1 2 3\n",                  // three fields
+		"1 x\n",                    // non-integer target
+		"x 1\n",                    // non-integer source
+		"-1 2\n",                   // negative id
+		"1 -2\n",                   // negative id
+		"99999999999999999999 1\n", // overflows int64
+	} {
+		if _, err := ReadSNAP(strings.NewReader(in), nil); err == nil {
+			t.Errorf("input %q: expected error", in)
+		}
+	}
+	// Comments and blank lines alone are fine: an empty graph.
+	g, err := ReadSNAP(strings.NewReader("# nothing\n\n  \n"), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumNodes() != 0 || g.NumEdges() != 0 {
+		t.Fatalf("empty input produced %d nodes %d edges", g.NumNodes(), g.NumEdges())
+	}
+}
+
+func TestReadSNAPDeterminism(t *testing.T) {
+	a := "5 9\n9 1000\n1000 5\n7 5\n"
+	b := "7 5\n1000 5\n5 9\n9 1000\n" // same edges, shuffled
+	ga, err := ReadSNAP(strings.NewReader(a), []string{"x", "y"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gb, err := ReadSNAP(strings.NewReader(b), []string{"x", "y"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wa, wb bytes.Buffer
+	if err := Write(&wa, ga); err != nil {
+		t.Fatal(err)
+	}
+	if err := Write(&wb, gb); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(wa.Bytes(), wb.Bytes()) {
+		t.Fatalf("edge order changed the loaded graph:\n%s\nvs\n%s", wa.String(), wb.String())
+	}
+}
+
+func TestOpenSNAPGzipRoundTrip(t *testing.T) {
+	in := "# gz test\n3 8\n8 12\n12 3\n"
+	dir := t.TempDir()
+	plain := filepath.Join(dir, "g.txt")
+	if err := os.WriteFile(plain, []byte(in), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	// The gzipped copy deliberately has NO .gz extension: detection is by
+	// magic bytes.
+	zipped := filepath.Join(dir, "g.bin")
+	var zbuf bytes.Buffer
+	zw := gzip.NewWriter(&zbuf)
+	if _, err := zw.Write([]byte(in)); err != nil {
+		t.Fatal(err)
+	}
+	if err := zw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(zipped, zbuf.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	gp, err := OpenSNAP(plain, []string{"a"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gz, err := OpenSNAP(zipped, []string{"a"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wp, wz bytes.Buffer
+	if err := Write(&wp, gp); err != nil {
+		t.Fatal(err)
+	}
+	if err := Write(&wz, gz); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(wp.Bytes(), wz.Bytes()) {
+		t.Fatal("gzip and plain loads differ")
+	}
+}
+
+func TestOpenSNAPSampleDataset(t *testing.T) {
+	g, err := OpenSNAP(filepath.Join("testdata", "p2p-sample.txt"), []string{"a", "b", "c", "d"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if g.NumNodes() < 900 || g.NumNodes() > 1100 {
+		t.Fatalf("sample has %d nodes, want ~1000", g.NumNodes())
+	}
+	if g.NumEdges() < 2500 {
+		t.Fatalf("sample has %d edges, want >= 2500", g.NumEdges())
+	}
+}
+
+func FuzzSNAPLoader(f *testing.F) {
+	f.Add("# c\n1 2\n2 3\n")
+	f.Add("10\t30\n30\t10\n")
+	f.Add("")
+	f.Add("x y\n")
+	f.Add("5 5\n# trailing\n")
+	f.Add("18446744073709551615 0\n")
+	f.Fuzz(func(t *testing.T, in string) {
+		g, err := ReadSNAP(strings.NewReader(in), []string{"a", "b"})
+		if err != nil {
+			return
+		}
+		if err := g.Validate(); err != nil {
+			t.Fatalf("accepted input produced invalid graph: %v", err)
+		}
+	})
+}

@@ -15,7 +15,7 @@ func (g *Graph) Reachable(s, t NodeID) bool {
 	for len(queue) > 0 {
 		v := queue[0]
 		queue = queue[1:]
-		for _, w := range g.adj[v] {
+		for _, w := range g.Out(v) {
 			if w == t {
 				return true
 			}
@@ -45,7 +45,7 @@ func (g *Graph) BFS(s NodeID, visit func(v NodeID, depth int) bool) {
 		if !visit(it.v, it.d) {
 			return
 		}
-		for _, w := range g.adj[it.v] {
+		for _, w := range g.Out(it.v) {
 			if !seen[w] {
 				seen[w] = true
 				queue = append(queue, item{w, it.d + 1})
@@ -63,7 +63,7 @@ func (g *Graph) Descendants(s NodeID) []bool {
 	for len(stack) > 0 {
 		v := stack[len(stack)-1]
 		stack = stack[:len(stack)-1]
-		for _, w := range g.adj[v] {
+		for _, w := range g.Out(v) {
 			if !seen[w] {
 				seen[w] = true
 				stack = append(stack, w)
@@ -89,7 +89,7 @@ func (g *Graph) Dist(s, t NodeID) int {
 	for len(queue) > 0 {
 		v := queue[0]
 		queue = queue[1:]
-		for _, w := range g.adj[v] {
+		for _, w := range g.Out(v) {
 			if dist[w] < 0 {
 				dist[w] = dist[v] + 1
 				if w == t {
@@ -117,7 +117,7 @@ func (g *Graph) DistancesFrom(s NodeID, maxDepth int) []int32 {
 		if maxDepth >= 0 && int(dist[v]) >= maxDepth {
 			continue
 		}
-		for _, w := range g.adj[v] {
+		for _, w := range g.Out(v) {
 			if dist[w] < 0 {
 				dist[w] = dist[v] + 1
 				queue = append(queue, w)
@@ -148,8 +148,8 @@ func (g *Graph) DFSPostorder() []NodeID {
 		stack = append(stack, frame{root, 0})
 		for len(stack) > 0 {
 			f := &stack[len(stack)-1]
-			if f.i < len(g.adj[f.v]) {
-				w := g.adj[f.v][f.i]
+			if f.i < len(g.Out(f.v)) {
+				w := g.Out(f.v)[f.i]
 				f.i++
 				if !seen[w] {
 					seen[w] = true
@@ -189,7 +189,7 @@ func (g *Graph) SCC() (comp []int32, n int) {
 		for len(stack) > 0 {
 			v := stack[len(stack)-1]
 			stack = stack[:len(stack)-1]
-			for _, w := range rg.adj[v] {
+			for _, w := range rg.Out(v) {
 				if comp[w] < 0 {
 					comp[w] = c
 					stack = append(stack, w)

@@ -345,6 +345,12 @@ func (s *Site) applyPersisted(lsn, nonce uint64, ops []Op) (fragment.ApplyResult
 		if perr := s.store.Log().Append(oplog.Record{LSN: lsn, Ops: ops}); perr != nil {
 			s.logf("netsite: oplog append of batch %d failed: %v", lsn, perr)
 		} else if s.snapEvery > 0 && lsn >= s.store.SnapshotLSN()+uint64(s.snapEvery) {
+			// The periodic checkpoint is a designated compaction point:
+			// fold the accumulated mutation overlays back into the flat
+			// CSR bases before freezing the state.
+			if fr, _ := s.rep.Current(); fr != nil {
+				fr.Compact()
+			}
 			if snap, serr := oplog.TakeSnapshot(s.rep); serr != nil {
 				s.logf("netsite: snapshot at batch %d failed: %v", lsn, serr)
 			} else if serr := s.store.SaveSnapshot(snap); serr != nil {

@@ -164,6 +164,11 @@ func (s *Site) handleSync(payload []byte) (uint64, uint64, []byte, error) {
 		if len(body) != 0 {
 			return 0, 0, nil, fmt.Errorf("sync fetch carries %d unexpected bytes", len(body))
 		}
+		// Serving a snapshot (gateway checkpoint or a peer catching up) is
+		// a compaction point too: the encode walks the whole state anyway.
+		if fr, _ := s.rep.Current(); fr != nil {
+			fr.Compact()
+		}
 		snap, err := oplog.TakeSnapshot(s.rep)
 		if err != nil {
 			return 0, 0, nil, err
