@@ -35,13 +35,15 @@ bench-smoke:
 	$(GO) test -run '^$$' -bench . -benchtime 1x ./...
 	$(GO) run ./cmd/bench $(BENCH_LOAD_FLAGS) -churn 5
 	$(GO) run ./cmd/bench $(BENCH_LOAD_FLAGS) -churn 20 -nodechurn -rebalance 300ms -json /tmp/bench-smoke.json
+	$(GO) run ./cmd/bench $(BENCH_LOAD_FLAGS) -churn 20 -index -json /tmp/bench-smoke-index.json
 
 # The pinned bench-trajectory run: open loop on the checked-in SNAP sample
-# at a fixed offered rate, seed and duration, emitting a schema-versioned
-# report. This exact configuration produced the committed BENCH_PR6.json
-# baseline; refresh it with `make bench-json BENCH_JSON_OUT=BENCH_PR6.json`.
+# at a fixed offered rate, seed and duration, with the reachability index
+# enabled, emitting a schema-versioned report. This exact configuration
+# produced the committed BENCH_PR7.json baseline; refresh it with
+# `make bench-json BENCH_JSON_OUT=BENCH_PR7.json`.
 BENCH_TRAJECTORY_FLAGS ?= -load -rate 200 -arrival poisson -duration 5s -clients 4 \
-	-churn 10 -seed 6 -snap internal/graph/testdata/p2p-sample.txt
+	-churn 10 -seed 6 -snap internal/graph/testdata/p2p-sample.txt -index
 BENCH_JSON_OUT ?= BENCH.json
 
 bench-json:
@@ -52,7 +54,7 @@ bench-json:
 # cmd/benchcheck for the override when a regression is intentional).
 bench-trajectory:
 	$(MAKE) bench-json BENCH_JSON_OUT=BENCH_PR.json
-	$(GO) run ./cmd/benchcheck -baseline BENCH_PR6.json -current BENCH_PR.json
+	$(GO) run ./cmd/benchcheck -baseline BENCH_PR7.json -current BENCH_PR.json
 
 # Short fuzzing pass over the wire, durability and dataset codecs (one
 # target per invocation: the Go fuzzer requires exactly one -fuzz match).
@@ -65,6 +67,7 @@ fuzz-smoke:
 	$(GO) test ./internal/oplog -run '^$$' -fuzz '^FuzzOpsCodec$$' -fuzztime 20s
 	$(GO) test ./internal/oplog -run '^$$' -fuzz '^FuzzSegmentScan$$' -fuzztime 20s
 	$(GO) test ./internal/graph -run '^$$' -fuzz '^FuzzSNAPLoader$$' -fuzztime 20s
+	$(GO) test ./internal/reachindex -run '^$$' -fuzz '^FuzzIndexLabels$$' -fuzztime 20s
 
 # Crash-recovery acceptance pass (race-enabled): kill-and-restart catch-up
 # over 50 randomized graphs, two concurrent gateways under one sequencer,
@@ -83,6 +86,7 @@ recovery-smoke:
 cross-checks:
 	$(GO) test -race -run 'TestBatchWireCrossCheck|TestBatchLifecycleNoLeak' -count 1 ./internal/netsite
 	$(GO) test -race -run 'TestUpdateWireCrossCheck|TestUpdateConcurrentWithQueries' -count 1 ./internal/netsite
+	$(GO) test -race -run 'TestIndexChurnCrossCheck|TestFragmentIndexMatchesDirect' -count 1 ./internal/netsite ./internal/core
 	$(GO) test -race -run 'TestNodeOpsWireCrossCheck|TestNodeMutationCrossCheck|TestRebalanceEpochRace|TestRebalanceRestoresBalance' -count 1 ./internal/netsite ./internal/fragment
 
 # Static analysis beyond go vet. Downloads the tool on first run.

@@ -15,10 +15,12 @@ import (
 	"time"
 
 	"distreach/internal/automaton"
+	"distreach/internal/core"
 	"distreach/internal/fragment"
 	"distreach/internal/gen"
 	"distreach/internal/graph"
 	"distreach/internal/netsite"
+	"distreach/internal/reachindex"
 )
 
 // loadConfig drives the load generator: N concurrent clients against
@@ -47,6 +49,8 @@ type loadConfig struct {
 	arrival   string  // open loop schedule: poisson | uniform
 	jsonPath  string  // non-empty: write a schema-versioned report here
 	snap      string  // non-empty: load the in-process graph from this SNAP file
+	index     bool    // enable the per-fragment reachability index (in-process mode)
+	indexBgt  int64   // with index: per-fragment label budget in bytes
 	nodes     int
 	edges     int
 	k         int
@@ -76,6 +80,7 @@ func runLoad(cfg loadConfig) error {
 	}
 	var issue, update func(rng *gen.RNG, q int) error
 	var rebalance func(epoch uint64) error
+	var idxRep func() *indexReport
 	var maxLag atomic.Uint64   // worst replica lag observed (wire mode; batches)
 	var wireBytes atomic.Int64 // sent+received across all wire rounds
 	wireMode := cfg.url == ""
@@ -85,7 +90,7 @@ func runLoad(cfg loadConfig) error {
 	} else {
 		var cleanup func()
 		var err error
-		issue, update, rebalance, cleanup, err = wireIssuer(&cfg, &maxLag, &wireBytes)
+		issue, update, rebalance, cleanup, idxRep, err = wireIssuer(&cfg, &maxLag, &wireBytes)
 		if err != nil {
 			return err
 		}
@@ -205,6 +210,14 @@ func runLoad(cfg loadConfig) error {
 	if wireMode {
 		fmt.Printf("wire        %.0f bytes/query\n", float64(wireBytes.Load())/float64(queries))
 	}
+	var idxr *indexReport
+	if idxRep != nil {
+		idxr = idxRep()
+		fmt.Printf("reachindex  hit rate %.2f (%d hits, %d fallbacks), %d label bytes, %d rebuilds\n",
+			idxr.HitRate, idxr.Hits, idxr.Fallbacks, idxr.LabelBytes, idxr.Rebuilds)
+		fmt.Printf("local eval  direct %.0fus -> indexed %.0fus per query (%.1fx)\n",
+			idxr.DirectUSPerQuery, idxr.IndexedUSPerQuery, idxr.LocalEvalSpeedup)
+	}
 
 	if cfg.jsonPath != "" {
 		rep := benchReport{
@@ -239,6 +252,7 @@ func runLoad(cfg loadConfig) error {
 			Rebalances:   rebalances,
 			MaxLag:       maxLag.Load(),
 			RSSBytes:     rssBytes(),
+			ReachIndex:   idxr,
 		}
 		if cfg.rate > 0 {
 			rep.OfferedQPS = cfg.rate
@@ -353,13 +367,13 @@ func pickQuery(class string, rng *gen.RNG, q, n int) (cls string, s, t graph.Nod
 // counts). Wire traffic accumulates into wireBytes; maxLag samples the
 // worst replica lag observed — how many sequenced batches the slowest
 // site trails the sequencer by.
-func wireIssuer(cfg *loadConfig, maxLag *atomic.Uint64, wireBytes *atomic.Int64) (func(*gen.RNG, int) error, func(*gen.RNG, int) error, func(uint64) error, func(), error) {
+func wireIssuer(cfg *loadConfig, maxLag *atomic.Uint64, wireBytes *atomic.Int64) (func(*gen.RNG, int) error, func(*gen.RNG, int) error, func(uint64) error, func(), func() *indexReport, error) {
 	var g *graph.Graph
 	if cfg.snap != "" {
 		var err error
 		g, err = graph.OpenSNAP(cfg.snap, loadLabels)
 		if err != nil {
-			return nil, nil, nil, nil, err
+			return nil, nil, nil, nil, nil, err
 		}
 		cfg.nodes, cfg.edges = g.NumNodes(), g.NumEdges()
 	} else {
@@ -367,18 +381,51 @@ func wireIssuer(cfg *loadConfig, maxLag *atomic.Uint64, wireBytes *atomic.Int64)
 	}
 	fr, err := fragment.Random(g, cfg.k, cfg.seed)
 	if err != nil {
-		return nil, nil, nil, nil, err
+		return nil, nil, nil, nil, nil, err
 	}
-	sites, addrs, err := netsite.ServeFragmentationOpts(fr, netsite.SiteOptions{Delay: cfg.delay})
+	if cfg.index {
+		if cfg.indexBgt <= 0 {
+			cfg.indexBgt = reachindex.DefaultBudget
+		}
+		fr.EnableReachIndex(cfg.indexBgt)
+	}
+	rep := fragment.NewReplica(fr)
+	sites, addrs, err := netsite.ServeReplica(rep, netsite.SiteOptions{Delay: cfg.delay})
 	if err != nil {
-		return nil, nil, nil, nil, err
+		return nil, nil, nil, nil, nil, err
 	}
 	co, err := netsite.Dial(addrs, 3*time.Second)
 	if err != nil {
 		for _, s := range sites {
 			s.Close()
 		}
-		return nil, nil, nil, nil, err
+		return nil, nil, nil, nil, nil, err
+	}
+	var idxRep func() *indexReport
+	if cfg.index {
+		// Invoked once after the load completes: snapshot the counters the
+		// serving traffic produced, then calibrate direct vs indexed local
+		// evaluation on the final graph for the apples-to-apples speedup.
+		idxRep = func() *indexReport {
+			cur, _ := rep.Current()
+			cur.WaitReachIndexes()
+			st := cur.ReachIndexStats()
+			r := &indexReport{
+				Enabled:     st.Enabled,
+				BudgetBytes: st.BudgetBytes,
+				LabelBytes:  st.LabelBytes,
+				Fragments:   st.Fragments,
+				Hits:        st.Hits,
+				Fallbacks:   st.Fallbacks,
+				HitRate:     st.HitRate(),
+				Rebuilds:    st.Rebuilds,
+			}
+			r.DirectUSPerQuery, r.IndexedUSPerQuery = calibrateLocalEval(cur, 200, cfg.seed)
+			if r.IndexedUSPerQuery > 0 {
+				r.LocalEvalSpeedup = r.DirectUSPerQuery / r.IndexedUSPerQuery
+			}
+			return r
+		}
 	}
 	cleanup := func() {
 		co.Close()
@@ -447,7 +494,36 @@ func wireIssuer(cfg *loadConfig, maxLag *atomic.Uint64, wireBytes *atomic.Int64)
 		account(st)
 		return err
 	}
-	return issue, update, rebalance, cleanup, nil
+	return issue, update, rebalance, cleanup, idxRep, nil
+}
+
+// calibrateLocalEval times the per-query site CPU — the summed local
+// evaluation across every fragment, which is exactly the work the index
+// replaces — over `rounds` random queries, once forced direct
+// (NoFragmentIndex) and once through the installed index. The
+// coordinator's equation solve is excluded: it is byte-identical on both
+// paths, and including it would dilute the site-CPU ratio the index is
+// judged on (exp N8 reports both views).
+func calibrateLocalEval(fr *fragment.Fragmentation, rounds int, seed uint64) (directUS, indexedUS float64) {
+	rng := gen.NewRNG(seed ^ 0xC0FFEE)
+	n := fr.Graph().NumNodes()
+	type pair struct{ s, t graph.NodeID }
+	qs := make([]pair, rounds)
+	for i := range qs {
+		qs[i] = pair{graph.NodeID(rng.Intn(n)), graph.NodeID(rng.Intn(n))}
+	}
+	run := func(opt *core.Options) float64 {
+		t0 := time.Now()
+		for _, q := range qs {
+			for _, f := range fr.Fragments() {
+				core.LocalEvalReach(f, q.s, q.t, opt)
+			}
+		}
+		return float64(time.Since(t0).Microseconds()) / float64(len(qs))
+	}
+	directUS = run(&core.Options{NoFragmentIndex: true})
+	indexedUS = run(nil)
+	return directUS, indexedUS
 }
 
 // pickUpdate draws one mutation. Edge inserts and deletes alternate so the

@@ -36,6 +36,7 @@ import (
 	"time"
 
 	"distreach/internal/exp"
+	"distreach/internal/reachindex"
 )
 
 func main() {
@@ -63,6 +64,8 @@ func main() {
 		snap      = flag.String("snap", "", "load: build the in-process deployment from this SNAP edge-list file")
 		sdelay    = flag.Duration("sitedelay", 0, "load: emulated per-frame site service time (in-process mode; the N3 workload uses 5ms)")
 		url       = flag.String("url", "", "load: drive a cmd/serve gateway at this base URL instead of an in-process deployment")
+		index     = flag.Bool("index", false, "load: enable the per-fragment reachability index (in-process mode)")
+		indexBgt  = flag.Int64("indexbudget", reachindex.DefaultBudget, "load: with -index, per-fragment label budget in bytes")
 		nodes     = flag.Int("nodes", 2000, "load: graph nodes (in-process mode; node-ID range in -url mode)")
 		edges     = flag.Int("edges", 8000, "load: graph edges (in-process mode)")
 		k         = flag.Int("k", 4, "load: fragment count (in-process mode)")
@@ -84,6 +87,8 @@ func main() {
 			jsonPath:  *jsonOut,
 			snap:      *snap,
 			delay:     *sdelay,
+			index:     *index,
+			indexBgt:  *indexBgt,
 			url:       *url,
 			nodes:     *nodes,
 			edges:     *edges,

@@ -108,6 +108,25 @@ type benchReport struct {
 
 	BytesPerQuery float64 `json:"bytes_per_query"`
 	RSSBytes      int64   `json:"rss_bytes"`
+
+	ReachIndex *indexReport `json:"reachindex,omitempty"`
+}
+
+// indexReport is the -index section of the JSON report: the counters the
+// serving traffic produced plus a post-run direct-vs-indexed local
+// evaluation calibration on the final graph.
+type indexReport struct {
+	Enabled           bool    `json:"enabled"`
+	BudgetBytes       int64   `json:"budget_bytes"`
+	LabelBytes        int64   `json:"label_bytes"`
+	Fragments         int     `json:"fragments_indexed"`
+	Hits              int64   `json:"hits"`
+	Fallbacks         int64   `json:"fallbacks"`
+	HitRate           float64 `json:"hit_rate"`
+	Rebuilds          int64   `json:"rebuilds"`
+	DirectUSPerQuery  float64 `json:"direct_us_per_query"`
+	IndexedUSPerQuery float64 `json:"indexed_us_per_query"`
+	LocalEvalSpeedup  float64 `json:"local_eval_speedup"`
 }
 
 // writeReport serializes rep to path (pretty-printed, trailing newline,

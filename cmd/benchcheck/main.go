@@ -38,18 +38,51 @@ type report struct {
 }
 
 func load(path string) (report, error) {
-	var r report
 	b, err := os.ReadFile(path)
 	if err != nil {
-		return r, err
+		return report{}, err
 	}
+	return parseReport(path, b)
+}
+
+// parseReport decodes and validates one report. A zero qps or zero p99 is
+// never a real measurement — it is a corrupt or truncated file (a killed
+// bench run, a bad merge of a BENCH_*.json) — and comparing against such a
+// baseline makes every gate vacuously pass. Fail loudly instead.
+func parseReport(path string, b []byte) (report, error) {
+	var r report
 	if err := json.Unmarshal(b, &r); err != nil {
 		return r, fmt.Errorf("%s: %w", path, err)
 	}
 	if r.Schema != "distreach-bench/v1" {
 		return r, fmt.Errorf("%s: unknown schema %q (want distreach-bench/v1)", path, r.Schema)
 	}
+	if r.QPS <= 0 {
+		return r, fmt.Errorf("%s: corrupt or truncated report: qps = %v", path, r.QPS)
+	}
+	if r.Latency.P99 <= 0 {
+		return r, fmt.Errorf("%s: corrupt or truncated report: p99 = %dus", path, r.Latency.P99)
+	}
 	return r, nil
+}
+
+// gate applies the regression gates and returns one message per failure.
+// parseReport guarantees base.QPS and base.Latency.P99 are positive, so the
+// ratios below are always meaningful.
+func gate(base, cur report, qpsDrop, p99Grow float64) []string {
+	var fails []string
+	if cur.Errors > 0 {
+		fails = append(fails, fmt.Sprintf("current run had %d query errors", cur.Errors))
+	}
+	if cur.QPS < base.QPS*(1-qpsDrop) {
+		fails = append(fails, fmt.Sprintf("throughput dropped %.0f%% (budget %.0f%%)",
+			100*(base.QPS-cur.QPS)/base.QPS, 100*qpsDrop))
+	}
+	if float64(cur.Latency.P99) > float64(base.Latency.P99)*(1+p99Grow) {
+		fails = append(fails, fmt.Sprintf("p99 latency grew %.0f%% (budget %.0f%%)",
+			100*float64(cur.Latency.P99-base.Latency.P99)/float64(base.Latency.P99), 100*p99Grow))
+	}
+	return fails
 }
 
 func main() {
@@ -94,18 +127,7 @@ func main() {
 		fmt.Printf("  bytes/query %8.0f -> %8.0f  (%s)\n", base.BytesPerQuery, cur.BytesPerQuery, ratio(cur.BytesPerQuery, base.BytesPerQuery))
 	}
 
-	var fails []string
-	if cur.Errors > 0 {
-		fails = append(fails, fmt.Sprintf("current run had %d query errors", cur.Errors))
-	}
-	if base.QPS > 0 && cur.QPS < base.QPS*(1-*qpsDrop) {
-		fails = append(fails, fmt.Sprintf("throughput dropped %.0f%% (budget %.0f%%)",
-			100*(base.QPS-cur.QPS)/base.QPS, 100**qpsDrop))
-	}
-	if base.Latency.P99 > 0 && float64(cur.Latency.P99) > float64(base.Latency.P99)*(1+*p99Grow) {
-		fails = append(fails, fmt.Sprintf("p99 latency grew %.0f%% (budget %.0f%%)",
-			100*float64(cur.Latency.P99-base.Latency.P99)/float64(base.Latency.P99), 100**p99Grow))
-	}
+	fails := gate(base, cur, *qpsDrop, *p99Grow)
 	if len(fails) == 0 {
 		fmt.Println("benchcheck: within budget")
 		return

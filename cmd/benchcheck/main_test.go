@@ -1,0 +1,61 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseReportRejectsCorruptBaselines(t *testing.T) {
+	cases := []struct {
+		name string
+		body string
+		want string // substring of the expected error, "" = must succeed
+	}{
+		{"good", `{"schema":"distreach-bench/v1","mode":"open","qps":1200.5,"latency_us":{"p50":90,"p99":400}}`, ""},
+		{"zero qps", `{"schema":"distreach-bench/v1","mode":"open","qps":0,"latency_us":{"p50":90,"p99":400}}`, "corrupt or truncated"},
+		{"zero p99", `{"schema":"distreach-bench/v1","mode":"open","qps":1200,"latency_us":{"p50":90,"p99":0}}`, "corrupt or truncated"},
+		{"negative qps", `{"schema":"distreach-bench/v1","mode":"open","qps":-3,"latency_us":{"p99":400}}`, "corrupt or truncated"},
+		{"empty object", `{}`, "unknown schema"},
+		{"truncated json", `{"schema":"distreach-bench/v1","qps":12`, "unexpected end"},
+		{"wrong schema", `{"schema":"distreach-bench/v2","qps":12,"latency_us":{"p99":4}}`, "unknown schema"},
+	}
+	for _, tc := range cases {
+		_, err := parseReport("BENCH_X.json", []byte(tc.body))
+		if tc.want == "" {
+			if err != nil {
+				t.Errorf("%s: unexpected error: %v", tc.name, err)
+			}
+			continue
+		}
+		if err == nil {
+			t.Errorf("%s: corrupt report accepted silently", tc.name)
+		} else if !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: error %q does not mention %q", tc.name, err, tc.want)
+		}
+	}
+}
+
+func TestGate(t *testing.T) {
+	base := report{QPS: 1000}
+	base.Latency.P99 = 1000
+	mk := func(qps float64, p99 int64, errs int) report {
+		r := report{QPS: qps, Errors: errs}
+		r.Latency.P99 = p99
+		return r
+	}
+	if fails := gate(base, mk(950, 1100, 0), 0.20, 0.50); len(fails) != 0 {
+		t.Fatalf("within-budget run failed the gate: %v", fails)
+	}
+	if fails := gate(base, mk(700, 1000, 0), 0.20, 0.50); len(fails) != 1 || !strings.Contains(fails[0], "throughput dropped") {
+		t.Fatalf("30%% qps drop not caught: %v", fails)
+	}
+	if fails := gate(base, mk(1000, 1600, 0), 0.20, 0.50); len(fails) != 1 || !strings.Contains(fails[0], "p99 latency grew") {
+		t.Fatalf("60%% p99 growth not caught: %v", fails)
+	}
+	if fails := gate(base, mk(1000, 1000, 3), 0.20, 0.50); len(fails) != 1 || !strings.Contains(fails[0], "query errors") {
+		t.Fatalf("query errors not caught: %v", fails)
+	}
+	if fails := gate(base, mk(500, 2000, 1), 0.20, 0.50); len(fails) != 3 {
+		t.Fatalf("want all three gates to fire, got %v", fails)
+	}
+}

@@ -38,6 +38,11 @@ type gwOptions struct {
 	seed        uint64        // rebalance partitioner seed base
 	store       *oplog.Store  // durable oplog (-wal); nil = in-memory order only
 	snapEvery   int           // checkpoint + log-truncate cadence in batches; 0 = never
+
+	// idxStats reads the reachability-index counters of the current
+	// deployment; nil when the sites are remote (the gateway has no local
+	// fragmentation handle, so /stats omits the section).
+	idxStats func() fragment.ReachIndexStats
 }
 
 // defaultMaxInflight bounds concurrent query/update requests when the
@@ -837,6 +842,20 @@ func (g *gateway) handleStats(w http.ResponseWriter, r *http.Request) {
 			"segment_bytes": bytes,
 		}
 	}
+	var reachIndex map[string]any
+	if g.opts.idxStats != nil {
+		st := g.opts.idxStats()
+		reachIndex = map[string]any{
+			"enabled":           st.Enabled,
+			"budget_bytes":      st.BudgetBytes,
+			"label_bytes":       st.LabelBytes,
+			"fragments_indexed": st.Fragments,
+			"hits":              st.Hits,
+			"fallbacks":         st.Fallbacks,
+			"hit_rate":          st.HitRate(),
+			"rebuilds":          st.Rebuilds,
+		}
+	}
 	writeJSON(w, http.StatusOK, map[string]any{
 		"queries":        g.queries.Load(),
 		"updates":        g.updates.Load(),
@@ -850,6 +869,7 @@ func (g *gateway) handleStats(w http.ResponseWriter, r *http.Request) {
 		},
 		"durability": durability,
 		"balance":    balance,
+		"reachindex": reachIndex,
 		"cache": map[string]any{
 			"hits":      hits,
 			"misses":    misses,

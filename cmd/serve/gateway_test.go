@@ -633,3 +633,55 @@ func TestGatewayFailedUpdateFlushesCache(t *testing.T) {
 		t.Fatalf("failed update left %d cached entries; it may still apply later", n)
 	}
 }
+
+// TestGatewayStatsReachIndex: a self-contained deployment with the index
+// enabled must surface live index counters under /stats "reachindex", and
+// serving queries must move the hit counter.
+func TestGatewayStatsReachIndex(t *testing.T) {
+	g := gen.Uniform(gen.Config{Nodes: 80, Edges: 320, Labels: []string{"A"}, Seed: 63})
+	fr, err := fragment.Random(g, 3, 63)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fr.EnableReachIndex(1 << 20)
+	rep := fragment.NewReplica(fr)
+	sites, addrs, err := netsite.ServeReplica(rep, netsite.SiteOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	co, err := netsite.Dial(addrs, 2*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gw := newGateway(co, gwOptions{cacheCap: 128, idxStats: func() fragment.ReachIndexStats {
+		cur, _ := rep.Current()
+		return cur.ReachIndexStats()
+	}})
+	srv := httptest.NewServer(gw.routes())
+	t.Cleanup(func() {
+		srv.Close()
+		co.Close()
+		for _, s := range sites {
+			s.Close()
+		}
+	})
+	fr.WaitReachIndexes()
+	rng := gen.NewRNG(64)
+	for q := 0; q < 20; q++ {
+		getJSON(t, srv.URL+"/reach?s="+strconv.Itoa(rng.Intn(80))+"&t="+strconv.Itoa(rng.Intn(80)), 200)
+	}
+	m := getJSON(t, srv.URL+"/stats", 200)
+	ri, ok := m["reachindex"].(map[string]any)
+	if !ok {
+		t.Fatalf("/stats missing reachindex section: %v", m)
+	}
+	if ri["enabled"] != true {
+		t.Fatalf("reachindex.enabled = %v", ri["enabled"])
+	}
+	if hits, _ := ri["hits"].(float64); hits == 0 {
+		t.Fatalf("no index hits after 20 wire queries: %v", ri)
+	}
+	if lb, _ := ri["label_bytes"].(float64); lb == 0 {
+		t.Fatalf("label_bytes = 0: %v", ri)
+	}
+}

@@ -53,6 +53,7 @@ import (
 	"distreach/internal/graph"
 	"distreach/internal/netsite"
 	"distreach/internal/oplog"
+	"distreach/internal/reachindex"
 )
 
 func main() {
@@ -69,6 +70,7 @@ func main() {
 		inflight  = flag.Int("maxinflight", 0, "backpressure: max concurrent query/update requests (0 = default 1024); excess gets 429")
 		skew      = flag.Float64("skew", 0, "auto-rebalance when max/mean fragment size crosses this (0 = manual /rebalance only; try 2.0)")
 		rebPart   = flag.String("rebalancepartition", "edgecut", "partitioner used by /rebalance and auto-rebalance")
+		idxBudget = flag.Int64("reachindex-budget", reachindex.DefaultBudget, "self-contained mode: per-fragment reachability index label budget in bytes (0 disables the index)")
 		wal       = flag.String("wal", "", "durability: write-ahead log directory; every update batch is sequenced and logged before broadcast, and a restarted gateway resumes the order and replays missed batches to the sites")
 		snapEvery = flag.Int("snapshot-every", 256, "with -wal: checkpoint the deployment and truncate the log every N update batches (0 = never)")
 		fsync     = flag.String("fsync", "always", "with -wal: fsync policy, always | never")
@@ -78,6 +80,7 @@ func main() {
 	var (
 		co    *netsite.Coordinator
 		owned []*netsite.Site
+		rep   *fragment.Replica
 		err   error
 	)
 	switch {
@@ -88,7 +91,7 @@ func main() {
 		}
 	case *graphPath != "":
 		var addrs []string
-		owned, addrs, err = selfDeploy(*graphPath, *partition, *k, *seed)
+		owned, addrs, rep, err = selfDeploy(*graphPath, *partition, *k, *seed, *idxBudget)
 		if err != nil {
 			fatal(err)
 		}
@@ -123,7 +126,7 @@ func main() {
 			*wal, store.LastLSN(), store.SnapshotLSN(), *fsync)
 	}
 
-	gw := newGateway(co, gwOptions{
+	opts := gwOptions{
 		cacheCap:    *cacheCap,
 		timeout:     *reqTO,
 		maxInflight: *inflight,
@@ -132,7 +135,14 @@ func main() {
 		seed:        *seed,
 		store:       store,
 		snapEvery:   *snapEvery,
-	})
+	}
+	if rep != nil {
+		opts.idxStats = func() fragment.ReachIndexStats {
+			cur, _ := rep.Current()
+			return cur.ReachIndexStats()
+		}
+	}
+	gw := newGateway(co, opts)
 	if store != nil {
 		// Boot-time recovery: the sites may be behind the write-ahead log
 		// (a self-deployed gateway restarts its sites from the original
@@ -148,17 +158,20 @@ func main() {
 	}
 }
 
-// selfDeploy loads the graph, partitions it, and serves every fragment on
-// a loopback site inside this process.
-func selfDeploy(graphPath, partition string, k int, seed uint64) ([]*netsite.Site, []string, error) {
+// selfDeploy loads the graph, partitions it, enables the per-fragment
+// reachability index (budget > 0), and serves every fragment on a loopback
+// site inside this process. The returned replica is the handle whose
+// current fragmentation /stats reads index counters from; live rebalances
+// carry the index budget across the epoch swap.
+func selfDeploy(graphPath, partition string, k int, seed uint64, idxBudget int64) ([]*netsite.Site, []string, *fragment.Replica, error) {
 	f, err := os.Open(graphPath)
 	if err != nil {
-		return nil, nil, err
+		return nil, nil, nil, err
 	}
 	g, err := graph.Read(f)
 	f.Close()
 	if err != nil {
-		return nil, nil, err
+		return nil, nil, nil, err
 	}
 	var fr *fragment.Fragmentation
 	switch partition {
@@ -176,9 +189,17 @@ func selfDeploy(graphPath, partition string, k int, seed uint64) ([]*netsite.Sit
 		err = fmt.Errorf("unknown partitioner %q", partition)
 	}
 	if err != nil {
-		return nil, nil, err
+		return nil, nil, nil, err
 	}
-	return netsite.ServeFragmentation(fr)
+	if idxBudget > 0 {
+		fr.EnableReachIndex(idxBudget)
+	}
+	rep := fragment.NewReplica(fr)
+	sites, addrs, err := netsite.ServeReplica(rep, netsite.SiteOptions{})
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	return sites, addrs, rep, nil
 }
 
 func fatal(err error) {

@@ -78,7 +78,7 @@ func DisReachBatch(cl *cluster.Cluster, fr *fragment.Fragmentation, qs []Query) 
 			// Include every source stored at this site in the iset: the
 			// in-node pass runs once (s = None) and each source adds only
 			// its own equation.
-			rv := LocalEvalReach(f, graph.None, gr.t)
+			rv := LocalEvalReach(f, graph.None, gr.t, nil)
 			for _, s := range gr.sources {
 				if eq, ok := sourceEq(f, s, gr.t); ok {
 					rv.eqs = append(rv.eqs, eq)

@@ -94,7 +94,7 @@ func TestSharedTargetSplitMatchesSingle(t *testing.T) {
 		tt := graph.NodeID(rng.Intn(n))
 		bases := make([]*ReachPartial, len(frags))
 		for fi, f := range frags {
-			bases[fi] = LocalEvalReach(f, graph.None, tt)
+			bases[fi] = LocalEvalReach(f, graph.None, tt, nil)
 		}
 		m := 1 + rng.Intn(6)
 		for qi := 0; qi < m; qi++ {
@@ -103,7 +103,7 @@ func TestSharedTargetSplitMatchesSingle(t *testing.T) {
 			singleParts := make([]*ReachPartial, len(frags))
 			for fi, f := range frags {
 				splitParts = append(splitParts, bases[fi], SourceOnlyReach(f, s, tt))
-				singleParts[fi] = LocalEvalReach(f, s, tt)
+				singleParts[fi] = LocalEvalReach(f, s, tt, nil)
 			}
 			got := s == tt || SolveReach(splitParts, s)
 			single := s == tt || SolveReach(singleParts, s)

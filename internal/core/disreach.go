@@ -5,6 +5,7 @@ import (
 	"distreach/internal/cluster"
 	"distreach/internal/fragment"
 	"distreach/internal/graph"
+	"distreach/internal/reachindex"
 )
 
 // querySize is the wire size of a posted (bounded) reachability query: two
@@ -35,10 +36,13 @@ type ReachPartial struct {
 }
 
 // LocalEvalReach is the exported form of procedure localEval, used by the
-// MapReduce adaptation and the incremental session. Pass s = graph.None to
-// compute the in-node equations only (no source equation).
-func LocalEvalReach(f *fragment.Fragment, s, t graph.NodeID) *ReachPartial {
-	return localEval(f, s, t, &Options{})
+// MapReduce adaptation, the incremental session and the wire sites. Pass
+// s = graph.None to compute the in-node equations only (no source
+// equation). A nil opt means defaults; it used to be silently replaced by
+// a fresh &Options{}, which dropped every caller-supplied option
+// (LocalIndex, NoFragmentIndex) on the MapReduce and session paths.
+func LocalEvalReach(f *fragment.Fragment, s, t graph.NodeID, opt *Options) *ReachPartial {
+	return localEval(f, s, t, opt)
 }
 
 // WireSize reports the reply size of the partial answer for a fragment
@@ -147,6 +151,9 @@ func DisReach(cl *cluster.Cluster, fr *fragment.Fragmentation, s, t graph.NodeID
 // fragment's boundary structure instead of |Fi.I|·|Fi| in the worst case
 // (the paper's O(|Vf||Fm|) bound still applies).
 func localEval(f *fragment.Fragment, s, t graph.NodeID, opt *Options) *ReachPartial {
+	if opt == nil {
+		opt = &Options{}
+	}
 	iset := isetOf(f, s)
 	rv := &ReachPartial{eqs: make([]reachEq, 0, len(iset))}
 	if len(iset) == 0 {
@@ -187,15 +194,29 @@ func localEval(f *fragment.Fragment, s, t graph.NodeID, opt *Options) *ReachPart
 	// reply size near the size of the fragment's condensed boundary
 	// structure on dense fragmentations.
 	comp := f.LocalSCC()
-	repOf := make(map[int32]int32, len(iset)) // SCC -> representative in-node
-	// Default strategy: one frontier-cut BFS per representative over the
-	// fragment-local adjacency. A stamped seen buffer avoids reallocation
-	// across in-nodes.
-	seen := make([]int32, f.NumTotal())
-	for i := range seen {
-		seen[i] = -1
+	// repOf maps SCC -> representative in-node, +1-encoded so the zeroed
+	// slice means "none yet" (a map here dominates the indexed hot path).
+	repOf := make([]int32, f.NumTotal())
+	// Fragment reachability index: when one is installed (and not opted
+	// out of), a representative's whole equation comes from two lookups —
+	// the precomputed frontier-cut variable list and the interval-label
+	// "reaches t locally" bit — instead of a BFS. Stale/undecided/over-
+	// budget entries answer !ok and drop to the BFS below, so an index
+	// mid-rebuild only costs speed, never correctness.
+	var idx *reachindex.Index
+	var tLocal int32
+	var hasT bool
+	if !opt.NoFragmentIndex && opt.LocalIndex == nil {
+		if idx = f.ReachIndex(); idx != nil {
+			tLocal, hasT = f.Local(t)
+		}
 	}
-	queue := make([]int32, 0, f.NumTotal())
+	// Fallback strategy: one frontier-cut BFS per representative over the
+	// fragment-local adjacency. A stamped seen buffer avoids reallocation
+	// across in-nodes; it is allocated lazily since a fully indexed
+	// evaluation never needs it.
+	var seen []int32
+	var queue []int32
 	for stamp, v := range iset {
 		if f.Global(v) == t {
 			// Xt is trivially true (t reaches itself). This must precede
@@ -204,12 +225,44 @@ func localEval(f *fragment.Fragment, s, t graph.NodeID, opt *Options) *ReachPart
 			rv.eqs = append(rv.eqs, reachEq{node: t, constTrue: true})
 			continue
 		}
-		if rep, ok := repOf[comp[v]]; ok {
-			rv.eqs = append(rv.eqs, reachEq{node: f.Global(v), vars: []graph.NodeID{f.Global(rep)}})
+		if rep := repOf[comp[v]]; rep != 0 {
+			rv.eqs = append(rv.eqs, reachEq{node: f.Global(v), vars: []graph.NodeID{f.Global(rep - 1)}})
 			continue
 		}
-		repOf[comp[v]] = v
+		repOf[comp[v]] = v + 1
+		if idx != nil {
+			if gvars, reachesT, ok := idx.EquationGlobal(v, tLocal, hasT); ok {
+				eq := reachEq{node: f.Global(v), constTrue: reachesT}
+				if hasT {
+					// t appearing as a variable must contribute `true`
+					// instead (lines 4-5 of localEval). The list holds each
+					// boundary node at most once, so splice it out.
+					for i, gv := range gvars {
+						if gv == t {
+							eq.constTrue = true
+							spliced := make([]graph.NodeID, 0, len(gvars)-1)
+							spliced = append(spliced, gvars[:i]...)
+							spliced = append(spliced, gvars[i+1:]...)
+							gvars = spliced
+							break
+						}
+					}
+				}
+				// Shared read-only slice: bes.Add and the wire codec only
+				// read equation bodies, so no per-query copy is needed.
+				eq.vars = gvars
+				rv.eqs = append(rv.eqs, eq)
+				continue
+			}
+		}
 		eq := reachEq{node: f.Global(v)}
+		if seen == nil {
+			seen = make([]int32, f.NumTotal())
+			for i := range seen {
+				seen[i] = -1
+			}
+			queue = make([]int32, 0, f.NumTotal())
+		}
 		queue = append(queue[:0], v)
 		seen[v] = int32(stamp)
 		for len(queue) > 0 {

@@ -31,6 +31,12 @@ type Options struct {
 	// centralized index (reachability matrix, 2-hop, ...) can slot in here.
 	// Use IndexCache to memoize construction across queries.
 	LocalIndex func(f *fragment.Fragment) reach.Index
+
+	// NoFragmentIndex disables consulting the fragment's own reachability
+	// index (fragment.ReachIndex) during local evaluation, forcing the
+	// direct frontier-cut BFS. Cross-checks use it to compare the indexed
+	// and direct paths on the same deployment.
+	NoFragmentIndex bool
 }
 
 // IndexCache returns a LocalIndex function that builds one index of the

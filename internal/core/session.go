@@ -63,7 +63,7 @@ func (se *Session) Reach(s, t graph.NodeID) Result {
 		run.NetPhase(querySize)
 		partial := make([]*ReachPartial, len(frags))
 		run.Parallel(func(site int) {
-			partial[site] = LocalEvalReach(frags[site], graph.None, t)
+			partial[site] = LocalEvalReach(frags[site], graph.None, t, nil)
 		})
 		maxReply := 0
 		for i, rv := range partial {
@@ -87,7 +87,7 @@ func (se *Session) Reach(s, t graph.NodeID) Result {
 		}
 		run.Post(i, querySize)
 		run.NetPhase(querySize)
-		tc.partial[i] = LocalEvalReach(frags[i], graph.None, t)
+		tc.partial[i] = LocalEvalReach(frags[i], graph.None, t, nil)
 		b := tc.partial[i].wireSize(frags[i].NumVirtual() + len(frags[i].InNodes()))
 		run.Reply(i, b)
 		run.NetPhase(b)
@@ -107,7 +107,7 @@ func (se *Session) Reach(s, t graph.NodeID) Result {
 		run.Post(owner, querySize)
 		run.NetPhase(querySize)
 		run.Sequential(func() {
-			srcEq = LocalEvalReach(f, s, t) // computes in-nodes too; ships only s's equation
+			srcEq = LocalEvalReach(f, s, t, nil) // computes in-nodes too; ships only s's equation
 		})
 		b := 5 + 4*len(srcEq.eqs[len(srcEq.eqs)-1].vars)
 		run.Reply(owner, b)

@@ -13,7 +13,7 @@ func TestReachPartialRoundTrip(t *testing.T) {
 	for trial := 0; trial < 100; trial++ {
 		_, fr, s, tt := randomCase(rng, nil)
 		for _, f := range fr.Fragments() {
-			rv := LocalEvalReach(f, s, tt)
+			rv := LocalEvalReach(f, s, tt, nil)
 			data, err := rv.MarshalBinary()
 			if err != nil {
 				t.Fatal(err)

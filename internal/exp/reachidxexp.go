@@ -1,0 +1,98 @@
+package exp
+
+import (
+	"fmt"
+	"time"
+
+	"distreach/internal/core"
+	"distreach/internal/fragment"
+	"distreach/internal/gen"
+	"distreach/internal/graph"
+	"distreach/internal/reachindex"
+)
+
+func init() {
+	register("N8", reachIndexSweep)
+}
+
+// reachIndexSweep charts what the per-fragment reachability index buys as
+// a function of its byte budget, on the checked-in SNAP sample: per-query
+// site CPU (every fragment's local evaluation plus the coordinator solve,
+// in-process so no wire noise), the q/s one evaluator core sustains, the
+// index hit rate, and the label bytes actually spent. Budget 0 is the
+// direct frontier-cut BFS baseline. A starved budget must degrade toward
+// the baseline — never below it by more than the lookup overhead, and
+// never wrong (the cross-check tests pin correctness; this experiment
+// pins the performance shape).
+func reachIndexSweep(cfg Config) (Table, error) {
+	t := Table{
+		ID:     "N8",
+		Title:  "Reach index N8: site CPU and q/s vs label budget (SNAP sample)",
+		Header: []string{"budget", "site us/q", "site speedup", "e2e us/q", "e2e q/s (1 core)", "hit rate", "label bytes", "fragments"},
+		Notes: "Edgecut partitioning, k=4. 'site us/q' is the summed per-fragment local evaluation time — the CPU the " +
+			"sites burn per query, which is what the index attacks; 'e2e' adds the coordinator's equation solve " +
+			"(identical on both paths). Budget 0 forces direct evaluation. A starved budget keeps the labels but " +
+			"has no room for frontier lists, so it degrades gracefully toward the baseline instead of below it.",
+	}
+	g, err := graph.SampleSNAP([]string{"A", "B", "C"})
+	if err != nil {
+		return t, err
+	}
+	const k = 4
+	rounds := cfg.queries(200)
+	budgets := []int64{0, 4 << 10, 64 << 10, reachindex.DefaultBudget}
+	var baseSiteUS float64
+	for _, budget := range budgets {
+		fr, err := fragment.Partition(g, fragment.EdgeCutPartitioner{Seed: 1}, k)
+		if err != nil {
+			return t, err
+		}
+		if budget > 0 {
+			fr.EnableReachIndex(budget)
+			fr.WaitReachIndexes()
+		}
+		cfg.logf("N8: budget %d, %d queries", budget, rounds)
+		rng := gen.NewRNG(23)
+		n := g.NumNodes()
+		var opt *core.Options
+		if budget == 0 {
+			opt = &core.Options{NoFragmentIndex: true}
+		}
+		var siteTime, total time.Duration
+		t0 := time.Now()
+		for i := 0; i < rounds; i++ {
+			s, tt := graph.NodeID(rng.Intn(n)), graph.NodeID(rng.Intn(n))
+			l0 := time.Now()
+			partials := make([]*core.ReachPartial, 0, fr.Card())
+			for _, f := range fr.Fragments() {
+				partials = append(partials, core.LocalEvalReach(f, s, tt, opt))
+			}
+			siteTime += time.Since(l0)
+			core.SolveReach(partials, s)
+		}
+		total = time.Since(t0)
+		siteUS := float64(siteTime.Microseconds()) / float64(rounds)
+		e2eUS := float64(total.Microseconds()) / float64(rounds)
+		if budget == 0 {
+			baseSiteUS = siteUS
+		}
+		st := fr.ReachIndexStats()
+		label := fmt.Sprint(budget)
+		if budget == 0 {
+			label = "0 (direct)"
+		} else if budget == reachindex.DefaultBudget {
+			label = fmt.Sprintf("%d (default)", budget)
+		}
+		t.Rows = append(t.Rows, []string{
+			label,
+			fmt.Sprintf("%.0f", siteUS),
+			fmt.Sprintf("%.1fx", baseSiteUS/siteUS),
+			fmt.Sprintf("%.0f", e2eUS),
+			fmt.Sprintf("%.0f", 1e6/e2eUS),
+			fmt.Sprintf("%.2f", st.HitRate()),
+			fmt.Sprint(st.LabelBytes),
+			fmt.Sprint(st.Fragments),
+		})
+	}
+	return t, nil
+}

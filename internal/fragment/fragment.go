@@ -17,9 +17,11 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"distreach/internal/csr"
 	"distreach/internal/graph"
+	"distreach/internal/reachindex"
 )
 
 // Fragmentation is a partition of a graph into fragments plus the derived
@@ -47,6 +49,15 @@ type Fragmentation struct {
 	// part chooses the placement of live-inserted nodes and is reused by
 	// rebalances; nil falls back to least-loaded placement.
 	part Partitioner
+
+	// Reachability-index lifecycle (reachidx.go): the per-fragment label
+	// budget (<= 0: disabled), completed rebuild count, and the WaitGroup
+	// WaitReachIndexes blocks on. Overlay auto-compaction threshold for
+	// update batches (update.go); 0 means DefaultOverlayLimit.
+	idxBudget   atomic.Int64
+	idxRebuilds atomic.Int64
+	idxWG       sync.WaitGroup
+	overlayLim  int
 }
 
 // SetPartitioner attaches the strategy that placed this fragmentation, so
@@ -107,6 +118,16 @@ type Fragment struct {
 	viewMu    sync.Mutex
 	viewGraph *graph.Graph
 	viewSCC   []int32
+
+	// Reachability index (reachidx.go): installed by an async builder via
+	// atomic swap, consulted lock-free by localEval, incrementally
+	// invalidated under the write lock, retired whenever local slots
+	// renumber. idxHits/idxFallbacks accumulate counters of retired
+	// indexes so stats stay cumulative across swaps.
+	idx          atomic.Pointer[reachindex.Index]
+	idxBuilding  atomic.Bool
+	idxHits      atomic.Int64
+	idxFallbacks atomic.Int64
 }
 
 // NumLocal reports |Vi|, the number of real nodes stored in the fragment.
@@ -208,6 +229,9 @@ func (f *Fragment) compact() {
 	if f.OverlayEntries() == 0 {
 		return
 	}
+	// Renumbering invalidates every slot reference the reachability index
+	// holds; retire it (the owner reschedules a rebuild).
+	f.retireReachIndex()
 	nTotal := f.ids.len()
 	order := make([]graph.NodeID, nTotal)
 	for l := 0; l < nTotal; l++ {
@@ -310,10 +334,17 @@ func (fr *Fragmentation) StorageBytes() int64 {
 // they are keyed by global IDs, which compaction never changes.
 func (fr *Fragmentation) Compact() {
 	fr.mu.Lock()
-	defer fr.mu.Unlock()
 	fr.g.Compact()
 	for _, f := range fr.frags {
 		f.compact()
+	}
+	fr.mu.Unlock()
+	// compact() retires the fragments' reachability indexes (slots were
+	// renumbered); rebuild them off the critical path.
+	if fr.idxBudget.Load() > 0 {
+		for _, f := range fr.frags {
+			fr.rebuildReachIndexAsync(f)
+		}
 	}
 }
 

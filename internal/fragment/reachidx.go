@@ -1,0 +1,170 @@
+package fragment
+
+import (
+	"distreach/internal/reachindex"
+)
+
+// Per-fragment reachability index lifecycle. The index itself lives in
+// internal/reachindex; this file owns when it is built, invalidated and
+// swapped:
+//
+//   - EnableReachIndex sets the byte budget and kicks an asynchronous
+//     build per fragment. Budget <= 0 disables indexing (and drops any
+//     live indexes).
+//   - Mutations (update.go) invalidate incrementally under the write
+//     lock: an edge change marks the ancestor cone of its source slot
+//     stale, and any operation that renumbers local slots (node ops,
+//     virtual-node reclamation, compaction) retires the whole index.
+//     Queries against stale or retired labels fall back to direct
+//     evaluation — never a wrong answer, only a slower one.
+//   - Apply/Rebalance/Install schedule asynchronous rebuilds for the
+//     affected fragments. A rebuild holds the fragmentation's read lock
+//     (excluding updates, not queries) while it computes the new index
+//     from AsGraph/LocalSCC, then installs it with an atomic pointer
+//     swap — the same serve-while-rebuilding discipline as the 'R'
+//     rebalance frames. Single-flight per fragment: concurrent triggers
+//     coalesce, and a mutation that lands between the install and the
+//     builder's exit reschedules instead of leaving stale labels behind.
+
+// EnableReachIndex sets the per-fragment label budget in bytes and
+// asynchronously (re)builds every fragment's index. A budget <= 0 turns
+// indexing off and retires the live indexes. Callers that need the
+// indexes ready (tests, benchmarks) follow with WaitReachIndexes.
+func (fr *Fragmentation) EnableReachIndex(budget int64) {
+	fr.idxBudget.Store(budget)
+	if budget <= 0 {
+		for _, f := range fr.frags {
+			f.retireReachIndex()
+		}
+		return
+	}
+	for _, f := range fr.frags {
+		fr.rebuildReachIndexAsync(f)
+	}
+}
+
+// ReachIndexBudget reports the configured budget (<= 0: disabled).
+func (fr *Fragmentation) ReachIndexBudget() int64 { return fr.idxBudget.Load() }
+
+// WaitReachIndexes blocks until every scheduled index rebuild has
+// finished. Must not be called while holding the fragmentation's write
+// lock (builders need the read lock).
+func (fr *Fragmentation) WaitReachIndexes() { fr.idxWG.Wait() }
+
+// ReachIndex returns the fragment's current index, or nil while none is
+// installed (disabled, retired by a slot-renumbering mutation, or still
+// building). The returned index may be concurrently marked stale; its
+// Equation method degrades to !ok rather than misanswering.
+func (f *Fragment) ReachIndex() *reachindex.Index { return f.idx.Load() }
+
+// rebuildReachIndexAsync schedules one asynchronous index rebuild for f,
+// coalescing with an already-running one.
+func (fr *Fragmentation) rebuildReachIndexAsync(f *Fragment) {
+	budget := fr.idxBudget.Load()
+	if budget <= 0 {
+		return
+	}
+	if !f.idxBuilding.CompareAndSwap(false, true) {
+		return // a builder is already in flight; it rechecks on exit
+	}
+	fr.idxWG.Add(1)
+	go func() {
+		defer fr.idxWG.Done()
+		fr.mu.RLock()
+		f.buildReachIndexLocked(budget)
+		fr.mu.RUnlock()
+		fr.idxRebuilds.Add(1)
+		f.idxBuilding.Store(false)
+		// A mutation that landed after the install above but before the
+		// Store(false) marked the fresh index stale and lost its own
+		// reschedule to the CAS — catch it here so staleness never
+		// outlives the last builder.
+		if idx := f.idx.Load(); idx != nil && idx.AnyStale() {
+			fr.rebuildReachIndexAsync(f)
+		}
+	}()
+}
+
+// buildReachIndexLocked computes and installs f's index from the cached
+// local views. Caller holds at least the fragmentation's read lock.
+func (f *Fragment) buildReachIndexLocked(budget int64) {
+	g := f.AsGraph()
+	comp := f.LocalSCC()
+	nc := 0
+	for _, c := range comp {
+		if int(c)+1 > nc {
+			nc = int(c) + 1
+		}
+	}
+	idx := reachindex.Build(reachindex.Spec{
+		Graph:    g,
+		Comp:     comp,
+		NC:       nc,
+		Boundary: f.IsBoundary,
+		Sources:  f.inNodes,
+		Budget:   budget,
+	})
+	idx.PrecomputeGlobals(f.Global)
+	if old := f.idx.Swap(idx); old != nil {
+		idx.AddHits(old.Hits(), old.Fallbacks())
+	}
+}
+
+// idxMarkDirty incrementally invalidates the labels affected by a
+// mutation at slot l (the ancestor cone of l's SCC). Called under the
+// fragmentation's write lock.
+func (f *Fragment) idxMarkDirty(l int32) {
+	if idx := f.idx.Load(); idx != nil {
+		idx.MarkDirty(l)
+	}
+}
+
+// retireReachIndex drops the fragment's index entirely — required by any
+// mutation that renumbers local slots (the index speaks in slots). The
+// retired counters move to the fragment so cumulative stats survive.
+func (f *Fragment) retireReachIndex() {
+	if old := f.idx.Swap(nil); old != nil {
+		f.idxHits.Add(old.Hits())
+		f.idxFallbacks.Add(old.Fallbacks())
+	}
+}
+
+// ReachIndexStats aggregates the index state across fragments for /stats
+// and bench -json.
+type ReachIndexStats struct {
+	Enabled     bool
+	BudgetBytes int64
+	LabelBytes  int64 // bytes held by the live indexes
+	Fragments   int   // fragments with a live index installed
+	Hits        int64 // Equation calls answered from an index (cumulative)
+	Fallbacks   int64 // Equation calls that fell back to direct evaluation
+	Rebuilds    int64 // asynchronous builds completed
+}
+
+// HitRate reports hits/(hits+fallbacks), 0 when no indexed query ran.
+func (s ReachIndexStats) HitRate() float64 {
+	if s.Hits+s.Fallbacks == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(s.Hits+s.Fallbacks)
+}
+
+// ReachIndexStats reports the current aggregate index statistics.
+func (fr *Fragmentation) ReachIndexStats() ReachIndexStats {
+	st := ReachIndexStats{
+		BudgetBytes: fr.idxBudget.Load(),
+		Rebuilds:    fr.idxRebuilds.Load(),
+	}
+	st.Enabled = st.BudgetBytes > 0
+	for _, f := range fr.frags {
+		st.Hits += f.idxHits.Load()
+		st.Fallbacks += f.idxFallbacks.Load()
+		if idx := f.idx.Load(); idx != nil {
+			st.Fragments++
+			st.LabelBytes += idx.LabelBytes()
+			st.Hits += idx.Hits()
+			st.Fallbacks += idx.Fallbacks()
+		}
+	}
+	return st
+}

@@ -158,13 +158,21 @@ func (r *Replica) ApplyLSN(lsn, nonce uint64, ops []Op) (res ApplyResult, advanc
 // regress a replica that already caught up past it.
 func (r *Replica) Install(fr *Fragmentation, epoch, lsn uint64) (installed bool) {
 	r.mu.Lock()
-	defer r.mu.Unlock()
 	if lsn < r.lsn || (lsn == r.lsn && epoch <= r.epoch) {
+		r.mu.Unlock()
 		return false
 	}
+	old := r.fr
 	r.fr, r.epoch, r.lsn = fr, epoch, lsn
 	r.seqRes = make(map[uint64]appliedBatch, seqWindow)
 	r.seqLog = nil
+	r.mu.Unlock()
+	// Snapshots carry no reachability indexes; inherit the budget from
+	// the replaced state and rebuild asynchronously. Queries hitting the
+	// fresh fragmentation fall back to direct evaluation meanwhile.
+	if b := old.ReachIndexBudget(); b > 0 && fr.ReachIndexBudget() <= 0 {
+		fr.EnableReachIndex(b)
+	}
 	return true
 }
 
@@ -205,5 +213,12 @@ func (r *Replica) Rebalance(epoch uint64, p Partitioner) (bool, error) {
 	r.mu.Lock()
 	r.fr, r.epoch = next, epoch
 	r.mu.Unlock()
+	// The rebuilt fragmentation inherits the index configuration; its
+	// indexes build asynchronously while queries drain with direct
+	// evaluation — the same swap-then-catch-up discipline as the epoch
+	// switch itself.
+	if b := cur.ReachIndexBudget(); b > 0 {
+		next.EnableReachIndex(b)
+	}
 	return true, nil
 }

@@ -82,6 +82,48 @@ type ApplyResult struct {
 // node inserted earlier in the same batch (its ID is not known to the
 // caller anyway — it is reported in NewIDs).
 func (fr *Fragmentation) Apply(ops []Op) (ApplyResult, error) {
+	res, err := fr.applyLocked(ops)
+	// Kick asynchronous reachability-index rebuilds for the dirtied
+	// fragments, outside the write lock (builders take the read lock).
+	// fr.frags is never reassigned after Build, so indexing it unlocked
+	// is safe.
+	if err == nil && res.Changed && fr.idxBudget.Load() > 0 {
+		for _, fi := range res.Dirty {
+			fr.rebuildReachIndexAsync(fr.frags[fi])
+		}
+	}
+	return res, err
+}
+
+// DefaultOverlayLimit is the per-fragment overlay-entry threshold past
+// which an update batch folds the overlays back into the flat CSR base
+// before releasing the write lock. Without it, a long-lived site under
+// churn grows its overlays unboundedly between epoch swaps (compaction
+// otherwise only runs at rebalance/checkpoint/snapshot points).
+const DefaultOverlayLimit = 4096
+
+// SetOverlayLimit overrides the overlay auto-compaction threshold: n > 0
+// sets the entry limit, n == 0 restores DefaultOverlayLimit, n < 0
+// disables auto-compaction entirely.
+func (fr *Fragmentation) SetOverlayLimit(n int) {
+	fr.mu.Lock()
+	fr.overlayLim = n
+	fr.mu.Unlock()
+}
+
+// overlayLimitLocked resolves the effective threshold (<= 0: disabled).
+func (fr *Fragmentation) overlayLimitLocked() int {
+	switch {
+	case fr.overlayLim > 0:
+		return fr.overlayLim
+	case fr.overlayLim < 0:
+		return 0
+	default:
+		return DefaultOverlayLimit
+	}
+}
+
+func (fr *Fragmentation) applyLocked(ops []Op) (ApplyResult, error) {
 	fr.mu.Lock()
 	defer fr.mu.Unlock()
 	if err := fr.validateOpsLocked(ops); err != nil {
@@ -121,6 +163,20 @@ func (fr *Fragmentation) Apply(ops []Op) (ApplyResult, error) {
 		res.Dirty = append(res.Dirty, f)
 	}
 	sort.Ints(res.Dirty)
+	// Bounded overlays: fold a dirtied fragment's overlay back into its
+	// flat base when it crosses the threshold, and likewise the global
+	// graph's, while we still hold the write lock (the exclusivity
+	// compaction needs anyway).
+	if limit := fr.overlayLimitLocked(); limit > 0 {
+		for _, fi := range res.Dirty {
+			if f := fr.frags[fi]; f.OverlayEntries() > limit {
+				f.compact()
+			}
+		}
+		if fr.g.OverlayRows() > limit {
+			fr.g.Compact()
+		}
+	}
 	return res, nil
 }
 
@@ -213,13 +269,21 @@ func (fr *Fragmentation) insertEdgeLocked(u, v graph.NodeID) (dirty []int, chang
 		lv, _ := fa.ids.local(v)
 		fa.addLocalEdge(lu, lv)
 		fa.invalidateViews()
+		fa.idxMarkDirty(lu)
 		return []int{a}, true
 	}
 	// Cross edge: the source fragment gains the edge (ending at a virtual
 	// node), the target fragment gains an in-node if v was not one yet.
+	// Only u's ancestor cone gains reachability, so only it goes stale;
+	// ensureVirtual may append a slot past the index's build range, which
+	// Equation treats as unreachable until the cone rebuild lands — exact,
+	// since the new slot is only reachable through the dirtied cone. The
+	// target side gaining an in-node needs no invalidation: a frontier
+	// that bypasses a new cut point is still a sound and complete cut.
 	lv := fa.ensureVirtual(v, fr.g.Label(v))
 	fa.addLocalEdge(lu, lv)
 	fa.invalidateViews()
+	fa.idxMarkDirty(lu)
 	fr.crossEdges++
 	dirty = []int{a}
 	fb := fr.frags[b]
@@ -242,6 +306,7 @@ func (fr *Fragmentation) deleteEdgeLocked(u, v graph.NodeID) (dirty []int, chang
 	lu, _ := fa.ids.local(u)
 	lv, _ := fa.ids.local(v)
 	fa.removeLocalEdge(lu, lv)
+	fa.idxMarkDirty(lu)
 	if a == b {
 		fa.invalidateViews()
 		return []int{a}, true
@@ -264,6 +329,12 @@ func (fr *Fragmentation) deleteEdgeLocked(u, v graph.NodeID) (dirty []int, chang
 		fb := fr.frags[b]
 		if lb, _ := fb.ids.local(v); fb.isIn[lb] {
 			fb.removeInNode(lb)
+			// v losing its in-node status removes its Boolean equation
+			// from fb's rvset, so any precomputed frontier in fb that
+			// lists v as a variable would go incomplete (the solver
+			// defaults unknowns to false). Those frontiers belong to
+			// exactly v's ancestor cone — invalidate it.
+			fb.idxMarkDirty(lb)
 			fr.vf--
 			dirty = append(dirty, b)
 		}
@@ -341,6 +412,9 @@ func copyRow(r []int32) []int32 {
 // occupy local indices [0, nLocal), so when virtual nodes exist the first
 // one is relocated to a fresh tail slot to vacate index nLocal.
 func (f *Fragment) addRealNode(v graph.NodeID, label string) {
+	// Slot assignments shift (the relocated virtual, the new real slot at
+	// the old virtual boundary): slot-addressed index state is void.
+	f.retireReachIndex()
 	slot := int32(f.nLocal)
 	if f.NumVirtual() > 0 {
 		moved := f.ids.global(slot)
@@ -369,6 +443,7 @@ func (f *Fragment) addRealNode(v graph.NodeID, label string) {
 // the vacated slot, and the tail virtual node swaps into the freed
 // boundary slot so the real/virtual split stays contiguous.
 func (f *Fragment) removeRealNode(v graph.NodeID) {
+	f.retireReachIndex() // swap-removal renumbers slots
 	lv, _ := f.ids.local(v)
 	last := int32(f.nLocal - 1)
 	if lv != last {
@@ -452,6 +527,7 @@ func (f *Fragment) dropVirtualIfOrphan(lv int32) {
 	if f.adj.Contains(lv) {
 		return // still referenced
 	}
+	f.retireReachIndex() // the tail-swap below renumbers slots
 	gone := f.ids.global(lv)
 	last := int32(f.ids.len() - 1)
 	if lv != last {

@@ -249,6 +249,19 @@ func (g *Graph) Compact() {
 	g.revMu.Unlock()
 }
 
+// OverlayRows reports the graph's compaction debt: adjacency rows (forward
+// and reverse) currently living outside the flat CSR bases. The
+// fragmentation's overlay-threshold auto-compaction consults it.
+func (g *Graph) OverlayRows() int {
+	rows := g.adj.OverlayRows()
+	g.revMu.Lock()
+	if g.rev != nil {
+		rows += g.rev.OverlayRows()
+	}
+	g.revMu.Unlock()
+	return rows
+}
+
 // StorageBytes estimates the resident bytes of the graph's storage:
 // adjacency bases and overlays, labels (headers plus content), and the
 // tombstone bookkeeping.

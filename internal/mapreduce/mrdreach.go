@@ -31,7 +31,7 @@ func MRdReach(g *graph.Graph, s, t graph.NodeID, mappers int) (bool, Stats, erro
 	}
 	job := Job[int, *fragment.Fragment, int, *core.ReachPartial, bool]{
 		Map: func(_ int, f *fragment.Fragment, emit func(int, *core.ReachPartial)) {
-			emit(1, core.LocalEvalReach(f, s, t))
+			emit(1, core.LocalEvalReach(f, s, t, nil))
 		},
 		Reduce: func(_ int, rvsets []*core.ReachPartial) bool {
 			return core.SolveReach(rvsets, s)

@@ -296,7 +296,7 @@ func (s *Site) handle(kind byte, payload []byte) (uint64, uint64, []byte, error)
 		}
 		src := graph.NodeID(binary.LittleEndian.Uint32(payload))
 		dst := graph.NodeID(binary.LittleEndian.Uint32(payload[4:]))
-		rv := core.LocalEvalReach(f, src, dst)
+		rv := core.LocalEvalReach(f, src, dst, nil)
 		b, err := rv.MarshalBinary()
 		return epoch, lsn, b, err
 	case kindDist:
@@ -435,7 +435,7 @@ func (s *Site) handleBatch(frag *fragment.Fragment, payload []byte) ([]byte, err
 		case ClassReach:
 			ref, ok := sectionOf[q.T]
 			if !ok {
-				base := core.LocalEvalReach(frag, graph.None, q.T)
+				base := core.LocalEvalReach(frag, graph.None, q.T, nil)
 				sb, err := base.MarshalBinary()
 				if err != nil {
 					return nil, err
