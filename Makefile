@@ -40,8 +40,8 @@ bench-smoke:
 # The pinned bench-trajectory run: open loop on the checked-in SNAP sample
 # at a fixed offered rate, seed and duration, with the reachability index
 # enabled, emitting a schema-versioned report. This exact configuration
-# produced the committed BENCH_PR7.json baseline; refresh it with
-# `make bench-json BENCH_JSON_OUT=BENCH_PR7.json`.
+# produced the committed BENCH_PR8.json baseline; refresh it with
+# `make bench-json BENCH_JSON_OUT=BENCH_PR8.json`.
 BENCH_TRAJECTORY_FLAGS ?= -load -rate 200 -arrival poisson -duration 5s -clients 4 \
 	-churn 10 -seed 6 -snap internal/graph/testdata/p2p-sample.txt -index
 BENCH_JSON_OUT ?= BENCH.json
@@ -54,7 +54,7 @@ bench-json:
 # cmd/benchcheck for the override when a regression is intentional).
 bench-trajectory:
 	$(MAKE) bench-json BENCH_JSON_OUT=BENCH_PR.json
-	$(GO) run ./cmd/benchcheck -baseline BENCH_PR7.json -current BENCH_PR.json
+	$(GO) run ./cmd/benchcheck -baseline BENCH_PR8.json -current BENCH_PR.json
 
 # Short fuzzing pass over the wire, durability and dataset codecs (one
 # target per invocation: the Go fuzzer requires exactly one -fuzz match).
@@ -87,6 +87,9 @@ cross-checks:
 	$(GO) test -race -run 'TestBatchWireCrossCheck|TestBatchLifecycleNoLeak' -count 1 ./internal/netsite
 	$(GO) test -race -run 'TestUpdateWireCrossCheck|TestUpdateConcurrentWithQueries' -count 1 ./internal/netsite
 	$(GO) test -race -run 'TestIndexChurnCrossCheck|TestFragmentIndexMatchesDirect' -count 1 ./internal/netsite ./internal/core
+	$(GO) test -cpu 1,2,4 -count 1 ./internal/reachindex
+	$(GO) test -race -run 'TestIndexAnswersUnderChurnAndRebalance' -count 1 ./internal/fragment
+	$(GO) test -race -run 'TestGroupCommitCoalesces|TestSnapshotIndex|TestSnapshotRecoverWarm' -count 1 ./internal/oplog
 	$(GO) test -race -run 'TestNodeOpsWireCrossCheck|TestNodeMutationCrossCheck|TestRebalanceEpochRace|TestRebalanceRestoresBalance' -count 1 ./internal/netsite ./internal/fragment
 
 # Static analysis beyond go vet. Downloads the tool on first run.

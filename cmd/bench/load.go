@@ -9,6 +9,7 @@ import (
 	"net/http"
 	neturl "net/url"
 	"os"
+	"runtime"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -51,6 +52,7 @@ type loadConfig struct {
 	snap      string  // non-empty: load the in-process graph from this SNAP file
 	index     bool    // enable the per-fragment reachability index (in-process mode)
 	indexBgt  int64   // with index: per-fragment label budget in bytes
+	indexPol  string  // with index: budget policy, postorder | hits
 	nodes     int
 	edges     int
 	k         int
@@ -213,10 +215,12 @@ func runLoad(cfg loadConfig) error {
 	var idxr *indexReport
 	if idxRep != nil {
 		idxr = idxRep()
-		fmt.Printf("reachindex  hit rate %.2f (%d hits, %d fallbacks), %d label bytes, %d rebuilds\n",
-			idxr.HitRate, idxr.Hits, idxr.Fallbacks, idxr.LabelBytes, idxr.Rebuilds)
+		fmt.Printf("reachindex  hit rate %.2f (%d hits, %d fallbacks), %d label bytes, %d rebuilds (%s policy, last %dus)\n",
+			idxr.HitRate, idxr.Hits, idxr.Fallbacks, idxr.LabelBytes, idxr.Rebuilds, idxr.Policy, idxr.LastRebuildUS)
 		fmt.Printf("local eval  direct %.0fus -> indexed %.0fus per query (%.1fx)\n",
 			idxr.DirectUSPerQuery, idxr.IndexedUSPerQuery, idxr.LocalEvalSpeedup)
+		fmt.Printf("index build serial %.0fus -> parallel %.0fus (%.1fx across %d cores)\n",
+			idxr.BuildSerialUS, idxr.BuildParallelUS, idxr.BuildSpeedup, runtime.GOMAXPROCS(0))
 	}
 
 	if cfg.jsonPath != "" {
@@ -387,6 +391,11 @@ func wireIssuer(cfg *loadConfig, maxLag *atomic.Uint64, wireBytes *atomic.Int64)
 		if cfg.indexBgt <= 0 {
 			cfg.indexBgt = reachindex.DefaultBudget
 		}
+		pol, err := reachindex.ParsePolicy(cfg.indexPol)
+		if err != nil {
+			return nil, nil, nil, nil, nil, err
+		}
+		fr.SetReachIndexPolicy(pol)
 		fr.EnableReachIndex(cfg.indexBgt)
 	}
 	rep := fragment.NewReplica(fr)
@@ -411,18 +420,25 @@ func wireIssuer(cfg *loadConfig, maxLag *atomic.Uint64, wireBytes *atomic.Int64)
 			cur.WaitReachIndexes()
 			st := cur.ReachIndexStats()
 			r := &indexReport{
-				Enabled:     st.Enabled,
-				BudgetBytes: st.BudgetBytes,
-				LabelBytes:  st.LabelBytes,
-				Fragments:   st.Fragments,
-				Hits:        st.Hits,
-				Fallbacks:   st.Fallbacks,
-				HitRate:     st.HitRate(),
-				Rebuilds:    st.Rebuilds,
+				Enabled:        st.Enabled,
+				BudgetBytes:    st.BudgetBytes,
+				Policy:         st.Policy,
+				LabelBytes:     st.LabelBytes,
+				Fragments:      st.Fragments,
+				Hits:           st.Hits,
+				Fallbacks:      st.Fallbacks,
+				HitRate:        st.HitRate(),
+				Rebuilds:       st.Rebuilds,
+				LastRebuildUS:  st.LastBuild.Microseconds(),
+				TotalRebuildUS: st.TotalBuild.Microseconds(),
 			}
 			r.DirectUSPerQuery, r.IndexedUSPerQuery = calibrateLocalEval(cur, 200, cfg.seed)
 			if r.IndexedUSPerQuery > 0 {
 				r.LocalEvalSpeedup = r.DirectUSPerQuery / r.IndexedUSPerQuery
+			}
+			r.BuildSerialUS, r.BuildParallelUS = calibrateBuildTimes(cur, cfg.indexBgt)
+			if r.BuildParallelUS > 0 {
+				r.BuildSpeedup = r.BuildSerialUS / r.BuildParallelUS
 			}
 			return r
 		}
@@ -524,6 +540,43 @@ func calibrateLocalEval(fr *fragment.Fragmentation, rounds int, seed uint64) (di
 	directUS = run(&core.Options{NoFragmentIndex: true})
 	indexedUS = run(nil)
 	return directUS, indexedUS
+}
+
+// calibrateBuildTimes measures the full index build over every fragment
+// of the final graph, single-threaded vs all cores — the async rebuild
+// window a mutation or rebalance opens, which the parallel builder
+// exists to shrink. A throwaway warm-up pass first populates the lazily
+// cached AsGraph/LocalSCC views so both timed passes measure only the
+// build itself.
+func calibrateBuildTimes(fr *fragment.Fragmentation, budget int64) (serialUS, parallelUS float64) {
+	run := func(workers int) float64 {
+		fr.RLock()
+		defer fr.RUnlock()
+		t0 := time.Now()
+		for _, f := range fr.Fragments() {
+			comp := f.LocalSCC()
+			nc := 0
+			for _, c := range comp {
+				if int(c)+1 > nc {
+					nc = int(c) + 1
+				}
+			}
+			reachindex.Build(reachindex.Spec{
+				Graph:    f.AsGraph(),
+				Comp:     comp,
+				NC:       nc,
+				Boundary: f.IsBoundary,
+				Sources:  f.InNodes(),
+				Budget:   budget,
+				Workers:  workers,
+			})
+		}
+		return float64(time.Since(t0).Microseconds())
+	}
+	run(1) // warm the cached views
+	serialUS = run(1)
+	parallelUS = run(0)
+	return serialUS, parallelUS
 }
 
 // pickUpdate draws one mutation. Edge inserts and deletes alternate so the

@@ -66,6 +66,7 @@ func main() {
 		url       = flag.String("url", "", "load: drive a cmd/serve gateway at this base URL instead of an in-process deployment")
 		index     = flag.Bool("index", false, "load: enable the per-fragment reachability index (in-process mode)")
 		indexBgt  = flag.Int64("indexbudget", reachindex.DefaultBudget, "load: with -index, per-fragment label budget in bytes")
+		indexPol  = flag.String("indexpolicy", "postorder", "load: with -index, budget policy: postorder | hits")
 		nodes     = flag.Int("nodes", 2000, "load: graph nodes (in-process mode; node-ID range in -url mode)")
 		edges     = flag.Int("edges", 8000, "load: graph edges (in-process mode)")
 		k         = flag.Int("k", 4, "load: fragment count (in-process mode)")
@@ -89,6 +90,7 @@ func main() {
 			delay:     *sdelay,
 			index:     *index,
 			indexBgt:  *indexBgt,
+			indexPol:  *indexPol,
 			url:       *url,
 			nodes:     *nodes,
 			edges:     *edges,

@@ -118,15 +118,24 @@ type benchReport struct {
 type indexReport struct {
 	Enabled           bool    `json:"enabled"`
 	BudgetBytes       int64   `json:"budget_bytes"`
+	Policy            string  `json:"policy"`
 	LabelBytes        int64   `json:"label_bytes"`
 	Fragments         int     `json:"fragments_indexed"`
 	Hits              int64   `json:"hits"`
 	Fallbacks         int64   `json:"fallbacks"`
 	HitRate           float64 `json:"hit_rate"`
 	Rebuilds          int64   `json:"rebuilds"`
+	LastRebuildUS     int64   `json:"last_rebuild_us"`
+	TotalRebuildUS    int64   `json:"total_rebuild_us"`
 	DirectUSPerQuery  float64 `json:"direct_us_per_query"`
 	IndexedUSPerQuery float64 `json:"indexed_us_per_query"`
 	LocalEvalSpeedup  float64 `json:"local_eval_speedup"`
+	// Post-run build calibration on the final fragments: full index build
+	// wall time single-threaded vs all cores (the async rebuild window
+	// mutations and rebalances open).
+	BuildSerialUS   float64 `json:"build_serial_us"`
+	BuildParallelUS float64 `json:"build_parallel_us"`
+	BuildSpeedup    float64 `json:"build_speedup"`
 }
 
 // writeReport serializes rep to path (pretty-printed, trailing newline,

@@ -840,20 +840,25 @@ func (g *gateway) handleStats(w http.ResponseWriter, r *http.Request) {
 			"snapshot_lsn":  st.SnapshotLSN(),
 			"segments":      segs,
 			"segment_bytes": bytes,
+			"fsyncs":        st.Log().SyncCount(),
 		}
 	}
 	var reachIndex map[string]any
 	if g.opts.idxStats != nil {
 		st := g.opts.idxStats()
 		reachIndex = map[string]any{
-			"enabled":           st.Enabled,
-			"budget_bytes":      st.BudgetBytes,
-			"label_bytes":       st.LabelBytes,
-			"fragments_indexed": st.Fragments,
-			"hits":              st.Hits,
-			"fallbacks":         st.Fallbacks,
-			"hit_rate":          st.HitRate(),
-			"rebuilds":          st.Rebuilds,
+			"enabled":             st.Enabled,
+			"budget_bytes":        st.BudgetBytes,
+			"policy":              st.Policy,
+			"label_bytes":         st.LabelBytes,
+			"fragments_indexed":   st.Fragments,
+			"hits":                st.Hits,
+			"fallbacks":           st.Fallbacks,
+			"hit_rate":            st.HitRate(),
+			"rebuilds":            st.Rebuilds,
+			"last_rebuild_us":     st.LastBuild.Microseconds(),
+			"total_rebuild_us":    st.TotalBuild.Microseconds(),
+			"per_policy_counters": st.PerPolicy,
 		}
 	}
 	writeJSON(w, http.StatusOK, map[string]any{

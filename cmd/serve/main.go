@@ -71,6 +71,7 @@ func main() {
 		skew      = flag.Float64("skew", 0, "auto-rebalance when max/mean fragment size crosses this (0 = manual /rebalance only; try 2.0)")
 		rebPart   = flag.String("rebalancepartition", "edgecut", "partitioner used by /rebalance and auto-rebalance")
 		idxBudget = flag.Int64("reachindex-budget", reachindex.DefaultBudget, "self-contained mode: per-fragment reachability index label budget in bytes (0 disables the index)")
+		idxPolicy = flag.String("reachindex-policy", "postorder", "self-contained mode: index budget policy, postorder | hits (hit-guided: labels concentrate on the SCCs queries touch)")
 		wal       = flag.String("wal", "", "durability: write-ahead log directory; every update batch is sequenced and logged before broadcast, and a restarted gateway resumes the order and replays missed batches to the sites")
 		snapEvery = flag.Int("snapshot-every", 256, "with -wal: checkpoint the deployment and truncate the log every N update batches (0 = never)")
 		fsync     = flag.String("fsync", "always", "with -wal: fsync policy, always | never")
@@ -91,7 +92,7 @@ func main() {
 		}
 	case *graphPath != "":
 		var addrs []string
-		owned, addrs, rep, err = selfDeploy(*graphPath, *partition, *k, *seed, *idxBudget)
+		owned, addrs, rep, err = selfDeploy(*graphPath, *partition, *k, *seed, *idxBudget, *idxPolicy)
 		if err != nil {
 			fatal(err)
 		}
@@ -163,7 +164,7 @@ func main() {
 // site inside this process. The returned replica is the handle whose
 // current fragmentation /stats reads index counters from; live rebalances
 // carry the index budget across the epoch swap.
-func selfDeploy(graphPath, partition string, k int, seed uint64, idxBudget int64) ([]*netsite.Site, []string, *fragment.Replica, error) {
+func selfDeploy(graphPath, partition string, k int, seed uint64, idxBudget int64, idxPolicy string) ([]*netsite.Site, []string, *fragment.Replica, error) {
 	f, err := os.Open(graphPath)
 	if err != nil {
 		return nil, nil, nil, err
@@ -192,6 +193,11 @@ func selfDeploy(graphPath, partition string, k int, seed uint64, idxBudget int64
 		return nil, nil, nil, err
 	}
 	if idxBudget > 0 {
+		pol, err := reachindex.ParsePolicy(idxPolicy)
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		fr.SetReachIndexPolicy(pol)
 		fr.EnableReachIndex(idxBudget)
 	}
 	rep := fragment.NewReplica(fr)

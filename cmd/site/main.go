@@ -29,6 +29,7 @@ import (
 	"distreach/internal/graph"
 	"distreach/internal/netsite"
 	"distreach/internal/oplog"
+	"distreach/internal/reachindex"
 )
 
 func main() {
@@ -40,6 +41,8 @@ func main() {
 		wal        = flag.String("wal", "", "durability: log/snapshot directory; applied batches are logged and a restart recovers from snapshot+log")
 		snapEvery  = flag.Int("snapshot-every", 256, "with -wal: checkpoint and truncate the log every N applied batches (0 = never)")
 		fsync      = flag.String("fsync", "always", "with -wal: fsync policy, always | never")
+		idxBudget  = flag.Int64("reachindex-budget", 0, "per-fragment reachability index label budget in bytes (0 disables the index)")
+		idxPolicy  = flag.String("reachindex-policy", "postorder", "index budget policy, postorder | hits")
 	)
 	flag.Parse()
 	if *graphPath == "" || *assignPath == "" {
@@ -94,6 +97,22 @@ func main() {
 	cur, _, _ := rep.State()
 	if *fragID >= cur.Card() {
 		fatal(fmt.Errorf("fragment %d out of range [0,%d) after recovery", *fragID, cur.Card()))
+	}
+	if *idxBudget > 0 {
+		pol, err := reachindex.ParsePolicy(*idxPolicy)
+		if err != nil {
+			fatal(err)
+		}
+		// A snapshot recovered above may have adopted ready indexes into
+		// the fragmentation (oplog snapshot v2): record the flag-chosen
+		// configuration and backfill only the fragments without one, so
+		// the site serves indexed answers from its first round instead of
+		// rebuilding what the checkpoint already carried.
+		warm := cur.ReachIndexStats().Fragments
+		cur.ConfigureReachIndex(*idxBudget, pol)
+		cur.KickReachIndexRebuilds()
+		fmt.Printf("site: reachability index on (budget %d, policy %s, %d fragments warm from snapshot)\n",
+			*idxBudget, pol, warm)
 	}
 	f := cur.Fragments()[*fragID]
 	s, err := netsite.NewSiteReplica(*listen, rep, *fragID, opts)

@@ -1,0 +1,229 @@
+package exp
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"distreach/internal/core"
+	"distreach/internal/fragment"
+	"distreach/internal/gen"
+	"distreach/internal/graph"
+	"distreach/internal/oplog"
+	"distreach/internal/reachindex"
+	"distreach/internal/workload"
+)
+
+func init() {
+	register("N9", reachIndexBuildRecovery)
+}
+
+// reachIndexBuildRecovery charts the two things PR 8 buys the index:
+//
+//   - build time vs worker count, on the checked-in SNAP sample and a
+//     larger synthetic (LiveJournal analogue) — the async rebuild window
+//     that mutations, rebalances and snapshot installs open. Every
+//     parallel build is checked byte-identical to the serial one (the
+//     property that keeps replicas in agreement).
+//   - warm vs cold recovery: a site restarted from a snapshot whose v2
+//     index section carries the built indexes serves indexed answers on
+//     its first query round (hit rate > 0 before any rebuild runs, zero
+//     wrong answers); a cold restart pays the full rebuild before its
+//     index answers anything.
+func reachIndexBuildRecovery(cfg Config) (Table, error) {
+	t := Table{
+		ID:     "N9",
+		Title:  "Reach index N9: parallel build scaling and warm-vs-cold recovery",
+		Header: []string{"case", "workers", "build/recover ms", "speedup", "identical", "first-round hits", "wrong"},
+		Notes: fmt.Sprintf("Ran with GOMAXPROCS=%d — parallel speedup needs real cores. ", runtime.GOMAXPROCS(0)) +
+			"Build rows: summed per-fragment index build wall time (k=4, edgecut, default budget) at 1/2/4 workers; " +
+			"'identical' checks the parallel output byte-for-byte against the serial build. Recovery rows: a replica " +
+			"restored from a snapshot; 'warm' carries the v2 index section and answers its first query round from the " +
+			"index with no rebuild, 'cold' (no section) rebuilds first. 'first-round hits' is the index hit rate of the " +
+			"first post-recovery round before any rebuild completes; 'wrong' counts disagreements with direct evaluation.",
+	}
+	snapG, err := graph.SampleSNAP([]string{"A", "B", "C"})
+	if err != nil {
+		return t, err
+	}
+	lj := workload.ReachDatasets[0] // LiveJournal analogue
+	lj.V, lj.E = cfg.scale(lj.V), cfg.scale(lj.E)
+	graphs := []struct {
+		name string
+		g    *graph.Graph
+	}{
+		{"SNAP sample", snapG},
+		{lj.Name, lj.Generate()},
+	}
+	const k = 4
+	for _, gc := range graphs {
+		fr, err := fragment.Partition(gc.g, fragment.EdgeCutPartitioner{Seed: 1}, k)
+		if err != nil {
+			return t, err
+		}
+		serial, serialMS, err := timedBuild(fr, 1)
+		if err != nil {
+			return t, err
+		}
+		for _, workers := range []int{1, 2, 4} {
+			ms, identical := serialMS, true
+			if workers > 1 {
+				var par [][]byte
+				par, ms, err = timedBuild(fr, workers)
+				if err != nil {
+					return t, err
+				}
+				for i := range par {
+					if !bytes.Equal(par[i], serial[i]) {
+						identical = false
+					}
+				}
+			}
+			cfg.logf("N9 %s: %d workers, %.1fms", gc.name, workers, ms)
+			t.Rows = append(t.Rows, []string{
+				gc.name + " build", fmt.Sprint(workers), fmt.Sprintf("%.1f", ms),
+				fmt.Sprintf("%.1fx", serialMS/ms), fmt.Sprint(identical), "-", "-",
+			})
+		}
+	}
+
+	for _, warm := range []bool{true, false} {
+		ms, hitRate, wrong, idxFrags, err := recoverOnce(snapG, k, warm, cfg)
+		if err != nil {
+			return t, err
+		}
+		name := "recovery cold"
+		if warm {
+			name = "recovery warm"
+		}
+		cfg.logf("N9 %s: %d index frags in snapshot, %.1fms to indexed, first-round hit rate %.2f, %d wrong",
+			name, idxFrags, ms, hitRate, wrong)
+		t.Rows = append(t.Rows, []string{
+			name, "-", fmt.Sprintf("%.1f", ms), "-", "-",
+			fmt.Sprintf("%.2f", hitRate), fmt.Sprint(wrong),
+		})
+	}
+	return t, nil
+}
+
+// timedBuild builds every fragment's index at the given worker count and
+// returns the marshaled indexes plus the summed wall time in ms.
+func timedBuild(fr *fragment.Fragmentation, workers int) ([][]byte, float64, error) {
+	var out [][]byte
+	var total time.Duration
+	fr.RLock()
+	defer fr.RUnlock()
+	for _, f := range fr.Fragments() {
+		comp := f.LocalSCC()
+		nc := 0
+		for _, c := range comp {
+			if int(c)+1 > nc {
+				nc = int(c) + 1
+			}
+		}
+		t0 := time.Now()
+		idx := reachindex.Build(reachindex.Spec{
+			Graph:    f.AsGraph(),
+			Comp:     comp,
+			NC:       nc,
+			Boundary: f.IsBoundary,
+			Sources:  f.InNodes(),
+			Budget:   reachindex.DefaultBudget,
+			Workers:  workers,
+		})
+		total += time.Since(t0)
+		b, err := idx.MarshalBinary()
+		if err != nil {
+			return nil, 0, err
+		}
+		out = append(out, b)
+	}
+	return out, float64(total.Microseconds()) / 1000, nil
+}
+
+// recoverOnce snapshots an indexed deployment into a temp store, restores
+// it, and measures the restored replica's first query round. warm keeps
+// the snapshot's v2 index section; cold simulates the pre-v2 world by
+// snapshotting with indexing disabled, then enabling it after recovery
+// (the measured time then includes the full rebuild wait).
+func recoverOnce(g *graph.Graph, k int, warm bool, cfg Config) (ms float64, hitRate float64, wrong, idxFrags int, err error) {
+	fr, err := fragment.Partition(g, fragment.EdgeCutPartitioner{Seed: 1}, k)
+	if err != nil {
+		return 0, 0, 0, 0, err
+	}
+	rep := fragment.NewReplica(fr)
+	// Advance past LSN 0 (an LSN-0 snapshot is "empty store" to recovery),
+	// then compact so every fragment is overlay-free and capture-eligible.
+	if _, _, err := rep.ApplyLSN(1, 0, []fragment.Op{{Kind: fragment.OpInsertEdge, U: 0, V: 1}}); err != nil {
+		return 0, 0, 0, 0, err
+	}
+	fr.Compact()
+	if warm {
+		fr.EnableReachIndex(reachindex.DefaultBudget)
+		fr.WaitReachIndexes()
+	}
+	snap, err := oplog.TakeSnapshot(rep)
+	if err != nil {
+		return 0, 0, 0, 0, err
+	}
+	dir, err := os.MkdirTemp("", "n9-*")
+	if err != nil {
+		return 0, 0, 0, 0, err
+	}
+	defer os.RemoveAll(dir)
+	st, err := oplog.OpenStore(dir, oplog.LogOptions{Fsync: oplog.SyncNever})
+	if err != nil {
+		return 0, 0, 0, 0, err
+	}
+	defer st.Close()
+	if err := st.SaveSnapshot(snap); err != nil {
+		return 0, 0, 0, 0, err
+	}
+	idxFrags = snap.IndexFrags
+
+	t0 := time.Now()
+	rep2, err := oplog.Recover(st, fr)
+	if err != nil {
+		return 0, 0, 0, 0, err
+	}
+	fr2, _ := rep2.Current()
+	if !warm {
+		// The cold path pays the rebuild before its index answers anything.
+		fr2.EnableReachIndex(reachindex.DefaultBudget)
+		fr2.WaitReachIndexes()
+	}
+	ms = float64(time.Since(t0).Microseconds()) / 1000
+
+	// First post-recovery query round: warm must answer from the adopted
+	// indexes (hit rate > 0, nothing rebuilt yet), and must never disagree
+	// with direct evaluation.
+	rng := gen.NewRNG(31)
+	n := g.NumNodes()
+	rounds := cfg.queries(100)
+	for i := 0; i < rounds; i++ {
+		s, tt := graph.NodeID(rng.Intn(n)), graph.NodeID(rng.Intn(n))
+		indexed := solveRound(fr2, s, tt, nil)
+		direct := solveRound(fr2, s, tt, &core.Options{NoFragmentIndex: true})
+		if indexed != direct {
+			wrong++
+		}
+	}
+	stx := fr2.ReachIndexStats()
+	hitRate = stx.HitRate()
+	if warm && stx.Rebuilds > 0 {
+		return 0, 0, 0, 0, fmt.Errorf("N9: warm recovery rebuilt %d indexes before the first round", stx.Rebuilds)
+	}
+	return ms, hitRate, wrong, idxFrags, nil
+}
+
+// solveRound evaluates one reach query the distributed way: every
+// fragment's local evaluation plus the coordinator solve.
+func solveRound(fr *fragment.Fragmentation, s, t graph.NodeID, opt *core.Options) bool {
+	partials := make([]*core.ReachPartial, 0, fr.Card())
+	for _, f := range fr.Fragments() {
+		partials = append(partials, core.LocalEvalReach(f, s, t, opt))
+	}
+	return core.SolveReach(partials, s)
+}

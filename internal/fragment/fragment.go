@@ -51,13 +51,17 @@ type Fragmentation struct {
 	part Partitioner
 
 	// Reachability-index lifecycle (reachidx.go): the per-fragment label
-	// budget (<= 0: disabled), completed rebuild count, and the WaitGroup
-	// WaitReachIndexes blocks on. Overlay auto-compaction threshold for
-	// update batches (update.go); 0 means DefaultOverlayLimit.
-	idxBudget   atomic.Int64
-	idxRebuilds atomic.Int64
-	idxWG       sync.WaitGroup
-	overlayLim  int
+	// budget (<= 0: disabled), budget policy (reachindex.Policy), completed
+	// rebuild count, last/total build wall time in nanoseconds, and the
+	// WaitGroup WaitReachIndexes blocks on. Overlay auto-compaction
+	// threshold for update batches (update.go); 0 means DefaultOverlayLimit.
+	idxBudget     atomic.Int64
+	idxPolicy     atomic.Int32
+	idxRebuilds   atomic.Int64
+	idxLastBuild  atomic.Int64
+	idxTotalBuild atomic.Int64
+	idxWG         sync.WaitGroup
+	overlayLim    int
 }
 
 // SetPartitioner attaches the strategy that placed this fragmentation, so
@@ -123,11 +127,15 @@ type Fragment struct {
 	// atomic swap, consulted lock-free by localEval, incrementally
 	// invalidated under the write lock, retired whenever local slots
 	// renumber. idxHits/idxFallbacks accumulate counters of retired
-	// indexes so stats stay cumulative across swaps.
+	// indexes per budget policy so stats stay cumulative across swaps;
+	// idxHot is the decayed per-source hotness (keyed by global ID, so it
+	// survives slot renumbering) that feeds PolicyHits builds.
 	idx          atomic.Pointer[reachindex.Index]
 	idxBuilding  atomic.Bool
-	idxHits      atomic.Int64
-	idxFallbacks atomic.Int64
+	idxHits      [2]atomic.Int64
+	idxFallbacks [2]atomic.Int64
+	idxHotMu     sync.Mutex
+	idxHot       map[graph.NodeID]int64
 }
 
 // NumLocal reports |Vi|, the number of real nodes stored in the fragment.

@@ -1,6 +1,9 @@
 package fragment
 
 import (
+	"time"
+
+	"distreach/internal/graph"
 	"distreach/internal/reachindex"
 )
 
@@ -10,7 +13,8 @@ import (
 //
 //   - EnableReachIndex sets the byte budget and kicks an asynchronous
 //     build per fragment. Budget <= 0 disables indexing (and drops any
-//     live indexes).
+//     live indexes). SetReachIndexPolicy picks the budget policy the
+//     builders run under (postorder or hit-guided).
 //   - Mutations (update.go) invalidate incrementally under the write
 //     lock: an edge change marks the ancestor cone of its source slot
 //     stale, and any operation that renumbers local slots (node ops,
@@ -25,16 +29,24 @@ import (
 //     rebalance frames. Single-flight per fragment: concurrent triggers
 //     coalesce, and a mutation that lands between the install and the
 //     builder's exit reschedules instead of leaving stale labels behind.
+//   - Hit feedback: every index counts hits per source slot; whenever an
+//     index is replaced or retired those counts drain into the
+//     fragment's decayed hotness map (keyed by global ID, which survives
+//     slot renumbering) and feed the next build's PolicyHits ordering.
+//   - AdoptReachIndex installs an index decoded from a snapshot without
+//     building, so a recovered replica serves indexed answers
+//     immediately; KickReachIndexRebuilds backfills only the fragments
+//     that did not get one.
 
 // EnableReachIndex sets the per-fragment label budget in bytes and
 // asynchronously (re)builds every fragment's index. A budget <= 0 turns
-// indexing off and retires the live indexes. Callers that need the
+// indexing off and drops the live indexes. Callers that need the
 // indexes ready (tests, benchmarks) follow with WaitReachIndexes.
 func (fr *Fragmentation) EnableReachIndex(budget int64) {
 	fr.idxBudget.Store(budget)
 	if budget <= 0 {
 		for _, f := range fr.frags {
-			f.retireReachIndex()
+			f.dropReachIndex()
 		}
 		return
 	}
@@ -46,6 +58,27 @@ func (fr *Fragmentation) EnableReachIndex(budget int64) {
 // ReachIndexBudget reports the configured budget (<= 0: disabled).
 func (fr *Fragmentation) ReachIndexBudget() int64 { return fr.idxBudget.Load() }
 
+// SetReachIndexPolicy selects the budget policy future index builds run
+// under. It does not rebuild by itself — the next rebuild (mutation,
+// rebalance, EnableReachIndex) picks it up.
+func (fr *Fragmentation) SetReachIndexPolicy(p reachindex.Policy) {
+	fr.idxPolicy.Store(int32(p))
+}
+
+// ReachIndexPolicy reports the configured budget policy.
+func (fr *Fragmentation) ReachIndexPolicy() reachindex.Policy {
+	return reachindex.Policy(fr.idxPolicy.Load())
+}
+
+// ConfigureReachIndex records the budget and policy without scheduling
+// any builds — for restore paths that adopt prebuilt indexes
+// (AdoptReachIndex) and then backfill the rest via
+// KickReachIndexRebuilds.
+func (fr *Fragmentation) ConfigureReachIndex(budget int64, p reachindex.Policy) {
+	fr.idxBudget.Store(budget)
+	fr.idxPolicy.Store(int32(p))
+}
+
 // WaitReachIndexes blocks until every scheduled index rebuild has
 // finished. Must not be called while holding the fragmentation's write
 // lock (builders need the read lock).
@@ -56,6 +89,40 @@ func (fr *Fragmentation) WaitReachIndexes() { fr.idxWG.Wait() }
 // building). The returned index may be concurrently marked stale; its
 // Equation method degrades to !ok rather than misanswering.
 func (f *Fragment) ReachIndex() *reachindex.Index { return f.idx.Load() }
+
+// AdoptReachIndex installs a prebuilt index (decoded from a snapshot's
+// index section) for the fragment with the given ID, bypassing the
+// builder. The caller has already validated the index against the
+// fragment (slot count, snapshot LSN/fingerprint); adoption maps its
+// frontier lists to global IDs and swaps it in. Returns false when no
+// fragment has that ID. Must not race with mutations — callers adopt
+// during Recover/Install, before the replica serves.
+func (fr *Fragmentation) AdoptReachIndex(fragID int, idx *reachindex.Index) bool {
+	for _, f := range fr.frags {
+		if f.ID != fragID {
+			continue
+		}
+		idx.PrecomputeGlobals(f.Global)
+		f.installReachIndex(idx)
+		return true
+	}
+	return false
+}
+
+// KickReachIndexRebuilds schedules asynchronous rebuilds for exactly the
+// fragments that need one — no index installed, or the installed one has
+// gone stale. Fragments that adopted a fresh snapshot index are left
+// serving it. No-op while indexing is disabled.
+func (fr *Fragmentation) KickReachIndexRebuilds() {
+	if fr.idxBudget.Load() <= 0 {
+		return
+	}
+	for _, f := range fr.frags {
+		if idx := f.idx.Load(); idx == nil || idx.AnyStale() {
+			fr.rebuildReachIndexAsync(f)
+		}
+	}
+}
 
 // rebuildReachIndexAsync schedules one asynchronous index rebuild for f,
 // coalescing with an already-running one.
@@ -70,9 +137,14 @@ func (fr *Fragmentation) rebuildReachIndexAsync(f *Fragment) {
 	fr.idxWG.Add(1)
 	go func() {
 		defer fr.idxWG.Done()
+		policy := reachindex.Policy(fr.idxPolicy.Load())
+		start := time.Now()
 		fr.mu.RLock()
-		f.buildReachIndexLocked(budget)
+		f.buildReachIndexLocked(budget, policy)
 		fr.mu.RUnlock()
+		d := time.Since(start).Nanoseconds()
+		fr.idxLastBuild.Store(d)
+		fr.idxTotalBuild.Add(d)
 		fr.idxRebuilds.Add(1)
 		f.idxBuilding.Store(false)
 		// A mutation that landed after the install above but before the
@@ -87,7 +159,7 @@ func (fr *Fragmentation) rebuildReachIndexAsync(f *Fragment) {
 
 // buildReachIndexLocked computes and installs f's index from the cached
 // local views. Caller holds at least the fragmentation's read lock.
-func (f *Fragment) buildReachIndexLocked(budget int64) {
+func (f *Fragment) buildReachIndexLocked(budget int64, policy reachindex.Policy) {
 	g := f.AsGraph()
 	comp := f.LocalSCC()
 	nc := 0
@@ -96,6 +168,7 @@ func (f *Fragment) buildReachIndexLocked(budget int64) {
 			nc = int(c) + 1
 		}
 	}
+	hot := f.refreshHotness(policy)
 	idx := reachindex.Build(reachindex.Spec{
 		Graph:    g,
 		Comp:     comp,
@@ -103,10 +176,64 @@ func (f *Fragment) buildReachIndexLocked(budget int64) {
 		Boundary: f.IsBoundary,
 		Sources:  f.inNodes,
 		Budget:   budget,
+		Policy:   policy,
+		Hot:      hot,
 	})
 	idx.PrecomputeGlobals(f.Global)
+	f.installReachIndex(idx)
+}
+
+// refreshHotness advances the fragment's decayed hotness one generation:
+// halve every stored count (dropping zeros), fold in the live index's
+// per-slot hits, and — for PolicyHits — materialize the map as a
+// slot-indexed slice for Spec.Hot. The map is keyed by global ID, so
+// hotness survives the slot renumbering that retires indexes. Caller
+// holds at least the read lock (slots are stable).
+func (f *Fragment) refreshHotness(policy reachindex.Policy) []int64 {
+	f.idxHotMu.Lock()
+	defer f.idxHotMu.Unlock()
+	for v, h := range f.idxHot {
+		if h >>= 1; h == 0 {
+			delete(f.idxHot, v)
+		} else {
+			f.idxHot[v] = h
+		}
+	}
+	if old := f.idx.Load(); old != nil {
+		f.foldSourceHitsLocked(old)
+	}
+	if policy != reachindex.PolicyHits || len(f.idxHot) == 0 {
+		return nil
+	}
+	hot := make([]int64, f.ids.len())
+	for _, s := range f.inNodes {
+		if h := f.idxHot[f.Global(s)]; h > 0 {
+			hot[s] = h
+		}
+	}
+	return hot
+}
+
+// foldSourceHitsLocked drains idx's per-slot hit counters into the
+// hotness map. Caller holds idxHotMu, and idx's slots must still be the
+// fragment's current slots (true for any live index: renumbering retires
+// first).
+func (f *Fragment) foldSourceHitsLocked(idx *reachindex.Index) {
+	if f.idxHot == nil {
+		f.idxHot = make(map[graph.NodeID]int64)
+	}
+	idx.DrainSourceHits(func(slot int32, hits int64) {
+		f.idxHot[f.Global(slot)] += hits
+	})
+}
+
+// installReachIndex swaps idx in, folding the replaced index's counters
+// into the per-policy accumulators so cumulative stats survive the swap.
+func (f *Fragment) installReachIndex(idx *reachindex.Index) {
 	if old := f.idx.Swap(idx); old != nil {
-		idx.AddHits(old.Hits(), old.Fallbacks())
+		p := old.Policy()
+		f.idxHits[p].Add(old.Hits())
+		f.idxFallbacks[p].Add(old.Fallbacks())
 	}
 }
 
@@ -121,12 +248,37 @@ func (f *Fragment) idxMarkDirty(l int32) {
 
 // retireReachIndex drops the fragment's index entirely — required by any
 // mutation that renumbers local slots (the index speaks in slots). The
-// retired counters move to the fragment so cumulative stats survive.
+// retired counters move to the per-policy accumulators and the per-slot
+// hits into the hotness map (slots are still pre-renumbering here, so the
+// slot-to-global mapping is the one the index was built on). Called under
+// the fragmentation's write lock.
 func (f *Fragment) retireReachIndex() {
 	if old := f.idx.Swap(nil); old != nil {
-		f.idxHits.Add(old.Hits())
-		f.idxFallbacks.Add(old.Fallbacks())
+		f.idxHotMu.Lock()
+		f.foldSourceHitsLocked(old)
+		f.idxHotMu.Unlock()
+		p := old.Policy()
+		f.idxHits[p].Add(old.Hits())
+		f.idxFallbacks[p].Add(old.Fallbacks())
 	}
+}
+
+// dropReachIndex is retireReachIndex without the hotness drain, for the
+// disable path (EnableReachIndex <= 0), which runs without the write lock
+// and must not read the slot mapping concurrently with mutations.
+func (f *Fragment) dropReachIndex() {
+	if old := f.idx.Swap(nil); old != nil {
+		p := old.Policy()
+		f.idxHits[p].Add(old.Hits())
+		f.idxFallbacks[p].Add(old.Fallbacks())
+	}
+}
+
+// PolicyCounters is one budget policy's share of the hit/fallback
+// totals.
+type PolicyCounters struct {
+	Hits      int64 `json:"hits"`
+	Fallbacks int64 `json:"fallbacks"`
 }
 
 // ReachIndexStats aggregates the index state across fragments for /stats
@@ -134,11 +286,18 @@ func (f *Fragment) retireReachIndex() {
 type ReachIndexStats struct {
 	Enabled     bool
 	BudgetBytes int64
-	LabelBytes  int64 // bytes held by the live indexes
-	Fragments   int   // fragments with a live index installed
-	Hits        int64 // Equation calls answered from an index (cumulative)
-	Fallbacks   int64 // Equation calls that fell back to direct evaluation
-	Rebuilds    int64 // asynchronous builds completed
+	Policy      string // configured budget policy (postorder|hits)
+	LabelBytes  int64  // bytes held by the live indexes
+	Fragments   int    // fragments with a live index installed
+	Hits        int64  // Equation calls answered from an index (cumulative)
+	Fallbacks   int64  // Equation calls that fell back to direct evaluation
+	Rebuilds    int64  // asynchronous builds completed
+	LastBuild   time.Duration
+	TotalBuild  time.Duration
+	// PerPolicy attributes the cumulative hit/fallback counters to the
+	// policy of the index that served them (only policies that served at
+	// least one call appear).
+	PerPolicy map[string]PolicyCounters
 }
 
 // HitRate reports hits/(hits+fallbacks), 0 when no indexed query ran.
@@ -153,17 +312,33 @@ func (s ReachIndexStats) HitRate() float64 {
 func (fr *Fragmentation) ReachIndexStats() ReachIndexStats {
 	st := ReachIndexStats{
 		BudgetBytes: fr.idxBudget.Load(),
+		Policy:      reachindex.Policy(fr.idxPolicy.Load()).String(),
 		Rebuilds:    fr.idxRebuilds.Load(),
+		LastBuild:   time.Duration(fr.idxLastBuild.Load()),
+		TotalBuild:  time.Duration(fr.idxTotalBuild.Load()),
 	}
 	st.Enabled = st.BudgetBytes > 0
+	var pol [2]PolicyCounters
 	for _, f := range fr.frags {
-		st.Hits += f.idxHits.Load()
-		st.Fallbacks += f.idxFallbacks.Load()
+		for p := range pol {
+			pol[p].Hits += f.idxHits[p].Load()
+			pol[p].Fallbacks += f.idxFallbacks[p].Load()
+		}
 		if idx := f.idx.Load(); idx != nil {
 			st.Fragments++
 			st.LabelBytes += idx.LabelBytes()
-			st.Hits += idx.Hits()
-			st.Fallbacks += idx.Fallbacks()
+			pol[idx.Policy()].Hits += idx.Hits()
+			pol[idx.Policy()].Fallbacks += idx.Fallbacks()
+		}
+	}
+	for p, c := range pol {
+		st.Hits += c.Hits
+		st.Fallbacks += c.Fallbacks
+		if c.Hits != 0 || c.Fallbacks != 0 {
+			if st.PerPolicy == nil {
+				st.PerPolicy = make(map[string]PolicyCounters, 2)
+			}
+			st.PerPolicy[reachindex.Policy(p).String()] = c
 		}
 	}
 	return st

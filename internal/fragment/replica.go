@@ -167,10 +167,15 @@ func (r *Replica) Install(fr *Fragmentation, epoch, lsn uint64) (installed bool)
 	r.seqRes = make(map[uint64]appliedBatch, seqWindow)
 	r.seqLog = nil
 	r.mu.Unlock()
-	// Snapshots carry no reachability indexes; inherit the budget from
-	// the replaced state and rebuild asynchronously. Queries hitting the
+	// A snapshot's index section (oplog snapshot v2) may have adopted
+	// ready indexes into fr already — only backfill the fragments that
+	// did not get one. Otherwise inherit the configuration from the
+	// replaced state and rebuild asynchronously; queries hitting the
 	// fresh fragmentation fall back to direct evaluation meanwhile.
-	if b := old.ReachIndexBudget(); b > 0 && fr.ReachIndexBudget() <= 0 {
+	if fr.ReachIndexBudget() > 0 {
+		fr.KickReachIndexRebuilds()
+	} else if b := old.ReachIndexBudget(); b > 0 {
+		fr.SetReachIndexPolicy(old.ReachIndexPolicy())
 		fr.EnableReachIndex(b)
 	}
 	return true
@@ -218,6 +223,7 @@ func (r *Replica) Rebalance(epoch uint64, p Partitioner) (bool, error) {
 	// evaluation — the same swap-then-catch-up discipline as the epoch
 	// switch itself.
 	if b := cur.ReachIndexBudget(); b > 0 {
+		next.SetReachIndexPolicy(cur.ReachIndexPolicy())
 		next.EnableReachIndex(b)
 	}
 	return true, nil

@@ -9,6 +9,7 @@ import (
 	"path/filepath"
 	"sort"
 	"sync"
+	"sync/atomic"
 )
 
 // SyncPolicy selects when the log flushes appends to stable storage.
@@ -76,6 +77,12 @@ type segment struct {
 
 // Log is the durable segmented record log. Safe for concurrent use;
 // appends are strictly ordered (each record's LSN must be last+1).
+//
+// Group commit: AppendNoSync writes a record's frame without flushing and
+// returns its write sequence number; SyncCommit(seq) makes everything up
+// to seq durable with at most one fsync — concurrent committers
+// piggyback on whichever flush covers them instead of queueing one fsync
+// each. Append remains the single-writer path (frame + immediate flush).
 type Log struct {
 	dir  string
 	opts LogOptions
@@ -84,6 +91,19 @@ type Log struct {
 	segs   []segment // sorted by base; the last one is active
 	active *os.File
 	last   uint64 // last appended (or recovered) LSN
+
+	// Group-commit bookkeeping: writeSeq numbers written frames (under
+	// mu); durableSeq is the highest writeSeq known flushed (advanced
+	// monotonically); syncMu serializes the actual fsyncs so committers
+	// coalesce behind one in-flight flush; syncs counts fsyncs issued
+	// (observability and the coalescing tests). syncHook, when set (tests
+	// only), runs before each SyncCommit flush while syncMu is held —
+	// widening the window concurrent committers pile up in.
+	writeSeq   uint64
+	durableSeq atomic.Uint64
+	syncMu     sync.Mutex
+	syncs      atomic.Int64
+	syncHook   func()
 }
 
 // OpenLog opens (or creates) the log in dir, scanning existing segments
@@ -218,6 +238,18 @@ func (l *Log) rotateLocked(base uint64) error {
 		}
 	}
 	if l.active != nil {
+		// Unsynced group-commit frames may still sit in the outgoing
+		// segment; flush before closing so SyncCommit's contract (one
+		// flush covers every earlier frame) survives rotation. Everything
+		// written so far lives in closed-and-synced segments after this,
+		// so the whole write sequence is durable.
+		if l.opts.Fsync == SyncAlways {
+			if err := l.active.Sync(); err != nil {
+				f.Close()
+				return fmt.Errorf("oplog: %w", err)
+			}
+			advanceMax(&l.durableSeq, l.writeSeq)
+		}
 		l.active.Close()
 	}
 	l.active = f
@@ -228,23 +260,44 @@ func (l *Log) rotateLocked(base uint64) error {
 // Append durably appends one record. The record's LSN must be exactly
 // LastLSN+1 — the log stores the total order, it does not invent one.
 func (l *Log) Append(rec Record) error {
-	body := binary.LittleEndian.AppendUint64(make([]byte, 0, 16), rec.LSN)
-	body, err := AppendOps(body, rec.Ops)
+	l.mu.Lock()
+	seq, err := l.appendFrameLocked(rec)
+	l.mu.Unlock()
 	if err != nil {
 		return err
 	}
+	return l.SyncCommit(seq)
+}
+
+// AppendNoSync writes one record's frame without flushing and returns the
+// write sequence number a later SyncCommit must cover for the record to
+// be durable. The group-commit half of Append: several writers append
+// their frames back to back, then share one flush.
+func (l *Log) AppendNoSync(rec Record) (seq uint64, err error) {
 	l.mu.Lock()
 	defer l.mu.Unlock()
+	return l.appendFrameLocked(rec)
+}
+
+// appendFrameLocked writes one record frame (rotating first when the
+// active segment is full) and advances the write sequence. Caller holds
+// l.mu; the frame is not flushed.
+func (l *Log) appendFrameLocked(rec Record) (seq uint64, err error) {
+	body := binary.LittleEndian.AppendUint64(make([]byte, 0, 16), rec.LSN)
+	body, err = AppendOps(body, rec.Ops)
+	if err != nil {
+		return 0, err
+	}
 	if l.active == nil {
-		return fmt.Errorf("oplog: log closed")
+		return 0, fmt.Errorf("oplog: log closed")
 	}
 	if rec.LSN != l.last+1 {
-		return fmt.Errorf("oplog: append LSN %d, log is at %d", rec.LSN, l.last)
+		return 0, fmt.Errorf("oplog: append LSN %d, log is at %d", rec.LSN, l.last)
 	}
 	cur := &l.segs[len(l.segs)-1]
 	if cur.size >= l.opts.SegmentBytes {
 		if err := l.rotateLocked(l.last); err != nil {
-			return err
+			return 0, err
 		}
 		cur = &l.segs[len(l.segs)-1]
 	}
@@ -253,17 +306,69 @@ func (l *Log) Append(rec Record) error {
 	binary.LittleEndian.PutUint32(frame[4:], crc32.Checksum(body, crcTable))
 	copy(frame[recHeaderSize:], body)
 	if _, err := l.active.Write(frame); err != nil {
-		return fmt.Errorf("oplog: %w", err)
-	}
-	if l.opts.Fsync == SyncAlways {
-		if err := l.active.Sync(); err != nil {
-			return fmt.Errorf("oplog: %w", err)
-		}
+		return 0, fmt.Errorf("oplog: %w", err)
 	}
 	cur.size += int64(len(frame))
 	cur.last = rec.LSN
 	l.last = rec.LSN
+	l.writeSeq++
+	return l.writeSeq, nil
+}
+
+// SyncCommit makes every frame up to write sequence seq durable. Under
+// SyncAlways, committers whose seq is already covered return without
+// touching the disk; the rest serialize on syncMu, re-check, and the
+// first one through flushes for everybody queued behind it — N
+// concurrent commits cost far fewer than N fsyncs. Under SyncNever it is
+// a no-op (the OS flushes eventually, same as Append always behaved).
+func (l *Log) SyncCommit(seq uint64) error {
+	if l.opts.Fsync != SyncAlways {
+		return nil
+	}
+	if l.durableSeq.Load() >= seq {
+		return nil
+	}
+	l.syncMu.Lock()
+	defer l.syncMu.Unlock()
+	if l.durableSeq.Load() >= seq {
+		return nil // a peer's flush covered us while we queued
+	}
+	l.mu.Lock()
+	f := l.active
+	cover := l.writeSeq
+	l.mu.Unlock()
+	if f == nil {
+		return fmt.Errorf("oplog: log closed")
+	}
+	if l.syncHook != nil {
+		l.syncHook()
+	}
+	if err := f.Sync(); err != nil {
+		// A rotation can close f between the capture above and the Sync —
+		// but rotation flushes the outgoing segment first, so if durableSeq
+		// now covers seq the commit actually succeeded.
+		if l.durableSeq.Load() >= seq {
+			return nil
+		}
+		return fmt.Errorf("oplog: %w", err)
+	}
+	l.syncs.Add(1)
+	advanceMax(&l.durableSeq, cover)
 	return nil
+}
+
+// SyncCount reports how many fsyncs the log has issued via SyncCommit —
+// the group-commit tests assert it stays well under one per append.
+func (l *Log) SyncCount() int64 { return l.syncs.Load() }
+
+// advanceMax raises a monotonically, never lowering it.
+func advanceMax(a *atomic.Uint64, v uint64) {
+	for {
+		cur := a.Load()
+		if cur >= v || a.CompareAndSwap(cur, v) {
+			return
+		}
+	}
 }
 
 // LastLSN reports the LSN of the newest record (or the recovered base when

@@ -23,14 +23,29 @@
 //     what the interval labels answer). This is what lets a query skip
 //     the per-in-node BFS entirely.
 //
+// The build is parallel across Spec.Workers cores (default GOMAXPROCS)
+// and deterministic: the condensation DAG is assembled from per-chunk
+// node-range scans merged in chunk order, interval labels are computed
+// level-synchronously (every SCC of one condensation level depends only
+// on completed lower levels, so a level's SCCs fan out across the worker
+// pool), and the byte budget is charged in a serial pass whose order is
+// the budget policy. The output is byte-identical for every worker count
+// — replicas that rebuild with different core counts still agree.
+//
+// Budget policies decide which SCCs the byte budget is spent on:
+// PolicyPostorder charges successors-first in DFS postorder (uniform);
+// PolicyHits charges the SCCs with the highest decayed hit counts first
+// (Spec.Hot, fed back from the per-slot counters of the previous index),
+// so labels and frontier lists concentrate on the sources queries
+// actually touch. A hot SCC's descendant closure inherits its priority —
+// a label is only computable when its successors' labels are stored.
+//
 // Incremental maintenance is staleness-based: MarkDirty(u) marks the
 // ancestor cone of u's SCC stale (exactly the sources whose reachable
 // set, hence equation, may have changed); stale SCCs answer !ok and the
 // caller falls back to direct evaluation until an asynchronous rebuild
 // installs a fresh index — the same swap-while-serving discipline the
-// rebalance ('R') path uses. Building is parallel across source SCCs
-// (the frontier BFS dominates build cost on boundary-heavy fragments),
-// per the parallel-reachability direction of Jambulapati et al.
+// rebalance ('R') path uses.
 //
 // Concurrency contract: MarkDirty must run while the caller excludes
 // readers (the Fragmentation write lock); Equation/Reaches may run
@@ -54,6 +69,39 @@ import (
 // evaluation.
 const DefaultBudget = 4 << 20
 
+// Policy selects the order the byte budget is charged in — which SCCs get
+// labels and frontier lists when the budget cannot cover everything.
+type Policy uint8
+
+const (
+	// PolicyPostorder charges successors-first in DFS postorder: uniform
+	// coverage, no feedback. The default.
+	PolicyPostorder Policy = iota
+	// PolicyHits charges the SCCs with the highest decayed hit counts
+	// (Spec.Hot) first, each preceded by its descendant closure, so the
+	// budget concentrates on what queries actually touch. With no hit
+	// history it degenerates to PolicyPostorder.
+	PolicyHits
+)
+
+// ParsePolicy resolves the -reachindex-policy flag values.
+func ParsePolicy(s string) (Policy, error) {
+	switch s {
+	case "", "postorder":
+		return PolicyPostorder, nil
+	case "hits":
+		return PolicyHits, nil
+	}
+	return 0, fmt.Errorf("reachindex: unknown budget policy %q (want postorder or hits)", s)
+}
+
+func (p Policy) String() string {
+	if p == PolicyHits {
+		return "hits"
+	}
+	return "postorder"
+}
+
 // Spec is the input to Build.
 type Spec struct {
 	// Graph is the fragment-local graph (slots as node IDs) the index is
@@ -70,6 +118,15 @@ type Spec struct {
 	Sources []int32
 	// Budget caps label + frontier bytes; <= 0 means DefaultBudget.
 	Budget int64
+	// Policy selects the budget-charging order (see Policy).
+	Policy Policy
+	// Hot carries decayed per-slot hit counts from the previous index
+	// generation (only source slots are consulted; nil = no history).
+	// Consumed by PolicyHits.
+	Hot []int64
+	// Workers bounds build parallelism: 0 = GOMAXPROCS, 1 = serial. The
+	// output is byte-identical for every value.
+	Workers int
 }
 
 // Index is one fragment's reachability index. See the package comment for
@@ -78,6 +135,7 @@ type Index struct {
 	n  int // slot count at build time; later slots are undecided
 	nc int
 
+	policy    Policy
 	comp      []int32   // build-time SCC of every slot
 	dagIn     [][]int32 // deduplicated reverse condensation adjacency
 	post      []int32   // DFS-forest postorder number per SCC
@@ -95,6 +153,10 @@ type Index struct {
 	anyStale atomic.Bool
 
 	hits, fallbacks atomic.Int64
+	// srcHits counts index hits per source slot (atomic), the feedback
+	// PolicyHits builds on. Drained into the fragment's decayed hotness
+	// map when the index is replaced or retired.
+	srcHits []int64
 }
 
 // Build computes the index. It reads spec.Graph but retains nothing from
@@ -106,46 +168,103 @@ func Build(spec Spec) *Index {
 	if budget <= 0 {
 		budget = DefaultBudget
 	}
+	workers := spec.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
 	ix := &Index{
 		n:         n,
 		nc:        nc,
+		policy:    spec.Policy,
 		comp:      append([]int32(nil), comp...),
 		undecided: make([]bool, nc),
 		stale:     make([]bool, nc),
 		fronts:    make([][]int32, nc),
+		srcHits:   make([]int64, n),
 	}
 
-	// Deduplicated condensation DAG, both directions: forward for the DFS
-	// forest and label propagation, reverse for MarkDirty's ancestor walk.
+	dagOut := buildCondensation(ix, g, comp, nc, workers)
+	post, sz := dfsForest(dagOut, nc)
+	ix.post = post
+
+	// order[i] is the SCC with postorder number i: increasing index is a
+	// successors-first processing order (in a DAG every edge (c,d) has
+	// post[d] < post[c]).
+	order := make([]int32, nc)
+	for c := int32(0); int(c) < nc; c++ {
+		order[post[c]] = c
+	}
+	charge := chargeOrder(spec, comp, dagOut, post, order, nc)
+	used := buildLabels(ix, dagOut, post, sz, order, charge, nc, budget, workers)
+	used = buildFrontiers(ix, g, comp, spec, charge, n, nc, budget, used, workers)
+	ix.bytes = used
+	return ix
+}
+
+// buildCondensation assembles the deduplicated condensation DAG, both
+// directions: forward for the DFS forest and label propagation, reverse
+// for MarkDirty's ancestor walk. The node scan fans out across workers in
+// fixed chunks; each chunk dedupes locally in first-occurrence order and
+// the chunks merge serially in node order, so the adjacency lists come
+// out identical to a single serial scan whatever the worker count.
+func buildCondensation(ix *Index, g *graph.Graph, comp []int32, nc, workers int) [][]int32 {
+	n := g.NumNodes()
 	dagOut := make([][]int32, nc)
 	ix.dagIn = make([][]int32, nc)
-	seenEdge := make(map[int64]struct{})
-	for u := 0; u < n; u++ {
-		if g.Deleted(graph.NodeID(u)) {
-			continue
+	chunk := 2048
+	nchunks := (n + chunk - 1) / chunk
+	if nchunks < 1 {
+		nchunks = 1
+	}
+	edges := make([][]int64, nchunks) // packed cu<<32|cw, locally deduped
+	parallelFor(workers, nchunks, func(ci int) {
+		lo, hi := ci*chunk, (ci+1)*chunk
+		if hi > n {
+			hi = n
 		}
-		cu := comp[u]
-		for _, w := range g.Out(graph.NodeID(u)) {
-			cw := comp[w]
-			if cu == cw {
+		var out []int64
+		seen := make(map[int64]struct{})
+		for u := lo; u < hi; u++ {
+			if g.Deleted(graph.NodeID(u)) {
 				continue
 			}
-			key := int64(cu)<<32 | int64(uint32(cw))
-			if _, dup := seenEdge[key]; dup {
+			cu := comp[u]
+			for _, w := range g.Out(graph.NodeID(u)) {
+				cw := comp[w]
+				if cu == cw {
+					continue
+				}
+				key := int64(cu)<<32 | int64(uint32(cw))
+				if _, dup := seen[key]; dup {
+					continue
+				}
+				seen[key] = struct{}{}
+				out = append(out, key)
+			}
+		}
+		edges[ci] = out
+	})
+	seen := make(map[int64]struct{})
+	for _, chunkEdges := range edges {
+		for _, key := range chunkEdges {
+			if _, dup := seen[key]; dup {
 				continue
 			}
-			seenEdge[key] = struct{}{}
+			seen[key] = struct{}{}
+			cu, cw := int32(key>>32), int32(uint32(key))
 			dagOut[cu] = append(dagOut[cu], cw)
 			ix.dagIn[cw] = append(ix.dagIn[cw], cu)
 		}
 	}
+	return dagOut
+}
 
-	// DFS spanning forest with postorder numbers and subtree sizes. In a
-	// DAG every edge (c,d) satisfies post[d] < post[c] (d finishes first),
-	// so increasing postorder is a successors-first processing order and
-	// each SCC's tree subtree is the contiguous block [post-size+1, post].
-	post := make([]int32, nc)
-	sz := make([]int32, nc)
+// dfsForest computes a DFS spanning forest of the condensation with
+// postorder numbers and subtree sizes: each SCC's tree subtree is the
+// contiguous postorder block [post-size+1, post].
+func dfsForest(dagOut [][]int32, nc int) (post, sz []int32) {
+	post = make([]int32, nc)
+	sz = make([]int32, nc)
 	visited := make([]bool, nc)
 	next := int32(0)
 	type dfsFrame struct {
@@ -179,44 +298,139 @@ func Build(spec Spec) *Index {
 			}
 		}
 	}
-	ix.post = post
+	return post, sz
+}
 
-	// Interval labels, successors first. label(c) = merge of c's own tree
-	// interval and every successor's label; one undecided successor (or
-	// blowing the byte budget) makes c undecided, and undecidedness
-	// propagates to all ancestors — fallback stays sound.
-	order := make([]int32, nc)
-	for c := int32(0); int(c) < nc; c++ {
-		order[post[c]] = c
+// chargeOrder decides the serial order the byte budget is charged in.
+// Every order must list an SCC after its successors (a label is only
+// computable from stored successor labels). PolicyPostorder is plain
+// postorder; PolicyHits sorts by descending priority — the decayed hit
+// count of the SCC's sources, propagated to its descendant closure so a
+// hot SCC's prerequisites are funded first — with postorder as the tie
+// break (which also keeps the no-history case identical to postorder).
+func chargeOrder(spec Spec, comp []int32, dagOut [][]int32, post, order []int32, nc int) []int32 {
+	if spec.Policy != PolicyHits {
+		return order
 	}
-	labels := make([][]int32, nc)
-	var used int64
+	prio := make([]int64, nc)
+	any := false
+	if spec.Hot != nil {
+		for _, s := range spec.Sources {
+			if s < 0 || int(s) >= len(spec.Hot) || int(s) >= len(comp) {
+				continue
+			}
+			if h := spec.Hot[s]; h > 0 {
+				prio[comp[s]] += h
+				any = true
+			}
+		}
+	}
+	if !any {
+		return order
+	}
+	// Ancestors-first (decreasing postorder): push each SCC's priority down
+	// to its successors, so a descendant carries the max priority of any
+	// ancestor that needs it.
+	for i := nc - 1; i >= 0; i-- {
+		c := order[i]
+		for _, d := range dagOut[c] {
+			if prio[c] > prio[d] {
+				prio[d] = prio[c]
+			}
+		}
+	}
+	out := append([]int32(nil), order...)
+	sort.SliceStable(out, func(a, b int) bool { return prio[out[a]] > prio[out[b]] })
+	return out
+}
+
+// buildLabels computes the per-SCC merged interval labels in two phases.
+//
+// Phase A (parallel, level-synchronous): SCCs are bucketed by condensation
+// level (level(c) = 1 + max over successors); every SCC of one level
+// depends only on completed lower levels, so a level's labels fan out
+// across the worker pool. A label whose merged form alone exceeds the
+// whole budget can never be stored: it is skipped, and the skip
+// propagates to ancestors (their labels would be uncomputable) — this is
+// also what bounds phase A's memory.
+//
+// Phase B (serial, cheap): the budget is charged in `charge` order. An SCC
+// is undecided when phase A skipped it, any successor ended undecided, or
+// its label does not fit the remaining budget; undecidedness propagates
+// to all ancestors, so fallback stays sound. The phase split is what
+// makes the output independent of the worker count: computation order
+// varies, the charging order never does.
+func buildLabels(ix *Index, dagOut [][]int32, post, sz, order, charge []int32, nc int, budget int64, workers int) int64 {
+	level := make([]int32, nc)
+	maxLevel := int32(0)
 	for i := 0; i < nc; i++ {
 		c := order[i]
-		und := false
-		est := 2
+		lv := int32(0)
 		for _, d := range dagOut[c] {
-			if ix.undecided[d] {
-				und = true
-				break
+			if level[d]+1 > lv {
+				lv = level[d] + 1
 			}
-			est += len(labels[d])
 		}
-		if !und {
+		level[c] = lv
+		if lv > maxLevel {
+			maxLevel = lv
+		}
+	}
+	buckets := make([][]int32, maxLevel+1)
+	for i := 0; i < nc; i++ {
+		c := order[i]
+		buckets[level[c]] = append(buckets[level[c]], c)
+	}
+	labels := make([][]int32, nc)
+	skip := make([]bool, nc)
+	for lv := int32(0); lv <= maxLevel; lv++ {
+		cs := buckets[lv]
+		parallelFor(workers, len(cs), func(i int) {
+			c := cs[i]
+			est := 2
+			for _, d := range dagOut[c] {
+				if skip[d] {
+					skip[c] = true
+					return
+				}
+				est += len(labels[d])
+			}
 			ivs := make([]int32, 0, est)
 			ivs = append(ivs, post[c]-sz[c]+1, post[c])
 			for _, d := range dagOut[c] {
 				ivs = append(ivs, labels[d]...)
 			}
 			ivs = mergeIntervals(ivs)
-			if used+int64(len(ivs))*4 > budget {
-				und = true
-			} else {
-				labels[c] = ivs
-				used += int64(len(ivs)) * 4
+			if int64(len(ivs))*4 > budget {
+				skip[c] = true
+				return
+			}
+			labels[c] = ivs
+		})
+	}
+	var used int64
+	for _, c := range charge {
+		und := skip[c]
+		if !und {
+			for _, d := range dagOut[c] {
+				if ix.undecided[d] {
+					und = true
+					break
+				}
 			}
 		}
-		ix.undecided[c] = und
+		if !und {
+			cost := int64(len(labels[c])) * 4
+			if used+cost > budget {
+				und = true
+			} else {
+				used += cost
+			}
+		}
+		if und {
+			ix.undecided[c] = true
+			labels[c] = nil
+		}
 	}
 	ix.ivOff = make([]int32, nc+1)
 	total := 0
@@ -229,74 +443,133 @@ func Build(spec Spec) *Index {
 	for c := 0; c < nc; c++ {
 		ix.ivals = append(ix.ivals, labels[c]...)
 	}
+	return used
+}
 
-	// Frontier lists for the source (in-node) SCCs: the boundary slots the
-	// frontier-cut BFS of core.localEval would emit — query-independent,
-	// so computed once here and shared by every query. Parallel across
-	// source SCCs; the per-SCC results are accounted against the budget in
-	// deterministic (sorted) order so the stored set is reproducible.
-	if spec.Boundary != nil && len(spec.Sources) > 0 {
-		type task struct {
-			c    int32
-			seed int32
+// buildFrontiers computes the frontier lists for the source (in-node)
+// SCCs: the boundary slots the frontier-cut BFS of core.localEval would
+// emit — query-independent, so computed once here and shared by every
+// query. The BFS runs in parallel across source SCCs; the per-SCC results
+// are accounted against the budget serially in the policy's charge order,
+// so the stored set is reproducible whatever the worker count.
+func buildFrontiers(ix *Index, g *graph.Graph, comp []int32, spec Spec, charge []int32, n, nc int, budget, used int64, workers int) int64 {
+	if spec.Boundary == nil || len(spec.Sources) == 0 {
+		return used
+	}
+	type task struct {
+		c    int32
+		seed int32
+	}
+	var tasks []task
+	taken := make(map[int32]bool, len(spec.Sources))
+	for _, s := range spec.Sources {
+		if s < 0 || int(s) >= n {
+			continue
 		}
-		var tasks []task
-		taken := make(map[int32]bool, len(spec.Sources))
-		for _, s := range spec.Sources {
-			if s < 0 || int(s) >= n {
-				continue
-			}
-			c := comp[s]
-			if !taken[c] {
-				taken[c] = true
-				tasks = append(tasks, task{c: c, seed: s})
-			}
-		}
-		sort.Slice(tasks, func(i, j int) bool { return tasks[i].c < tasks[j].c })
-		results := make([][]int32, len(tasks))
-		workers := 1
-		if len(tasks) >= 16 && n >= 2048 {
-			workers = runtime.GOMAXPROCS(0)
-			if workers > 8 {
-				workers = 8
-			}
-		}
-		var nextTask atomic.Int64
-		var wg sync.WaitGroup
-		for w := 0; w < workers; w++ {
-			wg.Add(1)
-			go func() {
-				defer wg.Done()
-				seen := make([]int32, n)
-				for i := range seen {
-					seen[i] = -1
-				}
-				queue := make([]int32, 0, n)
-				for {
-					ti := int(nextTask.Add(1)) - 1
-					if ti >= len(tasks) {
-						return
-					}
-					results[ti] = frontierOf(g, comp, spec.Boundary, tasks[ti].seed, tasks[ti].c, seen, int32(ti), queue)
-				}
-			}()
-		}
-		wg.Wait()
-		for i, tk := range tasks {
-			cost := int64(len(results[i]))*4 + 16
-			if used+cost > budget {
-				continue // undecided frontier: queries from this SCC fall back
-			}
-			used += cost
-			row := results[i]
-			if row == nil {
-				row = emptyFront // present-but-empty, distinct from not stored
-			}
-			ix.fronts[tk.c] = row
+		c := comp[s]
+		if !taken[c] {
+			taken[c] = true
+			tasks = append(tasks, task{c: c, seed: s})
 		}
 	}
-	ix.bytes = used
-	return ix
+	// Charge (and store) in policy order: the position of each SCC in the
+	// charge sequence is its frontier priority too, so PolicyHits funds hot
+	// sources' lists first. PolicyPostorder's postorder ranks are as
+	// arbitrary-but-deterministic as the previous sorted-SCC order was.
+	rank := make([]int32, nc)
+	for i, c := range charge {
+		rank[c] = int32(i)
+	}
+	sort.Slice(tasks, func(i, j int) bool {
+		if rank[tasks[i].c] != rank[tasks[j].c] {
+			return rank[tasks[i].c] < rank[tasks[j].c]
+		}
+		return tasks[i].c < tasks[j].c
+	})
+	results := make([][]int32, len(tasks))
+	nworkers := workers
+	if nworkers > len(tasks) {
+		nworkers = len(tasks)
+	}
+	if nworkers < 1 {
+		nworkers = 1
+	}
+	var nextTask atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < nworkers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			seen := make([]int32, n)
+			for i := range seen {
+				seen[i] = -1
+			}
+			queue := make([]int32, 0, n)
+			for {
+				ti := int(nextTask.Add(1)) - 1
+				if ti >= len(tasks) {
+					return
+				}
+				results[ti] = frontierOf(g, comp, spec.Boundary, tasks[ti].seed, tasks[ti].c, seen, int32(ti), queue)
+			}
+		}()
+	}
+	wg.Wait()
+	for i, tk := range tasks {
+		cost := int64(len(results[i]))*4 + 16
+		if used+cost > budget {
+			continue // undecided frontier: queries from this SCC fall back
+		}
+		used += cost
+		row := results[i]
+		if row == nil {
+			row = emptyFront // present-but-empty, distinct from not stored
+		}
+		ix.fronts[tk.c] = row
+	}
+	return used
+}
+
+// parallelFor runs fn(0..n-1) across at most `workers` goroutines in
+// dynamically balanced chunks. fn must only write state owned by its own
+// index; with workers <= 1 it degenerates to a plain loop.
+func parallelFor(workers, n int, fn func(i int)) {
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 || n <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	const chunk = 64
+	nchunks := (n + chunk - 1) / chunk
+	if workers > nchunks {
+		workers = nchunks
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				ci := int(next.Add(1)) - 1
+				if ci >= nchunks {
+					return
+				}
+				lo, hi := ci*chunk, (ci+1)*chunk
+				if hi > n {
+					hi = n
+				}
+				for i := lo; i < hi; i++ {
+					fn(i)
+				}
+			}
+		}()
+	}
+	wg.Wait()
 }
 
 // emptyFront marks a stored frontier that happens to be empty (the source
@@ -419,6 +692,7 @@ func (ix *Index) Equation(v, tLocal int32, hasT bool) (vars []int32, reachesT, o
 		reachesT = c == d || ix.contains(c, ix.post[d])
 	}
 	ix.hits.Add(1)
+	atomic.AddInt64(&ix.srcHits[v], 1)
 	return fvars, reachesT, true
 }
 
@@ -446,6 +720,7 @@ func (ix *Index) EquationGlobal(v, tLocal int32, hasT bool) (vars []graph.NodeID
 		reachesT = c == d || ix.contains(c, ix.post[d])
 	}
 	ix.hits.Add(1)
+	atomic.AddInt64(&ix.srcHits[v], 1)
 	return gvars, reachesT, true
 }
 
@@ -520,6 +795,13 @@ func (ix *Index) StaleComps() int {
 // plus frontier lists).
 func (ix *Index) LabelBytes() int64 { return ix.bytes }
 
+// NumSlots reports the local slot count the index was built over —
+// adoption code cross-checks it against the fragment being restored.
+func (ix *Index) NumSlots() int { return ix.n }
+
+// Policy reports the budget policy the index was built under.
+func (ix *Index) Policy() Policy { return ix.policy }
+
 // Hits reports how many Equation calls were answered from the index.
 func (ix *Index) Hits() int64 { return ix.hits.Load() }
 
@@ -533,10 +815,26 @@ func (ix *Index) AddHits(hits, fallbacks int64) {
 	ix.fallbacks.Add(fallbacks)
 }
 
-const codecMagic = "RIX1"
+// DrainSourceHits zeroes the per-slot hit counters, handing each non-zero
+// count to fold. This is the feedback loop of PolicyHits: the owner folds
+// the counts into its decayed hotness keyed by global ID (slots renumber;
+// global IDs do not) and passes them back through Spec.Hot on the next
+// build.
+func (ix *Index) DrainSourceHits(fold func(slot int32, hits int64)) {
+	for v := range ix.srcHits {
+		if h := atomic.SwapInt64(&ix.srcHits[v], 0); h > 0 {
+			fold(int32(v), h)
+		}
+	}
+}
+
+const codecMagic = "RIX2"
 
 // MarshalBinary encodes the immutable part of the index (staleness and
-// counters are runtime state and deliberately excluded).
+// counters are runtime state and deliberately excluded). Because the
+// build is deterministic, two replicas that built the same fragment under
+// the same spec marshal to identical bytes — the property the parallel
+// builder's cross-checks pin.
 func (ix *Index) MarshalBinary() ([]byte, error) {
 	var b []byte
 	b = append(b, codecMagic...)
@@ -550,6 +848,7 @@ func (ix *Index) MarshalBinary() ([]byte, error) {
 	}
 	u32(uint32(ix.n))
 	u32(uint32(ix.nc))
+	b = append(b, byte(ix.policy))
 	i32s(ix.comp)
 	i32s(ix.post)
 	i32s(ix.ivOff)
@@ -619,13 +918,21 @@ func UnmarshalBinary(b []byte) (*Index, error) {
 	if err != nil {
 		return nil, err
 	}
+	if len(b) < 1 {
+		return nil, fmt.Errorf("reachindex: truncated policy")
+	}
+	pol := Policy(b[0])
+	b = b[1:]
+	if pol > PolicyHits {
+		return nil, fmt.Errorf("reachindex: unknown policy byte %d", pol)
+	}
 	n, nc := int(nu), int(ncu)
 	// Each slot costs 4 bytes in comp and each SCC 4 in post, so both are
 	// bounded by the input size — reject before allocating otherwise.
 	if n < 0 || nc < 0 || 4*n > len(b) || 4*nc > len(b) {
 		return nil, fmt.Errorf("reachindex: implausible sizes n=%d nc=%d", n, nc)
 	}
-	ix := &Index{n: n, nc: nc, stale: make([]bool, nc), fronts: make([][]int32, nc)}
+	ix := &Index{n: n, nc: nc, policy: pol, stale: make([]bool, nc), fronts: make([][]int32, nc), srcHits: make([]int64, n)}
 	if ix.comp, err = i32s(n); err != nil {
 		return nil, err
 	}
