@@ -36,12 +36,14 @@ bench-smoke:
 	$(GO) run ./cmd/bench $(BENCH_LOAD_FLAGS) -churn 5
 	$(GO) run ./cmd/bench $(BENCH_LOAD_FLAGS) -churn 20 -nodechurn -rebalance 300ms -json /tmp/bench-smoke.json
 	$(GO) run ./cmd/bench $(BENCH_LOAD_FLAGS) -churn 20 -index -json /tmp/bench-smoke-index.json
+	$(GO) run ./cmd/bench $(BENCH_LOAD_FLAGS) -anytime -sitedelay 0,0,0,20ms -json /tmp/bench-smoke-anytime.json
 
 # The pinned bench-trajectory run: open loop on the checked-in SNAP sample
 # at a fixed offered rate, seed and duration, with the reachability index
-# enabled, emitting a schema-versioned report. This exact configuration
-# produced the committed BENCH_PR8.json baseline; refresh it with
-# `make bench-json BENCH_JSON_OUT=BENCH_PR8.json`.
+# enabled (and the anytime protocol, its default), emitting a
+# schema-versioned report. This exact configuration produced the committed
+# BENCH_PR9.json baseline; refresh it with
+# `make bench-json BENCH_JSON_OUT=BENCH_PR9.json`.
 BENCH_TRAJECTORY_FLAGS ?= -load -rate 200 -arrival poisson -duration 5s -clients 4 \
 	-churn 10 -seed 6 -snap internal/graph/testdata/p2p-sample.txt -index
 BENCH_JSON_OUT ?= BENCH.json
@@ -54,13 +56,14 @@ bench-json:
 # cmd/benchcheck for the override when a regression is intentional).
 bench-trajectory:
 	$(MAKE) bench-json BENCH_JSON_OUT=BENCH_PR.json
-	$(GO) run ./cmd/benchcheck -baseline BENCH_PR8.json -current BENCH_PR.json
+	$(GO) run ./cmd/benchcheck -baseline BENCH_PR9.json -current BENCH_PR.json
 
 # Short fuzzing pass over the wire, durability and dataset codecs (one
 # target per invocation: the Go fuzzer requires exactly one -fuzz match).
 fuzz-smoke:
 	$(GO) test ./internal/netsite -run '^$$' -fuzz '^FuzzDecodeFrame$$' -fuzztime 20s
 	$(GO) test ./internal/netsite -run '^$$' -fuzz '^FuzzBatchPayload$$' -fuzztime 20s
+	$(GO) test ./internal/netsite -run '^$$' -fuzz '^FuzzAnytimePayload$$' -fuzztime 20s
 	$(GO) test ./internal/netsite -run '^$$' -fuzz '^FuzzUpdatePayload$$' -fuzztime 20s
 	$(GO) test ./internal/netsite -run '^$$' -fuzz '^FuzzRebalancePayload$$' -fuzztime 20s
 	$(GO) test ./internal/netsite -run '^$$' -fuzz '^FuzzSyncPayload$$' -fuzztime 20s
@@ -85,6 +88,7 @@ recovery-smoke:
 # `make race` too; the explicit run guards against cached passes).
 cross-checks:
 	$(GO) test -race -run 'TestBatchWireCrossCheck|TestBatchLifecycleNoLeak' -count 1 ./internal/netsite
+	$(GO) test -race -run 'TestAnytimeCrossCheck|TestAnytimePendingNoLeak' -count 1 ./internal/netsite
 	$(GO) test -race -run 'TestUpdateWireCrossCheck|TestUpdateConcurrentWithQueries' -count 1 ./internal/netsite
 	$(GO) test -race -run 'TestIndexChurnCrossCheck|TestFragmentIndexMatchesDirect' -count 1 ./internal/netsite ./internal/core
 	$(GO) test -cpu 1,2,4 -count 1 ./internal/reachindex

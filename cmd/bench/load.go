@@ -45,7 +45,9 @@ type loadConfig struct {
 	churn     float64       // updates per second mixed into the stream; 0 = none
 	nodechurn bool          // mix node inserts/deletes into the churn stream
 	rebalance time.Duration // force a live re-fragmentation at this interval; 0 = never
-	delay     time.Duration
+	siteDelay string        // comma-separated per-site service delays, cycled over sites
+	delays    []time.Duration
+	anytime   bool    // anytime answers: streamed partials + early termination (wire mode)
 	rate      float64 // offered arrivals per second; 0 = closed loop
 	arrival   string  // open loop schedule: poisson | uniform
 	jsonPath  string  // non-empty: write a schema-versioned report here
@@ -66,6 +68,45 @@ type clientStats struct {
 	errs int
 }
 
+// faRecorder accumulates per-round first-answer latencies
+// (WireStats.FirstAnswer) across all clients of a wire-mode run.
+type faRecorder struct {
+	mu   sync.Mutex
+	lats []time.Duration
+}
+
+func (r *faRecorder) add(d time.Duration) {
+	if d <= 0 {
+		return
+	}
+	r.mu.Lock()
+	r.lats = append(r.lats, d)
+	r.mu.Unlock()
+}
+
+// parseSiteDelays parses the -sitedelay value: one duration, or a
+// comma-separated list assigned per site (cycling when the deployment has
+// more sites than entries) to emulate delay skew — the straggler shape
+// exp N10 measures the anytime protocol against.
+func parseSiteDelays(s string) ([]time.Duration, error) {
+	if strings.TrimSpace(s) == "" {
+		return []time.Duration{0}, nil
+	}
+	parts := strings.Split(s, ",")
+	ds := make([]time.Duration, len(parts))
+	for i, p := range parts {
+		d, err := time.ParseDuration(strings.TrimSpace(p))
+		if err != nil {
+			return nil, fmt.Errorf("bad -sitedelay entry %q: %w", p, err)
+		}
+		if d < 0 {
+			return nil, fmt.Errorf("negative -sitedelay entry %q", p)
+		}
+		ds[i] = d
+	}
+	return ds, nil
+}
+
 func runLoad(cfg loadConfig) error {
 	switch cfg.class {
 	case "qr", "qbr", "qrr", "mixed":
@@ -80,11 +121,18 @@ func runLoad(cfg loadConfig) error {
 	if cfg.batch < 1 {
 		cfg.batch = 1
 	}
+	delays, err := parseSiteDelays(cfg.siteDelay)
+	if err != nil {
+		return err
+	}
+	cfg.delays = delays
 	var issue, update func(rng *gen.RNG, q int) error
 	var rebalance func(epoch uint64) error
 	var idxRep func() *indexReport
+	var anyRep func(rounds int) *anytimeReport
 	var maxLag atomic.Uint64   // worst replica lag observed (wire mode; batches)
 	var wireBytes atomic.Int64 // sent+received across all wire rounds
+	var fa faRecorder          // wire mode: per-round first-answer latencies
 	wireMode := cfg.url == ""
 	target := cfg.url
 	if cfg.url != "" {
@@ -92,7 +140,7 @@ func runLoad(cfg loadConfig) error {
 	} else {
 		var cleanup func()
 		var err error
-		issue, update, rebalance, cleanup, idxRep, err = wireIssuer(&cfg, &maxLag, &wireBytes)
+		issue, update, rebalance, cleanup, idxRep, anyRep, err = wireIssuer(&cfg, &maxLag, &wireBytes, &fa)
 		if err != nil {
 			return err
 		}
@@ -202,6 +250,13 @@ func runLoad(cfg loadConfig) error {
 	fmt.Printf("latency     per %s: mean %s  p50 %s  p90 %s  p99 %s  max %s\n", unit,
 		fmtDurationUS(lat.MeanUS), fmtDurationUS(lat.P50US), fmtDurationUS(lat.P90US),
 		fmtDurationUS(lat.P99US), fmtDurationUS(lat.MaxUS))
+	var firstAnswer *latencySummary
+	if len(fa.lats) > 0 {
+		f := summarize(fa.lats)
+		firstAnswer = &f
+		fmt.Printf("first ans   p50 %s  p90 %s  p99 %s  max %s\n",
+			fmtDurationUS(f.P50US), fmtDurationUS(f.P90US), fmtDurationUS(f.P99US), fmtDurationUS(f.MaxUS))
+	}
 	var lateness *latencySummary
 	if cfg.rate > 0 {
 		l := summarize(late)
@@ -211,6 +266,12 @@ func runLoad(cfg loadConfig) error {
 	}
 	if wireMode {
 		fmt.Printf("wire        %.0f bytes/query\n", float64(wireBytes.Load())/float64(queries))
+	}
+	var anyr *anytimeReport
+	if anyRep != nil {
+		anyr = anyRep(len(all))
+		fmt.Printf("anytime     enabled %v: %d early terminations (%.0f%% of rounds), %d cancels, %d partial frames\n",
+			anyr.Enabled, anyr.EarlyTerminations, 100*anyr.EarlyTermRate, anyr.CancelsSent, anyr.PartialFrames)
 	}
 	var idxr *indexReport
 	if idxRep != nil {
@@ -237,6 +298,8 @@ func runLoad(cfg loadConfig) error {
 				RebalanceMS: cfg.rebalance.Milliseconds(),
 				RatePerSec:  cfg.rate,
 				Arrival:     cfg.arrival,
+				Anytime:     cfg.anytime,
+				SiteDelay:   cfg.siteDelay,
 				Snap:        cfg.snap,
 				URL:         cfg.url,
 				Nodes:       cfg.nodes,
@@ -250,6 +313,7 @@ func runLoad(cfg loadConfig) error {
 			ElapsedSec:   elapsed.Seconds(),
 			QPS:          float64(queries) / elapsed.Seconds(),
 			Latency:      lat,
+			FirstAnswer:  firstAnswer,
 			Lateness:     lateness,
 			Updates:      updates,
 			UpdateErrors: uerrs,
@@ -257,6 +321,7 @@ func runLoad(cfg loadConfig) error {
 			MaxLag:       maxLag.Load(),
 			RSSBytes:     rssBytes(),
 			ReachIndex:   idxr,
+			Anytime:      anyr,
 		}
 		if cfg.rate > 0 {
 			rep.OfferedQPS = cfg.rate
@@ -368,16 +433,18 @@ func pickQuery(class string, rng *gen.RNG, q, n int) (cls string, s, t graph.Nod
 // multiplexed TCP protocol through a single shared coordinator. The graph
 // is synthetic by default, or loaded from cfg.snap (a SNAP edge list,
 // plain or gzipped; cfg.nodes/cfg.edges are overwritten with the real
-// counts). Wire traffic accumulates into wireBytes; maxLag samples the
-// worst replica lag observed — how many sequenced batches the slowest
-// site trails the sequencer by.
-func wireIssuer(cfg *loadConfig, maxLag *atomic.Uint64, wireBytes *atomic.Int64) (func(*gen.RNG, int) error, func(*gen.RNG, int) error, func(uint64) error, func(), func() *indexReport, error) {
+// counts). Sites get their service delays from cfg.delays, cycled — a
+// multi-entry -sitedelay emulates per-site skew. Wire traffic accumulates
+// into wireBytes; fa records each query round's first-answer latency;
+// maxLag samples the worst replica lag observed — how many sequenced
+// batches the slowest site trails the sequencer by.
+func wireIssuer(cfg *loadConfig, maxLag *atomic.Uint64, wireBytes *atomic.Int64, fa *faRecorder) (func(*gen.RNG, int) error, func(*gen.RNG, int) error, func(uint64) error, func(), func() *indexReport, func(int) *anytimeReport, error) {
 	var g *graph.Graph
 	if cfg.snap != "" {
 		var err error
 		g, err = graph.OpenSNAP(cfg.snap, loadLabels)
 		if err != nil {
-			return nil, nil, nil, nil, nil, err
+			return nil, nil, nil, nil, nil, nil, err
 		}
 		cfg.nodes, cfg.edges = g.NumNodes(), g.NumEdges()
 	} else {
@@ -385,7 +452,7 @@ func wireIssuer(cfg *loadConfig, maxLag *atomic.Uint64, wireBytes *atomic.Int64)
 	}
 	fr, err := fragment.Random(g, cfg.k, cfg.seed)
 	if err != nil {
-		return nil, nil, nil, nil, nil, err
+		return nil, nil, nil, nil, nil, nil, err
 	}
 	if cfg.index {
 		if cfg.indexBgt <= 0 {
@@ -393,23 +460,33 @@ func wireIssuer(cfg *loadConfig, maxLag *atomic.Uint64, wireBytes *atomic.Int64)
 		}
 		pol, err := reachindex.ParsePolicy(cfg.indexPol)
 		if err != nil {
-			return nil, nil, nil, nil, nil, err
+			return nil, nil, nil, nil, nil, nil, err
 		}
 		fr.SetReachIndexPolicy(pol)
 		fr.EnableReachIndex(cfg.indexBgt)
 	}
 	rep := fragment.NewReplica(fr)
-	sites, addrs, err := netsite.ServeReplica(rep, netsite.SiteOptions{Delay: cfg.delay})
-	if err != nil {
-		return nil, nil, nil, nil, nil, err
+	sites := make([]*netsite.Site, 0, fr.Card())
+	addrs := make([]string, 0, fr.Card())
+	for i, f := range fr.Fragments() {
+		s, err := netsite.NewSiteReplica("127.0.0.1:0", rep, f.ID, netsite.SiteOptions{Delay: cfg.delays[i%len(cfg.delays)]})
+		if err != nil {
+			for _, prev := range sites {
+				prev.Close()
+			}
+			return nil, nil, nil, nil, nil, nil, err
+		}
+		sites = append(sites, s)
+		addrs = append(addrs, s.Addr())
 	}
 	co, err := netsite.Dial(addrs, 3*time.Second)
 	if err != nil {
 		for _, s := range sites {
 			s.Close()
 		}
-		return nil, nil, nil, nil, nil, err
+		return nil, nil, nil, nil, nil, nil, err
 	}
+	co.SetAnytime(cfg.anytime)
 	var idxRep func() *indexReport
 	if cfg.index {
 		// Invoked once after the load completes: snapshot the counters the
@@ -461,6 +538,9 @@ func wireIssuer(cfg *loadConfig, maxLag *atomic.Uint64, wireBytes *atomic.Int64)
 			}
 			_, st, err := co.Batch(qs)
 			account(st)
+			if err == nil {
+				fa.add(st.FirstAnswer)
+			}
 			return err
 		}
 		cls, s, t, l := pickQuery(cfg.class, rng, q, nodes)
@@ -476,7 +556,24 @@ func wireIssuer(cfg *loadConfig, maxLag *atomic.Uint64, wireBytes *atomic.Int64)
 			_, st, err = co.ReachRegex(s, t, a)
 		}
 		account(st)
+		if err == nil {
+			fa.add(st.FirstAnswer)
+		}
 		return err
+	}
+	anyRep := func(rounds int) *anytimeReport {
+		st := co.AnytimeStats()
+		r := &anytimeReport{
+			Enabled:           co.Anytime(),
+			EarlyTerminations: st.EarlyTerminations,
+			CancelsSent:       st.CancelsSent,
+			PartialFrames:     st.PartialFrames,
+			Stragglers:        st.Stragglers,
+		}
+		if rounds > 0 {
+			r.EarlyTermRate = float64(st.EarlyTerminations) / float64(rounds)
+		}
+		return r
 	}
 	update := func(rng *gen.RNG, i int) error {
 		_, st, err := co.Apply([]netsite.Op{pickUpdate(cfg.nodechurn, nodes, rng, i)})
@@ -510,7 +607,7 @@ func wireIssuer(cfg *loadConfig, maxLag *atomic.Uint64, wireBytes *atomic.Int64)
 		account(st)
 		return err
 	}
-	return issue, update, rebalance, cleanup, idxRep, nil
+	return issue, update, rebalance, cleanup, idxRep, anyRep, nil
 }
 
 // calibrateLocalEval times the per-query site CPU — the summed local

@@ -62,7 +62,8 @@ func main() {
 		arrival   = flag.String("arrival", "poisson", "load: open-loop arrival schedule: poisson | uniform")
 		jsonOut   = flag.String("json", "", "load: write a schema-versioned JSON report to this path")
 		snap      = flag.String("snap", "", "load: build the in-process deployment from this SNAP edge-list file")
-		sdelay    = flag.Duration("sitedelay", 0, "load: emulated per-frame site service time (in-process mode; the N3 workload uses 5ms)")
+		sdelay    = flag.String("sitedelay", "0", "load: emulated per-frame site service time (in-process mode; the N3 workload uses 5ms). A comma-separated list assigns delays per site, cycling — e.g. 0,0,0,50ms puts one straggler in a 4-site deployment")
+		anytime   = flag.Bool("anytime", true, "load: anytime answers — sites stream partial equations and reach rounds terminate the instant they are proven (in-process mode)")
 		url       = flag.String("url", "", "load: drive a cmd/serve gateway at this base URL instead of an in-process deployment")
 		index     = flag.Bool("index", false, "load: enable the per-fragment reachability index (in-process mode)")
 		indexBgt  = flag.Int64("indexbudget", reachindex.DefaultBudget, "load: with -index, per-fragment label budget in bytes")
@@ -87,7 +88,8 @@ func main() {
 			arrival:   *arrival,
 			jsonPath:  *jsonOut,
 			snap:      *snap,
-			delay:     *sdelay,
+			siteDelay: *sdelay,
+			anytime:   *anytime,
 			index:     *index,
 			indexBgt:  *indexBgt,
 			indexPol:  *indexPol,

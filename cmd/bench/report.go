@@ -13,28 +13,34 @@ import (
 
 // Machine-checkable bench reports. A -json run writes one BENCH_*.json
 // whose schema is versioned, so CI can compare runs across PRs (see
-// cmd/benchcheck) without scraping the human-readable output. Schema v1:
+// cmd/benchcheck) without scraping the human-readable output. Schema v2
+// (v1 plus the first-answer and anytime sections; everything v1 carried
+// is unchanged, so v1 baselines stay comparable):
 //
 //	{
-//	  "schema": "distreach-bench/v1",
+//	  "schema": "distreach-bench/v2",
 //	  "mode": "open" | "closed",
 //	  "config": { ... the knobs that shaped the run ... },
 //	  "queries": N, "rounds": N, "errors": N, "elapsed_sec": S,
 //	  "qps": Q,                          // achieved throughput
 //	  "offered_qps": R,                  // open loop only: the schedule
 //	  "latency_us":  {"mean":..,"p50":..,"p90":..,"p95":..,"p99":..,"max":..},
+//	  "first_answer_us": {...},          // wire mode: per-round WireStats.FirstAnswer
 //	  "lateness_us": {...},              // open loop only: start - scheduled
 //	  "updates": N, "update_errors": N, "rebalances": N,
 //	  "max_replica_lag_batches": N,      // wire mode with churn
 //	  "bytes_per_query": B,              // wire mode: sent+received
-//	  "rss_bytes": B                     // generator process VmRSS
+//	  "rss_bytes": B,                    // generator process VmRSS
+//	  "anytime": { ... protocol counters; wire mode ... }
 //	}
 //
 // Latency percentiles are measured from the SCHEDULED arrival in open
 // loop (so queue delay under overload is charged to the system, not
 // silently dropped — no coordinated omission) and from issue time in
-// closed loop.
-const benchSchema = "distreach-bench/v1"
+// closed loop. First-answer percentiles come from the coordinator's own
+// clock (WireStats.FirstAnswer): the instant streamed partials proved the
+// round, before the straggler sites' finals.
+const benchSchema = "distreach-bench/v2"
 
 type latencySummary struct {
 	MeanUS int64 `json:"mean"`
@@ -78,6 +84,8 @@ type benchReportConfig struct {
 	RebalanceMS int64   `json:"rebalance_ms"`
 	RatePerSec  float64 `json:"rate_per_sec"` // 0 = closed loop
 	Arrival     string  `json:"arrival,omitempty"`
+	Anytime     bool    `json:"anytime"`
+	SiteDelay   string  `json:"site_delay,omitempty"` // comma-separated per-site service delays
 	Snap        string  `json:"snap,omitempty"`
 	URL         string  `json:"url,omitempty"`
 	Nodes       int     `json:"nodes"`
@@ -98,8 +106,9 @@ type benchReport struct {
 	QPS        float64 `json:"qps"`
 	OfferedQPS float64 `json:"offered_qps,omitempty"`
 
-	Latency  latencySummary  `json:"latency_us"`
-	Lateness *latencySummary `json:"lateness_us,omitempty"`
+	Latency     latencySummary  `json:"latency_us"`
+	FirstAnswer *latencySummary `json:"first_answer_us,omitempty"`
+	Lateness    *latencySummary `json:"lateness_us,omitempty"`
 
 	Updates      int    `json:"updates"`
 	UpdateErrors int    `json:"update_errors"`
@@ -109,7 +118,19 @@ type benchReport struct {
 	BytesPerQuery float64 `json:"bytes_per_query"`
 	RSSBytes      int64   `json:"rss_bytes"`
 
-	ReachIndex *indexReport `json:"reachindex,omitempty"`
+	ReachIndex *indexReport   `json:"reachindex,omitempty"`
+	Anytime    *anytimeReport `json:"anytime,omitempty"`
+}
+
+// anytimeReport is the anytime-protocol section of a wire-mode report:
+// the coordinator's counters after the load drained.
+type anytimeReport struct {
+	Enabled           bool    `json:"enabled"`
+	EarlyTerminations int64   `json:"early_terminations"`
+	EarlyTermRate     float64 `json:"early_term_rate"` // early terminations / rounds
+	CancelsSent       int64   `json:"cancels_sent"`
+	PartialFrames     int64   `json:"partial_frames"`
+	Stragglers        []int64 `json:"stragglers"` // per site: rounds decided before its final
 }
 
 // indexReport is the -index section of the JSON report: the counters the

@@ -5,10 +5,13 @@
 //	go run ./cmd/bench -load -rate ... -json BENCH_PR.json
 //	go run ./cmd/benchcheck -baseline BENCH_PR6.json -current BENCH_PR.json
 //
-// A regression is a throughput drop beyond -max-qps-drop (default 20%) or
-// a p99 latency growth beyond -max-p99-growth (default 50%). The gates are
-// deliberately loose: CI runners are noisy, and the job exists to catch
-// collapses (an accidental O(n) in the hot path), not 3% wiggles.
+// A regression is a throughput drop beyond -max-qps-drop (default 20%),
+// a p99 latency growth beyond -max-p99-growth (default 50%), or — when
+// both reports carry the schema-v2 first-answer section — a first-answer
+// p99 growth beyond the same -max-p99-growth budget (the anytime
+// protocol's early-termination win must not silently erode). The gates
+// are deliberately loose: CI runners are noisy, and the job exists to
+// catch collapses (an accidental O(n) in the hot path), not 3% wiggles.
 //
 // Override: when a PR knowingly trades throughput away (say, for
 // correctness or durability), pass -allow-regression or set
@@ -24,7 +27,11 @@ import (
 	"os"
 )
 
-// report mirrors the subset of cmd/bench's schema v1 that the gates read.
+// report mirrors the subset of cmd/bench's schema that the gates read.
+// Schema v1 and v2 are both accepted: v2 added the first-answer and
+// anytime sections without changing anything v1 carried, so a v2 run
+// remains comparable against a v1 baseline (the first-answer gate simply
+// has nothing to compare and stays silent).
 type report struct {
 	Schema  string  `json:"schema"`
 	Mode    string  `json:"mode"`
@@ -34,7 +41,17 @@ type report struct {
 		P50 int64 `json:"p50"`
 		P99 int64 `json:"p99"`
 	} `json:"latency_us"`
+	FirstAnswer *struct {
+		P50 int64 `json:"p50"`
+		P99 int64 `json:"p99"`
+	} `json:"first_answer_us"`
 	BytesPerQuery float64 `json:"bytes_per_query"`
+}
+
+// benchSchemas lists the report schemas this checker understands.
+var benchSchemas = map[string]bool{
+	"distreach-bench/v1": true,
+	"distreach-bench/v2": true,
 }
 
 func load(path string) (report, error) {
@@ -54,14 +71,17 @@ func parseReport(path string, b []byte) (report, error) {
 	if err := json.Unmarshal(b, &r); err != nil {
 		return r, fmt.Errorf("%s: %w", path, err)
 	}
-	if r.Schema != "distreach-bench/v1" {
-		return r, fmt.Errorf("%s: unknown schema %q (want distreach-bench/v1)", path, r.Schema)
+	if !benchSchemas[r.Schema] {
+		return r, fmt.Errorf("%s: unknown schema %q (want distreach-bench/v1 or v2)", path, r.Schema)
 	}
 	if r.QPS <= 0 {
 		return r, fmt.Errorf("%s: corrupt or truncated report: qps = %v", path, r.QPS)
 	}
 	if r.Latency.P99 <= 0 {
 		return r, fmt.Errorf("%s: corrupt or truncated report: p99 = %dus", path, r.Latency.P99)
+	}
+	if r.FirstAnswer != nil && r.FirstAnswer.P99 <= 0 {
+		return r, fmt.Errorf("%s: corrupt or truncated report: first-answer p99 = %dus", path, r.FirstAnswer.P99)
 	}
 	return r, nil
 }
@@ -81,6 +101,13 @@ func gate(base, cur report, qpsDrop, p99Grow float64) []string {
 	if float64(cur.Latency.P99) > float64(base.Latency.P99)*(1+p99Grow) {
 		fails = append(fails, fmt.Sprintf("p99 latency grew %.0f%% (budget %.0f%%)",
 			100*float64(cur.Latency.P99-base.Latency.P99)/float64(base.Latency.P99), 100*p99Grow))
+	}
+	// The first-answer gate only fires when both reports measured it (v2
+	// wire-mode runs); parseReport guarantees a present section is positive.
+	if base.FirstAnswer != nil && cur.FirstAnswer != nil &&
+		float64(cur.FirstAnswer.P99) > float64(base.FirstAnswer.P99)*(1+p99Grow) {
+		fails = append(fails, fmt.Sprintf("first-answer p99 grew %.0f%% (budget %.0f%%)",
+			100*float64(cur.FirstAnswer.P99-base.FirstAnswer.P99)/float64(base.FirstAnswer.P99), 100*p99Grow))
 	}
 	return fails
 }
@@ -123,6 +150,9 @@ func main() {
 	fmt.Printf("  qps         %8.0f -> %8.0f  (%s)\n", base.QPS, cur.QPS, ratio(cur.QPS, base.QPS))
 	fmt.Printf("  p50 latency %7dus -> %7dus  (%s)\n", base.Latency.P50, cur.Latency.P50, ratio(float64(cur.Latency.P50), float64(base.Latency.P50)))
 	fmt.Printf("  p99 latency %7dus -> %7dus  (%s)\n", base.Latency.P99, cur.Latency.P99, ratio(float64(cur.Latency.P99), float64(base.Latency.P99)))
+	if base.FirstAnswer != nil && cur.FirstAnswer != nil {
+		fmt.Printf("  first-ans p99 %5dus -> %7dus  (%s)\n", base.FirstAnswer.P99, cur.FirstAnswer.P99, ratio(float64(cur.FirstAnswer.P99), float64(base.FirstAnswer.P99)))
+	}
 	if base.BytesPerQuery > 0 && cur.BytesPerQuery > 0 {
 		fmt.Printf("  bytes/query %8.0f -> %8.0f  (%s)\n", base.BytesPerQuery, cur.BytesPerQuery, ratio(cur.BytesPerQuery, base.BytesPerQuery))
 	}

@@ -11,13 +11,16 @@ func TestParseReportRejectsCorruptBaselines(t *testing.T) {
 		body string
 		want string // substring of the expected error, "" = must succeed
 	}{
-		{"good", `{"schema":"distreach-bench/v1","mode":"open","qps":1200.5,"latency_us":{"p50":90,"p99":400}}`, ""},
+		{"good v1", `{"schema":"distreach-bench/v1","mode":"open","qps":1200.5,"latency_us":{"p50":90,"p99":400}}`, ""},
+		{"good v2", `{"schema":"distreach-bench/v2","mode":"open","qps":1200.5,"latency_us":{"p50":90,"p99":400},"first_answer_us":{"p50":40,"p99":150}}`, ""},
+		{"v2 without first answer", `{"schema":"distreach-bench/v2","mode":"open","qps":1200,"latency_us":{"p50":90,"p99":400}}`, ""},
 		{"zero qps", `{"schema":"distreach-bench/v1","mode":"open","qps":0,"latency_us":{"p50":90,"p99":400}}`, "corrupt or truncated"},
 		{"zero p99", `{"schema":"distreach-bench/v1","mode":"open","qps":1200,"latency_us":{"p50":90,"p99":0}}`, "corrupt or truncated"},
+		{"zero first-answer p99", `{"schema":"distreach-bench/v2","mode":"open","qps":1200,"latency_us":{"p50":90,"p99":400},"first_answer_us":{"p50":0,"p99":0}}`, "corrupt or truncated"},
 		{"negative qps", `{"schema":"distreach-bench/v1","mode":"open","qps":-3,"latency_us":{"p99":400}}`, "corrupt or truncated"},
 		{"empty object", `{}`, "unknown schema"},
 		{"truncated json", `{"schema":"distreach-bench/v1","qps":12`, "unexpected end"},
-		{"wrong schema", `{"schema":"distreach-bench/v2","qps":12,"latency_us":{"p99":4}}`, "unknown schema"},
+		{"wrong schema", `{"schema":"distreach-bench/v3","qps":12,"latency_us":{"p99":4}}`, "unknown schema"},
 	}
 	for _, tc := range cases {
 		_, err := parseReport("BENCH_X.json", []byte(tc.body))
@@ -57,5 +60,36 @@ func TestGate(t *testing.T) {
 	}
 	if fails := gate(base, mk(500, 2000, 1), 0.20, 0.50); len(fails) != 3 {
 		t.Fatalf("want all three gates to fire, got %v", fails)
+	}
+}
+
+func TestGateFirstAnswer(t *testing.T) {
+	type fa = struct {
+		P50 int64 `json:"p50"`
+		P99 int64 `json:"p99"`
+	}
+	mk := func(faP99 int64) report {
+		r := report{QPS: 1000}
+		r.Latency.P99 = 1000
+		if faP99 > 0 {
+			r.FirstAnswer = &fa{P50: faP99 / 2, P99: faP99}
+		}
+		return r
+	}
+	// Within budget: 40% growth under a 50% budget.
+	if fails := gate(mk(100), mk(140), 0.20, 0.50); len(fails) != 0 {
+		t.Fatalf("within-budget first-answer growth failed the gate: %v", fails)
+	}
+	// Erosion of the early-termination win: 3x growth must fail.
+	fails := gate(mk(100), mk(300), 0.20, 0.50)
+	if len(fails) != 1 || !strings.Contains(fails[0], "first-answer p99 grew") {
+		t.Fatalf("3x first-answer p99 growth not caught: %v", fails)
+	}
+	// A v1 baseline (no section) never trips the gate against a v2 run.
+	if fails := gate(mk(0), mk(300), 0.20, 0.50); len(fails) != 0 {
+		t.Fatalf("first-answer gate fired without a baseline measurement: %v", fails)
+	}
+	if fails := gate(mk(100), mk(0), 0.20, 0.50); len(fails) != 0 {
+		t.Fatalf("first-answer gate fired without a current measurement: %v", fails)
 	}
 }

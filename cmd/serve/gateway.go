@@ -38,6 +38,7 @@ type gwOptions struct {
 	seed        uint64        // rebalance partitioner seed base
 	store       *oplog.Store  // durable oplog (-wal); nil = in-memory order only
 	snapEvery   int           // checkpoint + log-truncate cadence in batches; 0 = never
+	coalesce    time.Duration // adaptive batching window for GET /reach; 0 = off
 
 	// idxStats reads the reachability-index counters of the current
 	// deployment; nil when the sites are remote (the gateway has no local
@@ -55,6 +56,7 @@ type gateway struct {
 	co      *netsite.Coordinator
 	cache   *qcache.Cache[cachedAnswer]
 	opts    gwOptions
+	coal    *coalescer    // adaptive batching for GET /reach; nil = off
 	sem     chan struct{} // in-flight request slots (backpressure)
 	queries atomic.Int64
 	updates atomic.Int64
@@ -83,13 +85,17 @@ func newGateway(co *netsite.Coordinator, o gwOptions) *gateway {
 	if o.store != nil {
 		co.UseSequencer(oplog.NewDurableSequencer(o.store))
 	}
-	return &gateway{
+	g := &gateway{
 		co:      co,
 		cache:   qcache.New[cachedAnswer](o.cacheCap),
 		opts:    o,
 		sem:     make(chan struct{}, o.maxInflight),
 		started: time.Now(),
 	}
+	if o.coalesce > 0 {
+		g.coal = newCoalescer(co, o.coalesce, o.timeout)
+	}
+	return g
 }
 
 func (g *gateway) routes() *http.ServeMux {
@@ -235,20 +241,28 @@ func (g *gateway) maybeSnapshot() {
 
 // wireJSON mirrors netsite.WireStats for responses served off the wire.
 type wireJSON struct {
-	BytesSent       int64 `json:"bytes_sent"`
-	BytesReceived   int64 `json:"bytes_received"`
-	FramesSent      int64 `json:"frames_sent"`
-	FramesReceived  int64 `json:"frames_received"`
-	RoundTripMicros int64 `json:"round_trip_us"`
+	BytesSent         int64 `json:"bytes_sent"`
+	BytesReceived     int64 `json:"bytes_received"`
+	FramesSent        int64 `json:"frames_sent"`
+	FramesReceived    int64 `json:"frames_received"`
+	RoundTripMicros   int64 `json:"round_trip_us"`
+	FirstAnswerMicros int64 `json:"first_answer_us"`
+	PartialFrames     int64 `json:"partial_frames,omitempty"`
+	CancelFrames      int64 `json:"cancel_frames,omitempty"`
+	EarlyTerminated   bool  `json:"early_terminated,omitempty"`
 }
 
 func toWireJSON(st netsite.WireStats) *wireJSON {
 	return &wireJSON{
-		BytesSent:       st.BytesSent,
-		BytesReceived:   st.BytesReceived,
-		FramesSent:      st.FramesSent,
-		FramesReceived:  st.FramesReceived,
-		RoundTripMicros: st.RoundTrip.Microseconds(),
+		BytesSent:         st.BytesSent,
+		BytesReceived:     st.BytesReceived,
+		FramesSent:        st.FramesSent,
+		FramesReceived:    st.FramesReceived,
+		RoundTripMicros:   st.RoundTrip.Microseconds(),
+		FirstAnswerMicros: st.FirstAnswer.Microseconds(),
+		PartialFrames:     st.PartialFrames,
+		CancelFrames:      st.CancelFrames,
+		EarlyTerminated:   st.EarlyTerminated,
 	}
 }
 
@@ -311,14 +325,29 @@ func (g *gateway) handleReach(w http.ResponseWriter, r *http.Request) {
 	epoch := g.cache.Generation()
 	ctx, cancel := g.wireCtx(r)
 	defer cancel()
-	answer, st, err := g.co.ReachContext(ctx, s, t)
+	var (
+		answer  bool
+		touched []int
+		st      netsite.WireStats
+		err     error
+	)
+	if g.coal != nil {
+		// Adaptive batching: concurrent misses inside the -coalesce window
+		// share one wire round instead of posting one each.
+		var ba netsite.BatchAnswer
+		ba, st, err = g.coal.reach(ctx, s, t)
+		answer, touched = ba.Answer, ba.Touched
+	} else {
+		answer, st, err = g.co.ReachContext(ctx, s, t)
+		touched = st.Touched
+	}
 	if err != nil {
 		g.wireError(w, err)
 		return
 	}
 	g.noteEpoch(st.Epoch)
 	ans := cachedAnswer{Answer: answer}
-	g.cache.PutIfGeneration(key, ans, epoch, st.Touched)
+	g.cache.PutIfGeneration(key, ans, epoch, touched)
 	g.respond(w, query, ans, false, st)
 }
 
@@ -861,12 +890,29 @@ func (g *gateway) handleStats(w http.ResponseWriter, r *http.Request) {
 			"per_policy_counters": st.PerPolicy,
 		}
 	}
+	ast := g.co.AnytimeStats()
+	anytime := map[string]any{
+		"enabled":            g.co.Anytime(),
+		"early_terminations": ast.EarlyTerminations,
+		"cancels_sent":       ast.CancelsSent,
+		"partial_frames":     ast.PartialFrames,
+		// Per-site straggler histogram: rounds decided before that site's
+		// final arrived. The site dominating it is the one slowing full
+		// rounds down.
+		"stragglers": ast.Stragglers,
+	}
+	var coalesce map[string]any
+	if g.coal != nil {
+		coalesce = g.coal.statsJSON()
+	}
 	writeJSON(w, http.StatusOK, map[string]any{
 		"queries":        g.queries.Load(),
 		"updates":        g.updates.Load(),
 		"epoch":          g.epoch.Load(),
 		"rebalances":     g.rebalances.Load(),
 		"uptime_seconds": int64(time.Since(g.started).Seconds()),
+		"anytime":        anytime,
+		"coalesce":       coalesce,
 		"backpressure": map[string]any{
 			"max_inflight": cap(g.sem),
 			"inflight":     len(g.sem),

@@ -2,6 +2,7 @@ package main
 
 import (
 	"encoding/json"
+	"fmt"
 	"net/http"
 	"net/http/httptest"
 	"strconv"
@@ -683,5 +684,208 @@ func TestGatewayStatsReachIndex(t *testing.T) {
 	}
 	if lb, _ := ri["label_bytes"].(float64); lb == 0 {
 		t.Fatalf("label_bytes = 0: %v", ri)
+	}
+}
+
+// TestGatewayCoalesce is the adaptive-batching satellite: concurrent
+// GET /reach cache misses landing inside one -coalesce window share a
+// single wire batch, every answer still matches the oracle, cached hits
+// bypass the coalescer entirely, and /stats surfaces the round sizes.
+func TestGatewayCoalesce(t *testing.T) {
+	labels := []string{"A", "B"}
+	g := gen.Uniform(gen.Config{Nodes: 80, Edges: 320, Labels: labels, Seed: 66})
+	fr, err := fragment.Random(g, 3, 66)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sites, addrs, err := netsite.ServeFragmentation(fr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	co, err := netsite.Dial(addrs, 2*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gw := newGateway(co, gwOptions{cacheCap: 128, coalesce: 200 * time.Millisecond})
+	srv := httptest.NewServer(gw.routes())
+	t.Cleanup(func() {
+		srv.Close()
+		co.Close()
+		for _, s := range sites {
+			s.Close()
+		}
+	})
+
+	const n = 8
+	var wg sync.WaitGroup
+	errs := make(chan string, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			s, tt := i, 70-i
+			resp, err := http.Get(srv.URL + "/reach?s=" + strconv.Itoa(s) + "&t=" + strconv.Itoa(tt))
+			if err != nil {
+				errs <- err.Error()
+				return
+			}
+			var m map[string]any
+			err = json.NewDecoder(resp.Body).Decode(&m)
+			resp.Body.Close()
+			if err != nil {
+				errs <- err.Error()
+				return
+			}
+			if got, want := m["answer"].(bool), g.Reachable(graph.NodeID(s), graph.NodeID(tt)); got != want {
+				errs <- fmt.Sprintf("qr(%d,%d): coalesced=%v oracle=%v", s, tt, got, want)
+				return
+			}
+			if m["wire"] == nil {
+				errs <- fmt.Sprintf("qr(%d,%d): miss must report wire stats", s, tt)
+			}
+		}(i)
+	}
+	wg.Wait()
+	select {
+	case e := <-errs:
+		t.Fatal(e)
+	default:
+	}
+
+	if q := gw.coal.queries.Load(); q != n {
+		t.Fatalf("%d queries through the coalescer, want %d", q, n)
+	}
+	rounds := gw.coal.rounds.Load()
+	if rounds < 1 || rounds >= n {
+		t.Fatalf("%d concurrent misses flushed as %d rounds; coalescing never happened", n, rounds)
+	}
+	if c := gw.coal.coalesced.Load(); c < 2 {
+		t.Fatalf("coalesced counter %d, want >= 2", c)
+	}
+
+	// A repeat is served from the cache and never enters the coalescer.
+	if m := getJSON(t, srv.URL+"/reach?s=0&t=70", 200); m["cached"] != true {
+		t.Fatal("repeat query must hit the cache")
+	}
+	if q := gw.coal.queries.Load(); q != n {
+		t.Fatalf("cached hit went through the coalescer (counter %d)", q)
+	}
+
+	// /stats mirrors the live counters.
+	st := getJSON(t, srv.URL+"/stats", 200)
+	cs, ok := st["coalesce"].(map[string]any)
+	if !ok {
+		t.Fatalf("/stats missing coalesce section: %v", st)
+	}
+	if int64(cs["queries"].(float64)) != n {
+		t.Fatalf("coalesce.queries = %v, want %d", cs["queries"], n)
+	}
+	if int64(cs["rounds"].(float64)) != rounds {
+		t.Fatalf("coalesce.rounds = %v, want %d", cs["rounds"], rounds)
+	}
+	if int64(cs["window_us"].(float64)) != 200000 {
+		t.Fatalf("coalesce.window_us = %v", cs["window_us"])
+	}
+}
+
+// TestGatewayAnytimeStats: the anytime protocol end to end through HTTP —
+// a reach query whose certificate avoids the slow site answers well ahead
+// of the straggler, the per-query wire JSON reports the early
+// termination, and /stats aggregates the protocol counters including the
+// per-site straggler histogram.
+func TestGatewayAnytimeStats(t *testing.T) {
+	const slow = 500 * time.Millisecond
+	// Two components across three sites: an a-chain alternating fragments
+	// 0/1 (fast) and a b-chain on fragment 2 (slow).
+	b := graph.NewBuilder(16)
+	a0 := b.AddNodes(12, "A")
+	b0 := b.AddNodes(4, "B")
+	for i := 0; i < 11; i++ {
+		b.AddEdge(a0+graph.NodeID(i), a0+graph.NodeID(i+1))
+	}
+	for i := 0; i < 3; i++ {
+		b.AddEdge(b0+graph.NodeID(i), b0+graph.NodeID(i+1))
+	}
+	g := b.MustBuild()
+	assign := make([]int, 16)
+	for i := 0; i < 12; i++ {
+		assign[i] = i % 2
+	}
+	for i := 12; i < 16; i++ {
+		assign[i] = 2
+	}
+	fr, err := fragment.Build(g, assign, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := fragment.NewReplica(fr)
+	delays := []time.Duration{0, 0, slow}
+	var sites []*netsite.Site
+	var addrs []string
+	for i, f := range fr.Fragments() {
+		s, err := netsite.NewSiteReplica("127.0.0.1:0", rep, f.ID, netsite.SiteOptions{Delay: delays[i]})
+		if err != nil {
+			t.Fatal(err)
+		}
+		sites = append(sites, s)
+		addrs = append(addrs, s.Addr())
+	}
+	co, err := netsite.Dial(addrs, 2*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gw := newGateway(co, gwOptions{cacheCap: 128})
+	srv := httptest.NewServer(gw.routes())
+	t.Cleanup(func() {
+		srv.Close()
+		co.Close()
+		for _, s := range sites {
+			s.Close()
+		}
+	})
+
+	start := time.Now()
+	m := getJSON(t, srv.URL+"/reach?s=0&t=11", 200)
+	elapsed := time.Since(start)
+	if m["answer"] != true {
+		t.Fatalf("qr(0,11) = %v, want true", m["answer"])
+	}
+	if elapsed >= slow-100*time.Millisecond {
+		t.Fatalf("anytime answer took %v; must beat the %v straggler", elapsed, slow)
+	}
+	wire := m["wire"].(map[string]any)
+	if wire["early_terminated"] != true {
+		t.Fatalf("wire JSON missing early_terminated: %v", wire)
+	}
+	if fa := time.Duration(wire["first_answer_us"].(float64)) * time.Microsecond; fa <= 0 || fa >= slow {
+		t.Fatalf("first_answer_us = %v, want positive and ahead of the straggler", fa)
+	}
+	if int64(wire["cancel_frames"].(float64)) < 1 {
+		t.Fatalf("wire JSON reports no cancel frames: %v", wire)
+	}
+
+	st := getJSON(t, srv.URL+"/stats", 200)
+	at, ok := st["anytime"].(map[string]any)
+	if !ok {
+		t.Fatalf("/stats missing anytime section: %v", st)
+	}
+	if at["enabled"] != true {
+		t.Fatalf("anytime.enabled = %v, want true", at["enabled"])
+	}
+	if n := int64(at["early_terminations"].(float64)); n < 1 {
+		t.Fatalf("early_terminations = %d, want >= 1", n)
+	}
+	if n := int64(at["cancels_sent"].(float64)); n < 1 {
+		t.Fatalf("cancels_sent = %d, want >= 1", n)
+	}
+	if n := int64(at["partial_frames"].(float64)); n < 1 {
+		t.Fatalf("partial_frames = %d, want >= 1", n)
+	}
+	str, ok := at["stragglers"].([]any)
+	if !ok || len(str) != 3 {
+		t.Fatalf("stragglers = %v, want one counter per site", at["stragglers"])
+	}
+	if int64(str[2].(float64)) < 1 {
+		t.Fatalf("slow site's straggler counter = %v, want >= 1", str[2])
 	}
 }

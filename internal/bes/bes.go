@@ -17,11 +17,19 @@ import "fmt"
 
 // System is a disjunctive Boolean equation system over variables of
 // comparable type K. The zero value is not usable; call New.
+//
+// The system is solved incrementally: every Add maintains the least
+// solution of the equations seen so far, so Decide is O(1) at any point
+// while the total propagation work over any Add sequence is O(|Vd|+|Ed|)
+// — the same bound as one batch Solve. This is what lets the coordinator
+// answer a reach query the instant streamed partials close a certificate.
 type System[K comparable] struct {
 	idx   map[K]int // variable -> dense index
 	vars  []K
-	truth []bool  // equation has a `true` disjunct
-	deps  [][]int // equation -> variable indices on its right-hand side
+	truth []bool    // equation has a `true` disjunct
+	deps  [][]int   // equation -> variable indices on its right-hand side
+	rev   [][]int32 // reverse dependency edges, maintained by Add
+	val   []bool    // least solution of the equations added so far
 	edges int
 }
 
@@ -39,20 +47,62 @@ func (s *System[K]) intern(x K) int {
 	s.vars = append(s.vars, x)
 	s.truth = append(s.truth, false)
 	s.deps = append(s.deps, nil)
+	s.rev = append(s.rev, nil)
+	s.val = append(s.val, false)
 	return i
 }
 
+// propagate marks i true and floods truth along the reverse dependency
+// edges accumulated so far. Each variable is enqueued at most once over
+// the lifetime of the system (val is monotone), so the aggregate cost of
+// all propagations is linear in the dependency graph.
+func (s *System[K]) propagate(i int) {
+	s.val[i] = true
+	queue := []int32{int32(i)}
+	for len(queue) > 0 {
+		y := queue[0]
+		queue = queue[1:]
+		for _, x := range s.rev[y] {
+			if !s.val[x] {
+				s.val[x] = true
+				queue = append(queue, x)
+			}
+		}
+	}
+}
+
 // Add records the equation x = constTrue ∨ (∨ vars). Adding x twice merges
-// the right-hand sides (disjunction is idempotent and commutative).
+// the right-hand sides (disjunction is idempotent and commutative). The
+// least solution is updated in place: after Add returns, Decide reflects
+// every equation added so far.
 func (s *System[K]) Add(x K, constTrue bool, vars ...K) {
 	i := s.intern(x)
 	if constTrue {
 		s.truth[i] = true
+		if !s.val[i] {
+			s.propagate(i)
+		}
 	}
 	for _, v := range vars {
-		s.deps[i] = append(s.deps[i], s.intern(v))
+		j := s.intern(v)
+		s.deps[i] = append(s.deps[i], j)
+		s.rev[j] = append(s.rev[j], int32(i))
 		s.edges++
+		if s.val[j] && !s.val[i] {
+			s.propagate(i)
+		}
 	}
+}
+
+// Decide reports whether x is true under the least solution of the
+// equations added so far. The solution is monotone in the equation set:
+// a true verdict is definitive no matter what is added later (each
+// equation is a sound implication), while false only becomes definitive
+// once every contributing site's equations have been added — exactly the
+// anytime-answer contract used by the coordinator.
+func (s *System[K]) Decide(x K) bool {
+	i, ok := s.idx[x]
+	return ok && s.val[i]
 }
 
 // NumVars reports the number of distinct variables mentioned.
@@ -61,39 +111,14 @@ func (s *System[K]) NumVars() int { return len(s.vars) }
 // NumEdges reports the number of dependency edges (|Ed| of Gd).
 func (s *System[K]) NumEdges() int { return s.edges }
 
-// Solve computes the least solution and returns the set of true variables.
-// It is the paper's evalDG: reverse reachability from the merged true node
-// over the dependency graph. Runs in O(|Vd| + |Ed|).
+// Solve returns the set of true variables under the least solution. It is
+// the paper's evalDG: reverse reachability from the merged true node over
+// the dependency graph. The reachability itself is maintained by Add, so
+// Solve only materializes the answer map; total cost over the system's
+// lifetime stays O(|Vd| + |Ed|).
 func (s *System[K]) Solve() map[K]bool {
-	// Build reverse adjacency: an equation X = ... ∨ Y ∨ ... contributes
-	// edge X -> Y in Gd; X is true iff X reaches a true node, i.e. in the
-	// reverse graph true nodes reach X.
-	rev := make([][]int32, len(s.vars))
-	for x, ds := range s.deps {
-		for _, y := range ds {
-			rev[y] = append(rev[y], int32(x))
-		}
-	}
-	val := make([]bool, len(s.vars))
-	var queue []int32
-	for i, t := range s.truth {
-		if t {
-			val[i] = true
-			queue = append(queue, int32(i))
-		}
-	}
-	for len(queue) > 0 {
-		y := queue[0]
-		queue = queue[1:]
-		for _, x := range rev[y] {
-			if !val[x] {
-				val[x] = true
-				queue = append(queue, x)
-			}
-		}
-	}
 	out := make(map[K]bool)
-	for i, v := range val {
+	for i, v := range s.val {
 		if v {
 			out[s.vars[i]] = true
 		}

@@ -103,6 +103,65 @@ func TestSolveMatchesFixpoint(t *testing.T) {
 	}
 }
 
+// TestDecideIncremental feeds random equations one at a time and checks
+// after every Add that the incrementally maintained solution matches the
+// Kleene-iteration oracle on the prefix added so far, and that true
+// verdicts are monotone (never retracted by later equations).
+func TestDecideIncremental(t *testing.T) {
+	check := func(seed int64) bool {
+		rng := seed
+		next := func(n int) int {
+			rng = rng*6364136223846793005 + 1442695040888963407
+			return int(uint64(rng)>>33) % n
+		}
+		s := New[int]()
+		oracle := New[int]()
+		nvars := 2 + next(24)
+		wasTrue := make(map[int]bool)
+		for step := 0; step < nvars; step++ {
+			v := next(nvars)
+			deps := make([]int, next(4))
+			for i := range deps {
+				deps[i] = next(nvars)
+			}
+			ct := next(6) == 0
+			s.Add(v, ct, deps...)
+			oracle.Add(v, ct, deps...)
+			want := oracle.SolveFixpoint()
+			for x := 0; x < nvars; x++ {
+				if s.Decide(x) != want[x] {
+					return false
+				}
+				if wasTrue[x] && !s.Decide(x) {
+					return false // true retracted
+				}
+				if s.Decide(x) {
+					wasTrue[x] = true
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDecideUnknownVariable(t *testing.T) {
+	s := New[int]()
+	s.Add(1, false, 2)
+	if s.Decide(1) || s.Decide(2) || s.Decide(99) {
+		t.Fatal("nothing should be provable yet")
+	}
+	s.Add(2, true)
+	if !s.Decide(1) || !s.Decide(2) {
+		t.Fatal("truth did not propagate to dependents")
+	}
+	if s.Decide(99) {
+		t.Fatal("never-mentioned variable decided true")
+	}
+}
+
 func TestWeightedExample5(t *testing.T) {
 	// Fig. 5(b): the weighted dependency graph of qbr(Ann, Mark, 6).
 	s := NewWeighted[string]()

@@ -80,7 +80,7 @@ func DisReachBatch(cl *cluster.Cluster, fr *fragment.Fragmentation, qs []Query) 
 			// its own equation.
 			rv := LocalEvalReach(f, graph.None, gr.t, nil)
 			for _, s := range gr.sources {
-				if eq, ok := sourceEq(f, s, gr.t); ok {
+				if eq, ok := sourceEq(f, s, gr.t, nil); ok {
 					rv.eqs = append(rv.eqs, eq)
 				}
 			}
@@ -126,7 +126,7 @@ func DisReachBatch(cl *cluster.Cluster, fr *fragment.Fragmentation, qs []Query) 
 // work. It reports false when s contributes no equation of its own — not
 // stored on this fragment, stored only as a virtual node, or already an
 // in-node (whose equation is part of the source-independent rvset).
-func sourceEq(f *fragment.Fragment, s, t graph.NodeID) (reachEq, bool) {
+func sourceEq(f *fragment.Fragment, s, t graph.NodeID, opt *Options) (reachEq, bool) {
 	ls, ok := f.Local(s)
 	if !ok || f.IsVirtual(ls) || f.IsInNode(ls) {
 		return reachEq{}, false
@@ -149,7 +149,11 @@ func sourceEq(f *fragment.Fragment, s, t graph.NodeID) (reachEq, bool) {
 	seen[ls] = true
 	queue := make([]int32, 1, 16)
 	queue[0] = ls
+	pops := 0
 	for len(queue) > 0 {
+		if pops++; pops&0xff == 0 && opt.cancelled() {
+			return reachEq{}, false
+		}
 		x := queue[0]
 		queue = queue[1:]
 		if x != ls {
@@ -178,8 +182,12 @@ func sourceEq(f *fragment.Fragment, s, t graph.NodeID) (reachEq, bool) {
 // LocalEvalReach(f, graph.None, t) it splits a fragment's batch answer
 // into a per-target shared part and a per-source part, which the wire
 // batch reply ships deduplicated.
-func SourceOnlyReach(f *fragment.Fragment, s, t graph.NodeID) *ReachPartial {
-	eq, ok := sourceEq(f, s, t)
+//
+// nil is also returned when opt.Cancel fires mid-BFS; callers running
+// under cooperative cancellation must re-check their cancel flag before
+// treating nil as "no equation owed".
+func SourceOnlyReach(f *fragment.Fragment, s, t graph.NodeID, opt *Options) *ReachPartial {
+	eq, ok := sourceEq(f, s, t, opt)
 	if !ok {
 		return nil
 	}

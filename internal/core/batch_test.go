@@ -102,7 +102,7 @@ func TestSharedTargetSplitMatchesSingle(t *testing.T) {
 			splitParts := make([]*ReachPartial, 0, 2*len(frags))
 			singleParts := make([]*ReachPartial, len(frags))
 			for fi, f := range frags {
-				splitParts = append(splitParts, bases[fi], SourceOnlyReach(f, s, tt))
+				splitParts = append(splitParts, bases[fi], SourceOnlyReach(f, s, tt, nil))
 				singleParts[fi] = LocalEvalReach(f, s, tt, nil)
 			}
 			got := s == tt || SolveReach(splitParts, s)

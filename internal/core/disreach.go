@@ -41,13 +41,69 @@ type ReachPartial struct {
 // equation). A nil opt means defaults; it used to be silently replaced by
 // a fresh &Options{}, which dropped every caller-supplied option
 // (LocalIndex, NoFragmentIndex) on the MapReduce and session paths.
+//
+// When opt.Cancel fires mid-evaluation the partial is abandoned and nil is
+// returned; callers running under cooperative cancellation must treat nil
+// as "no reply owed".
 func LocalEvalReach(f *fragment.Fragment, s, t graph.NodeID, opt *Options) *ReachPartial {
-	return localEval(f, s, t, opt)
+	rv, _ := localEvalStream(f, s, t, opt, nil)
+	return rv
+}
+
+// MaxStreamChunks bounds the number of partial-equation chunks a streaming
+// local evaluation emits before the final complete answer. The netsite
+// protocol relies on this bound to size per-request reply buffers so a
+// site can never stall the coordinator's demultiplexer.
+const MaxStreamChunks = 8
+
+// LocalEvalReachStream runs localEval in anytime mode: as equations are
+// produced they are handed to emit in chunks (at most MaxStreamChunks
+// calls, geometrically growing so the first certificate-closing equations
+// ship immediately). The chunk passed to emit aliases internal storage and
+// is only valid for the duration of the call. emit returning false — or
+// opt.Cancel firing — abandons the evaluation: the return is (nil, false).
+// Otherwise the complete partial is returned with ok=true; it includes
+// every equation already streamed (chunks are a redundant prefix, sound to
+// re-add since disjunctive equation systems are idempotent under Add).
+//
+// To surface certificates early the in-node order is biased: the source's
+// equation is evaluated first, and when t is stored locally the in-nodes
+// sharing t's SCC (whose equations close certificates with a constant
+// true) come next.
+func LocalEvalReachStream(f *fragment.Fragment, s, t graph.NodeID, opt *Options, emit func(chunk *ReachPartial) bool) (*ReachPartial, bool) {
+	return localEvalStream(f, s, t, opt, emit)
 }
 
 // WireSize reports the reply size of the partial answer for a fragment
 // with the given number of boundary variables (|Fi.O| + |Fi.I|).
 func (rv *ReachPartial) WireSize(boundaryVars int) int { return rv.wireSize(boundaryVars) }
+
+// NumEqs reports the number of equations in the partial.
+func (rv *ReachPartial) NumEqs() int { return len(rv.eqs) }
+
+// Merge appends o's equations to rv. Duplicate equations are harmless —
+// disjunctive systems are idempotent under Add — so merging a streamed
+// chunk sequence with the complete final partial stays sound. TouchedReach
+// and SolveReach over the merged partial give the same results as over the
+// complete one.
+func (rv *ReachPartial) Merge(o *ReachPartial) {
+	if o != nil {
+		rv.eqs = append(rv.eqs, o.eqs...)
+	}
+}
+
+// AddToSystem feeds the partial's equations into an incremental equation
+// system. It is the streaming counterpart of SolveReach: the coordinator
+// calls it per received frame and polls sys.Decide(s) instead of
+// re-solving from scratch.
+func (rv *ReachPartial) AddToSystem(sys *bes.System[graph.NodeID]) {
+	if rv == nil {
+		return
+	}
+	for _, eq := range rv.eqs {
+		sys.Add(eq.node, eq.constTrue, eq.vars...)
+	}
+}
 
 // SolveReach is procedure evalDG: it assembles partial answers from all
 // fragments and reports whether Xs holds.
@@ -151,24 +207,59 @@ func DisReach(cl *cluster.Cluster, fr *fragment.Fragmentation, s, t graph.NodeID
 // fragment's boundary structure instead of |Fi.I|·|Fi| in the worst case
 // (the paper's O(|Vf||Fm|) bound still applies).
 func localEval(f *fragment.Fragment, s, t graph.NodeID, opt *Options) *ReachPartial {
+	rv, _ := localEvalStream(f, s, t, opt, nil)
+	return rv
+}
+
+// localEvalStream is localEval with two anytime hooks: a chunk sink for
+// streaming partial frames (nil for the classic one-shot evaluation) and
+// the cooperative cancellation checkpoints of opt.Cancel. It returns
+// (nil, false) when abandoned.
+func localEvalStream(f *fragment.Fragment, s, t graph.NodeID, opt *Options, sink func(*ReachPartial) bool) (*ReachPartial, bool) {
 	if opt == nil {
 		opt = &Options{}
 	}
 	iset := isetOf(f, s)
+	if sink != nil {
+		iset = streamOrder(f, iset, s, t)
+	}
 	rv := &ReachPartial{eqs: make([]reachEq, 0, len(iset))}
 	if len(iset) == 0 {
-		return rv
+		return rv, true
+	}
+	// flush emits the equations appended since the previous chunk. Chunk
+	// boundaries grow geometrically (1, 2, 4, ...) so the prioritized
+	// head of the evaluation ships with minimum latency while long tails
+	// stay within the MaxStreamChunks frame budget.
+	emitted, last, next := 0, 0, 1
+	flush := func() bool {
+		if sink == nil || emitted >= MaxStreamChunks || len(rv.eqs)-last < next {
+			return true
+		}
+		if !sink(&ReachPartial{eqs: rv.eqs[last:]}) {
+			return false
+		}
+		last = len(rv.eqs)
+		emitted++
+		next *= 2
+		return true
 	}
 	if opt.LocalIndex != nil {
 		idx := opt.LocalIndex(f)
 		tLocal, hasT := f.Local(t)
 		for _, v := range iset {
+			if opt.cancelled() {
+				return nil, false
+			}
 			eq := reachEq{node: f.Global(v)}
 			if eq.node == t {
 				// Xt is trivially true (t reaches itself); aliases and
 				// other equations may reference it as a variable.
 				eq.constTrue = true
 				rv.eqs = append(rv.eqs, eq)
+				if !flush() {
+					return nil, false
+				}
 				continue
 			}
 			if hasT && idx.Reaches(graph.NodeID(v), graph.NodeID(tLocal)) {
@@ -185,8 +276,11 @@ func localEval(f *fragment.Fragment, s, t graph.NodeID, opt *Options) *ReachPart
 				}
 			}
 			rv.eqs = append(rv.eqs, eq)
+			if !flush() {
+				return nil, false
+			}
 		}
-		return rv
+		return rv, true
 	}
 	// Equation aliasing: in-nodes in the same local SCC reach exactly the
 	// same boundary nodes, so only one representative per SCC needs a full
@@ -218,15 +312,24 @@ func localEval(f *fragment.Fragment, s, t graph.NodeID, opt *Options) *ReachPart
 	var seen []int32
 	var queue []int32
 	for stamp, v := range iset {
+		if opt.cancelled() {
+			return nil, false
+		}
 		if f.Global(v) == t {
 			// Xt is trivially true (t reaches itself). This must precede
 			// aliasing: if t shares an SCC with other in-nodes, they may
 			// alias to Xt, and Xt itself must never be an alias.
 			rv.eqs = append(rv.eqs, reachEq{node: t, constTrue: true})
+			if !flush() {
+				return nil, false
+			}
 			continue
 		}
 		if rep := repOf[comp[v]]; rep != 0 {
 			rv.eqs = append(rv.eqs, reachEq{node: f.Global(v), vars: []graph.NodeID{f.Global(rep - 1)}})
+			if !flush() {
+				return nil, false
+			}
 			continue
 		}
 		repOf[comp[v]] = v + 1
@@ -252,6 +355,9 @@ func localEval(f *fragment.Fragment, s, t graph.NodeID, opt *Options) *ReachPart
 				// read equation bodies, so no per-query copy is needed.
 				eq.vars = gvars
 				rv.eqs = append(rv.eqs, eq)
+				if !flush() {
+					return nil, false
+				}
 				continue
 			}
 		}
@@ -265,7 +371,14 @@ func localEval(f *fragment.Fragment, s, t graph.NodeID, opt *Options) *ReachPart
 		}
 		queue = append(queue[:0], v)
 		seen[v] = int32(stamp)
+		// The fallback BFS is the one potentially long-running stretch of a
+		// local evaluation (the reachindex fast path above is two lookups),
+		// so it polls the cancel hook every few hundred dequeues.
+		pops := 0
 		for len(queue) > 0 {
+			if pops++; pops&0xff == 0 && opt.cancelled() {
+				return nil, false
+			}
 			x := queue[0]
 			queue = queue[1:]
 			if x != v { // v itself is never a disjunct of its own equation
@@ -289,8 +402,53 @@ func localEval(f *fragment.Fragment, s, t graph.NodeID, opt *Options) *ReachPart
 			}
 		}
 		rv.eqs = append(rv.eqs, eq)
+		if !flush() {
+			return nil, false
+		}
 	}
-	return rv
+	return rv, true
+}
+
+// streamOrder biases the evaluation order of a streaming localEval so the
+// equations most likely to close a path certificate at the coordinator
+// ship first: the source's own equation (the root of every certificate
+// chain), then — when t is stored here — the in-nodes sharing t's local
+// SCC (their equations carry the constant true that terminates a chain),
+// then the remaining in-nodes in stored order. The set is unchanged, only
+// the order, so aliasing and the emitted equations stay equivalent to the
+// one-shot evaluation.
+func streamOrder(f *fragment.Fragment, iset []int32, s, t graph.NodeID) []int32 {
+	ls, hasS := f.Local(s)
+	if hasS && f.IsVirtual(ls) {
+		hasS = false
+	}
+	lt, hasT := f.Local(t)
+	if !hasS && !hasT {
+		return iset
+	}
+	var comp []int32
+	if hasT {
+		comp = f.LocalSCC()
+	}
+	out := make([]int32, 0, len(iset))
+	rank := func(v int32) int {
+		switch {
+		case hasS && v == ls:
+			return 0
+		case hasT && comp[v] == comp[lt]:
+			return 1
+		default:
+			return 2
+		}
+	}
+	for r := 0; r <= 2; r++ {
+		for _, v := range iset {
+			if rank(v) == r {
+				out = append(out, v)
+			}
+		}
+	}
+	return out
 }
 
 // isetOf returns the fragment's in-nodes plus the source s when s is stored

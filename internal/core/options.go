@@ -37,7 +37,19 @@ type Options struct {
 	// direct frontier-cut BFS. Cross-checks use it to compare the indexed
 	// and direct paths on the same deployment.
 	NoFragmentIndex bool
+
+	// Cancel, if non-nil, is polled at cooperative checkpoints during local
+	// evaluation (between in-node equations and periodically inside the
+	// fallback BFS). When it returns true the evaluation abandons its work
+	// and returns nil: the coordinator has already answered the query from
+	// other sites' partials and broadcast a cancel frame. Must be safe for
+	// concurrent use (it is typically an atomic load).
+	Cancel func() bool
 }
+
+// cancelled reports whether a cooperative cancellation was requested. Safe
+// on a nil receiver so the hot paths need no option-presence checks.
+func (o *Options) cancelled() bool { return o != nil && o.Cancel != nil && o.Cancel() }
 
 // IndexCache returns a LocalIndex function that builds one index of the
 // given kind per fragment on first use and reuses it afterwards. It is safe

@@ -1,0 +1,456 @@
+package netsite
+
+import (
+	"context"
+	"encoding/binary"
+	"fmt"
+	"time"
+
+	"distreach/internal/bes"
+	"distreach/internal/core"
+	"distreach/internal/graph"
+)
+
+// Anytime answers (coordinator side). A reach query — or an all-reach
+// batch — is posted with its stream flag set; sites then emit 'P' frames
+// carrying equation chunks ahead of their final answer. The coordinator
+// feeds every frame into an incremental equation system (bes.Add keeps
+// the dependency-graph reachability up to date, bes.Decide is O(1)) and
+// resolves the query the instant the accumulated partials prove it true —
+// a positive certificate is a closed chain of equations, each a sound
+// implication at the round's (epoch, LSN), so no absent site can retract
+// it. Proving false still requires every site's complete equations, i.e.
+// all final frames. On an early decision the coordinator cancels the
+// stragglers with 'C' frames and returns.
+//
+// Strict-round discipline is preserved: the first frame of a round pins
+// its (epoch, LSN); any frame from a different state aborts the round
+// (cancelling all sites) and retries with backoff, exactly like the
+// classic queryRound. Equations therefore only ever accumulate from one
+// consistent deployment state.
+
+// reachFlagStream in a reach request payload's flags byte asks the site to
+// stream partial frames. An 8-byte payload (no flags) means the classic
+// single-answer protocol — old payloads stay valid.
+const reachFlagStream = 1
+
+// encodeReachRequest packs qr(s,t): s u32 | t u32 [| flags u8].
+func encodeReachRequest(s, t graph.NodeID, stream bool) []byte {
+	b := make([]byte, 8, 9)
+	binary.LittleEndian.PutUint32(b, uint32(s))
+	binary.LittleEndian.PutUint32(b[4:], uint32(t))
+	if stream {
+		b = append(b, reachFlagStream)
+	}
+	return b
+}
+
+// decodeReachRequest is the inverse of encodeReachRequest. Unknown flag
+// bits and oversized payloads are rejected so the codec stays an identity
+// under fuzzing.
+func decodeReachRequest(p []byte) (s, t graph.NodeID, stream bool, err error) {
+	if len(p) < 8 {
+		return 0, 0, false, fmt.Errorf("short qr payload")
+	}
+	if len(p) > 9 {
+		return 0, 0, false, fmt.Errorf("qr payload of %d bytes", len(p))
+	}
+	s = graph.NodeID(binary.LittleEndian.Uint32(p))
+	t = graph.NodeID(binary.LittleEndian.Uint32(p[4:]))
+	if len(p) == 9 {
+		if p[8]&^byte(reachFlagStream) != 0 {
+			return 0, 0, false, fmt.Errorf("unknown qr flags %#x", p[8])
+		}
+		stream = p[8]&reachFlagStream != 0
+	}
+	return s, t, stream, nil
+}
+
+// encodeBatchChunk packs one streamed batch partial: the target the chunk's
+// equations answer for, then the marshaled equation chunk.
+//
+//	t u32 | ReachPartial bytes
+func encodeBatchChunk(t graph.NodeID, rv []byte) []byte {
+	b := make([]byte, 4, 4+len(rv))
+	binary.LittleEndian.PutUint32(b, uint32(t))
+	return append(b, rv...)
+}
+
+// decodeBatchChunk is the inverse of encodeBatchChunk.
+func decodeBatchChunk(p []byte) (graph.NodeID, *core.ReachPartial, error) {
+	if len(p) < 4 {
+		return 0, nil, fmt.Errorf("short batch chunk")
+	}
+	t := graph.NodeID(binary.LittleEndian.Uint32(p))
+	rv := new(core.ReachPartial)
+	if err := rv.UnmarshalBinary(p[4:]); err != nil {
+		return 0, nil, err
+	}
+	return t, rv, nil
+}
+
+// streamEvent is one forwarded response frame (or connection loss) in a
+// streaming round.
+type streamEvent struct {
+	site  int
+	r     wireReply
+	ok    bool // false: the connection was lost before a final arrived
+	final bool
+}
+
+// streamOutcome is the bookkeeping of one streaming round attempt.
+type streamOutcome struct {
+	st     WireStats
+	finals []bool // per site: its final frame arrived
+	early  bool   // decided before every final arrived; stragglers cancelled
+	split  bool   // a frame carried a different (epoch, LSN); retry
+}
+
+// forwardReplies pumps one site's partial and final frames into the
+// round's shared event channel. When the final arrives, already-buffered
+// partials are drained first (the site wrote them first; the read loop
+// preserved that order), so accounting sees every frame. The done channel
+// bounds the goroutine's lifetime: once the round returns, forwarders
+// exit on their next operation — no pending-table or goroutine leak.
+func forwardReplies(site int, pr *pendingReq, events chan<- streamEvent, done <-chan struct{}) {
+	push := func(ev streamEvent) bool {
+		select {
+		case events <- ev:
+			return true
+		case <-done:
+			return false
+		}
+	}
+	for {
+		select {
+		case r := <-pr.parts:
+			if !push(streamEvent{site: site, r: r, ok: true}) {
+				return
+			}
+		case r, ok := <-pr.final:
+			for drained := false; !drained; {
+				select {
+				case p := <-pr.parts:
+					if !push(streamEvent{site: site, r: p, ok: true}) {
+						return
+					}
+				default:
+					drained = true
+				}
+			}
+			push(streamEvent{site: site, r: r, ok: ok, final: true})
+			return
+		case <-done:
+			return
+		}
+	}
+}
+
+// streamRound posts one streaming request to every site and delivers every
+// response frame, in arrival order, to sink. sink returns decided=true
+// when the accumulated frames determine the answer: the round then cancels
+// every site whose final has not arrived and returns early. A frame from a
+// mismatched (epoch, LSN) aborts the round with outcome.split set (the
+// caller retries); site errors, connection losses and context cancellation
+// abort it with an error. Whatever the exit, no pending-table entry
+// outlives the round: every path drops (and usually cancels) the
+// stragglers, and late frames are drained by the read loop.
+func (c *Coordinator) streamRound(ctx context.Context, kind byte, payload []byte, sink func(site int, body []byte, final bool) (bool, error)) (streamOutcome, error) {
+	id := c.nextID.Add(1)
+	start := time.Now()
+	out := streamOutcome{finals: make([]bool, len(c.conns))}
+	st := &out.st
+
+	done := make(chan struct{})
+	defer close(done)
+	// Sized so forwarders can buffer every frame a round can legally carry:
+	// sends never block once the main loop stops reading.
+	events := make(chan streamEvent, len(c.conns)*(maxPartialBuffer+1))
+
+	cancelStragglers := func(early bool) {
+		for i, sc := range c.conns {
+			if out.finals[i] {
+				continue
+			}
+			if n := sc.cancel(id); n > 0 {
+				st.BytesSent += int64(n)
+				st.CancelFrames++
+				c.any.cancels.Add(1)
+			}
+			if early {
+				c.any.stragglers[i].Add(1)
+			}
+		}
+	}
+	finish := func() {
+		st.RoundTrip = time.Since(start)
+	}
+	fail := func(err error) (streamOutcome, error) {
+		cancelStragglers(false)
+		finish()
+		return out, err
+	}
+
+	for i, sc := range c.conns {
+		pr, n, err := sc.postReq(id, kind, payload, true)
+		if err != nil {
+			// Posted sites would evaluate for nobody: cancel them. Their
+			// forwarders were never started, so only the table needs care.
+			for j := 0; j < i; j++ {
+				if n := c.conns[j].cancel(id); n > 0 {
+					st.BytesSent += int64(n)
+					st.CancelFrames++
+					c.any.cancels.Add(1)
+				}
+			}
+			finish()
+			return out, fmt.Errorf("site %d: %w", i, err)
+		}
+		st.BytesSent += int64(n)
+		st.FramesSent++
+		go forwardReplies(i, pr, events, done)
+	}
+
+	var (
+		epoch, lsn uint64
+		stateSet   bool
+		nFinal     int
+	)
+	for {
+		var ev streamEvent
+		select {
+		case <-ctx.Done():
+			return fail(fmt.Errorf("netsite: %w", ctx.Err()))
+		case ev = <-events:
+		}
+		if !ev.ok {
+			err := c.conns[ev.site].lastErr()
+			if err == nil {
+				err = fmt.Errorf("connection closed")
+			}
+			return fail(fmt.Errorf("site %d: %w", ev.site, err))
+		}
+		r := ev.r
+		if ev.final && r.kind == kindError {
+			return fail(fmt.Errorf("site %d: %s", ev.site, r.payload))
+		}
+		if (ev.final && r.kind != kindAnswer) || (!ev.final && r.kind != kindPartial) {
+			return fail(fmt.Errorf("site %d: unexpected frame kind %q", ev.site, r.kind))
+		}
+		if len(r.payload) < answerPrefix {
+			return fail(fmt.Errorf("site %d: frame of %d bytes lacks the state tag", ev.site, len(r.payload)))
+		}
+		e := binary.LittleEndian.Uint64(r.payload)
+		l := binary.LittleEndian.Uint64(r.payload[8:])
+		if !stateSet {
+			epoch, lsn, stateSet = e, l, true
+			st.Epoch, st.LSN = epoch, lsn
+		} else if e != epoch || l != lsn {
+			// Strict rounds: composing equations across deployment states
+			// is meaningless. Abort (cancelling every site still working)
+			// and let the caller retry against the settled state.
+			out.split = true
+			cancelStragglers(false)
+			finish()
+			return out, nil
+		}
+		st.BytesReceived += int64(r.n)
+		if ev.final {
+			st.FramesReceived++
+			out.finals[ev.site] = true
+			nFinal++
+			c.noteSiteLSN(ev.site, l)
+		} else {
+			st.PartialFrames++
+			c.any.partials.Add(1)
+		}
+		decided, err := sink(ev.site, r.payload[answerPrefix:], ev.final)
+		if err != nil {
+			return fail(err)
+		}
+		if decided && nFinal < len(c.conns) {
+			out.early = true
+			st.EarlyTerminated = true
+			st.FirstAnswer = time.Since(start)
+			cancelStragglers(true)
+			finish()
+			return out, nil
+		}
+		if nFinal == len(c.conns) {
+			finish()
+			st.FirstAnswer = st.RoundTrip
+			return out, nil
+		}
+	}
+}
+
+// reachAnytime is the anytime form of a qr(s,t) round: stream partials
+// from every site, decide incrementally, answer true the moment a
+// certificate closes (cancelling the stragglers) or false once every
+// site's equations are in. Epoch-split rounds retry with the same policy
+// as queryRound.
+func (c *Coordinator) reachAnytime(ctx context.Context, s, t graph.NodeID) (bool, WireStats, error) {
+	payload := encodeReachRequest(s, t, true)
+	var total WireStats
+	backoff := epochRetryBackoff
+	for attempt := 0; ; attempt++ {
+		sys := bes.New[graph.NodeID]()
+		acc := make([]*core.ReachPartial, len(c.conns))
+		sink := func(site int, body []byte, final bool) (bool, error) {
+			chunk := new(core.ReachPartial)
+			if err := chunk.UnmarshalBinary(body); err != nil {
+				return false, fmt.Errorf("netsite: site %d reply: %w", site, err)
+			}
+			chunk.AddToSystem(sys)
+			if acc[site] == nil {
+				acc[site] = new(core.ReachPartial)
+			}
+			acc[site].Merge(chunk)
+			return sys.Decide(s), nil
+		}
+		out, err := c.streamRound(ctx, kindReach, payload, sink)
+		total.add(out.st)
+		if err != nil {
+			return false, total, err
+		}
+		if !out.split {
+			if out.early {
+				c.any.earlyTerms.Add(1)
+			}
+			// Touched stays sound for an early true: flipping the answer to
+			// false requires breaking every path, in particular the
+			// certificate chain inside the accumulated equations — whose
+			// fragments are exactly the dependency closure computed here.
+			total.Touched = core.TouchedReach(acc, s)
+			return sys.Decide(s), total, nil
+		}
+		if attempt+1 >= epochRetries {
+			return false, total, fmt.Errorf("%w (after %d attempts)", ErrEpochSplit, attempt+1)
+		}
+		select {
+		case <-ctx.Done():
+			return false, total, ctx.Err()
+		case <-time.After(backoff):
+		}
+		backoff *= 2
+	}
+}
+
+// batchAnytime is the anytime form of an all-reach batch round: sites
+// stream per-target equation chunks, the coordinator maintains one
+// incremental system per distinct target, and the round ends early iff
+// every query in the batch is proved true before the last final arrives
+// (false verdicts need every site's complete equations, so a batch with
+// any undecided query waits them out — and then composes answers exactly
+// like the classic path).
+func (c *Coordinator) batchAnytime(ctx context.Context, wire []BatchQuery, widx []int, answers []BatchAnswer) (WireStats, error) {
+	payload, err := encodeBatchRequest(wire, batchFlagStream)
+	if err != nil {
+		return WireStats{}, err
+	}
+	var total WireStats
+	backoff := epochRetryBackoff
+	for attempt := 0; ; attempt++ {
+		sysOf := make(map[graph.NodeID]*bes.System[graph.NodeID])
+		accOf := make(map[graph.NodeID][]*core.ReachPartial)
+		for _, q := range wire {
+			if _, ok := sysOf[q.T]; !ok {
+				sysOf[q.T] = bes.New[graph.NodeID]()
+				accOf[q.T] = make([]*core.ReachPartial, len(c.conns))
+			}
+		}
+		merge := func(t graph.NodeID, site int, rv *core.ReachPartial) {
+			rv.AddToSystem(sysOf[t])
+			acc := accOf[t]
+			if acc[site] == nil {
+				acc[site] = new(core.ReachPartial)
+			}
+			acc[site].Merge(rv)
+		}
+		undecided := len(wire)
+		decided := make([]bool, len(wire))
+		finals := make([][]byte, len(c.conns))
+		sink := func(site int, body []byte, final bool) (bool, error) {
+			if !final {
+				t, chunk, err := decodeBatchChunk(body)
+				if err != nil {
+					return false, fmt.Errorf("netsite: site %d partial: %w", site, err)
+				}
+				if _, ok := sysOf[t]; !ok {
+					return false, nil // chunk for a target we never asked about
+				}
+				merge(t, site, chunk)
+			} else {
+				finals[site] = body
+				shared, refs, parts, err := decodeBatchReply(body)
+				if err != nil {
+					return false, fmt.Errorf("netsite: site %d reply: %w", site, err)
+				}
+				if len(parts) != len(wire) {
+					return false, fmt.Errorf("netsite: site %d answered %d of %d batch queries", site, len(parts), len(wire))
+				}
+				// Each shared section belongs to exactly one target; feed it
+				// once however many queries reference it.
+				fed := make(map[uint32]bool, len(shared))
+				for j, q := range wire {
+					if ref := refs[j]; ref > 0 && !fed[ref] {
+						fed[ref] = true
+						rv := new(core.ReachPartial)
+						if err := rv.UnmarshalBinary(shared[ref-1]); err != nil {
+							return false, fmt.Errorf("netsite: site %d shared section %d: %w", site, ref-1, err)
+						}
+						merge(q.T, site, rv)
+					}
+					if len(parts[j]) > 0 {
+						rv := new(core.ReachPartial)
+						if err := rv.UnmarshalBinary(parts[j]); err != nil {
+							return false, fmt.Errorf("netsite: site %d batch query %d: %w", site, widx[j], err)
+						}
+						merge(q.T, site, rv)
+					}
+				}
+			}
+			for j, q := range wire {
+				if !decided[j] && sysOf[q.T].Decide(q.S) {
+					decided[j] = true
+					undecided--
+				}
+			}
+			return undecided == 0, nil
+		}
+		out, err := c.streamRound(ctx, kindBatch, payload, sink)
+		total.add(out.st)
+		if err != nil {
+			return total, err
+		}
+		if out.split {
+			if attempt+1 >= epochRetries {
+				return total, fmt.Errorf("%w (after %d attempts)", ErrEpochSplit, attempt+1)
+			}
+			select {
+			case <-ctx.Done():
+				return total, ctx.Err()
+			case <-time.After(backoff):
+			}
+			backoff *= 2
+			continue
+		}
+		if out.early {
+			// Every query proved true from the accumulated equations; the
+			// per-query Touched is the dependency closure over them (sound
+			// for positive answers, see reachAnytime).
+			c.any.earlyTerms.Add(1)
+			for j, q := range wire {
+				answers[widx[j]] = BatchAnswer{Answer: true, Touched: core.TouchedReach(accOf[q.T], q.S)}
+			}
+			return total, nil
+		}
+		// Full round: compose from the final replies exactly like the
+		// classic batch path (answers and Touched are then byte-for-byte
+		// those of a non-anytime round).
+		if err := composeBatchAnswers(finals, wire, widx, answers); err != nil {
+			return total, err
+		}
+		return total, nil
+	}
+}

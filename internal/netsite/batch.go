@@ -19,10 +19,14 @@ import (
 //
 // Batch request payload (little-endian):
 //
-//	version u8 | count u32 | per query:
+//	version u8 | flags u8 | count u32 | per query:
 //	  class u8 ('r'|'b'|'q') | s u32 | t u32
 //	  class 'b' adds: l u32
 //	  class 'q' adds: alen u32 | automaton bytes
+//
+// The flags byte carries batchFlagStream: the coordinator invites the site
+// to emit 'P' frames — per-target equation chunks (see encodeBatchChunk) —
+// ahead of the final reply, enabling anytime early termination.
 //
 // Batch response payload:
 //
@@ -74,8 +78,12 @@ type BatchAnswer struct {
 
 // batchVersion versions the batch payload codecs independently of the
 // frame layout. Version 2 added the shared per-target sections to the
-// reply.
-const batchVersion = 2
+// reply; version 3 added the request flags byte.
+const batchVersion = 3
+
+// batchFlagStream, in a batch request's flags byte, asks the site to
+// stream per-query equation chunks as 'P' frames ahead of the final reply.
+const batchFlagStream = 1
 
 // maxBatch bounds the declared per-payload query count against hostile
 // length prefixes; real batches are orders of magnitude smaller.
@@ -132,16 +140,21 @@ func (r *batchReader) bytes(n uint32) ([]byte, error) {
 	return v, nil
 }
 
-// header decodes the version byte and the item count shared by both batch
-// payloads, guarding the count: each item occupies at least min bytes.
-func (r *batchReader) header(min int) (int, error) {
+// version checks the leading version byte.
+func (r *batchReader) version() error {
 	v, err := r.u8()
 	if err != nil {
-		return 0, err
+		return err
 	}
 	if v != batchVersion {
-		return 0, fmt.Errorf("netsite: unsupported batch version %d", v)
+		return fmt.Errorf("netsite: unsupported batch version %d", v)
 	}
+	return nil
+}
+
+// count decodes an item count, guarding it: each item occupies at least
+// min bytes of the remaining buffer.
+func (r *batchReader) count(min int) (int, error) {
 	n, err := r.u32()
 	if err != nil {
 		return 0, err
@@ -150,6 +163,15 @@ func (r *batchReader) header(min int) (int, error) {
 		return 0, fmt.Errorf("netsite: implausible batch count %d", n)
 	}
 	return int(n), nil
+}
+
+// header decodes the version byte and the item count shared by both batch
+// payloads, guarding the count: each item occupies at least min bytes.
+func (r *batchReader) header(min int) (int, error) {
+	if err := r.version(); err != nil {
+		return 0, err
+	}
+	return r.count(min)
 }
 
 // done rejects trailing bytes, so that decode∘encode is the identity and a
@@ -162,8 +184,8 @@ func (r *batchReader) done() error {
 }
 
 // encodeBatchRequest packs a mixed-class query batch into one payload.
-func encodeBatchRequest(qs []BatchQuery) ([]byte, error) {
-	b := []byte{batchVersion}
+func encodeBatchRequest(qs []BatchQuery, flags byte) ([]byte, error) {
+	b := []byte{batchVersion, flags}
 	b = binary.LittleEndian.AppendUint32(b, uint32(len(qs)))
 	for i, q := range qs {
 		b = append(b, byte(q.Class))
@@ -190,26 +212,37 @@ func encodeBatchRequest(qs []BatchQuery) ([]byte, error) {
 	return b, nil
 }
 
-// decodeBatchRequest is the inverse of encodeBatchRequest.
-func decodeBatchRequest(p []byte) ([]BatchQuery, error) {
+// decodeBatchRequest is the inverse of encodeBatchRequest. Unknown flag
+// bits are rejected so the codec stays an identity under fuzzing.
+func decodeBatchRequest(p []byte) ([]BatchQuery, byte, error) {
 	r := &batchReader{b: p}
-	n, err := r.header(9) // class + s + t at minimum
+	if err := r.version(); err != nil {
+		return nil, 0, err
+	}
+	flags, err := r.u8()
 	if err != nil {
-		return nil, err
+		return nil, 0, err
+	}
+	if flags&^byte(batchFlagStream) != 0 {
+		return nil, 0, fmt.Errorf("netsite: unknown batch flags %#x", flags)
+	}
+	n, err := r.count(9) // class + s + t at minimum
+	if err != nil {
+		return nil, 0, err
 	}
 	qs := make([]BatchQuery, 0, n)
 	for i := 0; i < n; i++ {
 		cls, err := r.u8()
 		if err != nil {
-			return nil, err
+			return nil, 0, err
 		}
 		s, err := r.u32()
 		if err != nil {
-			return nil, err
+			return nil, 0, err
 		}
 		t, err := r.u32()
 		if err != nil {
-			return nil, err
+			return nil, 0, err
 		}
 		q := BatchQuery{Class: QueryClass(cls), S: graph.NodeID(s), T: graph.NodeID(t)}
 		switch q.Class {
@@ -217,31 +250,31 @@ func decodeBatchRequest(p []byte) ([]BatchQuery, error) {
 		case ClassDist:
 			l, err := r.u32()
 			if err != nil {
-				return nil, err
+				return nil, 0, err
 			}
 			q.L = int(l)
 		case ClassRPQ:
 			alen, err := r.u32()
 			if err != nil {
-				return nil, err
+				return nil, 0, err
 			}
 			ab, err := r.bytes(alen)
 			if err != nil {
-				return nil, err
+				return nil, 0, err
 			}
 			q.A = new(automaton.Automaton)
 			if err := q.A.UnmarshalBinary(ab); err != nil {
-				return nil, fmt.Errorf("netsite: batch query %d: %w", i, err)
+				return nil, 0, fmt.Errorf("netsite: batch query %d: %w", i, err)
 			}
 		default:
-			return nil, fmt.Errorf("netsite: batch query %d: unknown class %q", i, cls)
+			return nil, 0, fmt.Errorf("netsite: batch query %d: unknown class %q", i, cls)
 		}
 		qs = append(qs, q)
 	}
 	if err := r.done(); err != nil {
-		return nil, err
+		return nil, 0, err
 	}
-	return qs, nil
+	return qs, flags, nil
 }
 
 // encodeBatchReply packs the shared per-target sections plus, per batched
@@ -371,7 +404,26 @@ func (c *Coordinator) BatchContext(ctx context.Context, qs []BatchQuery) ([]Batc
 	if len(wire) == 0 {
 		return answers, WireStats{}, nil
 	}
-	payload, err := encodeBatchRequest(wire)
+	if c.anytime.Load() {
+		allReach := true
+		for _, q := range wire {
+			if q.Class != ClassReach {
+				allReach = false
+				break
+			}
+		}
+		// Anytime streaming covers reach-only batches (distance and regex
+		// partials have no incremental solver); mixed batches take the
+		// classic full round.
+		if allReach {
+			st, err := c.batchAnytime(ctx, wire, widx, answers)
+			if err != nil {
+				return nil, st, err
+			}
+			return answers, st, nil
+		}
+	}
+	payload, err := encodeBatchRequest(wire, 0)
 	if err != nil {
 		return nil, WireStats{}, err
 	}
@@ -379,6 +431,18 @@ func (c *Coordinator) BatchContext(ctx context.Context, qs []BatchQuery) ([]Batc
 	if err != nil {
 		return nil, st, err
 	}
+	if err := composeBatchAnswers(replies, wire, widx, answers); err != nil {
+		return nil, st, err
+	}
+	st.FirstAnswer = st.RoundTrip
+	return answers, st, nil
+}
+
+// composeBatchAnswers decodes every site's final batch reply and solves
+// each wire query into its answer slot — the compose step shared by the
+// classic full round and an anytime round that ran to completion (their
+// answers are thus byte-for-byte identical).
+func composeBatchAnswers(replies [][]byte, wire []BatchQuery, widx []int, answers []BatchAnswer) error {
 	// Per site: the decoded shared sections (reach rvsets, unmarshaled
 	// once however many queries reference them), plus per-query refs and
 	// own partial bytes.
@@ -391,17 +455,17 @@ func (c *Coordinator) BatchContext(ctx context.Context, qs []BatchQuery) ([]Batc
 	for site, resp := range replies {
 		shared, refs, parts, err := decodeBatchReply(resp)
 		if err != nil {
-			return nil, st, fmt.Errorf("netsite: site %d reply: %w", site, err)
+			return fmt.Errorf("netsite: site %d reply: %w", site, err)
 		}
 		if len(parts) != len(wire) {
-			return nil, st, fmt.Errorf("netsite: site %d answered %d of %d batch queries",
+			return fmt.Errorf("netsite: site %d answered %d of %d batch queries",
 				site, len(parts), len(wire))
 		}
 		sr := siteReply{refs: refs, parts: parts, shared: make([]*core.ReachPartial, len(shared))}
 		for k, sb := range shared {
 			sr.shared[k] = new(core.ReachPartial)
 			if err := sr.shared[k].UnmarshalBinary(sb); err != nil {
-				return nil, st, fmt.Errorf("netsite: site %d shared section %d: %w", site, k, err)
+				return fmt.Errorf("netsite: site %d shared section %d: %w", site, k, err)
 			}
 		}
 		srs[site] = sr
@@ -432,7 +496,7 @@ func (c *Coordinator) BatchContext(ctx context.Context, qs []BatchQuery) ([]Batc
 				if own := sr.parts[j]; len(own) > 0 {
 					partials[2*site+1] = new(core.ReachPartial)
 					if err := partials[2*site+1].UnmarshalBinary(own); err != nil {
-						return nil, st, fmt.Errorf("netsite: site %d batch query %d: %w", site, i, err)
+						return fmt.Errorf("netsite: site %d batch query %d: %w", site, i, err)
 					}
 				}
 			}
@@ -443,7 +507,7 @@ func (c *Coordinator) BatchContext(ctx context.Context, qs []BatchQuery) ([]Batc
 			for site, sr := range srs {
 				partials[site] = new(core.DistPartial)
 				if err := partials[site].UnmarshalBinary(sr.parts[j]); err != nil {
-					return nil, st, fmt.Errorf("netsite: site %d batch query %d: %w", site, i, err)
+					return fmt.Errorf("netsite: site %d batch query %d: %w", site, i, err)
 				}
 			}
 			d := core.SolveDist(partials, q.S)
@@ -453,12 +517,12 @@ func (c *Coordinator) BatchContext(ctx context.Context, qs []BatchQuery) ([]Batc
 			for site, sr := range srs {
 				partials[site] = new(core.RPQPartial)
 				if err := partials[site].UnmarshalBinary(sr.parts[j]); err != nil {
-					return nil, st, fmt.Errorf("netsite: site %d batch query %d: %w", site, i, err)
+					return fmt.Errorf("netsite: site %d batch query %d: %w", site, i, err)
 				}
 			}
 			answers[i].Answer = core.SolveRPQ(partials, q.S, q.A)
 			answers[i].Touched = core.TouchedRPQ(partials, q.S, q.A.NumStates())
 		}
 	}
-	return answers, st, nil
+	return nil
 }

@@ -57,6 +57,72 @@ type Coordinator struct {
 	// siteLSNs tracks the newest LSN each site has answered from — the
 	// replica-lag signal /stats and bench report.
 	siteLSNs []atomic.Uint64
+
+	// anytime enables streaming partial replies and early termination for
+	// reach queries and all-reach batches (default on; see SetAnytime).
+	anytime atomic.Bool
+	any     anytimeCounters
+}
+
+// anytimeCounters accumulates the anytime-protocol telemetry /stats and
+// bench report; see AnytimeStats.
+type anytimeCounters struct {
+	earlyTerms atomic.Int64
+	cancels    atomic.Int64
+	partials   atomic.Int64
+	stragglers []atomic.Int64
+}
+
+// AnytimeStats is a snapshot of the anytime-protocol counters since the
+// coordinator was dialed.
+type AnytimeStats struct {
+	// EarlyTerminations counts rounds answered before every site's final
+	// frame arrived.
+	EarlyTerminations int64
+	// CancelsSent counts 'C' frames written (early terminations, aborted
+	// split rounds, and context cancellations all cancel their stragglers).
+	CancelsSent int64
+	// PartialFrames counts 'P' frames received and fed to the incremental
+	// solver.
+	PartialFrames int64
+	// Stragglers counts, per site, the rounds decided before that site's
+	// final arrived — a per-site straggler histogram: a site that dominates
+	// it is the one slowing full rounds down.
+	Stragglers []int64
+}
+
+// AnytimeStats reports the anytime-protocol counters.
+func (c *Coordinator) AnytimeStats() AnytimeStats {
+	st := AnytimeStats{
+		EarlyTerminations: c.any.earlyTerms.Load(),
+		CancelsSent:       c.any.cancels.Load(),
+		PartialFrames:     c.any.partials.Load(),
+		Stragglers:        make([]int64, len(c.any.stragglers)),
+	}
+	for i := range c.any.stragglers {
+		st.Stragglers[i] = c.any.stragglers[i].Load()
+	}
+	return st
+}
+
+// SetAnytime toggles anytime answers: streaming partial replies, early
+// termination the moment accumulated equations prove a reach query true,
+// and cross-site cancellation of the remaining evaluation. On by default.
+// Off, every query waits out the full strict round — byte-accounting tests
+// and latency baselines use that mode.
+func (c *Coordinator) SetAnytime(on bool) { c.anytime.Store(on) }
+
+// Anytime reports whether anytime answers are enabled.
+func (c *Coordinator) Anytime() bool { return c.anytime.Load() }
+
+// pendingTotal sums the pending-table sizes across site connections
+// (leak tests).
+func (c *Coordinator) pendingTotal() int {
+	n := 0
+	for _, sc := range c.conns {
+		n += sc.pendingCount()
+	}
+	return n
 }
 
 // Reconnect backoff bounds: the first redial happens almost immediately,
@@ -71,6 +137,23 @@ type wireReply struct {
 	kind    byte
 	payload []byte
 	n       int // bytes read off the wire for this frame
+}
+
+// maxPartialBuffer sizes the per-request partial-frame buffer. Sites bound
+// themselves to core.MaxStreamChunks 'P' frames per request; the slack
+// absorbs a misbehaving site without ever blocking the demultiplexer —
+// overflowing partials are dropped, which is always sound (the final
+// answer frame carries the complete partial).
+const maxPartialBuffer = 2 * core.MaxStreamChunks
+
+// pendingReq is one in-flight request in a connection's pending table. The
+// final channel (capacity 1) receives the single 'R' or 'E' frame — or is
+// closed when the connection is lost. parts, non-nil only for streaming
+// requests, receives 'P' frames; the read loop never blocks on it (see
+// maxPartialBuffer).
+type pendingReq struct {
+	final chan wireReply
+	parts chan wireReply
 }
 
 // siteConn is one multiplexed connection to a worker site: a write mutex
@@ -90,7 +173,7 @@ type siteConn struct {
 
 	mu        sync.Mutex
 	conn      net.Conn // nil while the link is down
-	pending   map[uint32]chan wireReply
+	pending   map[uint32]*pendingReq
 	err       error // last failure; nil while connected
 	closed    bool
 	redialing bool
@@ -102,7 +185,7 @@ func newSiteConn(addr string, conn net.Conn, timeout time.Duration) *siteConn {
 		timeout: timeout,
 		done:    make(chan struct{}),
 		conn:    conn,
-		pending: make(map[uint32]chan wireReply),
+		pending: make(map[uint32]*pendingReq),
 	}
 	go sc.readLoop(conn)
 	return sc
@@ -116,16 +199,35 @@ func (sc *siteConn) readLoop(conn net.Conn) {
 			return
 		}
 		sc.mu.Lock()
-		ch, ok := sc.pending[id]
-		if ok {
+		pr, ok := sc.pending[id]
+		if ok && kind != kindPartial {
+			// Only the final frame retires the entry: a streaming request
+			// stays pending across its 'P' frames.
 			delete(sc.pending, id)
 		}
 		sc.mu.Unlock()
-		if ok {
-			ch <- wireReply{kind: kind, payload: payload, n: n}
+		if !ok {
+			// A reply with no pending query is dropped: its query already
+			// failed on another site's error, timed out, or was cancelled
+			// after an early decision — late frames drain here.
+			continue
 		}
-		// A reply with no pending query is dropped: its query already
-		// failed on another site's error and gave up on this one.
+		if kind == kindPartial {
+			if pr.parts != nil {
+				// Never block the demultiplexer on a slow waiter: partials
+				// are advisory (the final frame is complete), so overflow
+				// drops are sound.
+				select {
+				case pr.parts <- wireReply{kind: kind, payload: payload, n: n}:
+				default:
+				}
+			}
+			continue
+		}
+		// The final channel has capacity 1 and the entry was just deleted,
+		// so this send can never block: at most one final frame is ever
+		// routed to a request.
+		pr.final <- wireReply{kind: kind, payload: payload, n: n}
 	}
 }
 
@@ -143,14 +245,14 @@ func (sc *siteConn) lost(conn net.Conn, err error) {
 	sc.conn = nil
 	sc.err = err
 	pend := sc.pending
-	sc.pending = make(map[uint32]chan wireReply)
+	sc.pending = make(map[uint32]*pendingReq)
 	redial := !sc.closed && !sc.redialing
 	if redial {
 		sc.redialing = true
 	}
 	sc.mu.Unlock()
-	for _, ch := range pend {
-		close(ch)
+	for _, pr := range pend {
+		close(pr.final)
 	}
 	if redial {
 		go sc.redial()
@@ -198,9 +300,21 @@ func (sc *siteConn) redial() {
 
 // post registers id in the pending table and sends the request frame. The
 // registration happens before the write so a fast reply can never race
-// past its waiter.
+// past its waiter. A streaming post additionally allocates the partial
+// buffer, inviting the site to emit 'P' frames ahead of the final answer.
 func (sc *siteConn) post(id uint32, kind byte, payload []byte) (chan wireReply, int, error) {
-	ch := make(chan wireReply, 1)
+	pr, n, err := sc.postReq(id, kind, payload, false)
+	if err != nil {
+		return nil, 0, err
+	}
+	return pr.final, n, nil
+}
+
+func (sc *siteConn) postReq(id uint32, kind byte, payload []byte, stream bool) (*pendingReq, int, error) {
+	pr := &pendingReq{final: make(chan wireReply, 1)}
+	if stream {
+		pr.parts = make(chan wireReply, maxPartialBuffer)
+	}
 	sc.mu.Lock()
 	if sc.closed {
 		sc.mu.Unlock()
@@ -215,7 +329,7 @@ func (sc *siteConn) post(id uint32, kind byte, payload []byte) (chan wireReply, 
 		return nil, 0, err
 	}
 	conn := sc.conn
-	sc.pending[id] = ch
+	sc.pending[id] = pr
 	sc.mu.Unlock()
 	sc.wmu.Lock()
 	n, err := writeFrame(conn, id, kind, payload)
@@ -227,15 +341,45 @@ func (sc *siteConn) post(id uint32, kind byte, payload []byte) (chan wireReply, 
 		sc.lost(conn, err)
 		return nil, 0, err
 	}
-	return ch, n, nil
+	return pr, n, nil
 }
 
-// drop abandons a pending request (context deadline or cancellation): the
-// reply, if it ever arrives, is discarded by the read loop.
+// drop abandons a pending request (context deadline, cancellation, or an
+// early anytime decision): the reply, if it ever arrives, is discarded by
+// the read loop.
 func (sc *siteConn) drop(id uint32) {
 	sc.mu.Lock()
 	delete(sc.pending, id)
 	sc.mu.Unlock()
+}
+
+// cancel drops a pending request and sends the site a best-effort 'C'
+// frame so it abandons the evaluation; it reports the bytes written. A
+// write failure poisons the connection exactly like a failed post (the
+// stream may be desynced).
+func (sc *siteConn) cancel(id uint32) int {
+	sc.drop(id)
+	sc.mu.Lock()
+	conn := sc.conn
+	sc.mu.Unlock()
+	if conn == nil {
+		return 0
+	}
+	sc.wmu.Lock()
+	n, err := writeFrame(conn, id, kindCancel, nil)
+	sc.wmu.Unlock()
+	if err != nil {
+		sc.lost(conn, err)
+		return 0
+	}
+	return n
+}
+
+// pendingCount reports the number of in-flight entries (leak tests).
+func (sc *siteConn) pendingCount() int {
+	sc.mu.Lock()
+	defer sc.mu.Unlock()
+	return len(sc.pending)
 }
 
 // lastErr reports the current failure, if the link is down.
@@ -261,10 +405,10 @@ func (sc *siteConn) close() error {
 		sc.err = fmt.Errorf("coordinator closed")
 	}
 	pend := sc.pending
-	sc.pending = make(map[uint32]chan wireReply)
+	sc.pending = make(map[uint32]*pendingReq)
 	sc.mu.Unlock()
-	for _, ch := range pend {
-		close(ch)
+	for _, pr := range pend {
+		close(pr.final)
 	}
 	if conn != nil {
 		return conn.Close()
@@ -288,6 +432,8 @@ func Dial(addrs []string, timeout time.Duration) (*Coordinator, error) {
 		c.conns = append(c.conns, newSiteConn(a, conn, timeout))
 	}
 	c.siteLSNs = make([]atomic.Uint64, len(c.conns))
+	c.any.stragglers = make([]atomic.Int64, len(c.conns))
+	c.anytime.Store(true)
 	return c, nil
 }
 
@@ -349,11 +495,28 @@ func (c *Coordinator) Close() error {
 // WireStats is the on-the-wire accounting of one query round (or one
 // whole batch round; see Coordinator.Batch).
 type WireStats struct {
-	BytesSent      int64         // query frames to all sites
-	BytesReceived  int64         // partial-answer frames
+	BytesSent      int64         // query frames to all sites (cancel frames included)
+	BytesReceived  int64         // partial-answer frames ('P' frames included)
 	FramesSent     int64         // request frames; one per site per round
-	FramesReceived int64         // response frames; one per site per round
+	FramesReceived int64         // final response frames; at most one per site per round
 	RoundTrip      time.Duration // slowest site's post+reply wall time
+
+	// PartialFrames counts streamed 'P' frames received (anytime rounds
+	// only); CancelFrames counts 'C' frames sent. Neither is included in
+	// FramesSent/FramesReceived, which keep their one-per-site-per-round
+	// meaning.
+	PartialFrames int64
+	CancelFrames  int64
+
+	// FirstAnswer is the elapsed time until the answer was determined: for
+	// an anytime round, the instant accumulated partials proved it (before
+	// the stragglers' finals); otherwise it equals RoundTrip. Across
+	// retried rounds it accumulates like RoundTrip.
+	FirstAnswer time.Duration
+
+	// EarlyTerminated reports that the round was answered before every
+	// site's final frame arrived (the remaining sites were cancelled).
+	EarlyTerminated bool
 
 	// Epoch is the deployment epoch every site answered from, and LSN the
 	// update-log position. Query rounds enforce agreement on both
@@ -380,6 +543,10 @@ func (st *WireStats) add(o WireStats) {
 	st.FramesSent += o.FramesSent
 	st.FramesReceived += o.FramesReceived
 	st.RoundTrip += o.RoundTrip
+	st.PartialFrames += o.PartialFrames
+	st.CancelFrames += o.CancelFrames
+	st.FirstAnswer += o.FirstAnswer
+	st.EarlyTerminated = o.EarlyTerminated
 	st.Epoch = o.Epoch
 	st.LSN = o.LSN
 }
@@ -590,10 +757,16 @@ func (c *Coordinator) Reach(s, t graph.NodeID) (bool, WireStats, error) {
 	return c.ReachContext(context.Background(), s, t)
 }
 
-// ReachContext is Reach honoring a context deadline or cancellation.
+// ReachContext is Reach honoring a context deadline or cancellation. With
+// anytime enabled (the default) the round streams partial replies and may
+// return the moment they prove the answer true, cancelling the remaining
+// sites; see SetAnytime.
 func (c *Coordinator) ReachContext(ctx context.Context, s, t graph.NodeID) (bool, WireStats, error) {
 	if s == t {
 		return true, WireStats{}, nil
+	}
+	if c.anytime.Load() {
+		return c.reachAnytime(ctx, s, t)
 	}
 	payload := make([]byte, 8)
 	binary.LittleEndian.PutUint32(payload, uint32(s))
@@ -609,6 +782,7 @@ func (c *Coordinator) ReachContext(ctx context.Context, s, t graph.NodeID) (bool
 			return false, st, fmt.Errorf("netsite: site %d reply: %w", i, err)
 		}
 	}
+	st.FirstAnswer = st.RoundTrip
 	st.Touched = core.TouchedReach(partials, s)
 	return core.SolveReach(partials, s), st, nil
 }
@@ -643,6 +817,7 @@ func (c *Coordinator) ReachWithinContext(ctx context.Context, s, t graph.NodeID,
 			return false, bes.Inf, st, fmt.Errorf("netsite: site %d reply: %w", i, err)
 		}
 	}
+	st.FirstAnswer = st.RoundTrip
 	st.Touched = core.TouchedDist(partials, s)
 	d := core.SolveDist(partials, s)
 	return d <= int64(l), d, st, nil
@@ -678,6 +853,7 @@ func (c *Coordinator) ReachRegexContext(ctx context.Context, s, t graph.NodeID, 
 			return false, st, fmt.Errorf("netsite: site %d reply: %w", i, err)
 		}
 	}
+	st.FirstAnswer = st.RoundTrip
 	st.Touched = core.TouchedRPQ(partials, s, a.NumStates())
 	return core.SolveRPQ(partials, s, a), st, nil
 }

@@ -55,6 +55,10 @@ func TestBatchWireCrossCheck(t *testing.T) {
 			}
 			t.Fatal(err)
 		}
+		// Full rounds: this test pins the classic per-batch frame guarantee
+		// (anytime early termination may retire an all-reach batch with
+		// fewer finals; TestAnytimeCrossCheck covers that protocol).
+		co.SetAnytime(false)
 
 		m := 1 + rng.Intn(16)
 		qs := make([]BatchQuery, 0, m)

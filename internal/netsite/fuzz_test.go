@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"distreach/internal/automaton"
+	"distreach/internal/core"
 	"distreach/internal/fragment"
 	"distreach/internal/gen"
 	"distreach/internal/graph"
@@ -81,29 +82,33 @@ func FuzzBatchPayload(f *testing.F) {
 		{Class: ClassReach, S: 1, T: 2},
 		{Class: ClassDist, S: 3, T: 4, L: 6},
 		{Class: ClassRPQ, S: 5, T: 6, A: a},
-	})
+	}, batchFlagStream)
 	if err != nil {
 		f.Fatal(err)
 	}
 	f.Add(seed)
-	empty, err := encodeBatchRequest(nil)
+	empty, err := encodeBatchRequest(nil, 0)
 	if err != nil {
 		f.Fatal(err)
 	}
 	f.Add(empty)
 	f.Add(encodeBatchReply([][]byte{{9, 8}}, []uint32{1, 0, 1}, [][]byte{{1, 2, 3}, nil, {0xFF}}))
-	f.Add([]byte{batchVersion, 0xFF, 0xFF, 0xFF, 0xFF}) // hostile count
-	f.Add(seed[:len(seed)-3])                           // truncated query
+	f.Add([]byte{batchVersion, 0, 0xFF, 0xFF, 0xFF, 0xFF}) // hostile count
+	f.Add([]byte{batchVersion, 0xFF, 0, 0, 0, 0})          // unknown flags
+	f.Add(seed[:len(seed)-3])                              // truncated query
 
 	f.Fuzz(func(t *testing.T, data []byte) {
-		if qs, err := decodeBatchRequest(data); err == nil {
-			re, err := encodeBatchRequest(qs)
+		if qs, flags, err := decodeBatchRequest(data); err == nil {
+			re, err := encodeBatchRequest(qs, flags)
 			if err != nil {
 				t.Fatalf("re-encode of a decoded batch failed: %v", err)
 			}
-			qs2, err := decodeBatchRequest(re)
+			qs2, flags2, err := decodeBatchRequest(re)
 			if err != nil {
 				t.Fatalf("decode of a re-encoded batch failed: %v", err)
+			}
+			if flags2 != flags {
+				t.Fatalf("batch flags drifted: %#x then %#x", flags, flags2)
 			}
 			if len(qs2) != len(qs) {
 				t.Fatalf("batch round trip drifted: %d then %d queries", len(qs), len(qs2))
@@ -133,6 +138,54 @@ func FuzzBatchPayload(f *testing.F) {
 				if refs[i] != refs2[i] || !bytes.Equal(parts[i], parts2[i]) {
 					t.Fatalf("reply part %d drifted", i)
 				}
+			}
+		}
+	})
+}
+
+// FuzzAnytimePayload throws arbitrary bytes at the anytime codecs: the
+// streaming reach request (flags byte) and the batch partial chunk
+// (target + nested equation chunk). Whatever decodes must survive a
+// re-encode round trip semantically; the rest must error, never panic.
+func FuzzAnytimePayload(f *testing.F) {
+	f.Add(encodeReachRequest(1, 2, false))
+	f.Add(encodeReachRequest(3, 4, true))
+	f.Add([]byte{0, 0, 0, 0, 0, 0, 0, 0, 0xFF}) // unknown flag bits
+	// A real equation chunk: evaluate a tiny fragment and wrap its partial.
+	g := gen.Uniform(gen.Config{Nodes: 10, Edges: 25, Labels: []string{"A"}, Seed: 5})
+	fr, err := fragment.Random(g, 2, 5)
+	if err != nil {
+		f.Fatal(err)
+	}
+	rv := core.LocalEvalReach(fr.Fragments()[0], 0, 7, nil)
+	rb, err := rv.MarshalBinary()
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(encodeBatchChunk(7, rb))
+	f.Add(encodeBatchChunk(7, rb)[:3]) // truncated target
+	f.Add(encodeBatchChunk(7, nil))    // empty chunk body
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if s, tt, stream, err := decodeReachRequest(data); err == nil {
+			s2, t2, stream2, err := decodeReachRequest(encodeReachRequest(s, tt, stream))
+			if err != nil || s2 != s || t2 != tt || stream2 != stream {
+				t.Fatalf("reach request round trip drifted: (%d,%d,%v) -> (%d,%d,%v), %v",
+					s, tt, stream, s2, t2, stream2, err)
+			}
+		}
+		if tgt, chunk, err := decodeBatchChunk(data); err == nil {
+			cb, err := chunk.MarshalBinary()
+			if err != nil {
+				t.Fatalf("re-marshal of a decoded chunk failed: %v", err)
+			}
+			tgt2, chunk2, err := decodeBatchChunk(encodeBatchChunk(tgt, cb))
+			if err != nil || tgt2 != tgt {
+				t.Fatalf("batch chunk round trip drifted: target %d -> %d, %v", tgt, tgt2, err)
+			}
+			cb2, err := chunk2.MarshalBinary()
+			if err != nil || !bytes.Equal(cb2, cb) {
+				t.Fatalf("batch chunk equations drifted on round trip: %v", err)
 			}
 		}
 	})

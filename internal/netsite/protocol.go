@@ -17,11 +17,27 @@
 //	               'U' update (a sequenced transactional batch of edge and
 //	               node mutations), 'R' rebalance (re-fragment the
 //	               deployment at a new epoch), 'S' sync (catch-up
-//	               replication: hello / replay / snapshot / fetch)
-//	response kind: 'R' answer: epoch u64 | lsn u64 | body (body codec per
+//	               replication: hello / replay / snapshot / fetch),
+//	               'C' cancel (abandon the in-flight request whose ID the
+//	               frame echoes; no response is owed for either frame)
+//	response kinds: 'R' answer: epoch u64 | lsn u64 | body (body codec per
 //	               request kind; for 'B', one partial per batched query;
 //	               for 'U', the changed flag, dirtied fragment IDs, new
-//	               node IDs and balance stats), 'E' error
+//	               node IDs and balance stats), 'E' error,
+//	               'P' partial: epoch u64 | lsn u64 | a chunk of boolean
+//	               equations streamed ahead of the final answer frame
+//
+// Anytime answers: a query or batch posted with its stream flag set (see
+// encodeReachRequest and the batch request flags byte) invites the site to
+// emit up to core.MaxStreamChunks 'P' frames per request while local
+// evaluation runs, each carrying the equations produced since the last.
+// The final 'R' frame still carries the complete partial — chunks are a
+// redundant prefix, sound to re-add because disjunctive equation systems
+// are idempotent — so a dropped or unsupported partial never affects the
+// answer. The coordinator feeds chunks into an incremental equation system
+// and, the moment they prove the query true, broadcasts 'C' frames so the
+// remaining sites abandon their evaluation (cooperatively: mid-BFS
+// checkpoints, and a cancelled request owes no response at all).
 //
 // A response frame echoes the ID of the request it answers, and every
 // answer is prefixed with the epoch of the fragmentation that produced it
@@ -57,8 +73,10 @@ const (
 	kindUpdate    = 'U'
 	kindRebalance = 'R'
 	kindSync      = 'S'
+	kindCancel    = 'C'
 	kindAnswer    = 'R'
 	kindError     = 'E'
+	kindPartial   = 'P'
 )
 
 // answerPrefix is the length of the state tag every answer frame carries:

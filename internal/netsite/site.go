@@ -2,6 +2,7 @@ package netsite
 
 import (
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"net"
 	"sync"
@@ -14,6 +15,10 @@ import (
 	"distreach/internal/graph"
 	"distreach/internal/oplog"
 )
+
+// errCancelled marks a request abandoned after a 'C' frame: a cancelled
+// request owes no response at all, so the worker writes nothing.
+var errCancelled = errors.New("netsite: request cancelled")
 
 // defaultWorkers bounds the per-connection worker pool when SiteOptions
 // leaves Workers zero: enough to keep a multiplexing coordinator busy
@@ -194,20 +199,59 @@ func (s *Site) acceptLoop() {
 	}
 }
 
-// frameJob is one request frame awaiting evaluation.
+// frameJob is one request frame awaiting evaluation. cancel, non-nil for
+// query kinds, is the flag a later 'C' frame flips; the evaluator polls it
+// at cooperative checkpoints.
 type frameJob struct {
 	id      uint32
 	kind    byte
 	payload []byte
+	cancel  *atomic.Bool
+}
+
+// connCancels is one connection's registry of in-flight cancellable
+// requests. The reader registers query frames before queueing them and
+// fires 'C' frames inline — a cancel thus overtakes queued work even when
+// every worker is busy. Workers remove entries when their job finishes
+// (or was skipped); a 'C' for a finished request finds no entry and is a
+// no-op, as the protocol requires.
+type connCancels struct {
+	mu sync.Mutex
+	m  map[uint32]*atomic.Bool
+}
+
+func (c *connCancels) register(id uint32) *atomic.Bool {
+	flag := new(atomic.Bool)
+	c.mu.Lock()
+	c.m[id] = flag
+	c.mu.Unlock()
+	return flag
+}
+
+func (c *connCancels) fire(id uint32) {
+	c.mu.Lock()
+	if flag, ok := c.m[id]; ok {
+		flag.Store(true)
+	}
+	c.mu.Unlock()
+}
+
+func (c *connCancels) remove(id uint32) {
+	c.mu.Lock()
+	delete(c.m, id)
+	c.mu.Unlock()
 }
 
 // serveConn handles one coordinator connection: a reader feeds request
 // frames to a bounded pool of workers, each answering with a response
 // frame that echoes the request ID and carries the epoch and update-log
 // LSN the frame was served at. Responses go out in completion order; the
-// coordinator's demultiplexer reorders by ID.
+// coordinator's demultiplexer reorders by ID. Cancel frames are handled by
+// the reader itself (never queued), and streaming queries may emit 'P'
+// frames ahead of their final answer through the same write mutex.
 func (s *Site) serveConn(conn net.Conn) error {
 	jobs := make(chan frameJob)
+	cancels := connCancels{m: make(map[uint32]*atomic.Bool)}
 	var (
 		wmu    sync.Mutex  // serializes whole response frames
 		broken atomic.Bool // a response write failed; drain without writing
@@ -218,10 +262,42 @@ func (s *Site) serveConn(conn net.Conn) error {
 		go func() {
 			defer wg.Done()
 			for j := range jobs {
+				if j.cancel != nil && j.cancel.Load() {
+					cancels.remove(j.id)
+					continue // cancelled while queued; no response owed
+				}
 				if broken.Load() {
+					if j.cancel != nil {
+						cancels.remove(j.id)
+					}
 					continue // connection died; don't evaluate dead work
 				}
-				epoch, lsn, resp, err := s.handle(j.kind, j.payload)
+				j := j
+				emit := func(epoch, lsn uint64, body []byte) bool {
+					if broken.Load() || (j.cancel != nil && j.cancel.Load()) {
+						return false
+					}
+					tagged := make([]byte, answerPrefix, answerPrefix+len(body))
+					binary.LittleEndian.PutUint64(tagged, epoch)
+					binary.LittleEndian.PutUint64(tagged[8:], lsn)
+					tagged = append(tagged, body...)
+					wmu.Lock()
+					_, werr := writeFrame(conn, j.id, kindPartial, tagged)
+					wmu.Unlock()
+					if werr != nil {
+						broken.Store(true)
+						conn.Close()
+						return false
+					}
+					return true
+				}
+				epoch, lsn, resp, err := s.handle(j, emit)
+				if j.cancel != nil {
+					cancels.remove(j.id)
+				}
+				if errors.Is(err, errCancelled) {
+					continue // a cancelled request owes no response
+				}
 				kind := byte(kindAnswer)
 				if err != nil {
 					kind, resp = kindError, []byte(err.Error())
@@ -250,11 +326,46 @@ func (s *Site) serveConn(conn net.Conn) error {
 			err = rerr // includes clean EOF on coordinator close
 			break
 		}
-		jobs <- frameJob{id: id, kind: kind, payload: payload}
+		if kind == kindCancel {
+			cancels.fire(id)
+			continue
+		}
+		var flag *atomic.Bool
+		switch kind {
+		case kindReach, kindDist, kindRPQ, kindBatch:
+			flag = cancels.register(id)
+		}
+		jobs <- frameJob{id: id, kind: kind, payload: payload, cancel: flag}
 	}
 	close(jobs)
 	wg.Wait()
 	return err
+}
+
+// pause sleeps the site's artificial service delay in short slices so a
+// cancel frame cuts the wait short; it reports false when cancelled.
+func (s *Site) pause(cancel *atomic.Bool) bool {
+	if s.delay <= 0 {
+		return true
+	}
+	if cancel == nil {
+		time.Sleep(s.delay)
+		return true
+	}
+	deadline := time.Now().Add(s.delay)
+	for {
+		if cancel.Load() {
+			return false
+		}
+		left := time.Until(deadline)
+		if left <= 0 {
+			return true
+		}
+		if left > time.Millisecond {
+			left = time.Millisecond
+		}
+		time.Sleep(left)
+	}
 }
 
 // snapshot resolves the fragmentation and fragment this frame evaluates
@@ -268,9 +379,15 @@ func (s *Site) snapshot() (*fragment.Fragment, *fragment.Fragmentation, uint64, 
 	return fr.Fragments()[s.fragID], fr, epoch, lsn
 }
 
-func (s *Site) handle(kind byte, payload []byte) (uint64, uint64, []byte, error) {
-	if s.delay > 0 {
-		time.Sleep(s.delay)
+// handle evaluates one request frame. emit, when non-nil, writes a 'P'
+// frame carrying body under the given state tag; streaming queries use it
+// to surface equation chunks ahead of the final answer. A request whose
+// cancel flag fires mid-evaluation returns errCancelled: no response frame
+// is written for it.
+func (s *Site) handle(j frameJob, emit func(epoch, lsn uint64, body []byte) bool) (uint64, uint64, []byte, error) {
+	kind, payload := j.kind, j.payload
+	if !s.pause(j.cancel) {
+		return 0, 0, nil, errCancelled
 	}
 	switch kind {
 	case kindUpdate:
@@ -289,14 +406,33 @@ func (s *Site) handle(kind byte, payload []byte) (uint64, uint64, []byte, error)
 		fr.RLock()
 		defer fr.RUnlock()
 	}
+	var opt *core.Options
+	if j.cancel != nil {
+		flag := j.cancel
+		opt = &core.Options{Cancel: flag.Load}
+	}
 	switch kind {
 	case kindReach:
-		if len(payload) < 8 {
-			return 0, 0, nil, fmt.Errorf("short qr payload")
+		src, dst, stream, err := decodeReachRequest(payload)
+		if err != nil {
+			return 0, 0, nil, err
 		}
-		src := graph.NodeID(binary.LittleEndian.Uint32(payload))
-		dst := graph.NodeID(binary.LittleEndian.Uint32(payload[4:]))
-		rv := core.LocalEvalReach(f, src, dst, nil)
+		var sink func(chunk *core.ReachPartial) bool
+		if stream && emit != nil {
+			sink = func(chunk *core.ReachPartial) bool {
+				b, err := chunk.MarshalBinary()
+				if err != nil {
+					return true // skip the advisory chunk; the final is complete
+				}
+				return emit(epoch, lsn, b)
+			}
+		}
+		rv, ok := core.LocalEvalReachStream(f, src, dst, opt, sink)
+		if !ok {
+			// Cancelled mid-evaluation — or the emit failed, which only
+			// happens on a dead connection, where no response lands anyway.
+			return 0, 0, nil, errCancelled
+		}
 		b, err := rv.MarshalBinary()
 		return epoch, lsn, b, err
 	case kindDist:
@@ -323,7 +459,7 @@ func (s *Site) handle(kind byte, payload []byte) (uint64, uint64, []byte, error)
 		b, err := rv.MarshalBinary()
 		return epoch, lsn, b, err
 	case kindBatch:
-		b, err := s.handleBatch(f, payload)
+		b, err := s.handleBatch(f, payload, epoch, lsn, j.cancel, emit)
 		return epoch, lsn, b, err
 	default:
 		return 0, 0, nil, fmt.Errorf("unknown request kind %q", kind)
@@ -427,21 +563,55 @@ func (s *Site) handleRebalance(payload []byte) (uint64, uint64, []byte, error) {
 // Distance and regex queries evaluate individually. The frame's service
 // delay (Site.delay) is paid once per batch, not once per query — the
 // amortization the batch protocol exists to deliver.
-func (s *Site) handleBatch(frag *fragment.Fragment, payload []byte) ([]byte, error) {
-	qs, err := decodeBatchRequest(payload)
+//
+// A streaming batch (batchFlagStream set) additionally emits up to
+// core.MaxStreamChunks 'P' frames, one per reach query as it completes:
+// the query's shared section (the first time its target is seen) merged
+// with its source equation, tagged with the target it answers for. The
+// cancel flag is polled between queries and inside the local evaluations.
+func (s *Site) handleBatch(frag *fragment.Fragment, payload []byte, epoch, lsn uint64, cancel *atomic.Bool, emit func(epoch, lsn uint64, body []byte) bool) ([]byte, error) {
+	qs, flags, err := decodeBatchRequest(payload)
 	if err != nil {
 		return nil, err
+	}
+	var opt *core.Options
+	cancelled := func() bool { return cancel != nil && cancel.Load() }
+	if cancel != nil {
+		opt = &core.Options{Cancel: cancel.Load}
+	}
+	stream := flags&batchFlagStream != 0 && emit != nil
+	emitted := 0
+	emitChunk := func(t graph.NodeID, rv *core.ReachPartial) {
+		if !stream || emitted >= core.MaxStreamChunks || rv.NumEqs() == 0 {
+			return
+		}
+		b, err := rv.MarshalBinary()
+		if err != nil {
+			return // skip the advisory chunk; the final reply is complete
+		}
+		if emit(epoch, lsn, encodeBatchChunk(t, b)) {
+			emitted++
+		} else {
+			stream = false
+		}
 	}
 	parts := make([][]byte, len(qs))
 	refs := make([]uint32, len(qs))
 	var shared [][]byte
 	sectionOf := make(map[graph.NodeID]uint32) // target -> 1+section index
 	for i, q := range qs {
+		if cancelled() {
+			return nil, errCancelled
+		}
 		switch q.Class {
 		case ClassReach:
+			var base *core.ReachPartial
 			ref, ok := sectionOf[q.T]
 			if !ok {
-				base := core.LocalEvalReach(frag, graph.None, q.T, nil)
+				base = core.LocalEvalReach(frag, graph.None, q.T, opt)
+				if base == nil {
+					return nil, errCancelled
+				}
 				sb, err := base.MarshalBinary()
 				if err != nil {
 					return nil, err
@@ -451,10 +621,24 @@ func (s *Site) handleBatch(frag *fragment.Fragment, payload []byte) ([]byte, err
 				sectionOf[q.T] = ref
 			}
 			refs[i] = ref
-			if own := core.SourceOnlyReach(frag, q.S, q.T); own != nil {
+			own := core.SourceOnlyReach(frag, q.S, q.T, opt)
+			if own == nil && cancelled() {
+				return nil, errCancelled
+			}
+			if own != nil {
 				if parts[i], err = own.MarshalBinary(); err != nil {
 					return nil, err
 				}
+			}
+			if stream {
+				chunk := new(core.ReachPartial)
+				if base != nil {
+					chunk.Merge(base)
+				}
+				if own != nil {
+					chunk.Merge(own)
+				}
+				emitChunk(q.T, chunk)
 			}
 		case ClassDist:
 			rv := core.LocalEvalDist(frag, q.S, q.T, q.L)
