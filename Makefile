@@ -5,7 +5,7 @@
 GO ?= go
 
 .PHONY: all build test race bench bench-smoke bench-json bench-trajectory \
-	cross-checks fuzz-smoke recovery-smoke govulncheck staticcheck \
+	cross-checks fuzz-smoke recovery-smoke obs-smoke govulncheck staticcheck \
 	fmt fmt-check vet ci
 
 all: build test
@@ -37,6 +37,16 @@ bench-smoke:
 	$(GO) run ./cmd/bench $(BENCH_LOAD_FLAGS) -churn 20 -nodechurn -rebalance 300ms -json /tmp/bench-smoke.json
 	$(GO) run ./cmd/bench $(BENCH_LOAD_FLAGS) -churn 20 -index -json /tmp/bench-smoke-index.json
 	$(GO) run ./cmd/bench $(BENCH_LOAD_FLAGS) -anytime -sitedelay 0,0,0,20ms -json /tmp/bench-smoke-anytime.json
+	$(MAKE) obs-smoke
+
+# Observability smoke: boot the built binaries (self-contained gateway,
+# then k real cmd/site processes with -metrics), drive query and update
+# load over HTTP, and fail on malformed Prometheus exposition, a missing
+# trace tree, or any guarantee-auditor violation. See cmd/obscheck.
+obs-smoke:
+	$(GO) build -o /tmp/distreach-smoke-serve ./cmd/serve
+	$(GO) build -o /tmp/distreach-smoke-site ./cmd/site
+	$(GO) run ./cmd/obscheck -serve /tmp/distreach-smoke-serve -site /tmp/distreach-smoke-site
 
 # The pinned bench-trajectory run: open loop on the checked-in SNAP sample
 # at a fixed offered rate, seed and duration, with the reachability index
@@ -67,6 +77,7 @@ fuzz-smoke:
 	$(GO) test ./internal/netsite -run '^$$' -fuzz '^FuzzUpdatePayload$$' -fuzztime 20s
 	$(GO) test ./internal/netsite -run '^$$' -fuzz '^FuzzRebalancePayload$$' -fuzztime 20s
 	$(GO) test ./internal/netsite -run '^$$' -fuzz '^FuzzSyncPayload$$' -fuzztime 20s
+	$(GO) test ./internal/netsite -run '^$$' -fuzz '^FuzzTracePayload$$' -fuzztime 20s
 	$(GO) test ./internal/oplog -run '^$$' -fuzz '^FuzzOpsCodec$$' -fuzztime 20s
 	$(GO) test ./internal/oplog -run '^$$' -fuzz '^FuzzSegmentScan$$' -fuzztime 20s
 	$(GO) test ./internal/graph -run '^$$' -fuzz '^FuzzSNAPLoader$$' -fuzztime 20s
@@ -95,6 +106,7 @@ cross-checks:
 	$(GO) test -race -run 'TestIndexAnswersUnderChurnAndRebalance' -count 1 ./internal/fragment
 	$(GO) test -race -run 'TestGroupCommitCoalesces|TestSnapshotIndex|TestSnapshotRecoverWarm' -count 1 ./internal/oplog
 	$(GO) test -race -run 'TestNodeOpsWireCrossCheck|TestNodeMutationCrossCheck|TestRebalanceEpochRace|TestRebalanceRestoresBalance' -count 1 ./internal/netsite ./internal/fragment
+	$(GO) test -race -run 'TestTraceCrossCheck|TestWireAccounting' -count 1 ./internal/netsite
 
 # Static analysis beyond go vet. Downloads the tool on first run.
 staticcheck:

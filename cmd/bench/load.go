@@ -287,6 +287,7 @@ func runLoad(cfg loadConfig) error {
 	if cfg.jsonPath != "" {
 		rep := benchReport{
 			Schema: benchSchema,
+			Meta:   collectRunMeta(),
 			Mode:   map[bool]string{true: "open", false: "closed"}[cfg.rate > 0],
 			Config: benchReportConfig{
 				Clients:     cfg.clients,

@@ -5,6 +5,9 @@ import (
 	"encoding/json"
 	"fmt"
 	"os"
+	"os/exec"
+	"runtime"
+	"runtime/debug"
 	"sort"
 	"strconv"
 	"strings"
@@ -13,12 +16,14 @@ import (
 
 // Machine-checkable bench reports. A -json run writes one BENCH_*.json
 // whose schema is versioned, so CI can compare runs across PRs (see
-// cmd/benchcheck) without scraping the human-readable output. Schema v2
-// (v1 plus the first-answer and anytime sections; everything v1 carried
-// is unchanged, so v1 baselines stay comparable):
+// cmd/benchcheck) without scraping the human-readable output. Schema v3
+// (v2 plus the "meta" run-provenance section; everything v1 and v2
+// carried is unchanged, so old baselines stay comparable):
 //
 //	{
-//	  "schema": "distreach-bench/v2",
+//	  "schema": "distreach-bench/v3",
+//	  "meta": { "git_commit":.., "go_version":.., "hostname":..,
+//	            "gomaxprocs":.., "num_cpu":.. },  // which build, which box
 //	  "mode": "open" | "closed",
 //	  "config": { ... the knobs that shaped the run ... },
 //	  "queries": N, "rounds": N, "errors": N, "elapsed_sec": S,
@@ -40,7 +45,46 @@ import (
 // closed loop. First-answer percentiles come from the coordinator's own
 // clock (WireStats.FirstAnswer): the instant streamed partials proved the
 // round, before the straggler sites' finals.
-const benchSchema = "distreach-bench/v2"
+const benchSchema = "distreach-bench/v3"
+
+// benchRunMeta records where a report came from, so a regression hunt can
+// tell a code change from a machine change. Every field is best-effort:
+// a missing git binary or a detached checkout leaves git_commit empty
+// rather than failing the run.
+type benchRunMeta struct {
+	GitCommit  string `json:"git_commit,omitempty"`
+	GoVersion  string `json:"go_version"`
+	Hostname   string `json:"hostname,omitempty"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
+	NumCPU     int    `json:"num_cpu"`
+}
+
+// collectRunMeta samples the run's provenance. The commit comes from the
+// build info stamped into the binary (vcs.revision) when present, falling
+// back to asking git — `go run ./cmd/bench` builds without VCS stamping.
+func collectRunMeta() *benchRunMeta {
+	m := &benchRunMeta{
+		GoVersion:  runtime.Version(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		NumCPU:     runtime.NumCPU(),
+	}
+	if h, err := os.Hostname(); err == nil {
+		m.Hostname = h
+	}
+	if bi, ok := debug.ReadBuildInfo(); ok {
+		for _, s := range bi.Settings {
+			if s.Key == "vcs.revision" {
+				m.GitCommit = s.Value
+			}
+		}
+	}
+	if m.GitCommit == "" {
+		if out, err := exec.Command("git", "rev-parse", "HEAD").Output(); err == nil {
+			m.GitCommit = strings.TrimSpace(string(out))
+		}
+	}
+	return m
+}
 
 type latencySummary struct {
 	MeanUS int64 `json:"mean"`
@@ -96,6 +140,7 @@ type benchReportConfig struct {
 
 type benchReport struct {
 	Schema  string            `json:"schema"`
+	Meta    *benchRunMeta     `json:"meta,omitempty"`
 	Mode    string            `json:"mode"`
 	Config  benchReportConfig `json:"config"`
 	Queries int               `json:"queries"`

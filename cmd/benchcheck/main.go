@@ -6,12 +6,15 @@
 //	go run ./cmd/benchcheck -baseline BENCH_PR6.json -current BENCH_PR.json
 //
 // A regression is a throughput drop beyond -max-qps-drop (default 20%),
-// a p99 latency growth beyond -max-p99-growth (default 50%), or — when
-// both reports carry the schema-v2 first-answer section — a first-answer
-// p99 growth beyond the same -max-p99-growth budget (the anytime
-// protocol's early-termination win must not silently erode). The gates
-// are deliberately loose: CI runners are noisy, and the job exists to
-// catch collapses (an accidental O(n) in the hot path), not 3% wiggles.
+// a p99 latency growth beyond -max-p99-growth (default 50%), a
+// first-answer p99 growth beyond the same -max-p99-growth budget when
+// both reports carry that section (the anytime protocol's
+// early-termination win must not silently erode), or — when both reports
+// measured wire traffic — a bytes-per-query growth beyond
+// -max-bytes-growth (default 50%: the paper's bounded-response-volume
+// guarantee must not silently bloat). The gates are deliberately loose:
+// CI runners are noisy, and the job exists to catch collapses (an
+// accidental O(n) in the hot path), not 3% wiggles.
 //
 // Override: when a PR knowingly trades throughput away (say, for
 // correctness or durability), pass -allow-regression or set
@@ -28,10 +31,10 @@ import (
 )
 
 // report mirrors the subset of cmd/bench's schema that the gates read.
-// Schema v1 and v2 are both accepted: v2 added the first-answer and
-// anytime sections without changing anything v1 carried, so a v2 run
-// remains comparable against a v1 baseline (the first-answer gate simply
-// has nothing to compare and stays silent).
+// Schemas v1 through v3 are all accepted: each version only added
+// sections (v2 first-answer and anytime, v3 run metadata), so a newer
+// run remains comparable against an older baseline (a gate whose section
+// one side lacks simply stays silent).
 type report struct {
 	Schema  string  `json:"schema"`
 	Mode    string  `json:"mode"`
@@ -52,6 +55,7 @@ type report struct {
 var benchSchemas = map[string]bool{
 	"distreach-bench/v1": true,
 	"distreach-bench/v2": true,
+	"distreach-bench/v3": true,
 }
 
 func load(path string) (report, error) {
@@ -72,7 +76,7 @@ func parseReport(path string, b []byte) (report, error) {
 		return r, fmt.Errorf("%s: %w", path, err)
 	}
 	if !benchSchemas[r.Schema] {
-		return r, fmt.Errorf("%s: unknown schema %q (want distreach-bench/v1 or v2)", path, r.Schema)
+		return r, fmt.Errorf("%s: unknown schema %q (want distreach-bench/v1, v2 or v3)", path, r.Schema)
 	}
 	if r.QPS <= 0 {
 		return r, fmt.Errorf("%s: corrupt or truncated report: qps = %v", path, r.QPS)
@@ -89,7 +93,7 @@ func parseReport(path string, b []byte) (report, error) {
 // gate applies the regression gates and returns one message per failure.
 // parseReport guarantees base.QPS and base.Latency.P99 are positive, so the
 // ratios below are always meaningful.
-func gate(base, cur report, qpsDrop, p99Grow float64) []string {
+func gate(base, cur report, qpsDrop, p99Grow, bytesGrow float64) []string {
 	var fails []string
 	if cur.Errors > 0 {
 		fails = append(fails, fmt.Sprintf("current run had %d query errors", cur.Errors))
@@ -109,16 +113,24 @@ func gate(base, cur report, qpsDrop, p99Grow float64) []string {
 		fails = append(fails, fmt.Sprintf("first-answer p99 grew %.0f%% (budget %.0f%%)",
 			100*float64(cur.FirstAnswer.P99-base.FirstAnswer.P99)/float64(base.FirstAnswer.P99), 100*p99Grow))
 	}
+	// The bytes gate only fires when both runs measured wire traffic
+	// (loopback in-process runs leave it zero).
+	if base.BytesPerQuery > 0 && cur.BytesPerQuery > 0 &&
+		cur.BytesPerQuery > base.BytesPerQuery*(1+bytesGrow) {
+		fails = append(fails, fmt.Sprintf("bytes per query grew %.0f%% (budget %.0f%%)",
+			100*(cur.BytesPerQuery-base.BytesPerQuery)/base.BytesPerQuery, 100*bytesGrow))
+	}
 	return fails
 }
 
 func main() {
 	var (
-		baseline = flag.String("baseline", "", "committed baseline report (required)")
-		current  = flag.String("current", "", "freshly measured report (required)")
-		qpsDrop  = flag.Float64("max-qps-drop", 0.20, "fail when throughput drops more than this fraction")
-		p99Grow  = flag.Float64("max-p99-growth", 0.50, "fail when p99 latency grows more than this fraction")
-		allow    = flag.Bool("allow-regression", false, "report but do not fail (also BENCHCHECK_ALLOW=1)")
+		baseline  = flag.String("baseline", "", "committed baseline report (required)")
+		current   = flag.String("current", "", "freshly measured report (required)")
+		qpsDrop   = flag.Float64("max-qps-drop", 0.20, "fail when throughput drops more than this fraction")
+		p99Grow   = flag.Float64("max-p99-growth", 0.50, "fail when p99 latency grows more than this fraction")
+		bytesGrow = flag.Float64("max-bytes-growth", 0.50, "fail when wire bytes per query grow more than this fraction (both reports must measure it)")
+		allow     = flag.Bool("allow-regression", false, "report but do not fail (also BENCHCHECK_ALLOW=1)")
 	)
 	flag.Parse()
 	if *baseline == "" || *current == "" {
@@ -157,7 +169,7 @@ func main() {
 		fmt.Printf("  bytes/query %8.0f -> %8.0f  (%s)\n", base.BytesPerQuery, cur.BytesPerQuery, ratio(cur.BytesPerQuery, base.BytesPerQuery))
 	}
 
-	fails := gate(base, cur, *qpsDrop, *p99Grow)
+	fails := gate(base, cur, *qpsDrop, *p99Grow, *bytesGrow)
 	if len(fails) == 0 {
 		fmt.Println("benchcheck: within budget")
 		return

@@ -14,13 +14,14 @@ func TestParseReportRejectsCorruptBaselines(t *testing.T) {
 		{"good v1", `{"schema":"distreach-bench/v1","mode":"open","qps":1200.5,"latency_us":{"p50":90,"p99":400}}`, ""},
 		{"good v2", `{"schema":"distreach-bench/v2","mode":"open","qps":1200.5,"latency_us":{"p50":90,"p99":400},"first_answer_us":{"p50":40,"p99":150}}`, ""},
 		{"v2 without first answer", `{"schema":"distreach-bench/v2","mode":"open","qps":1200,"latency_us":{"p50":90,"p99":400}}`, ""},
+		{"good v3", `{"schema":"distreach-bench/v3","meta":{"go_version":"go1.24"},"mode":"open","qps":1200,"latency_us":{"p50":90,"p99":400},"bytes_per_query":512}`, ""},
 		{"zero qps", `{"schema":"distreach-bench/v1","mode":"open","qps":0,"latency_us":{"p50":90,"p99":400}}`, "corrupt or truncated"},
 		{"zero p99", `{"schema":"distreach-bench/v1","mode":"open","qps":1200,"latency_us":{"p50":90,"p99":0}}`, "corrupt or truncated"},
 		{"zero first-answer p99", `{"schema":"distreach-bench/v2","mode":"open","qps":1200,"latency_us":{"p50":90,"p99":400},"first_answer_us":{"p50":0,"p99":0}}`, "corrupt or truncated"},
 		{"negative qps", `{"schema":"distreach-bench/v1","mode":"open","qps":-3,"latency_us":{"p99":400}}`, "corrupt or truncated"},
 		{"empty object", `{}`, "unknown schema"},
 		{"truncated json", `{"schema":"distreach-bench/v1","qps":12`, "unexpected end"},
-		{"wrong schema", `{"schema":"distreach-bench/v3","qps":12,"latency_us":{"p99":4}}`, "unknown schema"},
+		{"wrong schema", `{"schema":"distreach-bench/v9","qps":12,"latency_us":{"p99":4}}`, "unknown schema"},
 	}
 	for _, tc := range cases {
 		_, err := parseReport("BENCH_X.json", []byte(tc.body))
@@ -46,19 +47,19 @@ func TestGate(t *testing.T) {
 		r.Latency.P99 = p99
 		return r
 	}
-	if fails := gate(base, mk(950, 1100, 0), 0.20, 0.50); len(fails) != 0 {
+	if fails := gate(base, mk(950, 1100, 0), 0.20, 0.50, 0.50); len(fails) != 0 {
 		t.Fatalf("within-budget run failed the gate: %v", fails)
 	}
-	if fails := gate(base, mk(700, 1000, 0), 0.20, 0.50); len(fails) != 1 || !strings.Contains(fails[0], "throughput dropped") {
+	if fails := gate(base, mk(700, 1000, 0), 0.20, 0.50, 0.50); len(fails) != 1 || !strings.Contains(fails[0], "throughput dropped") {
 		t.Fatalf("30%% qps drop not caught: %v", fails)
 	}
-	if fails := gate(base, mk(1000, 1600, 0), 0.20, 0.50); len(fails) != 1 || !strings.Contains(fails[0], "p99 latency grew") {
+	if fails := gate(base, mk(1000, 1600, 0), 0.20, 0.50, 0.50); len(fails) != 1 || !strings.Contains(fails[0], "p99 latency grew") {
 		t.Fatalf("60%% p99 growth not caught: %v", fails)
 	}
-	if fails := gate(base, mk(1000, 1000, 3), 0.20, 0.50); len(fails) != 1 || !strings.Contains(fails[0], "query errors") {
+	if fails := gate(base, mk(1000, 1000, 3), 0.20, 0.50, 0.50); len(fails) != 1 || !strings.Contains(fails[0], "query errors") {
 		t.Fatalf("query errors not caught: %v", fails)
 	}
-	if fails := gate(base, mk(500, 2000, 1), 0.20, 0.50); len(fails) != 3 {
+	if fails := gate(base, mk(500, 2000, 1), 0.20, 0.50, 0.50); len(fails) != 3 {
 		t.Fatalf("want all three gates to fire, got %v", fails)
 	}
 }
@@ -77,19 +78,44 @@ func TestGateFirstAnswer(t *testing.T) {
 		return r
 	}
 	// Within budget: 40% growth under a 50% budget.
-	if fails := gate(mk(100), mk(140), 0.20, 0.50); len(fails) != 0 {
+	if fails := gate(mk(100), mk(140), 0.20, 0.50, 0.50); len(fails) != 0 {
 		t.Fatalf("within-budget first-answer growth failed the gate: %v", fails)
 	}
 	// Erosion of the early-termination win: 3x growth must fail.
-	fails := gate(mk(100), mk(300), 0.20, 0.50)
+	fails := gate(mk(100), mk(300), 0.20, 0.50, 0.50)
 	if len(fails) != 1 || !strings.Contains(fails[0], "first-answer p99 grew") {
 		t.Fatalf("3x first-answer p99 growth not caught: %v", fails)
 	}
 	// A v1 baseline (no section) never trips the gate against a v2 run.
-	if fails := gate(mk(0), mk(300), 0.20, 0.50); len(fails) != 0 {
+	if fails := gate(mk(0), mk(300), 0.20, 0.50, 0.50); len(fails) != 0 {
 		t.Fatalf("first-answer gate fired without a baseline measurement: %v", fails)
 	}
-	if fails := gate(mk(100), mk(0), 0.20, 0.50); len(fails) != 0 {
+	if fails := gate(mk(100), mk(0), 0.20, 0.50, 0.50); len(fails) != 0 {
 		t.Fatalf("first-answer gate fired without a current measurement: %v", fails)
+	}
+}
+
+func TestGateBytesPerQuery(t *testing.T) {
+	mk := func(bytes float64) report {
+		r := report{QPS: 1000, BytesPerQuery: bytes}
+		r.Latency.P99 = 1000
+		return r
+	}
+	// 40% growth under a 50% budget passes.
+	if fails := gate(mk(1000), mk(1400), 0.20, 0.50, 0.50); len(fails) != 0 {
+		t.Fatalf("within-budget bytes growth failed the gate: %v", fails)
+	}
+	// Doubling the wire cost per query must fail: the paper's bounded
+	// response volume is the point of the system.
+	fails := gate(mk(1000), mk(2000), 0.20, 0.50, 0.50)
+	if len(fails) != 1 || !strings.Contains(fails[0], "bytes per query grew") {
+		t.Fatalf("2x bytes/query growth not caught: %v", fails)
+	}
+	// In-process runs leave the measurement zero; the gate stays silent.
+	if fails := gate(mk(0), mk(2000), 0.20, 0.50, 0.50); len(fails) != 0 {
+		t.Fatalf("bytes gate fired without a baseline measurement: %v", fails)
+	}
+	if fails := gate(mk(1000), mk(0), 0.20, 0.50, 0.50); len(fails) != 0 {
+		t.Fatalf("bytes gate fired without a current measurement: %v", fails)
 	}
 }

@@ -16,6 +16,7 @@ import (
 	"distreach/internal/fragment"
 	"distreach/internal/graph"
 	"distreach/internal/netsite"
+	"distreach/internal/obs"
 	"distreach/internal/oplog"
 	"distreach/internal/qcache"
 )
@@ -39,6 +40,8 @@ type gwOptions struct {
 	store       *oplog.Store  // durable oplog (-wal); nil = in-memory order only
 	snapEvery   int           // checkpoint + log-truncate cadence in batches; 0 = never
 	coalesce    time.Duration // adaptive batching window for GET /reach; 0 = off
+	trace       bool          // distributed tracing: 'T' envelopes + /trace endpoints
+	slowQuery   time.Duration // dump traces slower than this to stderr; 0 = off
 
 	// idxStats reads the reachability-index counters of the current
 	// deployment; nil when the sites are remote (the gateway has no local
@@ -52,21 +55,24 @@ type gwOptions struct {
 const defaultMaxInflight = 1024
 
 // gateway serves the HTTP/JSON API over one multiplexing coordinator.
+// The request counters live in the obs registry (ob.reg): /stats reads
+// the same instruments GET /metrics renders.
 type gateway struct {
 	co      *netsite.Coordinator
 	cache   *qcache.Cache[cachedAnswer]
 	opts    gwOptions
+	ob      *gwObs
 	coal    *coalescer    // adaptive batching for GET /reach; nil = off
 	sem     chan struct{} // in-flight request slots (backpressure)
-	queries atomic.Int64
-	updates atomic.Int64
+	queries *obs.Counter
+	updates *obs.Counter
 
-	rejected    atomic.Int64  // requests turned away with 429
+	rejected    *obs.Counter  // requests turned away with 429
 	epoch       atomic.Uint64 // highest deployment epoch observed
-	rebalances  atomic.Int64  // successful rebalance rounds
+	rebalances  *obs.Counter  // successful rebalance rounds
 	rebalancing atomic.Bool   // single-flight latch for auto-rebalance
 	syncing     atomic.Bool   // single-flight latch for catch-up replication
-	syncs       atomic.Int64  // successful catch-up rounds
+	syncs       *obs.Counter  // successful catch-up rounds
 	snapping    atomic.Bool   // single-flight latch for checkpointing
 
 	statsMu   sync.Mutex
@@ -85,15 +91,26 @@ func newGateway(co *netsite.Coordinator, o gwOptions) *gateway {
 	if o.store != nil {
 		co.UseSequencer(oplog.NewDurableSequencer(o.store))
 	}
+	ob := newGwObs(co)
 	g := &gateway{
-		co:      co,
-		cache:   qcache.New[cachedAnswer](o.cacheCap),
-		opts:    o,
-		sem:     make(chan struct{}, o.maxInflight),
-		started: time.Now(),
+		co:         co,
+		cache:      qcache.New[cachedAnswer](o.cacheCap),
+		opts:       o,
+		ob:         ob,
+		sem:        make(chan struct{}, o.maxInflight),
+		queries:    ob.reg.Counter("gateway_queries_total", "Queries served (cache hits included)."),
+		updates:    ob.reg.Counter("gateway_updates_total", "Update batches applied."),
+		rejected:   ob.reg.Counter("gateway_rejected_total", "Requests turned away with 429 under backpressure."),
+		rebalances: ob.reg.Counter("gateway_rebalances_total", "Successful rebalance rounds."),
+		syncs:      ob.reg.Counter("gateway_syncs_total", "Successful catch-up replication rounds."),
+		started:    time.Now(),
 	}
 	if o.coalesce > 0 {
 		g.coal = newCoalescer(co, o.coalesce, o.timeout)
+	}
+	ob.bindGateway(g)
+	if o.trace {
+		ob.armTracing(co, o.slowQuery)
 	}
 	return g
 }
@@ -107,6 +124,10 @@ func (g *gateway) routes() *http.ServeMux {
 	mux.HandleFunc("POST /update", g.limit(g.handleUpdate))
 	mux.HandleFunc("POST /rebalance", g.handleRebalance)
 	mux.HandleFunc("GET /stats", g.handleStats)
+	mux.Handle("GET /metrics", g.ob.reg.Handler())
+	mux.HandleFunc("GET /trace/{id}", g.handleTrace)
+	mux.HandleFunc("GET /traces", g.handleTraces)
+	mux.HandleFunc("GET /guarantees", g.handleGuarantees)
 	mux.HandleFunc("POST /flush", g.handleFlush)
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		w.Write([]byte("ok\n"))
@@ -267,11 +288,12 @@ func toWireJSON(st netsite.WireStats) *wireJSON {
 }
 
 type queryResponse struct {
-	Query  string    `json:"query"`
-	Answer bool      `json:"answer"`
-	Dist   *int64    `json:"dist,omitempty"`
-	Cached bool      `json:"cached"`
-	Wire   *wireJSON `json:"wire,omitempty"`
+	Query   string    `json:"query"`
+	Answer  bool      `json:"answer"`
+	Dist    *int64    `json:"dist,omitempty"`
+	Cached  bool      `json:"cached"`
+	TraceID string    `json:"trace_id,omitempty"` // hex; look up via GET /trace/{id}
+	Wire    *wireJSON `json:"wire,omitempty"`
 }
 
 type errorResponse struct {
@@ -297,13 +319,17 @@ func badRequest(w http.ResponseWriter, msg string) {
 	writeJSON(w, http.StatusBadRequest, errorResponse{Error: msg})
 }
 
-func (g *gateway) respond(w http.ResponseWriter, query string, ans cachedAnswer, cached bool, st netsite.WireStats) {
+func (g *gateway) respond(w http.ResponseWriter, class, query string, start time.Time, ans cachedAnswer, cached bool, st netsite.WireStats) {
+	g.ob.observeQuery(class, start, cached, st)
 	resp := queryResponse{Query: query, Answer: ans.Answer, Cached: cached}
 	if ans.HasDist {
 		resp.Dist = &ans.Dist
 	}
 	if !cached {
 		resp.Wire = toWireJSON(st)
+		if st.TraceID != 0 {
+			resp.TraceID = strconv.FormatUint(st.TraceID, 16)
+		}
 	}
 	writeJSON(w, http.StatusOK, resp)
 }
@@ -316,10 +342,11 @@ func (g *gateway) handleReach(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	g.queries.Add(1)
+	start := time.Now()
 	query := "qr(" + r.URL.Query().Get("s") + "," + r.URL.Query().Get("t") + ")"
 	key := qcache.ReachKey(s, t)
 	if ans, hit := g.cache.Get(key); hit {
-		g.respond(w, query, ans, true, netsite.WireStats{})
+		g.respond(w, "reach", query, start, ans, true, netsite.WireStats{})
 		return
 	}
 	epoch := g.cache.Generation()
@@ -348,7 +375,7 @@ func (g *gateway) handleReach(w http.ResponseWriter, r *http.Request) {
 	g.noteEpoch(st.Epoch)
 	ans := cachedAnswer{Answer: answer}
 	g.cache.PutIfGeneration(key, ans, epoch, touched)
-	g.respond(w, query, ans, false, st)
+	g.respond(w, "reach", query, start, ans, false, st)
 }
 
 func (g *gateway) handleReachWithin(w http.ResponseWriter, r *http.Request) {
@@ -360,10 +387,11 @@ func (g *gateway) handleReachWithin(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	g.queries.Add(1)
+	start := time.Now()
 	query := "qbr(" + r.URL.Query().Get("s") + "," + r.URL.Query().Get("t") + "," + r.URL.Query().Get("l") + ")"
 	key := qcache.DistKey(s, t, l)
 	if ans, hit := g.cache.Get(key); hit {
-		g.respond(w, query, ans, true, netsite.WireStats{})
+		g.respond(w, "reachwithin", query, start, ans, true, netsite.WireStats{})
 		return
 	}
 	epoch := g.cache.Generation()
@@ -379,7 +407,7 @@ func (g *gateway) handleReachWithin(w http.ResponseWriter, r *http.Request) {
 	// solver's infinity sentinel, which callers should not see.
 	ans := cachedAnswer{Answer: answer, Dist: dist, HasDist: answer}
 	g.cache.PutIfGeneration(key, ans, epoch, st.Touched)
-	g.respond(w, query, ans, false, st)
+	g.respond(w, "reachwithin", query, start, ans, false, st)
 }
 
 func (g *gateway) handleReachRegex(w http.ResponseWriter, r *http.Request) {
@@ -396,10 +424,11 @@ func (g *gateway) handleReachRegex(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	g.queries.Add(1)
+	start := time.Now()
 	query := "qrr(" + r.URL.Query().Get("s") + "," + r.URL.Query().Get("t") + "," + expr + ")"
 	key := qcache.RPQKey(s, t, expr)
 	if ans, hit := g.cache.Get(key); hit {
-		g.respond(w, query, ans, true, netsite.WireStats{})
+		g.respond(w, "reachregex", query, start, ans, true, netsite.WireStats{})
 		return
 	}
 	epoch := g.cache.Generation()
@@ -413,7 +442,7 @@ func (g *gateway) handleReachRegex(w http.ResponseWriter, r *http.Request) {
 	g.noteEpoch(st.Epoch)
 	ans := cachedAnswer{Answer: answer}
 	g.cache.PutIfGeneration(key, ans, epoch, st.Touched)
-	g.respond(w, query, ans, false, st)
+	g.respond(w, "reachregex", query, start, ans, false, st)
 }
 
 // maxBatchQueries bounds one POST /batch request; bigger workloads should
@@ -447,6 +476,7 @@ type batchRequestJSON struct {
 type batchResponseJSON struct {
 	Answers []queryResponse `json:"answers"`
 	Misses  int             `json:"misses"`
+	TraceID string          `json:"trace_id,omitempty"` // hex; the one wire round's trace
 	Wire    *wireJSON       `json:"wire,omitempty"`
 }
 
@@ -454,6 +484,7 @@ type batchResponseJSON struct {
 // ships the misses as ONE wire batch (one frame per site however many
 // queries missed), and demultiplexes the answers back into request order.
 func (g *gateway) handleBatch(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
 	var req batchRequestJSON
 	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBatchBody)).Decode(&req); err != nil {
 		badRequest(w, "batch: malformed JSON: "+err.Error())
@@ -560,6 +591,7 @@ func (g *gateway) handleBatch(w http.ResponseWriter, r *http.Request) {
 	// Phase 3: one wire round for all the misses, demultiplexed back into
 	// request order.
 	var wj *wireJSON
+	var traceID string
 	if len(wireQs) > 0 {
 		ctx, cancel := g.wireCtx(r)
 		defer cancel()
@@ -568,6 +600,7 @@ func (g *gateway) handleBatch(w http.ResponseWriter, r *http.Request) {
 			g.wireError(w, err)
 			return
 		}
+		g.ob.observeQuery("batch", start, false, st)
 		g.noteEpoch(st.Epoch)
 		for _, p := range pend {
 			ans := cachedAnswer{Answer: res[p.slot].Answer}
@@ -583,8 +616,13 @@ func (g *gateway) handleBatch(w http.ResponseWriter, r *http.Request) {
 			}
 		}
 		wj = toWireJSON(st)
+		if st.TraceID != 0 {
+			traceID = strconv.FormatUint(st.TraceID, 16)
+		}
+	} else {
+		g.ob.observeQuery("batch", start, true, netsite.WireStats{})
 	}
-	writeJSON(w, http.StatusOK, batchResponseJSON{Answers: answers, Misses: len(wireQs), Wire: wj})
+	writeJSON(w, http.StatusOK, batchResponseJSON{Answers: answers, Misses: len(wireQs), TraceID: traceID, Wire: wj})
 }
 
 // updateOpJSON is one mutation of a POST /update batch. Op selects the
@@ -723,6 +761,7 @@ func (g *gateway) handleUpdate(w http.ResponseWriter, r *http.Request) {
 	g.statsMu.Lock()
 	g.lastStats = res.Stats
 	g.statsMu.Unlock()
+	g.ob.setDeployment(res.Stats)
 	evicted := 0
 	if res.Changed {
 		evicted = g.cache.EvictFragments(res.Dirty)
@@ -810,6 +849,7 @@ func (g *gateway) rebalance() (netsite.RebalanceResult, error) {
 			g.statsMu.Lock()
 			g.lastStats = res.Stats
 			g.statsMu.Unlock()
+			g.ob.setDeployment(res.Stats)
 			return res, nil
 		}
 		// The deployment was already past the requested epoch (another
@@ -861,7 +901,7 @@ func (g *gateway) handleStats(w http.ResponseWriter, r *http.Request) {
 		"lsn":          lsn,
 		"replica_lsns": replicaLSNs,
 		"max_lag":      maxLag,
-		"syncs":        g.syncs.Load(),
+		"syncs":        g.syncs.Value(),
 	}
 	if st := g.opts.store; st != nil {
 		segs, bytes := st.Log().Stats()
@@ -906,17 +946,17 @@ func (g *gateway) handleStats(w http.ResponseWriter, r *http.Request) {
 		coalesce = g.coal.statsJSON()
 	}
 	writeJSON(w, http.StatusOK, map[string]any{
-		"queries":        g.queries.Load(),
-		"updates":        g.updates.Load(),
+		"queries":        g.queries.Value(),
+		"updates":        g.updates.Value(),
 		"epoch":          g.epoch.Load(),
-		"rebalances":     g.rebalances.Load(),
+		"rebalances":     g.rebalances.Value(),
 		"uptime_seconds": int64(time.Since(g.started).Seconds()),
 		"anytime":        anytime,
 		"coalesce":       coalesce,
 		"backpressure": map[string]any{
 			"max_inflight": cap(g.sem),
 			"inflight":     len(g.sem),
-			"rejected":     g.rejected.Load(),
+			"rejected":     g.rejected.Value(),
 		},
 		"durability": durability,
 		"balance":    balance,

@@ -285,7 +285,7 @@ func TestGatewayBatchFlushRace(t *testing.T) {
 	// generation and before the wire round, so once the counter reads 2
 	// the batch is committed to its pre-flush epoch and is stuck behind
 	// the sites' service delay — the flush below is guaranteed to race it.
-	for deadline := time.Now().Add(5 * time.Second); gw.queries.Load() < 2; {
+	for deadline := time.Now().Add(5 * time.Second); gw.queries.Value() < 2; {
 		if time.Now().After(deadline) {
 			t.Fatal("batch never started")
 		}
@@ -331,7 +331,7 @@ func TestGatewayBatchRejectsBadRequests(t *testing.T) {
 		}
 	}
 	// No rejected batch served anything: counters and cache untouched.
-	if n := gw.queries.Load(); n != 0 {
+	if n := gw.queries.Value(); n != 0 {
 		t.Fatalf("rejected batches bumped the query counter to %d", n)
 	}
 	if hits, misses := gw.cache.Stats(); hits != 0 || misses != 0 {
@@ -531,7 +531,7 @@ func TestGatewayUpdateRejectsBadRequests(t *testing.T) {
 			t.Fatalf("%s: error body missing", name)
 		}
 	}
-	if n := gw.updates.Load(); n != 0 {
+	if n := gw.updates.Value(); n != 0 {
 		t.Fatalf("rejected updates bumped the counter to %d", n)
 	}
 	// Out-of-range endpoints are a site-side error: surfaced as 502.

@@ -20,6 +20,10 @@
 //	                               insert|delete|insertnode|deletenode
 //	POST /rebalance                live re-fragmentation (zero-downtime epoch switch)
 //	GET  /stats                    queries served, cache hits/misses, balance, epoch
+//	GET  /metrics                  Prometheus text exposition (same instruments as /stats)
+//	GET  /trace/{id}               assembled trace tree of one recent query (?format=text)
+//	GET  /traces                   recent traced queries, newest first (?n=)
+//	GET  /guarantees               the live auditor's verdict on the paper's bounds
 //	POST /flush                    invalidate the answer cache wholesale
 //	GET  /healthz                  liveness
 //
@@ -52,6 +56,7 @@ import (
 	"flag"
 	"fmt"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"strings"
 	"time"
@@ -85,6 +90,9 @@ func main() {
 		wal       = flag.String("wal", "", "durability: write-ahead log directory; every update batch is sequenced and logged before broadcast, and a restarted gateway resumes the order and replays missed batches to the sites")
 		snapEvery = flag.Int("snapshot-every", 256, "with -wal: checkpoint the deployment and truncate the log every N update batches (0 = never)")
 		fsync     = flag.String("fsync", "always", "with -wal: fsync policy, always | never")
+		trace     = flag.Bool("trace", true, "distributed tracing: queries travel in trace envelopes, sites report spans, trees land at GET /trace/{id} (turn off when some sites run a pre-tracing build)")
+		slowQuery = flag.Duration("slowquery", 0, "with -trace: dump the full trace tree of queries slower than this to stderr (0 = off)")
+		pprofOn   = flag.Bool("pprof", false, "serve net/http/pprof under /debug/pprof/ on the gateway listener")
 	)
 	flag.Parse()
 
@@ -148,6 +156,8 @@ func main() {
 		store:       store,
 		snapEvery:   *snapEvery,
 		coalesce:    *coalesce,
+		trace:       *trace,
+		slowQuery:   *slowQuery,
 	}
 	if rep != nil {
 		opts.idxStats = func() fragment.ReachIndexStats {
@@ -156,6 +166,13 @@ func main() {
 		}
 	}
 	gw := newGateway(co, opts)
+	if rep != nil {
+		// Seed the guarantee auditor's |Vf| and |G| before the first update
+		// reply refreshes them.
+		if cur, _ := rep.Current(); cur != nil {
+			gw.ob.setDeployment(cur.BalanceStats())
+		}
+	}
 	if store != nil {
 		// Boot-time recovery: the sites may be behind the write-ahead log
 		// (a self-deployed gateway restarts its sites from the original
@@ -164,11 +181,26 @@ func main() {
 		// stale replica.
 		go gw.heal()
 	}
+	mux := gw.routes()
+	if *pprofOn {
+		registerPprof(mux)
+	}
 	fmt.Printf("serve: gateway on http://%s (cache %d entries, request timeout %v, max in-flight %d, skew threshold %.1f)\n",
 		*listen, *cacheCap, *reqTO, cap(gw.sem), *skew)
-	if err := http.ListenAndServe(*listen, gw.routes()); err != nil {
+	if err := http.ListenAndServe(*listen, mux); err != nil {
 		fatal(err)
 	}
+}
+
+// registerPprof mounts the standard profiling endpoints on our own mux
+// (the handlers net/http/pprof installs on http.DefaultServeMux, which
+// the gateway does not serve).
+func registerPprof(mux *http.ServeMux) {
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 }
 
 // selfDeploy loads the graph, partitions it, enables the per-fragment

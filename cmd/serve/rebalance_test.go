@@ -156,15 +156,15 @@ func TestGatewayAutoRebalanceOnSkew(t *testing.T) {
 	// Hammer block 0 with internal edges until fragment 0 bloats past the
 	// threshold; every update reply re-checks the skew.
 	rng := gen.NewRNG(69)
-	for i := 0; i < 400 && gw.rebalances.Load() == 0; i++ {
+	for i := 0; i < 400 && gw.rebalances.Value() == 0; i++ {
 		u, v := rng.Intn(size), rng.Intn(size)
 		postJSON(t, srv.URL+"/update", map[string]any{"op": "insert", "u": u, "v": v}, 200)
 	}
 	deadline := time.Now().Add(5 * time.Second)
-	for gw.rebalances.Load() == 0 && time.Now().Before(deadline) {
+	for gw.rebalances.Value() == 0 && time.Now().Before(deadline) {
 		time.Sleep(10 * time.Millisecond)
 	}
-	if gw.rebalances.Load() == 0 {
+	if gw.rebalances.Value() == 0 {
 		t.Fatal("skewed churn never triggered an automatic rebalance")
 	}
 	sm := getJSON(t, srv.URL+"/stats", 200)
@@ -243,7 +243,7 @@ func TestGatewayBackpressure(t *testing.T) {
 	default:
 		t.Fatal("8 concurrent queries against 2 slots produced no 429")
 	}
-	if gw.rejected.Load() == 0 {
+	if gw.rejected.Value() == 0 {
 		t.Fatal("rejection counter did not move")
 	}
 	// /stats stays reachable under saturation and reports the counters.

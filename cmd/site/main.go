@@ -22,12 +22,15 @@ package main
 import (
 	"flag"
 	"fmt"
+	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 
 	"distreach/internal/fragment"
 	"distreach/internal/graph"
 	"distreach/internal/netsite"
+	"distreach/internal/obs"
 	"distreach/internal/oplog"
 	"distreach/internal/reachindex"
 )
@@ -43,6 +46,8 @@ func main() {
 		fsync      = flag.String("fsync", "always", "with -wal: fsync policy, always | never")
 		idxBudget  = flag.Int64("reachindex-budget", 0, "per-fragment reachability index label budget in bytes (0 disables the index)")
 		idxPolicy  = flag.String("reachindex-policy", "postorder", "index budget policy, postorder | hits")
+		metrics    = flag.String("metrics", "", "HTTP listen address for GET /metrics (Prometheus text exposition); empty = off")
+		pprofOn    = flag.Bool("pprof", false, "with -metrics: also serve net/http/pprof under /debug/pprof/")
 	)
 	flag.Parse()
 	if *graphPath == "" || *assignPath == "" {
@@ -74,6 +79,28 @@ func main() {
 	// original (possibly stale) files.
 	rep := fragment.NewReplica(fr)
 	opts := netsite.SiteOptions{}
+	if *metrics != "" {
+		reg := obs.NewRegistry()
+		opts.Metrics = reg
+		mux := http.NewServeMux()
+		mux.Handle("GET /metrics", reg.Handler())
+		if *pprofOn {
+			mux.HandleFunc("/debug/pprof/", pprof.Index)
+			mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+			mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+			mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+			mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		}
+		go func() {
+			if err := http.ListenAndServe(*metrics, mux); err != nil {
+				fmt.Fprintf(os.Stderr, "site: metrics listener: %v\n", err)
+			}
+		}()
+		fmt.Printf("site: metrics on http://%s/metrics\n", *metrics)
+	} else if *pprofOn {
+		fmt.Fprintln(os.Stderr, "site: -pprof needs -metrics for the HTTP listener")
+		os.Exit(2)
+	}
 	if *wal != "" {
 		policy, err := oplog.ParseSyncPolicy(*fsync)
 		if err != nil {

@@ -244,6 +244,7 @@ func localEvalStream(f *fragment.Fragment, s, t graph.NodeID, opt *Options, sink
 		next *= 2
 		return true
 	}
+	met := opt.Metrics
 	if opt.LocalIndex != nil {
 		idx := opt.LocalIndex(f)
 		tLocal, hasT := f.Local(t)
@@ -257,10 +258,16 @@ func localEvalStream(f *fragment.Fragment, s, t graph.NodeID, opt *Options, sink
 				// other equations may reference it as a variable.
 				eq.constTrue = true
 				rv.eqs = append(rv.eqs, eq)
+				if met != nil {
+					met.ConstEqs++
+				}
 				if !flush() {
 					return nil, false
 				}
 				continue
+			}
+			if met != nil {
+				met.IndexedEqs++
 			}
 			if hasT && idx.Reaches(graph.NodeID(v), graph.NodeID(tLocal)) {
 				eq.constTrue = true
@@ -320,6 +327,9 @@ func localEvalStream(f *fragment.Fragment, s, t graph.NodeID, opt *Options, sink
 			// aliasing: if t shares an SCC with other in-nodes, they may
 			// alias to Xt, and Xt itself must never be an alias.
 			rv.eqs = append(rv.eqs, reachEq{node: t, constTrue: true})
+			if met != nil {
+				met.ConstEqs++
+			}
 			if !flush() {
 				return nil, false
 			}
@@ -327,6 +337,9 @@ func localEvalStream(f *fragment.Fragment, s, t graph.NodeID, opt *Options, sink
 		}
 		if rep := repOf[comp[v]]; rep != 0 {
 			rv.eqs = append(rv.eqs, reachEq{node: f.Global(v), vars: []graph.NodeID{f.Global(rep - 1)}})
+			if met != nil {
+				met.AliasEqs++
+			}
 			if !flush() {
 				return nil, false
 			}
@@ -355,11 +368,25 @@ func localEvalStream(f *fragment.Fragment, s, t graph.NodeID, opt *Options, sink
 				// read equation bodies, so no per-query copy is needed.
 				eq.vars = gvars
 				rv.eqs = append(rv.eqs, eq)
+				if met != nil {
+					met.IndexedEqs++
+				}
 				if !flush() {
 					return nil, false
 				}
 				continue
 			}
+			if met != nil {
+				switch idx.Outcome(v) {
+				case reachindex.OutcomeStale:
+					met.StaleEqs++
+				case reachindex.OutcomeOverBudget:
+					met.OverBudgetEqs++
+				}
+			}
+		}
+		if met != nil {
+			met.BFSEqs++
 		}
 		eq := reachEq{node: f.Global(v)}
 		if seen == nil {

@@ -45,6 +45,28 @@ type Options struct {
 	// other sites' partials and broadcast a cancel frame. Must be safe for
 	// concurrent use (it is typically an atomic load).
 	Cancel func() bool
+
+	// Metrics, if non-nil, receives per-equation counters from the local
+	// evaluation — which path produced each in-node equation, and why the
+	// fragment index was bypassed when it was. The struct is written by the
+	// single evaluating goroutine with no synchronization; callers wanting
+	// aggregates across queries must copy it out per evaluation (the traced
+	// query path attaches it to the eval span).
+	Metrics *EvalMetrics
+}
+
+// EvalMetrics counts, for one local evaluation, how each in-node equation
+// was produced. Indexed + BFS + Alias + Const covers every equation; Stale
+// and OverBudget are the subsets of BFS that had a fragment index installed
+// but fell back anyway (the reachindex outcome tagging observability needs
+// to tune index budgets in production).
+type EvalMetrics struct {
+	IndexedEqs    int64 // answered from the fragment reachability index (or a LocalIndex)
+	BFSEqs        int64 // direct frontier-cut BFS
+	AliasEqs      int64 // two-word alias to an SCC representative
+	ConstEqs      int64 // trivially true (the in-node is the target)
+	StaleEqs      int64 // BFS because the index entry was invalidated by a mutation
+	OverBudgetEqs int64 // BFS because the label budget excluded the entry (or it is undecided mid-rebuild)
 }
 
 // cancelled reports whether a cooperative cancellation was requested. Safe

@@ -1,0 +1,140 @@
+package exp
+
+import (
+	"fmt"
+	"time"
+
+	"distreach/internal/fragment"
+	"distreach/internal/gen"
+	"distreach/internal/graph"
+	"distreach/internal/netsite"
+	"distreach/internal/obs"
+)
+
+func init() {
+	register("N11", guaranteeAudit)
+}
+
+// guaranteeAudit charts the paper's performance guarantees as live-audited
+// invariants across a sweep of graph sizes. Each size is served over real
+// TCP with tracing and the guarantee auditor armed, exactly as a
+// production gateway runs them; the auditor checks every settled round
+// while the queries execute, and the table reports what it measured
+// against what the theory bounds:
+//
+//   - frames per site per round must never exceed 1 ("visit each site
+//     once" — the number of visits is independent of the query);
+//   - per-site response data must stay under c·(|Vf|+1)² bytes (response
+//     volume depends on the fragment graph, not |G|);
+//   - mean local evaluation time should not grow with |G| when fragment
+//     size is held constant (local work is bounded by the fragment) —
+//     the sweep scales the site count with the graph so |Fm| stays flat,
+//     and the auditor's Pearson r over the (|G|, mean eval) points is
+//     reported in the notes.
+//
+// Any frame or byte violation fails the experiment.
+func guaranteeAudit(cfg Config) (Table, error) {
+	t := Table{
+		ID:     "N11",
+		Title:  "Serving N11: the paper's guarantees audited live across graph sizes",
+		Header: []string{"|G| nodes", "sites", "|Vf|", "byte bound", "max resp bytes", "mean eval ms", "frame viol", "byte viol"},
+		Notes: "One TCP deployment per size, tracing and auditor armed as in production. Fragment size is held roughly constant " +
+			"(site count scales with |G|), so the paper predicts flat per-site response volume relative to its c·(|Vf|+1)² bound, " +
+			"exactly one frame per site per round, and eval time independent of |G|. \"max resp bytes\" is the auditor's running " +
+			"maximum across the sweep so far.",
+	}
+	aud := obs.NewAuditor()
+	var prev obs.AuditSummary
+	var firstEval, lastEval time.Duration
+	for _, base := range []int{300, 600, 1200, 2400} {
+		n := cfg.scale(base)
+		g := gen.Uniform(gen.Config{Nodes: n, Edges: 4 * n, Labels: []string{"A", "B", "C"}, Seed: uint64(11 * base)})
+		k := n / 75
+		if k < 2 {
+			k = 2
+		}
+		if k > 32 {
+			k = 32
+		}
+		fr, err := fragment.Random(g, k, 7)
+		if err != nil {
+			return t, err
+		}
+		sites, addrs, err := netsite.ServeFragmentation(fr)
+		if err != nil {
+			return t, err
+		}
+		closeSites := func() {
+			for _, s := range sites {
+				s.Close()
+			}
+		}
+		co, err := netsite.Dial(addrs, 3*time.Second)
+		if err != nil {
+			closeSites()
+			return t, err
+		}
+		// Arm tracing so replies carry site eval spans (the auditor's
+		// response-time samples come from them); the trees themselves are
+		// mined for the per-size mean and dropped.
+		var evals []time.Duration
+		co.SetTraceSink(func(tr *obs.Trace) {
+			for i := range tr.Spans {
+				if tr.Spans[i].Name == "eval" {
+					evals = append(evals, tr.Spans[i].Dur)
+				}
+			}
+		})
+		co.SetAuditor(aud)
+		bs := fr.BalanceStats()
+		aud.SetDeployment(int64(bs.Vf), int64(n))
+
+		nq := cfg.queries(30)
+		cfg.logf("N11: |G|=%d, %d sites, |Vf|=%d, %d queries", n, k, bs.Vf, nq)
+		rng := gen.NewRNG(uint64(base))
+		for i := 0; i < nq; i++ {
+			s := graph.NodeID(rng.Intn(n))
+			d := graph.NodeID(rng.Intn(n))
+			if _, _, err := co.Reach(s, d); err != nil {
+				co.Close()
+				closeSites()
+				return t, fmt.Errorf("exp: N11 reach(%d,%d) at |G|=%d: %w", s, d, n, err)
+			}
+		}
+		co.Close()
+		closeSites()
+
+		sum := aud.Summary() // ByteBound/Vf still describe this size's deployment
+		meanEval := "-"
+		if len(evals) > 0 {
+			var total time.Duration
+			for _, d := range evals {
+				total += d
+			}
+			mean := total / time.Duration(len(evals))
+			meanEval = fmtMS(mean)
+			if firstEval == 0 {
+				firstEval = mean
+			}
+			lastEval = mean
+		}
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprint(n), fmt.Sprint(k), fmt.Sprint(bs.Vf),
+			fmt.Sprint(sum.ByteBound), fmt.Sprint(sum.MaxRespBytes), meanEval,
+			fmt.Sprint(sum.FrameViolations - prev.FrameViolations),
+			fmt.Sprint(sum.ByteViolations - prev.ByteViolations),
+		})
+		prev = sum
+	}
+
+	final := aud.Summary()
+	if final.SizePoints >= 2 && final.EvalSizeCorr != nil {
+		t.Notes += fmt.Sprintf(" Measured Pearson r(|G|, mean eval) = %+.2f over %d size points (eval %s -> %sms).",
+			*final.EvalSizeCorr, final.SizePoints, fmtMS(firstEval), fmtMS(lastEval))
+	}
+	if final.FrameViolations+final.ByteViolations > 0 {
+		return t, fmt.Errorf("exp: N11 guarantee violations: %d frame, %d byte over %d rounds",
+			final.FrameViolations, final.ByteViolations, final.Rounds)
+	}
+	return t, nil
+}

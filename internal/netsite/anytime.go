@@ -4,11 +4,13 @@ import (
 	"context"
 	"encoding/binary"
 	"fmt"
+	"strconv"
 	"time"
 
 	"distreach/internal/bes"
 	"distreach/internal/core"
 	"distreach/internal/graph"
+	"distreach/internal/obs"
 )
 
 // Anytime answers (coordinator side). A reach query — or an all-reach
@@ -155,11 +157,25 @@ func forwardReplies(site int, pr *pendingReq, events chan<- streamEvent, done <-
 // abort it with an error. Whatever the exit, no pending-table entry
 // outlives the round: every path drops (and usually cancels) the
 // stragglers, and late frames are drained by the read loop.
-func (c *Coordinator) streamRound(ctx context.Context, kind byte, payload []byte, sink func(site int, body []byte, final bool) (bool, error)) (streamOutcome, error) {
+func (c *Coordinator) streamRound(ctx context.Context, kind byte, payload []byte, sink func(site int, body []byte, final bool) (bool, error), qt *qtrace) (streamOutcome, error) {
 	id := c.nextID.Add(1)
 	start := time.Now()
 	out := streamOutcome{finals: make([]bool, len(c.conns))}
 	st := &out.st
+	if qt != nil && !tracedKind(kind) {
+		qt = nil
+	}
+	// Per-site audit/trace bookkeeping: the rpc span each envelope named,
+	// its post instant (the anchor remote spans attach under), and the
+	// response volume and site-measured eval time the auditor checks.
+	var rpcIDs []uint64
+	var anchors []time.Time
+	respBytes := make([]int64, len(c.conns))
+	evalNs := make([]int64, len(c.conns))
+	if qt != nil {
+		rpcIDs = make([]uint64, len(c.conns))
+		anchors = make([]time.Time, len(c.conns))
+	}
 
 	done := make(chan struct{})
 	defer close(done)
@@ -171,6 +187,9 @@ func (c *Coordinator) streamRound(ctx context.Context, kind byte, payload []byte
 		for i, sc := range c.conns {
 			if out.finals[i] {
 				continue
+			}
+			if qt != nil {
+				qt.b.End(rpcIDs[i], obs.Attr{Key: "cancelled", Val: "true"})
 			}
 			if n := sc.cancel(id); n > 0 {
 				st.BytesSent += int64(n)
@@ -192,7 +211,14 @@ func (c *Coordinator) streamRound(ctx context.Context, kind byte, payload []byte
 	}
 
 	for i, sc := range c.conns {
-		pr, n, err := sc.postReq(id, kind, payload, true)
+		wireKind, wirePayload := kind, payload
+		if qt != nil {
+			rpcIDs[i] = qt.b.StartSpan(qt.par, "rpc", obs.Attr{Key: "site", Val: strconv.Itoa(i)})
+			wireKind = kindTraced
+			wirePayload = encodeTraced(qt.id, rpcIDs[i], kind, payload)
+			anchors[i] = time.Now()
+		}
+		pr, n, err := sc.postReq(id, wireKind, wirePayload, true)
 		if err != nil {
 			// Posted sites would evaluate for nobody: cancel them. Their
 			// forwarders were never started, so only the table needs care.
@@ -234,7 +260,7 @@ func (c *Coordinator) streamRound(ctx context.Context, kind byte, payload []byte
 		if ev.final && r.kind == kindError {
 			return fail(fmt.Errorf("site %d: %s", ev.site, r.payload))
 		}
-		if (ev.final && r.kind != kindAnswer) || (!ev.final && r.kind != kindPartial) {
+		if (ev.final && r.kind != kindAnswer && r.kind != kindTracedAnswer) || (!ev.final && r.kind != kindPartial) {
 			return fail(fmt.Errorf("site %d: unexpected frame kind %q", ev.site, r.kind))
 		}
 		if len(r.payload) < answerPrefix {
@@ -255,7 +281,22 @@ func (c *Coordinator) streamRound(ctx context.Context, kind byte, payload []byte
 			return out, nil
 		}
 		st.BytesReceived += int64(r.n)
+		body := r.payload[answerPrefix:]
 		if ev.final {
+			if r.kind == kindTracedAnswer {
+				spans, rest, derr := decodeTracedAnswer(body)
+				if derr != nil {
+					return fail(fmt.Errorf("site %d: %w", ev.site, derr))
+				}
+				if qt != nil {
+					qt.b.AttachRemote(rpcIDs[ev.site], ev.site, anchors[ev.site], spans)
+					qt.b.End(rpcIDs[ev.site])
+				}
+				evalNs[ev.site] = evalDurNs(spans)
+				body = rest
+			} else if qt != nil {
+				qt.b.End(rpcIDs[ev.site])
+			}
 			st.FramesReceived++
 			out.finals[ev.site] = true
 			nFinal++
@@ -264,7 +305,8 @@ func (c *Coordinator) streamRound(ctx context.Context, kind byte, payload []byte
 			st.PartialFrames++
 			c.any.partials.Add(1)
 		}
-		decided, err := sink(ev.site, r.payload[answerPrefix:], ev.final)
+		respBytes[ev.site] += int64(len(body))
+		decided, err := sink(ev.site, body, ev.final)
 		if err != nil {
 			return fail(err)
 		}
@@ -274,14 +316,38 @@ func (c *Coordinator) streamRound(ctx context.Context, kind byte, payload []byte
 			st.FirstAnswer = time.Since(start)
 			cancelStragglers(true)
 			finish()
+			c.auditStream(kind, respBytes, evalNs)
 			return out, nil
 		}
 		if nFinal == len(c.conns) {
 			finish()
 			st.FirstAnswer = st.RoundTrip
+			c.auditStream(kind, respBytes, evalNs)
 			return out, nil
 		}
 	}
+}
+
+// auditStream reports one settled streaming attempt to the auditor: each
+// site still received exactly one request frame (the posted query — the
+// invariant the paper's 1-visit guarantee is about; cancel frames are
+// control traffic), and RespBytes sums every partial and final body the
+// site emitted before the round settled.
+func (c *Coordinator) auditStream(kind byte, respBytes, evalNs []int64) {
+	a := c.getAuditor()
+	if a == nil || !tracedKind(kind) {
+		return
+	}
+	frames := make([]int64, len(respBytes))
+	for i := range frames {
+		frames[i] = 1
+	}
+	a.Observe(obs.AuditRound{
+		Query:     kindLabel(kind),
+		Frames:    frames,
+		RespBytes: respBytes,
+		EvalNs:    evalNs,
+	})
 }
 
 // reachAnytime is the anytime form of a qr(s,t) round: stream partials
@@ -289,11 +355,16 @@ func (c *Coordinator) streamRound(ctx context.Context, kind byte, payload []byte
 // certificate closes (cancelling the stragglers) or false once every
 // site's equations are in. Epoch-split rounds retry with the same policy
 // as queryRound.
-func (c *Coordinator) reachAnytime(ctx context.Context, s, t graph.NodeID) (bool, WireStats, error) {
+func (c *Coordinator) reachAnytime(ctx context.Context, s, t graph.NodeID, qt *qtrace) (bool, WireStats, error) {
 	payload := encodeReachRequest(s, t, true)
 	var total WireStats
 	backoff := epochRetryBackoff
 	for attempt := 0; ; attempt++ {
+		rqt := qt
+		if qt != nil {
+			roundID := qt.b.StartSpan(qt.par, "round", obs.Attr{Key: "attempt", Val: strconv.Itoa(attempt)})
+			rqt = qt.child(roundID)
+		}
 		sys := bes.New[graph.NodeID]()
 		acc := make([]*core.ReachPartial, len(c.conns))
 		sink := func(site int, body []byte, final bool) (bool, error) {
@@ -308,7 +379,10 @@ func (c *Coordinator) reachAnytime(ctx context.Context, s, t graph.NodeID) (bool
 			acc[site].Merge(chunk)
 			return sys.Decide(s), nil
 		}
-		out, err := c.streamRound(ctx, kindReach, payload, sink)
+		out, err := c.streamRound(ctx, kindReach, payload, sink, rqt)
+		if qt != nil {
+			qt.b.End(rqt.par)
+		}
 		total.add(out.st)
 		if err != nil {
 			return false, total, err
@@ -343,7 +417,7 @@ func (c *Coordinator) reachAnytime(ctx context.Context, s, t graph.NodeID) (bool
 // (false verdicts need every site's complete equations, so a batch with
 // any undecided query waits them out — and then composes answers exactly
 // like the classic path).
-func (c *Coordinator) batchAnytime(ctx context.Context, wire []BatchQuery, widx []int, answers []BatchAnswer) (WireStats, error) {
+func (c *Coordinator) batchAnytime(ctx context.Context, wire []BatchQuery, widx []int, answers []BatchAnswer, qt *qtrace) (WireStats, error) {
 	payload, err := encodeBatchRequest(wire, batchFlagStream)
 	if err != nil {
 		return WireStats{}, err
@@ -351,6 +425,11 @@ func (c *Coordinator) batchAnytime(ctx context.Context, wire []BatchQuery, widx 
 	var total WireStats
 	backoff := epochRetryBackoff
 	for attempt := 0; ; attempt++ {
+		rqt := qt
+		if qt != nil {
+			roundID := qt.b.StartSpan(qt.par, "round", obs.Attr{Key: "attempt", Val: strconv.Itoa(attempt)})
+			rqt = qt.child(roundID)
+		}
 		sysOf := make(map[graph.NodeID]*bes.System[graph.NodeID])
 		accOf := make(map[graph.NodeID][]*core.ReachPartial)
 		for _, q := range wire {
@@ -418,7 +497,10 @@ func (c *Coordinator) batchAnytime(ctx context.Context, wire []BatchQuery, widx 
 			}
 			return undecided == 0, nil
 		}
-		out, err := c.streamRound(ctx, kindBatch, payload, sink)
+		out, err := c.streamRound(ctx, kindBatch, payload, sink, rqt)
+		if qt != nil {
+			qt.b.End(rqt.par)
+		}
 		total.add(out.st)
 		if err != nil {
 			return total, err

@@ -4,6 +4,7 @@ import (
 	"context"
 	"encoding/binary"
 	"fmt"
+	"time"
 
 	"distreach/internal/automaton"
 	"distreach/internal/bes"
@@ -404,6 +405,7 @@ func (c *Coordinator) BatchContext(ctx context.Context, qs []BatchQuery) ([]Batc
 	if len(wire) == 0 {
 		return answers, WireStats{}, nil
 	}
+	qt := c.newQueryTrace("batch")
 	if c.anytime.Load() {
 		allReach := true
 		for _, q := range wire {
@@ -416,7 +418,8 @@ func (c *Coordinator) BatchContext(ctx context.Context, qs []BatchQuery) ([]Batc
 		// partials have no incremental solver); mixed batches take the
 		// classic full round.
 		if allReach {
-			st, err := c.batchAnytime(ctx, wire, widx, answers)
+			st, err := c.batchAnytime(ctx, wire, widx, answers, qt)
+			c.finishTrace(qt, &st, err)
 			if err != nil {
 				return nil, st, err
 			}
@@ -425,16 +428,24 @@ func (c *Coordinator) BatchContext(ctx context.Context, qs []BatchQuery) ([]Batc
 	}
 	payload, err := encodeBatchRequest(wire, 0)
 	if err != nil {
+		c.finishTrace(qt, &WireStats{}, err)
 		return nil, WireStats{}, err
 	}
-	replies, st, err := c.queryRound(ctx, kindBatch, payload)
+	replies, st, err := c.queryRound(ctx, kindBatch, payload, qt)
 	if err != nil {
+		c.finishTrace(qt, &st, err)
 		return nil, st, err
 	}
+	solveStart := time.Now()
 	if err := composeBatchAnswers(replies, wire, widx, answers); err != nil {
+		c.finishTrace(qt, &st, err)
 		return nil, st, err
+	}
+	if qt != nil {
+		qt.b.AddSpan(qt.b.Root(), "solve", solveStart, time.Since(solveStart))
 	}
 	st.FirstAnswer = st.RoundTrip
+	c.finishTrace(qt, &st, nil)
 	return answers, st, nil
 }
 

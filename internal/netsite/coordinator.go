@@ -10,10 +10,13 @@ import (
 	"sync/atomic"
 	"time"
 
+	"strconv"
+
 	"distreach/internal/automaton"
 	"distreach/internal/bes"
 	"distreach/internal/core"
 	"distreach/internal/graph"
+	"distreach/internal/obs"
 	"distreach/internal/oplog"
 )
 
@@ -62,6 +65,91 @@ type Coordinator struct {
 	// reach queries and all-reach batches (default on; see SetAnytime).
 	anytime atomic.Bool
 	any     anytimeCounters
+
+	// Tracing and guarantee auditing (see SetTraceSink, SetAuditor). A nil
+	// sink means queries run untraced — the zero-cost default.
+	traceMu   sync.Mutex
+	traceSink func(*obs.Trace)
+	auditor   *obs.Auditor
+	traceSeq  atomic.Uint64
+}
+
+// SetTraceSink arms distributed tracing: every subsequent query round is
+// posted inside a 'T' trace envelope, sites piggyback their recorded
+// spans on the reply frames, and the assembled trace tree is delivered to
+// fn when the query finishes. fn must be safe for concurrent use (queries
+// finish concurrently); nil disarms tracing.
+func (c *Coordinator) SetTraceSink(fn func(*obs.Trace)) {
+	c.traceMu.Lock()
+	c.traceSink = fn
+	c.traceMu.Unlock()
+}
+
+// SetAuditor attaches a guarantee auditor: every query round reports its
+// per-site frame counts, response volumes, and site-measured evaluation
+// times to it (see obs.Auditor). nil detaches.
+func (c *Coordinator) SetAuditor(a *obs.Auditor) {
+	c.traceMu.Lock()
+	c.auditor = a
+	c.traceMu.Unlock()
+}
+
+func (c *Coordinator) getAuditor() *obs.Auditor {
+	c.traceMu.Lock()
+	defer c.traceMu.Unlock()
+	return c.auditor
+}
+
+// qtrace threads one query's trace through the round machinery: the
+// shared builder, the trace ID the envelope carries, and the span the
+// current level parents its children under. A nil *qtrace everywhere
+// means "untraced".
+type qtrace struct {
+	b   *obs.Builder
+	id  uint64
+	par uint64
+}
+
+// child scopes the trace to a new parent span (e.g. one round attempt).
+func (qt *qtrace) child(par uint64) *qtrace {
+	return &qtrace{b: qt.b, id: qt.id, par: par}
+}
+
+// newQueryTrace starts a trace for one query when a sink is armed. Trace
+// IDs are a wall-clock-seeded counter: unique across coordinator
+// restarts without coordination, cheap to allocate per query.
+func (c *Coordinator) newQueryTrace(name string) *qtrace {
+	c.traceMu.Lock()
+	armed := c.traceSink != nil
+	c.traceMu.Unlock()
+	if !armed {
+		return nil
+	}
+	for c.traceSeq.Load() == 0 {
+		c.traceSeq.CompareAndSwap(0, uint64(time.Now().UnixNano())<<16)
+	}
+	id := c.traceSeq.Add(1)
+	b := obs.NewBuilder(id, name)
+	return &qtrace{b: b, id: id, par: b.Root()}
+}
+
+// finishTrace completes a query's trace, stamps the trace ID into the
+// query's WireStats, and delivers the tree to the sink.
+func (c *Coordinator) finishTrace(qt *qtrace, st *WireStats, err error) {
+	if qt == nil {
+		return
+	}
+	if err != nil {
+		qt.b.AddSpan(qt.b.Root(), "error", time.Now(), 0, obs.Attr{Key: "error", Val: err.Error()})
+	}
+	tr := qt.b.Finish()
+	st.TraceID = tr.ID
+	c.traceMu.Lock()
+	sink := c.traceSink
+	c.traceMu.Unlock()
+	if sink != nil {
+		sink(tr)
+	}
 }
 
 // anytimeCounters accumulates the anytime-protocol telemetry /stats and
@@ -169,6 +257,14 @@ type siteConn struct {
 	timeout time.Duration // dial timeout, initial and redial
 	done    chan struct{} // closed by Coordinator.Close; stops redialing
 
+	// Lifetime wire totals for this connection (across redials): every
+	// frame written (queries, updates, sync, cancels) and every frame read
+	// — including late replies the demultiplexer drains after a round
+	// already ended, which per-round WireStats can never see. The pair is
+	// the ground truth the accounting cross-check sums against.
+	bytesSent     atomic.Int64
+	bytesReceived atomic.Int64
+
 	wmu sync.Mutex // serializes whole-frame writes
 
 	mu        sync.Mutex
@@ -198,6 +294,7 @@ func (sc *siteConn) readLoop(conn net.Conn) {
 			sc.lost(conn, err)
 			return
 		}
+		sc.bytesReceived.Add(int64(n))
 		sc.mu.Lock()
 		pr, ok := sc.pending[id]
 		if ok && kind != kindPartial {
@@ -341,6 +438,7 @@ func (sc *siteConn) postReq(id uint32, kind byte, payload []byte, stream bool) (
 		sc.lost(conn, err)
 		return nil, 0, err
 	}
+	sc.bytesSent.Add(int64(n))
 	return pr, n, nil
 }
 
@@ -372,6 +470,7 @@ func (sc *siteConn) cancel(id uint32) int {
 		sc.lost(conn, err)
 		return 0
 	}
+	sc.bytesSent.Add(int64(n))
 	return n
 }
 
@@ -478,6 +577,20 @@ func (c *Coordinator) noteSiteLSN(i int, lsn uint64) {
 	}
 }
 
+// WireTotals reports the coordinator's lifetime wire traffic across all
+// site connections: every byte written and read since Dial, including
+// control frames (cancels, sync catch-up) and late replies drained after
+// their round ended. Per-round WireStats necessarily undercounts the
+// latter; this pair is what the accounting cross-check and the gateway's
+// wire gauges sum against.
+func (c *Coordinator) WireTotals() (sent, received int64) {
+	for _, sc := range c.conns {
+		sent += sc.bytesSent.Load()
+		received += sc.bytesReceived.Load()
+	}
+	return sent, received
+}
+
 // Close shuts down all site connections; in-flight queries fail and no
 // reconnection is attempted.
 func (c *Coordinator) Close() error {
@@ -533,6 +646,12 @@ type WireStats struct {
 	// for rounds without that notion (batches report it per query, updates
 	// report a dirty set instead).
 	Touched []int
+
+	// TraceID identifies the distributed trace recorded for this query,
+	// when tracing was armed (SetTraceSink); 0 otherwise. The gateway
+	// returns it to clients so a slow request can be looked up under
+	// /trace/<id>.
+	TraceID uint64
 }
 
 // add accumulates another round's accounting (used when an epoch-split
@@ -555,13 +674,68 @@ func (st *WireStats) add(o WireStats) {
 // (payload + the state tag it carried) or an error. appErr distinguishes
 // an error *reply* from the site (the frame arrived, the site refused)
 // from a connection-level failure (the site never saw or never answered
-// the frame).
+// the frame). evalNs is the site-reported local evaluation time parsed
+// from a traced reply's spans (0 when untraced), feeding the guarantee
+// auditor's response-time invariant.
 type siteResult struct {
 	payload []byte
 	epoch   uint64
 	lsn     uint64
 	err     error
 	appErr  bool
+	evalNs  int64
+}
+
+// kindLabel names a query kind for audit rounds and metric labels.
+func kindLabel(kind byte) string {
+	switch kind {
+	case kindReach:
+		return "reach"
+	case kindDist:
+		return "dist"
+	case kindRPQ:
+		return "rpq"
+	case kindBatch:
+		return "batch"
+	default:
+		return string(rune(kind))
+	}
+}
+
+// evalDurNs extracts the site's "eval" span duration from a traced reply.
+func evalDurNs(spans []obs.WireSpan) int64 {
+	for i := range spans {
+		if spans[i].Name == "eval" {
+			return int64(spans[i].DurNs)
+		}
+	}
+	return 0
+}
+
+// auditRound reports one settled attempt's per-site observations to the
+// auditor, when one is attached and the round is a query round (the only
+// rounds the paper's guarantees speak about). results carry the answer
+// body lengths — the response data volume the c·(|Vf|+1)² bound is about,
+// excluding frame headers and piggybacked span sections.
+func (c *Coordinator) auditRound(kind byte, results []siteResult) {
+	a := c.getAuditor()
+	if a == nil || !tracedKind(kind) {
+		return
+	}
+	r := obs.AuditRound{
+		Query:     kindLabel(kind),
+		Frames:    make([]int64, len(results)),
+		RespBytes: make([]int64, len(results)),
+		EvalNs:    make([]int64, len(results)),
+	}
+	for i := range results {
+		if results[i].err == nil {
+			r.Frames[i] = 1
+			r.RespBytes[i] = int64(len(results[i].payload))
+			r.EvalNs[i] = results[i].evalNs
+		}
+	}
+	a.Observe(r)
 }
 
 // roundtripAll posts one frame to every site in parallel and collects one
@@ -571,18 +745,37 @@ type siteResult struct {
 // callers. Concurrent rounds interleave freely: each draws a fresh
 // request ID and waits only on its own replies. A context deadline or
 // cancellation abandons the round promptly.
-func (c *Coordinator) roundtripAll(ctx context.Context, kind byte, payload []byte) ([]siteResult, WireStats) {
+//
+// With qt non-nil (and kind a query kind), the frame ships inside a 'T'
+// trace envelope naming a per-site rpc span, sites answer 't' frames
+// carrying their recorded spans, and the spans are grafted into qt's
+// trace anchored at this coordinator's post instant — no site wall clock
+// is ever trusted. Settled query rounds are also reported to the
+// guarantee auditor when one is attached.
+func (c *Coordinator) roundtripAll(ctx context.Context, kind byte, payload []byte, qt *qtrace) ([]siteResult, WireStats) {
 	id := c.nextID.Add(1)
 	start := time.Now()
 	results := make([]siteResult, len(c.conns))
 	var sent, recv, fsent, frecv atomic.Int64
+	if qt != nil && !tracedKind(kind) {
+		qt = nil
+	}
 	var wg sync.WaitGroup
 	for i, sc := range c.conns {
 		wg.Add(1)
 		go func(i int, sc *siteConn) {
 			defer wg.Done()
 			res := &results[i]
-			ch, n, err := sc.post(id, kind, payload)
+			wireKind, wirePayload := kind, payload
+			var rpcID uint64
+			if qt != nil {
+				rpcID = qt.b.StartSpan(qt.par, "rpc", obs.Attr{Key: "site", Val: strconv.Itoa(i)})
+				wireKind = kindTraced
+				wirePayload = encodeTraced(qt.id, rpcID, kind, payload)
+				defer qt.b.End(rpcID)
+			}
+			anchor := time.Now()
+			ch, n, err := sc.post(id, wireKind, wirePayload)
 			if err != nil {
 				res.err = fmt.Errorf("site %d: %w", i, err)
 				return
@@ -607,17 +800,31 @@ func (c *Coordinator) roundtripAll(ctx context.Context, kind byte, payload []byt
 				return
 			}
 			switch r.kind {
-			case kindAnswer:
+			case kindAnswer, kindTracedAnswer:
 				if len(r.payload) < answerPrefix {
 					res.err = fmt.Errorf("site %d: answer of %d bytes lacks the state tag", i, len(r.payload))
 					res.appErr = true
 					return
 				}
+				body := r.payload[answerPrefix:]
+				if r.kind == kindTracedAnswer {
+					spans, rest, derr := decodeTracedAnswer(body)
+					if derr != nil {
+						res.err = fmt.Errorf("site %d: %w", i, derr)
+						res.appErr = true
+						return
+					}
+					if qt != nil {
+						qt.b.AttachRemote(rpcID, i, anchor, spans)
+					}
+					res.evalNs = evalDurNs(spans)
+					body = rest
+				}
 				recv.Add(int64(r.n))
 				frecv.Add(1)
 				res.epoch = binary.LittleEndian.Uint64(r.payload)
 				res.lsn = binary.LittleEndian.Uint64(r.payload[8:])
-				res.payload = r.payload[answerPrefix:]
+				res.payload = body
 				c.noteSiteLSN(i, res.lsn)
 			case kindError:
 				res.err = fmt.Errorf("site %d: %s", i, r.payload)
@@ -636,13 +843,14 @@ func (c *Coordinator) roundtripAll(ctx context.Context, kind byte, payload []byt
 		FramesReceived: frecv.Load(),
 		RoundTrip:      time.Since(start),
 	}
+	c.auditRound(kind, results)
 	return results, st
 }
 
 // roundtrip is roundtripAll for all-or-nothing callers: the first site
 // error fails the round.
-func (c *Coordinator) roundtrip(ctx context.Context, kind byte, payload []byte) ([][]byte, []uint64, []uint64, WireStats, error) {
-	results, st := c.roundtripAll(ctx, kind, payload)
+func (c *Coordinator) roundtrip(ctx context.Context, kind byte, payload []byte, qt *qtrace) ([][]byte, []uint64, []uint64, WireStats, error) {
+	results, st := c.roundtripAll(ctx, kind, payload, qt)
 	replies := make([][]byte, len(results))
 	epochs := make([]uint64, len(results))
 	lsns := make([]uint64, len(results))
@@ -658,15 +866,19 @@ func (c *Coordinator) roundtrip(ctx context.Context, kind byte, payload []byte) 
 // postOne posts one frame to a single site and waits for its response —
 // the per-site form of roundtripAll used by catch-up replication, whose
 // replay payloads differ per site.
-func (c *Coordinator) postOne(ctx context.Context, site int, kind byte, payload []byte) (body []byte, epoch, lsn uint64, err error) {
+func (c *Coordinator) postOne(ctx context.Context, site int, kind byte, payload []byte, st *WireStats) (body []byte, epoch, lsn uint64, err error) {
 	if site < 0 || site >= len(c.conns) {
 		return nil, 0, 0, fmt.Errorf("netsite: site %d out of range [0,%d)", site, len(c.conns))
 	}
 	sc := c.conns[site]
 	id := c.nextID.Add(1)
-	ch, _, err := sc.post(id, kind, payload)
+	ch, n, err := sc.post(id, kind, payload)
 	if err != nil {
 		return nil, 0, 0, fmt.Errorf("site %d: %w", site, err)
+	}
+	if st != nil {
+		st.BytesSent += int64(n)
+		st.FramesSent++
 	}
 	var r wireReply
 	var ok bool
@@ -687,6 +899,10 @@ func (c *Coordinator) postOne(ctx context.Context, site int, kind byte, payload 
 	case kindAnswer:
 		if len(r.payload) < answerPrefix {
 			return nil, 0, 0, fmt.Errorf("site %d: answer of %d bytes lacks the state tag", site, len(r.payload))
+		}
+		if st != nil {
+			st.BytesReceived += int64(r.n)
+			st.FramesReceived++
 		}
 		epoch = binary.LittleEndian.Uint64(r.payload)
 		lsn = binary.LittleEndian.Uint64(r.payload[8:])
@@ -717,11 +933,19 @@ const (
 // landed on only some replicas) would be meaningless, so a round that
 // straddles a live rebalance or update broadcast is thrown away and
 // re-posted against the settled deployment.
-func (c *Coordinator) queryRound(ctx context.Context, kind byte, payload []byte) ([][]byte, WireStats, error) {
+func (c *Coordinator) queryRound(ctx context.Context, kind byte, payload []byte, qt *qtrace) ([][]byte, WireStats, error) {
 	var total WireStats
 	backoff := epochRetryBackoff
 	for attempt := 0; ; attempt++ {
-		replies, epochs, lsns, st, err := c.roundtrip(ctx, kind, payload)
+		rqt := qt
+		if qt != nil {
+			roundID := qt.b.StartSpan(qt.par, "round", obs.Attr{Key: "attempt", Val: strconv.Itoa(attempt)})
+			rqt = qt.child(roundID)
+		}
+		replies, epochs, lsns, st, err := c.roundtrip(ctx, kind, payload, rqt)
+		if qt != nil {
+			qt.b.End(rqt.par)
+		}
 		total.add(st)
 		if err != nil {
 			return nil, total, err
@@ -765,26 +989,39 @@ func (c *Coordinator) ReachContext(ctx context.Context, s, t graph.NodeID) (bool
 	if s == t {
 		return true, WireStats{}, nil
 	}
+	qt := c.newQueryTrace("reach")
 	if c.anytime.Load() {
-		return c.reachAnytime(ctx, s, t)
+		ok, st, err := c.reachAnytime(ctx, s, t, qt)
+		c.finishTrace(qt, &st, err)
+		return ok, st, err
 	}
 	payload := make([]byte, 8)
 	binary.LittleEndian.PutUint32(payload, uint32(s))
 	binary.LittleEndian.PutUint32(payload[4:], uint32(t))
-	replies, st, err := c.queryRound(ctx, kindReach, payload)
+	replies, st, err := c.queryRound(ctx, kindReach, payload, qt)
 	if err != nil {
+		c.finishTrace(qt, &st, err)
 		return false, st, err
 	}
+	solveStart := time.Now()
 	partials := make([]*core.ReachPartial, len(replies))
 	for i, resp := range replies {
 		partials[i] = new(core.ReachPartial)
 		if err := partials[i].UnmarshalBinary(resp); err != nil {
-			return false, st, fmt.Errorf("netsite: site %d reply: %w", i, err)
+			err = fmt.Errorf("netsite: site %d reply: %w", i, err)
+			c.finishTrace(qt, &st, err)
+			return false, st, err
 		}
 	}
 	st.FirstAnswer = st.RoundTrip
 	st.Touched = core.TouchedReach(partials, s)
-	return core.SolveReach(partials, s), st, nil
+	ok := core.SolveReach(partials, s)
+	if qt != nil {
+		qt.b.AddSpan(qt.b.Root(), "solve", solveStart, time.Since(solveStart),
+			obs.Attr{Key: "answer", Val: strconv.FormatBool(ok)})
+	}
+	c.finishTrace(qt, &st, nil)
+	return ok, st, nil
 }
 
 // ReachWithin evaluates qbr(s, t, l); it returns the answer and the exact
@@ -802,24 +1039,34 @@ func (c *Coordinator) ReachWithinContext(ctx context.Context, s, t graph.NodeID,
 	if l <= 0 {
 		return false, bes.Inf, WireStats{}, nil
 	}
+	qt := c.newQueryTrace("dist")
 	payload := make([]byte, 12)
 	binary.LittleEndian.PutUint32(payload, uint32(s))
 	binary.LittleEndian.PutUint32(payload[4:], uint32(t))
 	binary.LittleEndian.PutUint32(payload[8:], uint32(l))
-	replies, st, err := c.queryRound(ctx, kindDist, payload)
+	replies, st, err := c.queryRound(ctx, kindDist, payload, qt)
 	if err != nil {
+		c.finishTrace(qt, &st, err)
 		return false, bes.Inf, st, err
 	}
+	solveStart := time.Now()
 	partials := make([]*core.DistPartial, len(replies))
 	for i, resp := range replies {
 		partials[i] = new(core.DistPartial)
 		if err := partials[i].UnmarshalBinary(resp); err != nil {
-			return false, bes.Inf, st, fmt.Errorf("netsite: site %d reply: %w", i, err)
+			err = fmt.Errorf("netsite: site %d reply: %w", i, err)
+			c.finishTrace(qt, &st, err)
+			return false, bes.Inf, st, err
 		}
 	}
 	st.FirstAnswer = st.RoundTrip
 	st.Touched = core.TouchedDist(partials, s)
 	d := core.SolveDist(partials, s)
+	if qt != nil {
+		qt.b.AddSpan(qt.b.Root(), "solve", solveStart, time.Since(solveStart),
+			obs.Attr{Key: "answer", Val: strconv.FormatBool(d <= int64(l))})
+	}
+	c.finishTrace(qt, &st, nil)
 	return d <= int64(l), d, st, nil
 }
 
@@ -838,22 +1085,33 @@ func (c *Coordinator) ReachRegexContext(ctx context.Context, s, t graph.NodeID, 
 	if err != nil {
 		return false, WireStats{}, err
 	}
+	qt := c.newQueryTrace("rpq")
 	payload := make([]byte, 8, 8+len(ab))
 	binary.LittleEndian.PutUint32(payload, uint32(s))
 	binary.LittleEndian.PutUint32(payload[4:], uint32(t))
 	payload = append(payload, ab...)
-	replies, st, err := c.queryRound(ctx, kindRPQ, payload)
+	replies, st, err := c.queryRound(ctx, kindRPQ, payload, qt)
 	if err != nil {
+		c.finishTrace(qt, &st, err)
 		return false, st, err
 	}
+	solveStart := time.Now()
 	partials := make([]*core.RPQPartial, len(replies))
 	for i, resp := range replies {
 		partials[i] = new(core.RPQPartial)
 		if err := partials[i].UnmarshalBinary(resp); err != nil {
-			return false, st, fmt.Errorf("netsite: site %d reply: %w", i, err)
+			err = fmt.Errorf("netsite: site %d reply: %w", i, err)
+			c.finishTrace(qt, &st, err)
+			return false, st, err
 		}
 	}
 	st.FirstAnswer = st.RoundTrip
 	st.Touched = core.TouchedRPQ(partials, s, a.NumStates())
-	return core.SolveRPQ(partials, s, a), st, nil
+	ok := core.SolveRPQ(partials, s, a)
+	if qt != nil {
+		qt.b.AddSpan(qt.b.Root(), "solve", solveStart, time.Since(solveStart),
+			obs.Attr{Key: "answer", Val: strconv.FormatBool(ok)})
+	}
+	c.finishTrace(qt, &st, nil)
+	return ok, st, nil
 }

@@ -19,13 +19,24 @@
 //	               deployment at a new epoch), 'S' sync (catch-up
 //	               replication: hello / replay / snapshot / fetch),
 //	               'C' cancel (abandon the in-flight request whose ID the
-//	               frame echoes; no response is owed for either frame)
+//	               frame echoes; no response is owed for either frame),
+//	               'T' traced query (additive envelope: trace ID u64 |
+//	               parent span ID u64 | inner query kind u8 | inner
+//	               payload; only the query kinds 'r','b','q','B' may be
+//	               wrapped — a site that predates tracing rejects the
+//	               unknown kind with 'E' and the coordinator falls back
+//	               to the bare query)
 //	response kinds: 'R' answer: epoch u64 | lsn u64 | body (body codec per
 //	               request kind; for 'B', one partial per batched query;
 //	               for 'U', the changed flag, dirtied fragment IDs, new
 //	               node IDs and balance stats), 'E' error,
 //	               'P' partial: epoch u64 | lsn u64 | a chunk of boolean
-//	               equations streamed ahead of the final answer frame
+//	               equations streamed ahead of the final answer frame,
+//	               't' traced answer: epoch u64 | lsn u64 | spans | body —
+//	               the site's recorded spans (queue wait, lock wait, local
+//	               eval with its reachindex outcome, partial emissions)
+//	               piggybacked between the state tag and the normal answer
+//	               body, so tracing adds zero extra frames
 //
 // Anytime answers: a query or batch posted with its stream flag set (see
 // encodeReachRequest and the batch request flags byte) invites the site to
@@ -74,9 +85,14 @@ const (
 	kindRebalance = 'R'
 	kindSync      = 'S'
 	kindCancel    = 'C'
+	kindTraced    = 'T'
 	kindAnswer    = 'R'
 	kindError     = 'E'
 	kindPartial   = 'P'
+	// kindTracedAnswer mirrors kindAnswer with the site's recorded spans
+	// spliced in after the (epoch, lsn) tag: the first answerPrefix bytes
+	// stay identical to an 'R' frame so state-tag parsing is uniform.
+	kindTracedAnswer = 't'
 )
 
 // answerPrefix is the length of the state tag every answer frame carries:

@@ -162,7 +162,7 @@ func (c *Coordinator) rebalanceLocked(ctx context.Context, epoch uint64, partiti
 	if err != nil {
 		return RebalanceResult{}, WireStats{}, err
 	}
-	replies, _, _, st, err := c.roundtrip(ctx, kindRebalance, payload)
+	replies, _, _, st, err := c.roundtrip(ctx, kindRebalance, payload, nil)
 	if err != nil {
 		return RebalanceResult{}, st, err
 	}

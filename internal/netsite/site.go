@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"net"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -13,6 +14,7 @@ import (
 	"distreach/internal/core"
 	"distreach/internal/fragment"
 	"distreach/internal/graph"
+	"distreach/internal/obs"
 	"distreach/internal/oplog"
 )
 
@@ -45,6 +47,29 @@ type SiteOptions struct {
 	// 0 disables periodic snapshots (the log grows until truncated by an
 	// installed snapshot).
 	SnapshotEvery int
+	// Metrics, if set, receives the site's own request telemetry (frame
+	// counts by kind, queue-wait and evaluation histograms) — what a
+	// standalone cmd/site process serves at its /metrics endpoint. Sites
+	// may share one registry; the families are registered idempotently.
+	Metrics *obs.Registry
+}
+
+// siteMetrics is the per-site instrument set, non-nil only when
+// SiteOptions.Metrics was given.
+type siteMetrics struct {
+	frames *obs.CounterVec // by request kind
+	errs   *obs.Counter
+	queue  *obs.Histogram    // seconds a frame waited for a worker
+	eval   *obs.HistogramVec // seconds one local evaluation took, by kind
+}
+
+func newSiteMetrics(r *obs.Registry) *siteMetrics {
+	return &siteMetrics{
+		frames: r.CounterVec("site_frames_total", "Request frames served, by kind.", "kind"),
+		errs:   r.Counter("site_frame_errors_total", "Request frames answered with an error frame."),
+		queue:  r.Histogram("site_queue_wait_seconds", "Seconds a frame waited for a worker.", nil),
+		eval:   r.HistogramVec("site_eval_seconds", "Seconds one local evaluation took, by kind.", "kind", nil),
+	}
 }
 
 // Site serves one fragment index over TCP. Create with NewSiteFor (or
@@ -75,6 +100,7 @@ type Site struct {
 	store     *oplog.Store
 	snapEvery int
 	persistMu sync.Mutex // orders replica apply + log append across workers
+	met       *siteMetrics
 
 	mu     sync.Mutex
 	closed bool
@@ -141,6 +167,9 @@ func newSite(addr string, rep *fragment.Replica, bare *fragment.Fragment, fragID
 		snapEvery: o.SnapshotEvery,
 		conns:     make(map[net.Conn]struct{}),
 	}
+	if o.Metrics != nil {
+		s.met = newSiteMetrics(o.Metrics)
+	}
 	s.wg.Add(1)
 	go s.acceptLoop()
 	return s, nil
@@ -201,12 +230,17 @@ func (s *Site) acceptLoop() {
 
 // frameJob is one request frame awaiting evaluation. cancel, non-nil for
 // query kinds, is the flag a later 'C' frame flips; the evaluator polls it
-// at cooperative checkpoints.
+// at cooperative checkpoints. A frame that arrived inside a 'T' envelope
+// has traced set (kind/payload are the unwrapped inner query) and carries
+// a span recorder anchored at recv, the frame-receipt instant.
 type frameJob struct {
 	id      uint32
 	kind    byte
 	payload []byte
 	cancel  *atomic.Bool
+	traced  bool
+	recv    time.Time
+	rec     *obs.Recorder
 }
 
 // connCancels is one connection's registry of in-flight cancellable
@@ -273,6 +307,14 @@ func (s *Site) serveConn(conn net.Conn) error {
 					continue // connection died; don't evaluate dead work
 				}
 				j := j
+				if j.traced {
+					j.rec = obs.NewRecorder(j.recv)
+					j.rec.Span(-1, "queue", j.recv, time.Now())
+				}
+				if s.met != nil {
+					s.met.frames.With(kindLabel(j.kind)).Inc()
+					s.met.queue.Observe(time.Since(j.recv).Seconds())
+				}
 				emit := func(epoch, lsn uint64, body []byte) bool {
 					if broken.Load() || (j.cancel != nil && j.cancel.Load()) {
 						return false
@@ -281,6 +323,7 @@ func (s *Site) serveConn(conn net.Conn) error {
 					binary.LittleEndian.PutUint64(tagged, epoch)
 					binary.LittleEndian.PutUint64(tagged[8:], lsn)
 					tagged = append(tagged, body...)
+					wstart := time.Now()
 					wmu.Lock()
 					_, werr := writeFrame(conn, j.id, kindPartial, tagged)
 					wmu.Unlock()
@@ -288,6 +331,10 @@ func (s *Site) serveConn(conn net.Conn) error {
 						broken.Store(true)
 						conn.Close()
 						return false
+					}
+					if j.rec != nil {
+						j.rec.Span(-1, "partial", wstart, time.Now(),
+							obs.Attr{Key: "bytes", Val: strconv.Itoa(len(body))})
 					}
 					return true
 				}
@@ -301,11 +348,23 @@ func (s *Site) serveConn(conn net.Conn) error {
 				kind := byte(kindAnswer)
 				if err != nil {
 					kind, resp = kindError, []byte(err.Error())
+					if s.met != nil {
+						s.met.errs.Inc()
+					}
 				} else {
 					tagged := make([]byte, answerPrefix, answerPrefix+len(resp))
 					binary.LittleEndian.PutUint64(tagged, epoch)
 					binary.LittleEndian.PutUint64(tagged[8:], lsn)
-					resp = append(tagged, resp...)
+					if j.rec != nil {
+						// Piggyback the recorded spans on the final answer:
+						// tag | spans | body, under the 't' kind so the
+						// coordinator knows to split them back out. Errors
+						// stay plain 'E' frames — untraced, like before.
+						kind = kindTracedAnswer
+						resp = encodeTracedAnswer(tagged, j.rec.Wire(), resp)
+					} else {
+						resp = append(tagged, resp...)
+					}
 				}
 				wmu.Lock()
 				_, werr := writeFrame(conn, j.id, kind, resp)
@@ -326,16 +385,28 @@ func (s *Site) serveConn(conn net.Conn) error {
 			err = rerr // includes clean EOF on coordinator close
 			break
 		}
+		recv := time.Now()
 		if kind == kindCancel {
 			cancels.fire(id)
 			continue
+		}
+		traced := false
+		if kind == kindTraced {
+			// Unwrap the trace envelope here so cancellation registers under
+			// the inner query kind; a malformed envelope keeps kind = 'T'
+			// and the worker answers 'E' for it. The envelope's trace and
+			// parent-span IDs never leave the coordinator — sites record
+			// spans relative to the rpc span implicitly (parent index -1).
+			if _, _, inner, innerPayload, derr := decodeTraced(payload); derr == nil {
+				kind, payload, traced = inner, innerPayload, true
+			}
 		}
 		var flag *atomic.Bool
 		switch kind {
 		case kindReach, kindDist, kindRPQ, kindBatch:
 			flag = cancels.register(id)
 		}
-		jobs <- frameJob{id: id, kind: kind, payload: payload, cancel: flag}
+		jobs <- frameJob{id: id, kind: kind, payload: payload, cancel: flag, traced: traced, recv: recv}
 	}
 	close(jobs)
 	wg.Wait()
@@ -396,6 +467,10 @@ func (s *Site) handle(j frameJob, emit func(epoch, lsn uint64, body []byte) bool
 		return s.handleRebalance(payload)
 	case kindSync:
 		return s.handleSync(payload)
+	case kindTraced:
+		// The reader failed to unwrap this envelope; reject it like any
+		// malformed payload.
+		return 0, 0, nil, errTracedPayload
 	}
 	// Queries snapshot the current fragmentation and read their fragment
 	// under its lock, so a concurrent update never mutates it
@@ -403,13 +478,36 @@ func (s *Site) handle(j frameJob, emit func(epoch, lsn uint64, body []byte) bool
 	// evaluation draining consistently against the old epoch.
 	f, fr, epoch, lsn := s.snapshot()
 	if fr != nil {
+		lockStart := time.Now()
 		fr.RLock()
 		defer fr.RUnlock()
+		if j.rec != nil {
+			j.rec.Span(-1, "lock", lockStart, time.Now())
+		}
 	}
 	var opt *core.Options
-	if j.cancel != nil {
-		flag := j.cancel
-		opt = &core.Options{Cancel: flag.Load}
+	if j.cancel != nil || j.rec != nil {
+		opt = &core.Options{}
+		if j.cancel != nil {
+			opt.Cancel = j.cancel.Load
+		}
+	}
+	var met *core.EvalMetrics
+	if j.rec != nil {
+		met = &core.EvalMetrics{}
+		opt.Metrics = met
+	}
+	if j.rec != nil || s.met != nil {
+		evalStart := time.Now()
+		defer func() {
+			end := time.Now()
+			if j.rec != nil {
+				j.rec.Span(-1, "eval", evalStart, end, evalAttrs(met)...)
+			}
+			if s.met != nil {
+				s.met.eval.With(kindLabel(kind)).Observe(end.Sub(evalStart).Seconds())
+			}
+		}()
 	}
 	switch kind {
 	case kindReach:
@@ -459,10 +557,37 @@ func (s *Site) handle(j frameJob, emit func(epoch, lsn uint64, body []byte) bool
 		b, err := rv.MarshalBinary()
 		return epoch, lsn, b, err
 	case kindBatch:
-		b, err := s.handleBatch(f, payload, epoch, lsn, j.cancel, emit)
+		b, err := s.handleBatch(f, payload, epoch, lsn, opt, j.cancel, emit)
 		return epoch, lsn, b, err
 	default:
 		return 0, 0, nil, fmt.Errorf("unknown request kind %q", kind)
+	}
+}
+
+// evalAttrs renders one evaluation's equation counters as eval-span
+// attributes, headed by the overall reachability-index outcome: hit
+// (every index consult answered), fallback (every consult fell back to
+// BFS — stale entry or over-budget component), mixed, or off (no
+// equation consulted an index at all).
+func evalAttrs(met *core.EvalMetrics) []obs.Attr {
+	fell := met.StaleEqs + met.OverBudgetEqs
+	outcome := "off"
+	switch {
+	case met.IndexedEqs > 0 && fell == 0:
+		outcome = "hit"
+	case met.IndexedEqs > 0:
+		outcome = "mixed"
+	case fell > 0:
+		outcome = "fallback"
+	}
+	return []obs.Attr{
+		{Key: "reachindex_outcome", Val: outcome},
+		{Key: "eqs_indexed", Val: strconv.FormatInt(met.IndexedEqs, 10)},
+		{Key: "eqs_bfs", Val: strconv.FormatInt(met.BFSEqs, 10)},
+		{Key: "eqs_alias", Val: strconv.FormatInt(met.AliasEqs, 10)},
+		{Key: "eqs_const", Val: strconv.FormatInt(met.ConstEqs, 10)},
+		{Key: "eqs_stale", Val: strconv.FormatInt(met.StaleEqs, 10)},
+		{Key: "eqs_overbudget", Val: strconv.FormatInt(met.OverBudgetEqs, 10)},
 	}
 }
 
@@ -569,16 +694,12 @@ func (s *Site) handleRebalance(payload []byte) (uint64, uint64, []byte, error) {
 // the query's shared section (the first time its target is seen) merged
 // with its source equation, tagged with the target it answers for. The
 // cancel flag is polled between queries and inside the local evaluations.
-func (s *Site) handleBatch(frag *fragment.Fragment, payload []byte, epoch, lsn uint64, cancel *atomic.Bool, emit func(epoch, lsn uint64, body []byte) bool) ([]byte, error) {
+func (s *Site) handleBatch(frag *fragment.Fragment, payload []byte, epoch, lsn uint64, opt *core.Options, cancel *atomic.Bool, emit func(epoch, lsn uint64, body []byte) bool) ([]byte, error) {
 	qs, flags, err := decodeBatchRequest(payload)
 	if err != nil {
 		return nil, err
 	}
-	var opt *core.Options
 	cancelled := func() bool { return cancel != nil && cancel.Load() }
-	if cancel != nil {
-		opt = &core.Options{Cancel: cancel.Load}
-	}
 	stream := flags&batchFlagStream != 0 && emit != nil
 	emitted := 0
 	emitChunk := func(t graph.NodeID, rv *core.ReachPartial) {

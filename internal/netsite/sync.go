@@ -203,10 +203,15 @@ type replicaState struct {
 	Fingerprint uint64
 }
 
-// helloAll asks every site where it stands.
-func (c *Coordinator) helloAll(ctx context.Context) ([]replicaState, error) {
+// helloAll asks every site where it stands. A non-nil wire accumulates
+// the hello round's frame and byte counts — sync traffic used to vanish
+// from the accounting entirely.
+func (c *Coordinator) helloAll(ctx context.Context, wire *WireStats) ([]replicaState, error) {
 	states := make([]replicaState, len(c.conns))
-	results, _ := c.roundtripAll(ctx, kindSync, []byte{syncHello})
+	results, hst := c.roundtripAll(ctx, kindSync, []byte{syncHello}, nil)
+	if wire != nil {
+		wire.add(hst)
+	}
 	for i, r := range results {
 		if r.err != nil {
 			return nil, r.err
@@ -246,6 +251,14 @@ type SyncReport struct {
 	Snapshots   int   // snapshot installs
 	Bytes       int64 // payload bytes shipped to catch laggards up
 	Rebalanced  bool
+
+	// WireSent and WireReceived are the full wire cost of the round —
+	// every hello, replay, snapshot and realign frame, with framing
+	// overhead — as opposed to Bytes, which counts only catch-up
+	// payloads. They close the 'S'-traffic gap in the accounting: the
+	// gateway folds them into its transferred-bytes totals.
+	WireSent     int64
+	WireReceived int64
 }
 
 // syncAttempts bounds how many hello→catch-up passes one SyncReplicas call
@@ -261,15 +274,16 @@ const syncAttempts = 5
 // survives all of that is genuine divergence and fails with
 // ErrReplicaDiverged. Serialized against this coordinator's update and
 // rebalance rounds.
-func (c *Coordinator) SyncReplicas(ctx context.Context, o SyncOptions) (SyncReport, error) {
+func (c *Coordinator) SyncReplicas(ctx context.Context, o SyncOptions) (rep SyncReport, err error) {
 	if o.Partitioner == "" {
 		o.Partitioner = "edgecut"
 	}
 	c.updMu.Lock()
 	defer c.updMu.Unlock()
-	var rep SyncReport
+	var wire WireStats
+	defer func() { rep.WireSent, rep.WireReceived = wire.BytesSent, wire.BytesReceived }()
 	for attempt := 0; attempt < syncAttempts; attempt++ {
-		states, err := c.helloAll(ctx)
+		states, err := c.helloAll(ctx, &wire)
 		if err != nil {
 			return rep, err
 		}
@@ -303,7 +317,7 @@ func (c *Coordinator) SyncReplicas(ctx context.Context, o SyncOptions) (SyncRepo
 		// redundant.
 		var fetched *oplog.Snapshot
 		for _, i := range behind {
-			n, snaps, bytes, err := c.catchUp(ctx, i, states[i].LSN, target, o, states, &fetched)
+			n, snaps, bytes, err := c.catchUp(ctx, i, states[i].LSN, target, o, states, &fetched, &wire)
 			if err != nil {
 				return rep, err
 			}
@@ -312,7 +326,7 @@ func (c *Coordinator) SyncReplicas(ctx context.Context, o SyncOptions) (SyncRepo
 			rep.Bytes += bytes
 		}
 		// Re-check: everyone at one LSN now?
-		states, err = c.helloAll(ctx)
+		states, err = c.helloAll(ctx, &wire)
 		if err != nil {
 			return rep, err
 		}
@@ -344,11 +358,13 @@ func (c *Coordinator) SyncReplicas(ctx context.Context, o SyncOptions) (SyncRepo
 			}
 		}
 		if epochSplit || fpSplit {
-			if _, _, err := c.rebalanceLocked(ctx, maxEpoch+1, o.Partitioner, o.Seed+maxEpoch+1); err != nil {
+			if _, rst, err := c.rebalanceLocked(ctx, maxEpoch+1, o.Partitioner, o.Seed+maxEpoch+1); err != nil {
 				return rep, err
+			} else {
+				wire.add(rst)
 			}
 			rep.Rebalanced = true
-			states, err = c.helloAll(ctx)
+			states, err = c.helloAll(ctx, &wire)
 			if err != nil {
 				return rep, err
 			}
@@ -374,7 +390,7 @@ func (c *Coordinator) SyncReplicas(ctx context.Context, o SyncOptions) (SyncRepo
 // the pass's already-fetched one, or one fetched from the most advanced
 // peer — cached into *fetched for the pass's other laggards) plus the log
 // suffix after it.
-func (c *Coordinator) catchUp(ctx context.Context, site int, lsn, target uint64, o SyncOptions, states []replicaState, fetched **oplog.Snapshot) (replayed, snapshots int, bytes int64, err error) {
+func (c *Coordinator) catchUp(ctx context.Context, site int, lsn, target uint64, o SyncOptions, states []replicaState, fetched **oplog.Snapshot, wire *WireStats) (replayed, snapshots int, bytes int64, err error) {
 	// Fast path: the log covers everything the site missed.
 	if o.Log != nil {
 		recs, ok, err := o.Log.ReadFrom(lsn + 1)
@@ -382,7 +398,7 @@ func (c *Coordinator) catchUp(ctx context.Context, site int, lsn, target uint64,
 			return 0, 0, 0, err
 		}
 		if ok {
-			n, b, err := c.replayTo(ctx, site, recs)
+			n, b, err := c.replayTo(ctx, site, recs, wire)
 			return n, 0, b, err
 		}
 	}
@@ -407,7 +423,7 @@ func (c *Coordinator) catchUp(ctx context.Context, site int, lsn, target uint64,
 			if best < 0 {
 				return 0, 0, 0, fmt.Errorf("netsite: site %d is at LSN %d and no log, snapshot or peer reaches %d", site, lsn, target)
 			}
-			body, _, _, err := c.postOne(ctx, best, kindSync, []byte{syncFetch})
+			body, _, _, err := c.postOne(ctx, best, kindSync, []byte{syncFetch}, wire)
 			if err != nil {
 				return 0, 0, 0, fmt.Errorf("netsite: fetching snapshot from site %d: %w", best, err)
 			}
@@ -423,7 +439,7 @@ func (c *Coordinator) catchUp(ctx context.Context, site int, lsn, target uint64,
 		return 0, 0, bytes, err
 	}
 	payload := append([]byte{syncSnapshot}, sb...)
-	if _, _, _, err := c.postOne(ctx, site, kindSync, payload); err != nil {
+	if _, _, _, err := c.postOne(ctx, site, kindSync, payload, wire); err != nil {
 		return 0, 0, bytes, fmt.Errorf("netsite: installing snapshot on site %d: %w", site, err)
 	}
 	snapshots = 1
@@ -433,7 +449,7 @@ func (c *Coordinator) catchUp(ctx context.Context, site int, lsn, target uint64,
 		if recs, ok, err := o.Log.ReadFrom(snap.LSN + 1); err != nil {
 			return 0, snapshots, bytes, err
 		} else if ok && len(recs) > 0 {
-			n, b, err := c.replayTo(ctx, site, recs)
+			n, b, err := c.replayTo(ctx, site, recs, wire)
 			return n, snapshots, bytes + b, err
 		}
 	}
@@ -453,7 +469,7 @@ func (c *Coordinator) logReaches(l *oplog.Log, from, to uint64) bool {
 }
 
 // replayTo streams records to one site in bounded chunks.
-func (c *Coordinator) replayTo(ctx context.Context, site int, recs []oplog.Record) (int, int64, error) {
+func (c *Coordinator) replayTo(ctx context.Context, site int, recs []oplog.Record, wire *WireStats) (int, int64, error) {
 	sort.Slice(recs, func(i, j int) bool { return recs[i].LSN < recs[j].LSN })
 	sent, bytes := 0, int64(0)
 	for len(recs) > 0 {
@@ -466,7 +482,7 @@ func (c *Coordinator) replayTo(ctx context.Context, site int, recs []oplog.Recor
 		if err != nil {
 			return sent, bytes, err
 		}
-		if _, _, _, err := c.postOne(ctx, site, kindSync, payload); err != nil {
+		if _, _, _, err := c.postOne(ctx, site, kindSync, payload, wire); err != nil {
 			return sent, bytes, fmt.Errorf("netsite: replaying %d records to site %d: %w", len(chunk), site, err)
 		}
 		sent += len(chunk)
@@ -479,7 +495,7 @@ func (c *Coordinator) replayTo(ctx context.Context, site int, recs []oplog.Recor
 // from the most advanced replica — what the gateway checkpoints to its
 // store so the write-ahead log can be truncated.
 func (c *Coordinator) FetchSnapshot(ctx context.Context) (*oplog.Snapshot, error) {
-	states, err := c.helloAll(ctx)
+	states, err := c.helloAll(ctx, nil)
 	if err != nil {
 		return nil, err
 	}
@@ -489,7 +505,7 @@ func (c *Coordinator) FetchSnapshot(ctx context.Context) (*oplog.Snapshot, error
 			best = i
 		}
 	}
-	body, _, _, err := c.postOne(ctx, best, kindSync, []byte{syncFetch})
+	body, _, _, err := c.postOne(ctx, best, kindSync, []byte{syncFetch}, nil)
 	if err != nil {
 		return nil, err
 	}

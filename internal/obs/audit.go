@@ -1,0 +1,229 @@
+package obs
+
+import (
+	"math"
+	"sync"
+)
+
+// The paper's guarantees, as checkable invariants on one coordinator
+// round ("visit each site once"): the coordinator sends at most one
+// request frame per site per round; each site's response data is bounded
+// by the fragmentation — O(|Vf|²) booleans per site, independent of |G|;
+// and local evaluation time depends on the fragment, not the whole
+// graph, so eval time should not correlate with |G| across deployments.
+// Auditor checks the first two exactly per observed round and tracks the
+// third statistically across deployments of different sizes.
+
+// AuditRound is one round's per-site observations, reported by the
+// coordinator after the round settles.
+type AuditRound struct {
+	Query     string  // query kind label ("reach", "dist", "rpq", "batch")
+	Frames    []int64 // request frames sent to each site this round
+	RespBytes []int64 // response payload bytes from each site (span overhead excluded)
+	EvalNs    []int64 // site-reported local evaluation time, 0 if unreported
+}
+
+// DefaultByteFactor is the constant c in the response-volume bound
+// c·(|Vf|+1)². Each boolean equation is a variable plus a clause over at
+// most |Vf| in-node variables; the wire encoding spends a handful of
+// bytes per term, so 64 is generous without being vacuous — a site
+// shipping its whole fragment's adjacency (O(|Ef|), which can exceed
+// |Vf|²·c on dense fragments with fat encodings) would trip it.
+const DefaultByteFactor = 64
+
+// Auditor verifies the paper's per-round guarantees and aggregates
+// violation counters. All methods are safe for concurrent use.
+type Auditor struct {
+	mu sync.Mutex
+
+	vf         int64 // max fragment in-node count of the current deployment
+	graphNodes int64 // |G| of the current deployment
+	byteFactor int64
+
+	rounds          int64
+	frameViolations int64
+	byteViolations  int64
+	maxFrames       int64 // worst frames-per-site-per-round seen
+	maxRespBytes    int64 // worst per-site response payload seen
+	byteBound       int64 // current c·(|Vf|+1)²
+
+	// eval-time-vs-|G| correlation: one (|G|, mean eval ns) sample per
+	// deployment size, pushed by SetDeployment-scoped benchmark runs.
+	sizes   []float64
+	evalMus []float64
+	curSum  int64
+	curN    int64
+}
+
+// NewAuditor returns an auditor with the default byte factor.
+func NewAuditor() *Auditor {
+	return &Auditor{byteFactor: DefaultByteFactor}
+}
+
+// SetByteFactor overrides the constant c in the response bound.
+func (a *Auditor) SetByteFactor(c int64) {
+	a.mu.Lock()
+	if c > 0 {
+		a.byteFactor = c
+		a.byteBound = c * (a.vf + 1) * (a.vf + 1)
+	}
+	a.mu.Unlock()
+}
+
+// SetDeployment records the fragmentation the next rounds run against:
+// vf is the largest per-fragment in-node count, graphNodes is |G|. If a
+// previous deployment accumulated eval samples, they are folded into one
+// (|G|, mean eval) point for the correlation estimate.
+func (a *Auditor) SetDeployment(vf, graphNodes int64) {
+	a.mu.Lock()
+	a.flushEvalLocked()
+	if vf < 0 {
+		vf = 0
+	}
+	a.vf = vf
+	a.graphNodes = graphNodes
+	a.byteBound = a.byteFactor * (vf + 1) * (vf + 1)
+	a.mu.Unlock()
+}
+
+func (a *Auditor) flushEvalLocked() {
+	if a.curN > 0 && a.graphNodes > 0 {
+		a.sizes = append(a.sizes, float64(a.graphNodes))
+		a.evalMus = append(a.evalMus, float64(a.curSum)/float64(a.curN))
+	}
+	a.curSum, a.curN = 0, 0
+}
+
+// Observe audits one settled round.
+func (a *Auditor) Observe(r AuditRound) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.rounds++
+	for _, f := range r.Frames {
+		if f > a.maxFrames {
+			a.maxFrames = f
+		}
+		if f > 1 {
+			a.frameViolations++
+		}
+	}
+	for _, b := range r.RespBytes {
+		if b > a.maxRespBytes {
+			a.maxRespBytes = b
+		}
+		if a.byteBound > 0 && b > a.byteBound {
+			a.byteViolations++
+		}
+	}
+	for _, ns := range r.EvalNs {
+		if ns > 0 {
+			a.curSum += ns
+			a.curN++
+		}
+	}
+}
+
+// pearson computes the sample correlation coefficient; NaN when fewer
+// than two points or zero variance.
+func pearson(xs, ys []float64) float64 {
+	n := float64(len(xs))
+	if n < 2 {
+		return math.NaN()
+	}
+	var sx, sy float64
+	for i := range xs {
+		sx += xs[i]
+		sy += ys[i]
+	}
+	mx, my := sx/n, sy/n
+	var sxy, sxx, syy float64
+	for i := range xs {
+		dx, dy := xs[i]-mx, ys[i]-my
+		sxy += dx * dy
+		sxx += dx * dx
+		syy += dy * dy
+	}
+	if sxx == 0 || syy == 0 {
+		return math.NaN()
+	}
+	return sxy / math.Sqrt(sxx*syy)
+}
+
+// AuditSummary is the /guarantees payload.
+type AuditSummary struct {
+	Rounds           int64 `json:"rounds"`
+	FrameViolations  int64 `json:"frame_violations"`
+	ByteViolations   int64 `json:"byte_violations"`
+	MaxFramesPerSite int64 `json:"max_frames_per_site_per_round"`
+	MaxRespBytes     int64 `json:"max_resp_bytes_per_site"`
+	ByteBound        int64 `json:"byte_bound"` // c·(|Vf|+1)²
+	ByteFactor       int64 `json:"byte_factor"`
+	Vf               int64 `json:"vf"`
+	GraphNodes       int64 `json:"graph_nodes"`
+	// EvalSizeCorr is Pearson r between |G| and mean eval time across
+	// deployments of different sizes; meaningful only when SizePoints ≥ 2
+	// (exp N11 sweeps sizes; a single live deployment reports NaN→omitted).
+	EvalSizeCorr *float64 `json:"eval_size_correlation,omitempty"`
+	SizePoints   int      `json:"size_points"`
+}
+
+// Summary snapshots the audit state. The current deployment's pending
+// eval samples are included as a provisional point for the correlation.
+func (a *Auditor) Summary() AuditSummary {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	sizes := append([]float64(nil), a.sizes...)
+	evals := append([]float64(nil), a.evalMus...)
+	if a.curN > 0 && a.graphNodes > 0 {
+		sizes = append(sizes, float64(a.graphNodes))
+		evals = append(evals, float64(a.curSum)/float64(a.curN))
+	}
+	s := AuditSummary{
+		Rounds:           a.rounds,
+		FrameViolations:  a.frameViolations,
+		ByteViolations:   a.byteViolations,
+		MaxFramesPerSite: a.maxFrames,
+		MaxRespBytes:     a.maxRespBytes,
+		ByteBound:        a.byteBound,
+		ByteFactor:       a.byteFactor,
+		Vf:               a.vf,
+		GraphNodes:       a.graphNodes,
+		SizePoints:       len(sizes),
+	}
+	if r := pearson(sizes, evals); !math.IsNaN(r) {
+		s.EvalSizeCorr = &r
+	}
+	return s
+}
+
+// Violations reports the total violation count (both kinds), for quick
+// CI gating.
+func (a *Auditor) Violations() int64 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.frameViolations + a.byteViolations
+}
+
+// Register exposes the auditor's counters as gauges on r.
+func (a *Auditor) Register(r *Registry) {
+	r.GaugeFunc("distreach_guarantee_rounds_total", "Rounds audited against the paper's guarantees.", func() float64 {
+		a.mu.Lock()
+		defer a.mu.Unlock()
+		return float64(a.rounds)
+	})
+	r.GaugeFuncVec("distreach_guarantee_violations_total", "Guarantee violations observed, by invariant.", "invariant", "frames_per_site", func() float64 {
+		a.mu.Lock()
+		defer a.mu.Unlock()
+		return float64(a.frameViolations)
+	})
+	r.GaugeFuncVec("distreach_guarantee_violations_total", "Guarantee violations observed, by invariant.", "invariant", "response_bytes", func() float64 {
+		a.mu.Lock()
+		defer a.mu.Unlock()
+		return float64(a.byteViolations)
+	})
+	r.GaugeFunc("distreach_guarantee_byte_bound", "Current response-volume bound c*(|Vf|+1)^2 in bytes.", func() float64 {
+		a.mu.Lock()
+		defer a.mu.Unlock()
+		return float64(a.byteBound)
+	})
+}

@@ -1,0 +1,205 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// ValidateExposition parses Prometheus text exposition format 0.0.4 and
+// returns every sample keyed by "name{labels}" (labels exactly as they
+// appeared, "" for none). It is the checking half of WritePrometheus:
+// obscheck and the CI smoke run feed scraped /metrics bodies through it
+// and fail on the first malformed line. The checks are the ones a real
+// scraper enforces — metric-name syntax, balanced quoted label values,
+// parseable sample values, samples only for TYPEd families it has seen
+// when a TYPE comment exists for that name.
+func ValidateExposition(r io.Reader) (map[string]float64, error) {
+	samples := make(map[string]float64)
+	typed := make(map[string]string) // base name -> type
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if strings.TrimSpace(line) == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			fields := strings.SplitN(line, " ", 4)
+			if len(fields) >= 2 && (fields[1] == "HELP" || fields[1] == "TYPE") {
+				if len(fields) < 3 || !validMetricName(fields[2]) {
+					return nil, fmt.Errorf("line %d: malformed %s comment: %q", lineNo, fields[1], line)
+				}
+				if fields[1] == "TYPE" {
+					if len(fields) < 4 {
+						return nil, fmt.Errorf("line %d: TYPE comment missing type: %q", lineNo, line)
+					}
+					switch fields[3] {
+					case "counter", "gauge", "histogram", "summary", "untyped":
+					default:
+						return nil, fmt.Errorf("line %d: unknown metric type %q", lineNo, fields[3])
+					}
+					typed[fields[2]] = fields[3]
+				}
+			}
+			continue
+		}
+		name, lbl, val, err := parseSample(line)
+		if err != nil {
+			return nil, fmt.Errorf("line %d: %v", lineNo, err)
+		}
+		if base := baseName(name); len(typed) > 0 {
+			if _, ok := typed[base]; !ok {
+				return nil, fmt.Errorf("line %d: sample %q has no preceding # TYPE", lineNo, name)
+			}
+		}
+		key := name
+		if lbl != "" {
+			key += "{" + lbl + "}"
+		}
+		if _, dup := samples[key]; dup {
+			return nil, fmt.Errorf("line %d: duplicate sample %q", lineNo, key)
+		}
+		samples[key] = val
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return samples, nil
+}
+
+// baseName strips histogram/summary sample suffixes so _bucket/_sum/_count
+// lines resolve to their family's TYPE comment.
+func baseName(name string) string {
+	for _, suf := range []string{"_bucket", "_sum", "_count"} {
+		if strings.HasSuffix(name, suf) {
+			return name[:len(name)-len(suf)]
+		}
+	}
+	return name
+}
+
+func validMetricName(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, r := range s {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r == '_', r == ':':
+		case r >= '0' && r <= '9':
+			if i == 0 {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+func validLabelName(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, r := range s {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r == '_':
+		case r >= '0' && r <= '9':
+			if i == 0 {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// parseSample splits a sample line into (metric name, raw label body, value).
+func parseSample(line string) (name, labelBody string, val float64, err error) {
+	rest := line
+	if i := strings.IndexAny(rest, "{ \t"); i >= 0 {
+		name, rest = rest[:i], rest[i:]
+	} else {
+		return "", "", 0, fmt.Errorf("sample has no value: %q", line)
+	}
+	if !validMetricName(name) {
+		return "", "", 0, fmt.Errorf("invalid metric name %q", name)
+	}
+	if strings.HasPrefix(rest, "{") {
+		body, tail, perr := scanLabels(rest[1:])
+		if perr != nil {
+			return "", "", 0, fmt.Errorf("%s: %v", name, perr)
+		}
+		labelBody, rest = body, tail
+	}
+	rest = strings.TrimSpace(rest)
+	// The format allows an optional trailing timestamp; take field one.
+	valStr := rest
+	if i := strings.IndexAny(rest, " \t"); i >= 0 {
+		valStr = rest[:i]
+	}
+	if valStr == "" {
+		return "", "", 0, fmt.Errorf("%s: missing sample value", name)
+	}
+	v, perr := strconv.ParseFloat(valStr, 64)
+	if perr != nil {
+		return "", "", 0, fmt.Errorf("%s: bad sample value %q", name, valStr)
+	}
+	return name, labelBody, v, nil
+}
+
+// scanLabels consumes a label body after the opening brace, validating
+// each name="value" pair (escapes honoured), and returns the raw body
+// plus the remainder after the closing brace.
+func scanLabels(s string) (body, rest string, err error) {
+	i := 0
+	for {
+		if i >= len(s) {
+			return "", "", fmt.Errorf("unterminated label set")
+		}
+		if s[i] == '}' {
+			return s[:i], s[i+1:], nil
+		}
+		start := i
+		for i < len(s) && s[i] != '=' {
+			i++
+		}
+		if i >= len(s) {
+			return "", "", fmt.Errorf("label without '='")
+		}
+		if !validLabelName(s[start:i]) {
+			return "", "", fmt.Errorf("invalid label name %q", s[start:i])
+		}
+		i++ // '='
+		if i >= len(s) || s[i] != '"' {
+			return "", "", fmt.Errorf("label value not quoted")
+		}
+		i++
+		for i < len(s) && s[i] != '"' {
+			if s[i] == '\\' {
+				if i+1 >= len(s) {
+					return "", "", fmt.Errorf("dangling escape in label value")
+				}
+				switch s[i+1] {
+				case '\\', '"', 'n':
+				default:
+					return "", "", fmt.Errorf("bad escape \\%c in label value", s[i+1])
+				}
+				i++
+			}
+			i++
+		}
+		if i >= len(s) {
+			return "", "", fmt.Errorf("unterminated label value")
+		}
+		i++ // closing quote
+		if i < len(s) && s[i] == ',' {
+			i++
+		}
+	}
+}

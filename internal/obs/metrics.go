@@ -1,0 +1,333 @@
+// Package obs is the zero-dependency observability layer: a small
+// counter/gauge/histogram registry rendered in Prometheus text exposition
+// format (metrics.go), distributed query traces with a wire codec for
+// piggybacking site spans on reply frames (trace.go), and a live auditor
+// for the paper's performance guarantees (audit.go).
+//
+// Everything here is hand-rolled on purpose: the serving tier must not
+// pull a metrics or tracing SDK into the module, and the paper's bounds
+// are simple enough to check with integer arithmetic. The exposition
+// writer sticks to the Prometheus text format version 0.0.4 so any
+// standard scraper ingests it; ValidateExposition is the matching parser
+// CI uses to prove the output stays well-formed.
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing metric.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n; negative deltas are ignored (counters only go up).
+func (c *Counter) Add(n int64) {
+	if n > 0 {
+		c.v.Add(n)
+	}
+}
+
+// Value reports the current count. /stats handlers read this so the JSON
+// view and the Prometheus view come from one source of truth.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Gauge is a metric that can go up and down.
+type Gauge struct {
+	bits atomic.Uint64
+}
+
+// Set replaces the gauge's value.
+func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
+
+// Add adjusts the gauge by d.
+func (g *Gauge) Add(d float64) {
+	for {
+		old := g.bits.Load()
+		if g.bits.CompareAndSwap(old, math.Float64bits(math.Float64frombits(old)+d)) {
+			return
+		}
+	}
+}
+
+// Value reports the current value.
+func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
+
+// Histogram is a fixed-bucket distribution. Bounds are upper bucket edges
+// in ascending order; an implicit +Inf bucket catches the rest.
+type Histogram struct {
+	bounds []float64
+	counts []atomic.Int64 // len(bounds)+1; per-bucket, cumulated at render
+	sum    atomic.Uint64  // float64 bits, CAS-accumulated
+	n      atomic.Int64
+}
+
+// Observe records one sample.
+func (h *Histogram) Observe(v float64) {
+	i := sort.SearchFloat64s(h.bounds, v)
+	h.counts[i].Add(1)
+	h.n.Add(1)
+	for {
+		old := h.sum.Load()
+		if h.sum.CompareAndSwap(old, math.Float64bits(math.Float64frombits(old)+v)) {
+			return
+		}
+	}
+}
+
+// Count reports how many samples were observed.
+func (h *Histogram) Count() int64 { return h.n.Load() }
+
+// Sum reports the total of all observed samples.
+func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sum.Load()) }
+
+// DurationBuckets is the default latency histogram layout in seconds:
+// 100µs to ~100s, roughly 3 buckets per decade.
+var DurationBuckets = []float64{
+	0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05,
+	0.1, 0.25, 0.5, 1, 2.5, 5, 10, 25, 50, 100,
+}
+
+// ByteBuckets is the default size histogram layout in bytes: 64B to 16MB.
+var ByteBuckets = []float64{
+	64, 256, 1024, 4096, 16384, 65536, 262144, 1048576, 4194304, 16777216,
+}
+
+// child is one labeled series inside a family.
+type child struct {
+	label string // label value; "" for the unlabeled singleton
+	c     *Counter
+	g     *Gauge
+	fn    func() float64 // gauge-func series, sampled at render time
+	h     *Histogram
+}
+
+// family is one metric name: its metadata plus every labeled series.
+type family struct {
+	name, help, typ string // typ: "counter" | "gauge" | "histogram"
+	labelKey        string // "" for unlabeled families
+	buckets         []float64
+
+	mu       sync.Mutex
+	children map[string]*child
+	order    []string
+}
+
+func (f *family) get(label string) *child {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	ch, ok := f.children[label]
+	if !ok {
+		ch = &child{label: label}
+		switch f.typ {
+		case "counter":
+			ch.c = &Counter{}
+		case "gauge":
+			ch.g = &Gauge{}
+		case "histogram":
+			ch.h = &Histogram{bounds: f.buckets, counts: make([]atomic.Int64, len(f.buckets)+1)}
+		}
+		f.children[label] = ch
+		f.order = append(f.order, label)
+	}
+	return ch
+}
+
+// Registry holds metric families and renders them as Prometheus text.
+// All methods are safe for concurrent use; registering the same name
+// twice returns the existing family (so wiring code can be idempotent)
+// and panics only when the second registration disagrees on type.
+type Registry struct {
+	mu     sync.Mutex
+	fams   []*family
+	byName map[string]*family
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{byName: make(map[string]*family)}
+}
+
+func (r *Registry) family(name, help, typ, labelKey string, buckets []float64) *family {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if f, ok := r.byName[name]; ok {
+		if f.typ != typ || f.labelKey != labelKey {
+			panic(fmt.Sprintf("obs: metric %q re-registered as %s/%q (was %s/%q)", name, typ, labelKey, f.typ, f.labelKey))
+		}
+		return f
+	}
+	f := &family{name: name, help: help, typ: typ, labelKey: labelKey, buckets: buckets,
+		children: make(map[string]*child)}
+	r.fams = append(r.fams, f)
+	r.byName[name] = f
+	return f
+}
+
+// Counter registers (or finds) an unlabeled counter.
+func (r *Registry) Counter(name, help string) *Counter {
+	return r.family(name, help, "counter", "", nil).get("").c
+}
+
+// CounterVec registers a counter family keyed by one label.
+func (r *Registry) CounterVec(name, help, label string) *CounterVec {
+	return &CounterVec{f: r.family(name, help, "counter", label, nil)}
+}
+
+// CounterVec is a labeled counter family.
+type CounterVec struct{ f *family }
+
+// With returns the counter for one label value.
+func (v *CounterVec) With(label string) *Counter { return v.f.get(label).c }
+
+// Gauge registers (or finds) an unlabeled gauge.
+func (r *Registry) Gauge(name, help string) *Gauge {
+	return r.family(name, help, "gauge", "", nil).get("").g
+}
+
+// GaugeFunc registers a gauge whose value is sampled from fn at render
+// time — the bridge from existing accessors (cache stats, sequencer LSN,
+// balance stats) into the exposition without double bookkeeping.
+func (r *Registry) GaugeFunc(name, help string, fn func() float64) {
+	ch := r.family(name, help, "gauge", "", nil).get("")
+	ch.fn = fn
+}
+
+// GaugeFuncVec registers one sampled series of a labeled gauge family.
+func (r *Registry) GaugeFuncVec(name, help, label, value string, fn func() float64) {
+	ch := r.family(name, help, "gauge", label, nil).get(value)
+	ch.fn = fn
+}
+
+// Histogram registers (or finds) an unlabeled histogram. nil buckets
+// default to DurationBuckets.
+func (r *Registry) Histogram(name, help string, buckets []float64) *Histogram {
+	if buckets == nil {
+		buckets = DurationBuckets
+	}
+	return r.family(name, help, "histogram", "", buckets).get("").h
+}
+
+// HistogramVec registers a histogram family keyed by one label.
+func (r *Registry) HistogramVec(name, help, label string, buckets []float64) *HistogramVec {
+	if buckets == nil {
+		buckets = DurationBuckets
+	}
+	return &HistogramVec{f: r.family(name, help, "histogram", label, buckets)}
+}
+
+// HistogramVec is a labeled histogram family.
+type HistogramVec struct{ f *family }
+
+// With returns the histogram for one label value.
+func (v *HistogramVec) With(label string) *Histogram { return v.f.get(label).h }
+
+// fmtFloat renders a sample value the way Prometheus expects.
+func fmtFloat(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	case math.IsNaN(v):
+		return "NaN"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// escapeHelp escapes a HELP string per the text format.
+func escapeHelp(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
+// escapeLabel escapes a label value per the text format.
+func escapeLabel(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	s = strings.ReplaceAll(s, "\n", `\n`)
+	return strings.ReplaceAll(s, `"`, `\"`)
+}
+
+// labels renders a label set: the family's key=value (if labeled) plus an
+// optional trailing le pair for histogram buckets.
+func labels(key, value, le string) string {
+	var parts []string
+	if key != "" {
+		parts = append(parts, key+`="`+escapeLabel(value)+`"`)
+	}
+	if le != "" {
+		parts = append(parts, `le="`+le+`"`)
+	}
+	if len(parts) == 0 {
+		return ""
+	}
+	return "{" + strings.Join(parts, ",") + "}"
+}
+
+// WritePrometheus renders every family in text exposition format 0.0.4.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	r.mu.Lock()
+	fams := append([]*family(nil), r.fams...)
+	r.mu.Unlock()
+	var b strings.Builder
+	for _, f := range fams {
+		f.mu.Lock()
+		order := append([]string(nil), f.order...)
+		kids := make([]*child, len(order))
+		for i, lv := range order {
+			kids[i] = f.children[lv]
+		}
+		f.mu.Unlock()
+		if len(kids) == 0 {
+			continue
+		}
+		fmt.Fprintf(&b, "# HELP %s %s\n", f.name, escapeHelp(f.help))
+		fmt.Fprintf(&b, "# TYPE %s %s\n", f.name, f.typ)
+		for _, ch := range kids {
+			switch f.typ {
+			case "counter":
+				fmt.Fprintf(&b, "%s%s %d\n", f.name, labels(f.labelKey, ch.label, ""), ch.c.Value())
+			case "gauge":
+				v := ch.g.Value()
+				if ch.fn != nil {
+					v = ch.fn()
+				}
+				fmt.Fprintf(&b, "%s%s %s\n", f.name, labels(f.labelKey, ch.label, ""), fmtFloat(v))
+			case "histogram":
+				cum := int64(0)
+				for i, bound := range ch.h.bounds {
+					cum += ch.h.counts[i].Load()
+					fmt.Fprintf(&b, "%s_bucket%s %d\n", f.name, labels(f.labelKey, ch.label, fmtFloat(bound)), cum)
+				}
+				// The +Inf bucket equals the total count by construction, even
+				// while concurrent Observes land between these loads: read the
+				// per-bucket tail first, then reuse the cumulative sum.
+				cum += ch.h.counts[len(ch.h.bounds)].Load()
+				fmt.Fprintf(&b, "%s_bucket%s %d\n", f.name, labels(f.labelKey, ch.label, "+Inf"), cum)
+				fmt.Fprintf(&b, "%s_sum%s %s\n", f.name, labels(f.labelKey, ch.label, ""), fmtFloat(ch.h.Sum()))
+				fmt.Fprintf(&b, "%s_count%s %d\n", f.name, labels(f.labelKey, ch.label, ""), cum)
+			}
+		}
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// Handler serves the registry over HTTP with the exposition content type.
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		r.WritePrometheus(w)
+	})
+}

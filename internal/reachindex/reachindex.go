@@ -724,6 +724,41 @@ func (ix *Index) EquationGlobal(v, tLocal int32, hasT bool) (vars []graph.NodeID
 	return gvars, reachesT, true
 }
 
+// Outcome classifies why Equation/EquationGlobal would (or would not)
+// answer for source slot v — the observability counterpart of the
+// fallback branches above, in the same order, so a traced evaluation can
+// tag its eval span with the reason the index was bypassed. Reading the
+// same fields the lookup reads, it must be called under the same
+// fragmentation read lock; it touches no hit counters.
+func (ix *Index) Outcome(v int32) Outcome {
+	if v < 0 || int(v) >= ix.n {
+		return OutcomeUnslotted
+	}
+	c := ix.comp[v]
+	if ix.stale[c] {
+		return OutcomeStale
+	}
+	if ix.undecided[c] || ix.fronts[c] == nil {
+		return OutcomeOverBudget
+	}
+	return OutcomeHit
+}
+
+// Outcome is the index's answerability verdict for one source slot.
+type Outcome uint8
+
+const (
+	// OutcomeHit: the index answers this slot's equation in two lookups.
+	OutcomeHit Outcome = iota
+	// OutcomeUnslotted: the slot postdates the build (node added since).
+	OutcomeUnslotted
+	// OutcomeStale: a mutation invalidated the slot's SCC cone.
+	OutcomeStale
+	// OutcomeOverBudget: the label budget excluded the SCC's frontier, or
+	// the entry is undecided mid-rebuild.
+	OutcomeOverBudget
+)
+
 // Reaches reports whether slot u reaches slot v locally. decided is false
 // (and reached meaningless) when the index cannot answer: a slot postdates
 // the build, or u's SCC is stale or undecided.
